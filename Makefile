@@ -1,0 +1,28 @@
+# Convenience targets for the SAM reproduction.
+
+.PHONY: install test bench figures validate fuzz coverage clean
+
+install:
+	python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+# Regenerate every table and figure as text (also written to
+# benchmarks/results/ by the bench harness).
+figures:
+	python -m repro table1
+	python -m repro figures
+
+validate:
+	python tools/validate_artifact.py
+
+fuzz:
+	python tools/fuzz_engines.py --iterations 500
+
+clean:
+	rm -rf build dist *.egg-info .pytest_cache .hypothesis benchmarks/results
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,72 @@
+"""Ablation: carry scheme vs persistent-block count k.
+
+Section 2.5 derives that SAM's redundant carry work is O(af*n) with
+af proportional to k = m*b, while the chained scheme does O(n) work but
+serializes.  Sweeping k on the simulator makes both effects measurable:
+decoupled carry additions grow ~linearly with k; chained additions stay
+flat; and the chained scheme's critical path (failed polls under a
+hostile schedule) grows instead.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import SamScan
+from repro.gpusim.spec import TITAN_X
+
+N = 16384
+K_SWEEP = (2, 4, 8, 16)
+
+
+def _values():
+    return np.random.default_rng(3).integers(-100, 100, N).astype(np.int32)
+
+
+def _run(scheme, k, policy="round_robin"):
+    engine = SamScan(
+        spec=TITAN_X,
+        threads_per_block=64,
+        items_per_thread=1,
+        num_blocks=k,
+        carry_scheme=scheme,
+        policy=policy,
+    )
+    return engine.run(_values())
+
+
+@pytest.mark.parametrize("k", K_SWEEP)
+def test_carry_work_vs_k(benchmark, k):
+    decoupled = benchmark.pedantic(lambda: _run("decoupled", k), rounds=2, iterations=1)
+    chained = _run("chained", k)
+    per_chunk_dec = decoupled.stats.carry_additions / decoupled.num_chunks
+    per_chunk_ch = chained.stats.carry_additions / chained.num_chunks
+    print(
+        f"\nk={k}: decoupled {per_chunk_dec:.1f} adds/chunk, "
+        f"chained {per_chunk_ch:.1f} adds/chunk"
+    )
+    # Decoupled trades ~k redundant additions per chunk for latency.
+    assert per_chunk_dec >= per_chunk_ch
+    assert per_chunk_ch <= 2.0
+
+
+def test_decoupled_adds_scale_with_k():
+    per_chunk = {}
+    for k in K_SWEEP:
+        result = _run("decoupled", k)
+        per_chunk[k] = result.stats.carry_additions / result.num_chunks
+    print("\ndecoupled adds/chunk by k:", {k: round(v, 1) for k, v in per_chunk.items()})
+    assert per_chunk[16] > per_chunk[2] * 3  # ~O(k) redundant work
+
+
+def test_chained_waits_more_under_hostile_schedule():
+    # The chained scheme's serial dependence shows up as failed polls
+    # when the schedule runs consumers before producers.
+    chained = _run("chained", 8, policy="reversed")
+    decoupled = _run("decoupled", 8, policy="reversed")
+    chained_wait = chained.stats.failed_flag_polls / chained.num_chunks
+    decoupled_wait = decoupled.stats.failed_flag_polls / decoupled.num_chunks
+    print(
+        f"\nhostile schedule: chained {chained_wait:.2f} failed polls/chunk, "
+        f"decoupled {decoupled_wait:.2f}"
+    )
+    assert chained.stats.failed_flag_polls > 0

@@ -1,0 +1,64 @@
+"""Ablation: count-valued ready flags (Section 2.4's design choice).
+
+"Employing counts instead of Booleans means that only one count array
+is needed, regardless of the order."  This bench measures the auxiliary
+flag traffic across orders: the flag array count stays one (flag words
+written scale with iterations, not with extra arrays), and the
+alternative — one boolean array per order — would multiply the flag
+*storage* by q.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import SamScan
+from repro.core.carry import AuxBuffers, next_power_of_two
+from repro.gpusim.memory import GlobalMemory
+from repro.gpusim.spec import TITAN_X
+
+N = 8192
+
+
+def _run(order):
+    engine = SamScan(
+        spec=TITAN_X, threads_per_block=64, items_per_thread=2, num_blocks=4
+    )
+    return engine.run(
+        np.random.default_rng(5).integers(-100, 100, N).astype(np.int32),
+        order=order,
+    )
+
+
+@pytest.mark.parametrize("order", [1, 2, 4, 8])
+def test_flag_traffic_per_iteration_is_constant(benchmark, order):
+    result = benchmark.pedantic(lambda: _run(order), rounds=2, iterations=1)
+    flag_writes_per_chunk = (
+        result.stats.global_words_written - len(result.values) - result.num_chunks * order
+    )
+    print(
+        f"\norder {order}: {result.stats.global_words_total} total words, "
+        f"{result.stats.flag_polls} flag polls"
+    )
+    # One flag write per (chunk, iteration): aux write traffic is
+    # exactly num_chunks * order words for flags + the same for sums.
+    expected_aux_writes = 2 * result.num_chunks * order
+    aux_writes = result.stats.global_words_written - len(result.values)
+    assert aux_writes == expected_aux_writes
+
+
+def test_single_flag_array_regardless_of_order():
+    gmem = GlobalMemory()
+    aux = AuxBuffers(gmem, k=4, order=8, tuple_size=3, dtype=np.int32)
+    # 8 sum arrays (one per order) x 3 lanes each, but exactly ONE flag
+    # array — the Section 2.4 design choice under test.
+    assert len(aux.sums) == 8
+    names = [name for name in gmem._arrays if "flag" in name]
+    assert len(names) == 1
+
+
+def test_flag_array_storage_is_o1():
+    # Capacity depends only on k (next_pow2(3k+1)), never on n or q.
+    gmem = GlobalMemory()
+    aux = AuxBuffers(gmem, k=48, order=8, tuple_size=1, dtype=np.int32)
+    assert aux.capacity == next_power_of_two(3 * 48 + 1)
+    assert aux.capacity == 256

@@ -1,0 +1,64 @@
+"""Ablation: items per thread (the auto-tuned parameter).
+
+Section 2.2, enhancement #4: processing multiple values per thread
+"increases the chunk size, which reduces the total number of local sums
+that have to be communicated between thread blocks".  Sweeping v on the
+simulator shows the carry/communication traffic falling ~1/v while the
+data traffic stays fixed at 2n; the analytic model turns the same trade
+into the install-time tuning table.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import AutoTuner, SamScan, tune_items_per_thread
+from repro.gpusim.spec import TITAN_X
+
+N = 32768
+V_SWEEP = (1, 2, 4, 8)
+
+
+def _run(v):
+    engine = SamScan(
+        spec=TITAN_X, threads_per_block=64, items_per_thread=v, num_blocks=8
+    )
+    return engine.run(np.random.default_rng(1).integers(-100, 100, N).astype(np.int32))
+
+
+@pytest.mark.parametrize("v", V_SWEEP)
+def test_items_per_thread_sweep(benchmark, v):
+    result = benchmark.pedantic(lambda: _run(v), rounds=2, iterations=1)
+    aux_words = result.stats.global_words_total - 2 * N
+    print(
+        f"\nv={v}: {result.num_chunks} chunks, "
+        f"aux traffic {aux_words} words ({aux_words / N:.3f} per element)"
+    )
+    assert result.num_chunks == -(-N // (64 * v))
+
+
+def test_larger_chunks_reduce_communication():
+    aux = {}
+    for v in V_SWEEP:
+        result = _run(v)
+        aux[v] = result.stats.global_words_total - 2 * N
+    print("\naux words by v:", aux)
+    assert aux[8] < aux[1] / 4  # ~1/v fewer sums to communicate
+
+
+def test_autotuner_reproduces_heuristic_direction():
+    # Tune on the simulator's own communication cost: bigger problems
+    # should get at least as many items per thread as smaller ones.
+    def cost(n, v):
+        engine = SamScan(
+            spec=TITAN_X, threads_per_block=64, items_per_thread=v, num_blocks=8
+        )
+        values = np.zeros(n, dtype=np.int32)
+        stats = engine.run(values).stats
+        # Model: time ~ data traffic + latency-weighted carry traffic.
+        return stats.global_words_total + 8 * stats.failed_flag_polls
+
+    tuner = AutoTuner(cost, candidates=(1, 2, 4, 8))
+    table = tuner.tune([2048, 32768])
+    print("\ntuned table:", table)
+    assert table[32768] >= table[2048]
+    assert tune_items_per_thread(2**28, TITAN_X) >= tune_items_per_thread(2**12, TITAN_X)

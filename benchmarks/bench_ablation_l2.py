@@ -1,0 +1,81 @@
+"""Ablation: L2 residency of the auxiliary arrays (§5.1's locality claim).
+
+"While SAM accesses its auxiliary memory O(n) times just like the other
+algorithms do, using O(1) sized circular buffers results in better
+locality and thus more cache hits."
+
+Measured with the set-associative LRU model: SAM's auxiliary misses are
+compulsory only (a handful of circular-buffer lines, independent of n),
+while the decoupled-lookback baseline's O(n) status/aggregate/prefix
+arrays miss once per line, growing linearly with the input.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import write_artifact
+from repro.baselines import DecoupledLookbackScan
+from repro.core import SamScan
+from repro.gpusim.spec import TITAN_X
+
+L2_BYTES = 8192
+SIZES = (8192, 16384, 32768, 65536)
+
+
+def _aux_misses(result, keys):
+    return sum(
+        misses
+        for name, (_, misses) in result.l2.per_array_stats().items()
+        if any(key in name for key in keys)
+    )
+
+
+def _run(n):
+    values = np.random.default_rng(0).integers(-100, 100, n).astype(np.int32)
+    sam = SamScan(
+        spec=TITAN_X,
+        threads_per_block=64,
+        items_per_thread=1,
+        num_blocks=8,
+        l2_bytes=L2_BYTES,
+    ).run(values)
+    cub = DecoupledLookbackScan(
+        spec=TITAN_X, threads_per_block=64, items_per_thread=1, l2_bytes=L2_BYTES
+    ).run(values)
+    return sam, cub
+
+
+def test_aux_residency_sweep(benchmark):
+    rows = benchmark.pedantic(_build_rows, rounds=1, iterations=1)
+    text = "\n".join(rows)
+    write_artifact("ablation_l2", text)
+    print()
+    print(text)
+
+
+def _build_rows():
+    rows = [
+        f"ablation: auxiliary-array L2 misses ({L2_BYTES}-byte modeled L2)",
+        f"{'n':>8} {'SAM aux misses':>15} {'lookback aux misses':>20}",
+    ]
+    for n in SIZES:
+        sam, cub = _run(n)
+        rows.append(
+            f"{n:>8} {_aux_misses(sam, ('sam_sums', 'sam_flags')):>15} "
+            f"{_aux_misses(cub, ('status', 'agg', 'prefix')):>20}"
+        )
+    return rows
+
+
+def test_sam_aux_misses_o1_vs_lookback_on():
+    sam_small, cub_small = _run(SIZES[0])
+    sam_large, cub_large = _run(SIZES[-1])
+    sam_growth = _aux_misses(sam_large, ("sam_sums", "sam_flags")) - _aux_misses(
+        sam_small, ("sam_sums", "sam_flags")
+    )
+    cub_growth = _aux_misses(cub_large, ("status", "agg", "prefix")) - _aux_misses(
+        cub_small, ("status", "agg", "prefix")
+    )
+    print(f"\naux-miss growth 8k->64k: SAM {sam_growth}, lookback {cub_growth}")
+    assert sam_growth <= 2
+    assert cub_growth >= 50

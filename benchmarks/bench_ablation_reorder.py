@@ -1,0 +1,50 @@
+"""Ablation: direct strided tuple scan vs reorder/scan/undo-reorder.
+
+Section 2.3 dismisses the reorder formulation because "the two
+reordering steps require extra memory accesses".  This bench counts
+them: the reorder pipeline moves ~6n words (2n per transposition plus
+the 2n scan) against SAM's 2n, and its transpositions are uncoalesced.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ReorderScanEngine
+from repro.core import SamScan
+from repro.gpusim.spec import TITAN_X
+
+N = 16384
+
+
+def _values():
+    return np.random.default_rng(9).integers(-500, 500, N).astype(np.int32)
+
+
+def _sam():
+    return SamScan(spec=TITAN_X, threads_per_block=64, items_per_thread=2, num_blocks=4)
+
+
+@pytest.mark.parametrize("tuple_size", [2, 4, 8])
+def test_direct_vs_reorder_traffic(benchmark, tuple_size):
+    values = _values()
+    direct = benchmark.pedantic(
+        lambda: _sam().run(values, tuple_size=tuple_size), rounds=2, iterations=1
+    )
+    reordered = ReorderScanEngine(_sam()).run(values, tuple_size=tuple_size)
+    print(
+        f"\ns={tuple_size}: direct {direct.words_per_element():.2f} words/elem, "
+        f"reorder {reordered.words_per_element():.2f} words/elem"
+    )
+    assert direct.words_per_element() < 2.5
+    assert reordered.words_per_element() > 5.5
+    assert np.array_equal(direct.values, reordered.values)
+
+
+def test_reorder_transpositions_are_uncoalesced():
+    values = _values()
+    direct = _sam().run(values, tuple_size=8)
+    reordered = ReorderScanEngine(_sam()).run(values, tuple_size=8)
+    direct_txn = direct.stats.global_read_transactions
+    reorder_txn = reordered.stats.global_read_transactions
+    print(f"\nread transactions: direct {direct_txn}, reorder {reorder_txn}")
+    assert reorder_txn > 2 * direct_txn

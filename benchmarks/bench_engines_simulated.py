@@ -1,0 +1,77 @@
+"""Wall-clock benchmarks of the simulated engines and the host library.
+
+These time *this reproduction's own code* (the Python simulator and the
+vectorized host implementations), not the modeled GPUs — useful for
+tracking regressions in the simulator and for sizing test workloads.
+The traffic counters printed alongside are the simulator's measured
+words-per-element, i.e. the paper's 2n/3n/4n columns from real counts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    DecoupledLookbackScan,
+    ReduceThenScan,
+    StreamScan,
+    ThreePhaseScan,
+)
+from repro.core import SamScan, host_prefix_sum
+from repro.gpusim.spec import TITAN_X
+
+N_SIM = 32768
+KW = dict(threads_per_block=128, items_per_thread=2)
+
+
+def _values(n=N_SIM, dtype=np.int32):
+    return np.random.default_rng(42).integers(-1000, 1000, n).astype(dtype)
+
+
+@pytest.mark.parametrize(
+    "name,engine_factory",
+    [
+        ("sam", lambda: SamScan(spec=TITAN_X, **KW)),
+        ("sam_chained", lambda: SamScan(spec=TITAN_X, carry_scheme="chained", **KW)),
+        ("cub_lookback", lambda: DecoupledLookbackScan(spec=TITAN_X, **KW)),
+        ("mgpu_reduce_scan", lambda: ReduceThenScan(spec=TITAN_X, **KW)),
+        ("thrust_three_phase", lambda: ThreePhaseScan(spec=TITAN_X, **KW)),
+        ("streamscan", lambda: StreamScan(spec=TITAN_X, **KW)),
+    ],
+)
+def test_simulated_engine(benchmark, name, engine_factory):
+    values = _values()
+    engine = engine_factory()
+    result = benchmark.pedantic(
+        lambda: engine.run(values), rounds=3, iterations=1, warmup_rounds=1
+    )
+    print(f"\n{name}: {result.words_per_element():.2f} words/element "
+          f"({result.stats.kernel_launches} launches)")
+
+
+def test_sam_order8_simulated(benchmark):
+    # num_blocks=8 keeps the auxiliary traffic in realistic proportion
+    # to the deliberately small chunks used in simulation (on the real
+    # GPU e is ~16k elements, so aux traffic is negligible).
+    values = _values()
+    engine = SamScan(spec=TITAN_X, num_blocks=8, **KW)
+    result = benchmark.pedantic(
+        lambda: engine.run(values, order=8), rounds=3, iterations=1
+    )
+    assert result.words_per_element() < 3.0  # data traffic stays 2n at order 8
+
+
+def test_sam_tuple8_simulated(benchmark):
+    values = _values()
+    engine = SamScan(spec=TITAN_X, num_blocks=8, **KW)
+    result = benchmark.pedantic(
+        lambda: engine.run(values, tuple_size=8), rounds=3, iterations=1
+    )
+    assert result.words_per_element() < 3.0
+
+
+@pytest.mark.parametrize("n", [10**5, 10**6, 10**7])
+def test_host_prefix_sum(benchmark, n):
+    """The actually-fast CPU library users call."""
+    values = _values(n, np.int64)
+    out = benchmark(host_prefix_sum, values, 2, 2)
+    assert len(out) == n

@@ -1,0 +1,68 @@
+"""Extension (paper §6 future work): combined higher-order x tuple sums.
+
+"we could study and present measurements for the combined case of
+higher-order tuple-based prefix sums."  SAM supports the combination in
+the same single pass (verified bit-for-bit against the serial oracle in
+the test suite); this bench reports the modeled throughput matrix and
+the simulator-measured traffic, which stays ~2n for every combination.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import write_artifact
+from repro.core import SamScan
+from repro.gpusim.spec import TITAN_X
+from repro.perf import PerformanceModel
+
+ORDERS = (1, 2, 5, 8)
+TUPLES = (1, 2, 5, 8)
+
+
+def test_combined_matrix(benchmark):
+    model = PerformanceModel()
+    rows = benchmark(_build_rows, model)
+    text = "\n".join(rows)
+    write_artifact("ext_combined", text)
+    print()
+    print(text)
+
+
+def _build_rows(model):
+    n = 2**27
+    rows = [
+        "extension: combined order x tuple throughput (G items/s), "
+        "Titan X, 32-bit, n = 2^27",
+        "rows: order; columns: tuple size",
+        "        " + "".join(f"s={s:>8}" for s in TUPLES),
+    ]
+    for order in ORDERS:
+        cells = []
+        for s in TUPLES:
+            tput = model.throughput("sam", "Titan X", 32, n, order=order, tuple_size=s)
+            cells.append(f"{tput / 1e9:>10.2f}")
+        rows.append(f"q={order:<5} " + "".join(cells))
+    return rows
+
+
+@pytest.mark.parametrize("order,tuple_size", [(2, 2), (5, 5), (8, 8)])
+def test_combined_traffic_stays_2n(order, tuple_size):
+    values = np.random.default_rng(0).integers(-100, 100, 16384).astype(np.int32)
+    engine = SamScan(
+        spec=TITAN_X, threads_per_block=128, items_per_thread=4, num_blocks=4
+    )
+    result = engine.run(values, order=order, tuple_size=tuple_size)
+    print(
+        f"\nq={order}, s={tuple_size}: {result.words_per_element():.2f} words/element"
+    )
+    assert result.words_per_element() < 3.0
+    assert result.stats.kernel_launches == 1
+
+
+def test_combined_monotone_cost():
+    model = PerformanceModel()
+    base = model.time_seconds("sam", "Titan X", 32, 2**24)
+    combined = model.time_seconds("sam", "Titan X", 32, 2**24, order=8, tuple_size=8)
+    order_only = model.time_seconds("sam", "Titan X", 32, 2**24, order=8)
+    tuple_only = model.time_seconds("sam", "Titan X", 32, 2**24, tuple_size=8)
+    assert combined >= max(order_only, tuple_only) > base

@@ -1,0 +1,62 @@
+"""Extension (paper §6 future work): energy-efficiency comparison.
+
+"It might also be interesting to measure the energy consumption to
+determine whether the improved performance also results in improved
+energy efficiency."  The modeled answer: yes — on memory-bound scans,
+energy tracks traffic and runtime, so SAM's communication optimality
+carries over to nJ/item, and its higher-order advantage grows the same
+way the throughput advantage does.
+"""
+
+import pytest
+
+from conftest import write_artifact
+from repro.perf.energy import EnergyModel
+
+SIZES = [2**20, 2**24, 2**28]
+
+
+def test_energy_table(benchmark):
+    model = EnergyModel()
+    rows = benchmark(_build_rows, model)
+    text = "\n".join(rows)
+    write_artifact("ext_energy", text)
+    print()
+    print(text)
+
+
+def _build_rows(model):
+    rows = ["extension: modeled energy efficiency (nJ/item), Titan X, 32-bit"]
+    rows.append(f"{'n':>10} {'alg':>8} {'order':>5} {'nJ/item':>9}")
+    for n in SIZES:
+        for alg in ("sam", "cub", "thrust"):
+            for order in (1, 8):
+                value = model.nanojoules_per_item(alg, "Titan X", 32, n, order=order)
+                rows.append(f"{n:>10} {alg:>8} {order:>5} {value:>9.3f}")
+    return rows
+
+
+def test_sam_is_more_energy_efficient_at_order8():
+    model = EnergyModel()
+    sam = model.nanojoules_per_item("sam", "Titan X", 32, 2**27, order=8)
+    cub = model.nanojoules_per_item("cub", "Titan X", 32, 2**27, order=8)
+    print(f"\norder 8 @2^27: SAM {sam:.3f} vs CUB {cub:.3f} nJ/item")
+    assert sam < cub / 1.5  # the 2x throughput edge survives in energy
+
+
+def test_energy_advantage_grows_with_order():
+    model = EnergyModel()
+    ratios = []
+    for order in (1, 2, 5, 8):
+        sam = model.nanojoules_per_item("sam", "Titan X", 32, 2**27, order=order)
+        cub = model.nanojoules_per_item("cub", "Titan X", 32, 2**27, order=order)
+        ratios.append(cub / sam)
+    print("\ncub/sam energy ratio by order:", [round(r, 2) for r in ratios])
+    assert ratios == sorted(ratios)
+
+
+def test_thrust_pays_for_4n_traffic():
+    model = EnergyModel()
+    sam = model.nanojoules_per_item("sam", "Titan X", 32, 2**26)
+    thrust = model.nanojoules_per_item("thrust", "Titan X", 32, 2**26)
+    assert thrust > 1.5 * sam

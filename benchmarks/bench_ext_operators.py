@@ -1,0 +1,57 @@
+"""Extension (paper §6): scans with other associative operators.
+
+"we could evaluate SAM with other associative operators (i.e., scans
+instead of prefix sums), which we have already done with built-in
+primitives like max and xor but not described in this paper."
+
+The simulator makes the interesting part measurable: operator choice
+does not change SAM's memory traffic at all (the kernel is the same;
+only the combine changes), so every operator scans at the same
+2-words-per-element budget.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import write_artifact
+from repro.core import SamScan
+from repro.gpusim.spec import TITAN_X
+from repro.reference import prefix_sum_serial
+
+OPERATORS = ("add", "max", "min", "xor", "and", "or", "mul")
+
+
+def _engine():
+    return SamScan(
+        spec=TITAN_X, threads_per_block=128, items_per_thread=2, num_blocks=8
+    )
+
+
+def test_operator_sweep(benchmark):
+    values = np.random.default_rng(0).integers(-1000, 1000, 16384).astype(np.int64)
+    rows = benchmark(_build_rows, values)
+    text = "\n".join(rows)
+    write_artifact("ext_operators", text)
+    print()
+    print(text)
+
+
+def _build_rows(values):
+    rows = ["extension: SAM scans with other operators (simulator-measured)"]
+    rows.append(f"{'op':>6} {'words/elem':>11} {'shuffles':>9} {'correct':>8}")
+    for op in OPERATORS:
+        result = _engine().run(values, op=op)
+        ok = np.array_equal(result.values, prefix_sum_serial(values, op=op))
+        rows.append(
+            f"{op:>6} {result.words_per_element():>11.2f} "
+            f"{result.stats.shuffles:>9} {'yes' if ok else 'NO'}"
+        )
+    return rows
+
+
+@pytest.mark.parametrize("op", OPERATORS)
+def test_traffic_is_operator_independent(op):
+    values = np.random.default_rng(1).integers(1, 50, 8192).astype(np.int64)
+    add_words = _engine().run(values, op="add").stats.global_words_total
+    op_words = _engine().run(values, op=op).stats.global_words_total
+    assert op_words == add_words

@@ -1,0 +1,75 @@
+"""Extension (paper §6 future work): partial-GPU / virtualized execution.
+
+"it may make sense to add support for ... parallel kernel execution and
+virtualization environments where not all SMs of a GPU are always
+available."
+
+SAM's persistent-block count k is a launch-time parameter, so running
+on a partial GPU is just launching fewer blocks.  This bench sweeps the
+available fraction of the Titan X's SMs and verifies the properties the
+paper's design implies: results stay bit-identical, auxiliary storage
+shrinks with k (it is O(k)), and the redundant carry work per chunk
+drops with k while the chunk pipeline gets shallower.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import write_artifact
+from repro.core import SamScan
+from repro.core.carry import next_power_of_two
+from repro.gpusim.spec import TITAN_X
+from repro.reference import prefix_sum_serial
+
+N = 16384
+FRACTIONS = (1.0, 0.5, 0.25, 0.125)
+
+
+def _values():
+    return np.random.default_rng(4).integers(-500, 500, N).astype(np.int32)
+
+
+def _run(k):
+    engine = SamScan(
+        spec=TITAN_X, threads_per_block=64, items_per_thread=1, num_blocks=k
+    )
+    return engine.run(_values())
+
+
+def test_virtualization_sweep(benchmark):
+    rows = benchmark.pedantic(_build_rows, rounds=1, iterations=1)
+    text = "\n".join(rows)
+    write_artifact("ext_virtualization", text)
+    print()
+    print(text)
+
+
+def _build_rows():
+    full_k = TITAN_X.persistent_blocks
+    rows = [
+        "extension: SAM on a partial GPU (fewer resident blocks)",
+        f"{'SM fraction':>12} {'k':>4} {'aux slots':>10} {'carry adds/chunk':>17}",
+    ]
+    for fraction in FRACTIONS:
+        k = max(1, int(full_k * fraction))
+        result = _run(k)
+        slots = next_power_of_two(3 * min(k, result.num_chunks) + 1)
+        per_chunk = result.stats.carry_additions / result.num_chunks
+        rows.append(f"{fraction:>12.3f} {k:>4} {slots:>10} {per_chunk:>17.1f}")
+    return rows
+
+
+@pytest.mark.parametrize("fraction", FRACTIONS)
+def test_results_identical_on_partial_gpu(fraction):
+    k = max(1, int(TITAN_X.persistent_blocks * fraction))
+    result = _run(k)
+    assert np.array_equal(result.values, prefix_sum_serial(_values()))
+
+
+def test_carry_work_scales_down_with_k():
+    small_k = _run(6)
+    large_k = _run(48)
+    per_chunk_small = small_k.stats.carry_additions / small_k.num_chunks
+    per_chunk_large = large_k.stats.carry_additions / large_k.num_chunks
+    print(f"\ncarry adds/chunk: k=6 -> {per_chunk_small:.1f}, k=48 -> {per_chunk_large:.1f}")
+    assert per_chunk_small < per_chunk_large

@@ -1,0 +1,15 @@
+"""Figure 3: prefix-sum throughput, 32-bit integers, Titan X.
+
+Thrust, CUDPP, CUB, SAM, and the cudaMemcpy ceiling over 2^10..2^30
+and 10^3..10^9 items.
+
+Regenerates the figure's throughput series from the performance model,
+prints the rows, writes ``results/fig03.txt``, and asserts the paper's
+textual claims about this figure.
+"""
+
+from conftest import run_figure_bench
+
+
+def test_fig03(benchmark):
+    run_figure_bench(benchmark, "fig03")

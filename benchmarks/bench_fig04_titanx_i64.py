@@ -1,0 +1,14 @@
+"""Figure 4: prefix-sum throughput, 64-bit integers, Titan X.
+
+same sweep at 64-bit words (sizes capped at 2^29 by the 4 GB limit).
+
+Regenerates the figure's throughput series from the performance model,
+prints the rows, writes ``results/fig04.txt``, and asserts the paper's
+textual claims about this figure.
+"""
+
+from conftest import run_figure_bench
+
+
+def test_fig04(benchmark):
+    run_figure_bench(benchmark, "fig04")

@@ -1,0 +1,14 @@
+"""Figure 5: prefix-sum throughput, 32-bit integers, K40.
+
+the older Kepler GPU, where CUB keeps the lead on large inputs.
+
+Regenerates the figure's throughput series from the performance model,
+prints the rows, writes ``results/fig05.txt``, and asserts the paper's
+textual claims about this figure.
+"""
+
+from conftest import run_figure_bench
+
+
+def test_fig05(benchmark):
+    run_figure_bench(benchmark, "fig05")

@@ -1,0 +1,14 @@
+"""Figure 6: prefix-sum throughput, 64-bit integers, K40.
+
+64-bit sweep on the K40.
+
+Regenerates the figure's throughput series from the performance model,
+prints the rows, writes ``results/fig06.txt``, and asserts the paper's
+textual claims about this figure.
+"""
+
+from conftest import run_figure_bench
+
+
+def test_fig06(benchmark):
+    run_figure_bench(benchmark, "fig06")

@@ -1,0 +1,14 @@
+"""Figure 7: higher-order prefix sums, 32-bit, Titan X.
+
+SAM vs iterated CUB at orders 2, 5, and 8.
+
+Regenerates the figure's throughput series from the performance model,
+prints the rows, writes ``results/fig07.txt``, and asserts the paper's
+textual claims about this figure.
+"""
+
+from conftest import run_figure_bench
+
+
+def test_fig07(benchmark):
+    run_figure_bench(benchmark, "fig07")

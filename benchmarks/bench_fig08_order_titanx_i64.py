@@ -1,0 +1,14 @@
+"""Figure 8: higher-order prefix sums, 64-bit, Titan X.
+
+SAM vs iterated CUB at orders 2, 5, and 8 (64-bit words).
+
+Regenerates the figure's throughput series from the performance model,
+prints the rows, writes ``results/fig08.txt``, and asserts the paper's
+textual claims about this figure.
+"""
+
+from conftest import run_figure_bench
+
+
+def test_fig08(benchmark):
+    run_figure_bench(benchmark, "fig08")

@@ -1,0 +1,14 @@
+"""Figure 9: higher-order prefix sums, 32-bit, K40.
+
+on the K40 CUB's stronger baseline delays SAM's crossover to ~order 8.
+
+Regenerates the figure's throughput series from the performance model,
+prints the rows, writes ``results/fig09.txt``, and asserts the paper's
+textual claims about this figure.
+"""
+
+from conftest import run_figure_bench
+
+
+def test_fig09(benchmark):
+    run_figure_bench(benchmark, "fig09")

@@ -1,0 +1,14 @@
+"""Figure 10: higher-order prefix sums, 64-bit, K40.
+
+64-bit: SAM already wins at order 8 on the K40.
+
+Regenerates the figure's throughput series from the performance model,
+prints the rows, writes ``results/fig10.txt``, and asserts the paper's
+textual claims about this figure.
+"""
+
+from conftest import run_figure_bench
+
+
+def test_fig10(benchmark):
+    run_figure_bench(benchmark, "fig10")

@@ -1,0 +1,14 @@
+"""Figure 11: tuple-based prefix sums, 32-bit, Titan X.
+
+SAM's strided kernel vs CUB with a declared tuple data type; crossover ~5 elements.
+
+Regenerates the figure's throughput series from the performance model,
+prints the rows, writes ``results/fig11.txt``, and asserts the paper's
+textual claims about this figure.
+"""
+
+from conftest import run_figure_bench
+
+
+def test_fig11(benchmark):
+    run_figure_bench(benchmark, "fig11")

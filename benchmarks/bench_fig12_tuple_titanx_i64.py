@@ -1,0 +1,14 @@
+"""Figure 12: tuple-based prefix sums, 64-bit, Titan X.
+
+64-bit tuples; SAM's throughput is nearly flat across s = 2, 5, 8.
+
+Regenerates the figure's throughput series from the performance model,
+prints the rows, writes ``results/fig12.txt``, and asserts the paper's
+textual claims about this figure.
+"""
+
+from conftest import run_figure_bench
+
+
+def test_fig12(benchmark):
+    run_figure_bench(benchmark, "fig12")

@@ -1,0 +1,14 @@
+"""Figure 13: tuple-based prefix sums, 32-bit, K40.
+
+CUB wins 2- and 5-tuples on the K40; SAM wins 8-tuples.
+
+Regenerates the figure's throughput series from the performance model,
+prints the rows, writes ``results/fig13.txt``, and asserts the paper's
+textual claims about this figure.
+"""
+
+from conftest import run_figure_bench
+
+
+def test_fig13(benchmark):
+    run_figure_bench(benchmark, "fig13")

@@ -1,0 +1,14 @@
+"""Figure 14: tuple-based prefix sums, 64-bit, K40.
+
+64-bit: SAM already wins from 5-tuples on the K40.
+
+Regenerates the figure's throughput series from the performance model,
+prints the rows, writes ``results/fig14.txt``, and asserts the paper's
+textual claims about this figure.
+"""
+
+from conftest import run_figure_bench
+
+
+def test_fig14(benchmark):
+    run_figure_bench(benchmark, "fig14")

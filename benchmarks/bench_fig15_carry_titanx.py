@@ -1,0 +1,14 @@
+"""Figure 15: carry-propagation ablation, Titan X.
+
+SAM's write-then-independent-reads scheme vs the chained read-modify-write carry.
+
+Regenerates the figure's throughput series from the performance model,
+prints the rows, writes ``results/fig15.txt``, and asserts the paper's
+textual claims about this figure.
+"""
+
+from conftest import run_figure_bench
+
+
+def test_fig15(benchmark):
+    run_figure_bench(benchmark, "fig15")

@@ -1,0 +1,14 @@
+"""Figure 16: carry-propagation ablation, K40.
+
+the same ablation on the K40 (smaller gain: lower compute-to-memory-speed ratio).
+
+Regenerates the figure's throughput series from the performance model,
+prints the rows, writes ``results/fig16.txt``, and asserts the paper's
+textual claims about this figure.
+"""
+
+from conftest import run_figure_bench
+
+
+def test_fig16(benchmark):
+    run_figure_bench(benchmark, "fig16")

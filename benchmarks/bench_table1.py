@@ -1,0 +1,20 @@
+"""Table 1: hardware parameters and the architectural factor af.
+
+Regenerates the table from the GPU specs (af = m*b/(t*r), scaled by
+1000) and checks every value against the paper's published numbers.
+"""
+
+import pytest
+
+from conftest import write_artifact
+from repro.harness import format_table1, table1_rows
+
+
+def test_table1(benchmark):
+    rows = benchmark(table1_rows)
+    text = format_table1()
+    write_artifact("table1", text)
+    print()
+    print(text)
+    for row in rows:
+        assert row["af_x1000"] == pytest.approx(row["paper_af_x1000"], abs=0.02), row

@@ -1,0 +1,53 @@
+"""Shared machinery for the benchmark harness.
+
+Each ``bench_figXX_*.py`` regenerates one figure of the paper: it times
+the series generation, prints the figure's rows (run pytest with ``-s``
+to see them inline), writes the rendered table to
+``benchmarks/results/<fig>.txt``, and asserts every headline claim the
+paper's text makes about that figure.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.harness import (
+    HEADLINE_CHECKS,
+    format_figure,
+    generate_figure,
+)
+from repro.perf import PerformanceModel
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def write_artifact(name: str, text: str) -> pathlib.Path:
+    """Persist a rendered figure/table next to the benchmarks."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    return path
+
+
+def checks_for_figure(fig_id: str):
+    return [check for check in HEADLINE_CHECKS if check.figure == fig_id]
+
+
+def run_figure_bench(benchmark, fig_id: str):
+    """Time the figure regeneration, emit its rows, verify its claims."""
+    data = benchmark(generate_figure, fig_id)
+    text = format_figure(data)
+    write_artifact(fig_id, text)
+    print()
+    print(text)
+    model = PerformanceModel()
+    failures = []
+    for check in checks_for_figure(fig_id):
+        passed, measured = check.evaluate(model)
+        marker = "ok  " if passed else "FAIL"
+        print(f"  [{marker}] {check.check_id}: paper: {check.paper_claim}")
+        print(f"         model: {measured}")
+        if not passed:
+            failures.append((check.check_id, measured))
+    assert not failures, failures
+    return data

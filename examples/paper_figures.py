@@ -1,0 +1,47 @@
+"""Regenerate every table and figure of the paper's evaluation section.
+
+Prints Table 1 and all fourteen figures (3-16) as text tables from the
+calibrated performance model, followed by the paper's headline claims
+with the model's measured value for each.
+
+Run:  python examples/paper_figures.py            # everything
+      python examples/paper_figures.py fig07      # one figure
+"""
+
+import sys
+
+from repro.harness import (
+    FIGURES,
+    format_figure,
+    format_table1,
+    generate_figure,
+    render_sparklines,
+    run_headline_checks,
+)
+
+
+def main(argv):
+    wanted = argv[1:] or ["table1"] + sorted(FIGURES)
+    for target in wanted:
+        if target == "table1":
+            print(format_table1())
+        else:
+            data = generate_figure(target)
+            print(format_figure(data))
+            print()
+            print(render_sparklines(data))
+        print()
+
+    print("=" * 72)
+    print("headline claims (paper text vs model):")
+    shown = set(wanted)
+    for result in run_headline_checks():
+        if result["figure"] not in shown:
+            continue
+        status = "ok " if result["passed"] else "FAIL"
+        print(f"[{status}] {result['figure']}: {result['paper_claim']}")
+        print(f"       model: {result['measured']}")
+
+
+if __name__ == "__main__":
+    main(sys.argv)

@@ -1,0 +1,78 @@
+"""Tuple-based prefix sums on interleaved telemetry streams.
+
+Section 1: "data often appear in tuples ... values from the same
+location within the tuples correlate more with each other than values
+from different locations.  Effective delta encoders take this into
+account".
+
+This example builds an interleaved (x, y, altitude) GPS-like track,
+shows that the tuple-aware model compresses far better than the naive
+one (which mixes unrelated lanes), and decodes with SAM's strided
+tuple kernel on the simulated GPU.
+
+Run:  python examples/timeseries_tuples.py
+"""
+
+import numpy as np
+
+import repro
+from repro.compression import DeltaCodec
+from repro.core import SamScan
+from repro.gpusim import TITAN_X
+
+
+def synth_track(points=20_000, seed=11) -> np.ndarray:
+    """Interleaved (x, y, alt) samples of a smooth random walk."""
+    rng = np.random.default_rng(seed)
+    x = 500_000 + np.cumsum(rng.integers(-4, 5, points))       # UTM-ish metres
+    y = 4_000_000 + np.cumsum(rng.integers(-4, 5, points))
+    alt = 1200 + np.cumsum(rng.integers(-1, 2, points))
+    track = np.empty(points * 3, dtype=np.int64)
+    track[0::3], track[1::3], track[2::3] = x, y, alt
+    return track
+
+
+def main():
+    track = synth_track()
+    print(f"track: {track.size // 3:,} points, {track.nbytes:,} bytes raw")
+
+    # --- naive vs tuple-aware delta model ---------------------------
+    codec = DeltaCodec()
+    naive = codec.compress(track, order=1, tuple_size=1)
+    aware = codec.compress(track, order=1, tuple_size=3)
+    print(f"\nnaive model  (s=1): {naive.nbytes:,} bytes ({naive.ratio():.2f}x)")
+    print(f"tuple model  (s=3): {aware.nbytes:,} bytes ({aware.ratio():.2f}x)")
+    print(
+        "the naive model mixes x/y/alt lanes, so its residuals jump by "
+        "the inter-lane offsets every sample"
+    )
+
+    # --- tuple-based decode is s interleaved prefix sums ------------
+    engine = SamScan(
+        spec=TITAN_X, threads_per_block=128, items_per_thread=2, num_blocks=8
+    )
+    decoded = DeltaCodec(decode_engine=engine).decompress(aware)
+    assert np.array_equal(decoded, track)
+    print("\nSAM strided tuple decode on the simulator: exact")
+
+    # --- the strided kernel keeps its coalescing at any s ------------
+    for s in (1, 3, 8):
+        n = track.size - track.size % s
+        result = engine.run(track[:n], tuple_size=s)
+        txn = result.stats.global_read_transactions
+        print(
+            f"  tuple size {s}: {result.words_per_element():.2f} words/element, "
+            f"{txn} read transactions (data accesses stay fully coalesced; "
+            "the small growth is the s auxiliary sum buffers)"
+        )
+
+    # --- and the math composes with higher orders --------------------
+    combined = repro.prefix_sum(
+        repro.delta_encode(track, order=2, tuple_size=3), order=2, tuple_size=3
+    )
+    assert np.array_equal(combined, track)
+    print("\norder-2 x 3-tuple round trip (the combined generalization): exact")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""repro — reproduction of "Higher-Order and Tuple-Based
+Massively-Parallel Prefix Sums" (Maleki, Yang, Burtscher; PLDI 2016).
+
+Quickstart
+----------
+>>> import numpy as np, repro
+>>> a = np.array([1, 2, 3, 4, 5, 2, 4, 6, 8, 10], dtype=np.int32)
+>>> d = repro.delta_encode(a)                 # the paper's Section 1 example
+>>> d.tolist()
+[1, 1, 1, 1, 1, -3, 2, 2, 2, 2]
+>>> repro.prefix_sum(d).tolist()              # delta decoding == prefix sum
+[1, 2, 3, 4, 5, 2, 4, 6, 8, 10]
+
+The generalizations compose freely::
+
+    repro.prefix_sum(a, order=3, tuple_size=2)
+    repro.scan(a, op="max", inclusive=False)
+
+For the simulated-GPU engines (SAM, the baselines, traffic counters)::
+
+    from repro.core import SamScan
+    from repro.gpusim import TITAN_X
+    result = SamScan(spec=TITAN_X).run(a, order=2)
+    result.values, result.stats.global_words_total
+"""
+
+from repro.api import (
+    delta_decode,
+    delta_encode,
+    prefix_sum,
+    scan,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "delta_decode",
+    "delta_encode",
+    "prefix_sum",
+    "scan",
+    "__version__",
+]

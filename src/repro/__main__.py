@@ -1,0 +1,165 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``compress <in> <out>``
+    Delta-compress a raw binary file of integers (``--dtype``,
+    ``--order`` auto-selected when omitted, ``--tuple-size``).
+``decompress <in> <out>``
+    Invert ``compress`` (the decode *is* the generalized prefix sum).
+``figures [fig03 ...]``
+    Print the paper's figures as text tables (default: all).
+``table1``
+    Print Table 1.
+``checks``
+    Run every headline claim against the performance model.
+``traffic``
+    Measure the 2n/3n/4n traffic coefficients on the simulator.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_compress(args) -> int:
+    from repro.compression import DeltaCodec
+
+    values = np.fromfile(args.input, dtype=np.dtype(args.dtype))
+    codec = DeltaCodec()
+    order = None if args.order == 0 else args.order
+    blob = codec.compress(values, order=order, tuple_size=args.tuple_size)
+    with open(args.output, "wb") as fh:
+        fh.write(blob.data)
+    print(
+        f"{args.input}: {values.nbytes:,} bytes -> {blob.nbytes:,} bytes "
+        f"(ratio {blob.ratio():.2f}x, order {blob.order}, "
+        f"tuple size {blob.tuple_size})"
+    )
+    return 0
+
+
+def _cmd_decompress(args) -> int:
+    from repro.compression import DeltaCodec
+
+    with open(args.input, "rb") as fh:
+        data = fh.read()
+    codec = DeltaCodec()
+    values = codec.decompress(data)
+    values.tofile(args.output)
+    print(f"{args.input}: decoded {len(values):,} x {values.dtype} -> {args.output}")
+    return 0
+
+
+def _cmd_figures(args) -> int:
+    from repro.harness import (
+        FIGURES,
+        format_figure,
+        generate_figure,
+        render_sparklines,
+    )
+
+    targets = args.figure or sorted(FIGURES)
+    for fig_id in targets:
+        data = generate_figure(fig_id)
+        print(format_figure(data))
+        print()
+        print(render_sparklines(data))
+        print()
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    from repro.harness import format_table1
+
+    print(format_table1())
+    return 0
+
+
+def _cmd_checks(args) -> int:
+    from repro.harness import run_headline_checks
+
+    results = run_headline_checks()
+    failed = 0
+    for result in results:
+        status = "ok " if result["passed"] else "FAIL"
+        if not result["passed"]:
+            failed += 1
+        print(f"[{status}] {result['figure']}: {result['paper_claim']}")
+        print(f"       model: {result['measured']}")
+    print(f"\n{len(results) - failed}/{len(results)} checks pass")
+    return 1 if failed else 0
+
+
+def _cmd_traffic(args) -> int:
+    from repro.baselines import (
+        DecoupledLookbackScan,
+        ReduceThenScan,
+        ThreePhaseScan,
+    )
+    from repro.core import SamScan
+    from repro.gpusim import TITAN_X
+
+    values = np.random.default_rng(0).integers(-1000, 1000, args.n).astype(np.int32)
+    kw = dict(threads_per_block=128, items_per_thread=2)
+    engines = [
+        ("sam", SamScan(spec=TITAN_X, num_blocks=8, **kw)),
+        ("cub", DecoupledLookbackScan(spec=TITAN_X, **kw)),
+        ("mgpu", ReduceThenScan(spec=TITAN_X, **kw)),
+        ("thrust", ThreePhaseScan(spec=TITAN_X, **kw)),
+    ]
+    print(f"simulator-measured global words per element, n = {args.n:,}:")
+    for name, engine in engines:
+        result = engine.run(values, order=args.order)
+        print(f"  {name:>7} (order {args.order}): {result.words_per_element():.2f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Higher-order and tuple-based prefix sums (PLDI'16 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compress", help="delta-compress a raw integer file")
+    p.add_argument("input")
+    p.add_argument("output")
+    p.add_argument("--dtype", default="int32", choices=["int32", "int64"])
+    p.add_argument("--order", type=int, default=0, help="0 = auto-select")
+    p.add_argument("--tuple-size", type=int, default=1)
+    p.set_defaults(fn=_cmd_compress)
+
+    p = sub.add_parser("decompress", help="invert compress")
+    p.add_argument("input")
+    p.add_argument("output")
+    p.set_defaults(fn=_cmd_decompress)
+
+    p = sub.add_parser("figures", help="print the paper's figures")
+    p.add_argument("figure", nargs="*", help="e.g. fig03 (default: all)")
+    p.set_defaults(fn=_cmd_figures)
+
+    p = sub.add_parser("table1", help="print Table 1")
+    p.set_defaults(fn=_cmd_table1)
+
+    p = sub.add_parser("checks", help="run the headline-claim checks")
+    p.set_defaults(fn=_cmd_checks)
+
+    p = sub.add_parser("traffic", help="measure traffic coefficients")
+    p.add_argument("--n", type=int, default=32768)
+    p.add_argument("--order", type=int, default=1)
+    p.set_defaults(fn=_cmd_traffic)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

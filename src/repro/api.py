@@ -1,0 +1,94 @@
+"""The top-level user API.
+
+Thin, validated wrappers over the fast host engine
+(:mod:`repro.core.host`).  Every scan-shaped function accepts an
+optional ``engine`` — any object with
+``run(values, order=..., tuple_size=..., op=..., inclusive=...)`` such
+as :class:`repro.core.SamScan` or a baseline — to route the computation
+through a simulated-GPU engine instead (bit-identical results, plus
+measured traffic on the returned arrays' engine result).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.host import (
+    host_delta_decode,
+    host_delta_encode,
+    host_prefix_sum,
+    host_scan,
+)
+from repro.ops import ADD, get_op
+
+
+def prefix_sum(
+    values,
+    order: int = 1,
+    tuple_size: int = 1,
+    inclusive: bool = True,
+    engine=None,
+) -> np.ndarray:
+    """Generalized prefix sum (order-``q``, tuple-``s``).
+
+    ``order=1, tuple_size=1`` is the conventional prefix sum; higher
+    orders decode higher-order difference sequences; tuple sizes > 1
+    compute ``s`` interleaved independent prefix sums.
+
+    >>> import numpy as np
+    >>> prefix_sum(np.array([1, 1, 1, 1], dtype=np.int32)).tolist()
+    [1, 2, 3, 4]
+    >>> prefix_sum(np.array([1, 1, 1, 1], dtype=np.int32), order=2).tolist()
+    [1, 3, 6, 10]
+    >>> prefix_sum(np.array([1, 10, 1, 10], dtype=np.int32), tuple_size=2).tolist()
+    [1, 10, 2, 20]
+    """
+    if engine is not None:
+        return engine.run(
+            values, order=order, tuple_size=tuple_size, op=ADD, inclusive=inclusive
+        ).values
+    return host_prefix_sum(
+        values, order=order, tuple_size=tuple_size, op=ADD, inclusive=inclusive
+    )
+
+
+def scan(
+    values,
+    op="add",
+    tuple_size: int = 1,
+    inclusive: bool = True,
+    engine=None,
+) -> np.ndarray:
+    """Generalized prefix scan with an arbitrary associative operator.
+
+    ``op`` is a built-in name (``add``, ``max``, ``min``, ``xor``,
+    ``and``, ``or``, ``mul``) or a :class:`repro.ops.AssociativeOp`.
+
+    >>> import numpy as np
+    >>> scan(np.array([3, 1, 4, 1, 5], dtype=np.int32), op="max").tolist()
+    [3, 3, 4, 4, 5]
+    """
+    if engine is not None:
+        return engine.run(
+            values, tuple_size=tuple_size, op=get_op(op), inclusive=inclusive
+        ).values
+    return host_scan(values, op=op, tuple_size=tuple_size, inclusive=inclusive)
+
+
+def delta_encode(values, order: int = 1, tuple_size: int = 1) -> np.ndarray:
+    """Order-``q``, tuple-``s`` delta encoding (difference sequence).
+
+    The paper's motivating data model: replaces each value with its
+    difference from the lane predecessor, ``order`` times.  Exactly
+    inverted by :func:`delta_decode` under wraparound arithmetic.
+    (Encoding is embarrassingly parallel — there is nothing for a scan
+    engine to do, so no ``engine`` parameter here.)
+    """
+    return host_delta_encode(values, order=order, tuple_size=tuple_size)
+
+
+def delta_decode(deltas, order: int = 1, tuple_size: int = 1, engine=None) -> np.ndarray:
+    """Decode a difference sequence — i.e. the generalized prefix sum."""
+    if engine is not None:
+        return engine.run(deltas, order=order, tuple_size=tuple_size).values
+    return host_delta_decode(deltas, order=order, tuple_size=tuple_size)

@@ -1,0 +1,81 @@
+"""Applications built on the generalized prefix sums.
+
+Section 1 of the paper lists the classic scan applications — "radix
+sort, quicksort, lexical analysis, polynomial evaluation, stream
+compaction, histograms, and string comparison" — and Section 3 connects
+higher-order prefix sums to linear recursive filters.  This package
+implements those applications on top of the library's scan primitives,
+both as working tools and as integration tests of the scan engines:
+
+* :mod:`repro.apps.segmented` — segmented scans (restart at segment
+  heads), with a fast subtraction trick for invertible operators and
+  the generic lifted-operator path that runs on any engine.
+* :mod:`repro.apps.compaction` — stream compaction / filtering via
+  exclusive prefix sums.
+* :mod:`repro.apps.rle` — run-length encoding and decoding, both
+  expressed entirely in scans.
+* :mod:`repro.apps.radix_sort` — LSD radix sort driven by histogram +
+  exclusive scan per digit.
+* :mod:`repro.apps.recurrence` — first-order linear recurrences
+  ``y[i] = a[i]*y[i-1] + b[i]`` via scans over the affine-composition
+  monoid (the "linear recursive filter" view of Section 3), plus
+  polynomial evaluation (Horner) as a special case.
+* :mod:`repro.apps.fsm` — parallel finite-state-machine execution via
+  scans over the function-composition monoid (Ladner & Fischer [17]),
+  with a toy parallel lexer on top.
+* :mod:`repro.apps.quicksort` — Blelloch's segmented-scan quicksort:
+  every partition level runs simultaneously over one flat array.
+* :mod:`repro.apps.spmv` — CSR sparse matrix-vector products as
+  segmented sums.
+* :mod:`repro.apps.histogram` — histograms (and CDF equalization) via
+  sort + run boundaries; no atomics.
+* :mod:`repro.apps.strings` — string comparison / LCP via scans.
+* :mod:`repro.apps.sat` — summed-area tables: the column pass is a
+  tuple-based prefix sum of the row-major buffer (no transpose), a
+  direct use of the paper's tuple generalization.
+"""
+
+from repro.apps.compaction import compact_indices, stream_compact
+from repro.apps.fsm import FsmScanner, parallel_fsm_run, simple_lexer
+from repro.apps.histogram import histogram, histogram_equalization_map
+from repro.apps.quicksort import quicksort
+from repro.apps.radix_sort import radix_sort, radix_sort_with_indices
+from repro.apps.recurrence import (
+    linear_recurrence,
+    polynomial_evaluate_prefixes,
+)
+from repro.apps.rle import rle_decode, rle_encode
+from repro.apps.sat import box_sum, summed_area_table
+from repro.apps.segmented import segment_flags_from_lengths, segmented_scan
+from repro.apps.spmv import CsrMatrix, spmv
+from repro.apps.strings import (
+    first_mismatch,
+    longest_common_prefix_lengths,
+    string_compare,
+)
+
+__all__ = [
+    "CsrMatrix",
+    "FsmScanner",
+    "box_sum",
+    "compact_indices",
+    "first_mismatch",
+    "histogram",
+    "histogram_equalization_map",
+    "linear_recurrence",
+    "longest_common_prefix_lengths",
+    "parallel_fsm_run",
+    "polynomial_evaluate_prefixes",
+    "quicksort",
+    "radix_sort",
+    "radix_sort_with_indices",
+    "rle_decode",
+    "rle_encode",
+    "segment_flags_from_lengths",
+    "segmented_scan",
+    "simple_lexer",
+    "spmv",
+    "stream_compact",
+    "string_compare",
+    "summed_area_table",
+]

@@ -1,0 +1,55 @@
+"""Stream compaction via exclusive prefix sums.
+
+The canonical scan application (Blelloch [2]; the earliest GPU scans
+were written exactly for "non-uniform stream compaction" [15]): given a
+keep-mask, every kept element's output position is the exclusive prefix
+sum of the mask.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.host import host_scan
+
+
+def compact_indices(mask) -> np.ndarray:
+    """Output position for every input element (valid where kept).
+
+    The returned array holds, at each kept position, the index the
+    element lands at after compaction — i.e. the exclusive prefix sum
+    of the mask.
+    """
+    mask = np.asarray(mask).astype(bool)
+    if mask.ndim != 1:
+        raise ValueError("mask must be 1-D")
+    return host_scan(mask.astype(np.int64), inclusive=False)
+
+
+def stream_compact(values, mask, engine=None):
+    """Keep ``values[mask]``, preserving order, via prefix sums.
+
+    ``engine`` optionally routes the scan through a simulated-GPU
+    engine (the scatter itself is a host gather either way).
+
+    >>> import numpy as np
+    >>> stream_compact(np.array([5, 6, 7, 8]), np.array([1, 0, 0, 1], bool)).tolist()
+    [5, 8]
+    """
+    values = np.asarray(values)
+    mask = np.asarray(mask).astype(bool)
+    if values.ndim != 1 or mask.shape != values.shape:
+        raise ValueError("values and mask must be aligned 1-D arrays")
+    if values.size == 0:
+        return values.copy()
+    flags = mask.astype(np.int64)
+    if engine is None:
+        positions = host_scan(flags, inclusive=False)
+        total = int(positions[-1] + flags[-1])
+    else:
+        result = engine.run(flags, inclusive=False)
+        positions = result.values
+        total = int(positions[-1] + flags[-1])
+    out = np.empty(total, dtype=values.dtype)
+    out[positions[mask]] = values[mask]
+    return out

@@ -1,0 +1,56 @@
+"""Histograms via sort + run boundaries (the scan formulation).
+
+Histograms are on the paper's §1 application list.  The scan-friendly
+formulation sorts the keys (radix sort — itself scans), finds run
+boundaries, and differences the boundary positions; no atomics needed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.radix_sort import radix_sort
+from repro.apps.rle import rle_encode
+
+
+def histogram(values, num_bins: int) -> np.ndarray:
+    """Counts of integer values in ``[0, num_bins)``.
+
+    >>> import numpy as np
+    >>> histogram(np.array([1, 1, 3, 0, 1], dtype=np.int32), 4).tolist()
+    [1, 3, 0, 1]
+    """
+    values = np.asarray(values)
+    if values.ndim != 1:
+        raise ValueError("values must be 1-D")
+    if num_bins < 1:
+        raise ValueError("num_bins must be >= 1")
+    if values.size and (values.min() < 0 or values.max() >= num_bins):
+        raise ValueError(f"values must lie in [0, {num_bins})")
+    counts = np.zeros(num_bins, dtype=np.int64)
+    if values.size == 0:
+        return counts
+    sorted_values = radix_sort(values.astype(np.int64))
+    run_values, run_lengths = rle_encode(sorted_values)
+    counts[run_values] = run_lengths
+    return counts
+
+
+def histogram_equalization_map(values, num_bins: int) -> np.ndarray:
+    """CDF-based remap table (the classic image-processing use).
+
+    The cumulative distribution is, of course, a prefix sum of the
+    histogram; returns the bin -> equalized-bin table.
+    """
+    from repro.core.host import host_scan
+
+    counts = histogram(values, num_bins)
+    total = counts.sum()
+    if total == 0:
+        return np.arange(num_bins, dtype=np.int64)
+    cdf = host_scan(counts)
+    # Standard equalization: scale the CDF to the bin range.
+    cdf_min = cdf[np.argmax(counts > 0)]
+    denominator = max(1, int(total - cdf_min))
+    remap = (cdf - cdf_min) * (num_bins - 1) // denominator
+    return np.clip(remap, 0, num_bins - 1)

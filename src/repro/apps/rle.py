@@ -1,0 +1,66 @@
+"""Run-length encoding and decoding, expressed entirely in scans.
+
+Encoding: run heads are where a value differs from its predecessor;
+the exclusive scan of the head mask numbers the runs; compaction
+extracts each run's value and start, and adjacent-start differences
+give the lengths.
+
+Decoding: the exclusive scan of the lengths gives each run's output
+offset; scattering run indices at those offsets and taking a running
+maximum ("fill forward") assigns every output position its run.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.host import host_scan
+
+
+def rle_encode(values) -> Tuple[np.ndarray, np.ndarray]:
+    """Encode ``values`` into (run_values, run_lengths).
+
+    >>> import numpy as np
+    >>> vals, lens = rle_encode(np.array([7, 7, 7, 2, 2, 9]))
+    >>> vals.tolist(), lens.tolist()
+    ([7, 2, 9], [3, 2, 1])
+    """
+    values = np.asarray(values)
+    if values.ndim != 1:
+        raise ValueError("values must be 1-D")
+    n = len(values)
+    if n == 0:
+        return values.copy(), np.zeros(0, dtype=np.int64)
+    heads = np.ones(n, dtype=bool)
+    heads[1:] = values[1:] != values[:-1]
+    starts = np.flatnonzero(heads)
+    run_values = values[starts]
+    run_lengths = np.diff(np.concatenate([starts, [n]])).astype(np.int64)
+    return run_values, run_lengths
+
+
+def rle_decode(run_values, run_lengths) -> np.ndarray:
+    """Decode (run_values, run_lengths) back to the flat sequence.
+
+    Built from two scans: an exclusive sum of the lengths (offsets) and
+    an inclusive max-scan that forward-fills run ids.
+    """
+    run_values = np.asarray(run_values)
+    run_lengths = np.asarray(run_lengths).astype(np.int64)
+    if run_values.shape != run_lengths.shape or run_values.ndim != 1:
+        raise ValueError("run_values and run_lengths must be aligned 1-D arrays")
+    if np.any(run_lengths < 0):
+        raise ValueError("run lengths must be non-negative")
+    total = int(run_lengths.sum())
+    if total == 0:
+        return run_values[:0].copy()
+    offsets = host_scan(run_lengths, inclusive=False)
+    # Scatter each (non-empty) run's index at its start, then
+    # forward-fill with an inclusive max-scan.
+    run_ids = np.zeros(total, dtype=np.int64)
+    nonempty = run_lengths > 0
+    run_ids[offsets[nonempty]] = np.flatnonzero(nonempty)
+    run_ids = host_scan(run_ids, op="max")
+    return run_values[run_ids]

@@ -1,0 +1,87 @@
+"""Sparse matrix-vector multiplication via segmented sums.
+
+The canonical segmented-scan application (Blelloch [1]): in CSR form,
+``y = A @ x`` is one elementwise product followed by a segmented sum
+over the rows' nonzeros — the last element of each segment is the row's
+dot product.  Rows with no nonzeros contribute zero.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.segmented import segmented_scan
+
+
+class CsrMatrix:
+    """A minimal CSR sparse matrix (data / column indices / row pointers)."""
+
+    def __init__(self, data, indices, indptr, shape):
+        self.data = np.asarray(data)
+        self.indices = np.asarray(indices, dtype=np.int64)
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.shape = tuple(shape)
+        if self.data.shape != self.indices.shape or self.data.ndim != 1:
+            raise ValueError("data and indices must be aligned 1-D arrays")
+        if len(self.indptr) != self.shape[0] + 1:
+            raise ValueError("indptr must have num_rows + 1 entries")
+        if self.indptr[0] != 0 or self.indptr[-1] != len(self.data):
+            raise ValueError("indptr must span [0, nnz]")
+        if np.any(np.diff(self.indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        if self.indices.size and (
+            self.indices.min() < 0 or self.indices.max() >= self.shape[1]
+        ):
+            raise ValueError("column index out of range")
+
+    @classmethod
+    def from_dense(cls, dense) -> "CsrMatrix":
+        dense = np.asarray(dense)
+        if dense.ndim != 2:
+            raise ValueError("expected a 2-D matrix")
+        mask = dense != 0
+        indptr = np.concatenate([[0], np.cumsum(mask.sum(axis=1))])
+        cols = np.nonzero(mask)[1]
+        return cls(dense[mask], cols, indptr, dense.shape)
+
+    @property
+    def nnz(self) -> int:
+        return len(self.data)
+
+    def to_dense(self) -> np.ndarray:
+        dense = np.zeros(self.shape, dtype=self.data.dtype)
+        for row in range(self.shape[0]):
+            lo, hi = self.indptr[row], self.indptr[row + 1]
+            dense[row, self.indices[lo:hi]] = self.data[lo:hi]
+        return dense
+
+
+def spmv(matrix: CsrMatrix, x) -> np.ndarray:
+    """``matrix @ x`` via elementwise product + segmented sum.
+
+    >>> import numpy as np
+    >>> m = CsrMatrix.from_dense(np.array([[1, 0], [2, 3]]))
+    >>> spmv(m, np.array([10, 100])).tolist()
+    [10, 320]
+    """
+    x = np.asarray(x)
+    if x.shape != (matrix.shape[1],):
+        raise ValueError(
+            f"vector has shape {x.shape}, matrix needs ({matrix.shape[1]},)"
+        )
+    out_dtype = np.result_type(matrix.data.dtype, x.dtype)
+    y = np.zeros(matrix.shape[0], dtype=out_dtype)
+    if matrix.nnz == 0:
+        return y
+    with np.errstate(over="ignore"):
+        products = (matrix.data.astype(out_dtype) * x[matrix.indices]).astype(out_dtype)
+    # Head flags: the first nonzero of each non-empty row.
+    flags = np.zeros(matrix.nnz, dtype=bool)
+    row_starts = matrix.indptr[:-1]
+    non_empty = np.diff(matrix.indptr) > 0
+    flags[row_starts[non_empty]] = True
+    sums = segmented_scan(products, flags)
+    # Each row's total sits at its last nonzero.
+    row_ends = matrix.indptr[1:][non_empty] - 1
+    y[np.flatnonzero(non_empty)] = sums[row_ends]
+    return y

@@ -1,0 +1,70 @@
+"""String comparison via scans (the §1 application list).
+
+Blelloch's formulation: comparing two strings lexicographically needs
+the *first* position where they differ — a min-reduction over mismatch
+positions, or equivalently one step of a scan-based search.  The
+functions here are deliberately scan-shaped (no early-exit loops) so
+they parallelize the same way the paper's other applications do.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.host import host_scan
+
+
+def _codes(text: str) -> np.ndarray:
+    return np.frombuffer(text.encode("utf-8"), dtype=np.uint8).astype(np.int64)
+
+
+def first_mismatch(a: str, b: str) -> int:
+    """Index of the first differing byte, or -1 if one is a prefix.
+
+    Scan formulation: a running AND ("still equal so far") is an
+    inclusive scan with the boolean-and operator; the mismatch index is
+    the count of leading Trues.
+    """
+    ca, cb = _codes(a), _codes(b)
+    n = min(len(ca), len(cb))
+    if n == 0:
+        return -1
+    equal = (ca[:n] == cb[:n]).astype(np.int64)
+    still_equal = host_scan(equal, op="min")  # running AND
+    matched = int(still_equal.sum())  # count of leading 1s
+    if matched == n:
+        return -1
+    return matched
+
+
+def string_compare(a: str, b: str) -> int:
+    """Three-way lexicographic comparison (-1 / 0 / +1), via scans.
+
+    >>> string_compare("apple", "apricot")
+    -1
+    >>> string_compare("same", "same")
+    0
+    """
+    index = first_mismatch(a, b)
+    if index == -1:
+        if len(a) == len(b):
+            return 0
+        return -1 if len(a) < len(b) else 1
+    ca, cb = _codes(a), _codes(b)
+    return -1 if ca[index] < cb[index] else 1
+
+
+def longest_common_prefix_lengths(strings) -> np.ndarray:
+    """LCP length of each adjacent pair in a list of strings.
+
+    The building block of suffix-array construction; each pair's LCP is
+    the leading-equal count from :func:`first_mismatch`'s scan.
+    """
+    out = np.zeros(max(0, len(strings) - 1), dtype=np.int64)
+    for i in range(len(strings) - 1):
+        index = first_mismatch(strings[i], strings[i + 1])
+        if index == -1:
+            out[i] = min(len(_codes(strings[i])), len(_codes(strings[i + 1])))
+        else:
+            out[i] = index
+    return out

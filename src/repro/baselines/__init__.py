@@ -1,0 +1,41 @@
+"""Baseline scan implementations the paper compares against.
+
+Each baseline implements, on the same GPU simulator as SAM, the
+documented *strategy* of one of the libraries in Sections 2.1 / 3.1:
+
+* :class:`ThreePhaseScan` — the classic scan-then-propagate hierarchy
+  used by Thrust and CUDPP: separate kernels per phase, every element
+  read and written twice → ``4n`` global traffic.
+* :class:`ReduceThenScan` — MGPU's strategy: a read-only reduction
+  pass, then a scan pass → ``3n`` global traffic.
+* :class:`DecoupledLookbackScan` — CUB's single-pass strategy: tile
+  status flags (aggregate-available / prefix-available) with
+  opportunistic short-circuiting → ``2n`` traffic but ``O(n)``
+  auxiliary memory and, on real hardware, a run-to-run timing
+  dependence (Section 3.1).  Supports tuples via a tuple *data type*
+  (whole tuples per thread — degrading coalescing and register usage
+  exactly as Section 2.3 describes) and higher orders by iterating the
+  full scan (``2qn`` traffic).
+* :class:`ReorderScanEngine` — the reorder / scan / undo-reorder
+  formulation of tuple scans (Section 2.3's strawman), an ablation
+  baseline.
+
+All engines return results with ``.values`` (bit-identical to the
+serial reference) and ``.stats`` (measured traffic).
+"""
+
+from repro.baselines.common import BaselineResult
+from repro.baselines.lookback import DecoupledLookbackScan
+from repro.baselines.reduce_scan import ReduceThenScan
+from repro.baselines.reorder import ReorderScanEngine
+from repro.baselines.streamscan import StreamScan
+from repro.baselines.three_phase import ThreePhaseScan
+
+__all__ = [
+    "BaselineResult",
+    "DecoupledLookbackScan",
+    "ReduceThenScan",
+    "ReorderScanEngine",
+    "StreamScan",
+    "ThreePhaseScan",
+]

@@ -1,0 +1,57 @@
+"""Shared machinery for the baseline scan engines."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gpusim.counters import TrafficStats
+from repro.ops import AssociativeOp
+
+
+@dataclass
+class BaselineResult:
+    """Result of one baseline engine run (mirrors ``SamResult``)."""
+
+    values: np.ndarray
+    stats: TrafficStats
+    num_chunks: int
+    engine: str
+    order: int
+    tuple_size: int
+    op_name: str
+    inclusive: bool
+    l2: object = None  # the L2Cache model when one was attached
+
+    def words_per_element(self) -> float:
+        """Global words moved per input element (compare vs 2/3/4...)."""
+        return self.stats.words_per_element(max(1, len(self.values)))
+
+
+def chunk_count(n: int, chunk_elements: int) -> int:
+    return math.ceil(n / chunk_elements)
+
+
+def chunk_bounds(chunk: int, chunk_elements: int, n: int):
+    """(start, count) of a chunk, truncating the final one."""
+    start = chunk * chunk_elements
+    return start, min(chunk_elements, n - start)
+
+
+def exclusive_shift_lanes(
+    scanned: np.ndarray,
+    offset: int,
+    tuple_size: int,
+    op: AssociativeOp,
+    carries: np.ndarray,
+) -> np.ndarray:
+    """Carry-corrected exclusive output from a lane-local inclusive scan.
+
+    Same math as :func:`repro.core.localscan.strided_exclusive_from_inclusive`;
+    re-exported here so baselines need not import SAM internals.
+    """
+    from repro.core.localscan import strided_exclusive_from_inclusive
+
+    return strided_exclusive_from_inclusive(scanned, offset, tuple_size, op, carries)

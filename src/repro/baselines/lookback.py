@@ -1,0 +1,288 @@
+"""Single-pass scan with decoupled look-back (the CUB strategy).
+
+Section 3.1: CUB "incorporates a work-efficient, single-pass method
+with 2n data movement ... a variable look-back strategy for propagating
+the carries ... includes an opportunistic short-circuit in the event
+that the full carry is already available."
+
+Protocol per tile (Merrill & Garland's decoupled look-back):
+
+* publish the tile's *aggregate* with status ``A`` as soon as it is
+  computed (tile 0 publishes its *inclusive prefix* with status ``P``
+  directly);
+* walk predecessors backwards, folding in aggregates, until a tile with
+  status ``P`` is found — that tile's inclusive prefix short-circuits
+  the walk;
+* publish the own inclusive prefix with status ``P``; correct and
+  store the tile.
+
+Contrasts with SAM that the paper calls out, reproduced here:
+
+* auxiliary arrays are ``O(n)`` (one status/aggregate/prefix entry per
+  tile) versus SAM's ``O(1)`` circular buffers;
+* CUB "laggardly pulls the running carry along" — the walk length
+  depends on timing, so on real hardware the combine order can differ
+  run to run for pseudo-associative operators (our simulator is
+  deterministic for a fixed schedule policy, but different policies do
+  produce different walk lengths — observable in the poll counters);
+* higher orders must iterate the *entire* scan: ``q`` launches and
+  ``2qn`` traffic (versus SAM's ``2n``);
+* tuples are handled via a tuple *data type*: each thread processes
+  whole tuples, so per-element loads are strided (coalescing degrades
+  with ``s``, measured by the transaction counters) and per-thread
+  register demand scales with ``s`` (modeled by shrinking the tuples
+  per thread so the register budget stays fixed).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.common import BaselineResult, chunk_bounds, chunk_count
+from repro.core.localscan import (
+    apply_lane_carries,
+    strided_exclusive_from_inclusive,
+    strided_inclusive_scan,
+)
+from repro.core.tuning import tune_items_per_thread
+from repro.gpusim.kernel import launch_kernel
+from repro.gpusim.cache import L2Cache
+from repro.gpusim.memory import GlobalMemory
+from repro.gpusim.spec import TITAN_X, GPUSpec
+from repro.ops import ADD, get_op
+
+#: Tile status codes (Merrill & Garland).
+STATUS_INVALID = 0   # "X": nothing published yet
+STATUS_AGGREGATE = 1  # "A": tile aggregate available
+STATUS_PREFIX = 2    # "P": tile inclusive prefix available
+
+
+class DecoupledLookbackScan:
+    """CUB-style single-pass scan engine (2n traffic, O(n) aux memory)."""
+
+    name = "decoupled_lookback"
+
+    def __init__(
+        self,
+        spec: GPUSpec = TITAN_X,
+        threads_per_block: Optional[int] = None,
+        items_per_thread: Optional[int] = None,
+        policy="round_robin",
+        l2_bytes: Optional[int] = None,
+    ):
+        self.spec = spec
+        self.threads_per_block = threads_per_block or spec.threads_per_block
+        self.items_per_thread = items_per_thread
+        self.policy = policy
+        self.l2_bytes = l2_bytes
+        self._alloc_id = 0
+
+    def _fresh_name(self, label: str) -> str:
+        self._alloc_id += 1
+        return f"lb_{label}_{self._alloc_id}"
+
+    # -- public API ------------------------------------------------------
+
+    def run(
+        self,
+        values,
+        order: int = 1,
+        tuple_size: int = 1,
+        op=ADD,
+        inclusive: bool = True,
+    ) -> BaselineResult:
+        op = get_op(op)
+        array = np.asarray(values)
+        if array.ndim != 1:
+            raise ValueError(f"expected a 1-D input, got shape {array.shape}")
+        if order < 1 or tuple_size < 1:
+            raise ValueError("order and tuple_size must be >= 1")
+        if tuple_size > 1 and len(array) % tuple_size != 0:
+            raise ValueError(
+                "the tuple-data-type formulation needs the input size to be "
+                f"a multiple of the tuple size ({len(array)} % {tuple_size} != 0)"
+            )
+        dtype = op.check_dtype(array.dtype)
+        array = array.astype(dtype, copy=False)
+
+        l2 = L2Cache(self.l2_bytes) if self.l2_bytes else None
+        gmem = GlobalMemory(l2=l2)
+        if len(array) == 0:
+            return self._result(array.copy(), gmem, 0, order, tuple_size, op, inclusive)
+
+        ping = gmem.alloc_like(self._fresh_name("buf"), array)
+        pong = gmem.alloc(self._fresh_name("buf"), len(array), dtype)
+        src, dst = ping, pong
+        num_tiles = 0
+        # Higher orders iterate the whole single-pass scan: q launches,
+        # 2qn traffic (the contrast with SAM's iterated computation stage).
+        for iteration in range(order):
+            last = iteration == order - 1
+            num_tiles = self._scan_pass(
+                gmem, src, dst, tuple_size, op, inclusive or not last
+            )
+            src, dst = dst, src
+        return self._result(
+            src.data.copy(), gmem, num_tiles, order, tuple_size, op, inclusive
+        )
+
+    # -- internals ---------------------------------------------------------
+
+    def _tile_geometry(self, n: int, tuple_size: int):
+        """(tile_elements, tuples_per_thread) for this problem size.
+
+        The per-thread register budget is ``v`` words; with the tuple
+        data type each thread holds whole ``s``-word tuples, so it gets
+        ``max(1, v // s)`` of them — the register-pressure model.
+        """
+        v = self.items_per_thread or tune_items_per_thread(
+            n, self.spec, self.threads_per_block
+        )
+        if tuple_size == 1:
+            return self.threads_per_block * v, v
+        tuples_per_thread = max(1, v // tuple_size)
+        return self.threads_per_block * tuples_per_thread * tuple_size, tuples_per_thread
+
+    def _poll_status(self, gmem, status, tile: int) -> int:
+        value = int(gmem.load(status, np.asarray([tile]))[0])
+        gmem.stats.flag_polls += 1
+        if value == STATUS_INVALID:
+            gmem.stats.failed_flag_polls += 1
+        return value
+
+    def _load_tile(self, gmem, src, start, count, tuple_size, per_thread):
+        """Load one tile with the engine's access pattern.
+
+        ``tuple_size == 1``: striped arrangement — consecutive threads
+        load consecutive elements; fully coalesced rows.
+
+        ``tuple_size > 1``: blocked tuple arrangement — thread ``i``
+        loads tuples ``[i*pt, (i+1)*pt)`` one element at a time, so each
+        warp access strides ``pt * s`` words; the transaction counters
+        record the degraded coalescing.
+        """
+        if tuple_size == 1:
+            return gmem.load(src, start + np.arange(count))
+        t = self.threads_per_block
+        data = np.zeros(count, dtype=src.data.dtype)
+        thread_ids = np.arange(t)
+        for u in range(per_thread):
+            for j in range(tuple_size):
+                offsets = (thread_ids * per_thread + u) * tuple_size + j
+                mask = offsets < count
+                if not mask.any():
+                    continue
+                loaded = gmem.load(src, start + offsets, mask=mask)
+                data[offsets[mask]] = loaded[mask]
+        return data
+
+    def _store_tile(self, gmem, dst, start, values, tuple_size, per_thread):
+        """Store one tile with the same arrangement as the load."""
+        count = len(values)
+        if tuple_size == 1:
+            gmem.store(dst, start + np.arange(count), values)
+            return
+        t = self.threads_per_block
+        thread_ids = np.arange(t)
+        for u in range(per_thread):
+            for j in range(tuple_size):
+                offsets = (thread_ids * per_thread + u) * tuple_size + j
+                mask = offsets < count
+                if not mask.any():
+                    continue
+                gmem.store(dst, start + offsets, values[np.minimum(offsets, count - 1)], mask=mask)
+
+    def _scan_pass(self, gmem, src, dst, tuple_size, op, inclusive) -> int:
+        n = len(src.data)
+        tile_elements, per_thread = self._tile_geometry(n, tuple_size)
+        num_tiles = chunk_count(n, tile_elements)
+        dtype = src.data.dtype
+        identity = op.identity(dtype)
+
+        status = gmem.alloc(
+            self._fresh_name("status"), num_tiles, np.int64, fill=STATUS_INVALID
+        )
+        aggregates = gmem.alloc(
+            self._fresh_name("agg"), num_tiles * tuple_size, dtype
+        )
+        prefixes = gmem.alloc(
+            self._fresh_name("prefix"), num_tiles * tuple_size, dtype
+        )
+
+        def kernel(ctx):
+            for tile in range(ctx.block_id, num_tiles, ctx.num_blocks):
+                start, count = chunk_bounds(tile, tile_elements, n)
+                data = self._load_tile(gmem, src, start, count, tuple_size, per_thread)
+                scanned, agg = strided_inclusive_scan(data, start, tuple_size, op)
+                lane_idx = tile * tuple_size + np.arange(tuple_size)
+
+                if tile == 0:
+                    carry = np.full(tuple_size, identity, dtype=dtype)
+                    gmem.store(prefixes, lane_idx, agg)
+                    gmem.fence()
+                    gmem.store_scalar(status, tile, STATUS_PREFIX)
+                else:
+                    gmem.store(aggregates, lane_idx, agg)
+                    gmem.fence()
+                    gmem.store_scalar(status, tile, STATUS_AGGREGATE)
+                    # Variable look-back with opportunistic short-circuit.
+                    running = np.full(tuple_size, identity, dtype=dtype)
+                    j = tile - 1
+                    while True:
+                        st = self._poll_status(gmem, status, j)
+                        if st == STATUS_INVALID:
+                            yield
+                            continue
+                        row_idx = j * tuple_size + np.arange(tuple_size)
+                        if st == STATUS_PREFIX:
+                            row = gmem.load(prefixes, row_idx)
+                            running = op.apply(row, running)
+                            break
+                        row = gmem.load(aggregates, row_idx)
+                        running = op.apply(row, running)
+                        gmem.stats.carry_additions += tuple_size
+                        j -= 1
+                    carry = running
+                    inclusive_prefix = op.apply(carry, agg)
+                    gmem.stats.carry_additions += tuple_size
+                    gmem.store(prefixes, lane_idx, inclusive_prefix)
+                    gmem.fence()
+                    gmem.store_scalar(status, tile, STATUS_PREFIX)
+
+                if inclusive:
+                    corrected = apply_lane_carries(
+                        scanned, start, tuple_size, op, carry
+                    )
+                else:
+                    corrected = strided_exclusive_from_inclusive(
+                        scanned, start, tuple_size, op, carry
+                    )
+                self._store_tile(
+                    gmem, dst, start, corrected, tuple_size, per_thread
+                )
+                yield
+
+        launch_kernel(
+            kernel,
+            self.spec,
+            gmem=gmem,
+            num_blocks=min(self.spec.persistent_blocks, num_tiles),
+            threads_per_block=self.threads_per_block,
+            policy=self.policy,
+        )
+        return num_tiles
+
+    def _result(self, values, gmem, num_tiles, order, tuple_size, op, inclusive):
+        return BaselineResult(
+            values=values,
+            stats=gmem.stats.copy(),
+            num_chunks=num_tiles,
+            engine=self.name,
+            order=order,
+            tuple_size=tuple_size,
+            op_name=op.name,
+            inclusive=inclusive,
+            l2=gmem.l2,
+        )

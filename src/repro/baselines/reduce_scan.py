@@ -1,0 +1,228 @@
+"""Reduce-then-scan (the MGPU strategy).
+
+Section 3.1: "MGPU is more efficient and only performs 3n global memory
+accesses ... because the first pass of its two-pass reduce-then-scan
+strategy is read-only."
+
+Per scan pass:
+
+1. *Reduce kernel* — read every chunk, reduce per tuple lane, write
+   only the chunk totals (n reads, ~0 writes).
+2. *Auxiliary scan* — exclusive scan of the totals.
+3. *Scan kernel* — read every chunk again, scan locally, fold in the
+   carry, write the final result (n reads + n writes).
+
+Total ≈ 3n words.  Higher orders iterate the pipeline (3qn); tuples use
+strided reductions with ``s``-wide auxiliary entries.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.common import BaselineResult, chunk_bounds, chunk_count
+from repro.core.localscan import (
+    apply_lane_carries,
+    lane_start_in_chunk,
+    strided_exclusive_from_inclusive,
+    strided_inclusive_scan,
+)
+from repro.core.tuning import tune_items_per_thread
+from repro.gpusim.kernel import launch_kernel
+from repro.gpusim.memory import GlobalMemory
+from repro.gpusim.spec import TITAN_X, GPUSpec
+from repro.ops import ADD, get_op
+
+
+class ReduceThenScan:
+    """MGPU-style two-pass scan engine (3n traffic)."""
+
+    name = "reduce_then_scan"
+
+    def __init__(
+        self,
+        spec: GPUSpec = TITAN_X,
+        threads_per_block: Optional[int] = None,
+        items_per_thread: Optional[int] = None,
+        policy="round_robin",
+    ):
+        self.spec = spec
+        self.threads_per_block = threads_per_block or spec.threads_per_block
+        self.items_per_thread = items_per_thread
+        self.policy = policy
+        self._alloc_id = 0
+
+    def _fresh_name(self, label: str) -> str:
+        self._alloc_id += 1
+        return f"rs_{label}_{self._alloc_id}"
+
+    def run(
+        self,
+        values,
+        order: int = 1,
+        tuple_size: int = 1,
+        op=ADD,
+        inclusive: bool = True,
+    ) -> BaselineResult:
+        op = get_op(op)
+        array = np.asarray(values)
+        if array.ndim != 1:
+            raise ValueError(f"expected a 1-D input, got shape {array.shape}")
+        if order < 1 or tuple_size < 1:
+            raise ValueError("order and tuple_size must be >= 1")
+        dtype = op.check_dtype(array.dtype)
+        array = array.astype(dtype, copy=False)
+
+        gmem = GlobalMemory()
+        if len(array) == 0:
+            return self._result(array.copy(), gmem, 0, order, tuple_size, op, inclusive)
+
+        ping = gmem.alloc_like(self._fresh_name("buf"), array)
+        pong = gmem.alloc(self._fresh_name("buf"), len(array), dtype)
+        src, dst = ping, pong
+        for iteration in range(order):
+            last = iteration == order - 1
+            self._scan_pass(gmem, src, dst, tuple_size, op, inclusive or not last)
+            src, dst = dst, src
+        num_chunks = chunk_count(len(array), self._chunk_elements(len(array)))
+        return self._result(
+            src.data.copy(), gmem, num_chunks, order, tuple_size, op, inclusive
+        )
+
+    def _chunk_elements(self, n: int) -> int:
+        v = self.items_per_thread or tune_items_per_thread(
+            n, self.spec, self.threads_per_block
+        )
+        return self.threads_per_block * v
+
+    def _grid(self, num_chunks: int) -> int:
+        return min(self.spec.persistent_blocks, num_chunks)
+
+    def _scan_pass(self, gmem, src, dst, tuple_size, op, inclusive) -> None:
+        n = len(src.data)
+        e = self._chunk_elements(n)
+        num_chunks = chunk_count(n, e)
+        dtype = src.data.dtype
+        identity = op.identity(dtype)
+        aux = gmem.alloc(self._fresh_name("aux"), num_chunks * tuple_size, dtype)
+
+        def reduce_kernel(ctx):
+            """Phase 1 (read-only over the data): per-lane chunk totals."""
+            for chunk in range(ctx.block_id, num_chunks, ctx.num_blocks):
+                start, count = chunk_bounds(chunk, e, n)
+                data = gmem.load(src, start + np.arange(count))
+                sums = np.full(tuple_size, identity, dtype=dtype)
+                for lane in range(tuple_size):
+                    begin = lane_start_in_chunk(start, lane, tuple_size)
+                    if begin >= count:
+                        continue
+                    sums[lane] = op.reduce(data[begin::tuple_size])
+                gmem.store(aux, chunk * tuple_size + np.arange(tuple_size), sums)
+
+        launch_kernel(
+            reduce_kernel,
+            self.spec,
+            gmem=gmem,
+            num_blocks=self._grid(num_chunks),
+            threads_per_block=self.threads_per_block,
+            policy=self.policy,
+        )
+
+        if num_chunks > 1:
+            self._aux_exclusive_scan(gmem, aux, tuple_size, op)
+
+        def scan_kernel(ctx):
+            """Phase 3: re-read chunks, scan, fold carry, write result."""
+            for chunk in range(ctx.block_id, num_chunks, ctx.num_blocks):
+                start, count = chunk_bounds(chunk, e, n)
+                indices = start + np.arange(count)
+                data = gmem.load(src, indices)
+                scanned, _ = strided_inclusive_scan(data, start, tuple_size, op)
+                if num_chunks > 1:
+                    carries = gmem.load(
+                        aux, chunk * tuple_size + np.arange(tuple_size)
+                    )
+                else:
+                    carries = np.full(tuple_size, identity, dtype=dtype)
+                if inclusive:
+                    corrected = apply_lane_carries(
+                        scanned, start, tuple_size, op, carries
+                    )
+                else:
+                    corrected = strided_exclusive_from_inclusive(
+                        scanned, start, tuple_size, op, carries
+                    )
+                gmem.store(dst, indices, corrected)
+
+        launch_kernel(
+            scan_kernel,
+            self.spec,
+            gmem=gmem,
+            num_blocks=self._grid(num_chunks),
+            threads_per_block=self.threads_per_block,
+            policy=self.policy,
+        )
+
+    def _aux_exclusive_scan(self, gmem, aux, tuple_size, op) -> None:
+        """Exclusive per-lane scan of the chunk totals.
+
+        Small enough to fit one block in every workload we drive (the
+        auxiliary array shrinks by the chunk size each level); recursion
+        uses this same reduce-then-scan pipeline when it is not.
+        """
+        m = len(aux.data)
+        e = self._chunk_elements(m)
+        if m <= e:
+            def single_block_kernel(ctx):
+                indices = np.arange(m)
+                data = gmem.load(aux, indices)
+                scanned, _ = strided_inclusive_scan(data, 0, tuple_size, op)
+                identity = op.identity(data.dtype)
+                carries = np.full(tuple_size, identity, dtype=data.dtype)
+                gmem.store(
+                    aux,
+                    indices,
+                    strided_exclusive_from_inclusive(scanned, 0, tuple_size, op, carries),
+                )
+
+            launch_kernel(
+                single_block_kernel,
+                self.spec,
+                gmem=gmem,
+                num_blocks=1,
+                threads_per_block=self.threads_per_block,
+                policy=self.policy,
+            )
+            return
+        scratch = gmem.alloc(self._fresh_name("aux_scratch"), m, aux.data.dtype)
+        self._scan_pass(gmem, aux, scratch, tuple_size, op, inclusive=False)
+
+        def copy_back_kernel(ctx):
+            chunks = chunk_count(m, e)
+            for chunk in range(ctx.block_id, chunks, ctx.num_blocks):
+                start, count = chunk_bounds(chunk, e, m)
+                indices = start + np.arange(count)
+                gmem.store(aux, indices, gmem.load(scratch, indices))
+
+        launch_kernel(
+            copy_back_kernel,
+            self.spec,
+            gmem=gmem,
+            num_blocks=self._grid(chunk_count(m, e)),
+            threads_per_block=self.threads_per_block,
+            policy=self.policy,
+        )
+
+    def _result(self, values, gmem, num_chunks, order, tuple_size, op, inclusive):
+        return BaselineResult(
+            values=values,
+            stats=gmem.stats.copy(),
+            num_chunks=num_chunks,
+            engine=self.name,
+            order=order,
+            tuple_size=tuple_size,
+            op_name=op.name,
+            inclusive=inclusive,
+        )

@@ -1,0 +1,141 @@
+"""Tuple scans via reorder / scan / undo-reorder (Section 2.3 strawman).
+
+"Computing a tuple-based prefix sum can be accomplished by first
+reordering the elements, i.e., grouping them by location within the
+tuple, then performing multiple smaller prefix sums, and finally
+undoing the reordering ... However, since the two reordering steps
+require extra memory accesses, it is slow."
+
+This engine makes that cost measurable: the gather and scatter kernels
+run on the simulator (2n words each, and the strided side of each
+transposition is uncoalesced — visible in the transaction counters),
+and the ``s`` per-lane scans are delegated to any base engine.  Used by
+the ablation benchmark that justifies SAM's direct strided approach.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.common import BaselineResult, chunk_bounds, chunk_count
+from repro.gpusim.kernel import launch_kernel
+from repro.gpusim.memory import GlobalMemory
+from repro.ops import ADD, get_op
+
+
+class ReorderScanEngine:
+    """Wrap a conventional scan engine into a tuple scan by transposing.
+
+    ``base_engine`` is any engine with a
+    ``run(values, order=..., op=..., inclusive=...)`` method (SAM or a
+    baseline); its traffic is merged into this engine's counters.
+    """
+
+    name = "reorder_scan"
+
+    def __init__(self, base_engine):
+        self.base_engine = base_engine
+        self.spec = base_engine.spec
+        self.threads_per_block = base_engine.threads_per_block
+
+    def run(
+        self,
+        values,
+        order: int = 1,
+        tuple_size: int = 1,
+        op=ADD,
+        inclusive: bool = True,
+    ) -> BaselineResult:
+        op = get_op(op)
+        array = np.asarray(values)
+        if array.ndim != 1:
+            raise ValueError(f"expected a 1-D input, got shape {array.shape}")
+        if tuple_size < 1 or order < 1:
+            raise ValueError("order and tuple_size must be >= 1")
+        if tuple_size > 1 and len(array) % tuple_size != 0:
+            raise ValueError(
+                "reordering needs the input size to be a multiple of the "
+                f"tuple size ({len(array)} % {tuple_size} != 0)"
+            )
+        dtype = op.check_dtype(array.dtype)
+        array = array.astype(dtype, copy=False)
+        n = len(array)
+
+        gmem = GlobalMemory()
+        if n == 0 or tuple_size == 1:
+            # Degenerate: no reordering needed; delegate entirely.
+            base = self.base_engine.run(array, order=order, op=op, inclusive=inclusive)
+            gmem.stats.merge(base.stats)
+            return self._result(base.values, gmem, order, tuple_size, op, inclusive)
+
+        src = gmem.alloc_like("ro_src", array)
+        grouped = gmem.alloc("ro_grouped", n, dtype)
+        per_lane = n // tuple_size
+
+        def gather_kernel(ctx):
+            """Group elements by tuple lane: grouped[l*per_lane + j] =
+            src[j*s + l].  Contiguous writes, strided (uncoalesced) reads."""
+            e = self.threads_per_block
+            chunks = chunk_count(n, e)
+            for chunk in range(ctx.block_id, chunks, ctx.num_blocks):
+                start, count = chunk_bounds(chunk, e, n)
+                out_positions = start + np.arange(count)
+                lanes = out_positions // per_lane
+                within = out_positions % per_lane
+                src_positions = within * tuple_size + lanes
+                data = gmem.load(src, src_positions)
+                gmem.store(grouped, out_positions, data)
+
+        launch_kernel(
+            gather_kernel,
+            self.spec,
+            gmem=gmem,
+            num_blocks=min(self.spec.persistent_blocks, chunk_count(n, self.threads_per_block)),
+            threads_per_block=self.threads_per_block,
+        )
+
+        # One independent scan per lane segment (the "multiple smaller
+        # prefix sums"); traffic of each run is merged in.
+        scanned = np.empty(n, dtype=dtype)
+        for lane in range(tuple_size):
+            segment = grouped.data[lane * per_lane : (lane + 1) * per_lane].copy()
+            base = self.base_engine.run(segment, order=order, op=op, inclusive=inclusive)
+            scanned[lane * per_lane : (lane + 1) * per_lane] = base.values
+            gmem.stats.merge(base.stats)
+        grouped.data[:] = scanned
+
+        out = gmem.alloc("ro_out", n, dtype)
+
+        def scatter_kernel(ctx):
+            """Undo the grouping: contiguous reads, strided writes."""
+            e = self.threads_per_block
+            chunks = chunk_count(n, e)
+            for chunk in range(ctx.block_id, chunks, ctx.num_blocks):
+                start, count = chunk_bounds(chunk, e, n)
+                in_positions = start + np.arange(count)
+                lanes = in_positions // per_lane
+                within = in_positions % per_lane
+                dst_positions = within * tuple_size + lanes
+                data = gmem.load(grouped, in_positions)
+                gmem.store(out, dst_positions, data)
+
+        launch_kernel(
+            scatter_kernel,
+            self.spec,
+            gmem=gmem,
+            num_blocks=min(self.spec.persistent_blocks, chunk_count(n, self.threads_per_block)),
+            threads_per_block=self.threads_per_block,
+        )
+        return self._result(out.data.copy(), gmem, order, tuple_size, op, inclusive)
+
+    def _result(self, values, gmem, order, tuple_size, op, inclusive):
+        return BaselineResult(
+            values=values,
+            stats=gmem.stats.copy(),
+            num_chunks=0,
+            engine=self.name,
+            order=order,
+            tuple_size=tuple_size,
+            op_name=op.name,
+            inclusive=inclusive,
+        )

@@ -1,0 +1,223 @@
+"""StreamScan (Yan, Long, Zhang [27]) — the other single-pass scan.
+
+Section 3.1: "StreamScan implements a matrix-based intra-block scan
+approach that is communication efficient and only requires 2n data
+movement.  It runs in a single computation phase and, therefore, does
+not need any global barriers and only a single kernel invocation."
+
+Two properties distinguish it from both SAM and CUB's look-back:
+
+* the *matrix-based* intra-block scan: a tile is treated as a rows x
+  cols matrix; rows are scanned independently (fully parallel), the
+  row totals' column is scanned, and the column prefixes are added back
+  — a different decomposition from the warp/shared-memory hierarchy;
+* inter-block propagation is *adjacent-only*: block i waits for block
+  i-1's inclusive prefix, adds its tile total, publishes.  That is the
+  minimal-work O(n) chain (SAM's §5.4 "chained" scheme is the same
+  idea inside a persistent kernel), with none of SAM's redundant
+  additions but a full serial dependence — the trade-off the paper's
+  Figure 15/16 quantifies.
+
+SAM "adopts all of these ideas, including the auto-tuner" — this engine
+shares the repository's auto-tuner for its tile size.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.common import BaselineResult, chunk_bounds, chunk_count
+from repro.core.localscan import (
+    apply_lane_carries,
+    strided_exclusive_from_inclusive,
+    strided_inclusive_scan,
+)
+from repro.core.tuning import tune_items_per_thread
+from repro.gpusim.kernel import launch_kernel
+from repro.gpusim.memory import GlobalMemory
+from repro.gpusim.spec import TITAN_X, GPUSpec
+from repro.ops import ADD, AssociativeOp, get_op
+
+
+def matrix_block_scan(values: np.ndarray, cols: int, op: AssociativeOp) -> np.ndarray:
+    """StreamScan's matrix-based intra-block inclusive scan.
+
+    Reshape (conceptually) into rows of ``cols`` elements; scan each row
+    independently; scan the row-total column; add each row's prefix to
+    the next row.  Equivalent to a flat scan but organized for maximum
+    register-level parallelism.
+    """
+    values = np.asarray(values)
+    n = len(values)
+    if n == 0:
+        return values.copy()
+    full_rows = n // cols
+    out = np.empty_like(values)
+    identity = op.identity(values.dtype)
+
+    body = values[: full_rows * cols].reshape(full_rows, cols)
+    scanned_rows = op.accumulate(body, axis=1) if full_rows else body
+    if full_rows:
+        row_totals = scanned_rows[:, -1]
+        row_prefixes = op.accumulate(row_totals)
+        out_body = scanned_rows.copy()
+        if full_rows > 1:
+            out_body[1:] = op.apply(
+                np.repeat(row_prefixes[:-1, None], cols, axis=1), scanned_rows[1:]
+            )
+        out[: full_rows * cols] = out_body.reshape(-1)
+        carry = row_prefixes[-1]
+    else:
+        carry = identity
+    tail = values[full_rows * cols :]
+    if len(tail):
+        tail_scan = op.accumulate(tail)
+        out[full_rows * cols :] = op.apply(
+            np.full(len(tail), carry, dtype=values.dtype), tail_scan
+        )
+    return out
+
+
+class StreamScan:
+    """StreamScan-style single-pass engine (2n traffic, adjacent chain)."""
+
+    name = "streamscan"
+
+    def __init__(
+        self,
+        spec: GPUSpec = TITAN_X,
+        threads_per_block: Optional[int] = None,
+        items_per_thread: Optional[int] = None,
+        policy="round_robin",
+        matrix_cols: int = 32,
+    ):
+        if matrix_cols < 1:
+            raise ValueError(f"matrix_cols must be >= 1, got {matrix_cols}")
+        self.spec = spec
+        self.threads_per_block = threads_per_block or spec.threads_per_block
+        self.items_per_thread = items_per_thread
+        self.policy = policy
+        self.matrix_cols = matrix_cols
+        self._alloc_id = 0
+
+    def _fresh_name(self, label: str) -> str:
+        self._alloc_id += 1
+        return f"ss_{label}_{self._alloc_id}"
+
+    def run(
+        self,
+        values,
+        order: int = 1,
+        tuple_size: int = 1,
+        op=ADD,
+        inclusive: bool = True,
+    ) -> BaselineResult:
+        op = get_op(op)
+        array = np.asarray(values)
+        if array.ndim != 1:
+            raise ValueError(f"expected a 1-D input, got shape {array.shape}")
+        if order < 1 or tuple_size < 1:
+            raise ValueError("order and tuple_size must be >= 1")
+        dtype = op.check_dtype(array.dtype)
+        array = array.astype(dtype, copy=False)
+
+        gmem = GlobalMemory()
+        if len(array) == 0:
+            return self._result(array.copy(), gmem, 0, order, tuple_size, op, inclusive)
+
+        ping = gmem.alloc_like(self._fresh_name("buf"), array)
+        pong = gmem.alloc(self._fresh_name("buf"), len(array), dtype)
+        src, dst = ping, pong
+        num_tiles = 0
+        # Like CUB, higher orders re-run the whole scan (StreamScan has
+        # no iterated-computation mode): 2qn traffic.
+        for iteration in range(order):
+            last = iteration == order - 1
+            num_tiles = self._scan_pass(
+                gmem, src, dst, tuple_size, op, inclusive or not last
+            )
+            src, dst = dst, src
+        return self._result(
+            src.data.copy(), gmem, num_tiles, order, tuple_size, op, inclusive
+        )
+
+    def _scan_pass(self, gmem, src, dst, tuple_size, op, inclusive) -> int:
+        n = len(src.data)
+        v = self.items_per_thread or tune_items_per_thread(
+            n, self.spec, self.threads_per_block
+        )
+        tile_elements = self.threads_per_block * v
+        num_tiles = chunk_count(n, tile_elements)
+        dtype = src.data.dtype
+        identity = op.identity(dtype)
+
+        # Adjacent-chain state: each tile's *inclusive* prefix, plus a
+        # ready flag.  O(n/tile) storage, one producer, one consumer.
+        prefixes = gmem.alloc(self._fresh_name("prefix"), num_tiles * tuple_size, dtype)
+        flags = gmem.alloc(self._fresh_name("flag"), num_tiles, np.int64)
+        cols = self.matrix_cols
+
+        def kernel(ctx):
+            for tile in range(ctx.block_id, num_tiles, ctx.num_blocks):
+                start, count = chunk_bounds(tile, tile_elements, n)
+                indices = start + np.arange(count)
+                data = gmem.load(src, indices)
+                if tuple_size == 1:
+                    scanned = matrix_block_scan(data, cols, op)
+                    totals = scanned[-1:].copy()
+                else:
+                    scanned, totals = strided_inclusive_scan(
+                        data, start, tuple_size, op
+                    )
+                lane_idx = tile * tuple_size + np.arange(tuple_size)
+                if tile == 0:
+                    carry = np.full(tuple_size, identity, dtype=dtype)
+                else:
+                    # Adjacent-only dependence: wait for tile - 1.
+                    while True:
+                        ready = gmem.poll(flags, np.asarray([tile - 1]), 1)
+                        if ready[0]:
+                            break
+                        yield
+                    carry = gmem.load(
+                        prefixes, (tile - 1) * tuple_size + np.arange(tuple_size)
+                    )
+                own_prefix = op.apply(carry, totals)
+                gmem.stats.carry_additions += tuple_size
+                gmem.store(prefixes, lane_idx, own_prefix)
+                gmem.fence()
+                gmem.store_scalar(flags, tile, 1)
+                if inclusive:
+                    corrected = apply_lane_carries(
+                        scanned, start, tuple_size, op, carry
+                    )
+                else:
+                    corrected = strided_exclusive_from_inclusive(
+                        scanned, start, tuple_size, op, carry
+                    )
+                gmem.store(dst, indices, corrected)
+                yield
+
+        launch_kernel(
+            kernel,
+            self.spec,
+            gmem=gmem,
+            num_blocks=min(self.spec.persistent_blocks, num_tiles),
+            threads_per_block=self.threads_per_block,
+            policy=self.policy,
+        )
+        return num_tiles
+
+    def _result(self, values, gmem, num_tiles, order, tuple_size, op, inclusive):
+        return BaselineResult(
+            values=values,
+            stats=gmem.stats.copy(),
+            num_chunks=num_tiles,
+            engine=self.name,
+            order=order,
+            tuple_size=tuple_size,
+            op_name=op.name,
+            inclusive=inclusive,
+        )

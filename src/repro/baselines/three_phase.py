@@ -1,0 +1,257 @@
+"""The classic three-phase scan (Thrust / CUDPP strategy).
+
+Section 2.1 / 3.1: "CUDPP implements the classic three-phase approach
+... it performs 4n global memory accesses"; "Thrust employs a two-pass
+scan-then-propagate technique that also requires 4n data movement".
+
+Per scan pass:
+
+1. *Local scan kernel* — every chunk is read, scanned locally, and the
+   scanned chunk is **written back** to global memory; chunk totals go
+   to an auxiliary array (this is the first read+write of every
+   element).
+2. *Auxiliary scan* — an exclusive scan over the chunk totals (one
+   small kernel, recursing through this same pipeline when the
+   auxiliary array itself exceeds a chunk: "very large inputs may
+   require a third, even coarser level").
+3. *Carry-add kernel* — every scanned chunk is **read again**, the
+   chunk carry is combined in, and the result is **written again** (the
+   second read+write — the communication inefficiency SAM removes).
+
+Each phase is a separate kernel launch (the implicit grid-wide barrier
+between phases).  Higher orders iterate the full pipeline ``q`` times —
+``4qn`` traffic; tuples use strided local scans with ``s``-wide
+auxiliary entries.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.common import BaselineResult, chunk_bounds, chunk_count
+from repro.core.localscan import (
+    apply_lane_carries,
+    strided_exclusive_from_inclusive,
+    strided_inclusive_scan,
+)
+from repro.core.tuning import tune_items_per_thread
+from repro.gpusim.kernel import launch_kernel
+from repro.gpusim.memory import GlobalMemory
+from repro.gpusim.spec import TITAN_X, GPUSpec
+from repro.ops import ADD, get_op
+
+
+class ThreePhaseScan:
+    """Thrust/CUDPP-style hierarchical multi-kernel scan engine.
+
+    ``max_elements`` models CUDPP's documented limitation ("CUDPP does
+    not support problem sizes above 2^25", Section 5.1): pass it to
+    reproduce that failure mode; ``None`` (Thrust flavor) is unlimited.
+    """
+
+    name = "three_phase"
+
+    def __init__(
+        self,
+        spec: GPUSpec = TITAN_X,
+        threads_per_block: Optional[int] = None,
+        items_per_thread: Optional[int] = None,
+        policy="round_robin",
+        max_elements: Optional[int] = None,
+    ):
+        self.spec = spec
+        self.threads_per_block = threads_per_block or spec.threads_per_block
+        self.items_per_thread = items_per_thread
+        self.policy = policy
+        self.max_elements = max_elements
+        self._alloc_id = 0
+
+    def _fresh_name(self, label: str) -> str:
+        self._alloc_id += 1
+        return f"tp_{label}_{self._alloc_id}"
+
+    # -- public API ------------------------------------------------------
+
+    def run(
+        self,
+        values,
+        order: int = 1,
+        tuple_size: int = 1,
+        op=ADD,
+        inclusive: bool = True,
+    ) -> BaselineResult:
+        op = get_op(op)
+        array = np.asarray(values)
+        if array.ndim != 1:
+            raise ValueError(f"expected a 1-D input, got shape {array.shape}")
+        if order < 1 or tuple_size < 1:
+            raise ValueError("order and tuple_size must be >= 1")
+        if self.max_elements is not None and len(array) > self.max_elements:
+            raise ValueError(
+                f"{self.name} engine configured with max_elements="
+                f"{self.max_elements}; input has {len(array)} elements"
+            )
+        dtype = op.check_dtype(array.dtype)
+        array = array.astype(dtype, copy=False)
+
+        gmem = GlobalMemory()
+        if len(array) == 0:
+            return self._result(array.copy(), gmem, 0, order, tuple_size, op, inclusive)
+
+        ping = gmem.alloc_like(self._fresh_name("buf"), array)
+        pong = gmem.alloc(self._fresh_name("buf"), len(array), dtype)
+        src, dst = ping, pong
+        for iteration in range(order):
+            last = iteration == order - 1
+            self._scan_pass(
+                gmem,
+                src,
+                dst,
+                tuple_size,
+                op,
+                inclusive=inclusive or not last,
+            )
+            src, dst = dst, src
+        num_chunks = chunk_count(len(array), self._chunk_elements(len(array)))
+        return self._result(
+            src.data.copy(), gmem, num_chunks, order, tuple_size, op, inclusive
+        )
+
+    # -- internals ---------------------------------------------------------
+
+    def _chunk_elements(self, n: int) -> int:
+        v = self.items_per_thread or tune_items_per_thread(n, self.spec, self.threads_per_block)
+        return self.threads_per_block * v
+
+    def _grid(self, num_chunks: int) -> int:
+        return min(self.spec.persistent_blocks, num_chunks)
+
+    def _scan_pass(self, gmem, src, dst, tuple_size, op, inclusive) -> None:
+        """One full scan of ``src`` into ``dst`` (4n traffic)."""
+        n = len(src.data)
+        e = self._chunk_elements(n)
+        num_chunks = chunk_count(n, e)
+        dtype = src.data.dtype
+        identity = op.identity(dtype)
+
+        aux = gmem.alloc(self._fresh_name("aux"), num_chunks * tuple_size, dtype)
+
+        def local_scan_kernel(ctx):
+            """Phase 1: scan each chunk locally; store chunk + totals."""
+            for chunk in range(ctx.block_id, num_chunks, ctx.num_blocks):
+                start, count = chunk_bounds(chunk, e, n)
+                indices = start + np.arange(count)
+                data = gmem.load(src, indices)
+                scanned, sums = strided_inclusive_scan(data, start, tuple_size, op)
+                gmem.store(dst, indices, scanned)
+                gmem.store(
+                    aux,
+                    chunk * tuple_size + np.arange(tuple_size),
+                    sums,
+                )
+
+        launch_kernel(
+            local_scan_kernel,
+            self.spec,
+            gmem=gmem,
+            num_blocks=self._grid(num_chunks),
+            threads_per_block=self.threads_per_block,
+            policy=self.policy,
+        )
+
+        # Phase 2: exclusive scan of the chunk totals (per tuple lane).
+        # The aux layout [chunk][lane] makes this exactly a tuple-based
+        # exclusive scan of the flat array — recurse when it is large.
+        if num_chunks > 1:
+            self._aux_exclusive_scan(gmem, aux, tuple_size, op)
+
+        def carry_add_kernel(ctx):
+            """Phase 3: re-read every chunk, fold in its carry, rewrite."""
+            for chunk in range(ctx.block_id, num_chunks, ctx.num_blocks):
+                start, count = chunk_bounds(chunk, e, n)
+                indices = start + np.arange(count)
+                scanned = gmem.load(dst, indices)
+                if num_chunks > 1:
+                    carries = gmem.load(
+                        aux, chunk * tuple_size + np.arange(tuple_size)
+                    )
+                else:
+                    carries = np.full(tuple_size, identity, dtype=dtype)
+                if inclusive:
+                    corrected = apply_lane_carries(
+                        scanned, start, tuple_size, op, carries
+                    )
+                else:
+                    corrected = strided_exclusive_from_inclusive(
+                        scanned, start, tuple_size, op, carries
+                    )
+                gmem.store(dst, indices, corrected)
+
+        launch_kernel(
+            carry_add_kernel,
+            self.spec,
+            gmem=gmem,
+            num_blocks=self._grid(num_chunks),
+            threads_per_block=self.threads_per_block,
+            policy=self.policy,
+        )
+
+    def _aux_exclusive_scan(self, gmem, aux, tuple_size, op) -> None:
+        """Phase 2: exclusive per-lane scan of the auxiliary array."""
+        m = len(aux.data)
+        e = self.threads_per_block * (self.items_per_thread or 1)
+        if m <= e:
+            def single_block_kernel(ctx):
+                indices = np.arange(m)
+                data = gmem.load(aux, indices)
+                scanned, _ = strided_inclusive_scan(data, 0, tuple_size, op)
+                identity = op.identity(data.dtype)
+                carries = np.full(tuple_size, identity, dtype=data.dtype)
+                shifted = strided_exclusive_from_inclusive(
+                    scanned, 0, tuple_size, op, carries
+                )
+                gmem.store(aux, indices, shifted)
+
+            launch_kernel(
+                single_block_kernel,
+                self.spec,
+                gmem=gmem,
+                num_blocks=1,
+                threads_per_block=self.threads_per_block,
+                policy=self.policy,
+            )
+            return
+        # Coarser level: run the full three-phase pipeline on the aux
+        # array itself ("a third, even coarser level of granularity").
+        scratch = gmem.alloc(self._fresh_name("aux_scratch"), m, aux.data.dtype)
+        self._scan_pass(gmem, aux, scratch, tuple_size, op, inclusive=False)
+        def copy_back_kernel(ctx):
+            e_local = self._chunk_elements(m)
+            chunks = chunk_count(m, e_local)
+            for chunk in range(ctx.block_id, chunks, ctx.num_blocks):
+                start, count = chunk_bounds(chunk, e_local, m)
+                indices = start + np.arange(count)
+                gmem.store(aux, indices, gmem.load(scratch, indices))
+
+        launch_kernel(
+            copy_back_kernel,
+            self.spec,
+            gmem=gmem,
+            num_blocks=self._grid(chunk_count(m, self._chunk_elements(m))),
+            threads_per_block=self.threads_per_block,
+            policy=self.policy,
+        )
+
+    def _result(self, values, gmem, num_chunks, order, tuple_size, op, inclusive):
+        return BaselineResult(
+            values=values,
+            stats=gmem.stats.copy(),
+            num_chunks=num_chunks,
+            engine=self.name,
+            order=order,
+            tuple_size=tuple_size,
+            op_name=op.name,
+            inclusive=inclusive,
+        )

@@ -1,0 +1,46 @@
+"""The paper's motivating application: delta-based data compression.
+
+Section 1 motivates higher-order and tuple-based prefix sums with data
+(de)compression: a *model* (delta encoding of some order, lane-aware
+for tuple data) turns the input into near-zero residuals, and a *coder*
+shrinks the residuals.  Decompression must invert the coder and then
+the model — and inverting an order-``q``, tuple-``s`` delta model *is*
+the generalized prefix sum, which is what makes it parallelizable.
+
+This package provides the full pipeline:
+
+* :mod:`repro.compression.zigzag` — the coder: zigzag mapping (small
+  magnitudes -> small unsigned values) + LEB128 varints.
+* :mod:`repro.compression.codec` — :class:`DeltaCodec`: a container
+  format with a header (dtype, length, order, tuple size), order
+  auto-selection, and a pluggable decode engine so the parallel
+  decoder (SAM on the simulator, or the fast host engine) can be
+  swapped in for the serial one.
+"""
+
+from repro.compression.blocked import BlockedBlob, BlockedDeltaCodec
+from repro.compression.codec import (
+    CodecError,
+    CompressedBlob,
+    DeltaCodec,
+    choose_model,
+)
+from repro.compression.zigzag import (
+    varint_decode,
+    varint_encode,
+    zigzag_decode,
+    zigzag_encode,
+)
+
+__all__ = [
+    "BlockedBlob",
+    "BlockedDeltaCodec",
+    "CodecError",
+    "CompressedBlob",
+    "DeltaCodec",
+    "choose_model",
+    "varint_decode",
+    "varint_encode",
+    "zigzag_decode",
+    "zigzag_encode",
+]

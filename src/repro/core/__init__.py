@@ -1,0 +1,55 @@
+"""SAM: the paper's single-pass, generalized prefix-scan algorithm.
+
+The package contains:
+
+* :mod:`repro.core.localscan` — block-local scans: the vectorized
+  strided (tuple-aware) scan and the warp-faithful three-phase scan.
+* :mod:`repro.core.carry` — inter-block carry propagation: SAM's
+  decoupled write-then-independent-reads scheme and the chained
+  read-modify-write scheme it is ablated against (Section 5.4).
+* :mod:`repro.core.sam` — the SAM kernel on the GPU simulator,
+  supporting any order, tuple size, operator, and their combination in
+  a single launch (the paper's "single 100-statement kernel").
+* :mod:`repro.core.tuning` — the StreamScan-style auto-tuner choosing
+  items per thread by problem size (Section 3.1).
+* :mod:`repro.core.host` — fast vectorized host implementations of the
+  same math (the library most downstream users will call).
+"""
+
+from repro.core.carry import (
+    CARRY_SCHEMES,
+    chained_carry,
+    decoupled_carry,
+    predecessors,
+)
+from repro.core.host import (
+    host_delta_decode,
+    host_delta_encode,
+    host_prefix_sum,
+    host_scan,
+)
+from repro.core.localscan import (
+    strided_exclusive_from_inclusive,
+    strided_inclusive_scan,
+    warp_faithful_chunk_scan,
+)
+from repro.core.sam import SamResult, SamScan
+from repro.core.tuning import AutoTuner, tune_items_per_thread
+
+__all__ = [
+    "AutoTuner",
+    "CARRY_SCHEMES",
+    "SamResult",
+    "SamScan",
+    "chained_carry",
+    "decoupled_carry",
+    "host_delta_decode",
+    "host_delta_encode",
+    "host_prefix_sum",
+    "host_scan",
+    "predecessors",
+    "strided_exclusive_from_inclusive",
+    "strided_inclusive_scan",
+    "tune_items_per_thread",
+    "warp_faithful_chunk_scan",
+]

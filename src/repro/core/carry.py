@@ -1,0 +1,270 @@
+"""Inter-block carry propagation.
+
+This module implements the paper's third contribution: "a latency-hiding
+technique for propagating carries between dependent persistent thread
+blocks that only requires a constant amount of auxiliary memory"
+(Section 2.2), plus the *chained* scheme it is ablated against
+(Section 5.4).
+
+Shared machinery — :class:`AuxBuffers`:
+
+* One circular *sum* buffer per order, each holding ``tuple_size``
+  values per slot ("SAM employs a total of s sum arrays" / "one per
+  order", Sections 2.3-2.4).
+* One *count* buffer of ready flags.  For order 1 the counts behave as
+  booleans; for higher orders the count says which iterations' sums a
+  chunk has published ("the ready flags no longer hold Boolean values
+  but a count", Section 2.4) — so a single flag array serves every
+  order.
+* Capacity is the paper's "a little over 3k elements ... to make their
+  size a power of two".  Because slots are reused across buffer
+  generations, flag values additionally encode the generation; readers
+  detect (and loudly report) a buffer overrun instead of silently
+  consuming stale sums.
+
+Carry schemes (both are generator functions so they can ``yield``
+control to the scheduler while polling):
+
+* :func:`decoupled_carry` — SAM's scheme.  Publish the chunk's *local*
+  sum immediately (write), then independently read the up-to-``k-1``
+  predecessor sums and the block's own running total.  Extra additions
+  are traded for a short, schedule-tolerant critical path.
+* :func:`chained_carry` — the baseline.  Wait for the predecessor
+  chunk's *inclusive running total*, add the local sum, publish.  O(n)
+  total work but a read-modify-write chain through every chunk.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.gpusim.errors import SimulationError
+from repro.gpusim.memory import GlobalArray, GlobalMemory
+from repro.ops import AssociativeOp
+
+
+def next_power_of_two(value: int) -> int:
+    """Smallest power of two >= value (buffer sizing rule)."""
+    if value < 1:
+        raise ValueError(f"value must be >= 1, got {value}")
+    return 1 << (value - 1).bit_length()
+
+
+def predecessors(chunk_index: int, k: int) -> range:
+    """Chunks whose sums must be read before correcting ``chunk_index``.
+
+    For the first chunk a block touches (``chunk_index < k``) these are
+    every earlier chunk; afterwards only the ``k-1`` intervening chunks
+    (the block's own previous total is carried in registers —
+    Section 2.2's incremental update, Figure 2).
+    """
+    if chunk_index < k:
+        return range(0, chunk_index)
+    return range(chunk_index - k + 1, chunk_index)
+
+
+class AuxBuffers:
+    """The O(1) auxiliary state shared by all persistent blocks."""
+
+    def __init__(
+        self,
+        gmem: GlobalMemory,
+        k: int,
+        order: int,
+        tuple_size: int,
+        dtype,
+        buffer_factor: int = 3,
+        name_prefix: str = "sam",
+    ):
+        if buffer_factor < 3:
+            raise ValueError(
+                f"buffer_factor must be >= 3 (paper: 'circular buffers with 3k "
+                f"elements'), got {buffer_factor}"
+            )
+        self.gmem = gmem
+        self.k = k
+        self.order = order
+        self.tuple_size = tuple_size
+        self.capacity = next_power_of_two(buffer_factor * k + 1)
+        self.flags: GlobalArray = gmem.alloc(
+            f"{name_prefix}_flags", self.capacity, np.int64, fill=0
+        )
+        self.sums = [
+            gmem.alloc(f"{name_prefix}_sums_{it}", self.capacity * tuple_size, dtype)
+            for it in range(order)
+        ]
+
+    def slot(self, chunk_index: int) -> int:
+        return chunk_index % self.capacity
+
+    def generation(self, chunk_index: int) -> int:
+        return chunk_index // self.capacity
+
+    def flag_target(self, chunk_index: int, iteration: int) -> int:
+        """Flag value published when ``chunk_index`` finishes ``iteration``.
+
+        Strictly increasing across iterations and buffer generations,
+        so one comparison answers "has at least this much happened".
+        """
+        return self.generation(chunk_index) * self.order + iteration + 1
+
+    def publish(self, chunk_index: int, iteration: int, sums: np.ndarray) -> None:
+        """Write this chunk's per-lane sums, fence, then raise the flag.
+
+        The fence-between-sum-and-flag ordering is the correctness core
+        of the protocol (Section 2.2: "executes a memory fence, and then
+        writes a ready flag").
+        """
+        sums = np.asarray(sums)
+        if sums.shape != (self.tuple_size,):
+            raise ValueError(
+                f"expected {self.tuple_size} lane sums, got shape {sums.shape}"
+            )
+        base = self.slot(chunk_index) * self.tuple_size
+        self.gmem.store(
+            self.sums[iteration], base + np.arange(self.tuple_size), sums
+        )
+        self.gmem.fence()
+        self.gmem.store_scalar(
+            self.flags, self.slot(chunk_index), self.flag_target(chunk_index, iteration)
+        )
+
+    def poll(self, chunk_indices: Sequence[int], iteration: int) -> np.ndarray:
+        """One polling round over the given chunks' flags.
+
+        Returns the readiness vector.  Raises :class:`SimulationError`
+        if a flag shows a *later* buffer generation, i.e. the circular
+        buffer was overrun and the sums are gone.
+        """
+        chunk_indices = np.asarray(list(chunk_indices), dtype=np.int64)
+        slots = chunk_indices % self.capacity
+        values = self.gmem.load(self.flags, slots)
+        targets = np.asarray(
+            [self.flag_target(int(c), iteration) for c in chunk_indices]
+        )
+        limits = np.asarray(
+            [(self.generation(int(c)) + 1) * self.order for c in chunk_indices]
+        )
+        if np.any(values > limits):
+            overrun = chunk_indices[values > limits]
+            raise SimulationError(
+                f"auxiliary circular buffer overrun: sums for chunks "
+                f"{overrun.tolist()} were overwritten before being consumed "
+                f"(capacity {self.capacity}, k {self.k})"
+            )
+        ready = values >= targets
+        self.gmem.stats.flag_polls += len(chunk_indices)
+        self.gmem.stats.failed_flag_polls += int(np.count_nonzero(~ready))
+        return ready
+
+    def read_sums(self, chunk_indices: Sequence[int], iteration: int) -> np.ndarray:
+        """Read per-lane sums of already-ready chunks.
+
+        The reads are issued as one coalesced gather (the paper reads
+        "the up to k-1 local sums ... in parallel using coalesced load
+        instructions").  Shape: ``(len(chunk_indices), tuple_size)``.
+        """
+        chunk_indices = np.asarray(list(chunk_indices), dtype=np.int64)
+        slots = chunk_indices % self.capacity
+        indices = (slots[:, None] * self.tuple_size + np.arange(self.tuple_size)).ravel()
+        flat = self.gmem.load(self.sums[iteration], indices)
+        return flat.reshape(len(chunk_indices), self.tuple_size)
+
+
+def _wait_for(aux: AuxBuffers, chunks: Sequence[int], iteration: int):
+    """Poll until every chunk in ``chunks`` has published ``iteration``.
+
+    Only not-yet-ready flags are re-polled ("only non-ready flags are
+    polled until they are ready", Section 2.2); the generator yields to
+    the scheduler between rounds.
+    """
+    pending = list(chunks)
+    while pending:
+        ready = aux.poll(pending, iteration)
+        pending = [chunk for chunk, ok in zip(pending, ready) if not ok]
+        if pending:
+            yield
+
+
+def _reduce_rows_in_order(
+    base: np.ndarray, rows: np.ndarray, op: AssociativeOp
+) -> np.ndarray:
+    """Fold predecessor sums onto ``base`` in ascending chunk order.
+
+    Order matters for non-commutative operators; associativity is the
+    only property assumed.
+    """
+    carry = base
+    for row in rows:
+        carry = op.apply(carry, row)
+    return carry
+
+
+def decoupled_carry(
+    aux: AuxBuffers,
+    op: AssociativeOp,
+    chunk_index: int,
+    iteration: int,
+    local_sums: np.ndarray,
+    state: Dict,
+):
+    """SAM's write-followed-by-independent-reads carry computation.
+
+    Publishes first, then gathers predecessors, so no block ever sits in
+    another block's critical path longer than one local-sum computation.
+    Returns the per-lane carry for ``chunk_index`` at ``iteration``; the
+    block's running totals live in ``state['acc']`` (shape
+    ``(order, tuple_size)``).
+    """
+    aux.publish(chunk_index, iteration, local_sums)
+    preds = predecessors(chunk_index, aux.k)
+    yield from _wait_for(aux, preds, iteration)
+    if chunk_index < aux.k:
+        identity = op.identity(local_sums.dtype)
+        base = np.full(aux.tuple_size, identity, dtype=local_sums.dtype)
+    else:
+        base = state["acc"][iteration]
+    if len(preds):
+        rows = aux.read_sums(preds, iteration)
+        carry = _reduce_rows_in_order(base, rows, op)
+        aux.gmem.stats.carry_additions += rows.size
+    else:
+        carry = base
+    state["acc"][iteration] = op.apply(carry, local_sums)
+    aux.gmem.stats.carry_additions += local_sums.size
+    return carry
+
+
+def chained_carry(
+    aux: AuxBuffers,
+    op: AssociativeOp,
+    chunk_index: int,
+    iteration: int,
+    local_sums: np.ndarray,
+    state: Dict,
+):
+    """The §5.4 baseline: a read-modify-write chain through all chunks.
+
+    Each chunk publishes its *inclusive running total*; its successor
+    needs only that one value but cannot publish its own until it has
+    arrived — the serial dependence SAM's scheme removes.
+    """
+    if chunk_index == 0:
+        identity = op.identity(local_sums.dtype)
+        prev_total = np.full(aux.tuple_size, identity, dtype=local_sums.dtype)
+    else:
+        yield from _wait_for(aux, [chunk_index - 1], iteration)
+        prev_total = aux.read_sums([chunk_index - 1], iteration)[0]
+    total = op.apply(prev_total, local_sums)
+    aux.gmem.stats.carry_additions += local_sums.size
+    aux.publish(chunk_index, iteration, total)
+    return prev_total
+
+
+#: Carry schemes addressable by name in configs and benchmarks.
+CARRY_SCHEMES = {
+    "decoupled": decoupled_carry,
+    "chained": chained_carry,
+}

@@ -1,0 +1,99 @@
+"""Fast vectorized host implementations of the generalized scans.
+
+This is the library most downstream users call: plain numpy, no
+simulation, same semantics as SAM bit-for-bit.  The simulator engines
+exist to reproduce the paper's *system*; these functions exist to make
+the paper's *math* fast on a CPU.
+
+All functions accept the order / tuple-size / operator generalizations
+and agree exactly with :mod:`repro.reference` (enforced by tests).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ops import ADD, get_op
+
+
+def _validate(values, order: int, tuple_size: int) -> np.ndarray:
+    array = np.asarray(values)
+    if array.ndim != 1:
+        raise ValueError(f"expected a 1-D sequence, got shape {array.shape}")
+    if order < 1:
+        raise ValueError(f"order must be >= 1, got {order}")
+    if tuple_size < 1:
+        raise ValueError(f"tuple_size must be >= 1, got {tuple_size}")
+    return array
+
+
+def host_scan(values, op=ADD, tuple_size: int = 1, inclusive: bool = True):
+    """One generalized scan pass (vectorized per tuple lane)."""
+    op = get_op(op)
+    array = _validate(values, 1, tuple_size)
+    dtype = op.check_dtype(array.dtype)
+    array = array.astype(dtype, copy=False)
+    if array.size == 0:
+        return array.copy()
+    out = np.empty_like(array)
+    identity = op.identity(dtype)
+    for lane in range(tuple_size):
+        lane_values = array[lane::tuple_size]
+        if lane_values.size == 0:
+            continue
+        lane_scan = op.accumulate(lane_values)
+        if inclusive:
+            out[lane::tuple_size] = lane_scan
+        else:
+            shifted = np.empty_like(lane_scan)
+            shifted[0] = identity
+            shifted[1:] = lane_scan[:-1]
+            out[lane::tuple_size] = shifted
+    return out
+
+
+def host_prefix_sum(
+    values,
+    order: int = 1,
+    tuple_size: int = 1,
+    op=ADD,
+    inclusive: bool = True,
+):
+    """Order-``q``, tuple-``s`` prefix scan: ``q`` vectorized passes.
+
+    Matches Section 2.4's iterative formulation; exclusive output
+    applies the exclusive shift on the final pass only.
+    """
+    op = get_op(op)
+    array = _validate(values, order, tuple_size)
+    out = array
+    for iteration in range(order):
+        last = iteration == order - 1
+        out = host_scan(
+            out, op=op, tuple_size=tuple_size, inclusive=inclusive or not last
+        )
+    return out
+
+
+def host_delta_encode(values, order: int = 1, tuple_size: int = 1):
+    """Order-``q``, tuple-``s`` delta encoding, vectorized.
+
+    Each pass subtracts the lane predecessor (``in[k] - in[k - s]``)
+    with wraparound; the inverse of :func:`host_delta_decode`.
+    """
+    array = _validate(values, order, tuple_size)
+    if array.dtype.kind not in "iuf":
+        raise TypeError(f"delta encoding needs a numeric dtype, got {array.dtype}")
+    out = array.copy()
+    for _ in range(order):
+        shifted = np.zeros_like(out)
+        if len(out) > tuple_size:
+            shifted[tuple_size:] = out[:-tuple_size]
+        with np.errstate(over="ignore"):
+            out = (out - shifted).astype(array.dtype)
+    return out
+
+
+def host_delta_decode(deltas, order: int = 1, tuple_size: int = 1):
+    """Decode a difference sequence: the generalized prefix sum."""
+    return host_prefix_sum(deltas, order=order, tuple_size=tuple_size, op=ADD)

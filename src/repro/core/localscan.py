@@ -1,0 +1,282 @@
+"""Block-local scans: the computation stage SAM iterates.
+
+Two engines compute the same function:
+
+* :func:`strided_inclusive_scan` — the production path.  It implements
+  Section 2.3's strided summation directly: element ``i`` of a chunk
+  whose first element sits at global offset ``g`` belongs to tuple lane
+  ``(g + i) mod s``, and each lane is scanned independently.  The lanes
+  are extracted as strided slices, so the scan is vectorized per lane.
+
+* :func:`warp_faithful_chunk_scan` — the instruction-faithful path for
+  ``s = 1``.  It reproduces Section 2.1's hierarchy exactly: per-warp
+  shuffle scans, a shared auxiliary array of warp totals scanned by one
+  warp, two barriers, and per-warp carry addition; chunks larger than a
+  block are processed tile by tile with a running register carry.  Tests
+  require both engines to agree, which pins the vectorized path to the
+  hardware algorithm.
+
+Both return the per-lane *local sums* (the chunk totals per tuple lane)
+that the carry-propagation protocol publishes.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.gpusim.block import BlockContext
+from repro.ops import AssociativeOp
+
+
+def lane_of(global_index, tuple_size: int):
+    """Tuple lane of a global element index (Section 1: the m-th sum
+    covers positions ``m + j*s``)."""
+    return global_index % tuple_size
+
+
+def lane_start_in_chunk(offset: int, lane: int, tuple_size: int) -> int:
+    """Chunk-local index of the first element belonging to ``lane`` in a
+    chunk whose first element has global index ``offset``."""
+    return (lane - offset) % tuple_size
+
+
+def strided_inclusive_scan(
+    values: np.ndarray,
+    offset: int,
+    tuple_size: int,
+    op: AssociativeOp,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Scan a chunk with stride ``tuple_size``; also return lane totals.
+
+    Parameters
+    ----------
+    values:
+        The chunk's elements (any length, including shorter final
+        chunks and lengths not divisible by the tuple size).
+    offset:
+        Global index of ``values[0]`` — determines the lane phase, the
+        detail that makes non-power-of-two sizes "the biggest hurdle"
+        (Section 2.3).
+
+    Returns
+    -------
+    scanned:
+        Lane-local inclusive scan of the chunk (no inter-chunk carry).
+    local_sums:
+        Array of length ``tuple_size``; entry ``l`` is the chunk total
+        of lane ``l``, or the operator identity when the chunk contains
+        no element of that lane.
+    """
+    values = np.asarray(values)
+    dtype = op.check_dtype(values.dtype)
+    identity = op.identity(dtype)
+    scanned = np.empty_like(values)
+    local_sums = np.full(tuple_size, identity, dtype=dtype)
+    for lane in range(tuple_size):
+        start = lane_start_in_chunk(offset, lane, tuple_size)
+        if start >= len(values):
+            continue
+        lane_slice = values[start::tuple_size]
+        lane_scan = op.accumulate(lane_slice)
+        scanned[start::tuple_size] = lane_scan
+        local_sums[lane] = lane_scan[-1]
+    return scanned, local_sums
+
+
+def strided_exclusive_from_inclusive(
+    inclusive: np.ndarray,
+    offset: int,
+    tuple_size: int,
+    op: AssociativeOp,
+    carries: np.ndarray,
+) -> np.ndarray:
+    """Build the carry-corrected *exclusive* chunk from the lane-local
+    inclusive scan: each lane shifts right by one and seeds with the
+    lane's carry.  Costs no extra memory traffic (Section 2.2's
+    correction step, exclusive flavor)."""
+    out = np.empty_like(inclusive)
+    for lane in range(tuple_size):
+        start = lane_start_in_chunk(offset, lane, tuple_size)
+        if start >= len(inclusive):
+            continue
+        lane_scan = inclusive[start::tuple_size]
+        shifted = np.empty_like(lane_scan)
+        shifted[0] = carries[lane]
+        if len(lane_scan) > 1:
+            shifted[1:] = op.apply(
+                np.full(len(lane_scan) - 1, carries[lane], dtype=inclusive.dtype),
+                lane_scan[:-1],
+            )
+        out[start::tuple_size] = shifted
+    return out
+
+
+def apply_lane_carries(
+    scanned: np.ndarray,
+    offset: int,
+    tuple_size: int,
+    op: AssociativeOp,
+    carries: np.ndarray,
+) -> np.ndarray:
+    """Combine each lane's inter-chunk carry into the lane-local scan
+    ("Add Resulting Carry i to all Values of Chunk i", Figure 1)."""
+    if tuple_size == 1:
+        return op.apply(
+            np.full(len(scanned), carries[0], dtype=scanned.dtype), scanned
+        )
+    out = scanned.copy()
+    for lane in range(tuple_size):
+        start = lane_start_in_chunk(offset, lane, tuple_size)
+        if start >= len(scanned):
+            continue
+        segment = out[start::tuple_size]
+        out[start::tuple_size] = op.apply(
+            np.full(len(segment), carries[lane], dtype=scanned.dtype), segment
+        )
+    return out
+
+
+def lane_totals(
+    scanned: np.ndarray, offset: int, tuple_size: int, op: AssociativeOp
+) -> np.ndarray:
+    """Per-tuple-lane totals of a lane-locally scanned chunk (the last
+    scanned element of each lane; identity for absent lanes)."""
+    dtype = scanned.dtype
+    totals = np.full(tuple_size, op.identity(dtype), dtype=dtype)
+    for lane in range(tuple_size):
+        start = lane_start_in_chunk(offset, lane, tuple_size)
+        if start < len(scanned):
+            last = start + ((len(scanned) - 1 - start) // tuple_size) * tuple_size
+            totals[lane] = scanned[last]
+    return totals
+
+
+def warp_faithful_strided_chunk_scan(
+    ctx: BlockContext,
+    values: np.ndarray,
+    offset: int,
+    tuple_size: int,
+    op: AssociativeOp,
+) -> np.ndarray:
+    """Instruction-level *strided* chunk scan (Section 2.3's mechanics).
+
+    The tuple generalization at warp granularity: each warp runs a
+    strided Kogge-Stone scan (ladder starting at ``stride = s``); each
+    warp publishes one total per tuple lane to a shared auxiliary array
+    of ``num_warps * s`` entries; after a barrier the per-lane warp
+    totals are scanned and folded back; tiles are linked by per-lane
+    register carries.  "Modulo operations are employed to determine
+    which sum each thread needs to use" — the residue math below is
+    exactly that.
+    """
+    from repro.gpusim.warp import WARP_SIZE
+
+    values = np.asarray(values)
+    dtype = op.check_dtype(values.dtype)
+    identity = op.identity(dtype)
+    s = tuple_size
+    if s == 1:
+        return warp_faithful_chunk_scan(ctx, values, op)
+    t = ctx.threads_per_block
+    num_warps = ctx.num_warps
+    aux = ctx.shared.alloc_or_get("_strided_scan_aux", num_warps * s, dtype)
+    out = np.empty_like(values)
+    # Per-tuple-lane running carry across tiles (lives in registers).
+    carries = np.full(s, identity, dtype=dtype)
+
+    for tile_start in range(0, len(values), t):
+        tile = values[tile_start : tile_start + t]
+        padded = np.full(t, identity, dtype=dtype)
+        padded[: len(tile)] = tile
+        tile_offset = offset + tile_start
+        scanned = np.empty(t, dtype=dtype)
+
+        # Phase 1: independent strided warp scans; publish per-lane
+        # totals (the *last* element of each residue class in the warp).
+        for w in range(num_warps):
+            lane_positions = tile_offset + w * WARP_SIZE + np.arange(WARP_SIZE)
+            residues = lane_positions % s
+            warp_scan = ctx.warp(w).strided_inclusive_scan(
+                padded[w * WARP_SIZE : (w + 1) * WARP_SIZE], op, s
+            )
+            scanned[w * WARP_SIZE : (w + 1) * WARP_SIZE] = warp_scan
+            totals = np.full(s, identity, dtype=dtype)
+            for lane in range(s):
+                hits = np.flatnonzero(residues == lane)
+                if hits.size:
+                    totals[lane] = warp_scan[hits[-1]]
+            ctx.shared.store(
+                "_strided_scan_aux", w * s + np.arange(s), totals
+            )
+        ctx.syncthreads()
+
+        # Phase 2: exclusive per-lane prefix over the warps' totals.
+        table = ctx.shared.load(
+            "_strided_scan_aux", np.arange(num_warps * s)
+        ).reshape(num_warps, s)
+        warp_prefix = np.full((num_warps, s), identity, dtype=dtype)
+        for w in range(1, num_warps):
+            warp_prefix[w] = op.apply(warp_prefix[w - 1], table[w - 1])
+        ctx.shared.store(
+            "_strided_scan_aux",
+            np.arange(num_warps * s),
+            warp_prefix.reshape(-1),
+        )
+        ctx.syncthreads()
+
+        # Phase 3: every lane folds in its warp's per-residue prefix
+        # and the inter-tile carry for its residue (the modulo lookup).
+        folded = ctx.shared.load("_strided_scan_aux", np.arange(num_warps * s))
+        for w in range(num_warps):
+            segment = slice(w * WARP_SIZE, (w + 1) * WARP_SIZE)
+            lane_positions = tile_offset + w * WARP_SIZE + np.arange(WARP_SIZE)
+            residues = lane_positions % s
+            warp_carry = folded[w * s + residues]
+            tile_carry = carries[residues]
+            combined = op.apply(tile_carry, op.apply(warp_carry, scanned[segment]))
+            scanned[segment] = combined.astype(dtype)
+
+        out[tile_start : tile_start + len(tile)] = scanned[: len(tile)]
+        # Update the per-lane register carries from the corrected tile.
+        for lane in range(s):
+            start_idx = lane_start_in_chunk(tile_offset, lane, s)
+            hits = np.arange(start_idx, len(tile), s)
+            if hits.size:
+                carries[lane] = scanned[hits[-1]]
+    return out
+
+
+def warp_faithful_chunk_scan(
+    ctx: BlockContext,
+    values: np.ndarray,
+    op: AssociativeOp,
+) -> np.ndarray:
+    """Instruction-level chunk scan for tuple size 1 (Section 2.1).
+
+    The chunk is processed in tiles of ``threads_per_block`` elements
+    (one element per thread, "multiple values per thread" realized as a
+    register loop).  Each tile runs the three-phase block scan; a
+    running carry in registers links consecutive tiles.  Trailing
+    partial tiles are padded with the operator identity, which leaves
+    the scan unchanged.
+    """
+    values = np.asarray(values)
+    dtype = op.check_dtype(values.dtype)
+    identity = op.identity(dtype)
+    t = ctx.threads_per_block
+    out = np.empty_like(values)
+    carry = identity
+    for tile_start in range(0, len(values), t):
+        tile = values[tile_start : tile_start + t]
+        if len(tile) < t:
+            padded = np.full(t, identity, dtype=dtype)
+            padded[: len(tile)] = tile
+        else:
+            padded = tile
+        scanned = ctx.block_inclusive_scan(padded, op)
+        corrected = op.apply(np.full(t, carry, dtype=dtype), scanned)
+        out[tile_start : tile_start + len(tile)] = corrected[: len(tile)]
+        carry = corrected[len(tile) - 1]
+    return out

@@ -1,0 +1,283 @@
+"""SAM on the GPU simulator: the paper's unified scan kernel.
+
+One kernel (``SamScan.run``) supports, in any combination —
+
+* any binary associative operator (prefix *scans*),
+* inclusive and exclusive variants,
+* any order ``q`` (Section 2.4: iterate only the computation stage;
+  global traffic stays at one read + one write per element),
+* any tuple size ``s`` (Section 2.3: strided summation with ``s`` sum
+  buffers; register use and coalescing independent of ``s``),
+* both carry-propagation schemes (decoupled = SAM, chained = §5.4's
+  ablation baseline),
+
+mirroring the paper's "single templated CUDA kernel with 100
+statements" in spirit: the kernel body below is one generator function.
+
+Execution follows the persistent-block model: ``k`` blocks are
+launched, block ``b`` processes chunks ``b, b+k, b+2k, ...``, and each
+chunk is read from global memory once and written once.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.carry import CARRY_SCHEMES, AuxBuffers
+from repro.core.localscan import (
+    apply_lane_carries,
+    lane_totals,
+    strided_exclusive_from_inclusive,
+    strided_inclusive_scan,
+    warp_faithful_chunk_scan,
+    warp_faithful_strided_chunk_scan,
+)
+from repro.core.tuning import tune_items_per_thread
+from repro.gpusim.counters import TrafficStats
+from repro.gpusim.kernel import launch_kernel
+from repro.gpusim.cache import L2Cache
+from repro.gpusim.memory import GlobalMemory
+from repro.gpusim.spec import TITAN_X, GPUSpec
+from repro.ops import ADD, get_op
+
+#: Block-local scan engines.  "vector" computes each tuple lane's scan
+#: with vectorized slices; "warp" replays the Section 2.1/2.3 shuffle
+#: and shared-memory mechanics instruction by instruction (including
+#: the strided warp scans and modulo lane lookups for tuples).
+FIDELITIES = ("vector", "warp")
+
+
+@dataclass
+class SamResult:
+    """Output of one simulated SAM launch."""
+
+    values: np.ndarray
+    stats: TrafficStats
+    num_chunks: int
+    num_blocks: int
+    chunk_elements: int
+    order: int
+    tuple_size: int
+    op_name: str
+    inclusive: bool
+    carry_scheme: str
+    l2: object = None  # the L2Cache model when one was attached
+
+    def words_per_element(self) -> float:
+        """Global words moved per input element (the 2n check)."""
+        return self.stats.words_per_element(max(1, len(self.values)))
+
+
+class SamScan:
+    """Configured SAM engine bound to a simulated GPU.
+
+    Parameters
+    ----------
+    spec:
+        GPU to simulate (defaults to the Titan X testbed).
+    threads_per_block:
+        Threads per block ``t`` (defaults to the spec's value; smaller
+        values make fine-grained tests cheap).
+    items_per_thread:
+        Elements per thread ``v``; ``None`` applies the auto-tuning
+        heuristic per problem size.
+    carry_scheme:
+        ``"decoupled"`` (SAM) or ``"chained"`` (§5.4 baseline).
+    policy:
+        Block schedule policy (see :mod:`repro.gpusim.scheduler`);
+        results must be identical under every policy.
+    fidelity:
+        Block-local scan engine, see :data:`FIDELITIES`.
+    buffer_factor:
+        Auxiliary circular buffers hold
+        ``next_pow2(buffer_factor * k + 1)`` slots; the paper uses 3.
+    num_blocks:
+        Override for the persistent-block count ``k`` (tests use small
+        values; defaults to the spec's ``m*b`` capped by chunk count).
+    l2_bytes:
+        Attach an L2 cache model of this capacity (None = no cache
+        model); hit/miss counts land in the result stats.
+    tracer:
+        Optional :class:`repro.gpusim.trace.Tracer`; records per-chunk
+        load/publish/wait/carry/store events so the Figure 2 pipeline
+        can be rendered from an actual run.
+    """
+
+    def __init__(
+        self,
+        spec: GPUSpec = TITAN_X,
+        threads_per_block: Optional[int] = None,
+        items_per_thread: Optional[int] = None,
+        carry_scheme: str = "decoupled",
+        policy="round_robin",
+        fidelity: str = "vector",
+        buffer_factor: int = 3,
+        num_blocks: Optional[int] = None,
+        l2_bytes: Optional[int] = None,
+        tracer=None,
+    ):
+        if carry_scheme not in CARRY_SCHEMES:
+            raise KeyError(
+                f"unknown carry scheme {carry_scheme!r}; "
+                f"available: {sorted(CARRY_SCHEMES)}"
+            )
+        if fidelity not in FIDELITIES:
+            raise ValueError(
+                f"fidelity must be one of {FIDELITIES}, got {fidelity!r}"
+            )
+        self.spec = spec
+        self.threads_per_block = threads_per_block or spec.threads_per_block
+        self.items_per_thread = items_per_thread
+        self.carry_scheme = carry_scheme
+        self.policy = policy
+        self.fidelity = fidelity
+        self.buffer_factor = buffer_factor
+        self.num_blocks = num_blocks
+        self.l2_bytes = l2_bytes
+        self.tracer = tracer
+
+    # -- public API ------------------------------------------------------
+
+    def run(
+        self,
+        values,
+        order: int = 1,
+        tuple_size: int = 1,
+        op=ADD,
+        inclusive: bool = True,
+    ) -> SamResult:
+        """Compute the generalized prefix scan of ``values``.
+
+        Returns a :class:`SamResult` whose ``values`` match the serial
+        reference bit-for-bit and whose ``stats`` hold the measured
+        traffic for this launch.
+        """
+        op = get_op(op)
+        array = np.asarray(values)
+        if array.ndim != 1:
+            raise ValueError(f"expected a 1-D input, got shape {array.shape}")
+        if order < 1:
+            raise ValueError(f"order must be >= 1, got {order}")
+        if tuple_size < 1:
+            raise ValueError(f"tuple_size must be >= 1, got {tuple_size}")
+        dtype = op.check_dtype(array.dtype)
+        array = array.astype(dtype, copy=False)
+
+        n = len(array)
+        if n == 0:
+            return SamResult(
+                values=array.copy(),
+                stats=TrafficStats(),
+                num_chunks=0,
+                num_blocks=0,
+                chunk_elements=0,
+                order=order,
+                tuple_size=tuple_size,
+                op_name=op.name,
+                inclusive=inclusive,
+                carry_scheme=self.carry_scheme,
+            )
+
+        t = self.threads_per_block
+        v = self.items_per_thread or tune_items_per_thread(n, self.spec, t)
+        chunk_elements = t * v
+        num_chunks = math.ceil(n / chunk_elements)
+        k = self.num_blocks or min(self.spec.persistent_blocks, num_chunks)
+        k = min(k, num_chunks)
+
+        l2 = L2Cache(self.l2_bytes) if self.l2_bytes else None
+        gmem = GlobalMemory(l2=l2)
+        d_in = gmem.alloc_like("sam_in", array)
+        d_out = gmem.alloc("sam_out", n, dtype)
+        aux = AuxBuffers(
+            gmem,
+            k,
+            order,
+            tuple_size,
+            dtype,
+            buffer_factor=self.buffer_factor,
+        )
+        carry_fn = CARRY_SCHEMES[self.carry_scheme]
+        identity = op.identity(dtype)
+        fidelity = self.fidelity
+        tracer = self.tracer
+
+        def kernel(ctx):
+            """One persistent block: Figure 2's pipeline, directly."""
+            state = {
+                "acc": np.full((order, tuple_size), identity, dtype=dtype),
+            }
+            for chunk in range(ctx.block_id, num_chunks, ctx.num_blocks):
+                start = chunk * chunk_elements
+                count = min(chunk_elements, n - start)
+                indices = start + np.arange(count)
+                data = gmem.load(d_in, indices)
+                if tracer is not None:
+                    tracer.record(ctx.block_id, chunk, "load")
+                for iteration in range(order):
+                    if fidelity == "warp" and tuple_size == 1:
+                        scanned = warp_faithful_chunk_scan(ctx, data, op)
+                        local_sums = scanned[-1:].copy()
+                    elif fidelity == "warp":
+                        scanned = warp_faithful_strided_chunk_scan(
+                            ctx, data, start, tuple_size, op
+                        )
+                        local_sums = lane_totals(scanned, start, tuple_size, op)
+                    else:
+                        scanned, local_sums = strided_inclusive_scan(
+                            data, start, tuple_size, op
+                        )
+                    if tracer is not None:
+                        tracer.record(ctx.block_id, chunk, "publish")
+                        polls_before = gmem.stats.failed_flag_polls
+                    carry = yield from carry_fn(
+                        aux, op, chunk, iteration, local_sums, state
+                    )
+                    if tracer is not None:
+                        waited = gmem.stats.failed_flag_polls - polls_before
+                        if waited:
+                            tracer.record(
+                                ctx.block_id, chunk, "wait", f"({waited} polls)"
+                            )
+                        tracer.record(ctx.block_id, chunk, "carry")
+                    last = iteration == order - 1
+                    if last and not inclusive:
+                        data = strided_exclusive_from_inclusive(
+                            scanned, start, tuple_size, op, carry
+                        )
+                    else:
+                        data = apply_lane_carries(
+                            scanned, start, tuple_size, op, carry
+                        )
+                gmem.store(d_out, indices, data)
+                if tracer is not None:
+                    tracer.record(ctx.block_id, chunk, "store")
+                # Yield between chunks so the simulated pipeline
+                # interleaves the way Figure 2 depicts.
+                yield
+
+        launch_kernel(
+            kernel,
+            self.spec,
+            gmem=gmem,
+            num_blocks=k,
+            threads_per_block=t,
+            policy=self.policy,
+        )
+        return SamResult(
+            values=d_out.data.copy(),
+            stats=gmem.stats.copy(),
+            num_chunks=num_chunks,
+            num_blocks=k,
+            chunk_elements=chunk_elements,
+            order=order,
+            tuple_size=tuple_size,
+            op_name=op.name,
+            inclusive=inclusive,
+            carry_scheme=self.carry_scheme,
+            l2=l2,
+        )

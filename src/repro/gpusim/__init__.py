@@ -1,0 +1,81 @@
+"""A deterministic functional simulator of the CUDA execution model.
+
+The paper's algorithm (SAM) is defined in terms of CUDA's three levels
+of parallelism (Section 2): 32-thread lockstep *warps* exchanging data
+via shuffles, *thread blocks* with shared memory and barriers, and a
+*grid* of blocks that communicate only through global memory with
+fences.  SAM additionally relies on the *persistent-thread* model: only
+as many blocks are launched as fit on the hardware, and each processes
+every k-th chunk.
+
+This package simulates exactly that model, faithfully enough to
+
+* execute the real inter-block carry-propagation protocol (local-sum
+  circular buffers, ready flags/counts, polling) under an arbitrary —
+  including adversarial — block interleaving, and
+* *measure* the quantity the paper's performance argument rests on:
+  global-memory words moved and 128-byte coalesced transactions issued.
+
+Design choices (documented per module):
+
+* Warps are vectorized: a warp's 32 lanes are numpy slices, and shuffle
+  instructions are array permutations.  Lockstep execution is therefore
+  exact by construction.
+* Blocks are Python generators.  A block runs uninterrupted until it
+  ``yield``s (polling loops and post-fence points); the scheduler then
+  switches blocks.  Global memory is sequentially consistent at yield
+  granularity, which is a *stronger* model than real hardware — so a
+  protocol that is correct on real hardware must also be correct here,
+  and tests additionally drive adversarial schedules to probe ordering
+  assumptions.
+* Every memory operation updates :class:`TrafficStats`, including the
+  coalescing rule: lanes touching the same aligned 128-byte segment
+  merge into one transaction (Section 2's description of bulk loads).
+"""
+
+from repro.gpusim.counters import TrafficStats
+from repro.gpusim.errors import (
+    DeadlockError,
+    KernelFault,
+    SimulationError,
+)
+from repro.gpusim.kernel import KernelResult, launch_kernel
+from repro.gpusim.memory import GlobalArray, GlobalMemory
+from repro.gpusim.scheduler import (
+    SCHEDULE_POLICIES,
+    CooperativeScheduler,
+    SchedulePolicy,
+)
+from repro.gpusim.cache import L2Cache
+from repro.gpusim.sharedmem import SharedMemory
+from repro.gpusim.spec import ALL_GPUS, C1060, K40, M2090, TITAN_X, GPUSpec
+from repro.gpusim.trace import TraceEvent, Tracer, render_pipeline, summarize_stagger
+from repro.gpusim.warp import WARP_SIZE, Warp
+
+__all__ = [
+    "ALL_GPUS",
+    "C1060",
+    "CooperativeScheduler",
+    "DeadlockError",
+    "GlobalArray",
+    "GlobalMemory",
+    "GPUSpec",
+    "K40",
+    "KernelFault",
+    "KernelResult",
+    "L2Cache",
+    "launch_kernel",
+    "M2090",
+    "render_pipeline",
+    "summarize_stagger",
+    "TraceEvent",
+    "Tracer",
+    "SCHEDULE_POLICIES",
+    "SchedulePolicy",
+    "SharedMemory",
+    "SimulationError",
+    "TITAN_X",
+    "TrafficStats",
+    "WARP_SIZE",
+    "Warp",
+]

@@ -1,0 +1,148 @@
+"""The per-block execution context handed to kernel bodies.
+
+A kernel in this simulator is a Python *generator function* taking a
+:class:`BlockContext`.  The generator models one thread block of the
+persistent grid: it runs uninterrupted until it ``yield``s (the points
+where inter-block communication can be observed) and the cooperative
+scheduler then switches to another block.
+
+Intra-block parallelism (warps, barriers) is executed sequentially —
+phases separated by ``syncthreads`` simply run in order, which is
+exactly the semantics a barrier guarantees — while the counters still
+record every barrier, fence, and shuffle the real kernel would issue.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.gpusim.counters import TrafficStats
+from repro.gpusim.memory import GlobalMemory
+from repro.gpusim.sharedmem import SharedMemory
+from repro.gpusim.spec import GPUSpec
+from repro.gpusim.warp import WARP_SIZE, Warp
+from repro.ops import AssociativeOp
+
+#: Shared-memory capacity used when a spec predates the testbed specs.
+DEFAULT_SHARED_BYTES = 48 * 1024
+
+
+class BlockContext:
+    """Everything one persistent thread block can touch.
+
+    Attributes
+    ----------
+    block_id, num_blocks:
+        blockIdx.x and gridDim.x of the persistent launch.
+    spec:
+        The :class:`GPUSpec` being simulated (threads per block etc.).
+    gmem:
+        The shared :class:`GlobalMemory` (common to all blocks).
+    shared:
+        This block's private :class:`SharedMemory`.
+    stats:
+        The launch-wide :class:`TrafficStats` (shared with ``gmem``).
+    """
+
+    def __init__(
+        self,
+        block_id: int,
+        num_blocks: int,
+        spec: GPUSpec,
+        gmem: GlobalMemory,
+        threads_per_block: Optional[int] = None,
+    ):
+        self.block_id = block_id
+        self.num_blocks = num_blocks
+        self.spec = spec
+        self.gmem = gmem
+        self.stats = gmem.stats
+        self.threads_per_block = threads_per_block or spec.threads_per_block
+        if self.threads_per_block % WARP_SIZE != 0:
+            raise ValueError(
+                f"threads_per_block must be a multiple of {WARP_SIZE}, "
+                f"got {self.threads_per_block}"
+            )
+        shared_bytes = spec.shared_mem_per_sm_bytes or DEFAULT_SHARED_BYTES
+        self.shared = SharedMemory(shared_bytes, self.stats)
+        self._warps = [
+            Warp(i, self.stats) for i in range(self.threads_per_block // WARP_SIZE)
+        ]
+
+    @property
+    def num_warps(self) -> int:
+        return len(self._warps)
+
+    def warp(self, index: int) -> Warp:
+        """The ``index``-th warp of this block."""
+        return self._warps[index]
+
+    def syncthreads(self) -> None:
+        """__syncthreads(): a block-wide barrier.
+
+        Counted only — phases separated by barriers already execute in
+        program order in this simulator.
+        """
+        self.stats.barriers += 1
+
+    def threadfence(self) -> None:
+        """__threadfence(): order global writes before subsequent writes.
+
+        Counted via the memory model; the simulator's memory is
+        sequentially consistent so the ordering itself always holds.
+        """
+        self.gmem.fence()
+
+    # -- composite block-level primitives --------------------------------
+
+    def block_inclusive_scan(self, values: np.ndarray, op: AssociativeOp) -> np.ndarray:
+        """The three-phase intra-block scan of Section 2.1, faithfully.
+
+        Phase 1: each warp scans its 32-element subchunk with shuffles
+        and records its last element in a shared auxiliary array.
+        Phase 2: after a barrier, warp 0 scans the auxiliary array.
+        Phase 3: after another barrier, each warp adds its carry.
+
+        ``values`` holds one element per thread (``threads_per_block``
+        lane values); multi-element-per-thread chunking happens above
+        this level.
+        """
+        values = np.asarray(values)
+        if values.shape != (self.threads_per_block,):
+            raise ValueError(
+                f"block scan needs {self.threads_per_block} lane values, "
+                f"got shape {values.shape}"
+            )
+        num_warps = self.num_warps
+        aux = self.shared.alloc_or_get("_block_scan_aux", WARP_SIZE, values.dtype)
+
+        # Phase 1: independent warp scans; record each warp's total.
+        scanned = np.empty_like(values)
+        for w in range(num_warps):
+            lane_values = values[w * WARP_SIZE : (w + 1) * WARP_SIZE]
+            warp_result = self._warps[w].inclusive_scan(lane_values, op)
+            scanned[w * WARP_SIZE : (w + 1) * WARP_SIZE] = warp_result
+            self.shared.store("_block_scan_aux", np.asarray([w]), warp_result[-1:])
+        self.syncthreads()
+
+        # Phase 2: one warp scans the auxiliary array of warp totals.
+        totals = self.shared.load("_block_scan_aux", np.arange(WARP_SIZE))
+        if num_warps < WARP_SIZE:
+            identity = op.identity(values.dtype)
+            totals = totals.copy()
+            totals[num_warps:] = identity
+        totals_scanned = self._warps[0].inclusive_scan(totals, op)
+        self.shared.store("_block_scan_aux", np.arange(WARP_SIZE), totals_scanned)
+        self.syncthreads()
+
+        # Phase 3: every warp beyond the first adds its carry.
+        carries = self.shared.load("_block_scan_aux", np.arange(WARP_SIZE))
+        for w in range(1, num_warps):
+            segment = slice(w * WARP_SIZE, (w + 1) * WARP_SIZE)
+            scanned[segment] = op.apply(
+                np.full(WARP_SIZE, carries[w - 1], dtype=values.dtype),
+                scanned[segment],
+            )
+        return scanned

@@ -1,0 +1,79 @@
+"""A set-associative LRU model of the shared L2 cache.
+
+Section 5.1 explains SAM's large-input edge as a locality effect:
+"While SAM accesses its auxiliary memory O(n) times just like the other
+algorithms do, using O(1) sized circular buffers results in better
+locality and thus more cache hits."  This module makes that claim
+measurable: an optional L2 model attached to :class:`GlobalMemory`
+tracks hits and misses per 128-byte line, per array.
+
+The geometry defaults mirror the testbed GPUs (Section 4: 2 MB on the
+Titan X, 1.5 MB on the K40; 128-byte lines); tests shrink the cache so
+the effect shows at simulation-friendly sizes.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Tuple
+
+#: Cache line size (same as the coalescing segment).
+LINE_BYTES = 128
+
+
+class L2Cache:
+    """Set-associative LRU cache over (array, line-index) addresses."""
+
+    def __init__(self, size_bytes: int, line_bytes: int = LINE_BYTES, associativity: int = 16):
+        if size_bytes < line_bytes * associativity:
+            raise ValueError(
+                f"cache of {size_bytes} bytes cannot hold one "
+                f"{associativity}-way set of {line_bytes}-byte lines"
+            )
+        self.size_bytes = size_bytes
+        self.line_bytes = line_bytes
+        self.associativity = associativity
+        self.num_sets = max(1, size_bytes // (line_bytes * associativity))
+        self._sets: List[OrderedDict] = [OrderedDict() for _ in range(self.num_sets)]
+        self.hits = 0
+        self.misses = 0
+        self._per_array: Dict[str, List[int]] = {}
+
+    def _set_index(self, array_name: str, line: int) -> int:
+        return hash((array_name, line)) % self.num_sets
+
+    def access(self, array_name: str, lines) -> Tuple[int, int]:
+        """Touch the given line indices of one array; returns (hits, misses)."""
+        hits = 0
+        misses = 0
+        counters = self._per_array.setdefault(array_name, [0, 0])
+        for line in lines:
+            line = int(line)
+            cache_set = self._sets[self._set_index(array_name, line)]
+            key = (array_name, line)
+            if key in cache_set:
+                cache_set.move_to_end(key)
+                hits += 1
+            else:
+                misses += 1
+                cache_set[key] = True
+                if len(cache_set) > self.associativity:
+                    cache_set.popitem(last=False)
+        self.hits += hits
+        self.misses += misses
+        counters[0] += hits
+        counters[1] += misses
+        return hits, misses
+
+    def hit_rate(self, array_name: str = None) -> float:
+        """Overall (or per-array) hit rate; 0.0 when never accessed."""
+        if array_name is None:
+            hits, misses = self.hits, self.misses
+        else:
+            hits, misses = self._per_array.get(array_name, (0, 0))
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    def per_array_stats(self) -> Dict[str, Tuple[int, int]]:
+        """{array_name: (hits, misses)} for every touched array."""
+        return {name: tuple(counts) for name, counts in self._per_array.items()}

@@ -1,0 +1,78 @@
+"""Event and traffic counters collected during simulation.
+
+The paper's central performance argument is a *counting* argument:
+SAM and CUB move ``2n`` words through global memory, MGPU ``3n``,
+Thrust/CUDPP ``4n`` (Sections 2.2 and 3.1), and SAM keeps ``2n`` even
+for higher orders (Section 2.4).  The simulator does not model time;
+it measures exactly these quantities so the claims become testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+
+@dataclass
+class TrafficStats:
+    """Accumulated counts for one kernel launch (or a merged set).
+
+    ``global_words_read``/``written`` count *array elements* moved, the
+    unit of the paper's 2n/3n/4n analysis.  ``global_bytes_*`` track the
+    same traffic in bytes.  Transactions apply the 128-byte coalescing
+    rule.  The remaining counters record synchronization and
+    communication work: barriers, fences, shuffle instructions, flag
+    polls (each poll of a not-yet-ready flag is a wasted global read —
+    the latency SAM's pipelining hides), and carry additions (the
+    redundant work SAM trades for latency, Section 2.5).
+    """
+
+    global_words_read: int = 0
+    global_words_written: int = 0
+    global_bytes_read: int = 0
+    global_bytes_written: int = 0
+    global_read_transactions: int = 0
+    global_write_transactions: int = 0
+    shared_words_read: int = 0
+    shared_words_written: int = 0
+    shared_bank_conflicts: int = 0
+    barriers: int = 0
+    fences: int = 0
+    shuffles: int = 0
+    flag_polls: int = 0
+    failed_flag_polls: int = 0
+    l2_hits: int = 0
+    l2_misses: int = 0
+    carry_additions: int = 0
+    kernel_launches: int = 0
+    scheduler_switches: int = 0
+
+    def merge(self, other: "TrafficStats") -> "TrafficStats":
+        """Accumulate ``other`` into ``self`` and return ``self``."""
+        for spec in fields(self):
+            setattr(self, spec.name, getattr(self, spec.name) + getattr(other, spec.name))
+        return self
+
+    def copy(self) -> "TrafficStats":
+        return TrafficStats(**{spec.name: getattr(self, spec.name) for spec in fields(self)})
+
+    @property
+    def global_words_total(self) -> int:
+        """Total global-memory words moved — the paper's headline metric."""
+        return self.global_words_read + self.global_words_written
+
+    def words_per_element(self, n: int) -> float:
+        """Global words moved per input element (compare against 2/3/4).
+
+        Auxiliary-array traffic makes this slightly larger than the
+        ideal coefficient; it converges from above as ``n`` grows.
+        """
+        if n <= 0:
+            raise ValueError(f"n must be positive, got {n}")
+        return self.global_words_total / n
+
+    def as_dict(self) -> dict:
+        return {spec.name: getattr(self, spec.name) for spec in fields(self)}
+
+    def __str__(self) -> str:
+        parts = [f"{key}={value}" for key, value in self.as_dict().items() if value]
+        return "TrafficStats(" + ", ".join(parts) + ")"

@@ -1,0 +1,30 @@
+"""Exception types raised by the GPU simulator."""
+
+from __future__ import annotations
+
+
+class SimulationError(RuntimeError):
+    """Base class for all simulator failures."""
+
+
+class DeadlockError(SimulationError):
+    """Every live block is polling and no global write can unblock them.
+
+    A correct single-pass scan never deadlocks because chunk 0 has no
+    predecessor; this error existing (and being tested) is what lets the
+    scheduler run adversarial interleavings safely.
+    """
+
+
+class KernelFault(SimulationError):
+    """A kernel body raised; wraps the original exception with the
+    faulting block id so failure-injection tests can pinpoint it."""
+
+    def __init__(self, block_id: int, original: BaseException):
+        super().__init__(f"kernel fault in block {block_id}: {original!r}")
+        self.block_id = block_id
+        self.original = original
+
+
+class MemoryFault(SimulationError):
+    """Out-of-bounds or type-mismatched global/shared memory access."""

@@ -1,0 +1,100 @@
+"""Kernel launch machinery: grids of persistent blocks.
+
+``launch_kernel`` is the simulator's ``<<<grid, block>>>``: it builds a
+:class:`BlockContext` per block, instantiates the kernel generator for
+each, and drives them with a :class:`CooperativeScheduler`.  One call is
+one kernel launch (counted — multi-launch algorithms like the
+three-phase scan pay per launch, which is part of the paper's
+communication-efficiency story).
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.gpusim.block import BlockContext
+from repro.gpusim.counters import TrafficStats
+from repro.gpusim.memory import GlobalMemory
+from repro.gpusim.scheduler import CooperativeScheduler, resolve_policy
+from repro.gpusim.spec import GPUSpec
+
+
+@dataclass
+class KernelResult:
+    """What a launch leaves behind: the device memory and the counters."""
+
+    gmem: GlobalMemory
+    stats: TrafficStats
+    num_blocks: int
+
+
+def launch_kernel(
+    kernel_fn: Callable,
+    spec: GPUSpec,
+    gmem: Optional[GlobalMemory] = None,
+    num_blocks: Optional[int] = None,
+    threads_per_block: Optional[int] = None,
+    policy="round_robin",
+    max_idle_rounds: int = 16,
+) -> KernelResult:
+    """Launch ``kernel_fn`` over a grid of (persistent) blocks.
+
+    Parameters
+    ----------
+    kernel_fn:
+        Generator function taking a :class:`BlockContext`.  ``yield``
+        points are where the scheduler may switch blocks.
+    spec:
+        GPU to simulate; defaults ``num_blocks`` to the persistent-block
+        count ``k = m*b`` (Section 2.2) and ``threads_per_block`` to the
+        spec's ``t``.
+    gmem:
+        Existing device memory to operate on; a fresh one is created
+        when omitted.  Input/output arrays are allocated by the caller.
+    policy:
+        Block interleaving; see :mod:`repro.gpusim.scheduler`.
+    """
+    if gmem is None:
+        gmem = GlobalMemory()
+    if num_blocks is None:
+        num_blocks = spec.persistent_blocks
+    if num_blocks < 1:
+        raise ValueError(f"num_blocks must be >= 1, got {num_blocks}")
+    gmem.stats.kernel_launches += 1
+
+    contexts = {
+        block_id: BlockContext(
+            block_id, num_blocks, spec, gmem, threads_per_block=threads_per_block
+        )
+        for block_id in range(num_blocks)
+    }
+    generators = {
+        block_id: _eager_start(kernel_fn, ctx)
+        for block_id, ctx in contexts.items()
+    }
+    scheduler = CooperativeScheduler(
+        gmem.stats, resolve_policy(policy), max_idle_rounds=max_idle_rounds
+    )
+    scheduler.run(generators)
+    return KernelResult(gmem=gmem, stats=gmem.stats, num_blocks=num_blocks)
+
+
+def _eager_start(kernel_fn: Callable, ctx: BlockContext):
+    """Create the block's generator without executing any body code yet.
+
+    Plain (non-generator) kernels are deferred into a one-shot generator
+    so that *no* block body runs before the scheduler starts — otherwise
+    plain kernels would execute during launch in block order, bypassing
+    the schedule policy.
+    """
+    if inspect.isgeneratorfunction(kernel_fn):
+        return kernel_fn(ctx)
+
+    def _deferred():
+        kernel_fn(ctx)
+        return
+        yield  # pragma: no cover - makes this a generator function
+
+    return _deferred()

@@ -1,0 +1,205 @@
+"""Global (device) memory with coalescing-aware traffic accounting.
+
+Section 2 of the paper: "if the warp threads simultaneously access words
+in main memory that lie in the same aligned 128-byte segment, the
+hardware merges the 32 reads or writes into one coalesced memory
+transaction".  The simulator reproduces that rule: every load/store is
+issued at warp granularity, and the number of distinct aligned 128-byte
+segments touched by the active lanes is the number of transactions.
+
+Values live in numpy arrays and are visible to all blocks immediately
+(sequential consistency at scheduler-switch granularity — see the
+package docstring).  Fences are therefore ordering no-ops but are
+counted, and the polling API separates *failed* polls so tests can
+observe the latency-hiding behaviour SAM's pipelining produces.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.gpusim.counters import TrafficStats
+from repro.gpusim.errors import MemoryFault
+from repro.gpusim.warp import WARP_SIZE
+
+#: Size of a coalescing segment in bytes (CUDA global-memory rule).
+SEGMENT_BYTES = 128
+
+
+class GlobalArray:
+    """A named allocation in simulated global memory.
+
+    Holds its backing numpy buffer plus per-array traffic counts, so a
+    test can distinguish data-array traffic (the 2n/4n coefficients)
+    from auxiliary-array traffic (SAM's O(1) circular buffers).
+    """
+
+    def __init__(self, name: str, data: np.ndarray):
+        self.name = name
+        self.data = data
+        self.words_read = 0
+        self.words_written = 0
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+    def __repr__(self) -> str:
+        return f"GlobalArray({self.name!r}, n={len(self.data)}, dtype={self.data.dtype})"
+
+
+class GlobalMemory:
+    """The device's global memory: named arrays + traffic counters.
+
+    ``l2`` optionally attaches an :class:`repro.gpusim.cache.L2Cache`;
+    every coalesced transaction then also probes the cache model and
+    updates the ``l2_hits`` / ``l2_misses`` counters.
+    """
+
+    def __init__(self, stats: Optional[TrafficStats] = None, l2=None):
+        self.stats = stats if stats is not None else TrafficStats()
+        self.l2 = l2
+        self._arrays: Dict[str, GlobalArray] = {}
+
+    # -- allocation ----------------------------------------------------
+
+    def alloc(self, name: str, size: int, dtype, fill=None) -> GlobalArray:
+        """Allocate ``size`` elements of ``dtype`` under ``name``.
+
+        Allocation itself generates no traffic (cudaMalloc does not
+        touch the data); ``fill`` initializes host-side, mirroring
+        cudaMemset/cudaMemcpy outside the measured kernel.
+        """
+        if name in self._arrays:
+            raise MemoryFault(f"global array {name!r} already allocated")
+        if size < 0:
+            raise MemoryFault(f"negative allocation size {size} for {name!r}")
+        data = np.zeros(size, dtype=dtype)
+        if fill is not None:
+            data[:] = fill
+        array = GlobalArray(name, data)
+        self._arrays[name] = array
+        return array
+
+    def alloc_like(self, name: str, values: np.ndarray) -> GlobalArray:
+        """Allocate and host-initialize from an existing array (H2D copy)."""
+        array = self.alloc(name, len(values), values.dtype)
+        array.data[:] = values
+        return array
+
+    def get(self, name: str) -> GlobalArray:
+        if name not in self._arrays:
+            raise MemoryFault(f"no global array named {name!r}")
+        return self._arrays[name]
+
+    def free(self, name: str) -> None:
+        if name not in self._arrays:
+            raise MemoryFault(f"cannot free unknown array {name!r}")
+        del self._arrays[name]
+
+    # -- warp-granularity access ----------------------------------------
+
+    def _check_bounds(self, array: GlobalArray, indices: np.ndarray) -> None:
+        if indices.size and (indices.min() < 0 or indices.max() >= len(array.data)):
+            raise MemoryFault(
+                f"out-of-bounds access to {array.name!r}: indices in "
+                f"[{indices.min()}, {indices.max()}], size {len(array.data)}"
+            )
+
+    def _count_transactions(self, array: GlobalArray, indices: np.ndarray) -> int:
+        """Apply the 128-byte coalescing rule per 32-lane group.
+
+        When an L2 model is attached, every transaction's segment also
+        probes the cache.
+        """
+        itemsize = array.data.dtype.itemsize
+        transactions = 0
+        for start in range(0, len(indices), WARP_SIZE):
+            group = indices[start : start + WARP_SIZE]
+            segments = np.unique((group.astype(np.int64) * itemsize) // SEGMENT_BYTES)
+            transactions += len(segments)
+            if self.l2 is not None:
+                hits, misses = self.l2.access(array.name, segments)
+                self.stats.l2_hits += hits
+                self.stats.l2_misses += misses
+        return transactions
+
+    def load(self, array: GlobalArray, indices, mask=None) -> np.ndarray:
+        """Gather ``array[indices]`` for the active lanes.
+
+        ``indices`` is one or more warps' worth of element indices;
+        masked-off lanes neither move data nor count toward coalescing.
+        Returns the loaded values (masked lanes return zeros).
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        if mask is not None:
+            mask = np.asarray(mask, dtype=bool)
+            active = indices[mask]
+        else:
+            active = indices
+        self._check_bounds(array, active)
+        self.stats.global_words_read += active.size
+        self.stats.global_bytes_read += active.size * array.data.dtype.itemsize
+        self.stats.global_read_transactions += self._count_transactions(array, active)
+        array.words_read += active.size
+        out = np.zeros(indices.shape, dtype=array.data.dtype)
+        if mask is not None:
+            out[mask] = array.data[active]
+        else:
+            out = array.data[indices]
+        return out
+
+    def store(self, array: GlobalArray, indices, values, mask=None) -> None:
+        """Scatter ``values`` to ``array[indices]`` for the active lanes."""
+        indices = np.asarray(indices, dtype=np.int64)
+        values = np.asarray(values)
+        if mask is not None:
+            mask = np.asarray(mask, dtype=bool)
+            active_idx = indices[mask]
+            active_val = np.broadcast_to(values, indices.shape)[mask]
+        else:
+            active_idx = indices
+            active_val = np.broadcast_to(values, indices.shape)
+        self._check_bounds(array, active_idx)
+        self.stats.global_words_written += active_idx.size
+        self.stats.global_bytes_written += active_idx.size * array.data.dtype.itemsize
+        self.stats.global_write_transactions += self._count_transactions(array, active_idx)
+        array.words_written += active_idx.size
+        array.data[active_idx] = active_val.astype(array.data.dtype)
+
+    # -- scalar access (single-lane, e.g. one thread publishing a sum) --
+
+    def load_scalar(self, array: GlobalArray, index: int):
+        """Single-lane read: one word, one transaction."""
+        return self.load(array, np.asarray([int(index)]))[0]
+
+    def store_scalar(self, array: GlobalArray, index: int, value) -> None:
+        """Single-lane write: one word, one transaction."""
+        self.store(array, np.asarray([int(index)]), np.asarray([value]))
+
+    # -- flag polling ----------------------------------------------------
+
+    def poll(self, array: GlobalArray, indices, expected) -> np.ndarray:
+        """Read flag words and compare against ``expected``.
+
+        Returns the boolean readiness vector.  Every lane counts as a
+        flag poll; lanes that come back not-ready also count as failed
+        polls — the wasted traffic that SAM's staggered pipeline is
+        designed to minimize (Section 2.2).
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        values = self.load(array, indices)
+        ready = values >= np.asarray(expected)
+        self.stats.flag_polls += indices.size
+        self.stats.failed_flag_polls += int(np.count_nonzero(~ready))
+        return ready
+
+    def fence(self) -> None:
+        """__threadfence(): counted; ordering is already guaranteed by
+        the simulator's sequential consistency."""
+        self.stats.fences += 1

@@ -1,0 +1,138 @@
+"""Cooperative scheduling of persistent thread blocks.
+
+Real GPUs schedule resident blocks in an order the programmer cannot
+control; SAM's correctness therefore cannot depend on any particular
+interleaving.  The simulator makes the interleaving an explicit,
+deterministic *policy* so tests can run the same kernel under a
+round-robin, reversed, rotated, or seeded-random schedule and demand
+bit-identical results.
+
+A block runs until it ``yield``s or finishes.  Blocks waiting on flags
+yield inside their polling loop; if a full pass over every live block
+produces neither a completion nor a global-memory write, the state can
+never change again (the simulator is deterministic between yields) and a
+:class:`DeadlockError` is raised instead of spinning forever.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Iterator, List, Sequence
+
+from repro.gpusim.counters import TrafficStats
+from repro.gpusim.errors import DeadlockError, KernelFault
+
+#: A policy maps (round_index, live_block_ids) to the visit order.
+SchedulePolicy = Callable[[int, Sequence[int]], List[int]]
+
+
+def round_robin(round_index: int, block_ids: Sequence[int]) -> List[int]:
+    """Blocks in ascending id order every round (the friendly schedule:
+    matches the pipelined processing of Figure 2)."""
+    return list(block_ids)
+
+
+def reversed_order(round_index: int, block_ids: Sequence[int]) -> List[int]:
+    """Highest block id first — maximally hostile to forward carry
+    propagation, since consumers always run before their producers."""
+    return list(reversed(block_ids))
+
+
+def rotating(round_index: int, block_ids: Sequence[int]) -> List[int]:
+    """Rotate the starting block every round."""
+    ids = list(block_ids)
+    if not ids:
+        return ids
+    pivot = round_index % len(ids)
+    return ids[pivot:] + ids[:pivot]
+
+
+def make_seeded_random(seed: int) -> SchedulePolicy:
+    """A deterministic pseudo-random permutation per round."""
+    def policy(round_index: int, block_ids: Sequence[int]) -> List[int]:
+        rng = random.Random(seed * 1_000_003 + round_index)
+        ids = list(block_ids)
+        rng.shuffle(ids)
+        return ids
+
+    return policy
+
+
+SCHEDULE_POLICIES: Dict[str, SchedulePolicy] = {
+    "round_robin": round_robin,
+    "reversed": reversed_order,
+    "rotating": rotating,
+    "random": make_seeded_random(0),
+}
+
+
+def resolve_policy(policy) -> SchedulePolicy:
+    """Accept a policy name or a policy callable."""
+    if callable(policy):
+        return policy
+    if isinstance(policy, str):
+        if policy not in SCHEDULE_POLICIES:
+            raise KeyError(
+                f"unknown schedule policy {policy!r}; "
+                f"available: {sorted(SCHEDULE_POLICIES)}"
+            )
+        return SCHEDULE_POLICIES[policy]
+    raise TypeError(f"expected policy name or callable, got {type(policy).__name__}")
+
+
+class CooperativeScheduler:
+    """Drives a set of block generators to completion under a policy."""
+
+    def __init__(
+        self,
+        stats: TrafficStats,
+        policy: SchedulePolicy = round_robin,
+        max_idle_rounds: int = 16,
+    ):
+        self.stats = stats
+        self.policy = policy
+        self.max_idle_rounds = max_idle_rounds
+
+    def run(self, blocks: Dict[int, Iterator]) -> None:
+        """Run every block generator until all complete.
+
+        ``blocks`` maps block ids to freshly-created generators.  Raises
+        :class:`KernelFault` if a block raises and :class:`DeadlockError`
+        if no block can make progress.
+        """
+        live = dict(blocks)
+        round_index = 0
+        idle_rounds = 0
+        while live:
+            order = self.policy(round_index, sorted(live))
+            if sorted(order) != sorted(live):
+                raise ValueError(
+                    "schedule policy must return a permutation of the live blocks"
+                )
+            progress = False
+            # Only writes can unblock a waiting block: polling generates
+            # reads every round, so reads must not count as progress.
+            writes_before = self.stats.global_words_written
+            for block_id in order:
+                generator = live.get(block_id)
+                if generator is None:
+                    continue
+                self.stats.scheduler_switches += 1
+                try:
+                    next(generator)
+                except StopIteration:
+                    del live[block_id]
+                    progress = True
+                except Exception as exc:  # noqa: BLE001 - rewrapped below
+                    raise KernelFault(block_id, exc) from exc
+            writes_after = self.stats.global_words_written
+            if progress or writes_after != writes_before:
+                idle_rounds = 0
+            else:
+                idle_rounds += 1
+                if idle_rounds >= self.max_idle_rounds:
+                    raise DeadlockError(
+                        f"{len(live)} blocks made no progress for "
+                        f"{idle_rounds} full rounds (blocks {sorted(live)})"
+                    )
+            round_index += 1

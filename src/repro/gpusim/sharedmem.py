@@ -1,0 +1,118 @@
+"""Per-block shared memory with bank-conflict accounting.
+
+Section 2: "All threads in a block have access to a software-controlled
+data cache called shared memory".  Shared memory on real GPUs is divided
+into 32 banks of 4-byte words; a warp access in which multiple lanes hit
+*different addresses in the same bank* serializes.  The simulator counts
+those conflicts (they matter for the auxiliary-array phase of the block
+scan) but, like the global-memory model, does not simulate time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.gpusim.counters import TrafficStats
+from repro.gpusim.errors import MemoryFault
+
+#: Number of shared-memory banks on every GPU generation in Table 1.
+NUM_BANKS = 32
+
+
+class SharedMemory:
+    """One thread block's shared memory: named arrays + counters."""
+
+    def __init__(self, capacity_bytes: int, stats: Optional[TrafficStats] = None):
+        self.capacity_bytes = capacity_bytes
+        self.stats = stats if stats is not None else TrafficStats()
+        self._arrays: Dict[str, np.ndarray] = {}
+        self._used_bytes = 0
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used_bytes
+
+    def alloc(self, name: str, size: int, dtype) -> np.ndarray:
+        """Statically allocate a named shared array (like __shared__)."""
+        if name in self._arrays:
+            raise MemoryFault(f"shared array {name!r} already allocated")
+        dtype = np.dtype(dtype)
+        nbytes = size * dtype.itemsize
+        if self._used_bytes + nbytes > self.capacity_bytes:
+            raise MemoryFault(
+                f"shared memory exhausted: {self._used_bytes} + {nbytes} bytes "
+                f"> capacity {self.capacity_bytes}"
+            )
+        self._used_bytes += nbytes
+        array = np.zeros(size, dtype=dtype)
+        self._arrays[name] = array
+        return array
+
+    def get(self, name: str) -> np.ndarray:
+        if name not in self._arrays:
+            raise MemoryFault(f"no shared array named {name!r}")
+        return self._arrays[name]
+
+    def alloc_or_get(self, name: str, size: int, dtype) -> np.ndarray:
+        """Allocate on first use, reuse afterwards (static __shared__
+        arrays persist across loop iterations within a kernel)."""
+        if name in self._arrays:
+            existing = self._arrays[name]
+            if len(existing) < size or existing.dtype != np.dtype(dtype):
+                raise MemoryFault(
+                    f"shared array {name!r} re-requested with incompatible "
+                    f"shape/dtype ({size} x {np.dtype(dtype)} vs "
+                    f"{len(existing)} x {existing.dtype})"
+                )
+            return existing
+        return self.alloc(name, size, dtype)
+
+    def _count_conflicts(self, indices: np.ndarray) -> int:
+        """Bank conflicts for one warp access: for each bank, every
+        *distinct* address beyond the first serializes one extra cycle.
+        (Multiple lanes reading the same address broadcast for free.)"""
+        if indices.size == 0:
+            return 0
+        banks = indices % NUM_BANKS
+        conflicts = 0
+        for bank in np.unique(banks):
+            distinct = len(np.unique(indices[banks == bank]))
+            conflicts += distinct - 1
+        return conflicts
+
+    def load(self, name: str, indices, mask=None) -> np.ndarray:
+        """Warp-granularity gather from a shared array."""
+        array = self.get(name)
+        indices = np.asarray(indices, dtype=np.int64)
+        if mask is not None:
+            mask = np.asarray(mask, dtype=bool)
+            active = indices[mask]
+        else:
+            active = indices
+        if active.size and (active.min() < 0 or active.max() >= len(array)):
+            raise MemoryFault(f"shared load out of bounds on {name!r}")
+        self.stats.shared_words_read += active.size
+        self.stats.shared_bank_conflicts += self._count_conflicts(active)
+        out = np.zeros(indices.shape, dtype=array.dtype)
+        if mask is not None:
+            out[mask] = array[active]
+        else:
+            out = array[indices]
+        return out
+
+    def store(self, name: str, indices, values, mask=None) -> None:
+        """Warp-granularity scatter into a shared array."""
+        array = self.get(name)
+        indices = np.asarray(indices, dtype=np.int64)
+        values = np.broadcast_to(np.asarray(values), indices.shape)
+        if mask is not None:
+            mask = np.asarray(mask, dtype=bool)
+            indices = indices[mask]
+            values = values[mask]
+        if indices.size and (indices.min() < 0 or indices.max() >= len(array)):
+            raise MemoryFault(f"shared store out of bounds on {name!r}")
+        self.stats.shared_words_written += indices.size
+        self.stats.shared_bank_conflicts += self._count_conflicts(indices)
+        array[indices] = values.astype(array.dtype)

@@ -1,0 +1,131 @@
+"""Hardware descriptions of the GPUs the paper evaluates.
+
+Table 1 of the paper lists, for the best single-chip compute GPU of each
+NVIDIA generation: ``m`` (number of SMs), ``b`` (minimum thread blocks
+per SM for full occupancy), ``t`` (threads per block), ``r`` (registers
+available per thread), and the resulting architectural factor
+``af = m*b / (t*r)``.  Section 4 adds clock rates, bandwidth, cache
+sizes, and core counts for the two measurement platforms (Titan X and
+K40).  Everything the simulator and the performance model need about a
+GPU lives in :class:`GPUSpec`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Static description of one GPU model.
+
+    The first five fields are exactly Table 1's columns; the remainder
+    come from Section 4's testbed description (zeros for the two older
+    generations the paper only analyzes, never benchmarks).
+    """
+
+    name: str
+    generation: str
+    sm_count: int                 # m
+    blocks_per_sm: int            # b
+    threads_per_block: int        # t
+    registers_per_thread: float   # r
+    core_clock_ghz: float = 0.0
+    mem_clock_ghz: float = 0.0
+    peak_bandwidth_gbs: float = 0.0
+    cores: int = 0
+    l2_bytes: int = 0
+    shared_mem_per_sm_bytes: int = 0
+    global_mem_bytes: int = 0
+    max_resident_threads: int = 0
+
+    @property
+    def persistent_blocks(self) -> int:
+        """k, the number of simultaneously-resident thread blocks.
+
+        Section 2.2: "k is the number of persistent thread blocks, which
+        is a hardware dependent constant ... 30 and 48 on our GPUs"
+        (K40: 15 SMs x 2; Titan X: 24 SMs x 2).
+        """
+        return self.sm_count * self.blocks_per_sm
+
+    @property
+    def architectural_factor(self) -> float:
+        """af = m*b / (t*r), Section 2.5's per-element carry-work factor."""
+        return (self.sm_count * self.blocks_per_sm) / (
+            self.threads_per_block * self.registers_per_thread
+        )
+
+    @property
+    def architectural_factor_x1000(self) -> float:
+        """Table 1 reports af scaled by 1000 for readability."""
+        return self.architectural_factor * 1000.0
+
+    @property
+    def compute_to_memory_clock_ratio(self) -> float:
+        """mem_clock / core_clock — Section 5.1 uses this ratio (4.0 for
+        the K40, 3.2 for the Titan X) to explain why trading extra
+        computation for latency hiding pays off more on the Titan X."""
+        if self.core_clock_ghz == 0:
+            return 0.0
+        return self.mem_clock_ghz / self.core_clock_ghz
+
+
+#: Tesla generation (Table 1, row 1).
+C1060 = GPUSpec(
+    name="C1060",
+    generation="Tesla",
+    sm_count=30,
+    blocks_per_sm=2,
+    threads_per_block=512,
+    registers_per_thread=16,
+)
+
+#: Fermi generation (Table 1, row 2).
+M2090 = GPUSpec(
+    name="M2090",
+    generation="Fermi",
+    sm_count=16,
+    blocks_per_sm=2,
+    threads_per_block=768,
+    registers_per_thread=21.3,
+)
+
+#: Kepler generation (Table 1, row 3 + Section 4 testbed).
+K40 = GPUSpec(
+    name="K40",
+    generation="Kepler",
+    sm_count=15,
+    blocks_per_sm=2,
+    threads_per_block=1024,
+    registers_per_thread=32,
+    core_clock_ghz=0.745,
+    mem_clock_ghz=3.0,
+    peak_bandwidth_gbs=288.0,
+    cores=2880,
+    l2_bytes=1536 * 1024,
+    shared_mem_per_sm_bytes=64 * 1024,
+    global_mem_bytes=12 * 1024**3,
+    max_resident_threads=30720,
+)
+
+#: Maxwell generation (Table 1, row 4 + Section 4 testbed).
+TITAN_X = GPUSpec(
+    name="Titan X",
+    generation="Maxwell",
+    sm_count=24,
+    blocks_per_sm=2,
+    threads_per_block=1024,
+    registers_per_thread=32,
+    core_clock_ghz=1.1,
+    mem_clock_ghz=3.5,
+    peak_bandwidth_gbs=336.0,
+    cores=3072,
+    l2_bytes=2 * 1024 * 1024,
+    shared_mem_per_sm_bytes=96 * 1024,
+    global_mem_bytes=12 * 1024**3,
+    max_resident_threads=49152,
+)
+
+#: Table 1's rows in the paper's order.
+ALL_GPUS = (C1060, M2090, K40, TITAN_X)

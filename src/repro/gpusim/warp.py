@@ -1,0 +1,142 @@
+"""Warp-level primitives: lockstep lanes and shuffle-based scans.
+
+Section 2.1: "each warp computes an independent prefix sum on its
+subchunk using a series of shuffle instructions".  A warp here is a
+vector of 32 lane values (a numpy array), and ``shfl_up`` is the CUDA
+``__shfl_up`` instruction: lane ``i`` receives the value of lane
+``i - delta``, lanes below ``delta`` keep their own value, and the
+instruction costs one shuffle per active warp.
+
+The inclusive warp scan is the classic Kogge-Stone/Hillis-Steele ladder:
+log2(32) = 5 shuffle+apply steps.  It works for any associative
+operator and any stride (tuple) because striding is handled above the
+warp level; the warp only ever scans contiguous lane values.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.gpusim.counters import TrafficStats
+from repro.ops import AssociativeOp
+
+#: Threads per warp on every CUDA GPU the paper considers.
+WARP_SIZE = 32
+
+
+class Warp:
+    """One 32-lane warp operating on vectors of lane values.
+
+    The object is stateless apart from its counters; kernel code passes
+    lane-value vectors in and out.  This mirrors how real warp shuffles
+    move register values rather than memory.
+    """
+
+    def __init__(self, warp_id: int, stats: Optional[TrafficStats] = None):
+        self.warp_id = warp_id
+        self.stats = stats if stats is not None else TrafficStats()
+        self.lane_ids = np.arange(WARP_SIZE)
+
+    def _check(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values)
+        if values.shape != (WARP_SIZE,):
+            raise ValueError(
+                f"warp operations need exactly {WARP_SIZE} lane values, got shape {values.shape}"
+            )
+        return values
+
+    def shfl_up(self, values, delta: int) -> np.ndarray:
+        """CUDA __shfl_up: lane i gets the value of lane i-delta.
+
+        Lanes ``i < delta`` receive their own value unchanged (the
+        hardware leaves the destination register untouched for them).
+        """
+        values = self._check(values)
+        if not 0 <= delta < WARP_SIZE:
+            raise ValueError(f"shuffle delta must be in [0, {WARP_SIZE}), got {delta}")
+        self.stats.shuffles += 1
+        if delta == 0:
+            return values.copy()
+        out = values.copy()
+        out[delta:] = values[:-delta]
+        return out
+
+    def shfl_down(self, values, delta: int) -> np.ndarray:
+        """CUDA __shfl_down: lane i gets the value of lane i+delta."""
+        values = self._check(values)
+        if not 0 <= delta < WARP_SIZE:
+            raise ValueError(f"shuffle delta must be in [0, {WARP_SIZE}), got {delta}")
+        self.stats.shuffles += 1
+        if delta == 0:
+            return values.copy()
+        out = values.copy()
+        out[:-delta] = values[delta:]
+        return out
+
+    def shfl_idx(self, values, src_lane: int) -> np.ndarray:
+        """CUDA __shfl: broadcast the value held by ``src_lane`` to all lanes."""
+        values = self._check(values)
+        if not 0 <= src_lane < WARP_SIZE:
+            raise ValueError(f"source lane must be in [0, {WARP_SIZE}), got {src_lane}")
+        self.stats.shuffles += 1
+        return np.full(WARP_SIZE, values[src_lane], dtype=values.dtype)
+
+    def inclusive_scan(self, values, op: AssociativeOp) -> np.ndarray:
+        """Inclusive scan across the warp in log2(32) shuffle steps.
+
+        The Kogge-Stone ladder: at step d each lane i >= 2^d combines in
+        the value from lane i - 2^d.  Lanes below 2^d are masked via the
+        identity-preserving shfl_up semantics plus an explicit mask.
+        """
+        values = self._check(values)
+        result = values.copy()
+        delta = 1
+        while delta < WARP_SIZE:
+            shifted = self.shfl_up(result, delta)
+            contribute = self.lane_ids >= delta
+            combined = op.apply(shifted, result)
+            result = np.where(contribute, combined, result).astype(values.dtype)
+            delta *= 2
+        return result
+
+    def strided_inclusive_scan(
+        self, values, op: AssociativeOp, stride: int
+    ) -> np.ndarray:
+        """Strided (tuple) inclusive scan across the warp.
+
+        Lane ``i`` accumulates lanes ``i, i - stride, i - 2*stride, ...``
+        — the warp-level form of the paper's Section 2.3 strided
+        summation.  The Kogge-Stone ladder simply starts at ``stride``
+        and doubles: ceil(log2(32/stride)) shuffle steps.  ``stride >= 32``
+        degenerates to a copy (no two lanes share a tuple lane).
+        """
+        values = self._check(values)
+        if stride < 1:
+            raise ValueError(f"stride must be >= 1, got {stride}")
+        result = values.copy()
+        delta = stride
+        while delta < WARP_SIZE:
+            shifted = self.shfl_up(result, delta)
+            contribute = self.lane_ids >= delta
+            combined = op.apply(shifted, result)
+            result = np.where(contribute, combined, result).astype(values.dtype)
+            delta *= 2
+        return result
+
+    def exclusive_scan(self, values, op: AssociativeOp) -> np.ndarray:
+        """Exclusive warp scan: shift the inclusive result up one lane and
+        seed lane 0 with the identity."""
+        values = self._check(values)
+        inclusive = self.inclusive_scan(values, op)
+        shifted = self.shfl_up(inclusive, 1)
+        shifted[0] = op.identity(values.dtype)
+        return shifted
+
+    def reduce(self, values, op: AssociativeOp) -> np.ndarray:
+        """Warp-wide reduction; every lane ends up holding the total
+        (implemented as inclusive scan + broadcast of lane 31, which is
+        how SAM obtains its subchunk totals)."""
+        inclusive = self.inclusive_scan(values, op)
+        return self.shfl_idx(inclusive, WARP_SIZE - 1)

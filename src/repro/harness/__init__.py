@@ -1,0 +1,41 @@
+"""Experiment harness: regenerate every table and figure of the paper.
+
+:mod:`repro.harness.figures` defines one :class:`FigureSpec` per figure
+(3-16) with the exact workload the paper sweeps (GPU, word size, sizes,
+algorithms, orders / tuple sizes) and produces the throughput series
+from the performance model.  :mod:`repro.harness.tables` regenerates
+Table 1 from the GPU specs.  :mod:`repro.harness.report` renders both
+as aligned text, the way the benchmark harness prints them.
+:mod:`repro.harness.headline` collects the paper's textual claims about
+each figure as machine-checkable assertions.
+"""
+
+from repro.harness.figures import (
+    FIGURES,
+    FigureData,
+    FigureSpec,
+    Series,
+    generate_figure,
+    power_of_ten_sizes,
+    power_of_two_sizes,
+)
+from repro.harness.headline import HEADLINE_CHECKS, HeadlineCheck, run_headline_checks
+from repro.harness.report import format_figure, format_table1, render_sparklines
+from repro.harness.tables import table1_rows
+
+__all__ = [
+    "FIGURES",
+    "FigureData",
+    "FigureSpec",
+    "HEADLINE_CHECKS",
+    "HeadlineCheck",
+    "Series",
+    "format_figure",
+    "format_table1",
+    "generate_figure",
+    "power_of_ten_sizes",
+    "power_of_two_sizes",
+    "render_sparklines",
+    "run_headline_checks",
+    "table1_rows",
+]

@@ -1,0 +1,183 @@
+"""Figure specifications and series generation.
+
+Section 5 evaluates throughput (items/second) over "power-of-two sizes
+between 2^10 and 2^30 as well as ... power-of-ten sizes between 10^3
+and 10^9", with "none of the tested codes supporting input sizes above
+4 GB, i.e., 2^30 items for 32-bit integers and 2^29 items for 64-bit
+longs".  Those sweep rules live here, together with one spec per
+figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.perf.model import PerformanceModel
+
+#: 4 GB capacity limit -> max items per word size (Section 5.1).
+MAX_ITEMS = {32: 2**30, 64: 2**29}
+
+
+def power_of_two_sizes(word_bits: int) -> List[int]:
+    """2^10 .. 2^30 (2^29 for 64-bit)."""
+    limit = MAX_ITEMS[word_bits]
+    return [1 << e for e in range(10, 31) if (1 << e) <= limit]
+
+
+def power_of_ten_sizes(word_bits: int) -> List[int]:
+    """10^3 .. 10^9, capped at the 4 GB limit."""
+    limit = MAX_ITEMS[word_bits]
+    return [10**e for e in range(3, 10) if 10**e <= limit]
+
+
+def standard_sizes(word_bits: int) -> List[int]:
+    """The union the paper plots, sorted."""
+    return sorted(set(power_of_two_sizes(word_bits)) | set(power_of_ten_sizes(word_bits)))
+
+
+@dataclass(frozen=True)
+class Series:
+    """One line in a figure: an algorithm at a given order/tuple size."""
+
+    label: str
+    algorithm: str
+    order: int = 1
+    tuple_size: int = 1
+
+
+@dataclass(frozen=True)
+class FigureSpec:
+    """Everything needed to regenerate one figure of the paper."""
+
+    fig_id: str
+    title: str
+    gpu: str
+    word_bits: int
+    series: Tuple[Series, ...]
+
+    def sizes(self) -> List[int]:
+        sizes = standard_sizes(self.word_bits)
+        if max(s.tuple_size for s in self.series) > 1:
+            # "the input size needs to be an integer multiple of the
+            # tuple size, some of the inputs are actually a few elements
+            # shorter than indicated" (Section 5.3) — sizes unchanged,
+            # workloads truncate; the model works on the nominal size.
+            pass
+        return sizes
+
+
+@dataclass
+class FigureData:
+    """Generated series for one figure (``None`` = unsupported size)."""
+
+    spec: FigureSpec
+    sizes: List[int]
+    values: Dict[str, List[Optional[float]]] = field(default_factory=dict)
+
+
+def _conventional(gpu: str, bits: int, fig_id: str) -> FigureSpec:
+    return FigureSpec(
+        fig_id=fig_id,
+        title=(
+            f"Prefix-sum throughput of {bits}-bit integers for different "
+            f"problem sizes on the {gpu}"
+        ),
+        gpu=gpu,
+        word_bits=bits,
+        series=(
+            Series("Thrust", "thrust"),
+            Series("CUDPP", "cudpp"),
+            Series("CUB", "cub"),
+            Series("SAM", "sam"),
+            Series("memcpy", "memcpy"),
+        ),
+    )
+
+
+def _higher_order(gpu: str, bits: int, fig_id: str) -> FigureSpec:
+    return FigureSpec(
+        fig_id=fig_id,
+        title=(
+            f"Higher-order prefix-sum throughput of {bits}-bit integers "
+            f"for different problem sizes on the {gpu}"
+        ),
+        gpu=gpu,
+        word_bits=bits,
+        series=tuple(
+            Series(f"{alg.upper()}{q}", alg, order=q)
+            for q in (2, 5, 8)
+            for alg in ("cub", "sam")
+        ),
+    )
+
+
+def _tuple_based(gpu: str, bits: int, fig_id: str) -> FigureSpec:
+    return FigureSpec(
+        fig_id=fig_id,
+        title=(
+            f"Tuple-based prefix-sum throughput of {bits}-bit integers "
+            f"for different problem sizes on the {gpu}"
+        ),
+        gpu=gpu,
+        word_bits=bits,
+        series=tuple(
+            Series(f"{alg.upper()}{s}", alg, tuple_size=s)
+            for s in (2, 5, 8)
+            for alg in ("cub", "sam")
+        ),
+    )
+
+
+def _carry(gpu: str, fig_id: str) -> FigureSpec:
+    return FigureSpec(
+        fig_id=fig_id,
+        title=(
+            "Prefix-sum throughput of 32-bit integers for two "
+            f"carry-propagation schemes on the {gpu}"
+        ),
+        gpu=gpu,
+        word_bits=32,
+        series=(Series("chained", "chained"), Series("SAM", "sam")),
+    )
+
+
+#: Figure id -> spec, exactly the paper's evaluation section.
+FIGURES: Dict[str, FigureSpec] = {
+    "fig03": _conventional("Titan X", 32, "fig03"),
+    "fig04": _conventional("Titan X", 64, "fig04"),
+    "fig05": _conventional("K40", 32, "fig05"),
+    "fig06": _conventional("K40", 64, "fig06"),
+    "fig07": _higher_order("Titan X", 32, "fig07"),
+    "fig08": _higher_order("Titan X", 64, "fig08"),
+    "fig09": _higher_order("K40", 32, "fig09"),
+    "fig10": _higher_order("K40", 64, "fig10"),
+    "fig11": _tuple_based("Titan X", 32, "fig11"),
+    "fig12": _tuple_based("Titan X", 64, "fig12"),
+    "fig13": _tuple_based("K40", 32, "fig13"),
+    "fig14": _tuple_based("K40", 64, "fig14"),
+    "fig15": _carry("Titan X", "fig15"),
+    "fig16": _carry("K40", "fig16"),
+}
+
+
+def generate_figure(
+    fig_id: str, model: Optional[PerformanceModel] = None
+) -> FigureData:
+    """Produce every series of one figure from the performance model."""
+    if fig_id not in FIGURES:
+        raise KeyError(f"unknown figure {fig_id!r}; available: {sorted(FIGURES)}")
+    spec = FIGURES[fig_id]
+    model = model or PerformanceModel()
+    sizes = spec.sizes()
+    data = FigureData(spec=spec, sizes=sizes)
+    for series in spec.series:
+        data.values[series.label] = model.sweep(
+            series.algorithm,
+            spec.gpu,
+            spec.word_bits,
+            sizes,
+            order=series.order,
+            tuple_size=series.tuple_size,
+        )
+    return data

@@ -1,0 +1,368 @@
+"""The paper's textual claims as machine-checkable assertions.
+
+Every quantitative statement Section 5 makes about a figure is encoded
+as a :class:`HeadlineCheck`: which figure it belongs to, what the paper
+says, and a predicate over the performance model.  The test suite runs
+them all; EXPERIMENTS.md records paper-value vs model-value per check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.gpusim.spec import ALL_GPUS
+from repro.harness.tables import PAPER_AF_X1000
+from repro.perf.model import PerformanceModel, UnsupportedProblem
+
+
+@dataclass
+class HeadlineCheck:
+    """One claim: evaluating it returns (passed, measured-description)."""
+
+    check_id: str
+    figure: str
+    paper_claim: str
+    evaluate: Callable[[PerformanceModel], Tuple[bool, str]]
+
+
+def _tput(model, alg, gpu, bits, n, **kw) -> Optional[float]:
+    try:
+        return model.throughput(alg, gpu, bits, n, **kw)
+    except UnsupportedProblem:
+        return None
+
+
+def _ratio_check(
+    check_id, figure, claim, alg_a, alg_b, gpu, bits, n, lo, hi, **kw
+) -> HeadlineCheck:
+    def evaluate(model):
+        a = _tput(model, alg_a, gpu, bits, n, **kw)
+        b = _tput(model, alg_b, gpu, bits, n, **kw)
+        if a is None or b is None:
+            return False, "unsupported size"
+        ratio = a / b
+        return lo <= ratio <= hi, f"{alg_a}/{alg_b} = {ratio:.2f} at n={n}"
+
+    return HeadlineCheck(check_id, figure, claim, evaluate)
+
+
+def _max_ratio_check(
+    check_id, figure, claim, alg_a, alg_b, gpu, bits, lo, hi, **kw
+) -> HeadlineCheck:
+    def evaluate(model):
+        best = 0.0
+        best_n = None
+        for e in range(10, 31):
+            n = 1 << e
+            a = _tput(model, alg_a, gpu, bits, n, **kw)
+            b = _tput(model, alg_b, gpu, bits, n, **kw)
+            if a is None or b is None:
+                continue
+            if a / b > best:
+                best, best_n = a / b, n
+        return lo <= best <= hi, f"max {alg_a}/{alg_b} = {best:.2f} at n={best_n}"
+
+    return HeadlineCheck(check_id, figure, claim, evaluate)
+
+
+def _wins_check(
+    check_id, figure, claim, winner, loser, gpu, bits, n, **kw
+) -> HeadlineCheck:
+    def evaluate(model):
+        a = _tput(model, winner, gpu, bits, n, **kw)
+        b = _tput(model, loser, gpu, bits, n, **kw)
+        if a is None or b is None:
+            return False, "unsupported size"
+        return a > b, f"{winner}={a/1e9:.2f} vs {loser}={b/1e9:.2f} G/s at n={n}"
+
+    return HeadlineCheck(check_id, figure, claim, evaluate)
+
+
+def _cudpp_limit_check() -> HeadlineCheck:
+    def evaluate(model):
+        try:
+            model.throughput("cudpp", "Titan X", 32, 2**26)
+        except UnsupportedProblem:
+            return True, "cudpp raises UnsupportedProblem above 2^25"
+        return False, "cudpp accepted 2^26 items"
+
+    return HeadlineCheck(
+        "cudpp_size_limit",
+        "fig03",
+        "CUDPP does not support problem sizes above 2^25",
+        evaluate,
+    )
+
+
+def _table1_check() -> HeadlineCheck:
+    def evaluate(model):
+        worst = 0.0
+        for spec in ALL_GPUS:
+            worst = max(
+                worst,
+                abs(spec.architectural_factor_x1000 - PAPER_AF_X1000[spec.name]),
+            )
+        return worst <= 0.02, f"max |af - paper af| = {worst:.3f} (x1000 scale)"
+
+    return HeadlineCheck(
+        "table1_af",
+        "table1",
+        "af*1000 = 7.32 / 1.96 / 0.92 / 1.46 for C1060 / M2090 / K40 / Titan X",
+        evaluate,
+    )
+
+
+def _flat_64bit_tuples_check() -> HeadlineCheck:
+    def evaluate(model):
+        tputs = [
+            model.throughput("sam", "Titan X", 64, 2**28, tuple_size=s)
+            for s in (2, 5, 8)
+        ]
+        spread = max(tputs) / min(tputs)
+        return spread <= 1.10, f"max/min across s in (2,5,8): {spread:.3f}"
+
+    return HeadlineCheck(
+        "fig12_flat",
+        "fig12",
+        "64-bit Titan X tuple throughput is nearly the same for 2-, 5-, "
+        "and 8-element tuples",
+        evaluate,
+    )
+
+
+def _half_rate_check() -> HeadlineCheck:
+    def evaluate(model):
+        t32 = model.throughput("sam", "Titan X", 32, 2**28)
+        t64 = model.throughput("sam", "Titan X", 64, 2**28)
+        ratio = t32 / t64
+        return 1.7 <= ratio <= 2.3, f"32-bit/64-bit SAM throughput = {ratio:.2f}"
+
+    return HeadlineCheck(
+        "fig04_half_rate",
+        "fig04",
+        "the 64-bit throughputs in items per second are about half as high",
+        evaluate,
+    )
+
+
+def _build_checks() -> List[HeadlineCheck]:
+    tx, k40 = "Titan X", "K40"
+    checks: List[HeadlineCheck] = [
+        _table1_check(),
+        # -- Figure 3 (Titan X, 32-bit conventional) --
+        _ratio_check(
+            "fig03_memcpy", "fig03",
+            "for very large inputs, SAM matches the cudaMemcpy throughput",
+            "sam", "memcpy", tx, 32, 2**30, 0.90, 1.02,
+        ),
+        _ratio_check(
+            "fig03_2x_thrust", "fig03",
+            "above ~2^22 SAM provides about twice the throughput of Thrust",
+            "sam", "thrust", tx, 32, 2**24, 1.6, 2.5,
+        ),
+        _wins_check(
+            "fig03_thrust_small", "fig03",
+            "Thrust performs better than SAM on inputs of up to 2^12",
+            "thrust", "sam", tx, 32, 2**12,
+        ),
+        _wins_check(
+            "fig03_sam_beats_thrust", "fig03",
+            "... and SAM overtakes Thrust shortly after",
+            "sam", "thrust", tx, 32, 2**14,
+        ),
+        _wins_check(
+            "fig03_cudpp_small", "fig03",
+            "CUDPP performs better than SAM on inputs of up to 2^19",
+            "cudpp", "sam", tx, 32, 2**19,
+        ),
+        _wins_check(
+            "fig03_sam_beats_cudpp", "fig03",
+            "... and SAM overtakes CUDPP shortly after",
+            "sam", "cudpp", tx, 32, 2**21,
+        ),
+        _wins_check(
+            "fig03_cub_medium", "fig03",
+            "CUB performs better than SAM on inputs of up to 2^27",
+            "cub", "sam", tx, 32, 2**24,
+        ),
+        _wins_check(
+            "fig03_sam_beats_cub", "fig03",
+            "... while SAM wins on the largest inputs",
+            "sam", "cub", tx, 32, 2**29,
+        ),
+        _cudpp_limit_check(),
+        # -- Figure 4 (Titan X, 64-bit) --
+        _ratio_check(
+            "fig04_memcpy", "fig04",
+            "SAM again matches the cudaMemcpy throughput for the largest inputs",
+            "sam", "memcpy", tx, 64, 2**29, 0.88, 1.02,
+        ),
+        _half_rate_check(),
+        # -- Figure 5/6 (K40) --
+        _ratio_check(
+            "fig05_cub_wins", "fig05",
+            "CUB exceeds SAM's performance by about 50% on large inputs",
+            "cub", "sam", k40, 32, 2**28, 1.3, 1.9,
+        ),
+        _wins_check(
+            "fig05_sam_beats_thrust", "fig05",
+            "SAM is faster than Thrust on medium and large inputs",
+            "sam", "thrust", k40, 32, 2**22,
+        ),
+        _wins_check(
+            "fig06_cub_wins", "fig06",
+            "the general 64-bit trends are similar (CUB fastest)",
+            "cub", "sam", k40, 64, 2**28,
+        ),
+        # -- Figure 7 (Titan X, 32-bit, higher order) --
+        _ratio_check(
+            "fig07_order2", "fig07",
+            "with 2^27 items, SAM outperforms CUB by 52% on order two",
+            "sam", "cub", tx, 32, 2**27, 1.30, 1.75, order=2,
+        ),
+        _ratio_check(
+            "fig07_order5", "fig07",
+            "... by 78% on order five",
+            "sam", "cub", tx, 32, 2**27, 1.55, 2.10, order=5,
+        ),
+        _ratio_check(
+            "fig07_order8", "fig07",
+            "... and by 87% on order eight",
+            "sam", "cub", tx, 32, 2**27, 1.60, 2.25, order=8,
+        ),
+        _max_ratio_check(
+            "fig07_up_to_2_9", "fig07",
+            "on some small input sizes with order eight, SAM is almost "
+            "three times faster than CUB (abstract: up to 2.9x)",
+            "sam", "cub", tx, 32, 2.0, 3.4, order=8,
+        ),
+        # -- Figure 8 (Titan X, 64-bit, higher order) --
+        _ratio_check(
+            "fig08_order8", "fig08",
+            "the 64-bit speedup factors of SAM over CUB are very similar",
+            "sam", "cub", tx, 64, 2**27, 1.5, 2.3, order=8,
+        ),
+        # -- Figure 9 (K40, 32-bit, higher order) --
+        _wins_check(
+            "fig09_order2_cub", "fig09",
+            "CUB clearly outperforms SAM on order two",
+            "cub", "sam", k40, 32, 2**28, order=2,
+        ),
+        _ratio_check(
+            "fig09_order5_close", "fig09",
+            "CUB outperforms SAM a little on order five",
+            "sam", "cub", k40, 32, 2**28, 0.80, 1.02, order=5,
+        ),
+        _ratio_check(
+            "fig09_order8_tied", "fig09",
+            "CUB and SAM are tied on order eight",
+            "sam", "cub", k40, 32, 2**28, 0.90, 1.25, order=8,
+        ),
+        # -- Figure 10 (K40, 64-bit, higher order) --
+        _wins_check(
+            "fig10_order8_sam", "fig10",
+            "on order eight, SAM is already faster than CUB",
+            "sam", "cub", k40, 64, 2**28, order=8,
+        ),
+        # -- Figure 11 (Titan X, 32-bit, tuples) --
+        _ratio_check(
+            "fig11_s2", "fig11",
+            "on large inputs SAM is 17% slower than CUB on two-tuples",
+            "sam", "cub", tx, 32, 2**27, 0.74, 0.95, tuple_size=2,
+        ),
+        _ratio_check(
+            "fig11_s5", "fig11",
+            "... but 20% faster on five-tuples",
+            "sam", "cub", tx, 32, 2**27, 1.08, 1.45, tuple_size=5,
+        ),
+        _ratio_check(
+            "fig11_s8", "fig11",
+            "... and 34% faster on eight-tuples",
+            "sam", "cub", tx, 32, 2**27, 1.22, 1.70, tuple_size=8,
+        ),
+        _max_ratio_check(
+            "fig11_up_to_2_6", "fig11",
+            "abstract: up to a factor of 2.6 on eight-tuple prefix sums",
+            "sam", "cub", tx, 32, 1.7, 3.0, tuple_size=8,
+        ),
+        # -- Figure 12 (Titan X, 64-bit, tuples) --
+        _flat_64bit_tuples_check(),
+        _wins_check(
+            "fig12_s2_cub", "fig12",
+            "SAM is again slower than CUB on two-tuples",
+            "cub", "sam", tx, 64, 2**28, tuple_size=2,
+        ),
+        _wins_check(
+            "fig12_s5_sam", "fig12",
+            "... faster on five-tuples",
+            "sam", "cub", tx, 64, 2**28, tuple_size=5,
+        ),
+        _wins_check(
+            "fig12_s8_sam", "fig12",
+            "... and much faster on eight-tuples",
+            "sam", "cub", tx, 64, 2**28, tuple_size=8,
+        ),
+        # -- Figure 13 (K40, 32-bit, tuples) --
+        _wins_check(
+            "fig13_s2_cub", "fig13",
+            "CUB is faster on two-tuples on the K40",
+            "cub", "sam", k40, 32, 2**28, tuple_size=2,
+        ),
+        _wins_check(
+            "fig13_s5_cub", "fig13",
+            "... and on five-tuples",
+            "cub", "sam", k40, 32, 2**28, tuple_size=5,
+        ),
+        _wins_check(
+            "fig13_s8_sam", "fig13",
+            "SAM still outperforms the CUB-based code on the eight-tuples",
+            "sam", "cub", k40, 32, 2**28, tuple_size=8,
+        ),
+        # -- Figure 14 (K40, 64-bit, tuples) --
+        _wins_check(
+            "fig14_s5_sam", "fig14",
+            "SAM now outperforms CUB already on the five-tuples",
+            "sam", "cub", k40, 64, 2**28, tuple_size=5,
+        ),
+        _wins_check(
+            "fig14_s8_sam", "fig14",
+            "... and on the eight-tuples",
+            "sam", "cub", k40, 64, 2**28, tuple_size=8,
+        ),
+        # -- Figures 15/16 (carry-propagation ablation) --
+        _max_ratio_check(
+            "fig15_64pct", "fig15",
+            "on large inputs SAM's scheme is up to 64% faster than the "
+            "chained approach on the Titan X",
+            "sam", "chained", tx, 32, 1.40, 1.80,
+        ),
+        _max_ratio_check(
+            "fig16_39pct", "fig16",
+            "... and up to 39% faster on the K40",
+            "sam", "chained", k40, 32, 1.25, 1.55,
+        ),
+    ]
+    return checks
+
+
+#: All headline checks, built once.
+HEADLINE_CHECKS: List[HeadlineCheck] = _build_checks()
+
+
+def run_headline_checks(model: Optional[PerformanceModel] = None) -> List[dict]:
+    """Evaluate every check; returns one result dict per check."""
+    model = model or PerformanceModel()
+    results = []
+    for check in HEADLINE_CHECKS:
+        passed, measured = check.evaluate(model)
+        results.append(
+            {
+                "check_id": check.check_id,
+                "figure": check.figure,
+                "paper_claim": check.paper_claim,
+                "measured": measured,
+                "passed": passed,
+            }
+        )
+    return results

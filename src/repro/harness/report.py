@@ -1,0 +1,121 @@
+"""Text rendering of regenerated figures and tables."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.harness.figures import FigureData
+from repro.harness.tables import table1_rows
+
+
+def _fmt_size(n: int) -> str:
+    """Sizes as the paper labels them: 2^k or 10^k where exact."""
+    if n and n & (n - 1) == 0:
+        return f"2^{n.bit_length() - 1}"
+    digits = len(str(n)) - 1
+    if n == 10**digits:
+        return f"10^{digits}"
+    return str(n)
+
+
+def _fmt_tput(value) -> str:
+    """Throughput in billions of items per second (the figures' y axis)."""
+    if value is None:
+        return "-"
+    return f"{value / 1e9:8.3f}"
+
+
+def format_figure(data: FigureData) -> str:
+    """Aligned text table: one row per size, one column per series."""
+    labels = list(data.values)
+    header = f"{data.spec.fig_id}: {data.spec.title}"
+    unit = "throughput in G items/s ('-' = size unsupported)"
+    col = max(8, max(len(label) for label in labels))
+    lines = [header, unit, ""]
+    head = f"{'n':>10} " + " ".join(f"{label:>{col}}" for label in labels)
+    lines.append(head)
+    lines.append("-" * len(head))
+    for i, n in enumerate(data.sizes):
+        cells = " ".join(
+            f"{_fmt_tput(data.values[label][i]):>{col}}" for label in labels
+        )
+        lines.append(f"{_fmt_size(n):>10} {cells}")
+    return "\n".join(lines)
+
+
+def format_table1() -> str:
+    """Table 1 as aligned text, including the paper's published af."""
+    rows = table1_rows()
+    lines = [
+        "Table 1: hardware parameters and architectural factor",
+        f"{'GPU':>8} {'generation':>10} {'m':>4} {'b':>3} {'t':>6} "
+        f"{'r':>6} {'af*1000':>9} {'paper':>7}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['GPU']:>8} {row['generation']:>10} {row['m']:>4} "
+            f"{row['b']:>3} {row['t']:>6} {row['r']:>6} "
+            f"{row['af_x1000']:>9.2f} {row['paper_af_x1000']:>7.2f}"
+        )
+    return "\n".join(lines)
+
+
+def figure_to_csv(data: FigureData) -> str:
+    """CSV export of a figure (one row per size, one column per series).
+
+    Empty cells mark unsupported sizes.  Intended for plotting the
+    regenerated figures with external tools.
+    """
+    labels = list(data.values)
+    lines = ["n," + ",".join(labels)]
+    for i, n in enumerate(data.sizes):
+        cells = [
+            "" if data.values[label][i] is None else f"{data.values[label][i]:.6g}"
+            for label in labels
+        ]
+        lines.append(f"{n}," + ",".join(cells))
+    return "\n".join(lines)
+
+
+#: Eight-level block characters for sparklines.
+_SPARK_LEVELS = " ▁▂▃▄▅▆▇█"
+
+
+def render_sparklines(data: FigureData) -> str:
+    """Compact one-line-per-series view of a figure.
+
+    Each series becomes a sparkline over the size sweep (log-scaled to
+    the figure's maximum), making the ramp/plateau shapes and the
+    crossovers scannable in a terminal without a plot.
+    """
+    supported = [
+        value
+        for values in data.values.values()
+        for value in values
+        if value is not None
+    ]
+    if not supported:
+        return f"{data.spec.fig_id}: no data"
+    top = max(supported)
+    label_width = max(len(label) for label in data.values)
+    lines = [f"{data.spec.fig_id} (peak {top / 1e9:.1f} G items/s = full bar)"]
+    for label, values in data.values.items():
+        cells = []
+        for value in values:
+            if value is None:
+                cells.append("-")
+                continue
+            level = int(round((value / top) * (len(_SPARK_LEVELS) - 1)))
+            cells.append(_SPARK_LEVELS[max(1, level)])
+        lines.append(f"{label:>{label_width}} |{''.join(cells)}|")
+    return "\n".join(lines)
+
+
+def figure_headline_lines(data: FigureData) -> List[str]:
+    """Short per-figure summary: each series' peak throughput."""
+    lines = []
+    for label, values in data.values.items():
+        best = max((v for v in values if v is not None), default=None)
+        if best is not None:
+            lines.append(f"{data.spec.fig_id} {label}: peak {best / 1e9:.2f} G items/s")
+    return lines

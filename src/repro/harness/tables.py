@@ -1,0 +1,39 @@
+"""Table 1: hardware parameters and the architectural factor.
+
+The table derives entirely from the GPU specs — ``af = m*b / (t*r)``,
+reported scaled by 1000 — so regenerating it doubles as a check that
+the spec constants match the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.gpusim.spec import ALL_GPUS
+
+#: The af * 1000 values printed in the paper's Table 1.
+PAPER_AF_X1000 = {
+    "C1060": 7.32,
+    "M2090": 1.96,
+    "K40": 0.92,
+    "Titan X": 1.46,
+}
+
+
+def table1_rows() -> List[Dict]:
+    """One dict per GPU, in the paper's order, with the paper's columns."""
+    rows = []
+    for spec in ALL_GPUS:
+        rows.append(
+            {
+                "GPU": spec.name,
+                "generation": spec.generation,
+                "m": spec.sm_count,
+                "b": spec.blocks_per_sm,
+                "t": spec.threads_per_block,
+                "r": spec.registers_per_thread,
+                "af_x1000": round(spec.architectural_factor_x1000, 2),
+                "paper_af_x1000": PAPER_AF_X1000[spec.name],
+            }
+        )
+    return rows

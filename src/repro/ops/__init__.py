@@ -1,0 +1,60 @@
+"""Associative-operator algebra for prefix scans.
+
+A prefix *scan* generalizes the prefix *sum* to any binary associative
+operator (Section 1 of the paper).  This package defines the operator
+abstraction used by every scan engine in the reproduction: the serial
+reference, the fast host implementations, the SAM kernel running on the
+GPU simulator, and all baselines.
+
+The public surface:
+
+``AssociativeOp``
+    An operator with an identity element, a vectorized ``apply``, an
+    optional vectorized ``accumulate`` (running scan along an axis), and
+    dtype-aware semantics (e.g. wraparound for fixed-width integers).
+
+``ADD``, ``MAX``, ``MIN``, ``XOR``, ``BITAND``, ``BITOR``, ``MUL``
+    The built-in operators evaluated by the paper (Section 6 mentions
+    max and xor explicitly).
+
+``get_op``
+    Resolve an operator by name or pass an ``AssociativeOp`` through.
+"""
+
+from repro.ops.dtypes import (
+    DTYPES,
+    SUPPORTED_DTYPE_NAMES,
+    as_dtype,
+    is_integer_dtype,
+    wraparound,
+)
+from repro.ops.operators import (
+    ADD,
+    BITAND,
+    BITOR,
+    BUILTIN_OPS,
+    MAX,
+    MIN,
+    MUL,
+    XOR,
+    AssociativeOp,
+    get_op,
+)
+
+__all__ = [
+    "ADD",
+    "BITAND",
+    "BITOR",
+    "BUILTIN_OPS",
+    "DTYPES",
+    "MAX",
+    "MIN",
+    "MUL",
+    "SUPPORTED_DTYPE_NAMES",
+    "XOR",
+    "AssociativeOp",
+    "as_dtype",
+    "get_op",
+    "is_integer_dtype",
+    "wraparound",
+]

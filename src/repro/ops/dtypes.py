@@ -1,0 +1,81 @@
+"""Data-type semantics shared by all scan engines.
+
+The paper evaluates prefix sums over 32-bit and 64-bit integers and
+states that SAM works for other data types as well.  GPU integer
+arithmetic wraps around on overflow, and every engine in this
+reproduction must agree bit-for-bit with the serial reference, so the
+wraparound behaviour is centralized here.
+
+numpy integer arrays already wrap on overflow; the helpers below make
+that behaviour explicit and keep Python-int intermediates (as produced
+by ``int.__add__`` in scalar code paths) consistent with it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: The dtypes the evaluation sweeps over (Figures 3-16 use i32 and i64;
+#: the float dtypes support the pseudo-associative discussion in §3.1).
+DTYPES = {
+    "int32": np.dtype(np.int32),
+    "int64": np.dtype(np.int64),
+    "uint32": np.dtype(np.uint32),
+    "uint64": np.dtype(np.uint64),
+    "float32": np.dtype(np.float32),
+    "float64": np.dtype(np.float64),
+}
+
+SUPPORTED_DTYPE_NAMES = tuple(sorted(DTYPES))
+
+_INT_BITS = {
+    np.dtype(np.int32): 32,
+    np.dtype(np.int64): 64,
+    np.dtype(np.uint32): 32,
+    np.dtype(np.uint64): 64,
+}
+
+
+def as_dtype(dtype) -> np.dtype:
+    """Resolve a dtype name or numpy dtype to a supported ``np.dtype``.
+
+    Raises ``TypeError`` for dtypes outside the supported set so that
+    engines fail fast instead of silently producing mixed-precision
+    results.
+    """
+    if isinstance(dtype, str):
+        if dtype not in DTYPES:
+            raise TypeError(
+                f"unsupported dtype {dtype!r}; expected one of {SUPPORTED_DTYPE_NAMES}"
+            )
+        return DTYPES[dtype]
+    resolved = np.dtype(dtype)
+    if resolved not in DTYPES.values():
+        raise TypeError(
+            f"unsupported dtype {resolved}; expected one of {SUPPORTED_DTYPE_NAMES}"
+        )
+    return resolved
+
+
+def is_integer_dtype(dtype) -> bool:
+    """True when ``dtype`` is one of the fixed-width integer dtypes."""
+    return as_dtype(dtype) in _INT_BITS
+
+
+def wraparound(value, dtype) -> int:
+    """Reduce a Python integer to the two's-complement range of ``dtype``.
+
+    Serial reference code accumulates in Python ints (arbitrary
+    precision); this folds the result back into the fixed-width lattice
+    that the vectorized engines produce natively.  Float dtypes pass
+    through a numpy cast instead.
+    """
+    resolved = as_dtype(dtype)
+    if resolved not in _INT_BITS:
+        return resolved.type(value)
+    bits = _INT_BITS[resolved]
+    mask = (1 << bits) - 1
+    value &= mask
+    if resolved.kind == "i" and value >= (1 << (bits - 1)):
+        value -= 1 << bits
+    return resolved.type(value)

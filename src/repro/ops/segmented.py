@@ -1,0 +1,121 @@
+"""Segmented scans via operator lifting.
+
+Segmented scans (Blelloch [1]; Sengupta et al. [24] built the first
+CUDA implementation) restart the scan at segment boundaries.  The
+classic construction lifts any associative operator ``op`` to pairs
+``(flag, value)`` with
+
+    (f1, v1) . (f2, v2) = (f1 | f2,  v2           if f2
+                                     op(v1, v2)   otherwise)
+
+which is associative, so every scan engine in this reproduction can run
+it unchanged.  To keep the engines' flat-numeric-array interface, the
+pair is *packed into a wider integer*: the flag occupies the top bit,
+the value the low bits.  This mirrors how GPU implementations pack
+head flags into value words to save bandwidth.
+
+``pack``/``unpack`` convert between (values, flags) and the packed
+representation; :func:`make_segmented_op` builds the lifted
+:class:`AssociativeOp`.  For invertible operators there is also a much
+faster subtraction trick — see :mod:`repro.apps.segmented`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ops.dtypes import as_dtype
+from repro.ops.operators import AssociativeOp, get_op
+
+#: Packed dtype for each value dtype (value width doubles so the flag
+#: bit and sign handling never collide with the payload).
+_PACKED = {
+    np.dtype(np.int32): np.dtype(np.int64),
+    np.dtype(np.uint32): np.dtype(np.uint64),
+}
+
+_FLAG_BIT = {
+    np.dtype(np.int64): np.int64(1) << np.int64(62),
+    np.dtype(np.uint64): np.uint64(1) << np.uint64(62),
+}
+
+
+def packed_dtype(value_dtype) -> np.dtype:
+    """The packed dtype that carries (flag, value) for ``value_dtype``."""
+    value_dtype = as_dtype(value_dtype)
+    if value_dtype not in _PACKED:
+        raise TypeError(
+            f"segmented packing supports int32/uint32 values, got {value_dtype}"
+        )
+    return _PACKED[value_dtype]
+
+
+def pack(values: np.ndarray, flags: np.ndarray) -> np.ndarray:
+    """Pack (values, head-flags) into a single wide-integer array.
+
+    The value is stored in the low 32 bits (two's complement), the flag
+    in bit 62; bit 63 stays clear so signed packed arrays never look
+    negative and survive every engine's dtype checks.
+    """
+    values = np.asarray(values)
+    flags = np.asarray(flags).astype(bool)
+    if values.shape != flags.shape:
+        raise ValueError(
+            f"values and flags must align: {values.shape} vs {flags.shape}"
+        )
+    wide = packed_dtype(values.dtype)
+    # Low 32 bits: the value's two's-complement pattern; bit 62: flag.
+    payload = values.astype(np.int64).view(np.uint64) & np.uint64(0xFFFFFFFF)
+    packed = payload.astype(wide) | (_FLAG_BIT[wide] * flags.astype(wide))
+    return packed.astype(wide)
+
+
+def unpack(packed: np.ndarray, value_dtype):
+    """Inverse of :func:`pack`: returns ``(values, flags)``."""
+    packed = np.asarray(packed)
+    value_dtype = as_dtype(value_dtype)
+    wide = packed_dtype(value_dtype)
+    if packed.dtype != wide:
+        raise TypeError(f"expected packed dtype {wide}, got {packed.dtype}")
+    flag_bit = _FLAG_BIT[wide]
+    flags = (packed & flag_bit) != 0
+    payload = (packed.astype(np.uint64) & np.uint64(0xFFFFFFFF)).astype(np.uint32)
+    if value_dtype == np.int32:
+        values = payload.view(np.int32)
+    else:
+        values = payload
+    return values.copy(), flags
+
+
+def make_segmented_op(base_op, value_dtype) -> AssociativeOp:
+    """Lift ``base_op`` on ``value_dtype`` to a segmented packed operator.
+
+    The result is a plain :class:`AssociativeOp` over the packed wide
+    integers, usable with every engine (SAM, baselines, host, serial).
+    """
+    base_op = get_op(base_op)
+    value_dtype = as_dtype(value_dtype)
+    wide = packed_dtype(value_dtype)
+    flag_bit = _FLAG_BIT[wide]
+
+    def combine(left, right):
+        left = np.asarray(left, dtype=wide)
+        right = np.asarray(right, dtype=wide)
+        lv, lf = unpack(left, value_dtype)
+        rv, rf = unpack(right, value_dtype)
+        merged = np.where(rf, rv, base_op.apply(lv, rv)).astype(value_dtype)
+        return pack(merged, lf | rf)
+
+    def identity_fn(dtype):
+        identity_value = base_op.identity(value_dtype)
+        return pack(
+            np.asarray([identity_value], dtype=value_dtype),
+            np.asarray([False]),
+        )[0]
+
+    return AssociativeOp(
+        f"segmented_{base_op.name}",
+        fn=combine,
+        identity_fn=identity_fn,
+        commutative=False,
+    )

@@ -1,0 +1,42 @@
+"""Analytic throughput model for regenerating the paper's figures.
+
+The functional simulator measures *what moves* (words, transactions,
+polls); it does not model *time*.  This package adds the timing layer:
+a first-order analytic model of kernel runtime parameterized by
+
+* the real hardware constants of the two testbed GPUs (Section 4 /
+  Table 1): peak bandwidth, SM counts, clock ratios;
+* each algorithm's measured traffic coefficients (2n / 3n / 4n words,
+  2qn for iterated higher orders — validated against the simulator by
+  the integration tests);
+* calibration anchors fitted to the ratios the paper reports in its
+  text (Section 5): SAM matching memcpy at large n on the Titan X, the
+  SAM/CUB crossovers at order ≈ 5 and tuple size ≈ 5, the 2.9×/2.6×
+  headline factors, the 64%/39% chained-carry gaps, and the library
+  crossover points of Figure 3.
+
+Absolute numbers are modeled (this is a simulator substrate, not the
+authors' testbed); the *shape* — who wins, by what factor, where the
+crossovers fall — is what the benchmarks reproduce and what
+EXPERIMENTS.md records.
+"""
+
+from repro.perf.calibration import (
+    DEFAULT_CALIBRATION,
+    AlgorithmCalibration,
+    GpuCalibration,
+)
+from repro.perf.model import (
+    ALGORITHMS,
+    PerformanceModel,
+    UnsupportedProblem,
+)
+
+__all__ = [
+    "ALGORITHMS",
+    "AlgorithmCalibration",
+    "DEFAULT_CALIBRATION",
+    "GpuCalibration",
+    "PerformanceModel",
+    "UnsupportedProblem",
+]

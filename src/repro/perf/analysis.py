@@ -1,0 +1,81 @@
+"""Section 2.5's complexity analysis, made executable.
+
+The paper derives the carry-propagation work as
+
+    c  = k * n / e          total carries (k persistent blocks,
+                            e elements per chunk)
+    e  = t * O(r)           chunk size from threads x registers
+    af = m * b / (t * r)    the architectural factor, c / n up to O(r)
+
+These functions compute the predicted quantities for a configuration
+and compare them against the simulator's measured counters — closing
+the loop between the paper's analysis and the executable system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpusim.spec import GPUSpec
+
+
+@dataclass(frozen=True)
+class CarryComplexity:
+    """Predicted carry-propagation quantities for one configuration."""
+
+    num_chunks: int
+    total_carries: int
+    carries_per_element: float
+    architectural_factor: float
+
+
+def predict_carry_complexity(
+    spec: GPUSpec,
+    n: int,
+    threads_per_block: int = None,
+    items_per_thread: int = 1,
+    num_blocks: int = None,
+) -> CarryComplexity:
+    """The Section 2.5 prediction: c = k * n / e.
+
+    Each chunk folds in up to k sums (its own plus k-1 intervening), so
+    the decoupled scheme performs ~k carry additions per chunk.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    t = threads_per_block or spec.threads_per_block
+    k = num_blocks or spec.persistent_blocks
+    e = t * items_per_thread
+    num_chunks = -(-n // e)
+    k = min(k, num_chunks)
+    total = k * num_chunks
+    return CarryComplexity(
+        num_chunks=num_chunks,
+        total_carries=total,
+        carries_per_element=total / n,
+        architectural_factor=(spec.sm_count * spec.blocks_per_sm)
+        / (spec.threads_per_block * spec.registers_per_thread),
+    )
+
+
+def measured_carry_work(result) -> float:
+    """Carry additions per chunk, from a simulated run's counters."""
+    if result.num_chunks == 0:
+        return 0.0
+    return result.stats.carry_additions / result.num_chunks
+
+
+def analysis_table(spec: GPUSpec, n: int, items_per_thread: int = 8) -> dict:
+    """The quantities Section 2.5 discusses, for a report row."""
+    prediction = predict_carry_complexity(
+        spec, n, items_per_thread=items_per_thread
+    )
+    return {
+        "gpu": spec.name,
+        "k": spec.persistent_blocks,
+        "e": spec.threads_per_block * items_per_thread,
+        "chunks": prediction.num_chunks,
+        "carries": prediction.total_carries,
+        "carries_per_element": round(prediction.carries_per_element, 5),
+        "af_x1000": round(prediction.architectural_factor * 1000, 2),
+    }

@@ -1,0 +1,308 @@
+"""Calibration constants for the analytic throughput model.
+
+Each (GPU, word-size) pair carries one :class:`GpuCalibration` with a
+memory-bandwidth floor and per-algorithm :class:`AlgorithmCalibration`
+entries.  Derivations (all inverse throughputs in picoseconds per item,
+asymptotic, i.e. at full occupancy):
+
+**Memory floor.**  A communication-optimal scan moves ``2w`` bytes per
+item.  On the Titan X the paper measures 264 GB/s of achieved traffic
+(78.6% of the 336 GB/s peak; Section 5.1), i.e. 33 G items/s for 32-bit
+words -> ``mem_inv = 30.3 ps``.  The K40 is given the same streaming
+efficiency (0.75 * 288 = 216 GB/s -> 27 G items/s, 37.0 ps).
+
+**SAM.**  Single launch.  Runtime = launch latency + memory term
+(with an occupancy ramp) + *compute excess* (carry propagation and
+iterated computation stages; its own, faster ramp).  The order/tuple
+anchor tables are fitted to the ratios in Sections 5.2-5.3, e.g.
+Titan X, 32-bit, n = 2^27: SAM/CUB = 1.52 / 1.78 / 1.87 at orders
+2 / 5 / 8 -> with CUB at 31 G items/s those pin SAM's order anchors to
+42.4 / 90.4 / 138.4 ps, which happen to sit on a near-perfect line
+(~10 + 16 q ps) — evidence the fit is internally consistent.
+
+**CUB (decoupled look-back).**  Single pass per order: higher orders
+run the full scan ``q`` times (q launches, 2qn traffic).  Tuple anchors
+encode the register-pressure and coalescing penalties of the
+tuple-data-type formulation (Section 5.3: on the Titan X SAM is 17%
+slower at s=2 but 20% / 34% faster at s=5 / s=8).
+
+**Thrust / CUDPP.**  Three kernel launches per pass and 4n traffic
+(Sections 2.1, 3.1) -> asymptote about half of SAM's; CUDPP rejects
+problems above 2^25 items (Section 5.1).
+
+**Chained carry.**  SAM with the §5.4 read-modify-write chain: up to
+64% slower on the Titan X, 39% on the K40 -> base anchors scaled by
+1.64 / 1.39.
+
+The fitted constants are validated by ``tests/test_perf_shapes.py``,
+which asserts every qualitative claim the paper's text makes about the
+figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+#: Picoseconds, as used by all the anchor tables below.
+PS = 1e-12
+
+
+@dataclass(frozen=True)
+class AlgorithmCalibration:
+    """Timing parameters of one algorithm on one (GPU, word size).
+
+    ``mode`` selects the runtime formula:
+
+    * ``"single_pass"`` (SAM, chained, memcpy): one launch; higher
+      orders/tuples add compute excess only.
+    * ``"iterated"`` (CUB, Thrust, CUDPP): order-q runs the whole
+      pipeline q times (q x launches, q x traffic).
+    """
+
+    mode: str
+    inv_base_ps: float
+    nh: float
+    nh_comp: float = 1.0e6
+    p: float = 0.5
+    t_launch_us: float = 3.0
+    launches_per_pass: int = 1
+    max_n: Optional[int] = None
+    order_inv_ps: Dict[int, float] = field(default_factory=dict)
+    tuple_inv_ps: Dict[int, float] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class GpuCalibration:
+    """All algorithm calibrations for one (GPU, word size)."""
+
+    gpu_name: str
+    word_bits: int
+    mem_inv_ps: float
+    algorithms: Dict[str, AlgorithmCalibration] = field(default_factory=dict)
+
+
+def _titan_x_32() -> GpuCalibration:
+    return GpuCalibration(
+        gpu_name="Titan X",
+        word_bits=32,
+        mem_inv_ps=30.3,  # 264 GB/s achieved / 8 bytes moved per item
+        algorithms={
+            "memcpy": AlgorithmCalibration(
+                mode="single_pass", inv_base_ps=30.3, nh=2.0e5, t_launch_us=3.0
+            ),
+            "sam": AlgorithmCalibration(
+                mode="single_pass",
+                inv_base_ps=30.3,
+                nh=8.86e6,       # slow saturation; matches memcpy only at huge n
+                nh_comp=0.4e6,
+                t_launch_us=25.0,
+                order_inv_ps={1: 30.3, 2: 42.4, 5: 90.4, 8: 138.4},
+                tuple_inv_ps={1: 30.3, 2: 41.7, 5: 54.1, 8: 69.0},
+            ),
+            "chained": AlgorithmCalibration(
+                mode="single_pass",
+                inv_base_ps=49.7,  # 1.64x SAM (Section 5.4: up to 64% slower)
+                nh=8.86e6,
+                nh_comp=0.4e6,
+                t_launch_us=25.0,
+                order_inv_ps={1: 49.7},
+                tuple_inv_ps={1: 49.7},
+            ),
+            "cub": AlgorithmCalibration(
+                mode="iterated",
+                inv_base_ps=32.3,  # 31 G items/s asymptote
+                nh=4.39e6,
+                t_launch_us=3.0,
+                tuple_inv_ps={1: 32.3, 2: 34.7, 5: 63.7, 8: 92.8},
+            ),
+            "thrust": AlgorithmCalibration(
+                mode="iterated",
+                inv_base_ps=66.7,  # 15 G items/s: 4n traffic
+                nh=6.0e6,
+                t_launch_us=6.33,
+                launches_per_pass=3,
+            ),
+            "cudpp": AlgorithmCalibration(
+                mode="iterated",
+                inv_base_ps=62.5,  # 16 G items/s
+                nh=1.18e6,
+                t_launch_us=8.0,
+                launches_per_pass=3,
+                max_n=2**25,
+            ),
+        },
+    )
+
+
+def _titan_x_64() -> GpuCalibration:
+    return GpuCalibration(
+        gpu_name="Titan X",
+        word_bits=64,
+        mem_inv_ps=60.6,  # twice the bytes per item
+        algorithms={
+            "memcpy": AlgorithmCalibration(
+                mode="single_pass", inv_base_ps=60.6, nh=2.0e5, t_launch_us=3.0
+            ),
+            "sam": AlgorithmCalibration(
+                mode="single_pass",
+                inv_base_ps=60.6,
+                nh=8.86e6,
+                nh_comp=0.4e6,
+                t_launch_us=25.0,
+                order_inv_ps={1: 60.6, 2: 84.8, 5: 180.8, 8: 276.8},
+                # Figure 12's oddity: 64-bit tuple throughput is nearly
+                # flat across s = 2, 5, 8 on the Titan X.
+                tuple_inv_ps={1: 60.6, 2: 91.0, 5: 92.5, 8: 94.0},
+            ),
+            "chained": AlgorithmCalibration(
+                mode="single_pass",
+                inv_base_ps=99.4,
+                nh=8.86e6,
+                nh_comp=0.4e6,
+                t_launch_us=25.0,
+                order_inv_ps={1: 99.4},
+                tuple_inv_ps={1: 99.4},
+            ),
+            "cub": AlgorithmCalibration(
+                mode="iterated",
+                inv_base_ps=64.5,
+                nh=4.39e6,
+                t_launch_us=3.0,
+                tuple_inv_ps={1: 64.5, 2: 75.8, 5: 111.0, 8: 126.0},
+            ),
+            "thrust": AlgorithmCalibration(
+                mode="iterated",
+                inv_base_ps=133.0,
+                nh=6.0e6,
+                t_launch_us=6.33,
+                launches_per_pass=3,
+            ),
+            "cudpp": AlgorithmCalibration(
+                mode="iterated",
+                inv_base_ps=125.0,
+                nh=1.18e6,
+                t_launch_us=8.0,
+                launches_per_pass=3,
+                max_n=2**24,
+            ),
+        },
+    )
+
+
+def _k40_32() -> GpuCalibration:
+    return GpuCalibration(
+        gpu_name="K40",
+        word_bits=32,
+        mem_inv_ps=37.0,  # 216 GB/s achieved / 8 bytes per item
+        algorithms={
+            "memcpy": AlgorithmCalibration(
+                mode="single_pass", inv_base_ps=37.0, nh=2.0e5, t_launch_us=3.0
+            ),
+            # SAM is compute-bound on the K40: its extra carry work is a
+            # poor trade on a GPU whose memory is clocked 4.0x faster
+            # than its cores (Section 5.1).
+            "sam": AlgorithmCalibration(
+                mode="single_pass",
+                inv_base_ps=84.7,  # 11.8 G items/s
+                nh=2.0e6,
+                nh_comp=0.4e6,
+                t_launch_us=25.0,
+                order_inv_ps={1: 84.7, 2: 125.0, 5: 245.0, 8: 365.0},
+                tuple_inv_ps={1: 84.7, 2: 100.0, 5: 130.0, 8: 160.0},
+            ),
+            "chained": AlgorithmCalibration(
+                mode="single_pass",
+                inv_base_ps=117.7,  # 1.39x SAM (Section 5.4: up to 39% slower)
+                nh=2.0e6,
+                nh_comp=0.4e6,
+                t_launch_us=25.0,
+                order_inv_ps={1: 117.7},
+                tuple_inv_ps={1: 117.7},
+            ),
+            "cub": AlgorithmCalibration(
+                mode="iterated",
+                inv_base_ps=47.6,  # 21 G items/s: ~50% above SAM (Section 5.1)
+                nh=1.0e6,
+                t_launch_us=3.0,
+                tuple_inv_ps={1: 47.6, 2: 55.0, 5: 110.0, 8: 185.0},
+            ),
+            "thrust": AlgorithmCalibration(
+                mode="iterated",
+                inv_base_ps=125.0,
+                nh=2.0e6,
+                t_launch_us=8.0,
+                launches_per_pass=3,
+            ),
+            "cudpp": AlgorithmCalibration(
+                mode="iterated",
+                inv_base_ps=111.0,
+                nh=8.0e5,
+                t_launch_us=8.0,
+                launches_per_pass=3,
+                max_n=2**25,
+            ),
+        },
+    )
+
+
+def _k40_64() -> GpuCalibration:
+    return GpuCalibration(
+        gpu_name="K40",
+        word_bits=64,
+        mem_inv_ps=74.0,
+        algorithms={
+            "memcpy": AlgorithmCalibration(
+                mode="single_pass", inv_base_ps=74.0, nh=2.0e5, t_launch_us=3.0
+            ),
+            "sam": AlgorithmCalibration(
+                mode="single_pass",
+                inv_base_ps=154.0,
+                nh=2.0e6,
+                nh_comp=0.4e6,
+                t_launch_us=25.0,
+                order_inv_ps={1: 154.0, 2: 230.0, 5: 450.0, 8: 670.0},
+                tuple_inv_ps={1: 154.0, 2: 185.0, 5: 235.0, 8: 290.0},
+            ),
+            "chained": AlgorithmCalibration(
+                mode="single_pass",
+                inv_base_ps=214.0,
+                nh=2.0e6,
+                nh_comp=0.4e6,
+                t_launch_us=25.0,
+                order_inv_ps={1: 214.0},
+                tuple_inv_ps={1: 214.0},
+            ),
+            "cub": AlgorithmCalibration(
+                mode="iterated",
+                inv_base_ps=95.2,
+                nh=1.0e6,
+                t_launch_us=3.0,
+                tuple_inv_ps={1: 95.2, 2: 110.0, 5: 250.0, 8: 420.0},
+            ),
+            "thrust": AlgorithmCalibration(
+                mode="iterated",
+                inv_base_ps=250.0,
+                nh=2.0e6,
+                t_launch_us=8.0,
+                launches_per_pass=3,
+            ),
+            "cudpp": AlgorithmCalibration(
+                mode="iterated",
+                inv_base_ps=222.0,
+                nh=8.0e5,
+                t_launch_us=8.0,
+                launches_per_pass=3,
+                max_n=2**24,
+            ),
+        },
+    )
+
+
+#: Lookup: (gpu name, word bits) -> calibration.
+DEFAULT_CALIBRATION: Dict[tuple, GpuCalibration] = {
+    ("Titan X", 32): _titan_x_32(),
+    ("Titan X", 64): _titan_x_64(),
+    ("K40", 32): _k40_32(),
+    ("K40", 64): _k40_64(),
+}

@@ -1,0 +1,120 @@
+"""Energy model — the paper's Section 6 future-work item.
+
+"It might also be interesting to measure the energy consumption to
+determine whether the improved performance also results in improved
+energy efficiency."
+
+This module answers that question within the reproduction's modeling
+framework.  Kernel energy is decomposed the standard way:
+
+    E = P_idle * time  +  e_dram * bytes_moved  +  e_op * compute_ops
+
+* ``P_idle`` — the board's static/leakage power burned for the whole
+  kernel duration (performance *is* energy here: finishing sooner saves
+  idle energy — the "race to idle" effect).
+* ``e_dram`` — energy per byte of DRAM traffic; the dominant dynamic
+  term for memory-bound kernels, and the reason communication-optimal
+  algorithms are also energy-optimal.
+* ``e_op`` — energy per arithmetic operation; covers SAM's redundant
+  carry work.
+
+Constants are order-of-magnitude literature values for 28 nm GPUs
+(DRAM access ~10-20 pJ/byte at the board level, ~1-5 pJ per 32-bit op,
+board idle ~30-60 W); conclusions are reported as ratios, which are
+insensitive to the exact values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.gpusim.spec import GPUSpec
+from repro.perf.model import PerformanceModel
+
+
+@dataclass(frozen=True)
+class EnergyConstants:
+    """Per-GPU energy parameters (board level)."""
+
+    idle_watts: float
+    dram_pj_per_byte: float
+    pj_per_op: float
+
+
+#: Rough 28 nm-era constants for the two testbed boards.
+ENERGY_CONSTANTS = {
+    "Titan X": EnergyConstants(idle_watts=45.0, dram_pj_per_byte=15.0, pj_per_op=2.0),
+    "K40": EnergyConstants(idle_watts=40.0, dram_pj_per_byte=18.0, pj_per_op=3.5),
+}
+
+#: Words moved per element per pass, by algorithm (the measured
+#: coefficients; see EXPERIMENTS.md).
+TRAFFIC_WORDS = {
+    "sam": 2.0,
+    "chained": 2.0,
+    "cub": 2.0,
+    "thrust": 4.0,
+    "cudpp": 4.0,
+    "memcpy": 2.0,
+}
+
+#: Arithmetic operations per element per pass (scan ladder ~ 2 log2(32)
+#: per element at warp level plus correction; a coarse constant).
+OPS_PER_ELEMENT = 12.0
+
+
+class EnergyModel:
+    """Joules and J/item estimates layered on the throughput model."""
+
+    def __init__(self, perf_model: PerformanceModel = None):
+        self.perf = perf_model or PerformanceModel()
+
+    def _constants(self, gpu: Union[str, GPUSpec]) -> EnergyConstants:
+        name = gpu.name if isinstance(gpu, GPUSpec) else gpu
+        if name not in ENERGY_CONSTANTS:
+            raise KeyError(f"no energy constants for GPU {name!r}")
+        return ENERGY_CONSTANTS[name]
+
+    def energy_joules(
+        self,
+        algorithm: str,
+        gpu: Union[str, GPUSpec],
+        word_bits: int,
+        n: int,
+        order: int = 1,
+        tuple_size: int = 1,
+    ) -> float:
+        """Estimated kernel energy in joules."""
+        constants = self._constants(gpu)
+        time = self.perf.time_seconds(
+            algorithm, gpu, word_bits, n, order=order, tuple_size=tuple_size
+        )
+        word_bytes = word_bits // 8
+        passes = order if algorithm in ("cub", "thrust", "cudpp") else 1
+        traffic_words = TRAFFIC_WORDS.get(algorithm, 2.0)
+        bytes_moved = n * word_bytes * traffic_words * passes
+        # SAM iterates its computation stage q times on resident data;
+        # iterated algorithms redo everything.
+        compute_passes = order
+        ops = n * OPS_PER_ELEMENT * compute_passes
+        return (
+            constants.idle_watts * time
+            + constants.dram_pj_per_byte * 1e-12 * bytes_moved
+            + constants.pj_per_op * 1e-12 * ops
+        )
+
+    def nanojoules_per_item(
+        self,
+        algorithm: str,
+        gpu: Union[str, GPUSpec],
+        word_bits: int,
+        n: int,
+        order: int = 1,
+        tuple_size: int = 1,
+    ) -> float:
+        """Energy efficiency in nJ per processed item (lower is better)."""
+        joules = self.energy_joules(
+            algorithm, gpu, word_bits, n, order=order, tuple_size=tuple_size
+        )
+        return joules / n * 1e9

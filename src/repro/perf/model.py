@@ -1,0 +1,201 @@
+"""The analytic runtime/throughput model.
+
+Runtime formulas (n items, order q, tuple size s):
+
+``single_pass`` algorithms (SAM, chained, memcpy)::
+
+    time = t_launch
+         + n * mem_inv          * ramp(n; nh)       # the 2n memory term
+         + n * excess(q, s)     * ramp(n; nh_comp)  # carry + iterations
+
+where ``excess(q, s)`` is the asymptotic inverse-throughput surplus over
+the memory floor, interpolated from the calibration anchors.  SAM's
+memory term never grows with q or s — that is the paper's central
+claim — so only the compute excess scales.
+
+``iterated`` algorithms (CUB, Thrust, CUDPP)::
+
+    time = q * launches * t_launch
+         + q * n * inv(s) * ramp(n; nh)
+
+i.e. higher orders repeat the entire pipeline (2qn / 4qn traffic).
+
+``ramp(n; nh) = 1 + (nh / n)^p`` models the occupancy ramp-up: at
+``n = nh`` the GPU runs at half its asymptotic rate; throughput is low
+while the problem cannot even give every resident thread one element
+(Section 5.1's explanation of the low small-input throughput).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Union
+
+import numpy as np
+
+from repro.gpusim.spec import GPUSpec
+from repro.perf.calibration import (
+    DEFAULT_CALIBRATION,
+    AlgorithmCalibration,
+    GpuCalibration,
+    PS,
+)
+
+#: Algorithms the model understands.
+ALGORITHMS = ("sam", "cub", "thrust", "cudpp", "memcpy", "chained")
+
+
+class UnsupportedProblem(ValueError):
+    """The algorithm cannot run this problem (e.g. CUDPP above 2^25)."""
+
+
+def _interp_anchor(anchors: Dict[int, float], x: int, fallback: float) -> float:
+    """Piecewise-linear interpolation over anchor points, with linear
+    extrapolation past the last anchor (orders/tuple sizes beyond 8)."""
+    if not anchors:
+        return fallback
+    keys = sorted(anchors)
+    values = [anchors[key] for key in keys]
+    if x in anchors:
+        return anchors[x]
+    if len(keys) == 1:
+        return values[0]
+    if x > keys[-1]:
+        slope = (values[-1] - values[-2]) / (keys[-1] - keys[-2])
+        return values[-1] + slope * (x - keys[-1])
+    if x < keys[0]:
+        return values[0]
+    return float(np.interp(x, keys, values))
+
+
+class PerformanceModel:
+    """Predict kernel runtime and throughput for the paper's workloads."""
+
+    def __init__(self, calibration: Optional[Dict] = None):
+        self.calibration = calibration or DEFAULT_CALIBRATION
+
+    # -- lookup -----------------------------------------------------------
+
+    def _gpu_cal(self, gpu: Union[str, GPUSpec], word_bits: int) -> GpuCalibration:
+        name = gpu.name if isinstance(gpu, GPUSpec) else gpu
+        key = (name, word_bits)
+        if key not in self.calibration:
+            raise KeyError(
+                f"no calibration for GPU {name!r} at {word_bits}-bit words; "
+                f"available: {sorted(self.calibration)}"
+            )
+        return self.calibration[key]
+
+    def _alg_cal(
+        self, gpu: Union[str, GPUSpec], word_bits: int, algorithm: str
+    ) -> AlgorithmCalibration:
+        gpu_cal = self._gpu_cal(gpu, word_bits)
+        if algorithm not in gpu_cal.algorithms:
+            raise KeyError(
+                f"no calibration for algorithm {algorithm!r}; "
+                f"available: {sorted(gpu_cal.algorithms)}"
+            )
+        return gpu_cal.algorithms[algorithm]
+
+    # -- the model --------------------------------------------------------
+
+    @staticmethod
+    def _ramp(n: int, nh: float, p: float) -> float:
+        return 1.0 + (nh / n) ** p
+
+    def time_seconds(
+        self,
+        algorithm: str,
+        gpu: Union[str, GPUSpec],
+        word_bits: int,
+        n: int,
+        order: int = 1,
+        tuple_size: int = 1,
+    ) -> float:
+        """Predicted kernel runtime in seconds.
+
+        Raises :class:`UnsupportedProblem` when the algorithm cannot run
+        the size (the paper plots such series as absent).
+        """
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        if order < 1 or tuple_size < 1:
+            raise ValueError("order and tuple_size must be >= 1")
+        gpu_cal = self._gpu_cal(gpu, word_bits)
+        cal = self._alg_cal(gpu, word_bits, algorithm)
+        if cal.max_n is not None and n > cal.max_n:
+            raise UnsupportedProblem(
+                f"{algorithm} does not support {n} items at {word_bits}-bit "
+                f"words (limit {cal.max_n})"
+            )
+
+        launch = cal.t_launch_us * 1e-6
+        if cal.mode == "single_pass":
+            mem_inv = gpu_cal.mem_inv_ps * PS
+            base = cal.inv_base_ps
+            order_inv = _interp_anchor(cal.order_inv_ps, order, base)
+            tuple_inv = _interp_anchor(cal.tuple_inv_ps, tuple_size, base)
+            # Excess over the memory floor; order and tuple costs add
+            # (the combined case is the paper's future-work extension).
+            excess_ps = max(
+                0.0,
+                (order_inv - base) + (tuple_inv - base) + (base - gpu_cal.mem_inv_ps),
+            )
+            time = (
+                cal.launches_per_pass * launch
+                + n * mem_inv * self._ramp(n, cal.nh, cal.p)
+                + n * excess_ps * PS * self._ramp(n, cal.nh_comp, cal.p)
+            )
+            return time
+        if cal.mode == "iterated":
+            tuple_inv = _interp_anchor(cal.tuple_inv_ps, tuple_size, cal.inv_base_ps)
+            # The tuple-data-type formulation shrinks tiles (register
+            # pressure) and breaks coalescing, so underoccupied small
+            # problems suffer disproportionately: the fixed per-pass
+            # cost and the occupancy ramp both grow with s.  This is
+            # what makes the paper's small-input tuple factors (up to
+            # 2.6x) much larger than the saturated ones (1.34x).
+            launch_eff = launch * (1.0 + 0.8 * (tuple_size - 1))
+            nh_eff = cal.nh * (1.0 + 0.25 * (tuple_size - 1))
+            per_pass = (
+                cal.launches_per_pass * launch_eff
+                + n * tuple_inv * PS * self._ramp(n, nh_eff, cal.p)
+            )
+            return order * per_pass
+        raise ValueError(f"unknown calibration mode {cal.mode!r}")
+
+    def throughput(
+        self,
+        algorithm: str,
+        gpu: Union[str, GPUSpec],
+        word_bits: int,
+        n: int,
+        order: int = 1,
+        tuple_size: int = 1,
+    ) -> float:
+        """Predicted throughput in items per second."""
+        return n / self.time_seconds(
+            algorithm, gpu, word_bits, n, order=order, tuple_size=tuple_size
+        )
+
+    def sweep(
+        self,
+        algorithm: str,
+        gpu: Union[str, GPUSpec],
+        word_bits: int,
+        sizes: Iterable[int],
+        order: int = 1,
+        tuple_size: int = 1,
+    ) -> List[Optional[float]]:
+        """Throughput for each size; ``None`` where unsupported
+        (mirrors the missing CUDPP points above 2^25 in Figure 3)."""
+        out: List[Optional[float]] = []
+        for n in sizes:
+            try:
+                out.append(
+                    self.throughput(
+                        algorithm, gpu, word_bits, n, order=order, tuple_size=tuple_size
+                    )
+                )
+            except UnsupportedProblem:
+                out.append(None)
+        return out

@@ -1,0 +1,36 @@
+"""Serial reference implementations (the correctness oracle).
+
+Everything in this package is written for clarity, not speed: explicit
+loops over Python integers with centralized wraparound.  Every parallel
+engine in the reproduction — the fast host code, SAM on the GPU
+simulator, and the baseline scans — is tested bit-for-bit against these
+functions.
+"""
+
+from repro.reference.delta import (
+    binomial_coefficient,
+    delta_decode_serial,
+    delta_encode_closed_form,
+    delta_encode_serial,
+    higher_order_weights,
+)
+from repro.reference.serial import (
+    exclusive_scan_serial,
+    higher_order_prefix_sum_serial,
+    inclusive_scan_serial,
+    prefix_sum_serial,
+    tuple_prefix_sum_serial,
+)
+
+__all__ = [
+    "binomial_coefficient",
+    "delta_decode_serial",
+    "delta_encode_closed_form",
+    "delta_encode_serial",
+    "exclusive_scan_serial",
+    "higher_order_prefix_sum_serial",
+    "higher_order_weights",
+    "inclusive_scan_serial",
+    "prefix_sum_serial",
+    "tuple_prefix_sum_serial",
+]

@@ -1,0 +1,42 @@
+"""Shared fixtures and helpers for the test suite.
+
+Simulator-backed tests use deliberately tiny blocks (32-128 threads)
+and small persistent-block counts so that inputs of a few thousand
+elements still produce many chunks per block — exercising the full
+inter-block protocol — while keeping the suite fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.sam import SamScan
+from repro.gpusim.spec import TITAN_X
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+def make_int_array(rng, n, dtype=np.int32, lo=-1000, hi=1000):
+    """Random integers, dtype-cast (values wrap as they would on GPU)."""
+    return rng.integers(lo, hi, size=n).astype(dtype)
+
+
+def small_sam(**overrides) -> SamScan:
+    """A SAM engine sized for fast fine-grained tests."""
+    config = dict(
+        spec=TITAN_X,
+        threads_per_block=64,
+        items_per_thread=2,
+        num_blocks=4,
+    )
+    config.update(overrides)
+    return SamScan(**config)
+
+
+#: Sizes that probe boundaries: empty-adjacent, sub-warp, warp, block,
+#: chunk, multi-chunk, non-powers-of-two, and a prime.
+BOUNDARY_SIZES = (1, 2, 31, 32, 33, 63, 64, 65, 127, 128, 129, 1000, 4096, 4097, 5003)

@@ -1,0 +1,112 @@
+"""Public-API tests and cross-module integration scenarios."""
+
+import numpy as np
+import pytest
+
+import repro
+from conftest import make_int_array, small_sam
+from repro.baselines import DecoupledLookbackScan, ReduceThenScan, ThreePhaseScan
+from repro.compression import DeltaCodec
+from repro.reference import prefix_sum_serial
+
+PAPER_INPUT = np.array([1, 2, 3, 4, 5, 2, 4, 6, 8, 10], dtype=np.int32)
+
+
+class TestPublicApi:
+    def test_paper_example(self):
+        deltas = repro.delta_encode(PAPER_INPUT)
+        assert deltas.tolist() == [1, 1, 1, 1, 1, -3, 2, 2, 2, 2]
+        assert repro.prefix_sum(deltas).tolist() == PAPER_INPUT.tolist()
+
+    def test_prefix_sum_defaults(self):
+        out = repro.prefix_sum(np.array([1, 1, 1], dtype=np.int32))
+        assert out.tolist() == [1, 2, 3]
+
+    def test_scan_by_name(self):
+        out = repro.scan(np.array([3, 1, 4], dtype=np.int32), op="max")
+        assert out.tolist() == [3, 3, 4]
+
+    def test_exclusive_flag(self):
+        out = repro.prefix_sum(np.array([5, 5], dtype=np.int32), inclusive=False)
+        assert out.tolist() == [0, 5]
+
+    def test_version_exported(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_docstring_examples_run(self):
+        import doctest
+
+        import repro.api
+
+        results = doctest.testmod(repro.api)
+        assert results.failed == 0
+        assert results.attempted >= 4
+
+
+class TestEngineAgreement:
+    """All four engines and the host path agree bit-for-bit."""
+
+    @pytest.mark.parametrize("order,tuple_size", [(1, 1), (2, 1), (1, 3), (2, 2)])
+    def test_five_way_agreement(self, rng, order, tuple_size):
+        n = 4000 - 4000 % tuple_size
+        values = make_int_array(rng, n, dtype=np.int64)
+        expected = prefix_sum_serial(values, order=order, tuple_size=tuple_size)
+        kw = dict(threads_per_block=64, items_per_thread=2)
+        engines = [
+            small_sam(),
+            small_sam(carry_scheme="chained"),
+            ThreePhaseScan(**kw),
+            ReduceThenScan(**kw),
+            DecoupledLookbackScan(**kw),
+        ]
+        host = repro.prefix_sum(values, order=order, tuple_size=tuple_size)
+        assert np.array_equal(host, expected)
+        for engine in engines:
+            result = engine.run(values, order=order, tuple_size=tuple_size)
+            assert np.array_equal(result.values, expected), type(engine).__name__
+
+
+class TestTrafficHierarchy:
+    def test_paper_traffic_ordering(self, rng):
+        """SAM == CUB (2n) < MGPU (3n) < Thrust/CUDPP (4n)."""
+        values = make_int_array(rng, 16384)
+        kw = dict(threads_per_block=64, items_per_thread=2)
+        sam = small_sam().run(values).words_per_element()
+        cub = DecoupledLookbackScan(**kw).run(values).words_per_element()
+        mgpu = ReduceThenScan(**kw).run(values).words_per_element()
+        thrust = ThreePhaseScan(**kw).run(values).words_per_element()
+        assert abs(sam - cub) < 0.3
+        assert sam < mgpu < thrust
+        assert round(mgpu) == 3 and round(thrust) == 4
+
+    def test_higher_order_traffic_divergence(self, rng):
+        """SAM stays ~2n at order 8; iterated CUB grows to ~16n."""
+        values = make_int_array(rng, 16384)
+        sam8 = small_sam().run(values, order=8).words_per_element()
+        cub8 = DecoupledLookbackScan(
+            threads_per_block=64, items_per_thread=2
+        ).run(values, order=8).words_per_element()
+        assert sam8 < 3.0
+        assert cub8 > 14.0
+
+
+class TestEndToEndCompression:
+    def test_compress_then_parallel_decode(self, rng):
+        # The full motivating pipeline: model + coder on the host,
+        # decode via the generalized prefix sum on the simulated GPU.
+        t = np.arange(12000)
+        signal = (500 * np.sin(t / 150.0) + t * 0.2).astype(np.int32)
+        codec = DeltaCodec(decode_engine=small_sam())
+        blob = codec.compress(signal)
+        assert blob.ratio() > 2.0
+        assert np.array_equal(codec.decompress(blob), signal)
+
+    def test_interleaved_stream_uses_tuple_model(self, rng):
+        xy = np.empty(10000, dtype=np.int32)
+        xy[0::2] = np.cumsum(rng.integers(-3, 4, 5000)).astype(np.int32)
+        xy[1::2] = (10**6 + np.cumsum(rng.integers(-3, 4, 5000))).astype(np.int32)
+        codec = DeltaCodec(decode_engine=small_sam())
+        naive = codec.compress(xy, order=1, tuple_size=1)
+        tuple_aware = codec.compress(xy, order=1, tuple_size=2)
+        assert tuple_aware.nbytes < naive.nbytes
+        assert np.array_equal(codec.decompress(tuple_aware), xy)

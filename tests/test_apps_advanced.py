@@ -1,0 +1,222 @@
+"""Tests for the advanced scan applications: segmented quicksort, SpMV,
+histograms, string comparison, and summed-area tables."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import small_sam
+from repro.apps import (
+    CsrMatrix,
+    box_sum,
+    first_mismatch,
+    histogram,
+    histogram_equalization_map,
+    longest_common_prefix_lengths,
+    quicksort,
+    spmv,
+    string_compare,
+    summed_area_table,
+)
+
+
+class TestQuicksort:
+    @pytest.mark.parametrize("n", [0, 1, 2, 3, 10, 100, 3000])
+    def test_matches_numpy(self, rng, n):
+        keys = rng.integers(-(10**6), 10**6, n).astype(np.int64)
+        assert np.array_equal(quicksort(keys), np.sort(keys))
+
+    def test_all_equal(self):
+        keys = np.full(500, 42, dtype=np.int64)
+        assert np.array_equal(quicksort(keys), keys)
+
+    def test_already_sorted_and_reversed(self):
+        keys = np.arange(2000, dtype=np.int64)
+        assert np.array_equal(quicksort(keys), keys)
+        assert np.array_equal(quicksort(keys[::-1].copy()), keys)
+
+    def test_few_distinct_values(self, rng):
+        keys = rng.integers(0, 3, 5000).astype(np.int64)
+        assert np.array_equal(quicksort(keys), np.sort(keys))
+
+    def test_deterministic_for_seed(self, rng):
+        keys = rng.integers(-100, 100, 1000).astype(np.int64)
+        assert np.array_equal(quicksort(keys, seed=5), quicksort(keys, seed=5))
+
+    def test_input_not_mutated(self, rng):
+        keys = rng.integers(-100, 100, 500).astype(np.int64)
+        backup = keys.copy()
+        quicksort(keys)
+        assert np.array_equal(keys, backup)
+
+    def test_round_budget_falls_back_to_radix(self, rng):
+        # With max_rounds=1 the recursion cannot finish; the fallback
+        # must still return a correct result.
+        keys = rng.integers(-100, 100, 1000).astype(np.int64)
+        assert np.array_equal(quicksort(keys, max_rounds=1), np.sort(keys))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            quicksort(np.zeros((2, 2)))
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(-(2**40), 2**40), max_size=300))
+    def test_property_sorts(self, data):
+        keys = np.array(data, dtype=np.int64)
+        assert np.array_equal(quicksort(keys), np.sort(keys))
+
+
+class TestSpmv:
+    def test_matches_dense_int(self, rng):
+        dense = (rng.integers(-5, 6, (30, 25))
+                 * (rng.random((30, 25)) < 0.25)).astype(np.int64)
+        x = rng.integers(-10, 10, 25).astype(np.int64)
+        matrix = CsrMatrix.from_dense(dense)
+        assert np.array_equal(spmv(matrix, x), dense @ x)
+
+    def test_matches_dense_float(self, rng):
+        dense = rng.random((12, 9)) * (rng.random((12, 9)) < 0.4)
+        x = rng.random(9)
+        assert np.allclose(spmv(CsrMatrix.from_dense(dense), x), dense @ x)
+
+    def test_empty_rows(self, rng):
+        dense = np.zeros((5, 4), dtype=np.int64)
+        dense[1, 2] = 7
+        dense[4, 0] = -3
+        x = np.array([1, 1, 1, 1], dtype=np.int64)
+        assert np.array_equal(spmv(CsrMatrix.from_dense(dense), x), dense @ x)
+
+    def test_all_zero_matrix(self):
+        matrix = CsrMatrix.from_dense(np.zeros((3, 3), dtype=np.int64))
+        assert np.array_equal(
+            spmv(matrix, np.ones(3, dtype=np.int64)), np.zeros(3, dtype=np.int64)
+        )
+
+    def test_round_trip_dense(self, rng):
+        dense = (rng.integers(-5, 6, (8, 6)) * (rng.random((8, 6)) < 0.5)).astype(np.int32)
+        assert np.array_equal(CsrMatrix.from_dense(dense).to_dense(), dense)
+
+    def test_nnz(self, rng):
+        dense = np.eye(7, dtype=np.int64)
+        assert CsrMatrix.from_dense(dense).nnz == 7
+
+    def test_vector_shape_validation(self):
+        matrix = CsrMatrix.from_dense(np.eye(3, dtype=np.int64))
+        with pytest.raises(ValueError, match="shape"):
+            spmv(matrix, np.ones(4, dtype=np.int64))
+
+    def test_csr_validation(self):
+        with pytest.raises(ValueError, match="indptr"):
+            CsrMatrix(np.ones(2), np.array([0, 1]), np.array([0, 2]), (3, 2))
+        with pytest.raises(ValueError, match="column index"):
+            CsrMatrix(np.ones(1), np.array([5]), np.array([0, 1]), (1, 2))
+
+
+class TestHistogram:
+    def test_matches_bincount(self, rng):
+        values = rng.integers(0, 64, 20000).astype(np.int32)
+        assert np.array_equal(histogram(values, 64), np.bincount(values, minlength=64))
+
+    def test_empty_bins_zero(self):
+        counts = histogram(np.array([0, 0, 5], dtype=np.int64), 8)
+        assert counts.tolist() == [2, 0, 0, 0, 0, 1, 0, 0]
+
+    def test_empty_input(self):
+        assert histogram(np.array([], dtype=np.int32), 4).tolist() == [0, 0, 0, 0]
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="lie in"):
+            histogram(np.array([4]), 4)
+
+    def test_equalization_is_monotone(self, rng):
+        values = rng.integers(0, 16, 5000).astype(np.int32)
+        remap = histogram_equalization_map(values, 16)
+        assert np.all(np.diff(remap) >= 0)
+        assert remap.min() >= 0 and remap.max() <= 15
+
+    def test_equalization_spreads_skewed_data(self, rng):
+        # Heavily skewed toward low bins: the map should stretch them.
+        values = np.clip(rng.integers(0, 4, 5000), 0, 15).astype(np.int32)
+        remap = histogram_equalization_map(values, 16)
+        assert remap[3] > 3  # low bins pushed upward
+
+
+class TestStrings:
+    def test_first_mismatch(self):
+        assert first_mismatch("abc", "abd") == 2
+        assert first_mismatch("abc", "xbc") == 0
+        assert first_mismatch("abc", "abc") == -1
+        assert first_mismatch("abc", "abcd") == -1
+        assert first_mismatch("", "x") == -1
+
+    @pytest.mark.parametrize(
+        "a,b",
+        [("apple", "apricot"), ("", "a"), ("same", "same"), ("zz", "za"),
+         ("abc", "abcd"), ("abcd", "abc"), ("0", "00")],
+    )
+    def test_compare_matches_python(self, a, b):
+        expected = (a > b) - (a < b)
+        assert string_compare(a, b) == expected
+
+    def test_compare_random(self, rng):
+        alphabet = list("abcz")
+        for _ in range(50):
+            a = "".join(rng.choice(alphabet, size=rng.integers(0, 10)))
+            b = "".join(rng.choice(alphabet, size=rng.integers(0, 10)))
+            assert string_compare(a, b) == (a > b) - (a < b), (a, b)
+
+    def test_lcp(self):
+        lcps = longest_common_prefix_lengths(["abc", "abd", "x", "x"])
+        assert lcps.tolist() == [2, 0, 1]
+
+    def test_lcp_empty_list(self):
+        assert longest_common_prefix_lengths([]).size == 0
+
+
+class TestSummedAreaTable:
+    def test_matches_double_cumsum(self, rng):
+        image = rng.integers(0, 255, (13, 29)).astype(np.int64)
+        assert np.array_equal(
+            summed_area_table(image), image.cumsum(axis=0).cumsum(axis=1)
+        )
+
+    def test_via_tuple_engine(self, rng):
+        image = rng.integers(0, 100, (9, 16)).astype(np.int32)
+        engine = small_sam(threads_per_block=32, items_per_thread=1)
+        assert np.array_equal(
+            summed_area_table(image, engine=engine),
+            image.cumsum(axis=0).cumsum(axis=1),
+        )
+
+    def test_box_sum_matches_slice(self, rng):
+        image = rng.integers(-20, 20, (15, 15)).astype(np.int64)
+        sat = summed_area_table(image)
+        for _ in range(20):
+            top, bottom = sorted(rng.integers(0, 15, 2))
+            left, right = sorted(rng.integers(0, 15, 2))
+            assert box_sum(sat, top, left, bottom, right) == image[
+                top : bottom + 1, left : right + 1
+            ].sum()
+
+    def test_box_bounds_checked(self, rng):
+        sat = summed_area_table(np.ones((4, 4), dtype=np.int64))
+        with pytest.raises(ValueError, match="out of bounds"):
+            box_sum(sat, 0, 0, 4, 0)
+
+    def test_single_row_and_column(self):
+        row = np.arange(6, dtype=np.int64).reshape(1, 6)
+        assert np.array_equal(summed_area_table(row), row.cumsum(axis=1))
+        col = np.arange(6, dtype=np.int64).reshape(6, 1)
+        assert np.array_equal(summed_area_table(col), col.cumsum(axis=0))
+
+    def test_wraparound_int32(self):
+        image = np.full((4, 4), 2**30, dtype=np.int32)
+        sat = summed_area_table(image)
+        with np.errstate(over="ignore"):
+            expected = image.cumsum(axis=0, dtype=np.int32).cumsum(axis=1, dtype=np.int32)
+        assert np.array_equal(sat, expected)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            summed_area_table(np.arange(5))

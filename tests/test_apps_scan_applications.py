@@ -1,0 +1,298 @@
+"""Tests for the classic scan applications (compaction, RLE, sort,
+recurrences, polynomial evaluation, parallel FSM/lexer)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import small_sam
+from repro.apps import (
+    FsmScanner,
+    compact_indices,
+    linear_recurrence,
+    parallel_fsm_run,
+    polynomial_evaluate_prefixes,
+    radix_sort,
+    radix_sort_with_indices,
+    rle_decode,
+    rle_encode,
+    simple_lexer,
+    stream_compact,
+)
+
+
+class TestStreamCompaction:
+    def test_basic(self):
+        values = np.array([5, 6, 7, 8])
+        mask = np.array([1, 0, 0, 1], dtype=bool)
+        assert stream_compact(values, mask).tolist() == [5, 8]
+
+    def test_matches_boolean_indexing(self, rng):
+        values = rng.integers(-100, 100, 5000)
+        mask = rng.random(5000) < 0.3
+        assert np.array_equal(stream_compact(values, mask), values[mask])
+
+    def test_through_sam_engine(self, rng):
+        values = rng.integers(0, 100, 2000)
+        mask = values % 7 == 0
+        got = stream_compact(values, mask, engine=small_sam())
+        assert np.array_equal(got, values[mask])
+
+    def test_all_kept_and_none_kept(self, rng):
+        values = rng.integers(0, 10, 100)
+        assert np.array_equal(
+            stream_compact(values, np.ones(100, bool)), values
+        )
+        assert stream_compact(values, np.zeros(100, bool)).size == 0
+
+    def test_empty(self):
+        assert stream_compact(np.array([]), np.array([], dtype=bool)).size == 0
+
+    def test_compact_indices_are_exclusive_scan(self):
+        mask = np.array([1, 0, 1, 1, 0], dtype=bool)
+        assert compact_indices(mask).tolist() == [0, 1, 1, 2, 3]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="aligned"):
+            stream_compact(np.zeros(3), np.zeros(4, dtype=bool))
+
+
+class TestRle:
+    def test_paper_style_example(self):
+        vals, lens = rle_encode(np.array([7, 7, 7, 2, 2, 9]))
+        assert vals.tolist() == [7, 2, 9]
+        assert lens.tolist() == [3, 2, 1]
+
+    def test_round_trip_random(self, rng):
+        values = rng.integers(0, 5, 3000)
+        vals, lens = rle_encode(values)
+        assert np.array_equal(rle_decode(vals, lens), values)
+
+    def test_single_run(self):
+        vals, lens = rle_encode(np.full(10, 3))
+        assert vals.tolist() == [3] and lens.tolist() == [10]
+
+    def test_no_runs(self, rng):
+        values = np.arange(50)
+        vals, lens = rle_encode(values)
+        assert np.array_equal(vals, values)
+        assert np.all(lens == 1)
+
+    def test_empty(self):
+        vals, lens = rle_encode(np.array([], dtype=np.int32))
+        assert vals.size == 0 and lens.size == 0
+        assert rle_decode(vals, lens).size == 0
+
+    def test_decode_with_zero_length_runs(self):
+        out = rle_decode(np.array([1, 2, 3]), np.array([2, 0, 3]))
+        assert out.tolist() == [1, 1, 3, 3, 3]
+
+    def test_decode_leading_empty_run(self):
+        out = rle_decode(np.array([9, 4]), np.array([0, 2]))
+        assert out.tolist() == [4, 4]
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            rle_decode(np.array([1]), np.array([-1]))
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(0, 3), max_size=300))
+    def test_property_round_trip(self, data):
+        values = np.array(data, dtype=np.int64)
+        vals, lens = rle_encode(values)
+        assert np.array_equal(rle_decode(vals, lens), values)
+        # canonical form: no two adjacent runs share a value
+        if len(vals) > 1:
+            assert np.all(vals[1:] != vals[:-1])
+
+
+class TestRadixSort:
+    @pytest.mark.parametrize("dtype", [np.int32, np.int64, np.uint32, np.uint64])
+    def test_matches_numpy_sort(self, rng, dtype):
+        info = np.iinfo(dtype)
+        keys = rng.integers(
+            int(info.min), int(info.max),
+            4000,
+            dtype=np.int64 if np.dtype(dtype).kind == "i" else np.uint64,
+        ).astype(dtype)
+        assert np.array_equal(radix_sort(keys), np.sort(keys))
+
+    def test_permutation_is_argsort(self, rng):
+        keys = rng.integers(-1000, 1000, 2000).astype(np.int32)
+        sorted_keys, perm = radix_sort_with_indices(keys)
+        assert np.array_equal(keys[perm], sorted_keys)
+
+    def test_stability(self):
+        # Keys with ties: the permutation must preserve input order.
+        keys = np.array([3, 1, 3, 1, 3], dtype=np.int32)
+        _, perm = radix_sort_with_indices(keys)
+        # Among equal keys, original positions must stay in order.
+        sorted_keys = keys[perm]
+        for value in (1, 3):
+            positions = perm[sorted_keys == value]
+            assert list(positions) == sorted(positions)
+
+    def test_empty_and_singleton(self):
+        assert radix_sort(np.array([], dtype=np.int32)).size == 0
+        assert radix_sort(np.array([5], dtype=np.int64)).tolist() == [5]
+
+    def test_already_sorted(self):
+        keys = np.arange(1000, dtype=np.int32)
+        assert np.array_equal(radix_sort(keys), keys)
+
+    def test_negative_heavy(self, rng):
+        keys = -rng.integers(0, 10**9, 3000).astype(np.int64)
+        assert np.array_equal(radix_sort(keys), np.sort(keys))
+
+    def test_rejects_floats(self):
+        with pytest.raises(TypeError, match="integers"):
+            radix_sort(np.array([1.5, 2.5]))
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(-(2**31), 2**31 - 1), max_size=200))
+    def test_property_sorts(self, data):
+        keys = np.array(data, dtype=np.int32)
+        assert np.array_equal(radix_sort(keys), np.sort(keys))
+
+
+class TestLinearRecurrence:
+    def _serial(self, a, b, y0):
+        out = np.empty(len(a), dtype=np.result_type(a.dtype, b.dtype))
+        prev = out.dtype.type(y0)
+        with np.errstate(over="ignore"):
+            for i in range(len(a)):
+                out[i] = a[i] * prev + b[i]
+                prev = out[i]
+        return out
+
+    def test_prefix_sum_special_case(self, rng):
+        b = rng.integers(-100, 100, 500).astype(np.int64)
+        a = np.ones(500, dtype=np.int64)
+        from repro.reference import inclusive_scan_serial
+
+        assert np.array_equal(linear_recurrence(a, b), inclusive_scan_serial(b))
+
+    @pytest.mark.parametrize("y0", [0, 1, -7])
+    def test_matches_serial_ints(self, rng, y0):
+        a = rng.integers(-3, 4, 300).astype(np.int64)
+        b = rng.integers(-9, 10, 300).astype(np.int64)
+        assert np.array_equal(linear_recurrence(a, b, y0=y0), self._serial(a, b, y0))
+
+    def test_matches_serial_floats(self, rng):
+        a = rng.random(200) * 0.9
+        b = rng.random(200)
+        assert np.allclose(linear_recurrence(a, b), self._serial(a, b, 0.0))
+
+    def test_wraparound_exact(self, rng):
+        a = rng.integers(-1000, 1000, 100).astype(np.int32)
+        b = rng.integers(-1000, 1000, 100).astype(np.int32)
+        assert np.array_equal(linear_recurrence(a, b), self._serial(a, b, 0))
+
+    def test_iir_filter_decay(self):
+        # y[i] = 0.5 y[i-1] + 1 converges to 2.
+        a = np.full(60, 0.5)
+        b = np.ones(60)
+        out = linear_recurrence(a, b)
+        assert abs(out[-1] - 2.0) < 1e-12
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="aligned"):
+            linear_recurrence(np.ones(3), np.ones(4))
+
+    def test_empty(self):
+        out = linear_recurrence(np.ones(0), np.ones(0))
+        assert out.size == 0
+
+
+class TestPolynomial:
+    def test_known_value(self):
+        # 2x^2 + 3x + 4 at x=10.
+        out = polynomial_evaluate_prefixes(np.array([2, 3, 4], dtype=np.int64), 10)
+        assert out.tolist() == [2, 23, 234]
+
+    def test_matches_polyval(self, rng):
+        coeffs = rng.integers(-5, 6, 20).astype(np.int64)
+        x = 3
+        out = polynomial_evaluate_prefixes(coeffs, x)
+        assert out[-1] == np.polyval(coeffs, x)
+
+    def test_float_polynomial(self, rng):
+        coeffs = rng.random(15)
+        out = polynomial_evaluate_prefixes(coeffs, 0.5)
+        assert np.isclose(out[-1], np.polyval(coeffs, 0.5))
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one"):
+            polynomial_evaluate_prefixes(np.array([]), 2)
+
+
+class TestFsm:
+    def test_matches_serial_automaton(self, rng):
+        num_states, num_symbols = 5, 4
+        transition = rng.integers(0, num_states, (num_states, num_symbols)).astype(np.int8)
+        symbols = rng.integers(0, num_symbols, 1000)
+        parallel = parallel_fsm_run(transition, symbols, start_state=2)
+        state = 2
+        serial = []
+        for symbol in symbols:
+            state = transition[state, symbol]
+            serial.append(state)
+        assert np.array_equal(parallel, serial)
+
+    def test_empty_input(self):
+        transition = np.zeros((2, 2), dtype=np.int8)
+        assert parallel_fsm_run(transition, np.array([], dtype=np.int64)).size == 0
+
+    def test_symbol_out_of_range(self):
+        transition = np.zeros((2, 2), dtype=np.int8)
+        with pytest.raises(ValueError, match="out of range"):
+            parallel_fsm_run(transition, np.array([2]))
+
+    def test_bad_start_state(self):
+        transition = np.zeros((2, 2), dtype=np.int8)
+        with pytest.raises(ValueError, match="start_state"):
+            parallel_fsm_run(transition, np.array([0]), start_state=5)
+
+
+class TestLexer:
+    def test_simple_program(self):
+        tokens = simple_lexer("x1 = 42;")
+        assert tokens == [
+            ("ident", "x1"),
+            ("punct", "="),
+            ("number", "42"),
+            ("punct", ";"),
+        ]
+
+    def test_identifier_with_digits(self):
+        assert simple_lexer("a1b2") == [("ident", "a1b2")]
+
+    def test_number_then_identifier(self):
+        assert simple_lexer("42x") == [("number", "42"), ("ident", "x")]
+
+    def test_adjacent_punctuation(self):
+        assert simple_lexer(";;") == [("punct", ";"), ("punct", ";")]
+
+    def test_whitespace_only(self):
+        assert simple_lexer("  \t\n ") == []
+
+    def test_empty(self):
+        assert simple_lexer("") == []
+
+    def test_token_positions(self):
+        tokens = FsmScanner().tokenize("ab 12")
+        assert (tokens[0].start, tokens[0].end) == (0, 2)
+        assert (tokens[1].start, tokens[1].end) == (3, 5)
+
+    def test_matches_reference_regex_lexer(self, rng):
+        import re
+
+        alphabet = "ab1 ;+"
+        text = "".join(rng.choice(list(alphabet), size=300))
+        expected = [
+            ("ident" if m.group(1) else "number" if m.group(2) else "punct",
+             m.group(0))
+            for m in re.finditer(r"([a-z_][a-z_0-9]*)|(\d+)|([^\sa-z_0-9])", text)
+        ]
+        assert simple_lexer(text) == expected

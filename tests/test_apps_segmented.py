@@ -1,0 +1,163 @@
+"""Tests for segmented scans and the packed lifted operator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import small_sam
+from repro.apps.segmented import segment_flags_from_lengths, segmented_scan
+from repro.ops import ADD, MAX, get_op
+from repro.ops.segmented import make_segmented_op, pack, packed_dtype, unpack
+
+
+def segmented_oracle(values, flags, op="add"):
+    """Per-segment serial scan."""
+    op = get_op(op)
+    out = values.copy()
+    for i in range(1, len(values)):
+        if not flags[i]:
+            out[i] = op.apply(out[i - 1 : i], out[i : i + 1])[0]
+    return out
+
+
+class TestPacking:
+    def test_pack_unpack_round_trip(self, rng):
+        values = rng.integers(-(2**31), 2**31 - 1, 500).astype(np.int32)
+        flags = rng.random(500) < 0.3
+        flags[0] = True
+        v, f = unpack(pack(values, flags), np.int32)
+        assert np.array_equal(v, values)
+        assert np.array_equal(f, flags)
+
+    def test_unsigned_values(self, rng):
+        values = rng.integers(0, 2**32 - 1, 100, dtype=np.uint64).astype(np.uint32)
+        flags = rng.random(100) < 0.5
+        v, f = unpack(pack(values, flags), np.uint32)
+        assert np.array_equal(v, values)
+        assert np.array_equal(f, flags)
+
+    def test_packed_dtype(self):
+        assert packed_dtype(np.int32) == np.int64
+        assert packed_dtype(np.uint32) == np.uint64
+
+    def test_rejects_64bit_values(self):
+        with pytest.raises(TypeError, match="int32/uint32"):
+            packed_dtype(np.int64)
+
+    def test_misaligned_shapes(self):
+        with pytest.raises(ValueError, match="align"):
+            pack(np.zeros(3, dtype=np.int32), np.zeros(4, dtype=bool))
+
+    def test_unpack_wrong_dtype(self):
+        with pytest.raises(TypeError, match="expected packed dtype"):
+            unpack(np.zeros(3, dtype=np.int32), np.int32)
+
+
+class TestLiftedOperator:
+    def test_is_associative(self, rng):
+        op = make_segmented_op(ADD, np.int32)
+        values = rng.integers(-100, 100, 60).astype(np.int32)
+        flags = rng.random(60) < 0.25
+        packed = pack(values, flags)
+        a, b, c = packed[:20], packed[20:40], packed[40:]
+        # elementwise associativity on vectors
+        left = op.apply(op.apply(a, b), c)
+        right = op.apply(a, op.apply(b, c))
+        assert np.array_equal(left, right)
+
+    def test_identity(self, rng):
+        op = make_segmented_op(ADD, np.int32)
+        values = rng.integers(-100, 100, 30).astype(np.int32)
+        flags = rng.random(30) < 0.5
+        packed = pack(values, flags)
+        identity = np.full(30, op.identity(np.int64), dtype=np.int64)
+        assert np.array_equal(op.apply(identity, packed), packed)
+
+    def test_flag_resets_accumulation(self):
+        op = make_segmented_op(ADD, np.int32)
+        left = pack(np.array([5], dtype=np.int32), np.array([False]))
+        right_head = pack(np.array([3], dtype=np.int32), np.array([True]))
+        combined = op.apply(left, right_head)
+        value, flag = unpack(combined, np.int32)
+        assert value[0] == 3 and flag[0]
+
+
+class TestSegmentedScan:
+    def test_flags_from_lengths(self):
+        flags = segment_flags_from_lengths([2, 1, 3])
+        assert flags.astype(int).tolist() == [1, 0, 1, 1, 0, 0]
+
+    def test_flags_from_lengths_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            segment_flags_from_lengths([2, 0])
+
+    @pytest.mark.parametrize("method", ["subtract", "lifted"])
+    def test_matches_oracle(self, rng, method):
+        values = rng.integers(-50, 50, 400).astype(np.int32)
+        flags = rng.random(400) < 0.1
+        flags[0] = True
+        got = segmented_scan(values, flags, method=method)
+        assert np.array_equal(got, segmented_oracle(values, flags))
+
+    def test_max_uses_lifted_automatically(self, rng):
+        values = rng.integers(-50, 50, 200).astype(np.int32)
+        flags = segment_flags_from_lengths([50, 100, 50])
+        got = segmented_scan(values, flags, op="max")
+        assert np.array_equal(got, segmented_oracle(values, flags, op="max"))
+
+    def test_xor_uses_subtract_trick(self, rng):
+        values = rng.integers(0, 2**31, 300).astype(np.int32)
+        flags = segment_flags_from_lengths([100, 200])
+        got = segmented_scan(values, flags, op="xor")
+        assert np.array_equal(got, segmented_oracle(values, flags, op="xor"))
+
+    def test_through_sam_engine(self, rng):
+        values = rng.integers(-20, 20, 600).astype(np.int32)
+        flags = segment_flags_from_lengths([200, 150, 250])
+        engine = small_sam(threads_per_block=32, items_per_thread=1, num_blocks=3)
+        got = segmented_scan(values, flags, method="lifted", engine=engine)
+        assert np.array_equal(got, segmented_oracle(values, flags))
+
+    def test_single_segment_is_plain_scan(self, rng):
+        from repro.core.host import host_scan
+
+        values = rng.integers(-50, 50, 128).astype(np.int32)
+        flags = np.zeros(128, dtype=bool)
+        flags[0] = True
+        assert np.array_equal(segmented_scan(values, flags), host_scan(values))
+
+    def test_all_heads_is_identity_map(self, rng):
+        values = rng.integers(-50, 50, 64).astype(np.int32)
+        flags = np.ones(64, dtype=bool)
+        assert np.array_equal(segmented_scan(values, flags), values)
+
+    def test_requires_head_at_zero(self, rng):
+        values = np.ones(4, dtype=np.int32)
+        flags = np.array([False, True, False, False])
+        with pytest.raises(ValueError, match="flags\\[0\\]"):
+            segmented_scan(values, flags)
+
+    def test_empty(self):
+        out = segmented_scan(np.array([], dtype=np.int32), np.array([], dtype=bool))
+        assert out.size == 0
+
+    def test_subtract_requires_invertible(self, rng):
+        values = np.ones(4, dtype=np.int32)
+        flags = np.array([True, False, False, False])
+        with pytest.raises(ValueError, match="not invertible"):
+            segmented_scan(values, flags, op=MAX, method="subtract")
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        data=st.lists(st.integers(-1000, 1000), min_size=1, max_size=150),
+        seed=st.integers(0, 1000),
+    )
+    def test_property_subtract_equals_lifted(self, data, seed):
+        values = np.array(data, dtype=np.int32)
+        flag_rng = np.random.default_rng(seed)
+        flags = flag_rng.random(len(values)) < 0.2
+        flags[0] = True
+        sub = segmented_scan(values, flags, method="subtract")
+        lifted = segmented_scan(values, flags, method="lifted")
+        assert np.array_equal(sub, lifted)

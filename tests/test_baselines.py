@@ -1,0 +1,216 @@
+"""Oracle and traffic tests for the baseline scan engines."""
+
+import numpy as np
+import pytest
+
+from conftest import make_int_array, small_sam
+from repro.baselines import (
+    DecoupledLookbackScan,
+    ReduceThenScan,
+    ReorderScanEngine,
+    ThreePhaseScan,
+)
+from repro.gpusim.spec import TITAN_X
+from repro.reference import exclusive_scan_serial, prefix_sum_serial
+
+ENGINE_KW = dict(threads_per_block=64, items_per_thread=2)
+
+
+def engines():
+    return {
+        "three_phase": ThreePhaseScan(**ENGINE_KW),
+        "reduce_scan": ReduceThenScan(**ENGINE_KW),
+        "lookback": DecoupledLookbackScan(**ENGINE_KW),
+    }
+
+
+class TestOracle:
+    @pytest.mark.parametrize("name", ["three_phase", "reduce_scan", "lookback"])
+    @pytest.mark.parametrize("n", [1, 127, 128, 129, 1000, 5003])
+    def test_conventional(self, rng, name, n):
+        values = make_int_array(rng, n)
+        result = engines()[name].run(values)
+        assert np.array_equal(result.values, prefix_sum_serial(values))
+
+    @pytest.mark.parametrize("name", ["three_phase", "reduce_scan", "lookback"])
+    @pytest.mark.parametrize("order", [2, 3])
+    def test_higher_order(self, rng, name, order):
+        values = make_int_array(rng, 3000, dtype=np.int64)
+        result = engines()[name].run(values, order=order)
+        assert np.array_equal(result.values, prefix_sum_serial(values, order=order))
+
+    @pytest.mark.parametrize("name", ["three_phase", "reduce_scan", "lookback"])
+    @pytest.mark.parametrize("tuple_size", [2, 5])
+    def test_tuples(self, rng, name, tuple_size):
+        n = 3000 - 3000 % tuple_size
+        values = make_int_array(rng, n)
+        result = engines()[name].run(values, tuple_size=tuple_size)
+        assert np.array_equal(
+            result.values, prefix_sum_serial(values, tuple_size=tuple_size)
+        )
+
+    @pytest.mark.parametrize("name", ["three_phase", "reduce_scan", "lookback"])
+    def test_exclusive(self, rng, name):
+        values = make_int_array(rng, 2000)
+        result = engines()[name].run(values, inclusive=False)
+        assert np.array_equal(result.values, exclusive_scan_serial(values))
+
+    @pytest.mark.parametrize("name", ["three_phase", "reduce_scan", "lookback"])
+    @pytest.mark.parametrize("op", ["max", "xor"])
+    def test_operators(self, rng, name, op):
+        values = make_int_array(rng, 1500)
+        result = engines()[name].run(values, op=op)
+        assert np.array_equal(result.values, prefix_sum_serial(values, op=op))
+
+    @pytest.mark.parametrize("name", ["three_phase", "reduce_scan", "lookback"])
+    def test_empty(self, name):
+        result = engines()[name].run(np.array([], dtype=np.int32))
+        assert result.values.size == 0
+
+    @pytest.mark.parametrize("name", ["three_phase", "reduce_scan", "lookback"])
+    def test_validation(self, name):
+        engine = engines()[name]
+        with pytest.raises(ValueError):
+            engine.run(np.zeros((2, 2), dtype=np.int32))
+        with pytest.raises(ValueError):
+            engine.run(np.zeros(4, dtype=np.int32), order=0)
+
+
+class TestTrafficCoefficients:
+    """The 2n / 3n / 4n counting claims of Sections 2.1 and 3.1."""
+
+    def test_three_phase_is_4n(self, rng):
+        result = ThreePhaseScan(**ENGINE_KW).run(make_int_array(rng, 8192))
+        assert 4.0 <= result.words_per_element() < 4.3
+
+    def test_reduce_then_scan_is_3n(self, rng):
+        result = ReduceThenScan(**ENGINE_KW).run(make_int_array(rng, 8192))
+        assert 3.0 <= result.words_per_element() < 3.3
+
+    def test_lookback_is_2n(self, rng):
+        result = DecoupledLookbackScan(**ENGINE_KW).run(make_int_array(rng, 8192))
+        assert 2.0 <= result.words_per_element() < 2.4
+
+    def test_iterated_higher_order_scales_traffic(self, rng):
+        # CUB-style: order q costs ~2qn words (vs SAM's constant 2n).
+        values = make_int_array(rng, 8192)
+        engine = DecoupledLookbackScan(**ENGINE_KW)
+        w1 = engine.run(values, order=1).stats.global_words_total
+        w3 = engine.run(values, order=3).stats.global_words_total
+        assert 2.7 <= w3 / w1 <= 3.3
+
+    def test_three_phase_uses_multiple_launches(self, rng):
+        result = ThreePhaseScan(**ENGINE_KW).run(make_int_array(rng, 8192))
+        assert result.stats.kernel_launches >= 3
+
+    def test_lookback_single_launch_per_pass(self, rng):
+        values = make_int_array(rng, 8192)
+        engine = DecoupledLookbackScan(**ENGINE_KW)
+        assert engine.run(values, order=1).stats.kernel_launches == 1
+        assert engine.run(values, order=3).stats.kernel_launches == 3
+
+
+class TestThreePhaseSpecifics:
+    def test_cudpp_size_limit(self, rng):
+        engine = ThreePhaseScan(max_elements=4096, **ENGINE_KW)
+        engine.run(make_int_array(rng, 4096))  # at the limit: fine
+        with pytest.raises(ValueError, match="max_elements"):
+            engine.run(make_int_array(rng, 4097))
+
+    def test_recursive_aux_scan(self, rng):
+        # Enough chunks that the aux array exceeds one chunk, forcing
+        # the "third, even coarser level of granularity".
+        engine = ThreePhaseScan(
+            spec=TITAN_X, threads_per_block=32, items_per_thread=1
+        )
+        values = make_int_array(rng, 32 * 40)
+        result = engine.run(values)
+        assert np.array_equal(result.values, prefix_sum_serial(values))
+        assert result.stats.kernel_launches > 3
+
+
+class TestLookbackSpecifics:
+    def test_tuple_needs_divisible_size(self, rng):
+        engine = DecoupledLookbackScan(**ENGINE_KW)
+        with pytest.raises(ValueError, match="multiple of the tuple size"):
+            engine.run(make_int_array(rng, 1001), tuple_size=2)
+
+    def test_tuple_datatype_degrades_coalescing(self, rng):
+        # Section 2.3/5.3: whole tuples per thread -> strided accesses.
+        values = make_int_array(rng, 5120)
+        engine = DecoupledLookbackScan(**ENGINE_KW)
+        t1 = engine.run(values, tuple_size=1).stats.global_read_transactions
+        t8 = engine.run(values, tuple_size=8).stats.global_read_transactions
+        assert t8 > 3 * t1
+
+    def test_sam_coalescing_does_not_degrade(self, rng):
+        # The contrast: SAM reads linearly regardless of s.
+        values = make_int_array(rng, 5120)
+        sam1 = small_sam().run(values, tuple_size=1).stats.global_read_transactions
+        sam8 = small_sam().run(values, tuple_size=8).stats.global_read_transactions
+        assert sam8 <= sam1 * 1.2
+
+    def test_lookback_aux_memory_scales_with_n(self, rng):
+        # O(n) auxiliary state (one status per tile) vs SAM's O(1):
+        # more tiles -> more status writes.
+        engine = DecoupledLookbackScan(**ENGINE_KW)
+        small = engine.run(make_int_array(rng, 1024))
+        large = engine.run(make_int_array(rng, 16384))
+        assert large.num_chunks > small.num_chunks
+
+    @pytest.mark.parametrize("policy", ["round_robin", "reversed", "rotating"])
+    def test_schedule_independence(self, rng, policy):
+        values = make_int_array(rng, 4000)
+        engine = DecoupledLookbackScan(policy=policy, **ENGINE_KW)
+        assert np.array_equal(engine.run(values).values, prefix_sum_serial(values))
+
+    def test_lookback_walk_length_varies_with_schedule(self, rng):
+        # CUB's "laggard" pull: under a hostile schedule the walk is
+        # longer (more aggregates folded before finding a prefix).
+        values = make_int_array(rng, 8000)
+        friendly = DecoupledLookbackScan(**ENGINE_KW).run(values)
+        hostile = DecoupledLookbackScan(policy="reversed", **ENGINE_KW).run(values)
+        assert hostile.stats.carry_additions >= friendly.stats.carry_additions
+
+
+class TestReorderEngine:
+    def test_matches_reference(self, rng):
+        base = small_sam()
+        engine = ReorderScanEngine(base)
+        values = make_int_array(rng, 4000)
+        result = engine.run(values, tuple_size=4)
+        assert np.array_equal(result.values, prefix_sum_serial(values, tuple_size=4))
+
+    def test_higher_order_tuples(self, rng):
+        engine = ReorderScanEngine(small_sam())
+        values = make_int_array(rng, 3000)
+        result = engine.run(values, order=2, tuple_size=2)
+        assert np.array_equal(
+            result.values, prefix_sum_serial(values, order=2, tuple_size=2)
+        )
+
+    def test_costs_about_6n(self, rng):
+        # 2n gather + 2n scan + 2n scatter (Section 2.3: "it is slow").
+        engine = ReorderScanEngine(small_sam())
+        result = engine.run(make_int_array(rng, 8192), tuple_size=4)
+        assert 5.8 <= result.words_per_element() < 6.6
+
+    def test_more_expensive_than_direct_sam(self, rng):
+        values = make_int_array(rng, 8192)
+        direct = small_sam().run(values, tuple_size=4)
+        reordered = ReorderScanEngine(small_sam()).run(values, tuple_size=4)
+        assert (
+            reordered.stats.global_words_total
+            > 2 * direct.stats.global_words_total
+        )
+
+    def test_needs_divisible_size(self, rng):
+        engine = ReorderScanEngine(small_sam())
+        with pytest.raises(ValueError, match="multiple"):
+            engine.run(make_int_array(rng, 1001), tuple_size=2)
+
+    def test_tuple1_delegates(self, rng):
+        engine = ReorderScanEngine(small_sam())
+        values = make_int_array(rng, 1000)
+        result = engine.run(values, tuple_size=1)
+        assert np.array_equal(result.values, prefix_sum_serial(values))

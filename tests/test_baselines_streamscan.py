@@ -1,0 +1,150 @@
+"""Tests for the StreamScan baseline and the trace facility."""
+
+import numpy as np
+import pytest
+
+from conftest import make_int_array, small_sam
+from repro.baselines import StreamScan
+from repro.baselines.streamscan import matrix_block_scan
+from repro.core import SamScan
+from repro.gpusim import Tracer, render_pipeline, summarize_stagger
+from repro.ops import ADD, MAX
+from repro.reference import exclusive_scan_serial, inclusive_scan_serial, prefix_sum_serial
+
+KW = dict(threads_per_block=64, items_per_thread=2)
+
+
+class TestMatrixBlockScan:
+    @pytest.mark.parametrize("n", [0, 1, 31, 32, 33, 64, 100, 1024, 1000])
+    @pytest.mark.parametrize("cols", [1, 8, 32])
+    def test_matches_flat_scan(self, rng, n, cols):
+        values = rng.integers(-50, 50, n).astype(np.int32)
+        got = matrix_block_scan(values, cols, ADD)
+        assert np.array_equal(got, inclusive_scan_serial(values))
+
+    def test_max_operator(self, rng):
+        values = rng.integers(-50, 50, 200).astype(np.int64)
+        got = matrix_block_scan(values, 16, MAX)
+        assert np.array_equal(got, inclusive_scan_serial(values, op=MAX))
+
+    def test_wraparound(self):
+        values = np.full(96, 2**30, dtype=np.int32)
+        got = matrix_block_scan(values, 32, ADD)
+        assert np.array_equal(got, inclusive_scan_serial(values))
+
+
+class TestStreamScanEngine:
+    @pytest.mark.parametrize("n", [1, 100, 1000, 5003])
+    def test_matches_reference(self, rng, n):
+        values = make_int_array(rng, n)
+        result = StreamScan(**KW).run(values)
+        assert np.array_equal(result.values, prefix_sum_serial(values))
+
+    def test_2n_traffic(self, rng):
+        result = StreamScan(**KW).run(make_int_array(rng, 8192))
+        assert 2.0 <= result.words_per_element() < 2.4
+
+    def test_single_launch(self, rng):
+        result = StreamScan(**KW).run(make_int_array(rng, 8192))
+        assert result.stats.kernel_launches == 1
+
+    def test_higher_order_iterates(self, rng):
+        values = make_int_array(rng, 3000)
+        result = StreamScan(**KW).run(values, order=3)
+        assert np.array_equal(result.values, prefix_sum_serial(values, order=3))
+        assert result.stats.kernel_launches == 3
+
+    @pytest.mark.parametrize("tuple_size", [2, 5])
+    def test_tuples(self, rng, tuple_size):
+        values = make_int_array(rng, 2995)
+        result = StreamScan(**KW).run(values, tuple_size=tuple_size)
+        assert np.array_equal(
+            result.values, prefix_sum_serial(values, tuple_size=tuple_size)
+        )
+
+    def test_exclusive(self, rng):
+        values = make_int_array(rng, 1200)
+        result = StreamScan(**KW).run(values, inclusive=False)
+        assert np.array_equal(result.values, exclusive_scan_serial(values))
+
+    @pytest.mark.parametrize("policy", ["round_robin", "reversed", "random"])
+    def test_schedule_independent(self, rng, policy):
+        values = make_int_array(rng, 4000)
+        result = StreamScan(policy=policy, **KW).run(values)
+        assert np.array_equal(result.values, prefix_sum_serial(values))
+
+    def test_minimal_carry_work(self, rng):
+        # Adjacent chain: exactly one carry addition per tile.
+        values = make_int_array(rng, 8192)
+        result = StreamScan(**KW).run(values)
+        assert result.stats.carry_additions == result.num_chunks
+
+    def test_chain_waits_more_than_sam_decoupled(self, rng):
+        values = make_int_array(rng, 8000)
+        stream = StreamScan(policy="reversed", **KW).run(values)
+        sam = small_sam(policy="reversed", num_blocks=8).run(values)
+        # Both are correct; the chain's serial dependence shows up as
+        # (at least comparable) failed polls under a hostile schedule.
+        assert stream.stats.failed_flag_polls > 0
+        assert np.array_equal(stream.values, sam.values)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="matrix_cols"):
+            StreamScan(matrix_cols=0)
+        with pytest.raises(ValueError, match="1-D"):
+            StreamScan(**KW).run(np.zeros((2, 2), dtype=np.int32))
+
+    def test_empty(self):
+        result = StreamScan(**KW).run(np.array([], dtype=np.int32))
+        assert result.values.size == 0
+
+
+class TestTracer:
+    def _traced_run(self, policy="round_robin"):
+        tracer = Tracer()
+        engine = SamScan(
+            threads_per_block=32,
+            items_per_thread=1,
+            num_blocks=3,
+            policy=policy,
+            tracer=tracer,
+        )
+        values = np.arange(32 * 9, dtype=np.int32)
+        result = engine.run(values)
+        assert np.array_equal(result.values, np.cumsum(values, dtype=np.int32))
+        return tracer
+
+    def test_events_cover_every_chunk(self):
+        tracer = self._traced_run()
+        stored = tracer.chunk_completion_order()
+        assert sorted(stored) == list(range(9))
+
+    def test_blocks_process_strided_chunks(self):
+        tracer = self._traced_run()
+        for block in range(3):
+            chunks = {e.chunk for e in tracer.for_block(block)}
+            assert chunks == {block, block + 3, block + 6}
+
+    def test_event_sequence_per_chunk(self):
+        tracer = self._traced_run()
+        chunk0 = [e.action for e in tracer.events if e.chunk == 0]
+        assert chunk0 == ["load", "publish", "carry", "store"]
+
+    def test_hostile_schedule_produces_waits(self):
+        tracer = self._traced_run(policy="reversed")
+        assert any(e.action == "wait" for e in tracer.events)
+
+    def test_render_contains_figure2_labels(self):
+        tracer = self._traced_run()
+        text = render_pipeline(tracer, 3)
+        assert "Block 0" in text and "Block 2" in text
+        assert "S0" in text and "Carry0" in text
+
+    def test_summarize_stagger(self):
+        tracer = self._traced_run()
+        summary = summarize_stagger(tracer, 3)
+        assert "9 chunks stored" in summary
+        assert "in global order" in summary
+
+    def test_empty_tracer_summary(self):
+        assert summarize_stagger(Tracer(), 2) is None

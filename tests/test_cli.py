@@ -1,0 +1,66 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCompressionCommands:
+    def test_round_trip(self, tmp_path, rng):
+        values = rng.integers(-10000, 10000, 5000).astype(np.int32)
+        raw = tmp_path / "data.bin"
+        packed = tmp_path / "data.samd"
+        restored = tmp_path / "restored.bin"
+        values.tofile(raw)
+
+        assert main(["compress", str(raw), str(packed)]) == 0
+        assert packed.stat().st_size < raw.stat().st_size * 1.2
+        assert main(["decompress", str(packed), str(restored)]) == 0
+        assert np.array_equal(np.fromfile(restored, dtype=np.int32), values)
+
+    def test_explicit_order_and_tuple(self, tmp_path, rng):
+        values = rng.integers(-100, 100, 4000).astype(np.int64)
+        raw = tmp_path / "data.bin"
+        packed = tmp_path / "data.samd"
+        restored = tmp_path / "restored.bin"
+        values.tofile(raw)
+        assert main([
+            "compress", str(raw), str(packed),
+            "--dtype", "int64", "--order", "2", "--tuple-size", "2",
+        ]) == 0
+        assert main(["decompress", str(packed), str(restored)]) == 0
+        assert np.array_equal(np.fromfile(restored, dtype=np.int64), values)
+
+
+class TestReportingCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "C1060" in out and "7.32" in out
+
+    def test_single_figure(self, capsys):
+        assert main(["figures", "fig15"]) == 0
+        out = capsys.readouterr().out
+        assert "chained" in out and "SAM" in out
+
+    def test_checks_pass(self, capsys):
+        assert main(["checks"]) == 0
+        out = capsys.readouterr().out
+        assert "FAIL" not in out
+        assert "checks pass" in out
+
+    def test_traffic(self, capsys):
+        assert main(["traffic", "--n", "8192"]) == 0
+        out = capsys.readouterr().out
+        assert "sam" in out and "thrust" in out

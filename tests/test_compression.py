@@ -1,0 +1,200 @@
+"""Tests for the delta-compression application."""
+
+import numpy as np
+import pytest
+
+from conftest import small_sam
+from repro.compression import (
+    CodecError,
+    DeltaCodec,
+    choose_model,
+    varint_decode,
+    varint_encode,
+    zigzag_decode,
+    zigzag_encode,
+)
+from repro.compression.codec import residual_cost_bytes
+
+
+class TestZigzag:
+    def test_small_values_map_small(self):
+        values = np.array([0, -1, 1, -2, 2], dtype=np.int32)
+        assert np.array_equal(zigzag_encode(values), np.array([0, 1, 2, 3, 4], dtype=np.uint32))
+
+    @pytest.mark.parametrize("dtype", [np.int32, np.int64])
+    def test_round_trip_extremes(self, dtype):
+        info = np.iinfo(dtype)
+        values = np.array([info.min, info.min + 1, -1, 0, 1, info.max - 1, info.max], dtype=dtype)
+        assert np.array_equal(zigzag_decode(zigzag_encode(values)), values)
+
+    def test_round_trip_random(self, rng):
+        values = rng.integers(-(2**62), 2**62, 2000).astype(np.int64)
+        assert np.array_equal(zigzag_decode(zigzag_encode(values)), values)
+
+    def test_rejects_unsigned_input(self):
+        with pytest.raises(TypeError, match="int32/int64"):
+            zigzag_encode(np.array([1], dtype=np.uint32))
+
+    def test_decode_rejects_signed_input(self):
+        with pytest.raises(TypeError, match="uint32/uint64"):
+            zigzag_decode(np.array([1], dtype=np.int32))
+
+
+class TestVarint:
+    def test_single_byte_values(self):
+        data = varint_encode(np.array([0, 1, 127], dtype=np.uint64))
+        assert len(data) == 3
+
+    def test_multi_byte_boundaries(self):
+        values = np.array([127, 128, 16383, 16384, 2**63], dtype=np.uint64)
+        data = varint_encode(values)
+        assert np.array_equal(varint_decode(data, len(values)), values)
+
+    def test_round_trip_random(self, rng):
+        values = rng.integers(0, 2**63, 3000).astype(np.uint64)
+        assert np.array_equal(varint_decode(varint_encode(values), 3000), values)
+
+    def test_empty(self):
+        assert varint_encode(np.array([], dtype=np.uint64)) == b""
+        assert varint_decode(b"", 0).size == 0
+
+    def test_truncated_stream(self):
+        data = varint_encode(np.array([300], dtype=np.uint64))
+        with pytest.raises(ValueError, match="truncated"):
+            varint_decode(data[:-1], 1)
+
+    def test_trailing_garbage(self):
+        data = varint_encode(np.array([5], dtype=np.uint64))
+        with pytest.raises(ValueError, match="trailing"):
+            varint_decode(data + b"\x00", 1)
+
+    def test_overlong_varint_rejected(self):
+        with pytest.raises(ValueError, match="longer than 64 bits"):
+            varint_decode(b"\x80" * 10 + b"\x01", 1)
+
+    def test_rejects_signed(self):
+        with pytest.raises(TypeError, match="unsigned"):
+            varint_encode(np.array([1], dtype=np.int64))
+
+    def test_known_encoding(self):
+        # 300 = 0b10.0101100 -> LEB128: 0xAC 0x02
+        assert varint_encode(np.array([300], dtype=np.uint64)) == b"\xac\x02"
+
+
+class TestModelSelection:
+    def test_linear_ramp_prefers_order2(self):
+        # Slope large enough that first differences need two varint
+        # bytes while second differences (all zero) need one.
+        values = (np.arange(5000) * 100).astype(np.int64)
+        order, _ = choose_model(values)
+        assert order == 2
+
+    def test_gentle_ramp_ties_resolve_to_lowest_order(self):
+        # A slope of 3 zigzags into one varint byte at every order, so
+        # the cheapest (lowest) order wins the tie.
+        values = (np.arange(4000) * 3).astype(np.int64)
+        order, _ = choose_model(values)
+        assert order == 1
+
+    def test_random_walk_prefers_order1(self, rng):
+        values = np.cumsum(rng.integers(-5, 6, 5000)).astype(np.int64)
+        order, _ = choose_model(values)
+        assert order == 1
+
+    def test_cost_matches_actual_payload(self, rng):
+        values = rng.integers(-100, 100, 1000).astype(np.int32)
+        cost = residual_cost_bytes(values, 1, 1)
+        blob = DeltaCodec().compress(values, order=1)
+        header = 16
+        assert blob.nbytes - header == cost
+
+    def test_tuple_aware_model_wins_on_interleaved_data(self, rng):
+        xy = np.empty(8000, dtype=np.int64)
+        xy[0::2] = np.cumsum(rng.integers(-2, 3, 4000))
+        xy[1::2] = 10**6 + np.cumsum(rng.integers(-2, 3, 4000))
+        assert residual_cost_bytes(xy, 1, 2) < residual_cost_bytes(xy, 1, 1)
+
+
+class TestCodec:
+    @pytest.mark.parametrize("dtype", [np.int32, np.int64])
+    @pytest.mark.parametrize("order", [1, 2, 3])
+    @pytest.mark.parametrize("tuple_size", [1, 2, 4])
+    def test_round_trip(self, rng, dtype, order, tuple_size):
+        values = rng.integers(-10000, 10000, 3000).astype(dtype)
+        codec = DeltaCodec()
+        blob = codec.compress(values, order=order, tuple_size=tuple_size)
+        assert np.array_equal(codec.decompress(blob), values)
+
+    def test_round_trip_from_raw_bytes(self, rng):
+        values = rng.integers(-100, 100, 500).astype(np.int32)
+        codec = DeltaCodec()
+        data = codec.compress(values).data
+        assert np.array_equal(codec.decompress(data), values)
+
+    def test_smooth_data_compresses(self, rng):
+        t = np.arange(20000)
+        smooth = (1000 * np.sin(t / 200.0) + rng.normal(0, 1, len(t))).astype(np.int32)
+        blob = DeltaCodec().compress(smooth)
+        assert blob.ratio() > 2.5
+
+    def test_auto_order_selection(self):
+        ramp = (np.arange(4000) * 100).astype(np.int32)
+        blob = DeltaCodec().compress(ramp)
+        assert blob.order == 2
+
+    def test_sam_engine_decode_matches_host(self, rng):
+        values = rng.integers(-1000, 1000, 4000).astype(np.int32)
+        blob = DeltaCodec().compress(values, order=2, tuple_size=2)
+        host = DeltaCodec().decompress(blob)
+        sam = DeltaCodec(decode_engine=small_sam()).decompress(blob)
+        assert np.array_equal(host, sam)
+        assert np.array_equal(host, values)
+
+    def test_empty_array(self):
+        codec = DeltaCodec()
+        blob = codec.compress(np.array([], dtype=np.int32))
+        assert np.array_equal(codec.decompress(blob), np.array([], dtype=np.int32))
+
+    def test_header_inspection(self, rng):
+        values = rng.integers(-5, 5, 100).astype(np.int64)
+        codec = DeltaCodec()
+        blob = codec.compress(values, order=3, tuple_size=2)
+        parsed = codec.parse_header(blob.data)
+        assert parsed.order == 3
+        assert parsed.tuple_size == 2
+        assert parsed.dtype == np.int64
+        assert parsed.count == 100
+
+
+class TestCodecErrors:
+    def test_rejects_2d(self):
+        with pytest.raises(CodecError, match="1-D"):
+            DeltaCodec().compress(np.zeros((2, 2), dtype=np.int32))
+
+    def test_rejects_float(self):
+        with pytest.raises(CodecError, match="unsupported dtype"):
+            DeltaCodec().compress(np.zeros(4, dtype=np.float32))
+
+    def test_rejects_bad_magic(self):
+        with pytest.raises(CodecError, match="bad magic"):
+            DeltaCodec().decompress(b"NOPE" + b"\x00" * 12)
+
+    def test_rejects_short_buffer(self):
+        with pytest.raises(CodecError, match="shorter"):
+            DeltaCodec().decompress(b"SA")
+
+    def test_rejects_bad_version(self, rng):
+        blob = DeltaCodec().compress(np.zeros(4, dtype=np.int32))
+        corrupted = blob.data[:4] + b"\x63" + blob.data[5:]
+        with pytest.raises(CodecError, match="version"):
+            DeltaCodec().decompress(corrupted)
+
+    def test_rejects_truncated_payload(self, rng):
+        values = rng.integers(-1000, 1000, 100).astype(np.int32)
+        blob = DeltaCodec().compress(values)
+        with pytest.raises(ValueError, match="truncated|trailing"):
+            DeltaCodec().decompress(blob.data[:-2])
+
+    def test_rejects_huge_order(self):
+        with pytest.raises(CodecError, match="order"):
+            DeltaCodec().compress(np.zeros(4, dtype=np.int32), order=300)

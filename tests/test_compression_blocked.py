@@ -1,0 +1,128 @@
+"""Tests for the blocked (random-access, parallel-decode) container."""
+
+import numpy as np
+import pytest
+
+from conftest import small_sam
+from repro.compression import BlockedDeltaCodec, CodecError, DeltaCodec
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("dtype", [np.int32, np.int64])
+    @pytest.mark.parametrize("n", [0, 1, 100, 1000, 4096, 10001])
+    def test_round_trip(self, rng, dtype, n):
+        values = rng.integers(-(10**6), 10**6, n).astype(dtype)
+        codec = BlockedDeltaCodec(block_elements=1024)
+        blob = codec.compress(values)
+        assert np.array_equal(codec.decompress(blob), values)
+
+    def test_round_trip_from_raw_bytes(self, rng):
+        values = rng.integers(-100, 100, 3000).astype(np.int32)
+        codec = BlockedDeltaCodec(block_elements=512)
+        data = codec.compress(values).data
+        assert np.array_equal(codec.decompress(data), values)
+
+    @pytest.mark.parametrize("tuple_size", [1, 2, 3, 5])
+    def test_tuple_sizes(self, rng, tuple_size):
+        values = rng.integers(-1000, 1000, 5000).astype(np.int32)
+        codec = BlockedDeltaCodec(block_elements=700)
+        blob = codec.compress(values, tuple_size=tuple_size)
+        assert np.array_equal(codec.decompress(blob), values)
+
+    def test_block_boundaries_align_to_tuples(self, rng):
+        values = rng.integers(-10, 10, 1000).astype(np.int32)
+        codec = BlockedDeltaCodec(block_elements=100)
+        blob = codec.compress(values, tuple_size=3)
+        assert blob.block_elements % 3 == 0
+
+    def test_sam_engine_decode(self, rng):
+        values = rng.integers(-1000, 1000, 4000).astype(np.int32)
+        host_codec = BlockedDeltaCodec(block_elements=1000)
+        sam_codec = BlockedDeltaCodec(block_elements=1000, decode_engine=small_sam())
+        blob = host_codec.compress(values, order=2)
+        assert np.array_equal(sam_codec.decompress(blob), values)
+
+
+class TestRandomAccess:
+    def test_single_block_decode(self, rng):
+        values = rng.integers(-100, 100, 5000).astype(np.int32)
+        codec = BlockedDeltaCodec(block_elements=1024)
+        blob = codec.compress(values)
+        for index in range(blob.num_blocks):
+            start = index * blob.block_elements
+            expected = values[start : start + blob.block_elements]
+            assert np.array_equal(codec.decompress_block(blob, index), expected)
+
+    def test_block_index_out_of_range(self, rng):
+        codec = BlockedDeltaCodec(block_elements=100)
+        blob = codec.compress(rng.integers(0, 10, 250).astype(np.int32))
+        assert blob.num_blocks == 3
+        with pytest.raises(CodecError, match="out of range"):
+            codec.decompress_block(blob, 3)
+
+    def test_offsets_are_exclusive_prefix_sums(self, rng):
+        codec = BlockedDeltaCodec(block_elements=128)
+        blob = codec.compress(rng.integers(-5, 5, 1000).astype(np.int32))
+        offsets = blob.block_offsets()
+        sizes = np.asarray(blob.payload_sizes)
+        assert np.array_equal(np.diff(offsets), sizes[:-1])
+        assert offsets[-1] + sizes[-1] == blob.nbytes
+
+
+class TestPerBlockAdaptation:
+    def test_orders_adapt_to_signal_changes(self, rng):
+        # First half: steep linear ramp (order 2 wins); second half:
+        # random walk (order 1 wins).
+        ramp = (np.arange(4096) * 500).astype(np.int64)
+        walk = ramp[-1] + np.cumsum(rng.integers(-3, 4, 4096)).astype(np.int64)
+        signal = np.concatenate([ramp, walk])
+        codec = BlockedDeltaCodec(block_elements=4096)
+        blob = codec.compress(signal)
+        assert blob.orders[0] == 2
+        assert blob.orders[1] == 1
+        assert np.array_equal(codec.decompress(blob), signal)
+
+    def test_explicit_order_overrides(self, rng):
+        values = rng.integers(-10, 10, 600).astype(np.int32)
+        blob = BlockedDeltaCodec(block_elements=200).compress(values, order=3)
+        assert blob.orders == [3, 3, 3]
+
+    def test_blocked_close_to_monolithic_ratio(self, rng):
+        t = np.arange(50000)
+        smooth = (2000 * np.sin(t / 300.0)).astype(np.int32)
+        mono = DeltaCodec().compress(smooth)
+        blocked = BlockedDeltaCodec(block_elements=8192).compress(smooth)
+        # Restarting the model per block costs only a little.
+        assert blocked.nbytes < mono.nbytes * 1.1
+
+
+class TestValidation:
+    def test_bad_magic(self):
+        with pytest.raises(CodecError, match="bad magic"):
+            BlockedDeltaCodec().parse(b"NOPE" + b"\x00" * 24)
+
+    def test_short_buffer(self):
+        with pytest.raises(CodecError, match="shorter"):
+            BlockedDeltaCodec().parse(b"SA")
+
+    def test_truncated_index(self, rng):
+        blob = BlockedDeltaCodec(block_elements=100).compress(
+            rng.integers(0, 5, 300).astype(np.int32)
+        )
+        with pytest.raises(CodecError, match="truncated block index"):
+            BlockedDeltaCodec().parse(blob.data[:28])
+
+    def test_payload_length_mismatch(self, rng):
+        blob = BlockedDeltaCodec(block_elements=100).compress(
+            rng.integers(0, 5, 300).astype(np.int32)
+        )
+        with pytest.raises(CodecError, match="does not match"):
+            BlockedDeltaCodec().parse(blob.data + b"\x00")
+
+    def test_rejects_float(self):
+        with pytest.raises(CodecError, match="unsupported dtype"):
+            BlockedDeltaCodec().compress(np.zeros(4, dtype=np.float32))
+
+    def test_rejects_bad_block_elements(self):
+        with pytest.raises(CodecError, match="block_elements"):
+            BlockedDeltaCodec(block_elements=0)

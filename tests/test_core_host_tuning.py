@@ -1,0 +1,171 @@
+"""Tests for the fast host engine and the auto-tuner."""
+
+import numpy as np
+import pytest
+
+from conftest import BOUNDARY_SIZES, make_int_array
+from repro.core.host import (
+    host_delta_decode,
+    host_delta_encode,
+    host_prefix_sum,
+    host_scan,
+)
+from repro.core.tuning import (
+    DEFAULT_CANDIDATES,
+    AutoTuner,
+    tune_items_per_thread,
+    wall_clock_cost,
+)
+from repro.gpusim.spec import K40, TITAN_X
+from repro.reference import (
+    delta_encode_serial,
+    exclusive_scan_serial,
+    inclusive_scan_serial,
+    prefix_sum_serial,
+)
+
+
+class TestHostScan:
+    @pytest.mark.parametrize("n", BOUNDARY_SIZES)
+    def test_matches_reference(self, rng, n):
+        values = make_int_array(rng, n)
+        assert np.array_equal(host_scan(values), inclusive_scan_serial(values))
+
+    @pytest.mark.parametrize("op", ["add", "max", "min", "xor"])
+    @pytest.mark.parametrize("tuple_size", [1, 2, 3, 5])
+    def test_ops_and_tuples(self, rng, op, tuple_size):
+        values = make_int_array(rng, 997)
+        expected = inclusive_scan_serial(values, op=op, tuple_size=tuple_size)
+        assert np.array_equal(
+            host_scan(values, op=op, tuple_size=tuple_size), expected
+        )
+
+    def test_exclusive(self, rng):
+        values = make_int_array(rng, 500)
+        assert np.array_equal(
+            host_scan(values, inclusive=False), exclusive_scan_serial(values)
+        )
+
+    def test_exclusive_tuple(self, rng):
+        values = make_int_array(rng, 501)
+        assert np.array_equal(
+            host_scan(values, tuple_size=3, inclusive=False),
+            exclusive_scan_serial(values, tuple_size=3),
+        )
+
+    def test_empty(self):
+        out = host_scan(np.array([], dtype=np.int32))
+        assert out.size == 0
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            host_scan(np.zeros((2, 3), dtype=np.int32))
+
+
+class TestHostPrefixSum:
+    @pytest.mark.parametrize("order", [1, 2, 3, 6])
+    @pytest.mark.parametrize("tuple_size", [1, 2, 4])
+    def test_matches_reference(self, rng, order, tuple_size):
+        values = make_int_array(rng, 800, dtype=np.int64)
+        expected = prefix_sum_serial(values, order=order, tuple_size=tuple_size)
+        got = host_prefix_sum(values, order=order, tuple_size=tuple_size)
+        assert np.array_equal(got, expected)
+
+    def test_exclusive_higher_order(self, rng):
+        values = make_int_array(rng, 300)
+        expected = prefix_sum_serial(values, order=3, inclusive=False)
+        got = host_prefix_sum(values, order=3, inclusive=False)
+        assert np.array_equal(got, expected)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            host_prefix_sum(np.zeros(4, dtype=np.int32), order=0)
+
+
+class TestHostDelta:
+    @pytest.mark.parametrize("order", [1, 2, 4])
+    @pytest.mark.parametrize("tuple_size", [1, 3])
+    def test_encode_matches_reference(self, rng, order, tuple_size):
+        values = make_int_array(rng, 600)
+        assert np.array_equal(
+            host_delta_encode(values, order=order, tuple_size=tuple_size),
+            delta_encode_serial(values, order=order, tuple_size=tuple_size),
+        )
+
+    def test_round_trip(self, rng):
+        values = make_int_array(rng, 1000, dtype=np.int64)
+        deltas = host_delta_encode(values, order=3, tuple_size=2)
+        assert np.array_equal(
+            host_delta_decode(deltas, order=3, tuple_size=2), values
+        )
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(TypeError, match="numeric"):
+            host_delta_encode(np.array(["a", "b"]))
+
+
+class TestTuningHeuristic:
+    def test_small_problems_get_one_item(self):
+        assert tune_items_per_thread(1000, TITAN_X) == 1
+
+    def test_large_problems_get_more(self):
+        large = tune_items_per_thread(2**28, TITAN_X)
+        small = tune_items_per_thread(2**16, TITAN_X)
+        assert large > small
+        assert large in DEFAULT_CANDIDATES
+
+    def test_monotone_in_n(self):
+        previous = 0
+        for e in range(10, 30):
+            v = tune_items_per_thread(2**e, K40)
+            assert v >= previous
+            previous = v
+
+    def test_capped_by_registers(self):
+        assert tune_items_per_thread(2**30, TITAN_X) <= TITAN_X.registers_per_thread // 2
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(ValueError):
+            tune_items_per_thread(-1, TITAN_X)
+
+
+class TestAutoTuner:
+    def test_tunes_to_synthetic_optimum(self):
+        # Cost has a known optimum at v=4 for large n, v=1 for small.
+        def cost(n, v):
+            if n < 1000:
+                return abs(v - 1) + 0.01
+            return abs(v - 4) + 0.01
+
+        tuner = AutoTuner(cost, candidates=(1, 2, 4, 8))
+        table = tuner.tune([100, 10_000])
+        assert table == {100: 1, 10_000: 4}
+        assert tuner.lookup(50) == 1
+        assert tuner.lookup(100) == 1
+        assert tuner.lookup(5000) == 4
+        assert tuner.lookup(10**9) == 4  # beyond table: largest entry
+
+    def test_lookup_before_tune_raises(self):
+        tuner = AutoTuner(lambda n, v: 1.0)
+        with pytest.raises(RuntimeError, match="before tune"):
+            tuner.lookup(10)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="candidate"):
+            AutoTuner(lambda n, v: 1.0, candidates=())
+        with pytest.raises(ValueError, match="repeats"):
+            AutoTuner(lambda n, v: 1.0, repeats=0)
+
+    def test_repeats_take_minimum(self):
+        calls = []
+
+        def noisy_cost(n, v):
+            calls.append((n, v))
+            return 10.0 if len(calls) % 2 else 1.0
+
+        tuner = AutoTuner(noisy_cost, candidates=(1, 2), repeats=4)
+        tuner.tune([64])
+        assert len(calls) == 8
+
+    def test_wall_clock_cost_positive(self):
+        assert wall_clock_cost(lambda: sum(range(1000))) > 0

@@ -1,0 +1,155 @@
+"""Unit tests for the block-local scan engines."""
+
+import numpy as np
+import pytest
+
+from repro.core.localscan import (
+    apply_lane_carries,
+    lane_of,
+    lane_start_in_chunk,
+    strided_exclusive_from_inclusive,
+    strided_inclusive_scan,
+    warp_faithful_chunk_scan,
+)
+from repro.gpusim.block import BlockContext
+from repro.gpusim.memory import GlobalMemory
+from repro.gpusim.spec import TITAN_X
+from repro.ops import ADD, MAX, XOR
+from repro.reference import inclusive_scan_serial
+
+
+class TestLaneMath:
+    def test_lane_of(self):
+        assert lane_of(0, 3) == 0
+        assert lane_of(7, 3) == 1
+
+    def test_lane_start_in_chunk(self):
+        # Chunk starting at global index 7, tuple size 3: the first
+        # element (global 7) is lane 1; lane 0 first appears at local 2.
+        assert lane_start_in_chunk(7, 1, 3) == 0
+        assert lane_start_in_chunk(7, 2, 3) == 1
+        assert lane_start_in_chunk(7, 0, 3) == 2
+
+    def test_round_trip(self):
+        for offset in range(10):
+            for s in (1, 2, 3, 5):
+                for lane in range(s):
+                    start = lane_start_in_chunk(offset, lane, s)
+                    assert lane_of(offset + start, s) == lane
+
+
+class TestStridedScan:
+    @pytest.mark.parametrize("offset", [0, 1, 2, 3, 7, 100])
+    @pytest.mark.parametrize("tuple_size", [1, 2, 3, 5])
+    def test_matches_global_scan_fragment(self, rng, offset, tuple_size):
+        # The strided scan of a chunk must equal the global tuple scan
+        # restricted to the chunk, when the prefix carries are folded in.
+        full = rng.integers(-20, 20, 200).astype(np.int32)
+        global_scan = inclusive_scan_serial(full, tuple_size=tuple_size)
+        chunk = full[offset : offset + 64]
+        scanned, sums = strided_inclusive_scan(chunk, offset, tuple_size, ADD)
+        carries = np.zeros(tuple_size, dtype=np.int32)
+        for lane in range(tuple_size):
+            prior = [i for i in range(offset) if i % tuple_size == lane]
+            if prior:
+                carries[lane] = global_scan[prior[-1]]
+        corrected = apply_lane_carries(scanned, offset, tuple_size, ADD, carries)
+        assert np.array_equal(corrected, global_scan[offset : offset + 64])
+
+    def test_local_sums_per_lane(self):
+        values = np.array([1, 10, 2, 20, 3], dtype=np.int32)
+        _, sums = strided_inclusive_scan(values, 0, 2, ADD)
+        assert np.array_equal(sums, np.array([6, 30], dtype=np.int32))
+
+    def test_missing_lane_gets_identity(self):
+        values = np.array([5], dtype=np.int32)
+        _, sums = strided_inclusive_scan(values, 0, 3, ADD)
+        assert sums[0] == 5 and sums[1] == 0 and sums[2] == 0
+
+    def test_missing_lane_identity_for_max(self):
+        values = np.array([5], dtype=np.int32)
+        _, sums = strided_inclusive_scan(values, 0, 2, MAX)
+        assert sums[1] == np.iinfo(np.int32).min
+
+    def test_offset_changes_lane_phase(self):
+        values = np.array([1, 2, 3, 4], dtype=np.int32)
+        scanned0, _ = strided_inclusive_scan(values, 0, 2, ADD)
+        scanned1, _ = strided_inclusive_scan(values, 1, 2, ADD)
+        assert np.array_equal(scanned0, np.array([1, 2, 4, 6], dtype=np.int32))
+        assert np.array_equal(scanned1, np.array([1, 2, 4, 6], dtype=np.int32))
+        # Lane assignment differs even though values coincide here:
+        _, sums0 = strided_inclusive_scan(values, 0, 2, ADD)
+        _, sums1 = strided_inclusive_scan(values, 1, 2, ADD)
+        assert np.array_equal(sums0, np.array([4, 6], dtype=np.int32))
+        assert np.array_equal(sums1, np.array([6, 4], dtype=np.int32))
+
+
+class TestExclusiveShift:
+    @pytest.mark.parametrize("tuple_size", [1, 2, 3])
+    def test_exclusive_from_inclusive(self, rng, tuple_size):
+        values = rng.integers(-20, 20, 60).astype(np.int32)
+        scanned, _ = strided_inclusive_scan(values, 0, tuple_size, ADD)
+        carries = np.zeros(tuple_size, dtype=np.int32)
+        exclusive = strided_exclusive_from_inclusive(
+            scanned, 0, tuple_size, ADD, carries
+        )
+        from repro.reference import exclusive_scan_serial
+
+        assert np.array_equal(
+            exclusive, exclusive_scan_serial(values, tuple_size=tuple_size)
+        )
+
+    def test_carry_seeds_first_element(self):
+        scanned = np.array([1, 3, 6], dtype=np.int32)
+        out = strided_exclusive_from_inclusive(
+            scanned, 0, 1, ADD, np.array([100], dtype=np.int32)
+        )
+        assert np.array_equal(out, np.array([100, 101, 103], dtype=np.int32))
+
+
+class TestApplyCarries:
+    def test_scalar_path_for_tuple1(self):
+        scanned = np.array([1, 2, 3], dtype=np.int32)
+        out = apply_lane_carries(scanned, 0, 1, ADD, np.array([10], dtype=np.int32))
+        assert np.array_equal(out, np.array([11, 12, 13], dtype=np.int32))
+
+    def test_lane_aligned(self):
+        scanned = np.array([1, 10, 2, 20], dtype=np.int32)
+        out = apply_lane_carries(
+            scanned, 0, 2, ADD, np.array([100, 1000], dtype=np.int32)
+        )
+        assert np.array_equal(out, np.array([101, 1010, 102, 1020], dtype=np.int32))
+
+    def test_xor_carries(self):
+        scanned = np.array([0b01, 0b11], dtype=np.int32)
+        out = apply_lane_carries(scanned, 0, 1, XOR, np.array([0b10], dtype=np.int32))
+        assert np.array_equal(out, np.array([0b11, 0b01], dtype=np.int32))
+
+
+class TestWarpFaithful:
+    def _ctx(self, threads=64):
+        return BlockContext(0, 1, TITAN_X, GlobalMemory(), threads_per_block=threads)
+
+    @pytest.mark.parametrize("n", [1, 31, 32, 64, 65, 200, 256])
+    def test_matches_vectorized(self, rng, n):
+        values = rng.integers(-50, 50, n).astype(np.int32)
+        ctx = self._ctx()
+        faithful = warp_faithful_chunk_scan(ctx, values, ADD)
+        vectorized, _ = strided_inclusive_scan(values, 0, 1, ADD)
+        assert np.array_equal(faithful, vectorized)
+
+    def test_max_with_identity_padding(self, rng):
+        # Trailing partial tiles are identity-padded; for MAX the
+        # identity is INT_MIN so padding must not leak into results.
+        values = rng.integers(-50, 50, 70).astype(np.int32)
+        ctx = self._ctx()
+        out = warp_faithful_chunk_scan(ctx, values, MAX)
+        assert np.array_equal(out, inclusive_scan_serial(values, op=MAX))
+
+    def test_multi_tile_uses_register_carry(self, rng):
+        values = rng.integers(-5, 5, 3 * 64).astype(np.int64)
+        ctx = self._ctx(64)
+        out = warp_faithful_chunk_scan(ctx, values, ADD)
+        assert np.array_equal(out, inclusive_scan_serial(values))
+        # 3 tiles x 2 barriers each.
+        assert ctx.stats.barriers == 6

@@ -1,0 +1,260 @@
+"""Oracle and behavioral tests for SAM on the GPU simulator."""
+
+import numpy as np
+import pytest
+
+from conftest import BOUNDARY_SIZES, make_int_array, small_sam
+from repro.core.sam import SamResult, SamScan
+from repro.gpusim.spec import K40, TITAN_X
+from repro.reference import exclusive_scan_serial, prefix_sum_serial
+
+
+class TestOracleGrid:
+    @pytest.mark.parametrize("n", BOUNDARY_SIZES)
+    def test_conventional_prefix_sum(self, rng, n):
+        values = make_int_array(rng, n)
+        result = small_sam().run(values)
+        assert np.array_equal(result.values, prefix_sum_serial(values))
+
+    @pytest.mark.parametrize("order", [1, 2, 3, 5, 8])
+    def test_higher_orders(self, rng, order):
+        values = make_int_array(rng, 3000, dtype=np.int64)
+        result = small_sam().run(values, order=order)
+        assert np.array_equal(result.values, prefix_sum_serial(values, order=order))
+
+    @pytest.mark.parametrize("tuple_size", [1, 2, 3, 4, 5, 7, 8])
+    def test_tuple_sizes(self, rng, tuple_size):
+        values = make_int_array(rng, 2999)  # deliberately not divisible
+        result = small_sam().run(values, tuple_size=tuple_size)
+        assert np.array_equal(
+            result.values, prefix_sum_serial(values, tuple_size=tuple_size)
+        )
+
+    @pytest.mark.parametrize("order", [2, 3])
+    @pytest.mark.parametrize("tuple_size", [2, 5])
+    def test_combined_order_and_tuple(self, rng, order, tuple_size):
+        # The paper's Section 6 notes SAM "fully supports higher-order
+        # prefix sums and scans with tuple sizes above one" combined.
+        values = make_int_array(rng, 2500, dtype=np.int64)
+        result = small_sam().run(values, order=order, tuple_size=tuple_size)
+        expected = prefix_sum_serial(values, order=order, tuple_size=tuple_size)
+        assert np.array_equal(result.values, expected)
+
+    @pytest.mark.parametrize("op", ["max", "min", "xor", "mul", "and", "or"])
+    def test_other_operators(self, rng, op):
+        values = make_int_array(rng, 2000)
+        result = small_sam().run(values, op=op)
+        assert np.array_equal(result.values, prefix_sum_serial(values, op=op))
+
+    @pytest.mark.parametrize("dtype", [np.int32, np.int64, np.uint32, np.uint64])
+    def test_dtypes(self, rng, dtype):
+        values = rng.integers(0, 1000, 2000).astype(dtype)
+        result = small_sam().run(values, order=2)
+        assert result.values.dtype == dtype
+        assert np.array_equal(result.values, prefix_sum_serial(values, order=2))
+
+    def test_float_scan(self, rng):
+        # Floating-point addition is only pseudo-associative: SAM's
+        # blocked summation associates differently from the serial
+        # left fold, so results agree within rounding — but SAM itself
+        # is deterministic on a given schedule AND across schedules
+        # (Section 3.1: unlike CUB's timing-dependent lookback, SAM
+        # always combines the same fixed set of carries).
+        values = rng.random(1000).astype(np.float64)
+        result = small_sam().run(values)
+        assert np.allclose(result.values, prefix_sum_serial(values), rtol=1e-12)
+        again = small_sam().run(values)
+        hostile = small_sam(policy="reversed").run(values)
+        assert np.array_equal(result.values, again.values)
+        assert np.array_equal(result.values, hostile.values)
+
+    def test_exclusive_variants(self, rng):
+        values = make_int_array(rng, 1500)
+        assert np.array_equal(
+            small_sam().run(values, inclusive=False).values,
+            exclusive_scan_serial(values),
+        )
+        assert np.array_equal(
+            small_sam().run(values, order=2, tuple_size=3, inclusive=False).values,
+            prefix_sum_serial(values, order=2, tuple_size=3, inclusive=False),
+        )
+
+
+class TestCarrySchemes:
+    @pytest.mark.parametrize("scheme", ["decoupled", "chained"])
+    def test_schemes_agree_with_reference(self, rng, scheme):
+        values = make_int_array(rng, 4000)
+        result = small_sam(carry_scheme=scheme).run(values, order=2, tuple_size=2)
+        expected = prefix_sum_serial(values, order=2, tuple_size=2)
+        assert np.array_equal(result.values, expected)
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(KeyError, match="carry scheme"):
+            small_sam(carry_scheme="telepathic")
+
+    def test_chained_does_fewer_carry_additions(self, rng):
+        # The chained scheme is O(n): one addition per chunk.  The
+        # decoupled scheme trades up to k-1 redundant additions per
+        # chunk for latency hiding (Section 2.5).
+        values = make_int_array(rng, 8000)
+        decoupled = small_sam(num_blocks=8, items_per_thread=1).run(values)
+        chained = small_sam(num_blocks=8, items_per_thread=1, carry_scheme="chained").run(values)
+        assert chained.stats.carry_additions < decoupled.stats.carry_additions
+
+
+class TestSchedulePolicies:
+    @pytest.mark.parametrize("policy", ["round_robin", "reversed", "rotating", "random"])
+    def test_result_is_schedule_independent(self, rng, policy):
+        values = make_int_array(rng, 5000)
+        result = small_sam(policy=policy, num_blocks=6, items_per_thread=1).run(
+            values, order=2, tuple_size=3
+        )
+        assert np.array_equal(
+            result.values, prefix_sum_serial(values, order=2, tuple_size=3)
+        )
+
+    def test_adversarial_schedule_costs_more_polls(self, rng):
+        values = make_int_array(rng, 6000)
+        friendly = small_sam(policy="round_robin", num_blocks=6).run(values)
+        hostile = small_sam(policy="reversed", num_blocks=6).run(values)
+        assert np.array_equal(friendly.values, hostile.values)
+        assert (
+            hostile.stats.failed_flag_polls >= friendly.stats.failed_flag_polls
+        )
+
+    def test_determinism_across_runs(self, rng):
+        values = make_int_array(rng, 3000)
+        a = small_sam().run(values, order=3)
+        b = small_sam().run(values, order=3)
+        assert np.array_equal(a.values, b.values)
+        assert a.stats.global_words_total == b.stats.global_words_total
+
+
+class TestTrafficClaims:
+    def test_single_kernel_launch(self, rng):
+        values = make_int_array(rng, 4000)
+        result = small_sam().run(values, order=4)
+        assert result.stats.kernel_launches == 1
+
+    def test_2n_data_traffic(self, rng):
+        # The headline claim: each element is read once and written
+        # once; only auxiliary traffic comes on top.
+        values = make_int_array(rng, 8192)
+        result = small_sam().run(values)
+        assert 2.0 <= result.words_per_element() < 2.4
+
+    def test_traffic_constant_in_order(self, rng):
+        # Section 2.4: "the number of main-memory accesses is
+        # independent of the order" (data arrays; aux flags/sums add a
+        # small per-iteration term).
+        values = make_int_array(rng, 8192)
+        r1 = small_sam().run(values, order=1)
+        r8 = small_sam().run(values, order=8)
+        data_words_1 = 2 * len(values)
+        assert r1.stats.global_words_total < data_words_1 * 1.2
+        assert r8.stats.global_words_total < data_words_1 * 1.6
+
+    def test_register_use_independent_of_tuple_size(self, rng):
+        # SAM's loads stay fully coalesced regardless of s: transaction
+        # counts must not grow with the tuple size (Section 2.3).
+        values = make_int_array(rng, 5120)
+        t1 = small_sam().run(values, tuple_size=1).stats.global_read_transactions
+        t8 = small_sam().run(values, tuple_size=8).stats.global_read_transactions
+        assert t8 <= t1 * 1.2
+
+    def test_aux_arrays_are_o1(self, rng):
+        # Circular buffers: aux allocation size depends on k, never n.
+        small = small_sam(num_blocks=4).run(make_int_array(rng, 2000))
+        large = small_sam(num_blocks=4).run(make_int_array(rng, 20000))
+        assert small.num_chunks < large.num_chunks
+        # Same engine config -> same capacity; verified via stats ratio:
+        assert large.words_per_element() <= small.words_per_element() + 0.1
+
+
+class TestConfigurationAndErrors:
+    def test_empty_input(self):
+        result = small_sam().run(np.array([], dtype=np.int32))
+        assert len(result.values) == 0
+        assert result.num_chunks == 0
+
+    def test_rejects_2d(self, rng):
+        with pytest.raises(ValueError, match="1-D"):
+            small_sam().run(np.zeros((3, 3), dtype=np.int32))
+
+    def test_rejects_bad_order(self, rng):
+        with pytest.raises(ValueError, match="order"):
+            small_sam().run(np.zeros(4, dtype=np.int32), order=0)
+
+    def test_rejects_bad_tuple(self):
+        with pytest.raises(ValueError, match="tuple_size"):
+            small_sam().run(np.zeros(4, dtype=np.int32), tuple_size=0)
+
+    def test_rejects_bad_fidelity(self):
+        with pytest.raises(ValueError, match="fidelity"):
+            small_sam(fidelity="psychic")
+
+    @pytest.mark.parametrize("tuple_size", [2, 3, 5, 8])
+    def test_warp_fidelity_supports_tuples(self, rng, tuple_size):
+        # Section 2.3's warp-level mechanics: strided shuffle scans and
+        # modulo lane lookups, validated against the vector path.
+        values = make_int_array(rng, 2000)
+        warp = small_sam(fidelity="warp").run(values, tuple_size=tuple_size)
+        vector = small_sam().run(values, tuple_size=tuple_size)
+        assert np.array_equal(warp.values, vector.values)
+        assert warp.stats.shuffles > 0
+
+    def test_warp_fidelity_matches_vector(self, rng):
+        values = make_int_array(rng, 2048)
+        warp = small_sam(fidelity="warp").run(values, order=2)
+        vector = small_sam().run(values, order=2)
+        assert np.array_equal(warp.values, vector.values)
+        assert warp.stats.shuffles > 0
+        assert warp.stats.barriers > 0
+
+    def test_num_blocks_defaults_to_spec(self, rng):
+        values = make_int_array(rng, 200_000)
+        engine = SamScan(spec=K40, threads_per_block=128, items_per_thread=8)
+        result = engine.run(values)
+        assert result.num_blocks == K40.persistent_blocks
+        assert np.array_equal(result.values, prefix_sum_serial(values))
+
+    def test_blocks_capped_by_chunks(self, rng):
+        values = make_int_array(rng, 100)
+        result = small_sam(num_blocks=16).run(values)
+        assert result.num_blocks == 1  # single chunk -> single block
+
+    def test_result_metadata(self, rng):
+        values = make_int_array(rng, 500)
+        result = small_sam().run(values, order=2, tuple_size=3, op="max")
+        assert isinstance(result, SamResult)
+        assert result.order == 2
+        assert result.tuple_size == 3
+        assert result.op_name == "max"
+        assert result.carry_scheme == "decoupled"
+        assert result.chunk_elements == 128
+
+    def test_input_not_mutated(self, rng):
+        values = make_int_array(rng, 1000)
+        backup = values.copy()
+        small_sam().run(values, order=2)
+        assert np.array_equal(values, backup)
+
+
+class TestBufferSizing:
+    def test_larger_buffer_factor_also_correct(self, rng):
+        values = make_int_array(rng, 6000)
+        result = small_sam(buffer_factor=5).run(values, order=2)
+        assert np.array_equal(result.values, prefix_sum_serial(values, order=2))
+
+    def test_buffer_factor_too_small_rejected(self):
+        with pytest.raises(ValueError, match="buffer_factor"):
+            small_sam(buffer_factor=2).run(np.zeros(100, dtype=np.int32))
+
+    def test_many_generations_of_reuse(self, rng):
+        # Enough chunks to wrap the circular buffers several times.
+        engine = SamScan(
+            spec=TITAN_X, threads_per_block=32, items_per_thread=1, num_blocks=2
+        )
+        values = make_int_array(rng, 32 * 2 * 40)  # 80 chunks, capacity 8
+        result = engine.run(values, order=2)
+        assert np.array_equal(result.values, prefix_sum_serial(values, order=2))

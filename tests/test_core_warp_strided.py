@@ -1,0 +1,126 @@
+"""Tests for the warp-level strided scans and the faithful tuple path."""
+
+import numpy as np
+import pytest
+
+from conftest import make_int_array
+from repro.core.localscan import (
+    lane_totals,
+    strided_inclusive_scan,
+    warp_faithful_strided_chunk_scan,
+)
+from repro.gpusim.block import BlockContext
+from repro.gpusim.memory import GlobalMemory
+from repro.gpusim.spec import TITAN_X
+from repro.gpusim.warp import WARP_SIZE, Warp
+from repro.ops import ADD, MAX, XOR
+
+
+def _ctx(threads=64):
+    return BlockContext(0, 1, TITAN_X, GlobalMemory(), threads_per_block=threads)
+
+
+class TestWarpStridedScan:
+    @pytest.mark.parametrize("stride", [1, 2, 3, 4, 5, 8, 16, 31, 32, 40])
+    def test_matches_residue_class_scan(self, rng, stride):
+        warp = Warp(0)
+        values = rng.integers(-50, 50, WARP_SIZE).astype(np.int64)
+        got = warp.strided_inclusive_scan(values, ADD, stride)
+        expected = values.copy()
+        for i in range(stride, WARP_SIZE):
+            expected[i] = expected[i - stride] + expected[i]
+        assert np.array_equal(got, expected)
+
+    def test_stride_1_equals_plain_scan(self, rng):
+        warp = Warp(0)
+        values = rng.integers(-9, 9, WARP_SIZE).astype(np.int32)
+        assert np.array_equal(
+            warp.strided_inclusive_scan(values, ADD, 1),
+            warp.inclusive_scan(values, ADD),
+        )
+
+    def test_stride_at_warp_size_is_copy(self, rng):
+        warp = Warp(0)
+        values = rng.integers(-9, 9, WARP_SIZE).astype(np.int32)
+        assert np.array_equal(
+            warp.strided_inclusive_scan(values, ADD, WARP_SIZE), values
+        )
+
+    def test_step_count_shrinks_with_stride(self):
+        values = np.ones(WARP_SIZE, dtype=np.int32)
+        warp1 = Warp(0)
+        warp1.strided_inclusive_scan(values, ADD, 1)
+        warp8 = Warp(0)
+        warp8.strided_inclusive_scan(values, ADD, 8)
+        assert warp1.stats.shuffles == 5  # log2(32)
+        assert warp8.stats.shuffles == 2  # deltas 8, 16
+
+    def test_invalid_stride(self):
+        with pytest.raises(ValueError, match="stride"):
+            Warp(0).strided_inclusive_scan(np.zeros(WARP_SIZE, dtype=np.int32), ADD, 0)
+
+    @pytest.mark.parametrize("op", [MAX, XOR], ids=lambda op: op.name)
+    def test_other_operators(self, rng, op):
+        warp = Warp(0)
+        values = rng.integers(1, 100, WARP_SIZE).astype(np.int32)
+        got = warp.strided_inclusive_scan(values, op, 3)
+        expected = values.copy()
+        for i in range(3, WARP_SIZE):
+            expected[i] = op.apply(expected[i - 3 : i - 2], expected[i : i + 1])[0]
+        assert np.array_equal(got, expected)
+
+
+class TestLaneTotals:
+    @pytest.mark.parametrize("offset", [0, 1, 5])
+    @pytest.mark.parametrize("tuple_size", [1, 2, 3, 7])
+    def test_matches_strided_scan_sums(self, rng, offset, tuple_size):
+        values = rng.integers(-20, 20, 100).astype(np.int32)
+        scanned, sums = strided_inclusive_scan(values, offset, tuple_size, ADD)
+        assert np.array_equal(lane_totals(scanned, offset, tuple_size, ADD), sums)
+
+    def test_absent_lane_gets_identity(self):
+        scanned = np.array([5], dtype=np.int32)
+        totals = lane_totals(scanned, 0, 3, ADD)
+        assert totals.tolist() == [5, 0, 0]
+
+
+class TestFaithfulStridedChunkScan:
+    @pytest.mark.parametrize("tuple_size", [2, 3, 5, 8, 16, 33])
+    @pytest.mark.parametrize("n", [1, 63, 64, 65, 200, 500])
+    def test_matches_vector_path(self, rng, tuple_size, n):
+        values = rng.integers(-50, 50, n).astype(np.int32)
+        ctx = _ctx(64)
+        faithful = warp_faithful_strided_chunk_scan(ctx, values, 0, tuple_size, ADD)
+        vector, _ = strided_inclusive_scan(values, 0, tuple_size, ADD)
+        assert np.array_equal(faithful, vector)
+
+    @pytest.mark.parametrize("offset", [1, 7, 100])
+    def test_nonzero_offsets(self, rng, offset):
+        values = rng.integers(-50, 50, 300).astype(np.int64)
+        ctx = _ctx(64)
+        faithful = warp_faithful_strided_chunk_scan(ctx, values, offset, 3, ADD)
+        vector, _ = strided_inclusive_scan(values, offset, 3, ADD)
+        assert np.array_equal(faithful, vector)
+
+    def test_max_operator_with_padding(self, rng):
+        # Partial tiles are identity-padded; MAX's identity is INT_MIN.
+        values = rng.integers(-50, 50, 130).astype(np.int32)
+        ctx = _ctx(64)
+        faithful = warp_faithful_strided_chunk_scan(ctx, values, 0, 4, MAX)
+        vector, _ = strided_inclusive_scan(values, 0, 4, MAX)
+        assert np.array_equal(faithful, vector)
+
+    def test_uses_barriers_and_shuffles(self, rng):
+        values = rng.integers(-5, 5, 128).astype(np.int32)
+        ctx = _ctx(64)
+        warp_faithful_strided_chunk_scan(ctx, values, 0, 2, ADD)
+        assert ctx.stats.barriers >= 4  # two per tile
+        assert ctx.stats.shuffles > 0
+        assert ctx.stats.shared_words_written > 0
+
+    def test_delegates_to_plain_path_for_s1(self, rng):
+        values = rng.integers(-5, 5, 100).astype(np.int32)
+        ctx = _ctx(64)
+        got = warp_faithful_strided_chunk_scan(ctx, values, 0, 1, ADD)
+        vector, _ = strided_inclusive_scan(values, 0, 1, ADD)
+        assert np.array_equal(got, vector)

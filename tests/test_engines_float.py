@@ -1,0 +1,81 @@
+"""Floating-point scans across every engine.
+
+Section 3.1's determinism discussion: float addition is only
+pseudo-associative, so different blockings round differently — but each
+engine must (a) agree with the serial reference within rounding, and
+(b) be exactly reproducible run-to-run and across schedules (on real
+hardware CUB loses (b); in the deterministic simulator everyone keeps
+it, which the lookback walk-length counters qualify).
+"""
+
+import numpy as np
+import pytest
+
+from conftest import small_sam
+from repro.baselines import (
+    DecoupledLookbackScan,
+    ReduceThenScan,
+    StreamScan,
+    ThreePhaseScan,
+)
+from repro.reference import prefix_sum_serial
+
+KW = dict(threads_per_block=64, items_per_thread=2)
+
+
+def engines():
+    return {
+        "sam": small_sam(),
+        "lookback": DecoupledLookbackScan(**KW),
+        "reduce_scan": ReduceThenScan(**KW),
+        "three_phase": ThreePhaseScan(**KW),
+        "streamscan": StreamScan(**KW),
+    }
+
+
+@pytest.mark.parametrize("name", sorted(engines()))
+@pytest.mark.parametrize("dtype", [np.float32, np.float64])
+def test_float_scan_close_to_serial(rng, name, dtype):
+    values = rng.random(3000).astype(dtype)
+    result = engines()[name].run(values)
+    expected = prefix_sum_serial(values)
+    rtol = 1e-4 if dtype == np.float32 else 1e-10
+    assert np.allclose(result.values, expected, rtol=rtol)
+
+
+@pytest.mark.parametrize("name", sorted(engines()))
+def test_float_scan_is_reproducible(rng, name):
+    values = rng.random(2000)
+    first = engines()[name].run(values).values
+    second = engines()[name].run(values).values
+    assert np.array_equal(first, second)
+
+
+def test_sam_float_identical_across_schedules(rng):
+    # SAM combines a fixed set of carries in a fixed order, so even the
+    # block schedule cannot change float results (§3.1's contrast with
+    # CUB's timing-dependent lookback).
+    values = rng.random(4000)
+    outputs = [
+        small_sam(policy=policy, num_blocks=6).run(values).values
+        for policy in ("round_robin", "reversed", "rotating", "random")
+    ]
+    for other in outputs[1:]:
+        assert np.array_equal(outputs[0], other)
+
+
+def test_float_tuple_and_order(rng):
+    values = rng.random(1500)
+    result = small_sam().run(values, order=2, tuple_size=3)
+    expected = prefix_sum_serial(values, order=2, tuple_size=3)
+    assert np.allclose(result.values, expected, rtol=1e-9)
+
+
+def test_float32_accumulation_error_is_bounded(rng):
+    # Blocked summation's error vs the serial fold stays tiny relative
+    # to the running magnitude.
+    values = rng.random(50_000).astype(np.float32)
+    result = small_sam(items_per_thread=8).run(values)
+    expected = np.cumsum(values.astype(np.float64))
+    relative = np.abs(result.values.astype(np.float64) - expected) / expected
+    assert relative.max() < 1e-3

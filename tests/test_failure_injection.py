@@ -1,0 +1,88 @@
+"""Failure-injection tests: faults must be loud, attributed, and typed."""
+
+import numpy as np
+import pytest
+
+from conftest import make_int_array, small_sam
+from repro.gpusim.errors import DeadlockError, KernelFault, SimulationError
+from repro.gpusim.kernel import launch_kernel
+from repro.gpusim.memory import GlobalMemory
+from repro.gpusim.spec import TITAN_X
+from repro.ops import AssociativeOp
+
+
+class TestOperatorFaults:
+    def test_operator_raising_mid_kernel_becomes_kernel_fault(self, rng):
+        calls = {"n": 0}
+
+        def explosive(a, b):
+            calls["n"] += 1
+            if calls["n"] > 10:
+                raise FloatingPointError("synthetic operator fault")
+            return np.add(a, b)
+
+        op = AssociativeOp("explosive", fn=explosive, identity_fn=lambda dt: 0)
+        with pytest.raises(KernelFault) as excinfo:
+            small_sam().run(make_int_array(rng, 5000), op=op)
+        assert isinstance(excinfo.value.original, FloatingPointError)
+        assert excinfo.value.block_id >= 0
+
+    def test_fault_message_names_block(self, rng):
+        def bad(a, b):
+            raise ValueError("broken")
+
+        op = AssociativeOp("bad", fn=bad, identity_fn=lambda dt: 0)
+        with pytest.raises(KernelFault, match="kernel fault in block"):
+            small_sam().run(make_int_array(rng, 1000), op=op)
+
+
+class TestProtocolFaults:
+    def test_waiting_on_future_chunk_deadlocks(self):
+        # A kernel that waits on a flag nobody will ever raise must be
+        # detected, not spin forever.
+        gmem = GlobalMemory()
+        flags = gmem.alloc("flags", 8, np.int64)
+
+        def kernel(ctx):
+            while gmem.load_scalar(flags, 7) == 0:
+                yield
+
+        with pytest.raises(DeadlockError):
+            launch_kernel(
+                kernel, TITAN_X, gmem=gmem, num_blocks=2, max_idle_rounds=4
+            )
+
+    def test_deadlock_error_is_simulation_error(self):
+        assert issubclass(DeadlockError, SimulationError)
+        assert issubclass(KernelFault, SimulationError)
+
+    def test_undersized_circular_buffer_detected_or_correct(self, rng):
+        # Force heavy slot reuse: tiny buffer relative to chunk count.
+        # The protocol must either stay correct or raise the overrun
+        # error — silent corruption is the only unacceptable outcome.
+        from repro.reference import prefix_sum_serial
+
+        values = make_int_array(rng, 32 * 60)
+        engine = small_sam(threads_per_block=32, items_per_thread=1, num_blocks=3)
+        try:
+            result = engine.run(values, order=3)
+        except SimulationError:
+            return  # loud failure is acceptable
+        assert np.array_equal(result.values, prefix_sum_serial(values, order=3))
+
+
+class TestInputFaults:
+    def test_nan_propagates_for_float_add(self):
+        values = np.array([1.0, np.nan, 2.0], dtype=np.float64)
+        result = small_sam().run(values)
+        assert np.isnan(result.values[1]) and np.isnan(result.values[2])
+
+    def test_mixed_extreme_values(self, rng):
+        from repro.reference import prefix_sum_serial
+
+        info = np.iinfo(np.int64)
+        values = rng.choice(
+            np.array([info.min, info.max, 0, -1, 1], dtype=np.int64), size=2000
+        )
+        result = small_sam().run(values, order=2)
+        assert np.array_equal(result.values, prefix_sum_serial(values, order=2))

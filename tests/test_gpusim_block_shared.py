@@ -1,0 +1,139 @@
+"""Unit tests for shared memory and the block-level three-phase scan."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.block import BlockContext
+from repro.gpusim.errors import MemoryFault
+from repro.gpusim.memory import GlobalMemory
+from repro.gpusim.sharedmem import SharedMemory
+from repro.gpusim.spec import TITAN_X
+from repro.ops import ADD, MAX
+from repro.reference import inclusive_scan_serial
+
+
+class TestSharedMemory:
+    def test_alloc_and_round_trip(self):
+        shared = SharedMemory(1024)
+        shared.alloc("buf", 32, np.int32)
+        shared.store("buf", np.arange(4), np.arange(4))
+        assert np.array_equal(shared.load("buf", np.arange(4)), np.arange(4))
+
+    def test_capacity_enforced(self):
+        shared = SharedMemory(64)
+        shared.alloc("a", 8, np.int64)  # exactly 64 bytes
+        with pytest.raises(MemoryFault, match="exhausted"):
+            shared.alloc("b", 1, np.int8)
+
+    def test_duplicate_name(self):
+        shared = SharedMemory(1024)
+        shared.alloc("a", 4, np.int32)
+        with pytest.raises(MemoryFault, match="already allocated"):
+            shared.alloc("a", 4, np.int32)
+
+    def test_alloc_or_get_reuses(self):
+        shared = SharedMemory(1024)
+        first = shared.alloc_or_get("a", 8, np.int32)
+        second = shared.alloc_or_get("a", 8, np.int32)
+        assert first is second
+        assert shared.used_bytes == 32
+
+    def test_alloc_or_get_rejects_incompatible(self):
+        shared = SharedMemory(1024)
+        shared.alloc_or_get("a", 8, np.int32)
+        with pytest.raises(MemoryFault, match="incompatible"):
+            shared.alloc_or_get("a", 16, np.int32)
+
+    def test_out_of_bounds(self):
+        shared = SharedMemory(1024)
+        shared.alloc("a", 4, np.int32)
+        with pytest.raises(MemoryFault, match="out of bounds"):
+            shared.load("a", np.array([4]))
+
+    def test_unknown_array(self):
+        shared = SharedMemory(1024)
+        with pytest.raises(MemoryFault, match="no shared array"):
+            shared.load("ghost", np.array([0]))
+
+
+class TestBankConflicts:
+    def test_distinct_banks_no_conflict(self):
+        shared = SharedMemory(8192)
+        shared.alloc("a", 64, np.int32)
+        shared.load("a", np.arange(32))
+        assert shared.stats.shared_bank_conflicts == 0
+
+    def test_same_bank_distinct_addresses_conflict(self):
+        shared = SharedMemory(8192)
+        shared.alloc("a", 32 * 4, np.int32)
+        # Stride 32: every lane hits bank 0 at a different address.
+        shared.load("a", np.arange(4) * 32)
+        assert shared.stats.shared_bank_conflicts == 3
+
+    def test_broadcast_same_address_free(self):
+        shared = SharedMemory(8192)
+        shared.alloc("a", 32, np.int32)
+        shared.load("a", np.zeros(32, dtype=np.int64))
+        assert shared.stats.shared_bank_conflicts == 0
+
+
+def make_ctx(threads_per_block=64):
+    gmem = GlobalMemory()
+    return BlockContext(0, 1, TITAN_X, gmem, threads_per_block=threads_per_block)
+
+
+class TestBlockContext:
+    def test_warp_count(self):
+        ctx = make_ctx(128)
+        assert ctx.num_warps == 4
+
+    def test_threads_must_be_warp_multiple(self):
+        gmem = GlobalMemory()
+        with pytest.raises(ValueError, match="multiple"):
+            BlockContext(0, 1, TITAN_X, gmem, threads_per_block=48)
+
+    def test_syncthreads_counted(self):
+        ctx = make_ctx()
+        ctx.syncthreads()
+        assert ctx.stats.barriers == 1
+
+    def test_threadfence_counted(self):
+        ctx = make_ctx()
+        ctx.threadfence()
+        assert ctx.stats.fences == 1
+
+
+class TestBlockScan:
+    @pytest.mark.parametrize("threads", [32, 64, 256, 1024])
+    def test_matches_serial(self, rng, threads):
+        ctx = make_ctx(threads)
+        values = rng.integers(-50, 50, threads).astype(np.int32)
+        out = ctx.block_inclusive_scan(values, ADD)
+        assert np.array_equal(out, inclusive_scan_serial(values))
+
+    def test_max_operator(self, rng):
+        ctx = make_ctx(128)
+        values = rng.integers(-50, 50, 128).astype(np.int64)
+        out = ctx.block_inclusive_scan(values, MAX)
+        assert np.array_equal(out, inclusive_scan_serial(values, op=MAX))
+
+    def test_three_phase_structure(self):
+        # Two barriers per block scan (Section 2.1's phases).
+        ctx = make_ctx(64)
+        ctx.block_inclusive_scan(np.ones(64, dtype=np.int32), ADD)
+        assert ctx.stats.barriers == 2
+        # Phase 1: 2 warp scans (5 shuffles each); phase 2: 1 aux warp
+        # scan; plus no others.
+        assert ctx.stats.shuffles == 15
+
+    def test_wrong_size_rejected(self):
+        ctx = make_ctx(64)
+        with pytest.raises(ValueError, match="lane values"):
+            ctx.block_inclusive_scan(np.ones(32, dtype=np.int32), ADD)
+
+    def test_reusable_across_calls(self, rng):
+        ctx = make_ctx(64)
+        for _ in range(3):
+            values = rng.integers(-5, 5, 64).astype(np.int32)
+            out = ctx.block_inclusive_scan(values, ADD)
+            assert np.array_equal(out, inclusive_scan_serial(values))

@@ -1,0 +1,196 @@
+"""Unit tests for the global-memory model: coalescing, bounds, counters."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.errors import MemoryFault
+from repro.gpusim.memory import SEGMENT_BYTES, GlobalMemory
+
+
+@pytest.fixture
+def gmem():
+    return GlobalMemory()
+
+
+class TestAllocation:
+    def test_alloc_is_zeroed(self, gmem):
+        array = gmem.alloc("a", 16, np.int32)
+        assert np.array_equal(array.data, np.zeros(16, dtype=np.int32))
+
+    def test_alloc_with_fill(self, gmem):
+        array = gmem.alloc("a", 4, np.int64, fill=7)
+        assert np.array_equal(array.data, np.full(4, 7, dtype=np.int64))
+
+    def test_alloc_generates_no_traffic(self, gmem):
+        gmem.alloc("a", 1024, np.int32)
+        assert gmem.stats.global_words_total == 0
+
+    def test_duplicate_name_rejected(self, gmem):
+        gmem.alloc("a", 4, np.int32)
+        with pytest.raises(MemoryFault, match="already allocated"):
+            gmem.alloc("a", 4, np.int32)
+
+    def test_negative_size_rejected(self, gmem):
+        with pytest.raises(MemoryFault, match="negative"):
+            gmem.alloc("a", -1, np.int32)
+
+    def test_alloc_like_copies_host_data(self, gmem):
+        values = np.arange(10, dtype=np.int32)
+        array = gmem.alloc_like("a", values)
+        assert np.array_equal(array.data, values)
+
+    def test_get_and_free(self, gmem):
+        gmem.alloc("a", 4, np.int32)
+        assert gmem.get("a").name == "a"
+        gmem.free("a")
+        with pytest.raises(MemoryFault, match="no global array"):
+            gmem.get("a")
+
+    def test_free_unknown(self, gmem):
+        with pytest.raises(MemoryFault, match="unknown array"):
+            gmem.free("ghost")
+
+
+class TestCoalescing:
+    def test_contiguous_warp_int32_is_one_transaction(self, gmem):
+        # 32 lanes x 4 bytes = 128 bytes = exactly one segment.
+        array = gmem.alloc("a", 64, np.int32)
+        gmem.load(array, np.arange(32))
+        assert gmem.stats.global_read_transactions == 1
+
+    def test_contiguous_warp_int64_is_two_transactions(self, gmem):
+        # 32 lanes x 8 bytes = 256 bytes = two segments.
+        array = gmem.alloc("a", 64, np.int64)
+        gmem.load(array, np.arange(32))
+        assert gmem.stats.global_read_transactions == 2
+
+    def test_strided_access_multiplies_transactions(self, gmem):
+        # Stride-32 int32: every lane in its own segment.
+        array = gmem.alloc("a", 32 * 32, np.int32)
+        gmem.load(array, np.arange(32) * 32)
+        assert gmem.stats.global_read_transactions == 32
+
+    def test_same_word_broadcast_is_one_transaction(self, gmem):
+        array = gmem.alloc("a", 4, np.int32)
+        gmem.load(array, np.zeros(32, dtype=np.int64))
+        assert gmem.stats.global_read_transactions == 1
+
+    def test_multiple_warps_counted_per_group(self, gmem):
+        array = gmem.alloc("a", 128, np.int32)
+        gmem.load(array, np.arange(64))
+        assert gmem.stats.global_read_transactions == 2
+
+    def test_unaligned_straddle_costs_two(self, gmem):
+        # 32 contiguous int32 starting at element 1 straddle a boundary.
+        array = gmem.alloc("a", 64, np.int32)
+        gmem.load(array, 1 + np.arange(32))
+        assert gmem.stats.global_read_transactions == 2
+
+
+class TestTrafficCounters:
+    def test_words_and_bytes(self, gmem):
+        array = gmem.alloc("a", 100, np.int64)
+        gmem.load(array, np.arange(10))
+        gmem.store(array, np.arange(4), np.arange(4))
+        assert gmem.stats.global_words_read == 10
+        assert gmem.stats.global_bytes_read == 80
+        assert gmem.stats.global_words_written == 4
+        assert gmem.stats.global_bytes_written == 32
+        assert gmem.stats.global_words_total == 14
+
+    def test_per_array_counters(self, gmem):
+        a = gmem.alloc("a", 10, np.int32)
+        b = gmem.alloc("b", 10, np.int32)
+        gmem.load(a, np.arange(5))
+        gmem.store(b, np.arange(3), np.ones(3))
+        assert a.words_read == 5 and a.words_written == 0
+        assert b.words_read == 0 and b.words_written == 3
+
+    def test_masked_lanes_are_free(self, gmem):
+        array = gmem.alloc("a", 32, np.int32)
+        mask = np.zeros(32, dtype=bool)
+        mask[:5] = True
+        gmem.load(array, np.arange(32), mask=mask)
+        assert gmem.stats.global_words_read == 5
+
+
+class TestLoadStore:
+    def test_round_trip(self, gmem, rng):
+        array = gmem.alloc("a", 50, np.int32)
+        values = rng.integers(-10, 10, 50).astype(np.int32)
+        gmem.store(array, np.arange(50), values)
+        assert np.array_equal(gmem.load(array, np.arange(50)), values)
+
+    def test_masked_load_returns_zero_for_inactive(self, gmem):
+        array = gmem.alloc("a", 8, np.int32, fill=9)
+        mask = np.array([True, False, True, False])
+        out = gmem.load(array, np.arange(4), mask=mask)
+        assert np.array_equal(out, np.array([9, 0, 9, 0], dtype=np.int32))
+
+    def test_masked_store_skips_inactive(self, gmem):
+        array = gmem.alloc("a", 4, np.int32)
+        mask = np.array([True, False, True, False])
+        gmem.store(array, np.arange(4), np.full(4, 5), mask=mask)
+        assert np.array_equal(array.data, np.array([5, 0, 5, 0], dtype=np.int32))
+
+    def test_out_of_bounds_load(self, gmem):
+        array = gmem.alloc("a", 4, np.int32)
+        with pytest.raises(MemoryFault, match="out-of-bounds"):
+            gmem.load(array, np.array([4]))
+
+    def test_negative_index(self, gmem):
+        array = gmem.alloc("a", 4, np.int32)
+        with pytest.raises(MemoryFault, match="out-of-bounds"):
+            gmem.store(array, np.array([-1]), np.array([1]))
+
+    def test_scalar_access(self, gmem):
+        array = gmem.alloc("a", 4, np.int32)
+        gmem.store_scalar(array, 2, 99)
+        assert gmem.load_scalar(array, 2) == 99
+        assert gmem.stats.global_read_transactions == 1
+        assert gmem.stats.global_write_transactions == 1
+
+    def test_store_casts_to_array_dtype(self, gmem):
+        array = gmem.alloc("a", 2, np.int32)
+        gmem.store(array, np.array([0]), np.array([2**33 + 3], dtype=np.int64))
+        assert array.data[0] == 3  # 2^33 + 3 wraps to 3 in int32
+
+
+class TestPolling:
+    def test_poll_counts_failures(self, gmem):
+        flags = gmem.alloc("flags", 4, np.int64)
+        gmem.store(flags, np.array([1]), np.array([5]))
+        ready = gmem.poll(flags, np.arange(4), expected=5)
+        assert list(ready) == [False, True, False, False]
+        assert gmem.stats.flag_polls == 4
+        assert gmem.stats.failed_flag_polls == 3
+
+    def test_fence_counted(self, gmem):
+        gmem.fence()
+        gmem.fence()
+        assert gmem.stats.fences == 2
+
+
+class TestStatsMerge:
+    def test_merge_and_copy(self):
+        from repro.gpusim.counters import TrafficStats
+
+        a = TrafficStats(global_words_read=3, barriers=1)
+        b = TrafficStats(global_words_read=2, fences=4)
+        c = a.copy()
+        a.merge(b)
+        assert a.global_words_read == 5 and a.fences == 4 and a.barriers == 1
+        assert c.global_words_read == 3  # copy unaffected
+
+    def test_words_per_element_validation(self):
+        from repro.gpusim.counters import TrafficStats
+
+        with pytest.raises(ValueError, match="positive"):
+            TrafficStats().words_per_element(0)
+
+    def test_str_omits_zero_fields(self):
+        from repro.gpusim.counters import TrafficStats
+
+        text = str(TrafficStats(barriers=2))
+        assert "barriers=2" in text
+        assert "fences" not in text

@@ -1,0 +1,179 @@
+"""Unit tests for the cooperative scheduler and kernel launching."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.counters import TrafficStats
+from repro.gpusim.errors import DeadlockError, KernelFault
+from repro.gpusim.kernel import launch_kernel
+from repro.gpusim.memory import GlobalMemory
+from repro.gpusim.scheduler import (
+    SCHEDULE_POLICIES,
+    CooperativeScheduler,
+    make_seeded_random,
+    resolve_policy,
+    rotating,
+    round_robin,
+    reversed_order,
+)
+from repro.gpusim.spec import TITAN_X
+
+
+class TestPolicies:
+    @pytest.mark.parametrize("name", sorted(SCHEDULE_POLICIES))
+    def test_policies_are_permutations(self, name):
+        policy = SCHEDULE_POLICIES[name]
+        ids = [0, 1, 2, 5, 9]
+        for round_index in range(10):
+            order = policy(round_index, ids)
+            assert sorted(order) == ids
+
+    def test_round_robin_is_ascending(self):
+        assert round_robin(3, [2, 0, 1]) == [2, 0, 1]
+
+    def test_reversed(self):
+        assert reversed_order(0, [0, 1, 2]) == [2, 1, 0]
+
+    def test_rotating_changes_start(self):
+        assert rotating(0, [0, 1, 2]) == [0, 1, 2]
+        assert rotating(1, [0, 1, 2]) == [1, 2, 0]
+
+    def test_seeded_random_is_deterministic(self):
+        a = make_seeded_random(7)
+        b = make_seeded_random(7)
+        for r in range(5):
+            assert a(r, list(range(8))) == b(r, list(range(8)))
+
+    def test_resolve_by_name_and_callable(self):
+        assert resolve_policy("round_robin") is round_robin
+        assert resolve_policy(rotating) is rotating
+
+    def test_resolve_unknown(self):
+        with pytest.raises(KeyError, match="unknown schedule policy"):
+            resolve_policy("chaotic")
+
+    def test_resolve_wrong_type(self):
+        with pytest.raises(TypeError, match="policy"):
+            resolve_policy(42)
+
+
+class TestScheduler:
+    def test_runs_all_blocks(self):
+        stats = TrafficStats()
+        done = []
+
+        def block(i):
+            done.append(i)
+            return
+            yield
+
+        CooperativeScheduler(stats).run({i: block(i) for i in range(5)})
+        assert sorted(done) == list(range(5))
+
+    def test_interleaves_at_yields(self):
+        stats = TrafficStats()
+        trace = []
+
+        def block(i):
+            trace.append((i, 0))
+            yield
+            trace.append((i, 1))
+
+        CooperativeScheduler(stats).run({0: block(0), 1: block(1)})
+        # Both blocks run step 0 before either runs step 1.
+        assert trace == [(0, 0), (1, 0), (0, 1), (1, 1)]
+
+    def test_policy_must_permute(self):
+        stats = TrafficStats()
+
+        def bad_policy(round_index, ids):
+            return list(ids)[:-1]
+
+        def block():
+            yield
+
+        with pytest.raises(ValueError, match="permutation"):
+            CooperativeScheduler(stats, policy=bad_policy).run({0: block(), 1: block()})
+
+    def test_kernel_exception_wrapped(self):
+        stats = TrafficStats()
+
+        def block():
+            raise RuntimeError("boom")
+            yield
+
+        with pytest.raises(KernelFault) as excinfo:
+            CooperativeScheduler(stats).run({3: block()})
+        assert excinfo.value.block_id == 3
+        assert isinstance(excinfo.value.original, RuntimeError)
+
+    def test_deadlock_detected(self):
+        stats = TrafficStats()
+
+        def spinner():
+            while True:
+                yield
+
+        with pytest.raises(DeadlockError, match="no progress"):
+            CooperativeScheduler(stats, max_idle_rounds=3).run(
+                {0: spinner(), 1: spinner()}
+            )
+
+    def test_writes_reset_idle_counter(self):
+        stats = TrafficStats()
+        gmem = GlobalMemory(stats)
+        flag = gmem.alloc("flag", 1, np.int64)
+
+        def producer():
+            # A producer may yield several times before writing (e.g.
+            # local compute split across steps); this must stay within
+            # the idle budget without being mistaken for a deadlock.
+            for _ in range(4):
+                yield
+            gmem.store_scalar(flag, 0, 1)
+
+        def consumer():
+            while gmem.load_scalar(flag, 0) == 0:
+                yield
+
+        CooperativeScheduler(stats, max_idle_rounds=6).run(
+            {0: consumer(), 1: producer()}
+        )  # must not raise: producer writes within the idle budget
+
+
+class TestLaunchKernel:
+    def test_counts_launches(self):
+        gmem = GlobalMemory()
+
+        def kernel(ctx):
+            return
+
+        launch_kernel(kernel, TITAN_X, gmem=gmem, num_blocks=2)
+        launch_kernel(kernel, TITAN_X, gmem=gmem, num_blocks=2)
+        assert gmem.stats.kernel_launches == 2
+
+    def test_default_grid_is_persistent_blocks(self):
+        result = launch_kernel(lambda ctx: None, TITAN_X)
+        assert result.num_blocks == TITAN_X.persistent_blocks
+
+    def test_plain_function_kernels_follow_policy(self):
+        order = []
+
+        def kernel(ctx):
+            order.append(ctx.block_id)
+
+        launch_kernel(kernel, TITAN_X, num_blocks=3, policy="reversed")
+        assert order == [2, 1, 0]
+
+    def test_invalid_num_blocks(self):
+        with pytest.raises(ValueError, match="num_blocks"):
+            launch_kernel(lambda ctx: None, TITAN_X, num_blocks=0)
+
+    def test_block_contexts_have_ids(self):
+        seen = {}
+
+        def kernel(ctx):
+            seen[ctx.block_id] = ctx.num_blocks
+
+        launch_kernel(kernel, TITAN_X, num_blocks=4)
+        assert seen == {0: 4, 1: 4, 2: 4, 3: 4}

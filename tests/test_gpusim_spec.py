@@ -1,0 +1,64 @@
+"""Tests pinning the GPU specs to the paper's Table 1 and Section 4."""
+
+import pytest
+
+from repro.gpusim.spec import ALL_GPUS, C1060, K40, M2090, TITAN_X
+
+
+class TestTable1:
+    def test_row_order(self):
+        assert [g.name for g in ALL_GPUS] == ["C1060", "M2090", "K40", "Titan X"]
+
+    @pytest.mark.parametrize(
+        "spec, m, b, t, r",
+        [
+            (C1060, 30, 2, 512, 16),
+            (M2090, 16, 2, 768, 21.3),
+            (K40, 15, 2, 1024, 32),
+            (TITAN_X, 24, 2, 1024, 32),
+        ],
+        ids=lambda x: getattr(x, "name", x),
+    )
+    def test_hardware_parameters(self, spec, m, b, t, r):
+        assert spec.sm_count == m
+        assert spec.blocks_per_sm == b
+        assert spec.threads_per_block == t
+        assert spec.registers_per_thread == r
+
+    @pytest.mark.parametrize(
+        "spec, af",
+        [(C1060, 7.32), (M2090, 1.96), (K40, 0.92), (TITAN_X, 1.46)],
+        ids=lambda x: getattr(x, "name", x),
+    )
+    def test_architectural_factor_matches_paper(self, spec, af):
+        assert spec.architectural_factor_x1000 == pytest.approx(af, abs=0.02)
+
+
+class TestPersistentBlocks:
+    def test_paper_k_values(self):
+        # Section 2.2: "30 and 48 on our GPUs".
+        assert K40.persistent_blocks == 30
+        assert TITAN_X.persistent_blocks == 48
+
+
+class TestTestbed:
+    def test_titan_x_section4(self):
+        assert TITAN_X.cores == 3072
+        assert TITAN_X.peak_bandwidth_gbs == 336.0
+        assert TITAN_X.l2_bytes == 2 * 1024 * 1024
+        assert TITAN_X.max_resident_threads == 49152
+
+    def test_k40_section4(self):
+        assert K40.cores == 2880
+        assert K40.peak_bandwidth_gbs == 288.0
+        assert K40.max_resident_threads == 30720
+
+    def test_clock_ratios_drive_section51_argument(self):
+        # "the K40's memory is clocked 4.0 times faster than its
+        # processing elements but the Titan X's only 3.2 times".
+        assert K40.compute_to_memory_clock_ratio == pytest.approx(4.0, abs=0.05)
+        assert TITAN_X.compute_to_memory_clock_ratio == pytest.approx(3.2, abs=0.05)
+
+    def test_older_gpus_have_no_testbed_data(self):
+        assert C1060.peak_bandwidth_gbs == 0.0
+        assert C1060.compute_to_memory_clock_ratio == 0.0

@@ -1,0 +1,98 @@
+"""Unit tests for warp shuffles and warp-level scans."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.warp import WARP_SIZE, Warp
+from repro.ops import ADD, MAX, MUL, XOR
+from repro.reference import inclusive_scan_serial
+
+
+@pytest.fixture
+def warp():
+    return Warp(0)
+
+
+class TestShuffles:
+    def test_shfl_up_shifts(self, warp):
+        values = np.arange(WARP_SIZE, dtype=np.int32)
+        out = warp.shfl_up(values, 1)
+        assert out[0] == 0  # lane 0 keeps its own value
+        assert np.array_equal(out[1:], values[:-1])
+
+    def test_shfl_up_zero_delta_is_copy(self, warp):
+        values = np.arange(WARP_SIZE, dtype=np.int32)
+        out = warp.shfl_up(values, 0)
+        assert np.array_equal(out, values)
+        assert out is not values
+
+    def test_shfl_up_low_lanes_keep_value(self, warp):
+        values = np.arange(WARP_SIZE, dtype=np.int32)
+        out = warp.shfl_up(values, 4)
+        assert np.array_equal(out[:4], values[:4])
+
+    def test_shfl_down(self, warp):
+        values = np.arange(WARP_SIZE, dtype=np.int32)
+        out = warp.shfl_down(values, 2)
+        assert np.array_equal(out[:-2], values[2:])
+        assert np.array_equal(out[-2:], values[-2:])
+
+    def test_shfl_idx_broadcasts(self, warp):
+        values = np.arange(WARP_SIZE, dtype=np.int32)
+        out = warp.shfl_idx(values, 13)
+        assert np.all(out == 13)
+
+    def test_invalid_delta(self, warp):
+        values = np.zeros(WARP_SIZE, dtype=np.int32)
+        with pytest.raises(ValueError, match="delta"):
+            warp.shfl_up(values, WARP_SIZE)
+        with pytest.raises(ValueError, match="delta"):
+            warp.shfl_down(values, -1)
+
+    def test_wrong_width_rejected(self, warp):
+        with pytest.raises(ValueError, match="lane values"):
+            warp.shfl_up(np.zeros(16, dtype=np.int32), 1)
+
+    def test_shuffles_are_counted(self, warp):
+        values = np.zeros(WARP_SIZE, dtype=np.int32)
+        warp.shfl_up(values, 1)
+        warp.shfl_idx(values, 0)
+        assert warp.stats.shuffles == 2
+
+
+class TestWarpScan:
+    @pytest.mark.parametrize("op", [ADD, MAX, XOR, MUL], ids=lambda op: op.name)
+    def test_inclusive_scan_matches_serial(self, warp, rng, op):
+        values = rng.integers(1, 5, WARP_SIZE).astype(np.int64)
+        expected = inclusive_scan_serial(values, op=op)
+        assert np.array_equal(warp.inclusive_scan(values, op), expected)
+
+    def test_scan_uses_log_steps_of_shuffles(self, warp):
+        values = np.ones(WARP_SIZE, dtype=np.int32)
+        warp.inclusive_scan(values, ADD)
+        assert warp.stats.shuffles == 5  # log2(32)
+
+    def test_exclusive_scan(self, warp):
+        values = np.ones(WARP_SIZE, dtype=np.int32)
+        out = warp.exclusive_scan(values, ADD)
+        assert np.array_equal(out, np.arange(WARP_SIZE, dtype=np.int32))
+
+    def test_exclusive_scan_max_identity(self, warp):
+        values = np.full(WARP_SIZE, 5, dtype=np.int32)
+        out = warp.exclusive_scan(values, MAX)
+        assert out[0] == np.iinfo(np.int32).min
+        assert np.all(out[1:] == 5)
+
+    def test_reduce_broadcasts_total(self, warp, rng):
+        values = rng.integers(-100, 100, WARP_SIZE).astype(np.int32)
+        out = warp.reduce(values, ADD)
+        with np.errstate(over="ignore"):
+            expected = np.int32(values.astype(np.int64).sum() & 0xFFFFFFFF)
+        assert np.all(out == np.int32(expected))
+
+    def test_scan_wraps_int32(self, warp):
+        values = np.full(WARP_SIZE, 2**27, dtype=np.int32)
+        out = warp.inclusive_scan(values, ADD)
+        assert out.dtype == np.int32
+        # 32 * 2^27 = 2^32 -> wraps to 0
+        assert out[-1] == 0

@@ -1,0 +1,112 @@
+"""Tests for the figure/table harness."""
+
+import pytest
+
+from repro.harness import (
+    FIGURES,
+    format_figure,
+    format_table1,
+    generate_figure,
+    power_of_ten_sizes,
+    power_of_two_sizes,
+    run_headline_checks,
+    table1_rows,
+)
+from repro.harness.figures import MAX_ITEMS, standard_sizes
+
+
+class TestSizeRules:
+    def test_32bit_sizes(self):
+        sizes = power_of_two_sizes(32)
+        assert sizes[0] == 2**10 and sizes[-1] == 2**30
+
+    def test_64bit_capped_at_2_29(self):
+        # "none of the tested codes support input sizes above 4 GB".
+        assert power_of_two_sizes(64)[-1] == 2**29
+
+    def test_power_of_ten(self):
+        assert power_of_ten_sizes(32) == [10**e for e in range(3, 10)]
+        assert power_of_ten_sizes(64)[-1] == 10**8
+
+    def test_standard_sizes_sorted_unique(self):
+        sizes = standard_sizes(32)
+        assert sizes == sorted(set(sizes))
+        assert max(sizes) <= MAX_ITEMS[32]
+
+
+class TestFigureSpecs:
+    def test_all_fourteen_figures_defined(self):
+        assert sorted(FIGURES) == [f"fig{i:02d}" for i in range(3, 17)]
+
+    def test_conventional_figures_have_five_series(self):
+        assert len(FIGURES["fig03"].series) == 5
+
+    def test_order_figures_sweep_2_5_8(self):
+        orders = sorted({s.order for s in FIGURES["fig07"].series})
+        assert orders == [2, 5, 8]
+
+    def test_tuple_figures_sweep_2_5_8(self):
+        tuples = sorted({s.tuple_size for s in FIGURES["fig11"].series})
+        assert tuples == [2, 5, 8]
+
+    def test_carry_figures_compare_two_schemes(self):
+        labels = [s.label for s in FIGURES["fig15"].series]
+        assert labels == ["chained", "SAM"]
+
+    def test_gpu_assignment(self):
+        assert FIGURES["fig03"].gpu == "Titan X"
+        assert FIGURES["fig05"].gpu == "K40"
+        assert FIGURES["fig16"].gpu == "K40"
+
+    def test_word_bits(self):
+        assert FIGURES["fig04"].word_bits == 64
+        assert FIGURES["fig13"].word_bits == 32
+
+
+class TestGeneration:
+    def test_generate_unknown_figure(self):
+        with pytest.raises(KeyError, match="unknown figure"):
+            generate_figure("fig99")
+
+    @pytest.mark.parametrize("fig_id", sorted(FIGURES))
+    def test_generates_full_series(self, fig_id):
+        data = generate_figure(fig_id)
+        assert len(data.sizes) > 10
+        for label, values in data.values.items():
+            assert len(values) == len(data.sizes)
+            supported = [v for v in values if v is not None]
+            assert supported, label
+            assert all(v > 0 for v in supported)
+
+    def test_cudpp_has_missing_points(self):
+        data = generate_figure("fig03")
+        assert None in data.values["CUDPP"]
+        assert None not in data.values["SAM"]
+
+
+class TestReport:
+    def test_format_figure_contains_rows(self):
+        text = format_figure(generate_figure("fig03"))
+        assert "2^10" in text and "2^30" in text and "10^6" in text
+        assert "SAM" in text and "memcpy" in text
+        assert "-" in text  # CUDPP's unsupported sizes
+
+    def test_format_table1(self):
+        text = format_table1()
+        assert "C1060" in text and "7.32" in text
+        assert "Titan X" in text and "1.46" in text
+
+    def test_table1_rows_match_paper(self):
+        for row in table1_rows():
+            assert row["af_x1000"] == pytest.approx(row["paper_af_x1000"], abs=0.02)
+
+
+class TestHeadlineRunner:
+    def test_all_pass_and_reported(self):
+        results = run_headline_checks()
+        assert len(results) >= 35
+        failed = [r for r in results if not r["passed"]]
+        assert not failed, failed
+        for r in results:
+            assert r["measured"]
+            assert r["paper_claim"]

@@ -1,0 +1,64 @@
+"""Tests for the extra harness renderers (sparklines, CSV)."""
+
+import csv
+import io
+
+import pytest
+
+from repro.harness import generate_figure, render_sparklines
+from repro.harness.report import figure_to_csv
+
+
+@pytest.fixture(scope="module")
+def fig03():
+    return generate_figure("fig03")
+
+
+class TestSparklines:
+    def test_one_line_per_series_plus_header(self, fig03):
+        text = render_sparklines(fig03)
+        assert len(text.splitlines()) == 1 + len(fig03.values)
+
+    def test_unsupported_sizes_marked(self, fig03):
+        text = render_sparklines(fig03)
+        cudpp_line = next(l for l in text.splitlines() if "CUDPP" in l)
+        assert "-" in cudpp_line
+
+    def test_memcpy_reaches_full_bar(self, fig03):
+        text = render_sparklines(fig03)
+        memcpy_line = next(l for l in text.splitlines() if "memcpy" in l)
+        assert "█" in memcpy_line
+
+    def test_bars_monotone_for_sam(self, fig03):
+        # SAM's throughput is monotone in n, so its glyph levels are too.
+        levels = " ▁▂▃▄▅▆▇█"
+        sam_line = next(l for l in render_sparklines(fig03).splitlines() if l.strip().startswith("SAM"))
+        bar = sam_line.split("|")[1]
+        ranks = [levels.index(ch) for ch in bar if ch in levels]
+        assert ranks == sorted(ranks)
+
+
+class TestCsv:
+    def test_round_trips_through_csv_reader(self, fig03):
+        text = figure_to_csv(fig03)
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0][0] == "n"
+        assert len(rows) == 1 + len(fig03.sizes)
+        assert len(rows[1]) == 1 + len(fig03.values)
+
+    def test_unsupported_cells_empty(self, fig03):
+        text = figure_to_csv(fig03)
+        rows = list(csv.reader(io.StringIO(text)))
+        header = rows[0]
+        cudpp_col = header.index("CUDPP")
+        big_rows = [row for row in rows[1:] if int(row[0]) > 2**25]
+        assert big_rows
+        assert all(row[cudpp_col] == "" for row in big_rows)
+
+    def test_values_parse_as_floats(self, fig03):
+        text = figure_to_csv(fig03)
+        rows = list(csv.reader(io.StringIO(text)))
+        sam_col = rows[0].index("SAM")
+        values = [float(row[sam_col]) for row in rows[1:] if row[sam_col]]
+        assert all(v > 0 for v in values)
+        assert values == sorted(values)  # monotone sweep

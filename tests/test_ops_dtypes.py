@@ -1,0 +1,63 @@
+"""Unit tests for dtype resolution and wraparound semantics."""
+
+import numpy as np
+import pytest
+
+from repro.ops import as_dtype, is_integer_dtype, wraparound
+
+
+class TestAsDtype:
+    def test_by_name(self):
+        assert as_dtype("int32") == np.int32
+        assert as_dtype("float64") == np.float64
+
+    def test_by_numpy_dtype(self):
+        assert as_dtype(np.dtype(np.int64)) == np.int64
+
+    def test_by_type_object(self):
+        assert as_dtype(np.uint32) == np.uint32
+
+    def test_unknown_name(self):
+        with pytest.raises(TypeError, match="unsupported dtype"):
+            as_dtype("int16")
+
+    def test_unsupported_numpy_dtype(self):
+        with pytest.raises(TypeError, match="unsupported dtype"):
+            as_dtype(np.int8)
+
+
+class TestIsIntegerDtype:
+    def test_integers(self):
+        assert is_integer_dtype(np.int32)
+        assert is_integer_dtype("uint64")
+
+    def test_floats(self):
+        assert not is_integer_dtype(np.float32)
+
+
+class TestWraparound:
+    def test_in_range_passthrough(self):
+        assert wraparound(42, np.int32) == 42
+        assert wraparound(-42, np.int64) == -42
+
+    def test_int32_overflow_wraps_negative(self):
+        assert wraparound(2**31, np.int32) == -(2**31)
+
+    def test_int32_large_positive(self):
+        assert wraparound(2**32 + 5, np.int32) == 5
+
+    def test_int64_overflow(self):
+        assert wraparound(2**63, np.int64) == -(2**63)
+
+    def test_uint32_wraps_modulo(self):
+        assert wraparound(2**32 + 7, np.uint32) == 7
+        assert wraparound(-1, np.uint32) == 2**32 - 1
+
+    def test_negative_int32(self):
+        assert wraparound(-(2**31) - 1, np.int32) == 2**31 - 1
+
+    def test_float_passthrough(self):
+        assert wraparound(1.5, np.float64) == 1.5
+
+    def test_returns_numpy_scalar(self):
+        assert isinstance(wraparound(1, np.int32), np.int32)

@@ -1,0 +1,162 @@
+"""Unit tests for the associative-operator algebra."""
+
+import numpy as np
+import pytest
+
+from repro.ops import (
+    ADD,
+    BITAND,
+    BITOR,
+    BUILTIN_OPS,
+    MAX,
+    MIN,
+    MUL,
+    XOR,
+    AssociativeOp,
+    get_op,
+)
+
+ALL_OPS = list(BUILTIN_OPS.values())
+INT_DTYPES = [np.int32, np.int64, np.uint32, np.uint64]
+
+
+class TestIdentity:
+    @pytest.mark.parametrize("op", ALL_OPS, ids=lambda op: op.name)
+    @pytest.mark.parametrize("dtype", INT_DTYPES)
+    def test_identity_is_neutral_left(self, op, dtype, rng):
+        values = rng.integers(0, 100, size=64).astype(dtype)
+        identity = np.full(64, op.identity(dtype), dtype=dtype)
+        assert np.array_equal(op.apply(identity, values), values)
+
+    @pytest.mark.parametrize("op", ALL_OPS, ids=lambda op: op.name)
+    @pytest.mark.parametrize("dtype", INT_DTYPES)
+    def test_identity_is_neutral_right(self, op, dtype, rng):
+        values = rng.integers(0, 100, size=64).astype(dtype)
+        identity = np.full(64, op.identity(dtype), dtype=dtype)
+        assert np.array_equal(op.apply(values, identity), values)
+
+    def test_identity_has_requested_dtype(self):
+        assert ADD.identity(np.int32).dtype == np.int32
+        assert MAX.identity(np.int64).dtype == np.int64
+
+    def test_max_identity_is_dtype_min(self):
+        assert MAX.identity(np.int32) == np.iinfo(np.int32).min
+
+    def test_min_identity_is_dtype_max(self):
+        assert MIN.identity(np.int64) == np.iinfo(np.int64).max
+
+    def test_and_identity_is_all_ones(self):
+        assert BITAND.identity(np.int32) == -1
+        assert BITAND.identity(np.uint32) == np.iinfo(np.uint32).max
+
+
+class TestAssociativity:
+    @pytest.mark.parametrize("op", ALL_OPS, ids=lambda op: op.name)
+    def test_sampled_associativity(self, op, rng):
+        a, b, c = (rng.integers(-50, 50, size=128).astype(np.int64) for _ in range(3))
+        left = op.apply(op.apply(a, b), c)
+        right = op.apply(a, op.apply(b, c))
+        assert np.array_equal(left, right)
+
+    def test_add_wraps_like_int32(self):
+        big = np.array([2**31 - 1], dtype=np.int32)
+        assert ADD.apply(big, np.array([1], dtype=np.int32))[0] == np.iinfo(np.int32).min
+
+
+class TestAccumulate:
+    @pytest.mark.parametrize("op", ALL_OPS, ids=lambda op: op.name)
+    def test_accumulate_matches_loop(self, op, rng):
+        values = rng.integers(1, 10, size=200).astype(np.int64)
+        expected = values.copy()
+        for i in range(1, len(expected)):
+            expected[i] = op.apply(expected[i - 1 : i], expected[i : i + 1])[0]
+        assert np.array_equal(op.accumulate(values), expected)
+
+    def test_accumulate_preserves_dtype(self):
+        values = np.arange(10, dtype=np.int32)
+        assert ADD.accumulate(values).dtype == np.int32
+
+    def test_accumulate_wraps_int32(self):
+        values = np.full(3, 2**30, dtype=np.int32)
+        result = ADD.accumulate(values)
+        assert result.dtype == np.int32
+        assert result[2] == np.int32(3 * 2**30 - 2**32)
+
+    def test_accumulate_empty(self):
+        out = ADD.accumulate(np.array([], dtype=np.int32))
+        assert out.size == 0
+
+    def test_accumulate_without_ufunc_uses_loop(self):
+        custom = AssociativeOp("second", fn=lambda a, b: b, identity_fn=lambda dt: 0)
+        values = np.array([5, 7, 9], dtype=np.int32)
+        assert np.array_equal(custom.accumulate(values), values)
+
+
+class TestReduce:
+    @pytest.mark.parametrize("op", ALL_OPS, ids=lambda op: op.name)
+    def test_reduce_matches_accumulate_tail(self, op, rng):
+        values = rng.integers(1, 10, size=77).astype(np.int32)
+        assert op.reduce(values) == op.accumulate(values)[-1]
+
+    def test_reduce_keeps_small_int_dtype(self):
+        # numpy would promote int32 sums to the platform int without the
+        # explicit dtype pin; GPU semantics require wraparound.
+        values = np.full(4, 2**30, dtype=np.int32)
+        result = ADD.reduce(values)
+        assert np.int32(result) == np.int32(4 * 2**30 - 2**32)
+
+    def test_reduce_empty_without_ufunc_raises(self):
+        custom = AssociativeOp("second", fn=lambda a, b: b, identity_fn=lambda dt: 0)
+        with pytest.raises(ValueError, match="empty axis"):
+            custom.reduce(np.array([], dtype=np.int32))
+
+
+class TestInversion:
+    def test_add_invert(self, rng):
+        a = rng.integers(-100, 100, size=50).astype(np.int32)
+        b = rng.integers(-100, 100, size=50).astype(np.int32)
+        assert np.array_equal(ADD.apply(ADD.invert(a, b), b), a)
+
+    def test_xor_is_self_inverse(self, rng):
+        a = rng.integers(0, 2**31, size=50).astype(np.int64)
+        b = rng.integers(0, 2**31, size=50).astype(np.int64)
+        assert np.array_equal(XOR.invert(XOR.apply(a, b), b), a)
+
+    def test_max_not_invertible(self):
+        assert not MAX.invertible
+        with pytest.raises(TypeError, match="not invertible"):
+            MAX.invert(np.array([1]), np.array([2]))
+
+
+class TestDtypeValidation:
+    def test_xor_rejects_float(self):
+        with pytest.raises(TypeError, match="does not support"):
+            XOR.check_dtype(np.float32)
+
+    def test_add_accepts_float(self):
+        assert ADD.check_dtype(np.float64) == np.float64
+
+    @pytest.mark.parametrize("op", [XOR, BITAND, BITOR], ids=lambda op: op.name)
+    def test_bitwise_ops_are_integer_only(self, op):
+        assert op.supports_dtype(np.int32)
+        assert not op.supports_dtype(np.float64)
+
+
+class TestGetOp:
+    def test_by_name(self):
+        assert get_op("add") is ADD
+        assert get_op("mul") is MUL
+
+    def test_passthrough(self):
+        assert get_op(MAX) is MAX
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown operator"):
+            get_op("median")
+
+    def test_wrong_type(self):
+        with pytest.raises(TypeError, match="expected operator"):
+            get_op(42)
+
+    def test_repr(self):
+        assert repr(ADD) == "AssociativeOp('add')"

@@ -1,0 +1,71 @@
+"""Section 2.5's complexity formulas vs the simulator's measured work."""
+
+import numpy as np
+import pytest
+
+from conftest import make_int_array
+from repro.core import SamScan
+from repro.gpusim.spec import K40, TITAN_X
+from repro.perf.analysis import (
+    analysis_table,
+    measured_carry_work,
+    predict_carry_complexity,
+)
+
+
+class TestPrediction:
+    def test_c_equals_kn_over_e(self):
+        # Paper: c = k*n/e.
+        prediction = predict_carry_complexity(
+            TITAN_X, n=48 * 1024 * 16, items_per_thread=1
+        )
+        k = TITAN_X.persistent_blocks
+        e = TITAN_X.threads_per_block
+        assert prediction.total_carries == k * (48 * 1024 * 16 // e)
+
+    def test_af_matches_spec(self):
+        prediction = predict_carry_complexity(K40, n=10**6)
+        assert prediction.architectural_factor * 1000 == pytest.approx(0.92, abs=0.01)
+
+    def test_bigger_chunks_mean_fewer_carries(self):
+        small = predict_carry_complexity(TITAN_X, 2**22, items_per_thread=1)
+        large = predict_carry_complexity(TITAN_X, 2**22, items_per_thread=16)
+        assert large.total_carries < small.total_carries / 8
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            predict_carry_complexity(TITAN_X, 0)
+
+    def test_analysis_table_fields(self):
+        row = analysis_table(TITAN_X, 2**24)
+        assert row["gpu"] == "Titan X"
+        assert row["k"] == 48
+        assert row["af_x1000"] == 1.46
+
+
+class TestMeasuredAgainstPrediction:
+    def test_decoupled_carry_work_matches_formula(self, rng):
+        # The simulator's carry_additions per chunk should approach k
+        # (own sum + up to k-1 predecessors), i.e. c = k*n/e overall.
+        n = 64 * 1 * 64  # 64 chunks of 64 elements
+        k = 8
+        engine = SamScan(
+            spec=TITAN_X, threads_per_block=64, items_per_thread=1, num_blocks=k
+        )
+        result = engine.run(make_int_array(rng, n))
+        per_chunk = measured_carry_work(result)
+        # Early chunks read fewer sums, so measured is slightly below k.
+        assert k * 0.8 <= per_chunk <= k * 1.05
+
+    def test_total_carries_scale_linearly_in_n(self, rng):
+        engine = SamScan(
+            spec=TITAN_X, threads_per_block=64, items_per_thread=1, num_blocks=8
+        )
+        small = engine.run(make_int_array(rng, 64 * 32)).stats.carry_additions
+        large = engine.run(make_int_array(rng, 64 * 128)).stats.carry_additions
+        assert large == pytest.approx(4 * small, rel=0.15)
+
+    def test_empty_run_has_zero_work(self):
+        engine = SamScan(threads_per_block=64, items_per_thread=1, num_blocks=2)
+        result = engine.run(np.array([], dtype=np.int32))
+        assert measured_carry_work(result) == 0.0

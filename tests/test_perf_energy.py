@@ -1,0 +1,57 @@
+"""Tests for the energy-model extension (paper §6 future work)."""
+
+import pytest
+
+from repro.perf.energy import ENERGY_CONSTANTS, EnergyModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return EnergyModel()
+
+
+class TestEnergyModel:
+    def test_energy_positive_and_increasing_in_n(self, model):
+        energies = [
+            model.energy_joules("sam", "Titan X", 32, 2**e) for e in range(12, 28, 4)
+        ]
+        assert all(e > 0 for e in energies)
+        assert energies == sorted(energies)
+
+    def test_per_item_energy_falls_with_n(self, model):
+        # Fixed overheads amortize: nJ/item decreases toward saturation.
+        small = model.nanojoules_per_item("sam", "Titan X", 32, 2**14)
+        large = model.nanojoules_per_item("sam", "Titan X", 32, 2**27)
+        assert large < small
+
+    def test_64bit_costs_more_per_item(self, model):
+        e32 = model.nanojoules_per_item("sam", "Titan X", 32, 2**26)
+        e64 = model.nanojoules_per_item("sam", "Titan X", 64, 2**26)
+        assert e64 > e32
+
+    def test_4n_traffic_costs_more_than_2n(self, model):
+        sam = model.nanojoules_per_item("sam", "Titan X", 32, 2**26)
+        thrust = model.nanojoules_per_item("thrust", "Titan X", 32, 2**26)
+        assert thrust > 1.4 * sam
+
+    def test_higher_order_energy_gap_grows(self, model):
+        ratios = [
+            model.nanojoules_per_item("cub", "Titan X", 32, 2**27, order=q)
+            / model.nanojoules_per_item("sam", "Titan X", 32, 2**27, order=q)
+            for q in (1, 2, 5, 8)
+        ]
+        assert ratios == sorted(ratios)
+        assert ratios[-1] > 1.5
+
+    def test_unknown_gpu(self, model):
+        with pytest.raises(KeyError, match="energy constants"):
+            model.energy_joules("sam", "H100", 32, 1000)
+
+    def test_both_testbed_gpus_covered(self):
+        assert set(ENERGY_CONSTANTS) == {"Titan X", "K40"}
+
+    def test_k40_less_efficient_than_titan_x(self, model):
+        # Older process + slower kernel: more J per item.
+        k40 = model.nanojoules_per_item("sam", "K40", 32, 2**26)
+        titan = model.nanojoules_per_item("sam", "Titan X", 32, 2**26)
+        assert k40 > titan

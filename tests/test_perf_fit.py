@@ -1,0 +1,63 @@
+"""Tests for the first-principles calibration fit."""
+
+import pytest
+
+from conftest import small_sam
+from repro.gpusim.spec import C1060, K40, TITAN_X
+from repro.perf.fit import (
+    fit_memory_floor,
+    fit_nh,
+    measure_traffic_words,
+    verify_calibration,
+)
+
+
+class TestMemoryFloor:
+    def test_titan_x_32bit_floor_matches_paper(self):
+        # 264 GB/s over 8 bytes/item -> 33 G items/s -> 30.3 ps.
+        floor = fit_memory_floor(TITAN_X, 32)
+        assert floor.achieved_gbs == pytest.approx(264.1, abs=0.5)
+        assert floor.inv_ps == pytest.approx(30.3, abs=0.2)
+
+    def test_64bit_floor_doubles(self):
+        f32 = fit_memory_floor(TITAN_X, 32)
+        f64 = fit_memory_floor(TITAN_X, 64)
+        assert f64.inv_ps == pytest.approx(2 * f32.inv_ps, rel=1e-9)
+
+    def test_traffic_coefficient_scales_floor(self):
+        sam = fit_memory_floor(TITAN_X, 32, traffic_words=2.0)
+        thrust = fit_memory_floor(TITAN_X, 32, traffic_words=4.0)
+        assert thrust.inv_ps == pytest.approx(2 * sam.inv_ps, rel=1e-9)
+
+    def test_no_bandwidth_data_rejected(self):
+        with pytest.raises(ValueError, match="no bandwidth"):
+            fit_memory_floor(C1060, 32)
+
+    def test_measured_traffic_feeds_the_fit(self):
+        words = measure_traffic_words(lambda: small_sam())
+        floor = fit_memory_floor(TITAN_X, 32, traffic_words=words)
+        # Simulator-measured ~2.06 words/element -> floor within a few
+        # percent of the ideal-2n value.
+        assert floor.inv_ps == pytest.approx(30.3 * words / 2.0, rel=0.01)
+        assert 30.0 <= floor.inv_ps <= 32.5
+
+
+class TestNhFit:
+    def test_recovers_known_nh(self):
+        inv_ps = 30.3
+        nh = 8.86e6
+        n = 2**22
+        throughput = 1.0 / (inv_ps * 1e-12 * (1 + (nh / n) ** 0.5))
+        fitted = fit_nh(inv_ps, n, throughput)
+        assert fitted == pytest.approx(nh, rel=1e-6)
+
+    def test_anchor_above_asymptote_rejected(self):
+        with pytest.raises(ValueError, match="exceeds the asymptote"):
+            fit_nh(30.3, 2**20, 1e12)
+
+
+class TestShippedCalibration:
+    def test_every_floor_is_physical(self):
+        errors = verify_calibration()
+        assert len(errors) == 4
+        assert max(errors.values()) <= 0.02

@@ -1,0 +1,128 @@
+"""Unit tests for the analytic performance model."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.spec import K40, TITAN_X
+from repro.perf import DEFAULT_CALIBRATION, PerformanceModel, UnsupportedProblem
+from repro.perf.model import _interp_anchor
+
+
+class TestInterpolation:
+    def test_exact_anchor(self):
+        assert _interp_anchor({1: 10.0, 5: 50.0}, 5, 0.0) == 50.0
+
+    def test_between_anchors(self):
+        assert _interp_anchor({1: 10.0, 5: 50.0}, 3, 0.0) == pytest.approx(30.0)
+
+    def test_extrapolates_past_last(self):
+        # Slope between the last two anchors continues.
+        assert _interp_anchor({2: 20.0, 8: 80.0}, 10, 0.0) == pytest.approx(100.0)
+
+    def test_below_first_clamps(self):
+        assert _interp_anchor({2: 20.0, 8: 80.0}, 1, 0.0) == 20.0
+
+    def test_empty_uses_fallback(self):
+        assert _interp_anchor({}, 3, 42.0) == 42.0
+
+    def test_single_anchor(self):
+        assert _interp_anchor({1: 7.0}, 5, 0.0) == 7.0
+
+
+class TestModelBasics:
+    def setup_method(self):
+        self.model = PerformanceModel()
+
+    def test_time_positive_and_increasing(self):
+        times = [
+            self.model.time_seconds("sam", "Titan X", 32, 2**e) for e in range(10, 31)
+        ]
+        assert all(t > 0 for t in times)
+        assert times == sorted(times)
+
+    def test_throughput_saturates(self):
+        # Throughput is monotone nondecreasing over the sweep (the
+        # figures' characteristic ramp-then-plateau shape).
+        tputs = [
+            self.model.throughput("sam", "Titan X", 32, 2**e) for e in range(10, 31)
+        ]
+        assert all(b >= a * 0.999 for a, b in zip(tputs, tputs[1:]))
+
+    def test_accepts_spec_objects(self):
+        via_name = self.model.throughput("sam", "Titan X", 32, 2**20)
+        via_spec = self.model.throughput("sam", TITAN_X, 32, 2**20)
+        assert via_name == via_spec
+
+    def test_unknown_gpu(self):
+        with pytest.raises(KeyError, match="no calibration for GPU"):
+            self.model.throughput("sam", "H100", 32, 2**20)
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(KeyError, match="no calibration for algorithm"):
+            self.model.throughput("quantum", "K40", 32, 2**20)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError, match="n must be"):
+            self.model.time_seconds("sam", "K40", 32, 0)
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError, match="order and tuple_size"):
+            self.model.time_seconds("sam", "K40", 32, 100, order=0)
+
+    def test_cudpp_unsupported_size(self):
+        with pytest.raises(UnsupportedProblem):
+            self.model.time_seconds("cudpp", "Titan X", 32, 2**26)
+
+    def test_sweep_maps_unsupported_to_none(self):
+        out = self.model.sweep("cudpp", "Titan X", 32, [2**20, 2**26])
+        assert out[0] is not None and out[1] is None
+
+
+class TestModelStructure:
+    def setup_method(self):
+        self.model = PerformanceModel()
+
+    def test_higher_order_slows_sam_sublinearly(self):
+        # SAM iterates only the computation stage: far better than 1/q.
+        base = self.model.throughput("sam", "Titan X", 32, 2**28)
+        q8 = self.model.throughput("sam", "Titan X", 32, 2**28, order=8)
+        assert q8 < base
+        assert q8 > base / 8 * 1.5
+
+    def test_higher_order_slows_cub_linearly(self):
+        base = self.model.throughput("cub", "Titan X", 32, 2**28)
+        q8 = self.model.throughput("cub", "Titan X", 32, 2**28, order=8)
+        assert q8 == pytest.approx(base / 8, rel=0.01)
+
+    def test_memcpy_is_upper_bound_at_saturation(self):
+        for gpu in ("Titan X", "K40"):
+            for bits in (32, 64):
+                memcpy = self.model.throughput("memcpy", gpu, bits, 2**29)
+                sam = self.model.throughput("sam", gpu, bits, 2**29)
+                assert sam <= memcpy * 1.001
+
+    def test_64bit_roughly_halves_item_rate(self):
+        for alg in ("sam", "cub", "thrust"):
+            r32 = self.model.throughput(alg, "Titan X", 32, 2**28)
+            r64 = self.model.throughput(alg, "Titan X", 64, 2**28)
+            assert 1.5 <= r32 / r64 <= 2.5
+
+    def test_order_and_tuple_compose(self):
+        # The combined case (paper future work): cost at least the max
+        # of the individual generalizations.
+        single = self.model.time_seconds("sam", "K40", 32, 2**24, order=4)
+        tup = self.model.time_seconds("sam", "K40", 32, 2**24, tuple_size=4)
+        both = self.model.time_seconds("sam", "K40", 32, 2**24, order=4, tuple_size=4)
+        assert both >= max(single, tup) * 0.999
+
+    def test_calibration_tables_complete(self):
+        for (gpu, bits), cal in DEFAULT_CALIBRATION.items():
+            assert cal.gpu_name == gpu and cal.word_bits == bits
+            for name in ("sam", "cub", "thrust", "cudpp", "memcpy", "chained"):
+                assert name in cal.algorithms, (gpu, bits, name)
+
+    def test_chained_never_beats_sam(self):
+        for e in range(10, 31):
+            sam = self.model.throughput("sam", "Titan X", 32, 2**e)
+            chained = self.model.throughput("chained", "Titan X", 32, 2**e)
+            assert chained <= sam * 1.001

@@ -1,0 +1,33 @@
+"""Every quantitative claim the paper's text makes about its figures,
+checked against the performance model (the 'shape' reproduction)."""
+
+import pytest
+
+from repro.harness import HEADLINE_CHECKS
+from repro.perf import PerformanceModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return PerformanceModel()
+
+
+@pytest.mark.parametrize(
+    "check", HEADLINE_CHECKS, ids=[check.check_id for check in HEADLINE_CHECKS]
+)
+def test_headline_claim(model, check):
+    passed, measured = check.evaluate(model)
+    assert passed, (
+        f"[{check.figure}] paper: {check.paper_claim!r}; model: {measured}"
+    )
+
+
+def test_check_ids_unique():
+    ids = [check.check_id for check in HEADLINE_CHECKS]
+    assert len(ids) == len(set(ids))
+
+
+def test_every_figure_has_checks():
+    figures = {check.figure for check in HEADLINE_CHECKS}
+    for fig in [f"fig{i:02d}" for i in range(3, 17)] + ["table1"]:
+        assert fig in figures, f"no headline check covers {fig}"

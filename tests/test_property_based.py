@@ -1,0 +1,187 @@
+"""Property-based tests (hypothesis) for the core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from conftest import small_sam
+from repro.api import delta_decode, delta_encode, prefix_sum, scan
+from repro.compression import varint_decode, varint_encode, zigzag_decode, zigzag_encode
+from repro.core.host import host_prefix_sum, host_scan
+from repro.ops import ADD, BUILTIN_OPS
+from repro.reference import (
+    delta_encode_closed_form,
+    delta_encode_serial,
+    inclusive_scan_serial,
+    prefix_sum_serial,
+    tuple_prefix_sum_serial,
+)
+
+int32_arrays = arrays(
+    dtype=np.int32,
+    shape=st.integers(0, 300),
+    elements=st.integers(-(2**31), 2**31 - 1),
+)
+
+small_int32_arrays = arrays(
+    dtype=np.int32,
+    shape=st.integers(1, 200),
+    elements=st.integers(-(2**20), 2**20),
+)
+
+orders = st.integers(1, 4)
+tuples = st.integers(1, 5)
+
+
+class TestScanAlgebra:
+    @given(values=int32_arrays, tuple_size=tuples)
+    def test_host_matches_serial_reference(self, values, tuple_size):
+        got = host_scan(values, tuple_size=tuple_size)
+        expected = inclusive_scan_serial(values, tuple_size=tuple_size)
+        assert np.array_equal(got, expected)
+
+    @given(values=int32_arrays, order=orders, tuple_size=tuples)
+    def test_order_q_is_iterated_order_1(self, values, order, tuple_size):
+        direct = host_prefix_sum(values, order=order, tuple_size=tuple_size)
+        iterated = values
+        for _ in range(order):
+            iterated = host_scan(iterated, tuple_size=tuple_size)
+        assert np.array_equal(direct, iterated)
+
+    @given(values=int32_arrays, tuple_size=tuples)
+    def test_tuple_scan_equals_reorder_formulation(self, values, tuple_size):
+        strided = host_scan(values, tuple_size=tuple_size)
+        reordered = tuple_prefix_sum_serial(values, tuple_size=tuple_size)
+        assert np.array_equal(strided, reordered)
+
+    @given(a=small_int32_arrays, b=small_int32_arrays)
+    def test_scan_of_concatenation(self, a, b):
+        # scan(a ++ b) = scan(a) ++ (total(a) + scan(b)) — the chunking
+        # identity every blocked scan relies on.
+        joined = host_scan(np.concatenate([a, b]))
+        scan_a = host_scan(a)
+        with np.errstate(over="ignore"):
+            tail = (scan_a[-1] + host_scan(b)).astype(np.int32)
+        assert np.array_equal(joined, np.concatenate([scan_a, tail]))
+
+    @given(values=int32_arrays)
+    def test_exclusive_is_shifted_inclusive(self, values):
+        inc = host_scan(values)
+        exc = host_scan(values, inclusive=False)
+        if len(values):
+            assert exc[0] == 0
+            assert np.array_equal(exc[1:], inc[:-1])
+
+    @given(values=int32_arrays, op_name=st.sampled_from(sorted(BUILTIN_OPS)))
+    def test_scan_first_element_is_input(self, values, op_name):
+        if len(values) == 0:
+            return
+        out = scan(values, op=op_name)
+        assert out[0] == values[0]
+
+
+class TestDeltaInverses:
+    @given(values=int32_arrays, order=orders, tuple_size=tuples)
+    def test_decode_inverts_encode(self, values, order, tuple_size):
+        deltas = delta_encode(values, order=order, tuple_size=tuple_size)
+        assert np.array_equal(
+            delta_decode(deltas, order=order, tuple_size=tuple_size), values
+        )
+
+    @given(values=int32_arrays, order=orders, tuple_size=tuples)
+    def test_encode_inverts_decode(self, values, order, tuple_size):
+        summed = prefix_sum(values, order=order, tuple_size=tuple_size)
+        assert np.array_equal(
+            delta_encode(summed, order=order, tuple_size=tuple_size), values
+        )
+
+    @given(values=int32_arrays, order=st.integers(1, 5), tuple_size=tuples)
+    def test_closed_form_equals_iterated_differencing(self, values, order, tuple_size):
+        iterated = delta_encode_serial(values, order=order, tuple_size=tuple_size)
+        closed = delta_encode_closed_form(values, order=order, tuple_size=tuple_size)
+        assert np.array_equal(iterated, closed)
+
+
+class TestSimulatorProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        values=arrays(
+            dtype=np.int32,
+            shape=st.integers(1, 2000),
+            elements=st.integers(-(2**31), 2**31 - 1),
+        ),
+        order=st.integers(1, 3),
+        tuple_size=st.integers(1, 4),
+    )
+    def test_sam_matches_reference(self, values, order, tuple_size):
+        result = small_sam().run(values, order=order, tuple_size=tuple_size)
+        expected = prefix_sum_serial(values, order=order, tuple_size=tuple_size)
+        assert np.array_equal(result.values, expected)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        values=arrays(
+            dtype=np.int32,
+            shape=st.integers(64, 1500),
+            elements=st.integers(-(2**24), 2**24),
+        ),
+        policy=st.sampled_from(["round_robin", "reversed", "rotating", "random"]),
+        scheme=st.sampled_from(["decoupled", "chained"]),
+    )
+    def test_sam_schedule_and_scheme_independence(self, values, policy, scheme):
+        result = small_sam(policy=policy, carry_scheme=scheme, num_blocks=5).run(
+            values, order=2
+        )
+        assert np.array_equal(result.values, prefix_sum_serial(values, order=2))
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        values=arrays(
+            dtype=np.int64,
+            shape=st.integers(1, 1200),
+            elements=st.integers(-(2**40), 2**40),
+        )
+    )
+    def test_sam_traffic_bounded(self, values):
+        result = small_sam().run(values)
+        # 2n data words plus bounded auxiliary traffic.
+        assert result.stats.global_words_total >= 2 * len(values)
+        assert result.stats.global_words_total <= 2 * len(values) + 80 * result.num_chunks
+
+
+class TestCoderProperties:
+    @given(
+        values=arrays(
+            dtype=np.int64,
+            shape=st.integers(0, 300),
+            elements=st.integers(-(2**63), 2**63 - 1),
+        )
+    )
+    def test_zigzag_round_trip(self, values):
+        assert np.array_equal(zigzag_decode(zigzag_encode(values)), values)
+
+    @given(
+        values=arrays(
+            dtype=np.uint64,
+            shape=st.integers(0, 200),
+            elements=st.integers(0, 2**64 - 1),
+        )
+    )
+    def test_varint_round_trip(self, values):
+        data = varint_encode(values)
+        assert np.array_equal(varint_decode(data, len(values)), values)
+
+    @given(
+        values=arrays(
+            dtype=np.int64,
+            shape=st.integers(0, 150),
+            elements=st.integers(-(2**30), 2**30),
+        )
+    )
+    def test_zigzag_preserves_magnitude_order(self, values):
+        encoded = zigzag_encode(values)
+        magnitudes = np.abs(values.astype(np.float64))
+        order_a = np.argsort(magnitudes, kind="stable")
+        assert np.all(np.diff(encoded[order_a].astype(np.float64)) >= -1)

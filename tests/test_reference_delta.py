@@ -1,0 +1,108 @@
+"""Tests for difference sequences (delta encoding) of arbitrary order."""
+
+import numpy as np
+import pytest
+
+from repro.reference import (
+    binomial_coefficient,
+    delta_decode_serial,
+    delta_encode_closed_form,
+    delta_encode_serial,
+    higher_order_weights,
+)
+
+PAPER_INPUT = np.array([1, 2, 3, 4, 5, 2, 4, 6, 8, 10], dtype=np.int32)
+
+
+class TestBinomial:
+    def test_small_values(self):
+        assert binomial_coefficient(4, 2) == 6
+        assert binomial_coefficient(5, 0) == 1
+        assert binomial_coefficient(5, 5) == 1
+
+    def test_out_of_range_is_zero(self):
+        assert binomial_coefficient(3, 5) == 0
+        assert binomial_coefficient(3, -1) == 0
+
+    def test_pascal_rule(self):
+        for n in range(2, 12):
+            for k in range(1, n):
+                assert binomial_coefficient(n, k) == (
+                    binomial_coefficient(n - 1, k - 1) + binomial_coefficient(n - 1, k)
+                )
+
+    def test_large_exact(self):
+        assert binomial_coefficient(64, 32) == 1832624140942590534
+
+
+class TestWeights:
+    def test_order1(self):
+        assert higher_order_weights(1) == [1, -1]
+
+    def test_order2_matches_paper(self):
+        # Section 2.4: out_k = in_k - 2 in_{k-1} + in_{k-2}
+        assert higher_order_weights(2) == [1, -2, 1]
+
+    def test_order3(self):
+        assert higher_order_weights(3) == [1, -3, 3, -1]
+
+    def test_weights_sum_to_zero(self):
+        for q in range(1, 9):
+            assert sum(higher_order_weights(q)) == 0
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError, match="order"):
+            higher_order_weights(0)
+
+
+class TestEncoding:
+    def test_paper_first_order(self):
+        expected = np.array([1, 1, 1, 1, 1, -3, 2, 2, 2, 2], dtype=np.int32)
+        assert np.array_equal(delta_encode_serial(PAPER_INPUT), expected)
+
+    def test_paper_second_order(self):
+        expected = np.array([1, 0, 0, 0, 0, -4, 5, 0, 0, 0], dtype=np.int32)
+        assert np.array_equal(delta_encode_serial(PAPER_INPUT, order=2), expected)
+
+    def test_closed_form_second_order_matches_paper(self):
+        expected = np.array([1, 0, 0, 0, 0, -4, 5, 0, 0, 0], dtype=np.int32)
+        assert np.array_equal(delta_encode_closed_form(PAPER_INPUT, order=2), expected)
+
+    @pytest.mark.parametrize("order", [1, 2, 3, 4, 5])
+    @pytest.mark.parametrize("tuple_size", [1, 2, 3])
+    def test_closed_form_equals_iterated(self, rng, order, tuple_size):
+        values = rng.integers(-100, 100, 200).astype(np.int64)
+        iterated = delta_encode_serial(values, order=order, tuple_size=tuple_size)
+        closed = delta_encode_closed_form(values, order=order, tuple_size=tuple_size)
+        assert np.array_equal(iterated, closed)
+
+    def test_tuple_encoding_uses_lane_predecessor(self):
+        values = np.array([10, 100, 11, 102, 13, 105], dtype=np.int32)
+        out = delta_encode_serial(values, tuple_size=2)
+        assert np.array_equal(out, np.array([10, 100, 1, 2, 2, 3], dtype=np.int32))
+
+    def test_short_input(self):
+        values = np.array([5], dtype=np.int32)
+        assert np.array_equal(delta_encode_serial(values, order=3), values)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("order", [1, 2, 3, 4])
+    @pytest.mark.parametrize("tuple_size", [1, 2, 5])
+    @pytest.mark.parametrize("dtype", [np.int32, np.int64])
+    def test_decode_inverts_encode(self, rng, order, tuple_size, dtype):
+        values = rng.integers(
+            np.iinfo(dtype).min // 2, np.iinfo(dtype).max // 2, 300
+        ).astype(dtype)
+        deltas = delta_encode_serial(values, order=order, tuple_size=tuple_size)
+        decoded = delta_decode_serial(deltas, order=order, tuple_size=tuple_size)
+        assert np.array_equal(decoded, values)
+
+    def test_round_trip_at_extremes(self):
+        # Wraparound makes the inverse exact even at dtype extremes.
+        values = np.array(
+            [np.iinfo(np.int32).min, np.iinfo(np.int32).max, -1, 0, 1],
+            dtype=np.int32,
+        )
+        deltas = delta_encode_serial(values, order=2)
+        assert np.array_equal(delta_decode_serial(deltas, order=2), values)

@@ -1,0 +1,16 @@
+"""The artifact-validation script must stay green (it is the repo's
+one-command smoke check, mirroring the paper's AEC artifact)."""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "tools"))
+
+import validate_artifact  # noqa: E402
+
+
+def test_validate_artifact_passes(capsys):
+    assert validate_artifact.main() == 0
+    out = capsys.readouterr().out
+    assert "ALL CHECKS PASS" in out
+    assert "FAIL" not in out

@@ -1,0 +1,174 @@
+#!/usr/bin/env python
+"""Artifact validation: one command, every core claim.
+
+The original paper carries the PLDI AEC "Artifact Evaluated" badge;
+this script is the reproduction's equivalent of the artifact's
+smoke-check.  It runs, end to end and in a couple of minutes:
+
+1. correctness spot grid — every engine vs the serial oracle across a
+   sample of sizes/orders/tuples/operators;
+2. the measured traffic table (2n / 3n / 4n, order scaling, tuple
+   coalescing);
+3. all headline figure claims against the performance model;
+4. Table 1;
+5. a compression round trip decoded on the simulated GPU.
+
+Exit code 0 = everything holds.  Usage:
+
+    python tools/validate_artifact.py
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+import numpy as np
+
+
+def check(label: str, ok: bool, detail: str = "") -> bool:
+    status = "PASS" if ok else "FAIL"
+    print(f"[{status}] {label}" + (f" — {detail}" if detail else ""))
+    return ok
+
+
+def validate_correctness() -> bool:
+    from repro.baselines import (
+        DecoupledLookbackScan,
+        ReduceThenScan,
+        StreamScan,
+        ThreePhaseScan,
+    )
+    from repro.core import SamScan
+    from repro.reference import prefix_sum_serial
+
+    rng = np.random.default_rng(0)
+    kw = dict(threads_per_block=64, items_per_thread=2)
+    engines = {
+        "SAM": SamScan(num_blocks=6, **kw),
+        "SAM/chained": SamScan(carry_scheme="chained", num_blocks=6, **kw),
+        "SAM/warp-faithful": SamScan(fidelity="warp", num_blocks=4, **kw),
+        "CUB lookback": DecoupledLookbackScan(**kw),
+        "MGPU reduce-scan": ReduceThenScan(**kw),
+        "Thrust 3-phase": ThreePhaseScan(**kw),
+        "StreamScan": StreamScan(**kw),
+    }
+    configs = [
+        dict(n=4097, order=1, tuple_size=1, op="add"),
+        dict(n=3000, order=3, tuple_size=1, op="add"),
+        dict(n=2996, order=1, tuple_size=7, op="add"),
+        dict(n=2000, order=2, tuple_size=2, op="add"),
+        dict(n=1500, order=1, tuple_size=1, op="max"),
+        dict(n=1500, order=1, tuple_size=3, op="xor"),
+    ]
+    ok = True
+    for name, engine in engines.items():
+        for config in configs:
+            n = config["n"]
+            if config["tuple_size"] > 1:
+                n -= n % config["tuple_size"]
+            values = rng.integers(-(2**20), 2**20, n).astype(np.int64)
+            result = engine.run(
+                values,
+                order=config["order"],
+                tuple_size=config["tuple_size"],
+                op=config["op"],
+            )
+            expected = prefix_sum_serial(
+                values,
+                order=config["order"],
+                tuple_size=config["tuple_size"],
+                op=config["op"],
+            )
+            if not np.array_equal(result.values, expected):
+                ok = check(f"correctness: {name} {config}", False)
+    return check("correctness grid (7 engines x 6 configs, bit-exact)", ok)
+
+
+def validate_traffic() -> bool:
+    from repro.baselines import DecoupledLookbackScan, ReduceThenScan, ThreePhaseScan
+    from repro.core import SamScan
+
+    values = np.random.default_rng(1).integers(-100, 100, 16384).astype(np.int32)
+    kw = dict(threads_per_block=128, items_per_thread=2)
+    sam = SamScan(num_blocks=8, **kw).run(values).words_per_element()
+    cub = DecoupledLookbackScan(**kw).run(values).words_per_element()
+    mgpu = ReduceThenScan(**kw).run(values).words_per_element()
+    thrust = ThreePhaseScan(**kw).run(values).words_per_element()
+    sam8 = SamScan(num_blocks=8, **kw).run(values, order=8).words_per_element()
+    cub8 = DecoupledLookbackScan(**kw).run(values, order=8).words_per_element()
+    ok = True
+    ok &= check("SAM traffic ~2n", 2.0 <= sam < 2.4, f"{sam:.2f}")
+    ok &= check("CUB traffic ~2n", 2.0 <= cub < 2.4, f"{cub:.2f}")
+    ok &= check("MGPU traffic ~3n", 3.0 <= mgpu < 3.3, f"{mgpu:.2f}")
+    ok &= check("Thrust traffic ~4n", 4.0 <= thrust < 4.3, f"{thrust:.2f}")
+    ok &= check("SAM order-8 traffic stays ~2n", sam8 < 3.0, f"{sam8:.2f}")
+    ok &= check("CUB order-8 traffic ~16n", cub8 > 14.0, f"{cub8:.2f}")
+    return ok
+
+
+def validate_headlines() -> bool:
+    from repro.harness import run_headline_checks
+
+    results = run_headline_checks()
+    failed = [r for r in results if not r["passed"]]
+    for r in failed:
+        check(f"headline {r['check_id']}", False, r["measured"])
+    return check(
+        f"headline figure claims ({len(results)} checks)", not failed
+    )
+
+
+def validate_table1() -> bool:
+    from repro.harness import table1_rows
+
+    ok = all(
+        abs(row["af_x1000"] - row["paper_af_x1000"]) <= 0.02
+        for row in table1_rows()
+    )
+    return check("Table 1 architectural factors", ok)
+
+
+def validate_compression() -> bool:
+    from repro.compression import BlockedDeltaCodec, DeltaCodec
+    from repro.core import SamScan
+
+    rng = np.random.default_rng(2)
+    t = np.arange(30000)
+    signal = (1500 * np.sin(t / 250.0) + rng.normal(0, 2, len(t))).astype(np.int32)
+    engine = SamScan(threads_per_block=128, items_per_thread=4)
+    codec = DeltaCodec(decode_engine=engine)
+    blob = codec.compress(signal)
+    ok = np.array_equal(codec.decompress(blob), signal)
+    ok &= blob.ratio() > 2.0
+    blocked = BlockedDeltaCodec(block_elements=8192, decode_engine=engine)
+    blocked_blob = blocked.compress(signal)
+    ok &= np.array_equal(blocked.decompress(blocked_blob), signal)
+    return check(
+        "compression round trip (monolithic + blocked, SAM-decoded)",
+        bool(ok),
+        f"ratio {blob.ratio():.2f}x",
+    )
+
+
+def main() -> int:
+    start = time.time()
+    print("SAM reproduction — artifact validation\n" + "=" * 48)
+    results = [
+        validate_correctness(),
+        validate_traffic(),
+        validate_headlines(),
+        validate_table1(),
+        validate_compression(),
+    ]
+    elapsed = time.time() - start
+    print("=" * 48)
+    if all(results):
+        print(f"ALL CHECKS PASS ({elapsed:.1f}s)")
+        return 0
+    print(f"{results.count(False)} check groups FAILED ({elapsed:.1f}s)")
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
