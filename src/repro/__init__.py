@@ -16,6 +16,11 @@ The generalizations compose freely::
     repro.prefix_sum(a, order=3, tuple_size=2)
     repro.scan(a, op="max", inclusive=False)
 
+Engines are selectable by name — ``"parallel"`` runs the scan on real
+worker processes over shared memory::
+
+    repro.prefix_sum(d, engine="parallel")
+
 For the simulated-GPU engines (SAM, the baselines, traffic counters)::
 
     from repro.core import SamScan
@@ -25,18 +30,22 @@ For the simulated-GPU engines (SAM, the baselines, traffic counters)::
 """
 
 from repro.api import (
+    ENGINE_NAMES,
     delta_decode,
     delta_encode,
     prefix_sum,
+    resolve_engine,
     scan,
 )
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "ENGINE_NAMES",
     "delta_decode",
     "delta_encode",
     "prefix_sum",
+    "resolve_engine",
     "scan",
     "__version__",
 ]

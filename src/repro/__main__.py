@@ -2,6 +2,11 @@
 
 Commands
 --------
+``scan <in> <out>``
+    Run a generalized prefix scan over a raw binary file of integers
+    on a selectable engine (``--engine host|parallel|sam|...``,
+    ``--op``, ``--order``, ``--tuple-size``, ``--exclusive``,
+    ``--workers``).
 ``compress <in> <out>``
     Delta-compress a raw binary file of integers (``--dtype``,
     ``--order`` auto-selected when omitted, ``--tuple-size``).
@@ -23,6 +28,43 @@ import argparse
 import sys
 
 import numpy as np
+
+
+def _cmd_scan(args) -> int:
+    from repro.api import resolve_engine
+    from repro.core.host import host_prefix_sum
+    from repro.ops import get_op
+
+    values = np.fromfile(args.input, dtype=np.dtype(args.dtype))
+    op = get_op(args.op)
+    inclusive = not args.exclusive
+    if args.engine == "parallel" and args.workers:
+        from repro.parallel import ParallelSamScan
+
+        engine = ParallelSamScan(num_workers=args.workers)
+    else:
+        engine = resolve_engine(args.engine)
+    if engine is None:
+        out = host_prefix_sum(
+            values, order=args.order, tuple_size=args.tuple_size,
+            op=op, inclusive=inclusive,
+        )
+        used = "host"
+    else:
+        result = engine.run(
+            values, order=args.order, tuple_size=args.tuple_size,
+            op=op, inclusive=inclusive,
+        )
+        out = result.values
+        used = getattr(result, "engine_used", args.engine)
+    out.tofile(args.output)
+    kind = "inclusive" if inclusive else "exclusive"
+    print(
+        f"{args.input}: {kind} {args.op} scan of {len(values):,} x "
+        f"{args.dtype} (order {args.order}, tuple size {args.tuple_size}) "
+        f"on engine {used} -> {args.output}"
+    )
+    return 0
 
 
 def _cmd_compress(args) -> int:
@@ -124,6 +166,27 @@ def build_parser() -> argparse.ArgumentParser:
         description="Higher-order and tuple-based prefix sums (PLDI'16 reproduction)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("scan", help="prefix-scan a raw integer file")
+    p.add_argument("input")
+    p.add_argument("output")
+    p.add_argument("--dtype", default="int32",
+                   choices=["int32", "int64", "uint32", "uint64"])
+    p.add_argument("--op", default="add",
+                   choices=["add", "max", "min", "xor", "and", "or", "mul"])
+    p.add_argument("--order", type=int, default=1)
+    p.add_argument("--tuple-size", type=int, default=1)
+    p.add_argument("--exclusive", action="store_true",
+                   help="exclusive scan (default: inclusive)")
+    from repro.api import ENGINE_NAMES
+
+    p.add_argument("--engine", default="host", choices=list(ENGINE_NAMES),
+                   help="host (default), parallel (multicore shared "
+                        "memory), or a simulated-GPU engine")
+    p.add_argument("--workers", type=int, default=0,
+                   help="worker processes for --engine parallel "
+                        "(0 = cpu count)")
+    p.set_defaults(fn=_cmd_scan)
 
     p = sub.add_parser("compress", help="delta-compress a raw integer file")
     p.add_argument("input")

@@ -2,11 +2,14 @@
 
 Thin, validated wrappers over the fast host engine
 (:mod:`repro.core.host`).  Every scan-shaped function accepts an
-optional ``engine`` — any object with
+optional ``engine`` — either a name from :data:`ENGINE_NAMES`
+(``"parallel"`` runs the shared-memory multicore engine,
+``"sam"``/``"lookback"``/... run the simulated-GPU engines,
+``"host"`` forces the serial-equivalent fast path) or any object with
 ``run(values, order=..., tuple_size=..., op=..., inclusive=...)`` such
-as :class:`repro.core.SamScan` or a baseline — to route the computation
-through a simulated-GPU engine instead (bit-identical results, plus
-measured traffic on the returned arrays' engine result).
+as :class:`repro.core.SamScan`, :class:`repro.parallel.ParallelSamScan`
+or a baseline.  All engines are bit-identical; they differ in what
+else they give you (measured traffic, real parallel speedup, ...).
 """
 
 from __future__ import annotations
@@ -20,6 +23,64 @@ from repro.core.host import (
     host_scan,
 )
 from repro.ops import ADD, get_op
+
+#: Engine names accepted by :func:`resolve_engine` (and therefore by the
+#: ``engine=`` parameter of every scan-shaped API function).
+ENGINE_NAMES = (
+    "host",
+    "parallel",
+    "parallel_chained",
+    "sam",
+    "sam_chained",
+    "lookback",
+    "reduce_scan",
+    "three_phase",
+    "streamscan",
+)
+
+
+def resolve_engine(engine):
+    """Map an engine name to a constructed engine (lazily imported).
+
+    ``None`` and ``"host"`` resolve to ``None`` — the callers' fast
+    host path.  Already-constructed engine objects pass through
+    unchanged, so callers can keep handing in configured instances.
+    """
+    if engine is None or not isinstance(engine, str):
+        return engine
+    name = engine.lower()
+    if name == "host":
+        return None
+    if name in ("parallel", "parallel_chained"):
+        from repro.parallel import ParallelSamScan
+
+        scheme = "chained" if name == "parallel_chained" else "decoupled"
+        return ParallelSamScan(carry_scheme=scheme)
+    if name in ("sam", "sam_chained"):
+        from repro.core import SamScan
+
+        scheme = "chained" if name == "sam_chained" else "decoupled"
+        return SamScan(carry_scheme=scheme)
+    if name == "lookback":
+        from repro.baselines import DecoupledLookbackScan
+
+        return DecoupledLookbackScan()
+    if name == "reduce_scan":
+        from repro.baselines import ReduceThenScan
+
+        return ReduceThenScan()
+    if name == "three_phase":
+        from repro.baselines import ThreePhaseScan
+
+        return ThreePhaseScan()
+    if name == "streamscan":
+        from repro.baselines import StreamScan
+
+        return StreamScan()
+    raise ValueError(
+        f"unknown engine {engine!r}; expected one of {', '.join(ENGINE_NAMES)} "
+        f"or an engine object"
+    )
 
 
 def prefix_sum(
@@ -43,6 +104,7 @@ def prefix_sum(
     >>> prefix_sum(np.array([1, 10, 1, 10], dtype=np.int32), tuple_size=2).tolist()
     [1, 10, 2, 20]
     """
+    engine = resolve_engine(engine)
     if engine is not None:
         return engine.run(
             values, order=order, tuple_size=tuple_size, op=ADD, inclusive=inclusive
@@ -68,6 +130,7 @@ def scan(
     >>> scan(np.array([3, 1, 4, 1, 5], dtype=np.int32), op="max").tolist()
     [3, 3, 4, 4, 5]
     """
+    engine = resolve_engine(engine)
     if engine is not None:
         return engine.run(
             values, tuple_size=tuple_size, op=get_op(op), inclusive=inclusive
@@ -89,6 +152,7 @@ def delta_encode(values, order: int = 1, tuple_size: int = 1) -> np.ndarray:
 
 def delta_decode(deltas, order: int = 1, tuple_size: int = 1, engine=None) -> np.ndarray:
     """Decode a difference sequence — i.e. the generalized prefix sum."""
+    engine = resolve_engine(engine)
     if engine is not None:
         return engine.run(deltas, order=order, tuple_size=tuple_size).values
     return host_delta_decode(deltas, order=order, tuple_size=tuple_size)

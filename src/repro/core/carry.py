@@ -225,7 +225,10 @@ def decoupled_carry(
         identity = op.identity(local_sums.dtype)
         base = np.full(aux.tuple_size, identity, dtype=local_sums.dtype)
     else:
-        base = state["acc"][iteration]
+        # Copy: with k == 1 there are no predecessors, so ``base`` would
+        # be returned as the carry while still aliasing the accumulator
+        # row that is updated in place below.
+        base = state["acc"][iteration].copy()
     if len(preds):
         rows = aux.read_sums(preds, iteration)
         carry = _reduce_rows_in_order(base, rows, op)

@@ -1,0 +1,54 @@
+"""repro.parallel — SAM on real shared-memory multicore parallelism.
+
+The paper's persistent-block single-pass scan (Section 2), executed by
+persistent OS worker processes over ``multiprocessing.shared_memory``
+instead of the deterministic :mod:`repro.gpusim` scheduler: the same
+O(1) circular auxiliary buffers, the same generation-tagged ready
+flags, the same decoupled write-then-independent-reads carry scheme —
+but with the interleavings chosen by the kernel scheduler of the
+machine it runs on.
+
+Quickstart::
+
+    import numpy as np
+    from repro.parallel import ParallelSamScan
+
+    engine = ParallelSamScan(num_workers=4)
+    result = engine.run(np.arange(1 << 20, dtype=np.int64), order=2)
+    result.values          # bit-identical to repro.reference
+    result.engine_used     # "parallel" (or "host" after degradation)
+    result.counters        # chunks/worker, polls, per-phase wall-clock
+
+Or through the public API::
+
+    repro.prefix_sum(values, engine="parallel")
+"""
+
+from repro.parallel.counters import ParallelCounters, WorkerCounters
+from repro.parallel.engine import (
+    DEFAULT_MIN_PARALLEL_ELEMENTS,
+    DEFAULT_STALL_TIMEOUT,
+    ParallelResult,
+    ParallelSamScan,
+)
+from repro.parallel.errors import (
+    ParallelError,
+    SharedBufferOverrunError,
+    WorkerDeathError,
+    WorkerStallError,
+)
+from repro.parallel.pool import WorkerPool
+
+__all__ = [
+    "ParallelSamScan",
+    "ParallelResult",
+    "ParallelCounters",
+    "WorkerCounters",
+    "WorkerPool",
+    "ParallelError",
+    "WorkerStallError",
+    "WorkerDeathError",
+    "SharedBufferOverrunError",
+    "DEFAULT_MIN_PARALLEL_ELEMENTS",
+    "DEFAULT_STALL_TIMEOUT",
+]

@@ -1,0 +1,121 @@
+"""Counters for real parallel runs, analogous to ``gpusim.counters``.
+
+The simulator measures *words moved*; a real shared-memory run instead
+measures the quantities that determine wall-clock on a multicore CPU:
+how evenly chunks were claimed, how often carry polls failed (the
+latency the decoupled scheme hides), and where the time went per phase.
+:class:`ParallelCounters` is what the perf layer gets back from a
+:class:`repro.parallel.ParallelSamScan` launch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import List, Optional
+
+
+@dataclass
+class WorkerCounters:
+    """Per-worker event counts and phase timings for one scan.
+
+    Filled in by the worker process and shipped back to the master over
+    the result pipe when the worker finishes its chunk set.
+    """
+
+    worker_id: int = 0
+    chunks_claimed: int = 0
+    flag_polls: int = 0
+    failed_flag_polls: int = 0
+    poll_sleeps: int = 0
+    carry_additions: int = 0
+    seconds_local_scan: float = 0.0
+    seconds_carry: float = 0.0
+    seconds_store: float = 0.0
+
+    def as_dict(self) -> dict:
+        return {spec.name: getattr(self, spec.name) for spec in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WorkerCounters":
+        known = {spec.name for spec in fields(cls)}
+        return cls(**{key: value for key, value in data.items() if key in known})
+
+
+@dataclass
+class ParallelCounters:
+    """Aggregated view of one parallel launch.
+
+    ``seconds_setup`` covers shared-memory allocation and input copy-in,
+    ``seconds_dispatch`` the task sends, ``seconds_compute`` the
+    watchdog-supervised wait for every worker, and ``seconds_collect``
+    the output copy-out and segment teardown.  ``engine_used`` records
+    whether the parallel path actually ran or the call degraded to the
+    host engine (``fallback_reason`` says why).
+    """
+
+    num_workers: int = 0
+    num_chunks: int = 0
+    engine_used: str = "parallel"
+    fallback_reason: Optional[str] = None
+    seconds_setup: float = 0.0
+    seconds_dispatch: float = 0.0
+    seconds_compute: float = 0.0
+    seconds_collect: float = 0.0
+    workers: List[WorkerCounters] = field(default_factory=list)
+
+    # -- aggregates ------------------------------------------------------
+
+    @property
+    def chunks_claimed(self) -> int:
+        return sum(w.chunks_claimed for w in self.workers)
+
+    @property
+    def flag_polls(self) -> int:
+        return sum(w.flag_polls for w in self.workers)
+
+    @property
+    def failed_flag_polls(self) -> int:
+        return sum(w.failed_flag_polls for w in self.workers)
+
+    @property
+    def carry_additions(self) -> int:
+        return sum(w.carry_additions for w in self.workers)
+
+    @property
+    def seconds_total(self) -> float:
+        return (
+            self.seconds_setup
+            + self.seconds_dispatch
+            + self.seconds_compute
+            + self.seconds_collect
+        )
+
+    def chunks_per_worker(self) -> List[int]:
+        """Chunk counts by worker id — the load-balance picture."""
+        return [w.chunks_claimed for w in sorted(self.workers, key=lambda w: w.worker_id)]
+
+    def as_dict(self) -> dict:
+        return {
+            "num_workers": self.num_workers,
+            "num_chunks": self.num_chunks,
+            "engine_used": self.engine_used,
+            "fallback_reason": self.fallback_reason,
+            "seconds_setup": self.seconds_setup,
+            "seconds_dispatch": self.seconds_dispatch,
+            "seconds_compute": self.seconds_compute,
+            "seconds_collect": self.seconds_collect,
+            "chunks_claimed": self.chunks_claimed,
+            "flag_polls": self.flag_polls,
+            "failed_flag_polls": self.failed_flag_polls,
+            "carry_additions": self.carry_additions,
+            "workers": [w.as_dict() for w in self.workers],
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"ParallelCounters(engine={self.engine_used}, "
+            f"workers={self.num_workers}, chunks={self.num_chunks}, "
+            f"polls={self.flag_polls} ({self.failed_flag_polls} failed), "
+            f"carry_adds={self.carry_additions}, "
+            f"wall={self.seconds_total:.4f}s)"
+        )

@@ -1,0 +1,51 @@
+"""Exception types raised by the shared-memory parallel engine.
+
+The hierarchy mirrors :mod:`repro.gpusim.errors`: the simulator turns
+protocol violations into loud, typed failures instead of silent
+corruption, and the real-parallelism engine keeps that property.  Every
+error below derives from :class:`ParallelError`, which is what
+:class:`repro.parallel.ParallelSamScan` catches when deciding whether
+to degrade to the host engine.
+"""
+
+from __future__ import annotations
+
+
+class ParallelError(RuntimeError):
+    """Base class for all shared-memory engine failures."""
+
+
+class WorkerStallError(ParallelError):
+    """No worker made progress within the watchdog budget.
+
+    The real-hardware analogue of :class:`repro.gpusim.errors.DeadlockError`:
+    a correct single-pass scan never stalls because chunk 0 has no
+    predecessor, so a quiet period longer than the stall timeout means a
+    worker is wedged (or the machine is so oversubscribed the run cannot
+    finish).  The engine aborts the launch rather than hanging the caller.
+    """
+
+
+class WorkerDeathError(ParallelError):
+    """A worker process exited mid-scan (crash, OOM-kill, SIGKILL).
+
+    Detected through the process sentinel and the generation-tagged flag
+    state; the scan output may be partially written, so the engine never
+    returns it — it either falls back to the host engine or raises.
+    """
+
+
+class SharedBufferOverrunError(ParallelError):
+    """A circular auxiliary slot was overwritten before being consumed.
+
+    The shared-memory twin of the simulator's overrun ``SimulationError``:
+    flag values encode the buffer generation, so a reader that observes a
+    *later* generation knows the local sums it needed are gone.  With the
+    paper's ``3k+1`` capacity this cannot happen for in-order workers; the
+    check is defense in depth against protocol bugs.
+    """
+
+
+class ParallelAbort(ParallelError):
+    """Internal: raised inside a worker when the master sets the abort
+    flag in the shared control region.  Never escapes the engine."""

@@ -1,0 +1,182 @@
+"""Shared-memory segment layout for one parallel scan launch.
+
+One :class:`multiprocessing.shared_memory.SharedMemory` segment holds
+everything a launch needs, so workers attach exactly one object:
+
+* a small int64 *control* region — abort flag, error code, and one
+  progress word per worker (the watchdog's heartbeat);
+* the int64 *flags* array — generation-tagged ready counts, one slot
+  per circular-buffer entry, exactly as in :class:`repro.core.carry.AuxBuffers`;
+* the per-order *sums* buffers — ``order x capacity x tuple_size``
+  values of the scan dtype (the paper's "s sum arrays, one per order");
+* the *input* and *output* arrays, shared zero-copy.
+
+Regions are 128-byte aligned so the polled flag words never share a
+cache line with the bulk data (the CPU analogue of keeping the paper's
+auxiliary buffers resident in L2, Section 5.1).  The auxiliary state is
+O(workers), never O(n): ``capacity = next_pow2(3k + 1)`` slots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import List
+
+import numpy as np
+
+#: Control-region word indices.
+CTRL_ABORT = 0
+CTRL_ERROR = 1
+CTRL_PROGRESS = 2  # one word per worker starts here
+
+_ALIGN = 128
+
+
+def _align(offset: int) -> int:
+    return (offset + _ALIGN - 1) & ~(_ALIGN - 1)
+
+
+@dataclass(frozen=True)
+class ScanLayout:
+    """Byte offsets of every region inside the shared segment.
+
+    Plain data so it pickles cheaply into the task descriptor each
+    worker receives; ``dtype`` travels as its string name.
+    """
+
+    n: int
+    dtype: str
+    order: int
+    tuple_size: int
+    num_workers: int
+    capacity: int
+    chunk_elements: int
+    num_chunks: int
+
+    @property
+    def np_dtype(self) -> np.dtype:
+        return np.dtype(self.dtype)
+
+    @property
+    def control_words(self) -> int:
+        return CTRL_PROGRESS + self.num_workers
+
+    @property
+    def control_offset(self) -> int:
+        return 0
+
+    @property
+    def flags_offset(self) -> int:
+        return _align(self.control_offset + self.control_words * 8)
+
+    @property
+    def sums_offset(self) -> int:
+        return _align(self.flags_offset + self.capacity * 8)
+
+    @property
+    def sums_words_per_order(self) -> int:
+        return self.capacity * self.tuple_size
+
+    @property
+    def input_offset(self) -> int:
+        sums_bytes = self.order * self.sums_words_per_order * self.np_dtype.itemsize
+        return _align(self.sums_offset + sums_bytes)
+
+    @property
+    def output_offset(self) -> int:
+        return _align(self.input_offset + self.n * self.np_dtype.itemsize)
+
+    @property
+    def total_bytes(self) -> int:
+        # SharedMemory rejects size 0; n == 0 never reaches the
+        # parallel path but keep the floor anyway.
+        return max(self.output_offset + self.n * self.np_dtype.itemsize, 8)
+
+
+class SegmentViews:
+    """Numpy views over an attached segment, per :class:`ScanLayout`.
+
+    Keeps a reference to the :class:`SharedMemory` object and exposes
+    :meth:`close` that drops every view *before* closing the mapping —
+    numpy arrays pin the exported memoryview, and closing out of order
+    raises ``BufferError``.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, layout: ScanLayout):
+        self.shm = shm
+        self.layout = layout
+        buf = shm.buf
+        dtype = layout.np_dtype
+        self.control = np.frombuffer(
+            buf, dtype=np.int64, count=layout.control_words,
+            offset=layout.control_offset,
+        )
+        self.flags = np.frombuffer(
+            buf, dtype=np.int64, count=layout.capacity, offset=layout.flags_offset
+        )
+        words = layout.sums_words_per_order
+        self.sums: List[np.ndarray] = [
+            np.frombuffer(
+                buf, dtype=dtype, count=words,
+                offset=layout.sums_offset + it * words * dtype.itemsize,
+            )
+            for it in range(layout.order)
+        ]
+        self.input = np.frombuffer(
+            buf, dtype=dtype, count=layout.n, offset=layout.input_offset
+        )
+        self.output = np.frombuffer(
+            buf, dtype=dtype, count=layout.n, offset=layout.output_offset
+        )
+
+    def close(self) -> None:
+        """Release every view, then the mapping itself.
+
+        If some view still has a live external reference (e.g. a frame
+        kept alive by an in-flight traceback), a collection pass usually
+        clears it; as a last resort the close is deferred to the
+        mapping's finalizer rather than crashing the worker.
+        """
+        self.control = self.flags = self.sums = self.input = self.output = None
+        try:
+            self.shm.close()
+        except BufferError:
+            import gc
+
+            gc.collect()
+            try:
+                self.shm.close()
+            except BufferError:  # pragma: no cover - finalizer will close
+                pass
+
+
+def create_segment(layout: ScanLayout) -> shared_memory.SharedMemory:
+    """Allocate a fresh (zero-filled) segment for one launch.
+
+    A new mapping means the flag and control words start at zero — no
+    explicit reset pass is needed before dispatch.
+    """
+    return shared_memory.SharedMemory(create=True, size=layout.total_bytes)
+
+
+def attach_segment(name: str, private_tracker: bool = False) -> shared_memory.SharedMemory:
+    """Attach to the master's segment from a worker process.
+
+    On Python < 3.13 merely attaching registers the segment with the
+    ``resource_tracker``.  Fork workers share the master's tracker, so
+    the duplicate registration is an idempotent set-add and must be left
+    alone (unregistering would drop the *master's* entry).  Spawn
+    workers get a private tracker that would try to unlink the master's
+    segments at worker exit; there the worker-side registration must be
+    removed (``private_tracker=True``).
+    """
+    shm = shared_memory.SharedMemory(name=name)
+    if private_tracker:  # pragma: no cover - spawn-start platforms only
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:
+            pass
+    return shm

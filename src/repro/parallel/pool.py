@@ -1,0 +1,150 @@
+"""A warm pool of persistent worker processes.
+
+Spawning a process per scan would dwarf the scan itself for all but
+huge inputs, so the engine keeps workers alive across calls — the
+process-level analogue of the paper's persistent blocks, which are
+launched once and then claim work forever.  The pool
+
+* spawns lazily and grows on demand (``ensure(k)``),
+* detects and transparently respawns workers that died (the engine's
+  graceful-degradation path relies on this: after a crash-induced host
+  fallback, the *next* call gets a healthy pool again),
+* is shared process-wide by default (:func:`WorkerPool.shared`), so
+  every engine instance, test, and fuzz iteration reuses the same warm
+  workers,
+* shuts everything down at interpreter exit; workers are daemons, so
+  even a hard-killed master leaves no orphans.
+
+The fork start method is preferred (milliseconds, inherits the loaded
+numpy); platforms without it fall back to spawn.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import threading
+from typing import List, Optional
+
+from repro.parallel.worker import worker_main
+
+
+def _pick_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+class WorkerHandle:
+    """One pooled worker: its process and the master end of its pipe."""
+
+    def __init__(self, ctx, worker_id: int):
+        self.worker_id = worker_id
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        self.conn = parent_conn
+        self.process = ctx.Process(
+            target=worker_main,
+            args=(worker_id, child_conn, ctx.get_start_method() != "fork"),
+            name=f"repro-parallel-{worker_id}",
+            daemon=True,
+        )
+        self.process.start()
+        child_conn.close()
+
+    @property
+    def sentinel(self):
+        return self.process.sentinel
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def stop(self, timeout: float = 1.0) -> None:
+        """Ask the worker to exit; escalate to terminate if it will not."""
+        if self.process.is_alive():
+            try:
+                self.conn.send({"cmd": "shutdown"})
+            except (BrokenPipeError, OSError):
+                pass
+            self.process.join(timeout)
+            if self.process.is_alive():
+                self.process.terminate()
+                self.process.join(timeout)
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+
+    def discard(self) -> None:
+        """Drop a dead worker's resources without waiting."""
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+        if self.process.is_alive():  # pragma: no cover - defensive
+            self.process.terminate()
+        self.process.join(0.5)
+
+
+class WorkerPool:
+    """Grow-on-demand pool of :class:`WorkerHandle`.
+
+    Thread-safe; handle ``worker_id`` equals its index, which the engine
+    uses directly as the worker's slot in the chunk-claiming stride.
+    """
+
+    _shared: Optional["WorkerPool"] = None
+    _shared_lock = threading.Lock()
+
+    def __init__(self):
+        self._ctx = _pick_context()
+        if self._ctx.get_start_method() == "fork":
+            # Start the resource tracker *before* forking workers so they
+            # inherit the live pipe and share the master's tracker.  A
+            # worker forked with no tracker running would spawn a private
+            # one on first attach, which at worker exit re-unlinks every
+            # segment the master already cleaned up (ENOENT warnings).
+            from multiprocessing import resource_tracker
+
+            resource_tracker.ensure_running()
+        self._lock = threading.Lock()
+        self._handles: List[WorkerHandle] = []
+        self._closed = False
+
+    @classmethod
+    def shared(cls) -> "WorkerPool":
+        """The process-wide default pool (created on first use)."""
+        with cls._shared_lock:
+            if cls._shared is None or cls._shared._closed:
+                cls._shared = cls()
+                atexit.register(cls._shared.shutdown)
+            return cls._shared
+
+    def ensure(self, count: int) -> List[WorkerHandle]:
+        """Return ``count`` live handles, spawning/respawning as needed."""
+        if self._closed:
+            raise RuntimeError("worker pool is shut down")
+        with self._lock:
+            for worker_id in range(count):
+                if worker_id < len(self._handles):
+                    handle = self._handles[worker_id]
+                    if not handle.alive():
+                        handle.discard()
+                        self._handles[worker_id] = WorkerHandle(self._ctx, worker_id)
+                else:
+                    self._handles.append(WorkerHandle(self._ctx, worker_id))
+            return self._handles[:count]
+
+    @property
+    def size(self) -> int:
+        return len(self._handles)
+
+    def alive_count(self) -> int:
+        return sum(1 for handle in self._handles if handle.alive())
+
+    def shutdown(self) -> None:
+        """Stop every worker (idempotent; registered atexit for the
+        shared pool)."""
+        with self._lock:
+            self._closed = True
+            for handle in self._handles:
+                handle.stop()
+            self._handles.clear()

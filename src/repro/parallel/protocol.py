@@ -1,0 +1,248 @@
+"""SAM's carry protocol over real shared memory.
+
+The same write-followed-by-independent-reads scheme as
+:mod:`repro.core.carry`, re-hosted from the simulator's
+:class:`~repro.gpusim.memory.GlobalMemory` onto numpy views of a
+:class:`multiprocessing.shared_memory.SharedMemory` segment.  The slot /
+generation / flag-target arithmetic is *imported* from ``core.carry``
+rather than re-derived, so the two implementations cannot drift.
+
+Memory-ordering note: the simulator models an explicit fence between
+the sum store and the flag store.  Here the writer is a CPython worker
+doing two aligned stores through a shared mapping; CPython emits them
+in program order and x86-TSO (and ARM with the interpreter's internal
+barriers around refcounting) keeps same-address-free stores visible in
+order, while the generation-tagged flags turn any violation into a loud
+:class:`SharedBufferOverrunError` instead of silent corruption — the
+same defense the simulator uses against hostile schedules.
+
+Polling runs a short spin-then-sleep backoff: a few scheduler yields
+first (the common case resolves within microseconds on idle cores),
+then exponentially longer sleeps capped at 2 ms so oversubscribed
+machines — more workers than cores — still make forward progress
+instead of burning the quantum of the worker they are waiting on.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.carry import next_power_of_two, predecessors  # noqa: F401 (re-export)
+from repro.ops import AssociativeOp
+from repro.parallel.counters import WorkerCounters
+from repro.parallel.errors import (
+    ParallelAbort,
+    SharedBufferOverrunError,
+    WorkerStallError,
+)
+from repro.parallel.layout import CTRL_ABORT
+
+#: Poll backoff schedule: pure yields, then exponential sleeps.
+_SPIN_YIELDS = 4
+_SLEEP_FLOOR = 50e-6
+_SLEEP_CEIL = 2e-3
+
+
+def aux_capacity(num_workers: int, buffer_factor: int = 3) -> int:
+    """Circular-buffer slots for ``k`` workers (paper: next_pow2(3k+1))."""
+    return next_power_of_two(buffer_factor * num_workers + 1)
+
+
+class SharedAuxBuffers:
+    """The O(1) auxiliary state, as raw views into the shared segment.
+
+    Mirrors :class:`repro.core.carry.AuxBuffers` field for field:
+    ``flags`` is one int64 per circular slot holding the count-valued,
+    generation-tagged ready flag; ``sums`` is one dtype array per order
+    holding ``tuple_size`` lane sums per slot.
+    """
+
+    def __init__(
+        self,
+        flags: np.ndarray,
+        sums: Sequence[np.ndarray],
+        control: np.ndarray,
+        k: int,
+        order: int,
+        tuple_size: int,
+        counters: WorkerCounters,
+        stall_timeout: float,
+    ):
+        self.flags = flags
+        self.sums = sums
+        self.control = control
+        self.k = k
+        self.order = order
+        self.tuple_size = tuple_size
+        self.capacity = len(flags)
+        self.counters = counters
+        self.stall_timeout = stall_timeout
+
+    # -- slot arithmetic (identical to core.carry.AuxBuffers) -----------
+
+    def slot(self, chunk_index: int) -> int:
+        return chunk_index % self.capacity
+
+    def generation(self, chunk_index: int) -> int:
+        return chunk_index // self.capacity
+
+    def flag_target(self, chunk_index: int, iteration: int) -> int:
+        return self.generation(chunk_index) * self.order + iteration + 1
+
+    # -- protocol primitives --------------------------------------------
+
+    def publish(self, chunk_index: int, iteration: int, local_sums: np.ndarray) -> None:
+        """Store the chunk's per-lane sums, then raise its ready flag."""
+        base = self.slot(chunk_index) * self.tuple_size
+        self.sums[iteration][base : base + self.tuple_size] = local_sums
+        # The flag store must come last; see the module docstring.
+        self.flags[self.slot(chunk_index)] = self.flag_target(chunk_index, iteration)
+
+    def poll(self, chunk_indices: np.ndarray, iteration: int) -> np.ndarray:
+        """One polling round; returns the readiness vector.
+
+        Raises :class:`SharedBufferOverrunError` when a flag shows a
+        later buffer generation (the slot was reused before this reader
+        consumed it).
+        """
+        slots = chunk_indices % self.capacity
+        values = self.flags[slots]
+        generations = chunk_indices // self.capacity
+        targets = generations * self.order + iteration + 1
+        limits = (generations + 1) * self.order
+        if np.any(values > limits):
+            overrun = chunk_indices[values > limits]
+            raise SharedBufferOverrunError(
+                f"auxiliary circular buffer overrun: sums for chunks "
+                f"{overrun.tolist()} were overwritten before being consumed "
+                f"(capacity {self.capacity}, k {self.k})"
+            )
+        ready = values >= targets
+        self.counters.flag_polls += len(chunk_indices)
+        self.counters.failed_flag_polls += int(np.count_nonzero(~ready))
+        return ready
+
+    def read_sums(self, chunk_indices: np.ndarray, iteration: int) -> np.ndarray:
+        """Gather per-lane sums of already-ready chunks, ascending order."""
+        slots = chunk_indices % self.capacity
+        indices = (
+            slots[:, None] * self.tuple_size + np.arange(self.tuple_size)
+        ).ravel()
+        return self.sums[iteration][indices].reshape(
+            len(chunk_indices), self.tuple_size
+        )
+
+    def wait_for(self, chunks: Sequence[int], iteration: int) -> None:
+        """Block until every chunk has published ``iteration``.
+
+        Only not-yet-ready flags are re-polled.  Checks the master's
+        abort flag between rounds (raising :class:`ParallelAbort`) and
+        enforces a per-wait stall deadline so a dead predecessor can
+        never wedge this worker forever.
+        """
+        pending = np.asarray(list(chunks), dtype=np.int64)
+        if pending.size == 0:
+            return
+        spins = 0
+        deadline = time.monotonic() + self.stall_timeout
+        while True:
+            ready = self.poll(pending, iteration)
+            pending = pending[~ready]
+            if pending.size == 0:
+                return
+            if self.control[CTRL_ABORT]:
+                raise ParallelAbort("master aborted the launch")
+            if time.monotonic() > deadline:
+                raise WorkerStallError(
+                    f"predecessor chunks {pending.tolist()} never published "
+                    f"iteration {iteration} within {self.stall_timeout:.1f}s"
+                )
+            self.counters.poll_sleeps += 1
+            if spins < _SPIN_YIELDS:
+                time.sleep(0)
+            else:
+                time.sleep(
+                    min(_SLEEP_FLOOR * (1 << min(spins - _SPIN_YIELDS, 5)), _SLEEP_CEIL)
+                )
+            spins += 1
+
+
+def _reduce_rows_in_order(
+    base: np.ndarray, rows: np.ndarray, op: AssociativeOp
+) -> np.ndarray:
+    """Fold predecessor sums onto ``base`` in ascending chunk order —
+    the exact fold of ``core.carry``, preserving non-commutative ops."""
+    carry = base
+    for row in rows:
+        carry = op.apply(carry, row)
+    return carry
+
+
+def decoupled_carry(
+    aux: SharedAuxBuffers,
+    op: AssociativeOp,
+    chunk_index: int,
+    iteration: int,
+    local_sums: np.ndarray,
+    acc: np.ndarray,
+) -> np.ndarray:
+    """SAM's scheme: publish immediately, then read predecessors.
+
+    ``acc`` is the worker's ``(order, tuple_size)`` running-total state
+    (the register accumulator of Section 2.2's incremental update).
+    Returns the per-lane carry for this chunk and iteration.
+    """
+    aux.publish(chunk_index, iteration, local_sums)
+    preds = predecessors(chunk_index, aux.k)
+    aux.wait_for(preds, iteration)
+    if chunk_index < aux.k:
+        identity = op.identity(local_sums.dtype)
+        base = np.full(aux.tuple_size, identity, dtype=local_sums.dtype)
+    else:
+        # Copy: with k == 1 there are no predecessors, so ``base`` would
+        # be returned as the carry while still aliasing the accumulator
+        # row that is updated in place below.
+        base = acc[iteration].copy()
+    if len(preds):
+        rows = aux.read_sums(np.asarray(preds, dtype=np.int64), iteration)
+        carry = _reduce_rows_in_order(base, rows, op)
+        aux.counters.carry_additions += rows.size
+    else:
+        carry = base
+    acc[iteration] = op.apply(carry, local_sums)
+    aux.counters.carry_additions += local_sums.size
+    return carry
+
+
+def chained_carry(
+    aux: SharedAuxBuffers,
+    op: AssociativeOp,
+    chunk_index: int,
+    iteration: int,
+    local_sums: np.ndarray,
+    acc: np.ndarray,
+) -> np.ndarray:
+    """The §5.4 ablation: wait for the predecessor's inclusive total,
+    add, publish — the serial chain SAM's decoupling removes."""
+    if chunk_index == 0:
+        identity = op.identity(local_sums.dtype)
+        prev_total = np.full(aux.tuple_size, identity, dtype=local_sums.dtype)
+    else:
+        aux.wait_for([chunk_index - 1], iteration)
+        prev_total = aux.read_sums(
+            np.asarray([chunk_index - 1], dtype=np.int64), iteration
+        )[0]
+    total = op.apply(prev_total, local_sums)
+    aux.counters.carry_additions += local_sums.size
+    aux.publish(chunk_index, iteration, total)
+    return prev_total
+
+
+#: Carry schemes addressable by name (mirrors core.carry.CARRY_SCHEMES).
+CARRY_SCHEMES = {
+    "decoupled": decoupled_carry,
+    "chained": chained_carry,
+}

@@ -1,0 +1,203 @@
+"""The persistent worker process: SAM's kernel body on a real core.
+
+Each worker is the OS-process analogue of one *persistent thread
+block*: it is spawned once per pool, sits in a receive loop, and for
+every launch processes chunks ``w, w+k, w+2k, ...`` of the shared input
+— the same every-k-th claiming as :class:`repro.core.sam.SamScan`'s
+persistent blocks.  Per chunk, per order-iteration it
+
+1. computes the lane-local strided scan (exactly
+   :func:`repro.core.localscan.strided_inclusive_scan` — the identical
+   code path the simulator and the bit-identity proofs use),
+2. publishes its per-lane local sums and resolves the inter-chunk carry
+   through :mod:`repro.parallel.protocol` (decoupled or chained),
+3. corrects the chunk and writes it to the shared output array once.
+
+Workers communicate results (counters, errors) over their pipe and
+heartbeat progress through the control region so the master's watchdog
+can distinguish "slow" from "wedged".
+
+Implementation note: the chunk loop lives in its own function
+(:func:`_scan_chunks`) so that when the task finishes — normally or by
+exception — every numpy view of the shared segment held in its frame is
+released before :meth:`SegmentViews.close` unmaps the segment.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import numpy as np
+
+from repro.core.localscan import (
+    apply_lane_carries,
+    strided_exclusive_from_inclusive,
+    strided_inclusive_scan,
+)
+from repro.ops import get_op
+from repro.parallel.counters import WorkerCounters
+from repro.parallel.errors import ParallelAbort, WorkerStallError
+from repro.parallel.layout import (
+    CTRL_ABORT,
+    CTRL_ERROR,
+    CTRL_PROGRESS,
+    ScanLayout,
+    SegmentViews,
+    attach_segment,
+)
+from repro.parallel.protocol import CARRY_SCHEMES, SharedAuxBuffers
+
+
+def _maybe_inject(inject, worker_id: int, chunk_ordinal: int, control) -> None:
+    """Failure-injection hooks for the robustness tests.
+
+    ``{"kind": "die", ...}`` hard-exits the process (simulating an
+    OOM-kill or crash); ``{"kind": "stall", ...}`` spins without
+    publishing until the master aborts the launch — the scenario the
+    watchdog exists for.
+    """
+    if not inject:
+        return
+    if inject.get("worker") != worker_id or inject.get("chunk") != chunk_ordinal:
+        return
+    if inject["kind"] == "die":
+        os._exit(17)
+    if inject["kind"] == "stall":
+        while not control[CTRL_ABORT]:
+            time.sleep(0.002)
+        raise ParallelAbort("stall injection released by abort")
+
+
+def _scan_chunks(worker_id: int, task: dict, layout: ScanLayout, views) -> WorkerCounters:
+    """Process this worker's chunk set; all segment views are frame-local."""
+    op = get_op(task["op"])
+    dtype = layout.np_dtype
+    order = layout.order
+    tuple_size = layout.tuple_size
+    k = task["num_active"]
+    inclusive = task["inclusive"]
+    inject = task.get("inject")
+    carry_fn = CARRY_SCHEMES[task["carry_scheme"]]
+
+    counters = WorkerCounters(worker_id=worker_id)
+    aux = SharedAuxBuffers(
+        views.flags,
+        views.sums,
+        views.control,
+        k,
+        order,
+        tuple_size,
+        counters,
+        stall_timeout=task["stall_timeout"],
+    )
+    identity = op.identity(dtype)
+    acc = np.full((order, tuple_size), identity, dtype=dtype)
+    n = layout.n
+    chunk_elements = layout.chunk_elements
+    progress_word = CTRL_PROGRESS + worker_id
+
+    for ordinal, chunk in enumerate(range(worker_id, layout.num_chunks, k)):
+        if views.control[CTRL_ABORT]:
+            raise ParallelAbort("master aborted the launch")
+        _maybe_inject(inject, worker_id, ordinal, views.control)
+        start = chunk * chunk_elements
+        count = min(chunk_elements, n - start)
+        data = views.input[start : start + count]
+        for iteration in range(order):
+            t0 = time.perf_counter()
+            scanned, local_sums = strided_inclusive_scan(data, start, tuple_size, op)
+            t1 = time.perf_counter()
+            carry = carry_fn(aux, op, chunk, iteration, local_sums, acc)
+            t2 = time.perf_counter()
+            last = iteration == order - 1
+            if last and not inclusive:
+                data = strided_exclusive_from_inclusive(
+                    scanned, start, tuple_size, op, carry
+                )
+            else:
+                data = apply_lane_carries(scanned, start, tuple_size, op, carry)
+            counters.seconds_local_scan += t1 - t0
+            counters.seconds_carry += t2 - t1
+        t3 = time.perf_counter()
+        views.output[start : start + count] = data
+        counters.seconds_store += time.perf_counter() - t3
+        counters.chunks_claimed += 1
+        views.control[progress_word] += 1
+    return counters
+
+
+#: Whether this worker's resource tracker is private (spawn start
+#: method); set once by :func:`worker_main` from the pool's context.
+_PRIVATE_TRACKER = False
+
+
+def run_scan_task(worker_id: int, task: dict) -> tuple:
+    """Execute one launch; returns the tagged message for the master.
+
+    Exceptions are converted to messages *inside* this function (which
+    implicitly clears their tracebacks) so no dangling frame pins the
+    segment views when :meth:`SegmentViews.close` runs.
+    """
+    layout = ScanLayout(**task["layout"])
+    shm = attach_segment(task["shm_name"], private_tracker=_PRIVATE_TRACKER)
+    views = SegmentViews(shm, layout)
+    try:
+        try:
+            counters = _scan_chunks(worker_id, task, layout, views)
+            return ("done", counters.as_dict())
+        except ParallelAbort:
+            return ("aborted", worker_id)
+        except WorkerStallError as exc:
+            views.control[CTRL_ERROR] = 1
+            return ("stalled", str(exc))
+        except Exception as exc:  # noqa: BLE001 - everything must be reported
+            views.control[CTRL_ERROR] = 1
+            return ("error", f"{type(exc).__name__}: {exc}")
+    finally:
+        views.close()
+
+
+def worker_main(worker_id: int, conn, private_tracker: bool = False) -> None:
+    """Entry point of a pooled worker process.
+
+    Loops on the task pipe until told to shut down (or the master
+    disappears).  Every outcome — success, stall, abort, arbitrary
+    exception — is reported as a tagged message so the master never has
+    to guess; an unreportable state (broken pipe) just exits.
+    """
+    global _PRIVATE_TRACKER
+    _PRIVATE_TRACKER = private_tracker
+    # The master owns Ctrl-C; workers must not die to a stray SIGINT
+    # racing the abort protocol.
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - non-main-thread spawn
+        pass
+    while True:
+        try:
+            task = conn.recv()
+        except (EOFError, OSError):
+            return
+        cmd = task.get("cmd")
+        if cmd == "shutdown":
+            return
+        if cmd == "ping":
+            _safe_send(conn, ("pong", worker_id))
+            continue
+        if cmd != "scan":
+            _safe_send(conn, ("error", f"unknown command {cmd!r}"))
+            continue
+        try:
+            message = run_scan_task(worker_id, task)
+        except Exception as exc:  # noqa: BLE001 - e.g. segment already gone
+            message = ("error", f"{type(exc).__name__}: {exc}")
+        _safe_send(conn, message)
+
+
+def _safe_send(conn, message) -> None:
+    try:
+        conn.send(message)
+    except (BrokenPipeError, OSError):  # pragma: no cover - master died
+        pass

@@ -16,6 +16,52 @@ class TestParser:
             build_parser().parse_args(["frobnicate"])
 
 
+class TestScanCommand:
+    def test_host_scan_matches_numpy(self, tmp_path, rng):
+        values = rng.integers(-1000, 1000, 5000).astype(np.int32)
+        raw = tmp_path / "in.bin"
+        out = tmp_path / "out.bin"
+        values.tofile(raw)
+        assert main(["scan", str(raw), str(out)]) == 0
+        got = np.fromfile(out, dtype=np.int32)
+        assert np.array_equal(got, np.cumsum(values, dtype=np.int32))
+
+    def test_engines_agree(self, tmp_path, rng):
+        values = rng.integers(-100, 100, 3000).astype(np.int64)
+        raw = tmp_path / "in.bin"
+        values.tofile(raw)
+        outputs = {}
+        for name in ("host", "parallel", "sam"):
+            out = tmp_path / f"out_{name}.bin"
+            assert main([
+                "scan", str(raw), str(out), "--dtype", "int64",
+                "--order", "2", "--tuple-size", "2", "--engine", name,
+            ]) == 0
+            outputs[name] = np.fromfile(out, dtype=np.int64)
+        assert np.array_equal(outputs["host"], outputs["parallel"])
+        assert np.array_equal(outputs["host"], outputs["sam"])
+
+    def test_exclusive_and_op(self, tmp_path, rng):
+        values = rng.integers(0, 100, 2000).astype(np.int32)
+        raw = tmp_path / "in.bin"
+        out = tmp_path / "out.bin"
+        values.tofile(raw)
+        assert main([
+            "scan", str(raw), str(out), "--op", "max", "--exclusive",
+        ]) == 0
+        import repro
+
+        got = np.fromfile(out, dtype=np.int32)
+        expected = repro.scan(values, op="max", inclusive=False)
+        assert np.array_equal(got, expected)
+
+    def test_unknown_engine_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["scan", "a", "b", "--engine", "warp_drive"]
+            )
+
+
 class TestCompressionCommands:
     def test_round_trip(self, tmp_path, rng):
         values = rng.integers(-10000, 10000, 5000).astype(np.int32)

@@ -27,7 +27,7 @@ class TestFuzzTool:
         config = random_config(rng)
         assert config["engine"] in (
             "sam", "sam_chained", "lookback", "reduce_scan",
-            "three_phase", "streamscan",
+            "three_phase", "streamscan", "parallel", "parallel_chained",
         )
         assert 1 <= config["order"] <= 4
         assert 1 <= config["tuple_size"] <= 8
@@ -41,7 +41,7 @@ class TestFuzzTool:
                 continue
             seen.add(config["engine"])
             build_engine(config)
-        assert len(seen) == 6
+        assert len(seen) == 8
 
     def test_run_one_agrees(self):
         rng = np.random.default_rng(2)

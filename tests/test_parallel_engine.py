@@ -1,0 +1,227 @@
+"""Correctness tests for ``repro.parallel`` — the real shared-memory
+multicore SAM engine.
+
+The engine must be bit-identical to the serial reference for every
+operator, integer dtype, order, and tuple size; independent of worker
+count, chunk geometry, and timing; and must degrade to the host path
+(never partial results) on inputs too small to parallelize.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.ops import AssociativeOp, get_op
+from repro.parallel import (
+    DEFAULT_MIN_PARALLEL_ELEMENTS,
+    ParallelSamScan,
+)
+from repro.reference import prefix_sum_serial
+
+from conftest import BOUNDARY_SIZES, make_int_array
+
+
+def strict_engine(**overrides) -> ParallelSamScan:
+    """An engine that must actually run in parallel (no degradation):
+    small chunks so modest inputs still span many chunks per worker."""
+    config = dict(
+        num_workers=3,
+        chunk_elements=257,
+        min_parallel_elements=0,
+        fallback="raise",
+    )
+    config.update(overrides)
+    return ParallelSamScan(**config)
+
+
+def oracle(values, order=1, tuple_size=1, op="add", inclusive=True):
+    return prefix_sum_serial(
+        values, order=order, tuple_size=tuple_size,
+        op=get_op(op), inclusive=inclusive,
+    )
+
+
+class TestOracleAgreement:
+    def test_boundary_sizes(self, rng):
+        engine = strict_engine()
+        for n in BOUNDARY_SIZES:
+            values = make_int_array(rng, n, dtype=np.int64)
+            result = engine.run(values, order=2, tuple_size=3)
+            assert np.array_equal(
+                result.values, oracle(values, order=2, tuple_size=3)
+            ), f"n={n}"
+
+    @pytest.mark.parametrize("op", ["add", "max", "min", "xor", "and", "or"])
+    def test_operators(self, rng, op):
+        engine = strict_engine()
+        values = make_int_array(rng, 3000, dtype=np.int64)
+        for inclusive in (True, False):
+            result = engine.run(values, op=op, inclusive=inclusive)
+            assert np.array_equal(
+                result.values, oracle(values, op=op, inclusive=inclusive)
+            )
+
+    @pytest.mark.parametrize("order", [1, 2, 3, 4])
+    @pytest.mark.parametrize("tuple_size", [1, 2, 5])
+    def test_orders_and_tuples(self, rng, order, tuple_size):
+        engine = strict_engine()
+        values = make_int_array(rng, 2500, dtype=np.int64, lo=-50, hi=50)
+        result = engine.run(values, order=order, tuple_size=tuple_size)
+        assert np.array_equal(
+            result.values, oracle(values, order=order, tuple_size=tuple_size)
+        )
+
+    @pytest.mark.parametrize("dtype", [np.int32, np.uint32, np.int64, np.uint64])
+    def test_wraparound_dtypes(self, rng, dtype):
+        # Full-range values force intermediate overflow; modular
+        # arithmetic must make all engines agree bit for bit.
+        info = np.iinfo(dtype)
+        values = rng.integers(info.min, info.max, size=4000, dtype=dtype)
+        result = strict_engine().run(values, order=3, tuple_size=2)
+        expected = oracle(values, order=3, tuple_size=2)
+        assert result.values.dtype == np.dtype(dtype)
+        assert np.array_equal(result.values, expected)
+
+    def test_single_worker(self, rng):
+        # k == 1: every chunk's carry comes straight from the running
+        # accumulator (regression for the carry/accumulator aliasing).
+        values = make_int_array(rng, 2000, dtype=np.int64)
+        result = strict_engine(num_workers=1).run(values, order=2)
+        assert np.array_equal(result.values, oracle(values, order=2))
+
+    def test_worker_count_invariance(self, rng):
+        values = make_int_array(rng, 5000, dtype=np.int64)
+        results = [
+            strict_engine(num_workers=w).run(values, order=2, tuple_size=2).values
+            for w in (1, 2, 3, 4)
+        ]
+        for other in results[1:]:
+            assert np.array_equal(results[0], other)
+
+    def test_chained_scheme(self, rng):
+        values = make_int_array(rng, 3000, dtype=np.int64)
+        result = strict_engine(carry_scheme="chained").run(values, order=2)
+        assert result.carry_scheme == "chained"
+        assert np.array_equal(result.values, oracle(values, order=2))
+
+    def test_oversubscribed_workers(self, rng):
+        # More workers than chunks: the excess stay idle, results hold.
+        values = make_int_array(rng, 600, dtype=np.int64)
+        engine = strict_engine(num_workers=8, chunk_elements=256)
+        result = engine.run(values, order=2)
+        assert result.num_chunks < 8
+        assert np.array_equal(result.values, oracle(values, order=2))
+
+
+class TestDegradation:
+    def test_empty_input(self):
+        result = ParallelSamScan().run(np.array([], dtype=np.int64))
+        assert result.engine_used == "host"
+        assert len(result.values) == 0
+
+    def test_singleton_and_tiny(self, rng):
+        for n in (1, 2, 7):
+            values = make_int_array(rng, n, dtype=np.int32)
+            result = ParallelSamScan().run(values, order=2)
+            assert result.engine_used == "host"
+            assert np.array_equal(result.values, oracle(values, order=2))
+
+    def test_tuple_size_exceeds_n(self, rng):
+        values = make_int_array(rng, 5, dtype=np.int64)
+        result = ParallelSamScan().run(values, tuple_size=11)
+        assert np.array_equal(result.values, oracle(values, tuple_size=11))
+
+    def test_below_crossover_uses_host(self, rng):
+        values = make_int_array(rng, 1000, dtype=np.int64)
+        result = ParallelSamScan().run(values)
+        assert result.engine_used == "host"
+        assert "crossover" in result.counters.fallback_reason
+        assert np.array_equal(result.values, oracle(values))
+
+    def test_crossover_default(self):
+        assert ParallelSamScan().min_parallel_elements == (
+            DEFAULT_MIN_PARALLEL_ELEMENTS
+        )
+
+    def test_custom_op_degrades_to_host(self, rng):
+        # A locally constructed operator cannot be named across the
+        # process boundary; the engine must notice and stay bit-correct.
+        custom = AssociativeOp(
+            name="add", fn=lambda a, b: a + b, identity_fn=lambda dt: dt.type(0)
+        )
+        values = make_int_array(rng, 3000, dtype=np.int64)
+        engine = strict_engine(fallback="host")
+        result = engine.run(values, op=custom)
+        assert result.engine_used == "host"
+        assert "picklable" in result.counters.fallback_reason
+        assert np.array_equal(result.values, oracle(values))
+
+
+class TestResultAndCounters:
+    def test_counters_shape(self, rng):
+        values = make_int_array(rng, 4000, dtype=np.int64)
+        result = strict_engine().run(values, order=2)
+        counters = result.counters
+        assert result.engine_used == "parallel"
+        assert counters.num_chunks == result.num_chunks
+        assert counters.chunks_claimed == result.num_chunks
+        assert len(counters.workers) == result.num_workers
+        assert counters.carry_additions > 0
+        assert counters.seconds_total > 0.0
+        # Deterministic strided partition: per-worker loads within 1.
+        per_worker = counters.chunks_per_worker()
+        assert max(per_worker) - min(per_worker) <= 1
+
+    def test_counters_dict_round_trip(self, rng):
+        values = make_int_array(rng, 3000, dtype=np.int64)
+        result = strict_engine().run(values)
+        d = result.counters.as_dict()
+        assert d["engine_used"] == "parallel"
+        assert d["chunks_claimed"] == result.num_chunks
+        assert len(d["workers"]) == result.num_workers
+
+    def test_validation(self):
+        engine = ParallelSamScan()
+        with pytest.raises(ValueError):
+            engine.run(np.zeros((2, 2), dtype=np.int64))
+        with pytest.raises(ValueError):
+            engine.run(np.zeros(4, dtype=np.int64), order=0)
+        with pytest.raises(ValueError):
+            engine.run(np.zeros(4, dtype=np.int64), tuple_size=0)
+        with pytest.raises(KeyError):
+            ParallelSamScan(carry_scheme="nope")
+        with pytest.raises(ValueError):
+            ParallelSamScan(fallback="nope")
+        with pytest.raises(ValueError):
+            ParallelSamScan(num_workers=0)
+
+
+class TestApiRouting:
+    def test_engine_by_name(self, rng):
+        values = make_int_array(rng, 2000, dtype=np.int64)
+        got = repro.prefix_sum(values, order=2, engine="parallel")
+        assert np.array_equal(got, oracle(values, order=2))
+
+    def test_scan_by_name(self, rng):
+        values = make_int_array(rng, 2000, dtype=np.int64)
+        got = repro.scan(values, op="max", engine="parallel")
+        assert np.array_equal(got, oracle(values, op="max"))
+
+    def test_host_name_is_host_path(self, rng):
+        values = make_int_array(rng, 100, dtype=np.int32)
+        assert np.array_equal(
+            repro.prefix_sum(values, engine="host"), oracle(values)
+        )
+
+    def test_engine_names_all_resolve(self):
+        for name in repro.ENGINE_NAMES:
+            engine = repro.resolve_engine(name)
+            assert engine is None or hasattr(engine, "run")
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            repro.resolve_engine("warp_drive")
+
+    def test_engine_object_passthrough(self):
+        engine = ParallelSamScan()
+        assert repro.resolve_engine(engine) is engine

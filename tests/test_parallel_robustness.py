@@ -1,0 +1,145 @@
+"""Fault-injection tests for ``repro.parallel``.
+
+The production claims under test: a worker killed mid-scan degrades to
+the bit-identical host path (never partial results, never a hang); a
+wedged worker trips the watchdog instead of blocking the caller
+forever; and the warm pool transparently heals, so the launch *after*
+a failure runs parallel again.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.ops import get_op
+from repro.parallel import (
+    ParallelSamScan,
+    WorkerDeathError,
+    WorkerPool,
+    WorkerStallError,
+)
+from repro.reference import prefix_sum_serial
+
+from conftest import make_int_array
+
+N = 4000
+CHUNK = 257  # many chunks per worker at this size
+
+
+def engine(**overrides) -> ParallelSamScan:
+    config = dict(
+        num_workers=3,
+        chunk_elements=CHUNK,
+        min_parallel_elements=0,
+        stall_timeout=1.0,
+    )
+    config.update(overrides)
+    return ParallelSamScan(**config)
+
+
+def oracle(values, order=1):
+    return prefix_sum_serial(
+        values, order=order, tuple_size=1, op=get_op("add"), inclusive=True
+    )
+
+
+class TestWorkerDeath:
+    def test_death_falls_back_to_host(self, rng):
+        values = make_int_array(rng, N, dtype=np.int64)
+        eng = engine(failure_injection={"kind": "die", "worker": 1, "chunk": 0})
+        result = eng.run(values, order=2)
+        assert result.engine_used == "host"
+        assert "died" in result.counters.fallback_reason
+        assert np.array_equal(result.values, oracle(values, order=2))
+
+    def test_death_raises_when_asked(self, rng):
+        values = make_int_array(rng, N, dtype=np.int64)
+        eng = engine(
+            fallback="raise",
+            failure_injection={"kind": "die", "worker": 0, "chunk": 1},
+        )
+        with pytest.raises(WorkerDeathError, match="died"):
+            eng.run(values, order=2)
+
+    def test_pool_heals_after_death(self, rng):
+        values = make_int_array(rng, N, dtype=np.int64)
+        eng = engine(failure_injection={"kind": "die", "worker": 2, "chunk": 0})
+        assert eng.run(values).engine_used == "host"
+        # The very next launch must find a respawned worker and run
+        # parallel again — graceful degradation is per-call, not sticky.
+        result = engine(fallback="raise").run(values, order=2)
+        assert result.engine_used == "parallel"
+        assert np.array_equal(result.values, oracle(values, order=2))
+
+
+class TestWatchdog:
+    def test_stall_triggers_watchdog_not_hang(self, rng):
+        values = make_int_array(rng, N, dtype=np.int64)
+        eng = engine(failure_injection={"kind": "stall", "worker": 2, "chunk": 0})
+        start = time.monotonic()
+        result = eng.run(values, order=2)
+        elapsed = time.monotonic() - start
+        assert result.engine_used == "host"
+        assert "Stall" in result.counters.fallback_reason
+        assert np.array_equal(result.values, oracle(values, order=2))
+        # ~stall_timeout (1s) to detect plus bounded abort drain; far
+        # below any plausible hang.
+        assert elapsed < 10.0
+
+    def test_stall_raises_when_asked(self, rng):
+        values = make_int_array(rng, N, dtype=np.int64)
+        eng = engine(
+            fallback="raise",
+            failure_injection={"kind": "stall", "worker": 0, "chunk": 0},
+        )
+        with pytest.raises(WorkerStallError):
+            eng.run(values, order=1)
+
+    def test_healthy_after_stall(self, rng):
+        values = make_int_array(rng, N, dtype=np.int64)
+        engine(failure_injection={"kind": "stall", "worker": 1, "chunk": 1}).run(values)
+        result = engine(fallback="raise").run(values, order=2)
+        assert result.engine_used == "parallel"
+        assert np.array_equal(result.values, oracle(values, order=2))
+
+
+class TestPool:
+    def test_workers_are_reused_across_launches(self, rng):
+        pool = WorkerPool.shared()
+        values = make_int_array(rng, N, dtype=np.int64)
+        engine(fallback="raise").run(values)
+        pids_before = [h.process.pid for h in pool.ensure(3)]
+        engine(fallback="raise").run(values)
+        pids_after = [h.process.pid for h in pool.ensure(3)]
+        assert pids_before == pids_after
+
+    def test_pool_grows_on_demand(self, rng):
+        pool = WorkerPool.shared()
+        values = make_int_array(rng, 6000, dtype=np.int64)
+        result = engine(num_workers=5, fallback="raise").run(values)
+        assert result.engine_used == "parallel"
+        assert pool.alive_count() >= 5
+
+    def test_private_pool_shutdown(self, rng):
+        pool = WorkerPool()
+        values = make_int_array(rng, N, dtype=np.int64)
+        eng = engine(fallback="raise", pool=pool)
+        result = eng.run(values, order=2)
+        assert result.engine_used == "parallel"
+        assert np.array_equal(result.values, oracle(values, order=2))
+        pids = [h.process.pid for h in pool.ensure(3)]
+        pool.shutdown()
+        assert pool.alive_count() == 0
+        for pid in pids:
+            # After shutdown the worker processes must actually be gone.
+            with pytest.raises(OSError):
+                os.kill(pid, 0)
+        with pytest.raises(RuntimeError):
+            pool.ensure(1)
+
+    def test_workers_are_daemons(self):
+        pool = WorkerPool.shared()
+        for handle in pool.ensure(2):
+            assert handle.process.daemon

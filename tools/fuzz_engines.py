@@ -28,9 +28,13 @@ from repro.baselines import (
     ThreePhaseScan,
 )
 from repro.core import SamScan
+from repro.parallel import ParallelSamScan
 from repro.reference import prefix_sum_serial
 
-ENGINES = ("sam", "sam_chained", "lookback", "reduce_scan", "three_phase", "streamscan")
+ENGINES = (
+    "sam", "sam_chained", "lookback", "reduce_scan", "three_phase",
+    "streamscan", "parallel", "parallel_chained",
+)
 OPERATORS = ("add", "max", "min", "xor", "and", "or")
 DTYPES = (np.int32, np.int64, np.uint32, np.uint64)
 POLICIES = ("round_robin", "reversed", "rotating", "random")
@@ -53,6 +57,11 @@ def random_config(rng):
         "order": int(rng.integers(1, 5)),
         "tuple_size": int(rng.integers(1, 9)),
         "inclusive": bool(rng.integers(0, 2)),
+        # Only the parallel engines read these: real worker processes
+        # and a small chunk size so even fuzz-sized inputs span many
+        # chunks (exercising the shared-memory carry protocol).
+        "workers": int(rng.integers(1, 5)),
+        "chunk_elements": int(rng.choice([64, 256, 1024])),
     }
     return config
 
@@ -76,6 +85,14 @@ def build_engine(config):
         return ThreePhaseScan(**kw)
     if kind == "streamscan":
         return StreamScan(**kw)
+    if kind in ("parallel", "parallel_chained"):
+        return ParallelSamScan(
+            num_workers=config["workers"],
+            chunk_elements=config["chunk_elements"],
+            min_parallel_elements=0,   # fuzz-sized inputs must not degrade
+            fallback="raise",          # any worker failure is a fuzz failure
+            carry_scheme="chained" if kind == "parallel_chained" else "decoupled",
+        )
     raise ValueError(kind)
 
 
