@@ -21,6 +21,15 @@ worker processes over shared memory::
 
     repro.prefix_sum(d, engine="parallel")
 
+Inputs too big for one call stream through a session (chunk boundaries
+are arbitrary; outputs concatenate bit-identically), and whole files
+scan out of core with resumable checkpoints::
+
+    session = repro.open_session(order=2)
+    parts = [session.feed(chunk) for chunk in chunks]
+    repro.scan_file("huge.bin", "out.bin", dtype="int64",
+                    checkpoint="job.ckpt", resume=True)
+
 For the simulated-GPU engines (SAM, the baselines, traffic counters)::
 
     from repro.core import SamScan
@@ -33,9 +42,11 @@ from repro.api import (
     ENGINE_NAMES,
     delta_decode,
     delta_encode,
+    open_session,
     prefix_sum,
     resolve_engine,
     scan,
+    scan_file,
 )
 
 __version__ = "1.0.0"
@@ -44,8 +55,10 @@ __all__ = [
     "ENGINE_NAMES",
     "delta_decode",
     "delta_encode",
+    "open_session",
     "prefix_sum",
     "resolve_engine",
     "scan",
+    "scan_file",
     "__version__",
 ]

@@ -7,6 +7,12 @@ Commands
     on a selectable engine (``--engine host|parallel|sam|...``,
     ``--op``, ``--order``, ``--tuple-size``, ``--exclusive``,
     ``--workers``).
+``stream <in> <out>``
+    Scan a file out of core: memory-mapped, chunked through a
+    streaming session (``--chunk-bytes``), bit-identical to ``scan``,
+    with durable checkpoints (``--checkpoint``, ``--checkpoint-every``)
+    and crash recovery (``--resume``).  Takes the same scan options as
+    ``scan`` including ``--engine`` and ``--workers``.
 ``compress <in> <out>``
     Delta-compress a raw binary file of integers (``--dtype``,
     ``--order`` auto-selected when omitted, ``--tuple-size``).
@@ -30,20 +36,31 @@ import sys
 import numpy as np
 
 
-def _cmd_scan(args) -> int:
+def _resolve_cli_engine(name: str, workers: int):
+    """Engine construction shared by ``scan`` and ``stream``.
+
+    ``--workers`` applies to *both* multicore engines — ``parallel``
+    and the ``parallel_chained`` carry ablation (it used to be silently
+    ignored for the latter).
+    """
+    if name in ("parallel", "parallel_chained") and workers:
+        from repro.parallel import ParallelSamScan
+
+        scheme = "chained" if name == "parallel_chained" else "decoupled"
+        return ParallelSamScan(num_workers=workers, carry_scheme=scheme)
     from repro.api import resolve_engine
+
+    return resolve_engine(name)
+
+
+def _cmd_scan(args) -> int:
     from repro.core.host import host_prefix_sum
     from repro.ops import get_op
 
     values = np.fromfile(args.input, dtype=np.dtype(args.dtype))
     op = get_op(args.op)
     inclusive = not args.exclusive
-    if args.engine == "parallel" and args.workers:
-        from repro.parallel import ParallelSamScan
-
-        engine = ParallelSamScan(num_workers=args.workers)
-    else:
-        engine = resolve_engine(args.engine)
+    engine = _resolve_cli_engine(args.engine, args.workers)
     if engine is None:
         out = host_prefix_sum(
             values, order=args.order, tuple_size=args.tuple_size,
@@ -63,6 +80,55 @@ def _cmd_scan(args) -> int:
         f"{args.input}: {kind} {args.op} scan of {len(values):,} x "
         f"{args.dtype} (order {args.order}, tuple size {args.tuple_size}) "
         f"on engine {used} -> {args.output}"
+    )
+    return 0
+
+
+def _cmd_stream(args) -> int:
+    import sys as _sys
+
+    from repro.stream import StreamError, scan_file
+
+    engine = _resolve_cli_engine(args.engine, args.workers)
+    try:
+        result = scan_file(
+            args.input,
+            args.output,
+            dtype=args.dtype,
+            op=args.op,
+            order=args.order,
+            tuple_size=args.tuple_size,
+            inclusive=not args.exclusive,
+            engine=engine,
+            chunk_bytes=args.chunk_bytes,
+            checkpoint=args.checkpoint,
+            checkpoint_every=args.checkpoint_every,
+            resume=args.resume,
+            fail_after_chunks=args.fail_after_chunks,
+        )
+    except StreamError as exc:
+        print(f"stream failed: {exc}", file=_sys.stderr)
+        if args.checkpoint and not args.resume:
+            print(
+                f"re-run with --resume to continue from {args.checkpoint}",
+                file=_sys.stderr,
+            )
+        return 1
+    c = result.counters
+    kind = "exclusive" if args.exclusive else "inclusive"
+    resumed = (
+        f", resumed at element {result.resumed_from:,}" if result.resumed_from else ""
+    )
+    print(
+        f"{args.input}: streamed {kind} {args.op} scan of "
+        f"{result.elements:,} x {result.dtype} (order {args.order}, "
+        f"tuple size {args.tuple_size}) in {c.chunks} chunks on engine "
+        f"{c.engine_used}{resumed} -> {args.output}"
+    )
+    print(
+        f"  phases: read {c.seconds_read:.3f}s  scan {c.seconds_scan:.3f}s  "
+        f"write {c.seconds_write:.3f}s  checkpoint {c.seconds_checkpoint:.3f}s  "
+        f"({c.checkpoint_writes} checkpoint writes)"
     )
     return 0
 
@@ -167,26 +233,52 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("scan", help="prefix-scan a raw integer file")
-    p.add_argument("input")
-    p.add_argument("output")
-    p.add_argument("--dtype", default="int32",
-                   choices=["int32", "int64", "uint32", "uint64"])
-    p.add_argument("--op", default="add",
-                   choices=["add", "max", "min", "xor", "and", "or", "mul"])
-    p.add_argument("--order", type=int, default=1)
-    p.add_argument("--tuple-size", type=int, default=1)
-    p.add_argument("--exclusive", action="store_true",
-                   help="exclusive scan (default: inclusive)")
     from repro.api import ENGINE_NAMES
 
-    p.add_argument("--engine", default="host", choices=list(ENGINE_NAMES),
-                   help="host (default), parallel (multicore shared "
-                        "memory), or a simulated-GPU engine")
-    p.add_argument("--workers", type=int, default=0,
-                   help="worker processes for --engine parallel "
-                        "(0 = cpu count)")
+    def add_scan_options(p):
+        p.add_argument("input")
+        p.add_argument("output")
+        p.add_argument("--dtype", default="int32",
+                       choices=["int32", "int64", "uint32", "uint64"])
+        p.add_argument("--op", default="add",
+                       choices=["add", "max", "min", "xor", "and", "or", "mul"])
+        p.add_argument("--order", type=int, default=1)
+        p.add_argument("--tuple-size", type=int, default=1)
+        p.add_argument("--exclusive", action="store_true",
+                       help="exclusive scan (default: inclusive)")
+        p.add_argument("--engine", default="host", choices=list(ENGINE_NAMES),
+                       help="host (default), parallel (multicore shared "
+                            "memory), or a simulated-GPU engine")
+        p.add_argument("--workers", type=int, default=0,
+                       help="worker processes for the parallel engines "
+                            "(0 = cpu count)")
+
+    p = sub.add_parser("scan", help="prefix-scan a raw integer file")
+    add_scan_options(p)
     p.set_defaults(fn=_cmd_scan)
+
+    p = sub.add_parser(
+        "stream",
+        help="prefix-scan a file out of core (chunked, resumable)",
+    )
+    add_scan_options(p)
+    from repro.stream import DEFAULT_CHECKPOINT_EVERY, DEFAULT_CHUNK_BYTES
+
+    p.add_argument("--chunk-bytes", type=int, default=DEFAULT_CHUNK_BYTES,
+                   help="per-chunk memory budget in bytes "
+                        f"(default {DEFAULT_CHUNK_BYTES})")
+    p.add_argument("--checkpoint", default=None, metavar="PATH",
+                   help="persist progress here (atomic) every "
+                        "--checkpoint-every chunks")
+    p.add_argument("--checkpoint-every", type=int,
+                   default=DEFAULT_CHECKPOINT_EVERY, metavar="K",
+                   help="chunks between checkpoints "
+                        f"(default {DEFAULT_CHECKPOINT_EVERY})")
+    p.add_argument("--resume", action="store_true",
+                   help="continue from --checkpoint instead of restarting")
+    p.add_argument("--fail-after-chunks", type=int, default=None,
+                   help=argparse.SUPPRESS)  # test hook: simulate a crash
+    p.set_defaults(fn=_cmd_stream)
 
     p = sub.add_parser("compress", help="delta-compress a raw integer file")
     p.add_argument("input")

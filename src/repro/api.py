@@ -10,6 +10,13 @@ optional ``engine`` — either a name from :data:`ENGINE_NAMES`
 as :class:`repro.core.SamScan`, :class:`repro.parallel.ParallelSamScan`
 or a baseline.  All engines are bit-identical; they differ in what
 else they give you (measured traffic, real parallel speedup, ...).
+
+Inputs that do not fit one call go through :mod:`repro.stream`:
+:func:`open_session` returns a :class:`~repro.stream.ScanSession` that
+accepts input in chunks (engines are wrapped, not added — any engine
+can scan the chunks), and :func:`scan_file` runs a whole
+larger-than-memory file out of core with durable, resumable
+checkpoints.
 """
 
 from __future__ import annotations
@@ -156,3 +163,85 @@ def delta_decode(deltas, order: int = 1, tuple_size: int = 1, engine=None) -> np
     if engine is not None:
         return engine.run(deltas, order=order, tuple_size=tuple_size).values
     return host_delta_decode(deltas, order=order, tuple_size=tuple_size)
+
+
+def open_session(
+    op="add",
+    order: int = 1,
+    tuple_size: int = 1,
+    inclusive: bool = True,
+    dtype=None,
+    engine=None,
+):
+    """Open a streaming scan session (chunked input, persistent carry).
+
+    Returns a :class:`repro.stream.ScanSession`: call
+    ``session.feed(chunk)`` repeatedly; the concatenated outputs are
+    bit-identical to the one-shot scan of the concatenated inputs, for
+    arbitrary chunk boundaries.  ``engine`` selects the inner engine
+    the chunks are scanned on (same names/objects as everywhere else).
+
+    >>> import numpy as np
+    >>> session = open_session(order=2)
+    >>> session.feed(np.array([1, 1], dtype=np.int32)).tolist()
+    [1, 3]
+    >>> session.feed(np.array([1, 1], dtype=np.int32)).tolist()
+    [6, 10]
+    """
+    from repro.stream import ScanSession
+
+    return ScanSession(
+        op=op,
+        order=order,
+        tuple_size=tuple_size,
+        inclusive=inclusive,
+        dtype=dtype,
+        engine=engine,
+    )
+
+
+def scan_file(
+    input_path,
+    output_path,
+    *,
+    dtype="int32",
+    op="add",
+    order: int = 1,
+    tuple_size: int = 1,
+    inclusive: bool = True,
+    engine=None,
+    chunk_bytes: int = None,
+    checkpoint=None,
+    checkpoint_every: int = None,
+    resume: bool = False,
+):
+    """Scan a raw binary file out of core (see :mod:`repro.stream`).
+
+    Memory-maps ``input_path``, pipelines double-buffered chunks of
+    ``chunk_bytes`` through a session on ``engine``, and writes the
+    scanned stream to ``output_path`` — bit-identical to a one-shot
+    scan but with peak memory bounded by a few chunks.  With
+    ``checkpoint=path`` progress is persisted atomically every
+    ``checkpoint_every`` chunks and an interrupted job continues under
+    ``resume=True``.  Returns a :class:`repro.stream.StreamResult`.
+    """
+    from repro import stream
+
+    kwargs = {}
+    if chunk_bytes is not None:
+        kwargs["chunk_bytes"] = chunk_bytes
+    if checkpoint_every is not None:
+        kwargs["checkpoint_every"] = checkpoint_every
+    return stream.scan_file(
+        input_path,
+        output_path,
+        dtype=dtype,
+        op=op,
+        order=order,
+        tuple_size=tuple_size,
+        inclusive=inclusive,
+        engine=engine,
+        checkpoint=checkpoint,
+        resume=resume,
+        **kwargs,
+    )

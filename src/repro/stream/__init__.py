@@ -1,0 +1,69 @@
+"""repro.stream — out-of-core, resumable streaming scan sessions.
+
+The subsystem has three layers:
+
+* :class:`ScanSession` (``session.py``) — the O(1) carry state of the
+  paper's single-pass algorithm, persisted across ``feed(chunk)``
+  calls; bit-identical to a one-shot scan of the concatenation for
+  every op / dtype / order / tuple size, inclusive and exclusive.
+* Checkpoints (``checkpoint.py``) — atomic, integrity-hashed snapshots
+  of a session (carry state + offset + config hash + counters).
+* :func:`scan_file` (``driver.py``) — the out-of-core driver:
+  memory-mapped input, double-buffered chunk pipelining through any
+  inner engine, durable checkpoints every k chunks, ``resume=True``
+  continuation after interruption.
+
+Quickstart::
+
+    from repro.stream import ScanSession, scan_file
+
+    session = ScanSession(op="add", order=2, tuple_size=3)
+    for chunk in chunks:                # arbitrary boundaries
+        out.append(session.feed(chunk))
+
+    scan_file("huge.bin", "scanned.bin", dtype="int64",
+              chunk_bytes=32 << 20, checkpoint="job.ckpt", resume=True)
+"""
+
+from repro.stream.checkpoint import (
+    CHECKPOINT_KIND,
+    CHECKPOINT_VERSION,
+    build_checkpoint,
+    read_checkpoint,
+    write_checkpoint,
+)
+from repro.stream.counters import StreamCounters
+from repro.stream.driver import (
+    DEFAULT_CHECKPOINT_EVERY,
+    DEFAULT_CHUNK_BYTES,
+    StreamResult,
+    scan_file,
+)
+from repro.stream.errors import (
+    CheckpointError,
+    CheckpointMismatchError,
+    InjectedFailureError,
+    SessionStateError,
+    StreamError,
+)
+from repro.stream.session import ScanSession, hash_config
+
+__all__ = [
+    "CHECKPOINT_KIND",
+    "CHECKPOINT_VERSION",
+    "CheckpointError",
+    "CheckpointMismatchError",
+    "DEFAULT_CHECKPOINT_EVERY",
+    "DEFAULT_CHUNK_BYTES",
+    "InjectedFailureError",
+    "ScanSession",
+    "SessionStateError",
+    "StreamCounters",
+    "StreamError",
+    "StreamResult",
+    "build_checkpoint",
+    "hash_config",
+    "read_checkpoint",
+    "scan_file",
+    "write_checkpoint",
+]

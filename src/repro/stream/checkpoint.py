@@ -1,0 +1,86 @@
+"""Durable checkpoints for out-of-core streaming scans.
+
+A checkpoint is a small JSON document holding everything needed to
+continue an interrupted job: the session's byte-exact carry state and
+stream offset (:meth:`ScanSession.state_dict`), the input's element
+count (so a checkpoint cannot be replayed against the wrong file), the
+cumulative counters, and a configuration hash that both proves the
+file's integrity and identifies the job it belongs to.
+
+Writes are **atomic**: the document is written to a same-directory
+temporary file, flushed, fsync'd, and ``os.replace``'d over the target,
+so a crash mid-write leaves either the previous checkpoint or the new
+one — never a torn file.  The driver additionally fsyncs the *output*
+file before every checkpoint write, so a checkpoint never claims more
+progress than is durably on disk.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.stream.errors import CheckpointError
+from repro.stream.session import hash_config
+
+CHECKPOINT_KIND = "repro-stream-checkpoint"
+CHECKPOINT_VERSION = 1
+
+
+def build_checkpoint(session_state: dict, input_elements: int, counters: dict) -> dict:
+    """Assemble the checkpoint document for one progress point."""
+    return {
+        "kind": CHECKPOINT_KIND,
+        "version": CHECKPOINT_VERSION,
+        "input_elements": int(input_elements),
+        "session": session_state,
+        "counters": counters,
+    }
+
+
+def write_checkpoint(path, payload: dict) -> None:
+    """Atomically persist ``payload`` to ``path`` (tmp + fsync + rename)."""
+    path = os.fspath(path)
+    tmp = f"{path}.tmp"
+    blob = json.dumps(payload, indent=2, sort_keys=True)
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(blob + "\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+def read_checkpoint(path) -> dict:
+    """Load and structurally validate a checkpoint document.
+
+    Raises :class:`CheckpointError` on unreadable/foreign/corrupt
+    files; configuration *mismatches* against the resuming job are the
+    driver's to detect (it knows the job).
+    """
+    path = os.fspath(path)
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise CheckpointError(f"cannot read checkpoint {path!r}: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("kind") != CHECKPOINT_KIND:
+        raise CheckpointError(f"{path!r} is not a repro stream checkpoint")
+    if payload.get("version") != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"checkpoint {path!r} has version {payload.get('version')!r}, "
+            f"this build reads version {CHECKPOINT_VERSION}"
+        )
+    session = payload.get("session")
+    if not isinstance(session, dict):
+        raise CheckpointError(f"checkpoint {path!r} lacks a session state")
+    for key in ("offset", "carry", "config", "config_hash"):
+        if key not in session:
+            raise CheckpointError(
+                f"checkpoint {path!r} session state lacks {key!r}"
+            )
+    if hash_config(session["config"]) != session["config_hash"]:
+        raise CheckpointError(
+            f"checkpoint {path!r} failed its integrity check "
+            f"(config hash does not match the stored configuration)"
+        )
+    return payload

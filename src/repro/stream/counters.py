@@ -1,0 +1,78 @@
+"""Counters for streaming scans, analogous to ``parallel.counters``.
+
+A streaming job's wall-clock decomposes into phases the one-shot
+engines do not have — reading chunks out of the memory map, scanning
+them, writing scanned bytes back out, and persisting checkpoints — so
+:class:`StreamCounters` records each phase separately, plus the event
+counts (chunks, bytes, checkpoint writes, resumes) that determine
+whether an out-of-core run behaved as configured.  The shape follows
+:class:`repro.parallel.counters.ParallelCounters`: a dataclass with
+aggregate properties, ``as_dict`` for JSON benchmarks, and a compact
+``__str__`` for logs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass
+class StreamCounters:
+    """Event counts and per-phase wall-clock for one streaming job.
+
+    ``chunks`` / ``elements`` / ``bytes_in`` are filled by
+    :meth:`repro.stream.ScanSession.feed`; the read / write /
+    checkpoint phases and ``bytes_out`` are filled by the out-of-core
+    driver.  ``engine_used`` names the inner engine chunks were scanned
+    on (``"host"`` when no engine was delegated to), and
+    ``delegated_stage_scans`` counts how many stage scans actually went
+    through it (float inputs always take the exact host path, see
+    :mod:`repro.stream.session`).  A resumed job *restores* the
+    counters persisted in the checkpoint, so totals are cumulative
+    across interruptions; ``resumes`` says how often that happened.
+    """
+
+    chunks: int = 0
+    elements: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+    checkpoint_writes: int = 0
+    resumes: int = 0
+    delegated_stage_scans: int = 0
+    engine_used: str = "host"
+    seconds_read: float = 0.0
+    seconds_scan: float = 0.0
+    seconds_write: float = 0.0
+    seconds_checkpoint: float = 0.0
+
+    # -- aggregates ------------------------------------------------------
+
+    @property
+    def seconds_total(self) -> float:
+        return (
+            self.seconds_read
+            + self.seconds_scan
+            + self.seconds_write
+            + self.seconds_checkpoint
+        )
+
+    def as_dict(self) -> dict:
+        data = {spec.name: getattr(self, spec.name) for spec in fields(self)}
+        data["seconds_total"] = self.seconds_total
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StreamCounters":
+        known = {spec.name for spec in fields(cls)}
+        return cls(**{key: value for key, value in data.items() if key in known})
+
+    def __str__(self) -> str:
+        return (
+            f"StreamCounters(engine={self.engine_used}, "
+            f"chunks={self.chunks}, elements={self.elements}, "
+            f"bytes={self.bytes_in}->{self.bytes_out}, "
+            f"checkpoints={self.checkpoint_writes}, resumes={self.resumes}, "
+            f"wall={self.seconds_total:.4f}s "
+            f"[read {self.seconds_read:.4f} scan {self.seconds_scan:.4f} "
+            f"write {self.seconds_write:.4f} ckpt {self.seconds_checkpoint:.4f}])"
+        )

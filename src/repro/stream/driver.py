@@ -1,0 +1,261 @@
+"""Out-of-core driver: scan files larger than RAM, resumably.
+
+:func:`scan_file` memory-maps the input, cuts it into ``chunk_bytes``
+pieces, and pipelines them through a :class:`ScanSession`
+double-buffered: a prefetch thread copies chunk ``i+1`` out of the map
+while the session (and its inner engine — e.g. the ``repro.parallel``
+worker pool, which stays warm across chunks) scans chunk ``i``.  Peak
+resident memory is a few chunks regardless of file size.
+
+Durability: every ``checkpoint_every`` chunks the scanned output is
+fsync'd and the session state is written atomically to the checkpoint
+path (see :mod:`repro.stream.checkpoint`).  A job that dies — power
+loss, OOM kill, ctrl-C — is re-run with ``resume=True``: the driver
+validates the checkpoint against the job's configuration hash and the
+input's element count, restores the carry state and counters, truncates
+the output back to the durable offset (discarding any bytes written
+after the last checkpoint), and continues.  The final output is
+bit-identical to an uninterrupted run, which is itself bit-identical to
+a one-shot scan.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.ops import get_op
+from repro.stream.checkpoint import (
+    build_checkpoint,
+    read_checkpoint,
+    write_checkpoint,
+)
+from repro.stream.counters import StreamCounters
+from repro.stream.errors import (
+    CheckpointMismatchError,
+    InjectedFailureError,
+    StreamError,
+)
+from repro.stream.session import ScanSession
+
+#: Default chunk budget: big enough that numpy's per-chunk vector work
+#: dominates per-chunk overhead, small enough that double-buffering two
+#: chunks is negligible against any realistic RAM.
+DEFAULT_CHUNK_BYTES = 16 << 20
+
+#: Checkpoint cadence in chunks (k): one durable flush + atomic state
+#: write per k chunks bounds re-done work after a crash to k chunks.
+DEFAULT_CHECKPOINT_EVERY = 8
+
+
+@dataclass
+class StreamResult:
+    """Outcome of one :func:`scan_file` job."""
+
+    elements: int
+    dtype: str
+    output_path: str
+    counters: StreamCounters
+    resumed_from: int = 0
+
+    @property
+    def engine_used(self) -> str:
+        return self.counters.engine_used
+
+
+def scan_file(
+    input_path,
+    output_path,
+    *,
+    dtype="int32",
+    op="add",
+    order: int = 1,
+    tuple_size: int = 1,
+    inclusive: bool = True,
+    engine=None,
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+    checkpoint=None,
+    checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+    resume: bool = False,
+    fail_after_chunks: Optional[int] = None,
+) -> StreamResult:
+    """Scan a raw binary file into ``output_path``, out of core.
+
+    Parameters mirror :func:`repro.api.prefix_sum` plus the streaming
+    knobs: ``chunk_bytes`` (per-chunk budget), ``checkpoint`` (path for
+    durable progress; ``None`` disables), ``checkpoint_every`` (chunks
+    between checkpoints), and ``resume`` (continue from an existing
+    checkpoint instead of restarting; with no checkpoint file present
+    the job simply starts fresh).  ``fail_after_chunks`` is a test-only
+    hook that aborts the job after N chunks to exercise resumption.
+    """
+    if chunk_bytes < 1:
+        raise ValueError(f"chunk_bytes must be >= 1, got {chunk_bytes}")
+    if checkpoint_every < 1:
+        raise ValueError(f"checkpoint_every must be >= 1, got {checkpoint_every}")
+    input_path = os.fspath(input_path)
+    output_path = os.fspath(output_path)
+
+    resolved_op = get_op(op)
+    resolved_dtype = resolved_op.check_dtype(dtype)
+    itemsize = resolved_dtype.itemsize
+    input_bytes = os.path.getsize(input_path)
+    if input_bytes % itemsize:
+        raise ValueError(
+            f"{input_path!r} is {input_bytes} bytes, not a multiple of "
+            f"{resolved_dtype.name}'s {itemsize}-byte item size"
+        )
+    total_elements = input_bytes // itemsize
+    chunk_elements = max(1, int(chunk_bytes) // itemsize)
+
+    session = ScanSession(
+        op=resolved_op,
+        order=order,
+        tuple_size=tuple_size,
+        inclusive=inclusive,
+        dtype=resolved_dtype,
+        engine=engine,
+    )
+
+    start_elements = 0
+    if resume and checkpoint is not None and os.path.exists(checkpoint):
+        start_elements = _restore(session, checkpoint, total_elements, output_path)
+    counters = session.counters
+
+    if start_elements:
+        out_fh = open(output_path, "r+b")
+        out_fh.truncate(start_elements * itemsize)
+        out_fh.seek(start_elements * itemsize)
+    else:
+        out_fh = open(output_path, "wb")
+
+    data = (
+        np.memmap(input_path, dtype=resolved_dtype, mode="r")
+        if total_elements
+        else np.empty(0, dtype=resolved_dtype)
+    )
+
+    def fetch(lo: int, hi: int):
+        t0 = time.perf_counter()
+        copied = np.array(data[lo:hi], copy=True)
+        return copied, time.perf_counter() - t0
+
+    prefetcher = ThreadPoolExecutor(max_workers=1)
+    position = start_elements
+    chunks_done = 0
+    since_checkpoint = 0
+    try:
+        pending = None
+        if position < total_elements:
+            pending = prefetcher.submit(
+                fetch, position, min(position + chunk_elements, total_elements)
+            )
+        while position < total_elements:
+            chunk, read_seconds = pending.result()
+            counters.seconds_read += read_seconds
+            next_position = position + len(chunk)
+            if next_position < total_elements:
+                pending = prefetcher.submit(
+                    fetch,
+                    next_position,
+                    min(next_position + chunk_elements, total_elements),
+                )
+            scanned = session.feed(chunk)
+            t0 = time.perf_counter()
+            out_fh.write(scanned.tobytes())
+            counters.seconds_write += time.perf_counter() - t0
+            counters.bytes_out += scanned.nbytes
+            position = next_position
+            chunks_done += 1
+            since_checkpoint += 1
+            if (
+                checkpoint is not None
+                and since_checkpoint >= checkpoint_every
+                and position < total_elements
+            ):
+                _checkpoint(session, checkpoint, total_elements, out_fh)
+                since_checkpoint = 0
+            if (
+                fail_after_chunks is not None
+                and chunks_done >= fail_after_chunks
+                and position < total_elements
+            ):
+                raise InjectedFailureError(
+                    f"injected failure after {chunks_done} chunks "
+                    f"(element {position} of {total_elements})"
+                )
+        t0 = time.perf_counter()
+        out_fh.flush()
+        os.fsync(out_fh.fileno())
+        counters.seconds_write += time.perf_counter() - t0
+    finally:
+        out_fh.close()
+        prefetcher.shutdown(wait=True, cancel_futures=True)
+        if isinstance(data, np.memmap):
+            del data
+
+    if checkpoint is not None and os.path.exists(checkpoint):
+        os.remove(checkpoint)  # the job is complete; nothing to resume
+    return StreamResult(
+        elements=total_elements,
+        dtype=resolved_dtype.name,
+        output_path=output_path,
+        counters=counters,
+        resumed_from=start_elements,
+    )
+
+
+def _checkpoint(session: ScanSession, path, total_elements: int, out_fh) -> None:
+    """Make all output durable, then atomically persist the state."""
+    t0 = time.perf_counter()
+    out_fh.flush()
+    os.fsync(out_fh.fileno())
+    session.counters.checkpoint_writes += 1  # count the write being persisted
+    payload = build_checkpoint(
+        session.state_dict(), total_elements, session.counters.as_dict()
+    )
+    write_checkpoint(path, payload)
+    session.counters.seconds_checkpoint += time.perf_counter() - t0
+
+
+def _restore(
+    session: ScanSession, checkpoint, total_elements: int, output_path: str
+) -> int:
+    """Load a checkpoint into ``session``; returns the resume offset."""
+    payload = read_checkpoint(checkpoint)
+    state = payload["session"]
+    if state["config_hash"] != session.config_hash():
+        # Delegate to load_state_dict for the detailed per-key diff.
+        session.load_state_dict(state)
+        raise CheckpointMismatchError(  # pragma: no cover - diff raised above
+            f"checkpoint {checkpoint!r} belongs to a different configuration"
+        )
+    if payload["input_elements"] != total_elements:
+        raise CheckpointMismatchError(
+            f"checkpoint {checkpoint!r} was taken against an input of "
+            f"{payload['input_elements']} elements; this input has "
+            f"{total_elements}"
+        )
+    session.load_state_dict(state)
+    restored = StreamCounters.from_dict(payload.get("counters", {}))
+    restored.resumes += 1
+    restored.engine_used = session.counters.engine_used
+    session.counters = restored
+    offset = session.offset
+    if offset and not os.path.exists(output_path):
+        raise StreamError(
+            f"cannot resume: checkpoint says {offset} elements are done "
+            f"but output file {output_path!r} does not exist"
+        )
+    if offset and os.path.getsize(output_path) < offset * session.dtype.itemsize:
+        raise StreamError(
+            f"cannot resume: output file {output_path!r} is shorter than "
+            f"the checkpointed offset ({offset} elements); the checkpoint "
+            f"and output are out of sync"
+        )
+    return offset

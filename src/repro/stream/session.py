@@ -1,0 +1,341 @@
+"""``ScanSession`` — a prefix scan that accepts its input in chunks.
+
+The paper's central object is the O(1) carry state that lets SAM scan
+in a single pass: a persistent block only ever needs its per-order,
+per-tuple-lane running totals to continue the scan from wherever it
+stopped.  A :class:`ScanSession` generalizes that observation across
+*time* instead of across blocks: it holds exactly that state — an
+``(order, tuple_size)`` accumulator array plus the number of elements
+consumed so far — and ``feed(chunk)`` returns the scanned chunk such
+that the concatenation of all outputs is **bit-identical** to a
+one-shot scan of the concatenation of all inputs, for every operator,
+dtype (floats included), order, tuple size, and both inclusive and
+exclusive flavors.  Chunk boundaries are arbitrary: empty chunks,
+single elements, and edges that fall inside a tuple stride are all
+fine, because the lane of a value is determined by its *global*
+position, which the session tracks.
+
+How bit-identity is kept
+------------------------
+
+Each of the ``order`` scan passes is continued per tuple lane:
+
+* **Exact path (default).**  The lane's carry is *prepended* to the
+  lane's chunk values and ``op.accumulate`` runs over the extended
+  array.  numpy's ufunc ``accumulate`` is a sequential left fold, so
+  this reproduces the one-shot accumulate's exact sequence of partial
+  results — including float rounding, which mere
+  ``op(carry, local_scan)`` folding would change.  Unprimed lanes
+  (no elements seen yet) are scanned without a prepend so that even
+  non-identities-in-floating-point like ``0.0 + (-0.0)`` cannot leak
+  in.
+
+* **Delegated path (``engine=...``).**  For integer dtypes the chunk's
+  stage scan is handed to any one-shot engine (the ``repro.parallel``
+  pool, ``SamScan``, a baseline...) and the carry is folded on
+  afterwards — exact because fixed-width integer arithmetic is truly
+  associative (wraparound included).  The inner engine is constructed
+  once and reused across chunks, so ``ParallelSamScan``'s warm worker
+  pool amortizes over the whole stream.  Float inputs silently take
+  the exact path: float addition is only pseudo-associative, and the
+  session's contract is bit-identity with the one-shot host scan.
+
+Sessions serialize their entire state (:meth:`state_dict` /
+:meth:`load_state_dict`) with the carry encoded byte-exactly, which is
+what makes the out-of-core driver's checkpoints possible; a
+configuration hash guards against resuming somebody else's state.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import time
+from typing import Optional
+
+import numpy as np
+
+from repro.ops import get_op
+from repro.stream.counters import StreamCounters
+from repro.stream.errors import CheckpointMismatchError, SessionStateError
+
+
+def _engine_label(engine) -> str:
+    if engine is None:
+        return "host"
+    if isinstance(engine, str):
+        return engine
+    return type(engine).__name__
+
+
+class ScanSession:
+    """Persistent carry state for a chunked generalized prefix scan.
+
+    Parameters
+    ----------
+    op:
+        Operator name or :class:`repro.ops.AssociativeOp`.
+    order / tuple_size / inclusive:
+        The usual scan generalizations; fixed for the session's
+        lifetime (they are part of the carry state's meaning).
+    dtype:
+        Element dtype.  ``None`` locks it on the first non-configured
+        ``feed``; checkpoint-backed sessions always pass it explicitly.
+    engine:
+        Inner one-shot engine for the per-chunk stage scans: ``None``
+        (exact host path), a name accepted by
+        :func:`repro.api.resolve_engine`, or a constructed engine
+        object.  Only consulted for integer dtypes (see module docs).
+    """
+
+    def __init__(
+        self,
+        op="add",
+        order: int = 1,
+        tuple_size: int = 1,
+        inclusive: bool = True,
+        dtype=None,
+        engine=None,
+    ):
+        if order < 1:
+            raise ValueError(f"order must be >= 1, got {order}")
+        if tuple_size < 1:
+            raise ValueError(f"tuple_size must be >= 1, got {tuple_size}")
+        self.op = get_op(op)
+        self.order = int(order)
+        self.tuple_size = int(tuple_size)
+        self.inclusive = bool(inclusive)
+        label = _engine_label(engine)
+        if isinstance(engine, str):
+            from repro.api import resolve_engine
+
+            engine = resolve_engine(engine)
+            if engine is None:  # "host" resolves to the exact path
+                label = "host"
+        self._engine = engine
+        self.counters = StreamCounters(engine_used=label)
+        self.dtype: Optional[np.dtype] = None
+        self._carry: Optional[np.ndarray] = None
+        self._offset = 0
+        if dtype is not None:
+            self._set_dtype(dtype)
+
+    def __repr__(self) -> str:
+        return (
+            f"ScanSession(op={self.op.name!r}, order={self.order}, "
+            f"tuple_size={self.tuple_size}, inclusive={self.inclusive}, "
+            f"dtype={None if self.dtype is None else self.dtype.name}, "
+            f"offset={self._offset})"
+        )
+
+    # -- configuration & state -------------------------------------------
+
+    @property
+    def offset(self) -> int:
+        """Total elements consumed so far (the stream position)."""
+        return self._offset
+
+    def config(self) -> dict:
+        """The session's semantic configuration (engine excluded:
+        engines are bit-identical, so a checkpoint taken on one engine
+        may be resumed on another)."""
+        return {
+            "op": self.op.name,
+            "order": self.order,
+            "tuple_size": self.tuple_size,
+            "inclusive": self.inclusive,
+            "dtype": None if self.dtype is None else self.dtype.name,
+        }
+
+    def config_hash(self) -> str:
+        return hash_config(self.config())
+
+    def state_dict(self) -> dict:
+        """Byte-exact snapshot of the session (JSON-serializable)."""
+        if self.dtype is None or self._carry is None:
+            raise SessionStateError(
+                "cannot snapshot a session before its dtype is known "
+                "(pass dtype= at construction or feed a chunk first)"
+            )
+        return {
+            "offset": int(self._offset),
+            "carry": base64.b64encode(self._carry.tobytes()).decode("ascii"),
+            "config": self.config(),
+            "config_hash": self.config_hash(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot taken by a compatibly-configured session."""
+        config = state.get("config", {})
+        mine = self.config()
+        if config != mine:
+            diffs = sorted(
+                key
+                for key in set(config) | set(mine)
+                if config.get(key) != mine.get(key)
+            )
+            raise CheckpointMismatchError(
+                f"session state belongs to a different configuration "
+                f"(differs in {', '.join(diffs) or 'structure'}: "
+                f"saved {config!r}, this session {mine!r})"
+            )
+        raw = base64.b64decode(state["carry"])
+        expected = self.order * self.tuple_size * self.dtype.itemsize
+        if len(raw) != expected:
+            raise CheckpointMismatchError(
+                f"carry blob is {len(raw)} bytes, expected {expected}"
+            )
+        self._carry = (
+            np.frombuffer(raw, dtype=self.dtype)
+            .reshape(self.order, self.tuple_size)
+            .copy()
+        )
+        self._offset = int(state["offset"])
+
+    def _set_dtype(self, dtype) -> None:
+        self.dtype = self.op.check_dtype(dtype)
+        identity = self.op.identity(self.dtype)
+        self._carry = np.full(
+            (self.order, self.tuple_size), identity, dtype=self.dtype
+        )
+
+    # -- feeding ---------------------------------------------------------
+
+    def feed(self, chunk) -> np.ndarray:
+        """Scan the next chunk; returns the scanned values.
+
+        The concatenation of every returned chunk equals the one-shot
+        scan of the concatenation of every fed chunk, bit for bit.
+        """
+        array = np.asarray(chunk)
+        if array.ndim != 1:
+            raise ValueError(f"expected a 1-D chunk, got shape {array.shape}")
+        if self.dtype is None:
+            self._set_dtype(array.dtype)
+        else:
+            resolved = self.op.check_dtype(array.dtype)
+            if resolved != self.dtype:
+                raise SessionStateError(
+                    f"session is locked to dtype {self.dtype.name}, "
+                    f"got a {resolved.name} chunk"
+                )
+        array = array.astype(self.dtype, copy=False)
+        if array.size == 0:
+            return array.copy()
+
+        t0 = time.perf_counter()
+        out = array
+        for iteration in range(self.order):
+            last = iteration == self.order - 1
+            out = self._stage_pass(
+                out, iteration, inclusive_output=self.inclusive or not last
+            )
+        self._offset += len(array)
+        self.counters.chunks += 1
+        self.counters.elements += len(array)
+        self.counters.bytes_in += array.nbytes
+        self.counters.seconds_scan += time.perf_counter() - t0
+        return out
+
+    # -- internals -------------------------------------------------------
+
+    def _lane_seen(self, lane: int) -> bool:
+        """Has global lane ``lane`` received at least one element yet?"""
+        s = self.tuple_size
+        return (self._offset // s) + (1 if self._offset % s > lane else 0) > 0
+
+    def _lane_slice(self, lane: int) -> slice:
+        """Chunk positions belonging to global lane ``lane``.
+
+        Global index ``offset + i`` is in lane ``(offset + i) % s``, so
+        the lane's first in-chunk position is ``(lane - offset) % s``.
+        """
+        return slice((lane - self._offset) % self.tuple_size, None, self.tuple_size)
+
+    def _stage_pass(
+        self, values: np.ndarray, iteration: int, inclusive_output: bool
+    ) -> np.ndarray:
+        prev_carry = self._carry[iteration].copy()
+        incl = self._stage_inclusive(values, iteration)
+        if inclusive_output:
+            return incl
+        # Exclusive = the lane-shifted inclusive continuation.  The
+        # shifted-in head is the lane's pre-chunk running total (or the
+        # identity at the very start of the stream) — exactly the value
+        # the one-shot exclusive shift would place there.
+        identity = self.op.identity(self.dtype)
+        out = np.empty_like(incl)
+        for lane in range(self.tuple_size):
+            sl = self._lane_slice(lane)
+            lane_incl = incl[sl]
+            if lane_incl.size == 0:
+                continue
+            shifted = np.empty_like(lane_incl)
+            shifted[0] = prev_carry[lane] if self._lane_seen(lane) else identity
+            shifted[1:] = lane_incl[:-1]
+            out[sl] = shifted
+        return out
+
+    def _stage_inclusive(self, values: np.ndarray, iteration: int) -> np.ndarray:
+        """One inclusive stage pass; updates ``carry[iteration]``."""
+        if self._engine is not None and self.dtype.kind in "iu":
+            return self._stage_inclusive_delegated(values, iteration)
+        return self._stage_inclusive_exact(values, iteration)
+
+    def _stage_inclusive_exact(
+        self, values: np.ndarray, iteration: int
+    ) -> np.ndarray:
+        op = self.op
+        out = np.empty_like(values)
+        for lane in range(self.tuple_size):
+            sl = self._lane_slice(lane)
+            lane_vals = values[sl]
+            if lane_vals.size == 0:
+                continue
+            if self._lane_seen(lane):
+                extended = np.empty(lane_vals.size + 1, dtype=self.dtype)
+                extended[0] = self._carry[iteration, lane]
+                extended[1:] = lane_vals
+                lane_incl = op.accumulate(extended)[1:]
+            else:
+                lane_incl = op.accumulate(lane_vals)
+            out[sl] = lane_incl
+            self._carry[iteration, lane] = lane_incl[-1]
+        return out
+
+    def _stage_inclusive_delegated(
+        self, values: np.ndarray, iteration: int
+    ) -> np.ndarray:
+        # A stride-s local scan does not depend on how lanes are
+        # *labelled*, only on the stride — so the inner engine can scan
+        # any chunk alignment; the carry fold below maps global lane l
+        # to its in-chunk phase.
+        result = self._engine.run(
+            values,
+            order=1,
+            tuple_size=self.tuple_size,
+            op=self.op,
+            inclusive=True,
+        )
+        local = np.asarray(result.values)
+        if not local.flags.writeable:
+            local = local.copy()
+        self.counters.delegated_stage_scans += 1
+        for lane in range(self.tuple_size):
+            sl = self._lane_slice(lane)
+            lane_local = local[sl]
+            if lane_local.size == 0:
+                continue
+            if self._lane_seen(lane):
+                lane_local[...] = self.op.apply(
+                    self._carry[iteration, lane], lane_local
+                )
+            self._carry[iteration, lane] = lane_local[-1]
+        return local
+
+
+def hash_config(config: dict) -> str:
+    """Stable hash of a session configuration (used by checkpoints)."""
+    blob = json.dumps(config, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()

@@ -61,6 +61,82 @@ class TestScanCommand:
                 ["scan", "a", "b", "--engine", "warp_drive"]
             )
 
+    @pytest.mark.parametrize("engine,scheme", [
+        ("parallel", "decoupled"),
+        ("parallel_chained", "chained"),
+    ])
+    def test_workers_honored_for_both_parallel_engines(
+        self, tmp_path, rng, monkeypatch, engine, scheme
+    ):
+        # --workers used to be silently ignored for parallel_chained.
+        import repro.parallel
+
+        captured = {}
+        real = repro.parallel.ParallelSamScan
+
+        def spy(*args, **kwargs):
+            captured.update(kwargs)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(repro.parallel, "ParallelSamScan", spy)
+        values = rng.integers(-100, 100, 2000).astype(np.int32)
+        raw = tmp_path / "in.bin"
+        out = tmp_path / "out.bin"
+        values.tofile(raw)
+        assert main([
+            "scan", str(raw), str(out), "--engine", engine, "--workers", "2",
+        ]) == 0
+        assert captured["num_workers"] == 2
+        assert captured["carry_scheme"] == scheme
+        got = np.fromfile(out, dtype=np.int32)
+        assert np.array_equal(got, np.cumsum(values, dtype=np.int32))
+
+
+class TestStreamCommand:
+    def test_stream_matches_scan_bit_identically(self, tmp_path, rng):
+        # The acceptance check: a file larger than the chunk budget,
+        # streamed, must produce the same bytes as one-shot `scan`.
+        values = rng.integers(-1000, 1000, 60_000).astype(np.int32)
+        raw = tmp_path / "in.bin"
+        values.tofile(raw)
+        opts = ["--order", "2", "--tuple-size", "3", "--exclusive"]
+        assert main(["scan", str(raw), str(tmp_path / "a.bin"), *opts]) == 0
+        assert main([
+            "stream", str(raw), str(tmp_path / "b.bin"), *opts,
+            "--chunk-bytes", "8192",
+        ]) == 0
+        assert (tmp_path / "a.bin").read_bytes() == (tmp_path / "b.bin").read_bytes()
+
+    def test_interrupted_stream_resumes(self, tmp_path, rng):
+        values = rng.integers(-1000, 1000, 50_000).astype(np.int32)
+        raw = tmp_path / "in.bin"
+        values.tofile(raw)
+        out = tmp_path / "out.bin"
+        ckpt = tmp_path / "job.ckpt"
+        args = [
+            "stream", str(raw), str(out), "--chunk-bytes", "4096",
+            "--checkpoint", str(ckpt), "--checkpoint-every", "2",
+        ]
+        assert main(args + ["--fail-after-chunks", "9"]) == 1
+        assert ckpt.exists()
+        assert main(args + ["--resume"]) == 0
+        assert not ckpt.exists()
+        got = np.fromfile(out, dtype=np.int32)
+        assert np.array_equal(got, np.cumsum(values, dtype=np.int32))
+
+    def test_stream_on_parallel_engine(self, tmp_path, rng):
+        values = rng.integers(-100, 100, 70_000).astype(np.int64)
+        raw = tmp_path / "in.bin"
+        values.tofile(raw)
+        out = tmp_path / "out.bin"
+        assert main([
+            "stream", str(raw), str(out), "--dtype", "int64",
+            "--engine", "parallel", "--workers", "2",
+            "--chunk-bytes", str(1 << 18),
+        ]) == 0
+        got = np.fromfile(out, dtype=np.int64)
+        assert np.array_equal(got, np.cumsum(values, dtype=np.int64))
+
 
 class TestCompressionCommands:
     def test_round_trip(self, tmp_path, rng):

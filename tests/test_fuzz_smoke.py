@@ -28,6 +28,7 @@ class TestFuzzTool:
         assert config["engine"] in (
             "sam", "sam_chained", "lookback", "reduce_scan",
             "three_phase", "streamscan", "parallel", "parallel_chained",
+            "stream",
         )
         assert 1 <= config["order"] <= 4
         assert 1 <= config["tuple_size"] <= 8
@@ -41,7 +42,7 @@ class TestFuzzTool:
                 continue
             seen.add(config["engine"])
             build_engine(config)
-        assert len(seen) == 8
+        assert len(seen) == 9
 
     def test_run_one_agrees(self):
         rng = np.random.default_rng(2)
@@ -71,3 +72,12 @@ class TestFuzzTool:
         out = capsys.readouterr().out
         assert code == 1
         assert "MISMATCH" in out or "CRASH" in out
+
+    def test_stream_only_campaign(self, capsys):
+        # The dedicated split-point mode: every iteration cuts the
+        # input at random chunk boundaries through a ScanSession.
+        assert main(
+            ["--iterations", "15", "--seed", "4", "--only", "stream"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "0 failures" in out

@@ -33,16 +33,16 @@ from repro.reference import prefix_sum_serial
 
 ENGINES = (
     "sam", "sam_chained", "lookback", "reduce_scan", "three_phase",
-    "streamscan", "parallel", "parallel_chained",
+    "streamscan", "parallel", "parallel_chained", "stream",
 )
 OPERATORS = ("add", "max", "min", "xor", "and", "or")
 DTYPES = (np.int32, np.int64, np.uint32, np.uint64)
 POLICIES = ("round_robin", "reversed", "rotating", "random")
 
 
-def random_config(rng):
+def random_config(rng, engines=ENGINES):
     """One random engine configuration + workload."""
-    engine_kind = rng.choice(ENGINES)
+    engine_kind = rng.choice(engines)
     threads = int(rng.choice([32, 64, 128]))
     items = int(rng.choice([1, 2, 4]))
     policy = str(rng.choice(POLICIES))
@@ -62,8 +62,50 @@ def random_config(rng):
         # chunks (exercising the shared-memory carry protocol).
         "workers": int(rng.integers(1, 5)),
         "chunk_elements": int(rng.choice([64, 256, 1024])),
+        # Only the "stream" kind reads this: it seeds the random chunk
+        # boundaries the input is split at before being fed through a
+        # ScanSession (split-point equivalence fuzzing).
+        "split_seed": int(rng.integers(0, 2**31)),
     }
     return config
+
+
+class SessionSplitScan:
+    """Adapter: runs a scan by feeding a ``ScanSession`` randomly-sized
+    chunks — including empty ones and edges inside a tuple stride — and
+    concatenating the outputs.  Satisfies the engine contract, so it
+    drops into the same oracle comparison as every real engine.
+    """
+
+    def __init__(self, seed: int):
+        self.seed = seed
+
+    def run(self, values, order=1, tuple_size=1, op="add", inclusive=True):
+        from repro.stream import ScanSession
+
+        rng = np.random.default_rng(self.seed)
+        session = ScanSession(
+            op=op, order=order, tuple_size=tuple_size, inclusive=inclusive
+        )
+        values = np.asarray(values)
+        n = len(values)
+        parts = []
+        pos = 0
+        while pos < n:
+            if rng.integers(0, 8) == 0:
+                session.feed(values[pos:pos])  # empty chunks must be no-ops
+            step = int(rng.integers(1, max(2, n // 3 + 1)))
+            parts.append(session.feed(values[pos : pos + step]))
+            pos += step
+
+        class Result:
+            pass
+
+        result = Result()
+        result.values = (
+            np.concatenate(parts) if parts else session.feed(values[:0])
+        )
+        return result
 
 
 def build_engine(config):
@@ -85,6 +127,8 @@ def build_engine(config):
         return ThreePhaseScan(**kw)
     if kind == "streamscan":
         return StreamScan(**kw)
+    if kind == "stream":
+        return SessionSplitScan(seed=config["split_seed"])
     if kind in ("parallel", "parallel_chained"):
         return ParallelSamScan(
             num_workers=config["workers"],
@@ -131,15 +175,19 @@ def main(argv=None) -> int:
     parser.add_argument("--iterations", type=int, default=100,
                         help="0 = run until interrupted")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--only", choices=ENGINES, default=None,
+                        help="restrict to one engine kind "
+                             "(e.g. --only stream for split-point fuzzing)")
     args = parser.parse_args(argv)
 
+    engines = (args.only,) if args.only else ENGINES
     rng = np.random.default_rng(args.seed)
     failures = 0
     iteration = 0
     start = time.time()
     while args.iterations == 0 or iteration < args.iterations:
         iteration += 1
-        config = random_config(rng)
+        config = random_config(rng, engines)
         try:
             ok = run_one(config, rng)
         except Exception as exc:  # noqa: BLE001 - fuzzing reports everything
