@@ -12,7 +12,12 @@ Commands
     streaming session (``--chunk-bytes``), bit-identical to ``scan``,
     with durable checkpoints (``--checkpoint``, ``--checkpoint-every``)
     and crash recovery (``--resume``).  Takes the same scan options as
-    ``scan`` including ``--engine`` and ``--workers``.
+    ``scan`` including ``--engine`` and ``--workers``.  With
+    ``--shards N`` (N > 1) the job runs on the sharded driver: N
+    contiguous shards scanned concurrently and spliced, with a
+    per-shard manifest at ``--checkpoint`` so ``--resume`` re-runs
+    only unfinished shards (``--workers`` then also caps concurrent
+    shard tasks).
 ``compress <in> <out>``
     Delta-compress a raw binary file of integers (``--dtype``,
     ``--order`` auto-selected when omitted, ``--tuple-size``).
@@ -89,6 +94,8 @@ def _cmd_stream(args) -> int:
 
     from repro.stream import StreamError, scan_file
 
+    if args.shards and args.shards > 1:
+        return _cmd_stream_sharded(args)
     engine = _resolve_cli_engine(args.engine, args.workers)
     try:
         result = scan_file(
@@ -129,6 +136,63 @@ def _cmd_stream(args) -> int:
         f"  phases: read {c.seconds_read:.3f}s  scan {c.seconds_scan:.3f}s  "
         f"write {c.seconds_write:.3f}s  checkpoint {c.seconds_checkpoint:.3f}s  "
         f"({c.checkpoint_writes} checkpoint writes)"
+    )
+    return 0
+
+
+def _cmd_stream_sharded(args) -> int:
+    import sys as _sys
+
+    from repro.stream import StreamError, scan_file_sharded
+
+    engine = _resolve_cli_engine(args.engine, args.workers)
+    try:
+        result = scan_file_sharded(
+            args.input,
+            args.output,
+            dtype=args.dtype,
+            op=args.op,
+            order=args.order,
+            tuple_size=args.tuple_size,
+            inclusive=not args.exclusive,
+            engine=engine,
+            shards=args.shards,
+            workers=args.workers or None,
+            chunk_bytes=args.chunk_bytes,
+            checkpoint=args.checkpoint,
+            resume=args.resume,
+            fail_after_shards=args.fail_after_shards,
+        )
+    except StreamError as exc:
+        print(f"stream failed: {exc}", file=_sys.stderr)
+        if args.checkpoint and not args.resume:
+            print(
+                f"re-run with --resume to continue from {args.checkpoint}",
+                file=_sys.stderr,
+            )
+        return 1
+    c = result.counters
+    kind = "exclusive" if args.exclusive else "inclusive"
+    resumed = (
+        f", resumed ({result.resumed_shards} shard phases already done)"
+        if c.resumes
+        else ""
+    )
+    print(
+        f"{args.input}: sharded {kind} {args.op} scan of "
+        f"{result.elements:,} x {result.dtype} (order {args.order}, "
+        f"tuple size {args.tuple_size}) across {result.num_shards} shards "
+        f"({result.passes} pass{'es' if result.passes != 1 else ''}) on "
+        f"engine {c.engine_used}{resumed} -> {args.output}"
+    )
+    print(
+        f"  shards: {c.shards} scanned, {c.primed_shards} primed, "
+        f"{c.folded_shards} folded, {c.chunk_resizes} chunk resizes"
+    )
+    print(
+        f"  phases: read {c.seconds_read:.3f}s  scan {c.seconds_scan:.3f}s  "
+        f"write {c.seconds_write:.3f}s  splice {c.seconds_splice:.3f}s  "
+        f"fold {c.seconds_fold:.3f}s  checkpoint {c.seconds_checkpoint:.3f}s"
     )
     return 0
 
@@ -276,7 +340,13 @@ def build_parser() -> argparse.ArgumentParser:
                         f"(default {DEFAULT_CHECKPOINT_EVERY})")
     p.add_argument("--resume", action="store_true",
                    help="continue from --checkpoint instead of restarting")
+    p.add_argument("--shards", type=int, default=0, metavar="N",
+                   help="N > 1: run the sharded driver (N contiguous "
+                        "shards scanned concurrently and carry-spliced; "
+                        "--checkpoint becomes a per-shard manifest)")
     p.add_argument("--fail-after-chunks", type=int, default=None,
+                   help=argparse.SUPPRESS)  # test hook: simulate a crash
+    p.add_argument("--fail-after-shards", type=int, default=None,
                    help=argparse.SUPPRESS)  # test hook: simulate a crash
     p.set_defaults(fn=_cmd_stream)
 

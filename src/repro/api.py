@@ -214,6 +214,9 @@ def scan_file(
     checkpoint=None,
     checkpoint_every: int = None,
     resume: bool = False,
+    shards: int = None,
+    workers: int = None,
+    exact: bool = True,
 ):
     """Scan a raw binary file out of core (see :mod:`repro.stream`).
 
@@ -224,8 +227,37 @@ def scan_file(
     ``checkpoint=path`` progress is persisted atomically every
     ``checkpoint_every`` chunks and an interrupted job continues under
     ``resume=True``.  Returns a :class:`repro.stream.StreamResult`.
+
+    With ``shards=N`` (N > 1) the job runs on the sharded driver
+    instead (:func:`repro.stream.scan_file_sharded`): the input is cut
+    into N contiguous shards scanned concurrently by up to ``workers``
+    threads, spliced, and folded; ``checkpoint`` then names a per-shard
+    manifest and resume re-runs only unfinished shards.  Float inputs
+    stay on the sequential exact path unless ``exact=False``.  Returns
+    a :class:`repro.stream.ShardedResult`.
     """
     from repro import stream
+
+    if shards is not None and shards > 1:
+        kwargs = {}
+        if chunk_bytes is not None:
+            kwargs["chunk_bytes"] = chunk_bytes
+        return stream.scan_file_sharded(
+            input_path,
+            output_path,
+            dtype=dtype,
+            op=op,
+            order=order,
+            tuple_size=tuple_size,
+            inclusive=inclusive,
+            engine=engine,
+            shards=shards,
+            workers=workers,
+            checkpoint=checkpoint,
+            resume=resume,
+            exact=exact,
+            **kwargs,
+        )
 
     kwargs = {}
     if chunk_bytes is not None:

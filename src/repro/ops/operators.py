@@ -103,6 +103,22 @@ class AssociativeOp:
         with np.errstate(over="ignore"):
             return self._fn(a, np.asarray(b)).astype(a.dtype, copy=False)
 
+    def apply_into(self, a, b, out):
+        """Elementwise ``op(a, b)`` written into ``out`` (may alias ``b``).
+
+        The in-place variant of :meth:`apply` for hot paths that cannot
+        afford the intermediate allocation (the sharded out-of-core
+        driver folds spliced carries into whole shard regions this
+        way).  Falls back to apply-then-copy for operators without a
+        ufunc.
+        """
+        if self._ufunc is not None:
+            with np.errstate(over="ignore"):
+                self._ufunc(a, b, out=out, dtype=out.dtype)
+        else:
+            out[...] = self.apply(a, b)
+        return out
+
     def invert(self, a, b):
         """Return ``x`` such that ``apply(x, b) == a`` (only if invertible)."""
         if self._invert_fn is None:
@@ -111,25 +127,30 @@ class AssociativeOp:
         with np.errstate(over="ignore"):
             return self._invert_fn(a, np.asarray(b)).astype(a.dtype, copy=False)
 
-    def accumulate(self, a, axis: int = -1):
+    def accumulate(self, a, axis: int = -1, out=None):
         """Inclusive running scan of ``a`` along ``axis``.
 
         Uses the numpy ufunc accumulate when one exists; otherwise falls
         back to an explicit loop so arbitrary Python operators remain
-        usable (at reduced speed).
+        usable (at reduced speed).  ``out`` may alias ``a`` for an
+        in-place scan (accumulate is a left fold, so aliasing is safe).
         """
         a = np.asarray(a)
         if a.size == 0:
-            return a.copy()
+            return a.copy() if out is None else out
         if self._ufunc is not None:
             # Pin the accumulator dtype: numpy otherwise promotes small
             # integers to the platform int, breaking wraparound semantics.
             with np.errstate(over="ignore"):
-                return self._ufunc.accumulate(a, axis=axis, dtype=a.dtype)
+                return self._ufunc.accumulate(a, axis=axis, dtype=a.dtype, out=out)
         moved = np.moveaxis(a, axis, 0).copy()
         for i in range(1, moved.shape[0]):
             moved[i] = self.apply(moved[i - 1], moved[i])
-        return np.moveaxis(moved, 0, axis)
+        result = np.moveaxis(moved, 0, axis)
+        if out is not None:
+            out[...] = result
+            return out
+        return result
 
     def reduce(self, a, axis: int = -1):
         """Reduce ``a`` along ``axis`` (the block 'local sum' primitive)."""

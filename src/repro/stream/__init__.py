@@ -12,6 +12,10 @@ The subsystem has three layers:
   memory-mapped input, double-buffered chunk pipelining through any
   inner engine, durable checkpoints every k chunks, ``resume=True``
   continuation after interruption.
+* :func:`scan_file_sharded` (``sharded.py``) — the sharded driver:
+  S contiguous shards scanned concurrently, carry-spliced on the host,
+  and folded in parallel; per-shard manifest checkpoints resume only
+  the unfinished shards.
 
 Quickstart::
 
@@ -28,8 +32,12 @@ Quickstart::
 from repro.stream.checkpoint import (
     CHECKPOINT_KIND,
     CHECKPOINT_VERSION,
+    MANIFEST_KIND,
+    MANIFEST_VERSION,
     build_checkpoint,
+    build_shard_manifest,
     read_checkpoint,
+    read_shard_manifest,
     write_checkpoint,
 )
 from repro.stream.counters import StreamCounters
@@ -47,6 +55,11 @@ from repro.stream.errors import (
     StreamError,
 )
 from repro.stream.session import ScanSession, hash_config
+from repro.stream.sharded import (
+    ShardedResult,
+    plan_shards,
+    scan_file_sharded,
+)
 
 __all__ = [
     "CHECKPOINT_KIND",
@@ -56,14 +69,21 @@ __all__ = [
     "DEFAULT_CHECKPOINT_EVERY",
     "DEFAULT_CHUNK_BYTES",
     "InjectedFailureError",
+    "MANIFEST_KIND",
+    "MANIFEST_VERSION",
     "ScanSession",
     "SessionStateError",
+    "ShardedResult",
     "StreamCounters",
     "StreamError",
     "StreamResult",
     "build_checkpoint",
+    "build_shard_manifest",
     "hash_config",
+    "plan_shards",
     "read_checkpoint",
+    "read_shard_manifest",
     "scan_file",
+    "scan_file_sharded",
     "write_checkpoint",
 ]

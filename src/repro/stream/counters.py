@@ -30,6 +30,15 @@ class StreamCounters:
     :mod:`repro.stream.session`).  A resumed job *restores* the
     counters persisted in the checkpoint, so totals are cumulative
     across interruptions; ``resumes`` says how often that happened.
+
+    The sharded driver (:mod:`repro.stream.sharded`) adds its own
+    events: ``shards`` (shard scan passes run), ``primed_shards``
+    (shards whose splice carry was already final at scan start, so the
+    carry was baked into the scan and the fold pass skipped),
+    ``folded_shards`` (shards that did need a separate fold pass),
+    ``chunk_resizes`` (adaptive chunk-sizing adjustments), and the
+    ``seconds_splice`` / ``seconds_fold`` phases.  Per-shard counters
+    are combined with :meth:`aggregate`.
     """
 
     chunks: int = 0
@@ -39,11 +48,17 @@ class StreamCounters:
     checkpoint_writes: int = 0
     resumes: int = 0
     delegated_stage_scans: int = 0
+    shards: int = 0
+    primed_shards: int = 0
+    folded_shards: int = 0
+    chunk_resizes: int = 0
     engine_used: str = "host"
     seconds_read: float = 0.0
     seconds_scan: float = 0.0
     seconds_write: float = 0.0
     seconds_checkpoint: float = 0.0
+    seconds_splice: float = 0.0
+    seconds_fold: float = 0.0
 
     # -- aggregates ------------------------------------------------------
 
@@ -54,6 +69,8 @@ class StreamCounters:
             + self.seconds_scan
             + self.seconds_write
             + self.seconds_checkpoint
+            + self.seconds_splice
+            + self.seconds_fold
         )
 
     def as_dict(self) -> dict:
@@ -66,13 +83,46 @@ class StreamCounters:
         known = {spec.name for spec in fields(cls)}
         return cls(**{key: value for key, value in data.items() if key in known})
 
+    @classmethod
+    def aggregate(cls, parts, engine_used: str = None) -> "StreamCounters":
+        """Sum per-shard (or per-phase) counters into one total.
+
+        Numeric fields add; ``engine_used`` is taken from the argument,
+        or from the parts when they all agree (``"mixed"`` otherwise).
+        Phase seconds are summed *work*, not wall-clock: shards running
+        in parallel will legitimately report more phase-seconds than
+        the job's elapsed time.
+        """
+        total = cls()
+        labels = set()
+        for part in parts:
+            for spec in fields(cls):
+                value = getattr(part, spec.name)
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    setattr(total, spec.name, getattr(total, spec.name) + value)
+            labels.add(part.engine_used)
+        if engine_used is not None:
+            total.engine_used = engine_used
+        elif len(labels) == 1:
+            total.engine_used = labels.pop()
+        elif labels:
+            total.engine_used = "mixed"
+        return total
+
     def __str__(self) -> str:
+        sharded = (
+            f"shards={self.shards} (primed {self.primed_shards}, "
+            f"folded {self.folded_shards}), "
+            if self.shards
+            else ""
+        )
         return (
             f"StreamCounters(engine={self.engine_used}, "
             f"chunks={self.chunks}, elements={self.elements}, "
-            f"bytes={self.bytes_in}->{self.bytes_out}, "
+            f"bytes={self.bytes_in}->{self.bytes_out}, {sharded}"
             f"checkpoints={self.checkpoint_writes}, resumes={self.resumes}, "
             f"wall={self.seconds_total:.4f}s "
             f"[read {self.seconds_read:.4f} scan {self.seconds_scan:.4f} "
-            f"write {self.seconds_write:.4f} ckpt {self.seconds_checkpoint:.4f}])"
+            f"write {self.seconds_write:.4f} ckpt {self.seconds_checkpoint:.4f} "
+            f"splice {self.seconds_splice:.4f} fold {self.seconds_fold:.4f}])"
         )

@@ -125,6 +125,11 @@ def scan_file(
     start_elements = 0
     if resume and checkpoint is not None and os.path.exists(checkpoint):
         start_elements = _restore(session, checkpoint, total_elements, output_path)
+    elif checkpoint is not None and os.path.exists(checkpoint):
+        # Starting fresh: a leftover checkpoint from a previous job must
+        # not survive, or a later crash + resume would restore a stale
+        # offset against this job's output and corrupt it silently.
+        os.remove(checkpoint)
     counters = session.counters
 
     if start_elements:
@@ -167,7 +172,11 @@ def scan_file(
                 )
             scanned = session.feed(chunk)
             t0 = time.perf_counter()
-            out_fh.write(scanned.tobytes())
+            # Write the array's buffer directly: tobytes() would copy
+            # every scanned chunk a second time on the hot write path.
+            if not scanned.flags.c_contiguous:  # pragma: no cover - defensive
+                scanned = np.ascontiguousarray(scanned)
+            out_fh.write(memoryview(scanned).cast("B"))
             counters.seconds_write += time.perf_counter() - t0
             counters.bytes_out += scanned.nbytes
             position = next_position

@@ -222,6 +222,11 @@ class ScanSession:
                 )
         array = array.astype(self.dtype, copy=False)
         if array.size == 0:
+            # Empty chunks are scan no-ops but real feed calls: count
+            # them so StreamCounters.chunks always equals the number of
+            # feed calls (and agrees with the driver's own chunk count).
+            self.counters.chunks += 1
+            self.counters.bytes_in += array.nbytes
             return array.copy()
 
         t0 = time.perf_counter()

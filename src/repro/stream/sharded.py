@@ -1,0 +1,968 @@
+"""Sharded out-of-core scans: the carry splice across *space*.
+
+:func:`scan_file_sharded` is the host-scale analogue of SAM's two-level
+carry propagation.  Where :func:`repro.stream.scan_file` proves that
+one pass plus O(1) carry state suffices across *time* (chunks of one
+stream), this driver proves it across *space*: the input is cut into
+``S`` contiguous shards, each shard is scanned independently (phase 1),
+the per-order, per-tuple-lane shard aggregates are spliced by a tiny
+exclusive scan on the host (phase 2 — the same second-level scan
+LightScan and the SIMD partition scans use), and each shard folds its
+spliced carry into its output region (phase 3).  Higher orders iterate
+the three phases exactly as SAM iterates only the computation stage:
+order ``q`` runs ``q`` scan passes with a splice between passes.
+
+Two properties keep the driver fast where plain three-phase scans are
+not:
+
+* **Carry priming.**  A shard whose predecessors have all finished the
+  current pass learns its spliced carry *before* scanning, bakes it
+  into the scan directly, and skips its fold entirely.  With one
+  worker every shard is primed and the job degenerates to a single
+  pass — the same degeneration decoupled lookback exhibits when blocks
+  run in order.
+* **A lean integer kernel.**  Fixed-width integer arithmetic is truly
+  associative (wraparound included), so shard passes accumulate each
+  lane *in place* and fold the running carry in place — none of the
+  prepend copies the bit-exact float path needs.
+
+Bit-identity: for integer dtypes the output is bit-identical to the
+one-shot host scan for every op / order / tuple size, inclusive and
+exclusive.  Floats are only pseudo-associative, so by default float
+inputs take the sequential exact path (:func:`scan_file`); pass
+``exact=False`` to shard them anyway and accept carry-fold rounding.
+
+Durability: progress is tracked in a **per-shard manifest** (see
+:mod:`repro.stream.checkpoint`).  Passes ping-pong between the output
+file and a scratch file so the source of every pass stays intact;
+a killed job re-runs only its unfinished shards under ``resume=True``
+(an interrupted in-place fold is rebuilt by re-scanning that shard
+from the intact pass source, then folding again).
+"""
+
+from __future__ import annotations
+
+import base64
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.ops import get_op
+from repro.stream.checkpoint import (
+    build_shard_manifest,
+    read_shard_manifest,
+    write_checkpoint,
+)
+from repro.stream.counters import StreamCounters
+from repro.stream.driver import DEFAULT_CHUNK_BYTES, scan_file
+from repro.stream.errors import (
+    CheckpointMismatchError,
+    InjectedFailureError,
+    StreamError,
+)
+from repro.stream.session import ScanSession
+
+#: Adaptive chunk sizing: grow the chunk while a full
+#: read-fold-scan-write cycle stays under the low-water seconds (the
+#: per-chunk Python overhead is then a measurable fraction), shrink it
+#: past the high-water mark (latency per progress report, and the peak
+#: memory of a chunk, stay bounded).
+ADAPT_LOW_SECONDS = 0.05
+ADAPT_HIGH_SECONDS = 0.5
+ADAPT_MIN_CHUNK_BYTES = 64 << 10
+ADAPT_MAX_CHUNK_BYTES = 256 << 20
+
+#: Delegated inner engines (e.g. the shared ``repro.parallel`` pool)
+#: are one resource: concurrent shard threads take turns using them.
+_DELEGATE_LOCK = threading.Lock()
+
+
+@dataclass
+class ShardedResult:
+    """Outcome of one :func:`scan_file_sharded` job."""
+
+    elements: int
+    dtype: str
+    output_path: str
+    counters: StreamCounters
+    shards: List[Tuple[int, int]]
+    passes: int
+    shard_counters: List[StreamCounters] = field(default_factory=list)
+    resumed_shards: int = 0
+    fallback_reason: Optional[str] = None
+
+    @property
+    def engine_used(self) -> str:
+        return self.counters.engine_used
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+
+# -- shard geometry ------------------------------------------------------
+
+
+def plan_shards(total_elements: int, shards: int) -> List[Tuple[int, int]]:
+    """Contiguous, near-equal shard bounds (never an empty shard)."""
+    shards = max(1, min(int(shards), total_elements)) if total_elements else 1
+    base, rem = divmod(total_elements, shards)
+    bounds = []
+    lo = 0
+    for i in range(shards):
+        hi = lo + base + (1 if i < rem else 0)
+        bounds.append((lo, hi))
+        lo = hi
+    return bounds
+
+
+def _lane_counts(lo: int, hi: int, tuple_size: int) -> np.ndarray:
+    """How many elements of [lo, hi) fall in each global tuple lane."""
+    lanes = np.arange(tuple_size)
+    return (hi - lanes + tuple_size - 1) // tuple_size - (
+        lo - lanes + tuple_size - 1
+    ) // tuple_size
+
+
+def _seen_before(lo: int, tuple_size: int) -> np.ndarray:
+    """Lanes that have at least one element at a global index < lo."""
+    return np.arange(tuple_size) < lo
+
+
+# -- per-shard kernels ---------------------------------------------------
+
+
+class _LaneKernel:
+    """Order-1 per-lane scan continuation without prepend copies.
+
+    Each lane of the chunk is accumulated in place, then the lane's
+    running carry is folded in place — exact for fixed-width integers
+    because their arithmetic is truly associative; for floats this is
+    the sharded (``exact=False``, non-bit-exact) path.  ``prime`` loads
+    an absolute carry so the shard's output is final as written.
+    """
+
+    def __init__(self, op, dtype, tuple_size, lo, prime=None):
+        self.op = op
+        self.s = int(tuple_size)
+        self.pos = int(lo)
+        identity = op.identity(dtype)
+        self.carry = np.full(self.s, identity, dtype=dtype)
+        if prime is not None:
+            self.carry[:] = prime
+            self.active = _seen_before(lo, self.s).copy()
+        else:
+            self.active = np.zeros(self.s, dtype=bool)
+
+    def feed(self, chunk: np.ndarray) -> np.ndarray:
+        if chunk.size == 0:
+            return chunk
+        op, s = self.op, self.s
+        if s == 1:
+            op.accumulate(chunk, out=chunk)
+            if self.active[0]:
+                op.apply_into(self.carry[0], chunk, out=chunk)
+            self.carry[0] = chunk[-1]
+            self.active[0] = True
+        else:
+            for lane in range(s):
+                lane_vals = chunk[slice((lane - self.pos) % s, None, s)]
+                if lane_vals.size == 0:
+                    continue
+                op.accumulate(lane_vals, out=lane_vals)
+                if self.active[lane]:
+                    op.apply_into(self.carry[lane], lane_vals, out=lane_vals)
+                self.carry[lane] = lane_vals[-1]
+                self.active[lane] = True
+        self.pos += len(chunk)
+        return chunk
+
+    @property
+    def delegated_stage_scans(self) -> int:
+        return 0
+
+
+class _SessionKernel:
+    """Shard kernel delegating chunk scans to an inner one-shot engine.
+
+    Wraps a single-pass :class:`ScanSession` whose offset is preloaded
+    to the shard's global start (so tuple lanes are labelled globally)
+    and whose carry is optionally primed.  Delegated engines are shared
+    resources, so feeds are serialized across shard threads.
+    """
+
+    def __init__(self, op, dtype, tuple_size, lo, prime, engine):
+        self.session = ScanSession(
+            op=op, order=1, tuple_size=tuple_size, inclusive=True,
+            dtype=dtype, engine=engine,
+        )
+        identity = op.identity(dtype)
+        carry = np.full(tuple_size, identity, dtype=dtype)
+        if prime is not None:
+            carry[:] = prime
+        self.session.load_state_dict({
+            "offset": int(lo),
+            "carry": base64.b64encode(carry.tobytes()).decode("ascii"),
+            "config": self.session.config(),
+            "config_hash": self.session.config_hash(),
+        })
+
+    def feed(self, chunk: np.ndarray) -> np.ndarray:
+        with _DELEGATE_LOCK:
+            return self.session.feed(chunk)
+
+    @property
+    def carry(self) -> np.ndarray:
+        return self.session._carry[0]
+
+    @property
+    def delegated_stage_scans(self) -> int:
+        return self.session.counters.delegated_stage_scans
+
+
+def _fold_chunk(op, chunk, carry, pos, tuple_size, seen) -> None:
+    """In-place ``op(carry[lane], x)`` over the chunk's seen lanes."""
+    if tuple_size == 1:
+        if seen[0]:
+            op.apply_into(carry[0], chunk, out=chunk)
+        return
+    for lane in range(tuple_size):
+        if not seen[lane]:
+            continue
+        lane_vals = chunk[slice((lane - pos) % tuple_size, None, tuple_size)]
+        if lane_vals.size:
+            op.apply_into(carry[lane], lane_vals, out=lane_vals)
+
+
+def _exclusive_shift(op, chunk, prev, pos, tuple_size) -> np.ndarray:
+    """Lane-shift a folded inclusive chunk; ``prev`` carries lane heads
+    across chunk boundaries (updated in place)."""
+    if tuple_size == 1:
+        shifted = np.empty_like(chunk)
+        shifted[0] = prev[0]
+        shifted[1:] = chunk[:-1]
+        prev[0] = chunk[-1]
+        return shifted
+    out = np.empty_like(chunk)
+    for lane in range(tuple_size):
+        sl = slice((lane - pos) % tuple_size, None, tuple_size)
+        lane_vals = chunk[sl]
+        if lane_vals.size == 0:
+            continue
+        shifted = np.empty_like(lane_vals)
+        shifted[0] = prev[lane]
+        shifted[1:] = lane_vals[:-1]
+        out[sl] = shifted
+        prev[lane] = lane_vals[-1]
+    return out
+
+
+class _AdaptiveChunker:
+    """Chunk sizing driven by the measured per-chunk phase seconds."""
+
+    def __init__(self, elements, itemsize, enabled, counters):
+        self.enabled = enabled
+        self.counters = counters
+        self.min_elements = max(1, ADAPT_MIN_CHUNK_BYTES // itemsize)
+        self.max_elements = max(elements, ADAPT_MAX_CHUNK_BYTES // itemsize)
+        self.elements = max(1, int(elements))
+
+    def observe(self, seconds: float) -> None:
+        if not self.enabled:
+            return
+        if seconds < ADAPT_LOW_SECONDS and self.elements < self.max_elements:
+            self.elements = min(self.max_elements, self.elements * 2)
+            self.counters.chunk_resizes += 1
+        elif seconds > ADAPT_HIGH_SECONDS and self.elements > self.min_elements:
+            self.elements = max(self.min_elements, self.elements // 2)
+            self.counters.chunk_resizes += 1
+
+
+# -- the splice ----------------------------------------------------------
+
+
+def _splice(op, dtype, tuple_size, shards, aggregates, baked) -> np.ndarray:
+    """Phase 2: exclusive scan of shard aggregates, per tuple lane.
+
+    Returns ``carries[i]`` — the absolute carry at shard ``i``'s start
+    for the current pass.  Baked shards report absolute aggregates
+    (their carry is already inside), so they *reset* the running value
+    instead of combining into it.  A trailing ``None`` aggregate is
+    allowed (``try_prime`` only needs the carry *at* that shard).
+    """
+    identity = op.identity(dtype)
+    running = np.full(tuple_size, identity, dtype=dtype)
+    carries = np.empty((len(shards), tuple_size), dtype=dtype)
+    for i, (lo, hi) in enumerate(shards):
+        carries[i] = running
+        present = _lane_counts(lo, hi, tuple_size) > 0
+        if not present.any():
+            continue
+        agg = aggregates[i]
+        if agg is None:
+            continue
+        if baked[i]:
+            running = np.where(present, agg, running)
+        else:
+            seen = _seen_before(lo, tuple_size)
+            combined = np.where(seen, op.apply(running, agg), agg)
+            running = np.where(present, combined, running)
+    return carries
+
+
+# -- manifest encoding ---------------------------------------------------
+
+
+def _encode_row(row: np.ndarray) -> str:
+    return base64.b64encode(row.tobytes()).decode("ascii")
+
+
+def _decode_row(blob: str, dtype, tuple_size) -> np.ndarray:
+    raw = base64.b64decode(blob)
+    expected = tuple_size * dtype.itemsize
+    if len(raw) != expected:
+        raise StreamError(
+            f"manifest aggregate row is {len(raw)} bytes, expected {expected}"
+        )
+    return np.frombuffer(raw, dtype=dtype).copy()
+
+
+# -- the driver ----------------------------------------------------------
+
+
+class _ShardedJob:
+    """All state of one sharded run (paths, plan, progress, manifest)."""
+
+    def __init__(
+        self, *, input_path, output_path, op, dtype, order, tuple_size,
+        inclusive, engine, shards, chunk_bytes, adaptive_chunks,
+        checkpoint, workers,
+    ):
+        self.input_path = input_path
+        self.output_path = output_path
+        self.scratch_path = f"{output_path}.scratch"
+        self.op = op
+        self.dtype = dtype
+        self.order = order
+        self.tuple_size = tuple_size
+        self.inclusive = inclusive
+        self.engine = engine
+        self.shards = shards
+        self.chunk_bytes = chunk_bytes
+        self.adaptive_chunks = adaptive_chunks
+        self.checkpoint = checkpoint
+        self.workers = workers
+        self.itemsize = dtype.itemsize
+        self.total_elements = shards[-1][1] if shards else 0
+
+        # Progress (mirrors the manifest's "state" document).
+        self.completed_passes: List[dict] = []  # {"aggregates": [...], "baked": [...]}
+        self.phase = {"kind": "scan", "pass": 1}
+        self.done = [False] * len(shards)
+        self.baked: List[Optional[bool]] = [None] * len(shards)
+        self.aggregates: List[Optional[np.ndarray]] = [None] * len(shards)
+        self.carried = StreamCounters(engine_used=self._engine_label())
+        self.shard_counters: List[StreamCounters] = []
+        self.resumed_shards = 0
+        self.completions = 0
+        self.fail_after_shards: Optional[int] = None
+        self.lock = threading.Lock()
+
+    # -- config & manifest ----------------------------------------------
+
+    def _engine_label(self) -> str:
+        if self.engine is None:
+            return "host"
+        if isinstance(self.engine, str):
+            return self.engine
+        return type(self.engine).__name__
+
+    def config(self) -> dict:
+        return {
+            "op": self.op.name,
+            "order": self.order,
+            "tuple_size": self.tuple_size,
+            "inclusive": self.inclusive,
+            "dtype": self.dtype.name,
+        }
+
+    def needs_scratch(self) -> bool:
+        return self.order >= 2
+
+    def target_path(self, pass_index: int) -> str:
+        # The last pass always lands in the output file (the fold then
+        # runs in place there); earlier passes ping-pong so every
+        # pass's source file stays intact for crash-redo.
+        if (self.order - pass_index) % 2 == 0:
+            return self.output_path
+        return self.scratch_path
+
+    def source_path(self, pass_index: int) -> str:
+        if pass_index == 1:
+            return self.input_path
+        return self.target_path(pass_index - 1)
+
+    def state_dict(self) -> dict:
+        return {
+            "phase": dict(self.phase),
+            "done": list(self.done),
+            "baked": list(self.baked),
+            "aggregates": [
+                None if row is None else _encode_row(row)
+                for row in self.aggregates
+            ],
+            "completed_passes": [
+                {
+                    "aggregates": [_encode_row(r) for r in rec["aggregates"]],
+                    "baked": list(rec["baked"]),
+                }
+                for rec in self.completed_passes
+            ],
+            "counters": self.counters_so_far().as_dict(),
+        }
+
+    def counters_so_far(self) -> StreamCounters:
+        return StreamCounters.aggregate(
+            [self.carried, *self.shard_counters],
+            engine_used=self._engine_label(),
+        )
+
+    def write_manifest(self) -> None:
+        if self.checkpoint is None:
+            return
+        t0 = time.perf_counter()
+        payload = build_shard_manifest(
+            self.config(), self.total_elements, self.shards, self.state_dict()
+        )
+        write_checkpoint(self.checkpoint, payload)
+        self.carried.checkpoint_writes += 1
+        self.carried.seconds_checkpoint += time.perf_counter() - t0
+
+    def load_manifest(self, payload: dict) -> None:
+        config = payload["config"]
+        mine = self.config()
+        if config != mine:
+            diffs = sorted(
+                key for key in set(config) | set(mine)
+                if config.get(key) != mine.get(key)
+            )
+            raise CheckpointMismatchError(
+                f"shard manifest {self.checkpoint!r} belongs to a different "
+                f"configuration (differs in {', '.join(diffs) or 'structure'}: "
+                f"saved {config!r}, this job {mine!r})"
+            )
+        if payload["input_elements"] != self.total_elements:
+            raise CheckpointMismatchError(
+                f"shard manifest {self.checkpoint!r} was taken against an "
+                f"input of {payload['input_elements']} elements; this input "
+                f"has {self.total_elements}"
+            )
+        # Resume continues the *stored* plan: shard boundaries are part
+        # of the on-disk layout, unlike chunk size or engine.
+        self.shards = [(int(lo), int(hi)) for lo, hi in payload["shards"]]
+        state = payload["state"]
+        self.phase = dict(state["phase"])
+        self.done = list(state["done"])
+        self.baked = list(state["baked"])
+        self.aggregates = [
+            None if row is None else _decode_row(row, self.dtype, self.tuple_size)
+            for row in state["aggregates"]
+        ]
+        self.completed_passes = [
+            {
+                "aggregates": [
+                    _decode_row(r, self.dtype, self.tuple_size)
+                    for r in rec["aggregates"]
+                ],
+                "baked": list(rec["baked"]),
+            }
+            for rec in state["completed_passes"]
+        ]
+        self.carried = StreamCounters.from_dict(state.get("counters", {}))
+        self.carried.engine_used = self._engine_label()
+        self.carried.resumes += 1
+        self.resumed_shards = sum(bool(flag) for flag in self.done)
+
+    # -- progress --------------------------------------------------------
+
+    def try_prime(self, shard_index: int) -> Optional[np.ndarray]:
+        """Phase-1.5 shortcut: the absolute carry for ``shard_index`` in
+        the current pass, if every predecessor already finished it."""
+        with self.lock:
+            if not all(self.done[:shard_index]):
+                return None
+            if shard_index == 0:
+                identity = self.op.identity(self.dtype)
+                return np.full(self.tuple_size, identity, dtype=self.dtype)
+            carries = _splice(
+                self.op, self.dtype, self.tuple_size,
+                self.shards[: shard_index + 1],
+                [self.aggregates[j] for j in range(shard_index)] + [None],
+                [self.baked[j] for j in range(shard_index)] + [False],
+            )
+            return carries[shard_index]
+
+    def record_completion(
+        self, shard_index, counters, aggregate=None, baked=None
+    ) -> None:
+        """Main-thread bookkeeping after one shard task finishes."""
+        with self.lock:
+            self.done[shard_index] = True
+            if aggregate is not None:
+                self.aggregates[shard_index] = aggregate
+            if baked is not None:
+                self.baked[shard_index] = baked
+            self.shard_counters.append(counters)
+        self.write_manifest()
+        self.completions += 1
+        if (
+            self.fail_after_shards is not None
+            and self.completions >= self.fail_after_shards
+            and not (all(self.done) and self.phase["kind"] == "fold")
+        ):
+            raise InjectedFailureError(
+                f"injected failure after {self.completions} shard completions "
+                f"(phase {self.phase})"
+            )
+
+    def begin_phase(self, phase: dict, done=None, baked_reset=True) -> None:
+        with self.lock:
+            self.phase = dict(phase)
+            self.done = list(done) if done is not None else [False] * len(self.shards)
+            if baked_reset:
+                self.baked = [None] * len(self.shards)
+                self.aggregates = [None] * len(self.shards)
+
+
+def _splice_none_guard(aggregates) -> None:
+    missing = [i for i, row in enumerate(aggregates) if row is None]
+    if missing:  # pragma: no cover - internal invariant
+        raise StreamError(f"splice ran before shards {missing} finished")
+
+
+# -- shard tasks (run on executor threads) -------------------------------
+
+
+def _scan_shard(
+    job: _ShardedJob, pass_index, shard_index, fold_carry, prime,
+    publish=True,
+):
+    """One shard's order-1 scan pass.
+
+    Reads its region of the pass source, folds ``fold_carry`` (the
+    previous pass's spliced carry) into the values, scans each lane as
+    a continuation, and writes the result to the same region of the
+    pass target.  Returns ``(aggregate_row, baked, counters)``.
+
+    With ``publish`` the task records its aggregate and done flag
+    itself (under the job lock) *before* returning, so a successor
+    shard picked up by the same worker can prime off it immediately —
+    the main thread only learns of the completion at its next
+    ``as_completed`` wakeup, too late for sequential priming.  The
+    crash-recovery rescan passes ``publish=False``: during the fold
+    phase the done flags mean "folded", which a rescan is not.
+    """
+    lo, hi = job.shards[shard_index]
+    op, dtype, s = job.op, job.dtype, job.tuple_size
+    counters = StreamCounters(engine_used=job._engine_label())
+    if isinstance(prime, str) and prime == "auto":
+        prime = job.try_prime(shard_index)
+    baked = prime is not None
+    if job.engine is not None and dtype.kind in "iu":
+        kernel = _SessionKernel(op, dtype, s, lo, prime, job.engine)
+    else:
+        kernel = _LaneKernel(op, dtype, s, lo, prime=prime)
+    seen = _seen_before(lo, s)
+    source = np.memmap(job.source_path(pass_index), dtype=dtype, mode="r")
+    chunker = _AdaptiveChunker(
+        max(1, job.chunk_bytes // job.itemsize), job.itemsize,
+        job.adaptive_chunks, counters,
+    )
+    out_fh = open(job.target_path(pass_index), "r+b")
+    try:
+        out_fh.seek(lo * job.itemsize)
+        pos = lo
+        while pos < hi:
+            chunk_start = time.perf_counter()
+            take = min(chunker.elements, hi - pos)
+            chunk = np.array(source[pos : pos + take], copy=True)
+            t_read = time.perf_counter()
+            counters.seconds_read += t_read - chunk_start
+            if fold_carry is not None:
+                _fold_chunk(op, chunk, fold_carry, pos, s, seen)
+                t_fold = time.perf_counter()
+                counters.seconds_fold += t_fold - t_read
+                t_read = t_fold
+            chunk = kernel.feed(chunk)
+            t_scan = time.perf_counter()
+            counters.seconds_scan += t_scan - t_read
+            out_fh.write(memoryview(chunk).cast("B"))
+            t_write = time.perf_counter()
+            counters.seconds_write += t_write - t_scan
+            counters.chunks += 1
+            counters.bytes_in += chunk.nbytes
+            counters.bytes_out += chunk.nbytes
+            if pass_index == 1:
+                counters.elements += len(chunk)
+            pos += take
+            chunker.observe(t_write - chunk_start)
+        t0 = time.perf_counter()
+        out_fh.flush()
+        os.fsync(out_fh.fileno())
+        counters.seconds_write += time.perf_counter() - t0
+    finally:
+        out_fh.close()
+        del source
+    counters.shards += 1
+    counters.primed_shards += int(baked)
+    counters.delegated_stage_scans += kernel.delegated_stage_scans
+    aggregate = np.asarray(kernel.carry).copy()
+    if publish:
+        with job.lock:
+            job.done[shard_index] = True
+            job.aggregates[shard_index] = aggregate
+            job.baked[shard_index] = baked
+    return aggregate, baked, counters
+
+
+def _fold_shard(job: _ShardedJob, shard_index, carry, do_fold):
+    """Phase 3 for one shard: fold the spliced carry into the output
+    region in place (and lane-shift it when the scan is exclusive)."""
+    lo, hi = job.shards[shard_index]
+    op, dtype, s = job.op, job.dtype, job.tuple_size
+    counters = StreamCounters(engine_used=job._engine_label())
+    seen = _seen_before(lo, s)
+    identity = op.identity(dtype)
+    prev = np.where(seen, carry, np.full(s, identity, dtype=dtype)).astype(dtype)
+    source = np.memmap(job.output_path, dtype=dtype, mode="r")
+    chunker = _AdaptiveChunker(
+        max(1, job.chunk_bytes // job.itemsize), job.itemsize,
+        job.adaptive_chunks, counters,
+    )
+    out_fh = open(job.output_path, "r+b")
+    try:
+        out_fh.seek(lo * job.itemsize)
+        pos = lo
+        while pos < hi:
+            chunk_start = time.perf_counter()
+            take = min(chunker.elements, hi - pos)
+            chunk = np.array(source[pos : pos + take], copy=True)
+            if do_fold:
+                _fold_chunk(op, chunk, carry, pos, s, seen)
+            if not job.inclusive:
+                chunk = _exclusive_shift(op, chunk, prev, pos, s)
+            out_fh.write(memoryview(chunk).cast("B"))
+            counters.chunks += 1
+            pos += take
+            elapsed = time.perf_counter() - chunk_start
+            counters.seconds_fold += elapsed
+            chunker.observe(elapsed)
+        t0 = time.perf_counter()
+        out_fh.flush()
+        os.fsync(out_fh.fileno())
+        counters.seconds_fold += time.perf_counter() - t0
+    finally:
+        out_fh.close()
+        del source
+    counters.folded_shards += 1
+    return counters
+
+
+# -- public entry point --------------------------------------------------
+
+
+def scan_file_sharded(
+    input_path,
+    output_path,
+    *,
+    dtype="int32",
+    op="add",
+    order: int = 1,
+    tuple_size: int = 1,
+    inclusive: bool = True,
+    engine=None,
+    shards: Optional[int] = None,
+    workers: Optional[int] = None,
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+    adaptive_chunks: bool = True,
+    checkpoint=None,
+    resume: bool = False,
+    exact: bool = True,
+    fail_after_shards: Optional[int] = None,
+) -> ShardedResult:
+    """Scan a raw binary file out of core across ``shards`` partitions.
+
+    Parameters mirror :func:`repro.stream.scan_file` plus the sharding
+    knobs: ``shards`` (contiguous partitions; default the CPU count),
+    ``workers`` (concurrent shard tasks; default ``min(shards, cpus)``),
+    ``adaptive_chunks`` (per-shard chunk sizing driven by measured
+    per-chunk phase seconds), and ``exact`` (floats take the
+    sequential bit-exact path unless ``exact=False``).  ``checkpoint``
+    names the per-shard manifest; a killed job re-runs only its
+    unfinished shards under ``resume=True``.  ``fail_after_shards`` is
+    a test-only hook aborting the job after N shard completions.
+    """
+    if chunk_bytes < 1:
+        raise ValueError(f"chunk_bytes must be >= 1, got {chunk_bytes}")
+    if order < 1:
+        raise ValueError(f"order must be >= 1, got {order}")
+    if tuple_size < 1:
+        raise ValueError(f"tuple_size must be >= 1, got {tuple_size}")
+    if shards is not None and shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    if workers is not None and workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    input_path = os.fspath(input_path)
+    output_path = os.fspath(output_path)
+
+    resolved_op = get_op(op)
+    resolved_dtype = resolved_op.check_dtype(dtype)
+    itemsize = resolved_dtype.itemsize
+    input_bytes = os.path.getsize(input_path)
+    if input_bytes % itemsize:
+        raise ValueError(
+            f"{input_path!r} is {input_bytes} bytes, not a multiple of "
+            f"{resolved_dtype.name}'s {itemsize}-byte item size"
+        )
+    total_elements = input_bytes // itemsize
+
+    if resolved_dtype.kind not in "iu" and exact:
+        # Floats are only pseudo-associative: splicing carries across
+        # shards would round differently from the one-shot scan.  The
+        # sequential session path is bit-exact; exact=False opts into
+        # sharding anyway.
+        result = scan_file(
+            input_path, output_path, dtype=resolved_dtype, op=resolved_op,
+            order=order, tuple_size=tuple_size, inclusive=inclusive,
+            engine=engine, chunk_bytes=chunk_bytes, checkpoint=checkpoint,
+            resume=resume,
+        )
+        return ShardedResult(
+            elements=result.elements,
+            dtype=result.dtype,
+            output_path=output_path,
+            counters=result.counters,
+            shards=[(0, result.elements)],
+            passes=order,
+            shard_counters=[result.counters],
+            resumed_shards=int(bool(result.resumed_from)),
+            fallback_reason=(
+                "float dtype: bit-exactness requires the sequential exact "
+                "path (pass exact=False to shard float inputs)"
+            ),
+        )
+
+    if shards is None:
+        shards = os.cpu_count() or 1
+    plan = plan_shards(total_elements, shards)
+    if workers is None:
+        workers = min(len(plan), os.cpu_count() or 1)
+
+    job = _ShardedJob(
+        input_path=input_path, output_path=output_path, op=resolved_op,
+        dtype=resolved_dtype, order=order, tuple_size=tuple_size,
+        inclusive=inclusive, engine=engine, shards=plan,
+        chunk_bytes=chunk_bytes, adaptive_chunks=adaptive_chunks,
+        checkpoint=checkpoint, workers=workers,
+    )
+    job.fail_after_shards = fail_after_shards
+
+    if total_elements == 0:
+        open(output_path, "wb").close()
+        if checkpoint is not None and os.path.exists(checkpoint):
+            os.remove(checkpoint)
+        return ShardedResult(
+            elements=0, dtype=resolved_dtype.name, output_path=output_path,
+            counters=job.counters_so_far(), shards=[], passes=order,
+        )
+
+    resumed = False
+    if resume and checkpoint is not None and os.path.exists(checkpoint):
+        job.load_manifest(read_shard_manifest(checkpoint))
+        _check_resume_files(job)
+        resumed = True
+    elif checkpoint is not None and os.path.exists(checkpoint):
+        # Same stale-checkpoint rule as the unsharded driver: a fresh
+        # start must not leave a previous job's manifest around.
+        os.remove(checkpoint)
+
+    if not resumed:
+        _preallocate(job.output_path, total_elements * itemsize)
+        if job.needs_scratch():
+            _preallocate(job.scratch_path, total_elements * itemsize)
+        job.write_manifest()
+
+    with ThreadPoolExecutor(max_workers=workers) as executor:
+        try:
+            _run(job, executor, resumed)
+        except BaseException:
+            executor.shutdown(wait=True, cancel_futures=True)
+            raise
+
+    if checkpoint is not None and os.path.exists(checkpoint):
+        os.remove(checkpoint)
+    if job.needs_scratch() and os.path.exists(job.scratch_path):
+        os.remove(job.scratch_path)
+    return ShardedResult(
+        elements=total_elements,
+        dtype=resolved_dtype.name,
+        output_path=output_path,
+        counters=job.counters_so_far(),
+        shards=list(job.shards),
+        passes=order,
+        shard_counters=list(job.shard_counters),
+        resumed_shards=job.resumed_shards,
+    )
+
+
+def _preallocate(path: str, nbytes: int) -> None:
+    with open(path, "wb") as fh:
+        fh.truncate(nbytes)
+
+
+def _check_resume_files(job: _ShardedJob) -> None:
+    expected = job.total_elements * job.itemsize
+    paths = [job.output_path]
+    if job.needs_scratch():
+        paths.append(job.scratch_path)
+    for path in paths:
+        if not os.path.exists(path):
+            raise StreamError(
+                f"cannot resume: shard manifest exists but {path!r} does not"
+            )
+        size = os.path.getsize(path)
+        if size != expected:
+            raise StreamError(
+                f"cannot resume: {path!r} is {size} bytes, the manifest "
+                f"expects {expected}; the manifest and files are out of sync"
+            )
+
+
+def _run(job: _ShardedJob, executor, resumed: bool) -> None:
+    """Drive the pass/splice/fold pipeline over the shard plan."""
+    start_pass = 1 + len(job.completed_passes)
+    resumed_into_fold = resumed and job.phase["kind"] == "fold"
+
+    carries = None
+    for pass_index in range(1, job.order + 1):
+        if pass_index < start_pass or resumed_into_fold:
+            rec = job.completed_passes[pass_index - 1]
+            carries = _splice(
+                job.op, job.dtype, job.tuple_size,
+                job.shards, rec["aggregates"], rec["baked"],
+            )
+            continue
+        if not (
+            resumed
+            and job.phase == {"kind": "scan", "pass": pass_index}
+        ):
+            job.begin_phase({"kind": "scan", "pass": pass_index})
+        _run_scan_pass(job, executor, pass_index, carries)
+        rec = {
+            "aggregates": [row for row in job.aggregates],
+            "baked": [bool(flag) for flag in job.baked],
+        }
+        _splice_none_guard(rec["aggregates"])
+        t0 = time.perf_counter()
+        carries = _splice(
+            job.op, job.dtype, job.tuple_size,
+            job.shards, rec["aggregates"], rec["baked"],
+        )
+        job.carried.seconds_splice += time.perf_counter() - t0
+        job.completed_passes.append(rec)
+        resumed = False  # later passes always start from a clean phase
+
+    final = job.completed_passes[job.order - 1]
+    needs_fold = [
+        (not final["baked"][i]) or (not job.inclusive)
+        for i in range(len(job.shards))
+    ]
+    if resumed_into_fold:
+        fold_done = list(job.done)
+    else:
+        fold_done = [not need for need in needs_fold]
+        job.begin_phase({"kind": "fold"}, done=fold_done, baked_reset=False)
+        if not all(fold_done):
+            job.write_manifest()
+    if all(fold_done):
+        return
+
+    # A resumed fold must rebuild unfinished shards first: the fold is
+    # an in-place read-modify-write, so a crash mid-fold leaves a mixed
+    # region.  The final pass's source file is intact (ping-pong), so
+    # re-running the recorded scan reproduces the pre-fold bytes.
+    prev_carries = None
+    if job.order >= 2:
+        prev_rec = job.completed_passes[job.order - 2]
+        prev_carries = _splice(
+            job.op, job.dtype, job.tuple_size,
+            job.shards, prev_rec["aggregates"], prev_rec["baked"],
+        )
+
+    futures = {}
+    for i in range(len(job.shards)):
+        if fold_done[i]:
+            continue
+        futures[executor.submit(
+            _rescan_and_fold_shard if resumed_into_fold else _fold_only_shard,
+            job, i, carries, final, prev_carries,
+        )] = i
+    for future in as_completed(futures):
+        i = futures[future]
+        counters = future.result()
+        job.record_completion(i, counters)
+
+
+def _fold_only_shard(job, shard_index, carries, final, prev_carries):
+    return _fold_shard(
+        job, shard_index, carries[shard_index],
+        do_fold=not final["baked"][shard_index],
+    )
+
+
+def _rescan_and_fold_shard(job, shard_index, carries, final, prev_carries):
+    """Redo a shard's final scan pass (from the intact source), then
+    fold — the crash-recovery path for interrupted in-place folds."""
+    fold_carry = _pass_fold_carry(job, job.order, prev_carries, shard_index)
+    prime = carries[shard_index] if final["baked"][shard_index] else None
+    _, _, scan_counters = _scan_shard(
+        job, job.order, shard_index, fold_carry, prime, publish=False
+    )
+    fold_counters = _fold_shard(
+        job, shard_index, carries[shard_index],
+        do_fold=not final["baked"][shard_index],
+    )
+    return StreamCounters.aggregate(
+        [scan_counters, fold_counters], engine_used=scan_counters.engine_used
+    )
+
+
+def _pass_fold_carry(job, pass_index, prev_carries, shard_index):
+    """The previous pass's carry to fold while *reading* this shard —
+    ``None`` for pass 1 and for shards whose previous pass was baked."""
+    if pass_index == 1 or prev_carries is None:
+        return None
+    prev_baked = job.completed_passes[pass_index - 2]["baked"]
+    if prev_baked[shard_index]:
+        return None
+    return prev_carries[shard_index]
+
+
+def _run_scan_pass(job: _ShardedJob, executor, pass_index, prev_carries) -> None:
+    futures = {}
+    for i in range(len(job.shards)):
+        if job.done[i]:
+            continue
+        fold_carry = _pass_fold_carry(job, pass_index, prev_carries, i)
+        futures[executor.submit(
+            _scan_shard, job, pass_index, i, fold_carry, "auto"
+        )] = i
+    for future in as_completed(futures):
+        i = futures[future]
+        aggregate, baked, counters = future.result()
+        job.record_completion(i, counters, aggregate=aggregate, baked=baked)

@@ -201,6 +201,68 @@ class TestCheckpointResume:
         self.run_interrupted(tmp_path, rng)
         assert not list(tmp_path.glob("*.tmp"))
 
+    def test_fresh_start_deletes_stale_checkpoint(self, tmp_path, rng):
+        # A non-resume run must delete a leftover checkpoint up front.
+        # Previously it survived until the run's own first checkpoint
+        # write — so a crash *before* that point, followed by --resume,
+        # would restore the stale offset against the new job's output
+        # and silently corrupt it.
+        values, raw, out, ckpt, config = self.run_interrupted(tmp_path, rng)
+        assert ckpt.exists()
+        # Fresh start (resume=False) that crashes before its first
+        # checkpoint (fail at chunk 1, cadence every 3 chunks).
+        with pytest.raises(InjectedFailureError):
+            scan_file(raw, out, fail_after_chunks=1, **config)
+        assert not ckpt.exists()  # the stale file must not have survived
+        # Therefore resume starts from scratch and stays correct.
+        result = scan_file(raw, out, resume=True, **config)
+        assert result.resumed_from == 0
+        expected = host_prefix_sum(values, order=2, tuple_size=3)
+        assert np.array_equal(np.fromfile(out, dtype=np.int32), expected)
+
+
+class TestCheckpointDurability:
+    def test_write_checkpoint_fsyncs_directory(self, tmp_path, monkeypatch):
+        # The rename is directory metadata: without fsyncing the
+        # directory a crash after os.replace can roll the rename back.
+        # Audit every fsync during a write and demand one of them was
+        # on a directory fd opened on the checkpoint's parent.
+        fsynced = []
+        real_fsync = os.fsync
+
+        def audit_fsync(fd):
+            import stat as stat_mod
+
+            mode = os.fstat(fd).st_mode
+            fsynced.append("dir" if stat_mod.S_ISDIR(mode) else "file")
+            return real_fsync(fd)
+
+        monkeypatch.setattr(os, "fsync", audit_fsync)
+        path = tmp_path / "sub" / "c.ckpt"
+        path.parent.mkdir()
+        write_checkpoint(path, {"kind": "repro-stream-checkpoint",
+                                "version": 1})
+        # tmp-file fsync first, then the parent directory after replace.
+        assert fsynced == ["file", "dir"]
+        assert json.loads(path.read_text())["kind"] == "repro-stream-checkpoint"
+
+    def test_directory_fsync_failure_is_not_fatal(self, tmp_path, monkeypatch):
+        # Platforms without directory fds (or filesystems rejecting
+        # dir fsync) must degrade to the pre-fsync behavior, not fail
+        # the checkpoint write.
+        real_open = os.open
+
+        def failing_open(path, flags, *a, **kw):
+            if os.path.isdir(path):
+                raise OSError("no directory fds here")
+            return real_open(path, flags, *a, **kw)
+
+        monkeypatch.setattr(os, "open", failing_open)
+        path = tmp_path / "c.ckpt"
+        write_checkpoint(path, {"kind": "repro-stream-checkpoint",
+                                "version": 1})
+        assert path.exists()
+
 
 class TestCheckpointFormat:
     def test_corrupt_checkpoint_rejected(self, tmp_path):

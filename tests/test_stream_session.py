@@ -116,7 +116,11 @@ class TestSplitPointEquivalence:
         assert np.array_equal(
             np.concatenate(out), host_prefix_sum(values, order=2)
         )
-        assert session.counters.chunks == 4  # empty feeds not counted
+        # Empty feeds are scan no-ops but real feed calls: chunks must
+        # equal the number of feed calls (8 here: 4 empty + 4 real).
+        assert session.counters.chunks == 8
+        assert session.counters.elements == 40
+        assert session.counters.bytes_in == values.nbytes
 
     @pytest.mark.parametrize("dtype", [np.float32, np.float64])
     @pytest.mark.parametrize("op", ["add", "max", "mul"])

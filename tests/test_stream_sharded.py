@@ -1,0 +1,378 @@
+"""Sharded driver tests: ``scan_file_sharded``, splice, manifest resume.
+
+Mirrors ``test_stream_driver.py`` for the sharded path: bit-identity
+against the one-shot host scan across the configuration grid (shard
+boundaries landing mid-tuple included), carry priming, per-shard
+manifest resume after injected crashes and a real SIGKILL of the CLI,
+and the float exact-path fallback.
+"""
+
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from conftest import make_int_array
+from repro.core.host import host_prefix_sum
+from repro.stream import (
+    CheckpointError,
+    CheckpointMismatchError,
+    InjectedFailureError,
+    StreamError,
+    plan_shards,
+    read_shard_manifest,
+    scan_file_sharded,
+)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def write_input(tmp_path, values, name="in.bin"):
+    path = tmp_path / name
+    values.tofile(path)
+    return path
+
+
+class TestPlanShards:
+    def test_partition_is_contiguous_and_complete(self):
+        for n in (0, 1, 2, 7, 100, 101):
+            for s in (1, 2, 3, 8, 200):
+                plan = plan_shards(n, s)
+                assert plan[0][0] == 0
+                assert plan[-1][1] == n
+                for (_, hi), (lo, _) in zip(plan, plan[1:]):
+                    assert hi == lo
+                assert all(hi > lo for lo, hi in plan) or n == 0
+                assert len(plan) == (min(s, n) if n else 1)
+
+    def test_near_equal_sizes(self):
+        plan = plan_shards(103, 4)
+        sizes = [hi - lo for lo, hi in plan]
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestShardedBitIdentity:
+    @pytest.mark.parametrize("shards,workers", [(1, 1), (2, 1), (5, 2), (8, 3)])
+    @pytest.mark.parametrize("order,tuple_size,inclusive", [
+        (1, 1, True), (1, 3, False), (2, 1, False), (3, 4, True),
+    ])
+    def test_matches_one_shot(self, tmp_path, rng, shards, workers,
+                              order, tuple_size, inclusive):
+        values = make_int_array(rng, 10_007)  # prime: edges land mid-tuple
+        raw = write_input(tmp_path, values)
+        out = tmp_path / "out.bin"
+        result = scan_file_sharded(
+            raw, out, dtype="int32", order=order, tuple_size=tuple_size,
+            inclusive=inclusive, shards=shards, workers=workers,
+            chunk_bytes=2048,
+        )
+        expected = host_prefix_sum(
+            values, order=order, tuple_size=tuple_size, inclusive=inclusive
+        )
+        assert np.array_equal(np.fromfile(out, dtype=np.int32), expected)
+        assert result.counters.shards >= result.num_shards * (order - 1)
+        assert not (tmp_path / "out.bin.scratch").exists()
+
+    @pytest.mark.parametrize("op", ["add", "max", "min", "xor", "and", "or"])
+    def test_every_operator(self, tmp_path, rng, op):
+        values = make_int_array(rng, 5_000, dtype=np.int64)
+        raw = write_input(tmp_path, values)
+        out = tmp_path / "out.bin"
+        scan_file_sharded(
+            raw, out, dtype="int64", op=op, tuple_size=2,
+            shards=4, workers=2, chunk_bytes=1024,
+        )
+        expected = host_prefix_sum(values, op=op, tuple_size=2)
+        assert np.array_equal(np.fromfile(out, dtype=np.int64), expected)
+
+    def test_more_shards_than_elements(self, tmp_path, rng):
+        values = make_int_array(rng, 5)
+        raw = write_input(tmp_path, values)
+        out = tmp_path / "out.bin"
+        result = scan_file_sharded(raw, out, dtype="int32", shards=64)
+        assert result.num_shards == 5  # clamped to one element per shard
+        assert np.array_equal(
+            np.fromfile(out, dtype=np.int32), host_prefix_sum(values)
+        )
+
+    def test_empty_file(self, tmp_path):
+        raw = tmp_path / "empty.bin"
+        raw.touch()
+        out = tmp_path / "out.bin"
+        result = scan_file_sharded(raw, out, dtype="int32", shards=4)
+        assert result.elements == 0
+        assert out.stat().st_size == 0
+
+    def test_inner_engine_delegation(self, tmp_path, rng):
+        values = make_int_array(rng, 20_000, dtype=np.int64)
+        raw = write_input(tmp_path, values)
+        out = tmp_path / "out.bin"
+        result = scan_file_sharded(
+            raw, out, dtype="int64", order=2, engine="sam",
+            shards=3, workers=2, chunk_bytes=1 << 14,
+        )
+        assert result.counters.delegated_stage_scans > 0
+        expected = host_prefix_sum(values, order=2)
+        assert np.array_equal(np.fromfile(out, dtype=np.int64), expected)
+
+    def test_misaligned_file_rejected(self, tmp_path):
+        raw = tmp_path / "bad.bin"
+        raw.write_bytes(b"\x00" * 10)
+        with pytest.raises(ValueError, match="multiple"):
+            scan_file_sharded(raw, tmp_path / "o.bin", dtype="int32", shards=2)
+
+    def test_bad_knobs_rejected(self, tmp_path, rng):
+        raw = write_input(tmp_path, make_int_array(rng, 10))
+        with pytest.raises(ValueError, match="shards"):
+            scan_file_sharded(raw, tmp_path / "o.bin", shards=0)
+        with pytest.raises(ValueError, match="workers"):
+            scan_file_sharded(raw, tmp_path / "o.bin", shards=2, workers=0)
+
+
+class TestCarryPriming:
+    def test_sequential_run_primes_every_shard(self, tmp_path, rng):
+        # One worker executes shards in order, so every shard sees its
+        # predecessors finished, bakes its carry, and skips the fold —
+        # the job degenerates to a single pass over the data, like
+        # decoupled lookback with in-order blocks.
+        values = make_int_array(rng, 8_000, dtype=np.int64)
+        raw = write_input(tmp_path, values)
+        out = tmp_path / "out.bin"
+        result = scan_file_sharded(
+            raw, out, dtype="int64", shards=4, workers=1, chunk_bytes=4096,
+        )
+        assert result.counters.primed_shards == 4
+        assert result.counters.folded_shards == 0
+        assert np.array_equal(
+            np.fromfile(out, dtype=np.int64), host_prefix_sum(values)
+        )
+
+    def test_exclusive_output_still_shifts_primed_shards(self, tmp_path, rng):
+        values = make_int_array(rng, 4_001)
+        raw = write_input(tmp_path, values)
+        out = tmp_path / "out.bin"
+        result = scan_file_sharded(
+            raw, out, dtype="int32", tuple_size=3, inclusive=False,
+            shards=4, workers=1, chunk_bytes=1024,
+        )
+        # Primed shards skip the carry fold but still need the
+        # exclusive lane shift.
+        assert result.counters.primed_shards == 4
+        expected = host_prefix_sum(values, tuple_size=3, inclusive=False)
+        assert np.array_equal(np.fromfile(out, dtype=np.int32), expected)
+
+
+class TestFloatPath:
+    def test_float_exact_falls_back_to_sequential(self, tmp_path, rng):
+        values = (rng.random(4_000) * 100 - 50).astype(np.float64)
+        raw = write_input(tmp_path, values)
+        out = tmp_path / "out.bin"
+        result = scan_file_sharded(
+            raw, out, dtype="float64", shards=4, chunk_bytes=4096,
+        )
+        assert result.fallback_reason is not None
+        assert result.num_shards == 1
+        # The fallback is the sequential exact path: bit-identical.
+        expected = host_prefix_sum(values)
+        assert np.fromfile(out, np.float64).tobytes() == expected.tobytes()
+
+    def test_float_exact_false_shards_with_tolerance(self, tmp_path, rng):
+        values = (rng.random(4_000) * 100 - 50).astype(np.float64)
+        raw = write_input(tmp_path, values)
+        out = tmp_path / "out.bin"
+        result = scan_file_sharded(
+            raw, out, dtype="float64", shards=4, workers=2,
+            chunk_bytes=2048, exact=False,
+        )
+        assert result.fallback_reason is None
+        assert result.num_shards == 4
+        expected = host_prefix_sum(values)
+        assert np.allclose(np.fromfile(out, np.float64), expected)
+
+
+class TestManifestResume:
+    def run_interrupted(self, tmp_path, rng, n=30_000, fail_after=3, **kw):
+        values = make_int_array(rng, n)
+        raw = write_input(tmp_path, values)
+        out = tmp_path / "out.bin"
+        manifest = tmp_path / "job.manifest"
+        config = dict(
+            dtype="int32", order=2, tuple_size=3, chunk_bytes=4096,
+            shards=6, workers=2, checkpoint=manifest,
+        )
+        config.update(kw)
+        with pytest.raises(InjectedFailureError):
+            scan_file_sharded(raw, out, fail_after_shards=fail_after, **config)
+        return values, raw, out, manifest, config
+
+    def test_resume_redoes_only_unfinished_shards(self, tmp_path, rng):
+        values, raw, out, manifest, config = self.run_interrupted(tmp_path, rng)
+        assert manifest.exists()
+        done_before = sum(read_shard_manifest(manifest)["state"]["done"])
+        assert done_before >= 3  # the injected crash recorded progress
+
+        result = scan_file_sharded(raw, out, resume=True, **config)
+        assert result.counters.resumes == 1
+        assert result.resumed_shards >= done_before
+        expected = host_prefix_sum(values, order=2, tuple_size=3)
+        assert np.array_equal(np.fromfile(out, dtype=np.int32), expected)
+        assert not manifest.exists()  # complete jobs clean up
+        assert not (tmp_path / "out.bin.scratch").exists()
+
+    def test_resume_mid_fold_phase(self, tmp_path, rng):
+        # Crash *inside* the fold phase: an in-place fold is not
+        # idempotent, so resume must rebuild unfinished shards from the
+        # intact pass source before refolding.  An exclusive scan runs
+        # the fold/shift phase for every shard regardless of priming,
+        # so with 6 scan completions first, completion 7 is a fold.
+        values, raw, out, manifest, config = self.run_interrupted(
+            tmp_path, rng, fail_after=7, order=1, tuple_size=2,
+            inclusive=False,
+        )
+        state = read_shard_manifest(manifest)["state"]
+        assert state["phase"] == {"kind": "fold"}
+        result = scan_file_sharded(raw, out, resume=True, **config)
+        assert result.counters.resumes == 1
+        expected = host_prefix_sum(values, tuple_size=2, inclusive=False)
+        assert np.array_equal(np.fromfile(out, dtype=np.int32), expected)
+
+    def test_resume_with_mismatched_config_rejected(self, tmp_path, rng):
+        values, raw, out, manifest, config = self.run_interrupted(tmp_path, rng)
+        bad = dict(config, order=1)
+        with pytest.raises(CheckpointMismatchError, match="order"):
+            scan_file_sharded(raw, out, resume=True, **bad)
+
+    def test_resume_with_different_input_rejected(self, tmp_path, rng):
+        values, raw, out, manifest, config = self.run_interrupted(tmp_path, rng)
+        other = write_input(tmp_path, make_int_array(rng, 50_000), "other.bin")
+        with pytest.raises(CheckpointMismatchError, match="elements"):
+            scan_file_sharded(other, out, resume=True, **config)
+
+    def test_resume_with_missing_output_rejected(self, tmp_path, rng):
+        values, raw, out, manifest, config = self.run_interrupted(tmp_path, rng)
+        out.unlink()
+        with pytest.raises(StreamError, match="cannot resume"):
+            scan_file_sharded(raw, out, resume=True, **config)
+
+    def test_resume_keeps_stored_shard_plan(self, tmp_path, rng):
+        # Shard boundaries are part of the on-disk layout; a resume
+        # with a different --shards must continue the stored plan.
+        values, raw, out, manifest, config = self.run_interrupted(tmp_path, rng)
+        config["shards"] = 3
+        result = scan_file_sharded(raw, out, resume=True, **config)
+        assert result.num_shards == 6
+        expected = host_prefix_sum(values, order=2, tuple_size=3)
+        assert np.array_equal(np.fromfile(out, dtype=np.int32), expected)
+
+    def test_fresh_start_deletes_stale_manifest(self, tmp_path, rng):
+        values, raw, out, manifest, config = self.run_interrupted(tmp_path, rng)
+        assert manifest.exists()
+        scan_file_sharded(raw, out, **config)  # fresh start, no resume
+        assert not manifest.exists()
+        expected = host_prefix_sum(values, order=2, tuple_size=3)
+        assert np.array_equal(np.fromfile(out, dtype=np.int32), expected)
+
+    def test_corrupt_manifest_rejected(self, tmp_path, rng):
+        values, raw, out, manifest, config = self.run_interrupted(tmp_path, rng)
+        manifest.write_text("{not json")
+        with pytest.raises(CheckpointError, match="cannot read"):
+            scan_file_sharded(raw, out, resume=True, **config)
+
+    def test_resume_without_manifest_starts_fresh(self, tmp_path, rng):
+        values = make_int_array(rng, 5_000)
+        raw = write_input(tmp_path, values)
+        out = tmp_path / "out.bin"
+        result = scan_file_sharded(
+            raw, out, dtype="int32", shards=4, chunk_bytes=4096,
+            checkpoint=tmp_path / "never-written.manifest", resume=True,
+        )
+        assert result.counters.resumes == 0
+        assert np.array_equal(
+            np.fromfile(out, dtype=np.int32), host_prefix_sum(values)
+        )
+
+
+class TestAdaptiveChunks:
+    def test_chunks_grow_from_a_small_start(self, tmp_path, rng):
+        values = make_int_array(rng, 200_000, dtype=np.int64)
+        raw = write_input(tmp_path, values)
+        out = tmp_path / "out.bin"
+        result = scan_file_sharded(
+            raw, out, dtype="int64", shards=2, workers=1,
+            chunk_bytes=64 << 10,  # start at the floor; fast chunks double
+        )
+        assert result.counters.chunk_resizes > 0
+        assert np.array_equal(
+            np.fromfile(out, dtype=np.int64), host_prefix_sum(values)
+        )
+
+    def test_disabled_means_fixed_chunks(self, tmp_path, rng):
+        values = make_int_array(rng, 50_000)
+        raw = write_input(tmp_path, values)
+        out = tmp_path / "out.bin"
+        result = scan_file_sharded(
+            raw, out, dtype="int32", shards=2, chunk_bytes=4096,
+            adaptive_chunks=False,
+        )
+        assert result.counters.chunk_resizes == 0
+        assert np.array_equal(
+            np.fromfile(out, dtype=np.int32), host_prefix_sum(values)
+        )
+
+
+class TestShardedResumeAfterKill:
+    """A *real* kill: SIGKILL the sharded CLI mid-run, then resume."""
+
+    def test_sigkill_then_resume(self, tmp_path, rng):
+        values = make_int_array(rng, 1 << 20, dtype=np.int64)
+        raw = write_input(tmp_path, values)
+        out = tmp_path / "out.bin"
+        manifest = tmp_path / "job.manifest"
+        args = [
+            str(raw), str(out), "--dtype", "int64", "--order", "2",
+            "--shards", "8", "--workers", "2", "--chunk-bytes", "16384",
+            "--checkpoint", str(manifest),
+        ]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (
+            str(REPO_ROOT / "src")
+            + (os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "stream", *args],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        try:
+            deadline = time.monotonic() + 60
+            while (
+                not manifest.exists()
+                and proc.poll() is None
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.002)
+            killed = proc.poll() is None
+            if killed:
+                proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=60)
+        finally:
+            if proc.poll() is None:  # pragma: no cover - cleanup
+                proc.kill()
+                proc.wait()
+
+        # If the job finished before the kill landed, the manifest is
+        # gone and --resume starts fresh; bit-identity holds either way.
+        from repro.__main__ import main
+
+        assert main(["stream", *args, "--resume"]) == 0
+        expected = host_prefix_sum(values, order=2)
+        assert np.array_equal(np.fromfile(out, dtype=np.int64), expected)
+        if killed:
+            assert not manifest.exists()
+        assert not (tmp_path / "out.bin.scratch").exists()

@@ -33,7 +33,7 @@ from repro.reference import prefix_sum_serial
 
 ENGINES = (
     "sam", "sam_chained", "lookback", "reduce_scan", "three_phase",
-    "streamscan", "parallel", "parallel_chained", "stream",
+    "streamscan", "parallel", "parallel_chained", "stream", "sharded",
 )
 OPERATORS = ("add", "max", "min", "xor", "and", "or")
 DTYPES = (np.int32, np.int64, np.uint32, np.uint64)
@@ -66,6 +66,11 @@ def random_config(rng, engines=ENGINES):
         # boundaries the input is split at before being fed through a
         # ScanSession (split-point equivalence fuzzing).
         "split_seed": int(rng.integers(0, 2**31)),
+        # Only the "sharded" kind reads these: shard count and chunk
+        # size small enough that shard boundaries and chunk boundaries
+        # both land at awkward places inside tuple strides.
+        "shards": int(rng.integers(1, 6)),
+        "shard_chunk_bytes": int(rng.choice([64, 256, 1024])),
     }
     return config
 
@@ -108,6 +113,47 @@ class SessionSplitScan:
         return result
 
 
+class ShardedFileScan:
+    """Adapter: round-trips a scan through :func:`scan_file_sharded` —
+    input written to a temp file, scanned across random shard counts,
+    worker counts, and tiny chunk sizes, output read back.  Exercises
+    shard splits, carry splicing, priming, and fold against the same
+    oracle comparison as every in-memory engine.
+    """
+
+    def __init__(self, shards: int, workers: int, chunk_bytes: int):
+        self.shards = shards
+        self.workers = workers
+        self.chunk_bytes = chunk_bytes
+
+    def run(self, values, order=1, tuple_size=1, op="add", inclusive=True):
+        import os
+        import tempfile
+
+        from repro.stream import scan_file_sharded
+
+        values = np.asarray(values)
+        with tempfile.TemporaryDirectory(prefix="fuzz-sharded-") as tmp:
+            input_path = os.path.join(tmp, "in.bin")
+            output_path = os.path.join(tmp, "out.bin")
+            values.tofile(input_path)
+            scan_file_sharded(
+                input_path, output_path,
+                dtype=values.dtype, op=op, order=order,
+                tuple_size=tuple_size, inclusive=inclusive,
+                shards=self.shards, workers=self.workers,
+                chunk_bytes=self.chunk_bytes,
+            )
+            out = np.fromfile(output_path, dtype=values.dtype)
+
+        class Result:
+            pass
+
+        result = Result()
+        result.values = out
+        return result
+
+
 def build_engine(config):
     kw = dict(
         threads_per_block=config["threads_per_block"],
@@ -129,6 +175,12 @@ def build_engine(config):
         return StreamScan(**kw)
     if kind == "stream":
         return SessionSplitScan(seed=config["split_seed"])
+    if kind == "sharded":
+        return ShardedFileScan(
+            shards=config["shards"],
+            workers=min(config["workers"], 3),
+            chunk_bytes=config["shard_chunk_bytes"],
+        )
     if kind in ("parallel", "parallel_chained"):
         return ParallelSamScan(
             num_workers=config["workers"],
