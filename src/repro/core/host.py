@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.kernels import scan_into
 from repro.ops import ADD, get_op
 
 
@@ -28,28 +29,27 @@ def _validate(values, order: int, tuple_size: int) -> np.ndarray:
 
 
 def host_scan(values, op=ADD, tuple_size: int = 1, inclusive: bool = True):
-    """One generalized scan pass (vectorized per tuple lane)."""
+    """One generalized scan pass (all tuple lanes in one kernel call).
+
+    Delegates to :func:`repro.kernels.lane_scan` — the 2-D lane-block
+    kernel every engine shares — and, for exclusive output, applies one
+    vectorized identity-seeded shift over the whole array instead of a
+    per-lane shift loop.
+    """
     op = get_op(op)
     array = _validate(values, 1, tuple_size)
     dtype = op.check_dtype(array.dtype)
     array = array.astype(dtype, copy=False)
     if array.size == 0:
         return array.copy()
-    out = np.empty_like(array)
-    identity = op.identity(dtype)
-    for lane in range(tuple_size):
-        lane_values = array[lane::tuple_size]
-        if lane_values.size == 0:
-            continue
-        lane_scan = op.accumulate(lane_values)
-        if inclusive:
-            out[lane::tuple_size] = lane_scan
-        else:
-            shifted = np.empty_like(lane_scan)
-            shifted[0] = identity
-            shifted[1:] = lane_scan[:-1]
-            out[lane::tuple_size] = shifted
-    return out
+    return scan_into(
+        array,
+        np.empty_like(array),
+        op,
+        order=1,
+        tuple_size=tuple_size,
+        inclusive=inclusive,
+    )
 
 
 def host_prefix_sum(
@@ -61,18 +61,26 @@ def host_prefix_sum(
 ):
     """Order-``q``, tuple-``s`` prefix scan: ``q`` vectorized passes.
 
-    Matches Section 2.4's iterative formulation; exclusive output
-    applies the exclusive shift on the final pass only.
+    Matches Section 2.4's iterative formulation.  All ``q`` passes run
+    through one output buffer — pass 1 scans the input into it, later
+    passes rescan it in place — and the exclusive shift happens on the
+    final pass only (Section 2.4's observation that only the last
+    iteration differs).
     """
     op = get_op(op)
     array = _validate(values, order, tuple_size)
-    out = array
-    for iteration in range(order):
-        last = iteration == order - 1
-        out = host_scan(
-            out, op=op, tuple_size=tuple_size, inclusive=inclusive or not last
-        )
-    return out
+    dtype = op.check_dtype(array.dtype)
+    array = array.astype(dtype, copy=False)
+    if array.size == 0:
+        return array.copy()
+    return scan_into(
+        array,
+        np.empty_like(array),
+        op,
+        order=order,
+        tuple_size=tuple_size,
+        inclusive=inclusive,
+    )
 
 
 def host_delta_encode(values, order: int = 1, tuple_size: int = 1):

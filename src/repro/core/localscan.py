@@ -3,10 +3,11 @@
 Two engines compute the same function:
 
 * :func:`strided_inclusive_scan` — the production path.  It implements
-  Section 2.3's strided summation directly: element ``i`` of a chunk
-  whose first element sits at global offset ``g`` belongs to tuple lane
-  ``(g + i) mod s``, and each lane is scanned independently.  The lanes
-  are extracted as strided slices, so the scan is vectorized per lane.
+  Section 2.3's strided summation: element ``i`` of a chunk whose first
+  element sits at global offset ``g`` belongs to tuple lane
+  ``(g + i) mod s``, and each lane is scanned independently.  The heavy
+  lifting is delegated to :mod:`repro.kernels`' 2-D lane-block kernel,
+  which scans all ``s`` lanes in one vectorized call.
 
 * :func:`warp_faithful_chunk_scan` — the instruction-faithful path for
   ``s = 1``.  It reproduces Section 2.1's hierarchy exactly: per-warp
@@ -26,6 +27,7 @@ from typing import Tuple
 
 import numpy as np
 
+from repro import kernels
 from repro.gpusim.block import BlockContext
 from repro.ops import AssociativeOp
 
@@ -70,18 +72,9 @@ def strided_inclusive_scan(
         no element of that lane.
     """
     values = np.asarray(values)
-    dtype = op.check_dtype(values.dtype)
-    identity = op.identity(dtype)
-    scanned = np.empty_like(values)
-    local_sums = np.full(tuple_size, identity, dtype=dtype)
-    for lane in range(tuple_size):
-        start = lane_start_in_chunk(offset, lane, tuple_size)
-        if start >= len(values):
-            continue
-        lane_slice = values[start::tuple_size]
-        lane_scan = op.accumulate(lane_slice)
-        scanned[start::tuple_size] = lane_scan
-        local_sums[lane] = lane_scan[-1]
+    op.check_dtype(values.dtype)
+    scanned = kernels.lane_scan(values, op, tuple_size, out=np.empty_like(values))
+    local_sums = kernels.lane_totals(scanned, op, tuple_size, pos=offset)
     return scanned, local_sums
 
 
@@ -96,21 +89,10 @@ def strided_exclusive_from_inclusive(
     inclusive scan: each lane shifts right by one and seeds with the
     lane's carry.  Costs no extra memory traffic (Section 2.2's
     correction step, exclusive flavor)."""
-    out = np.empty_like(inclusive)
-    for lane in range(tuple_size):
-        start = lane_start_in_chunk(offset, lane, tuple_size)
-        if start >= len(inclusive):
-            continue
-        lane_scan = inclusive[start::tuple_size]
-        shifted = np.empty_like(lane_scan)
-        shifted[0] = carries[lane]
-        if len(lane_scan) > 1:
-            shifted[1:] = op.apply(
-                np.full(len(lane_scan) - 1, carries[lane], dtype=inclusive.dtype),
-                lane_scan[:-1],
-            )
-        out[start::tuple_size] = shifted
-    return out
+    folded = np.array(inclusive, copy=True)
+    kernels.fold_lanes(folded, op, carries, pos=offset, tuple_size=tuple_size)
+    heads = carries[kernels.phase_perm(offset, tuple_size)]
+    return kernels.exclusive_shift(folded, heads)
 
 
 def apply_lane_carries(
@@ -122,19 +104,8 @@ def apply_lane_carries(
 ) -> np.ndarray:
     """Combine each lane's inter-chunk carry into the lane-local scan
     ("Add Resulting Carry i to all Values of Chunk i", Figure 1)."""
-    if tuple_size == 1:
-        return op.apply(
-            np.full(len(scanned), carries[0], dtype=scanned.dtype), scanned
-        )
-    out = scanned.copy()
-    for lane in range(tuple_size):
-        start = lane_start_in_chunk(offset, lane, tuple_size)
-        if start >= len(scanned):
-            continue
-        segment = out[start::tuple_size]
-        out[start::tuple_size] = op.apply(
-            np.full(len(segment), carries[lane], dtype=scanned.dtype), segment
-        )
+    out = np.array(scanned, copy=True)
+    kernels.fold_lanes(out, op, carries, pos=offset, tuple_size=tuple_size)
     return out
 
 
@@ -143,14 +114,7 @@ def lane_totals(
 ) -> np.ndarray:
     """Per-tuple-lane totals of a lane-locally scanned chunk (the last
     scanned element of each lane; identity for absent lanes)."""
-    dtype = scanned.dtype
-    totals = np.full(tuple_size, op.identity(dtype), dtype=dtype)
-    for lane in range(tuple_size):
-        start = lane_start_in_chunk(offset, lane, tuple_size)
-        if start < len(scanned):
-            last = start + ((len(scanned) - 1 - start) // tuple_size) * tuple_size
-            totals[lane] = scanned[last]
-    return totals
+    return kernels.lane_totals(scanned, op, tuple_size, pos=offset)
 
 
 def warp_faithful_strided_chunk_scan(

@@ -1,0 +1,37 @@
+"""``repro.kernels`` — the shared lane-aware scan kernel layer.
+
+One tuned, zero-copy kernel family used by every engine's host-side
+hot path: the fast host functions, the streaming session, the sharded
+out-of-core driver, and the multicore workers.  See
+:mod:`repro.kernels.lane` for the algorithmic notes (the 2-D
+lane-block trick, the cache-blocked integer path, and the exact-float
+prepend mode).
+"""
+
+from repro.kernels.lane import (
+    BLOCK_BYTES,
+    BLOCKED_MIN_STRIDE_BYTES,
+    LaneKernel,
+    exclusive_shift,
+    fold_lanes,
+    lane_scan,
+    lane_scan_exact,
+    lane_totals,
+    phase_perm,
+    phase_totals,
+    scan_into,
+)
+
+__all__ = [
+    "BLOCK_BYTES",
+    "BLOCKED_MIN_STRIDE_BYTES",
+    "LaneKernel",
+    "exclusive_shift",
+    "fold_lanes",
+    "lane_scan",
+    "lane_scan_exact",
+    "lane_totals",
+    "phase_perm",
+    "phase_totals",
+    "scan_into",
+]

@@ -1,0 +1,463 @@
+"""Lane-aware scan kernels: the one tuned hot path every engine calls.
+
+The paper's cost claim (Section 3) is that the tuple and higher-order
+generalizations are *free* in memory traffic — ``2n`` data movement
+regardless of ``s`` and ``q``.  This module is the host-side embodiment
+of that claim: a single, zero-copy kernel layer that the fast host
+engine (:mod:`repro.core.host`), the streaming session
+(:mod:`repro.stream.session`), the sharded out-of-core driver
+(:mod:`repro.stream.sharded`), and the multicore workers
+(:mod:`repro.parallel.worker`) all share, instead of each hand-rolling
+a Python loop over ``s`` strided lane slices with per-lane temporaries.
+
+Layout and the 2-D lane-block trick
+-----------------------------------
+
+A chunk whose first element sits at global index ``pos`` stores the
+element of chunk position ``i`` in global tuple lane ``(pos + i) % s``.
+Chunk positions ``p, p + s, p + 2s, ...`` therefore form one lane — we
+call ``p`` the chunk *phase*; :func:`phase_perm` maps phases to global
+lanes.  Because lanes are interleaved with stride ``s``, the first
+``(n // s) * s`` elements of a contiguous chunk reshape — *as a view, no
+copy* — to an ``(n // s, s)`` matrix whose columns are the lanes.  One
+``ufunc.accumulate(axis=0)`` then scans **all s lanes in a single
+call**, replacing the Python-level lane loop; the ``n % s`` tail
+elements are finished with one vectorized fold from the last full row.
+
+Column-order accumulate walks the matrix row by row, so for wide
+strides (``s * itemsize`` beyond a cache line) each column touch is a
+new cache line and the naive call becomes memory-bound.  For the truly
+associative dtypes (fixed-width integers, wraparound included) the
+kernel therefore processes *row blocks* that fit in cache
+(:data:`BLOCK_BYTES`) and splices them with an in-cache carry fold —
+measurably faster at large ``s`` and bit-identical, because integer
+regrouping is exact.  Floats keep the plain single-call form: it
+performs the exact per-lane left fold, so results stay bit-identical
+to the serial reference.
+
+Exactness modes
+---------------
+
+* :func:`lane_scan` continues a scan by folding a carry row *after*
+  accumulating — one extra vectorized pass, no prepend copies.  The
+  fold regroups the reduction, which is exact for integers; it is the
+  sharded driver's ``exact=False`` float mode.
+* :func:`lane_scan_exact` continues by *prepending* the carry row to
+  the chunk (one ``n + s`` buffer) so the ufunc accumulate reproduces
+  the one-shot scan's exact sequence of partial results — float
+  rounding included.  This is the streaming session's bit-exact float
+  path, vectorized across lanes instead of looping per lane.
+
+:class:`LaneKernel` wraps either mode behind the carry-continuation
+``feed(chunk)`` API that the sharded driver introduced.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.ops import AssociativeOp, get_op
+
+#: Row-block byte budget for the cache-blocked wide-stride path.  One
+#: block of ``BLOCK_BYTES // (s * itemsize)`` rows is accumulated while
+#: it is cache-resident, then spliced to the next block with a single
+#: vectorized carry fold.
+BLOCK_BYTES = 128 << 10
+
+#: Lane strides at least this wide (bytes) take the cache-blocked path.
+#: Below it, the plain single-call accumulate already enjoys cache-line
+#: reuse across columns and the per-block Python overhead would lose.
+BLOCKED_MIN_STRIDE_BYTES = 64
+
+
+def phase_perm(pos: int, tuple_size: int) -> np.ndarray:
+    """Global tuple lane of each chunk phase: ``perm[p] = (pos + p) % s``.
+
+    A bijection on ``range(s)`` — indexing a lane-order row with it
+    yields the phase-order row, and assigning through it inverts that.
+    """
+    return (int(pos) + np.arange(tuple_size)) % int(tuple_size)
+
+
+def _is_blocked_dtype(dtype: np.dtype) -> bool:
+    # Regrouping the fold is exact only for truly associative
+    # arithmetic; fixed-width integers qualify (wraparound included),
+    # floats do not.
+    return dtype.kind in "iu"
+
+
+def _lane_scan_strided(src, op, s, out, carry):
+    """Per-lane strided fallback (non-contiguous buffers, odd layouts)."""
+    for phase in range(min(src.size, s)):
+        lane_out = out[phase::s]
+        op.accumulate(src[phase::s], out=lane_out)
+        if carry is not None:
+            op.apply_into(carry[phase], lane_out, out=lane_out)
+    return out
+
+
+def lane_scan(
+    src: np.ndarray,
+    op: AssociativeOp,
+    tuple_size: int = 1,
+    *,
+    out: Optional[np.ndarray] = None,
+    carry: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """One inclusive lane scan pass of ``src`` into ``out``.
+
+    Parameters
+    ----------
+    src:
+        The chunk (1-D).  Never modified unless ``out`` aliases it —
+        ``out=src`` is the supported zero-copy in-place form
+        (accumulate is a left fold, so aliasing is safe).
+    out:
+        Destination, same length as ``src``; allocated when ``None``.
+    carry:
+        Optional continuation row in **chunk-phase order** (length
+        ``tuple_size``): entry ``p`` is folded as ``op(carry[p], x)``
+        into every element of phase ``p`` after the local accumulate.
+        Exact for integer dtypes; for floats this is the regrouping
+        (non-bit-exact) mode — use :func:`lane_scan_exact` when bit
+        identity with the one-shot scan is required.
+
+    Returns ``out``.  Without a carry the result is bit-identical to
+    the serial reference's lane scan for every dtype, floats included:
+    each lane is still one sequential left fold.
+    """
+    src = np.asarray(src)
+    s = int(tuple_size)
+    if out is None:
+        out = np.empty_like(src)
+    n = src.size
+    if n == 0:
+        return out
+    if s == 1:
+        op.accumulate(src, out=out)
+        if carry is not None:
+            op.apply_into(carry[0], out, out=out)
+        return out
+    m, r = divmod(n, s)
+    if m == 0:
+        # Every phase has at most one element: the scan is the input.
+        if out is not src:
+            out[...] = src
+        if carry is not None:
+            op.apply_into(carry[:n], out, out=out)
+        return out
+    if not (src.flags.c_contiguous and out.flags.c_contiguous):
+        return _lane_scan_strided(src, op, s, out, carry)
+    if out is not src:
+        # Axis-0 accumulate into a *distinct* buffer takes numpy's
+        # buffered inner loop and is measurably slower than the
+        # in-place specialization — one streaming copy first, then
+        # accumulating in place, wins despite the extra pass.
+        out[...] = src
+        src = out
+    body = m * s
+    src2 = src[:body].reshape(m, s)
+    out2 = out[:body].reshape(m, s)
+    stride_bytes = s * src.dtype.itemsize
+    if _is_blocked_dtype(src.dtype) and stride_bytes >= BLOCKED_MIN_STRIDE_BYTES:
+        rows = max(1, BLOCK_BYTES // stride_bytes)
+        prev = carry
+        for i in range(0, m, rows):
+            blk = out2[i : i + rows]
+            op.accumulate(src2[i : i + rows], axis=0, out=blk)
+            if prev is not None:
+                op.apply_into(prev, blk, out=blk)
+            prev = blk[-1]
+    else:
+        op.accumulate(src2, axis=0, out=out2)
+        if carry is not None:
+            op.apply_into(carry, out2, out=out2)
+    if r:
+        # Tail phases continue from the last full row (already folded).
+        op.apply_into(out[body - s : body - s + r], src[body:], out=out[body:])
+    return out
+
+
+def _lane_scan_exact_strided(chunk, op, s, carry, seen, pos, out):
+    """Mixed seen/unseen lanes (only possible while ``pos < s``)."""
+    for phase in range(min(chunk.size, s)):
+        lane = (pos + phase) % s
+        sl = slice(phase, None, s)
+        vals = chunk[sl]
+        if seen[lane]:
+            ext = np.empty(vals.size + 1, dtype=chunk.dtype)
+            ext[0] = carry[lane]
+            ext[1:] = vals
+            out[sl] = op.accumulate(ext, out=ext)[1:]
+        else:
+            op.accumulate(vals, out=out[sl])
+    return out
+
+
+def lane_scan_exact(
+    chunk: np.ndarray,
+    op: AssociativeOp,
+    tuple_size: int,
+    carry: np.ndarray,
+    seen: np.ndarray,
+    pos: int = 0,
+) -> np.ndarray:
+    """Bit-exact continuation scan: prepend the carry, then accumulate.
+
+    ``carry`` and ``seen`` are in **lane order** (length ``tuple_size``);
+    ``pos`` is the global index of ``chunk[0]``.  Lanes whose ``seen``
+    flag is unset are scanned without a prepend, so non-identities in
+    floating point (``0.0 + (-0.0)``) cannot leak in.  The chunk is
+    never modified; a fresh array is returned.
+
+    The prepend happens for all lanes at once: one ``n + s`` buffer
+    whose first row is the carry permuted into phase order, accumulated
+    as an ``(m + 1, s)`` matrix — per lane this is exactly the
+    ``accumulate([carry, x0, x1, ...])[1:]`` left fold of the one-shot
+    scan, so float rounding is reproduced bit for bit.
+    """
+    chunk = np.asarray(chunk)
+    n = chunk.size
+    s = int(tuple_size)
+    out = np.empty_like(chunk)
+    if n == 0:
+        return out
+    if s == 1:
+        if seen[0]:
+            buf = np.empty(n + 1, dtype=chunk.dtype)
+            buf[0] = carry[0]
+            buf[1:] = chunk
+            op.accumulate(buf, out=buf)
+            out[...] = buf[1:]
+        else:
+            op.accumulate(chunk, out=out)
+        return out
+    perm = phase_perm(pos, s)
+    relevant = seen[perm[: min(n, s)]]
+    if not relevant.any():
+        return lane_scan(chunk, op, s, out=out)
+    if not relevant.all():
+        return _lane_scan_exact_strided(chunk, op, s, carry, seen, pos, out)
+    m, r = divmod(n, s)
+    buf = np.empty(n + s, dtype=chunk.dtype)
+    buf[:s] = carry[perm]
+    buf[s:] = chunk
+    body = (m + 1) * s
+    b2 = buf[:body].reshape(m + 1, s)
+    op.accumulate(b2, axis=0, out=b2)
+    if r:
+        op.apply_into(buf[body - s : body - s + r], chunk[m * s :], out=buf[body:])
+    out[...] = buf[s:]
+    return out
+
+
+def phase_totals(scanned: np.ndarray, tuple_size: int) -> np.ndarray:
+    """Last scanned element of each chunk phase, in phase order.
+
+    Returns an array of length ``min(n, tuple_size)`` — exactly the
+    phases that have at least one element; the caller maps phases to
+    lanes with :func:`phase_perm`.
+    """
+    scanned = np.asarray(scanned)
+    n = scanned.size
+    s = int(tuple_size)
+    if s == 1:
+        return scanned[n - 1 : n].copy()
+    m, r = divmod(n, s)
+    if m == 0:
+        return scanned.copy()
+    totals = scanned[n - r - s : n - r].copy()
+    if r:
+        totals[:r] = scanned[n - r :]
+    return totals
+
+
+def lane_totals(
+    scanned: np.ndarray, op: AssociativeOp, tuple_size: int, pos: int = 0
+) -> np.ndarray:
+    """Per-lane totals in **lane order**; identity for absent lanes."""
+    scanned = np.asarray(scanned)
+    s = int(tuple_size)
+    totals = np.full(s, op.identity(scanned.dtype), dtype=scanned.dtype)
+    t = phase_totals(scanned, s)
+    if t.size:
+        totals[(int(pos) + np.arange(t.size)) % s] = t
+    return totals
+
+
+def _fold_lanes_strided(buf, op, carry, pos, s, seen):
+    for phase in range(min(buf.size, s)):
+        lane = (pos + phase) % s
+        if seen is not None and not seen[lane]:
+            continue
+        sl = buf[phase::s]
+        op.apply_into(carry[lane], sl, out=sl)
+
+
+def fold_lanes(
+    buf: np.ndarray,
+    op: AssociativeOp,
+    carry: np.ndarray,
+    pos: int = 0,
+    tuple_size: int = 1,
+    seen: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """In-place ``op(carry[lane], x)`` over a chunk ("Add Resulting
+    Carry i to all Values of Chunk i", Figure 1).
+
+    ``carry`` (and the optional ``seen`` restriction mask) are in lane
+    order; ``pos`` is the global index of ``buf[0]``.  When every lane
+    participates the fold is two vectorized calls — a broadcast over
+    the ``(m, s)`` body view and one over the tail — instead of ``s``
+    strided passes.
+    """
+    buf = np.asarray(buf)
+    n = buf.size
+    s = int(tuple_size)
+    if n == 0:
+        return buf
+    if seen is not None and not seen.all():
+        if seen.any():
+            _fold_lanes_strided(buf, op, carry, int(pos), s, seen)
+        return buf
+    if s == 1:
+        op.apply_into(carry[0], buf, out=buf)
+        return buf
+    row = carry[phase_perm(pos, s)]  # fancy indexing: a contiguous copy
+    m, r = divmod(n, s)
+    if m == 0:
+        op.apply_into(row[:n], buf, out=buf)
+    elif buf.flags.c_contiguous:
+        body = m * s
+        b2 = buf[:body].reshape(m, s)
+        op.apply_into(row, b2, out=b2)
+        if r:
+            op.apply_into(row[:r], buf[body:], out=buf[body:])
+    else:
+        _fold_lanes_strided(buf, op, carry, int(pos), s, None)
+    return buf
+
+
+def exclusive_shift(
+    incl: np.ndarray, heads: np.ndarray, out: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Lane-shift an inclusive chunk right by one stride.
+
+    ``out[i] = incl[i - s]`` for ``i >= s``; the first ``s`` positions
+    take ``heads`` — the pre-chunk running totals in **chunk-phase
+    order** (identity at the start of a stream).  One whole-array slice
+    copy instead of a per-lane shift loop.  ``out`` must not alias
+    ``incl``.
+    """
+    incl = np.asarray(incl)
+    n = incl.size
+    s = len(heads)
+    if out is None:
+        out = np.empty_like(incl)
+    k = min(s, n)
+    out[:k] = heads[:k]
+    if n > s:
+        out[s:] = incl[:-s]
+    return out
+
+
+def scan_into(
+    src: np.ndarray,
+    out: np.ndarray,
+    op,
+    order: int = 1,
+    tuple_size: int = 1,
+    inclusive: bool = True,
+) -> np.ndarray:
+    """Order-``q`` lane scan of ``src`` using ``out`` as the only buffer.
+
+    Pass 1 scans ``src`` into ``out``; passes 2..q re-scan ``out`` in
+    place (no ping-pong buffer needed — each pass is a left fold).  The
+    exclusive shift, applied on the final pass only, is the one step
+    that cannot alias and allocates the returned array.
+    """
+    op = get_op(op)
+    current = src
+    for _ in range(int(order)):
+        lane_scan(current, op, tuple_size, out=out)
+        current = out
+    if inclusive:
+        return out
+    heads = np.full(int(tuple_size), op.identity(out.dtype), dtype=out.dtype)
+    return exclusive_shift(out, heads)
+
+
+class LaneKernel:
+    """Carry-continuation scan kernel: ``feed(chunk)`` one chunk at a time.
+
+    The generalization of the sharded driver's private ``_LaneKernel``
+    to any op/dtype, with an explicit exactness switch:
+
+    * ``exact=False`` — the zero-copy mode: chunks are accumulated *in
+      place* (the passed chunk is mutated and returned) and the running
+      carry is folded in afterwards.  Bit-exact for fixed-width
+      integers; for floats this regroups the fold (the sharded
+      ``exact=False`` semantics).
+    * ``exact=True`` — the prepend mode: bit-identical to the one-shot
+      scan for every dtype, floats included; chunks are not modified
+      and a fresh output is returned per feed.
+
+    ``exact=None`` picks ``False`` for integers, ``True`` otherwise.
+    ``start`` is the global index of the first element that will be
+    fed; ``prime`` preloads an absolute carry row (lane order) so the
+    kernel's output is final as written — lanes with no element before
+    ``start`` are marked unseen, exactly like a stream that has
+    consumed ``start`` elements.
+    """
+
+    def __init__(self, op, dtype, tuple_size=1, start=0, prime=None, exact=None):
+        self.op = get_op(op)
+        self.dtype = self.op.check_dtype(dtype)
+        self.s = int(tuple_size)
+        self.pos = int(start)
+        identity = self.op.identity(self.dtype)
+        self.carry = np.full(self.s, identity, dtype=self.dtype)
+        if exact is None:
+            exact = self.dtype.kind not in "iu"
+        self.exact = bool(exact)
+        if prime is not None:
+            self.carry[:] = prime
+            self.active = np.arange(self.s) < self.pos
+        else:
+            self.active = np.zeros(self.s, dtype=bool)
+
+    @property
+    def delegated_stage_scans(self) -> int:
+        """Engine-delegation counter (always 0: this kernel is local)."""
+        return 0
+
+    def feed(self, chunk: np.ndarray) -> np.ndarray:
+        """Scan the next chunk as a continuation; returns the scanned
+        values (the mutated ``chunk`` itself in the in-place mode)."""
+        chunk = np.asarray(chunk)
+        n = chunk.size
+        if n == 0:
+            return chunk
+        op, s = self.op, self.s
+        if self.exact:
+            out = lane_scan_exact(chunk, op, s, self.carry, self.active, self.pos)
+        elif self.active.all():
+            row = self.carry[phase_perm(self.pos, s)] if s > 1 else self.carry
+            out = lane_scan(chunk, op, s, out=chunk, carry=row)
+        elif self.active.any():
+            # Mixed seen/unseen lanes (only while pos < s): scan, then
+            # fold the seen lanes only — unseen lanes must not even see
+            # an identity fold in the float mode.
+            out = lane_scan(chunk, op, s, out=chunk)
+            fold_lanes(out, op, self.carry, self.pos, s, seen=self.active)
+        else:
+            out = lane_scan(chunk, op, s, out=chunk)
+        t = phase_totals(out, s)
+        if t.size:
+            touched = (self.pos + np.arange(t.size)) % s
+            self.carry[touched] = t
+            self.active[touched] = True
+        self.pos += n
+        return out

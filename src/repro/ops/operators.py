@@ -143,14 +143,20 @@ class AssociativeOp:
             # integers to the platform int, breaking wraparound semantics.
             with np.errstate(over="ignore"):
                 return self._ufunc.accumulate(a, axis=axis, dtype=a.dtype, out=out)
-        moved = np.moveaxis(a, axis, 0).copy()
+        if out is None:
+            moved = np.moveaxis(a, axis, 0).copy()
+            for i in range(1, moved.shape[0]):
+                moved[i] = self.apply(moved[i - 1], moved[i])
+            return np.moveaxis(moved, 0, axis)
+        # Scan directly into ``out`` (it may alias ``a``): the loop is a
+        # left fold, so seeding out with a and overwriting row by row
+        # needs no staging copy.
+        moved = np.moveaxis(out, axis, 0)
+        if out is not a:
+            moved[...] = np.moveaxis(a, axis, 0)
         for i in range(1, moved.shape[0]):
             moved[i] = self.apply(moved[i - 1], moved[i])
-        result = np.moveaxis(moved, 0, axis)
-        if out is not None:
-            out[...] = result
-            return out
-        return result
+        return out
 
     def reduce(self, a, axis: int = -1):
         """Reduce ``a`` along ``axis`` (the block 'local sum' primitive)."""

@@ -6,9 +6,10 @@ every launch processes chunks ``w, w+k, w+2k, ...`` of the shared input
 — the same every-k-th claiming as :class:`repro.core.sam.SamScan`'s
 persistent blocks.  Per chunk, per order-iteration it
 
-1. computes the lane-local strided scan (exactly
-   :func:`repro.core.localscan.strided_inclusive_scan` — the identical
-   code path the simulator and the bit-identity proofs use),
+1. computes the lane-local strided scan *in place* through
+   :mod:`repro.kernels` — the same kernel layer
+   :func:`repro.core.localscan.strided_inclusive_scan` (the simulator's
+   path and the bit-identity proofs) wraps, so the two cannot drift,
 2. publishes its per-lane local sums and resolves the inter-chunk carry
    through :mod:`repro.parallel.protocol` (decoupled or chained),
 3. corrects the chunk and writes it to the shared output array once.
@@ -31,11 +32,7 @@ import time
 
 import numpy as np
 
-from repro.core.localscan import (
-    apply_lane_carries,
-    strided_exclusive_from_inclusive,
-    strided_inclusive_scan,
-)
+from repro import kernels
 from repro.ops import get_op
 from repro.parallel.counters import WorkerCounters
 from repro.parallel.errors import ParallelAbort, WorkerStallError
@@ -104,20 +101,23 @@ def _scan_chunks(worker_id: int, task: dict, layout: ScanLayout, views) -> Worke
         _maybe_inject(inject, worker_id, ordinal, views.control)
         start = chunk * chunk_elements
         count = min(chunk_elements, n - start)
-        data = views.input[start : start + count]
+        # One owned copy of the chunk; every pass then scans and folds
+        # it in place through the shared kernel layer — no per-pass
+        # temporaries (the shared input segment must stay pristine, so
+        # the in-place kernel cannot run on the view directly).
+        data = np.array(views.input[start : start + count], copy=True)
         for iteration in range(order):
             t0 = time.perf_counter()
-            scanned, local_sums = strided_inclusive_scan(data, start, tuple_size, op)
+            kernels.lane_scan(data, op, tuple_size, out=data)
+            local_sums = kernels.lane_totals(data, op, tuple_size, pos=start)
             t1 = time.perf_counter()
             carry = carry_fn(aux, op, chunk, iteration, local_sums, acc)
             t2 = time.perf_counter()
             last = iteration == order - 1
+            kernels.fold_lanes(data, op, carry, pos=start, tuple_size=tuple_size)
             if last and not inclusive:
-                data = strided_exclusive_from_inclusive(
-                    scanned, start, tuple_size, op, carry
-                )
-            else:
-                data = apply_lane_carries(scanned, start, tuple_size, op, carry)
+                heads = carry[kernels.phase_perm(start, tuple_size)]
+                data = kernels.exclusive_shift(data, heads)
             counters.seconds_local_scan += t1 - t0
             counters.seconds_carry += t2 - t1
         t3 = time.perf_counter()

@@ -18,13 +18,17 @@ position, which the session tracks.
 How bit-identity is kept
 ------------------------
 
-Each of the ``order`` scan passes is continued per tuple lane:
+Each of the ``order`` scan passes is continued through the shared
+:mod:`repro.kernels` layer:
 
-* **Exact path (default).**  The lane's carry is *prepended* to the
-  lane's chunk values and ``op.accumulate`` runs over the extended
-  array.  numpy's ufunc ``accumulate`` is a sequential left fold, so
-  this reproduces the one-shot accumulate's exact sequence of partial
-  results — including float rounding, which mere
+* **Host path (default).**  Integer chunks take the lean in-place
+  kernel (:func:`repro.kernels.lane_scan`): one 2-D accumulate over
+  all lanes, carry folded in afterwards — exact because fixed-width
+  integer arithmetic is truly associative.  Float chunks take the
+  exact prepend kernel (:func:`repro.kernels.lane_scan_exact`): the
+  carry row is *prepended* to the chunk and the ufunc accumulate —
+  a sequential left fold — reproduces the one-shot scan's exact
+  sequence of partial results, float rounding included, which mere
   ``op(carry, local_scan)`` folding would change.  Unprimed lanes
   (no elements seen yet) are scanned without a prepend so that even
   non-identities-in-floating-point like ``0.0 + (-0.0)`` cannot leak
@@ -56,6 +60,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro import kernels
 from repro.ops import get_op
 from repro.stream.counters import StreamCounters
 from repro.stream.errors import CheckpointMismatchError, SessionStateError
@@ -234,7 +239,12 @@ class ScanSession:
         for iteration in range(self.order):
             last = iteration == self.order - 1
             out = self._stage_pass(
-                out, iteration, inclusive_output=self.inclusive or not last
+                out,
+                iteration,
+                inclusive_output=self.inclusive or not last,
+                # The first pass reads the caller's array (never mutate
+                # it); later passes own their buffer and scan in place.
+                own=iteration > 0,
             )
         self._offset += len(array)
         self.counters.chunks += 1
@@ -245,68 +255,78 @@ class ScanSession:
 
     # -- internals -------------------------------------------------------
 
-    def _lane_seen(self, lane: int) -> bool:
-        """Has global lane ``lane`` received at least one element yet?"""
-        s = self.tuple_size
-        return (self._offset // s) + (1 if self._offset % s > lane else 0) > 0
+    def _seen_lanes(self) -> np.ndarray:
+        """Which global lanes have received at least one element: lane
+        ``l`` first appears at global index ``l``, so exactly the lanes
+        below the stream offset."""
+        return np.arange(self.tuple_size) < self._offset
 
-    def _lane_slice(self, lane: int) -> slice:
-        """Chunk positions belonging to global lane ``lane``.
-
-        Global index ``offset + i`` is in lane ``(offset + i) % s``, so
-        the lane's first in-chunk position is ``(lane - offset) % s``.
-        """
-        return slice((lane - self._offset) % self.tuple_size, None, self.tuple_size)
+    def _update_carry(self, iteration: int, scanned: np.ndarray) -> None:
+        """Fold a scanned chunk's running totals into ``carry[iteration]``."""
+        totals = kernels.phase_totals(scanned, self.tuple_size)
+        if totals.size:
+            lanes = (self._offset + np.arange(totals.size)) % self.tuple_size
+            self._carry[iteration, lanes] = totals
 
     def _stage_pass(
-        self, values: np.ndarray, iteration: int, inclusive_output: bool
+        self,
+        values: np.ndarray,
+        iteration: int,
+        inclusive_output: bool,
+        own: bool,
     ) -> np.ndarray:
         prev_carry = self._carry[iteration].copy()
-        incl = self._stage_inclusive(values, iteration)
+        incl = self._stage_inclusive(values, iteration, own)
         if inclusive_output:
             return incl
         # Exclusive = the lane-shifted inclusive continuation.  The
-        # shifted-in head is the lane's pre-chunk running total (or the
-        # identity at the very start of the stream) — exactly the value
-        # the one-shot exclusive shift would place there.
-        identity = self.op.identity(self.dtype)
-        out = np.empty_like(incl)
-        for lane in range(self.tuple_size):
-            sl = self._lane_slice(lane)
-            lane_incl = incl[sl]
-            if lane_incl.size == 0:
-                continue
-            shifted = np.empty_like(lane_incl)
-            shifted[0] = prev_carry[lane] if self._lane_seen(lane) else identity
-            shifted[1:] = lane_incl[:-1]
-            out[sl] = shifted
-        return out
+        # shifted-in heads are the lanes' pre-chunk running totals (or
+        # the identity at the very start of the stream) — exactly the
+        # values the one-shot exclusive shift would place there.
+        s = self.tuple_size
+        perm = kernels.phase_perm(self._offset, s)
+        heads = prev_carry[perm]
+        heads[perm >= self._offset] = self.op.identity(self.dtype)
+        return kernels.exclusive_shift(incl, heads)
 
-    def _stage_inclusive(self, values: np.ndarray, iteration: int) -> np.ndarray:
+    def _stage_inclusive(
+        self, values: np.ndarray, iteration: int, own: bool
+    ) -> np.ndarray:
         """One inclusive stage pass; updates ``carry[iteration]``."""
         if self._engine is not None and self.dtype.kind in "iu":
             return self._stage_inclusive_delegated(values, iteration)
-        return self._stage_inclusive_exact(values, iteration)
+        return self._stage_inclusive_host(values, iteration, own)
 
-    def _stage_inclusive_exact(
-        self, values: np.ndarray, iteration: int
+    def _stage_inclusive_host(
+        self, values: np.ndarray, iteration: int, own: bool
     ) -> np.ndarray:
-        op = self.op
-        out = np.empty_like(values)
-        for lane in range(self.tuple_size):
-            sl = self._lane_slice(lane)
-            lane_vals = values[sl]
-            if lane_vals.size == 0:
-                continue
-            if self._lane_seen(lane):
-                extended = np.empty(lane_vals.size + 1, dtype=self.dtype)
-                extended[0] = self._carry[iteration, lane]
-                extended[1:] = lane_vals
-                lane_incl = op.accumulate(extended)[1:]
+        op, s, pos = self.op, self.tuple_size, self._offset
+        carry = self._carry[iteration]
+        if self.dtype.kind in "iu":
+            # Fixed-width integers are truly associative, so the lean
+            # in-place kernel applies: accumulate all lanes in one 2-D
+            # call, fold the carry afterwards — no prepend copies (the
+            # ROADMAP port of the sharded driver's ``_LaneKernel``).
+            out = values if own else np.empty_like(values)
+            if pos >= s:
+                row = carry[kernels.phase_perm(pos, s)] if s > 1 else carry
+                kernels.lane_scan(values, op, s, out=out, carry=row)
+            elif pos > 0:
+                # Stream younger than one stride: only lanes < pos
+                # carry state; fold those lanes alone.
+                kernels.lane_scan(values, op, s, out=out)
+                kernels.fold_lanes(
+                    out, op, carry, pos=pos, tuple_size=s, seen=self._seen_lanes()
+                )
             else:
-                lane_incl = op.accumulate(lane_vals)
-            out[sl] = lane_incl
-            self._carry[iteration, lane] = lane_incl[-1]
+                kernels.lane_scan(values, op, s, out=out)
+        else:
+            # Floats are only pseudo-associative: bit-identity needs
+            # the exact prepend continuation (vectorized across lanes).
+            out = kernels.lane_scan_exact(
+                values, op, s, carry, self._seen_lanes(), pos
+            )
+        self._update_carry(iteration, out)
         return out
 
     def _stage_inclusive_delegated(
@@ -327,16 +347,18 @@ class ScanSession:
         if not local.flags.writeable:
             local = local.copy()
         self.counters.delegated_stage_scans += 1
-        for lane in range(self.tuple_size):
-            sl = self._lane_slice(lane)
-            lane_local = local[sl]
-            if lane_local.size == 0:
-                continue
-            if self._lane_seen(lane):
-                lane_local[...] = self.op.apply(
-                    self._carry[iteration, lane], lane_local
-                )
-            self._carry[iteration, lane] = lane_local[-1]
+        s, pos = self.tuple_size, self._offset
+        carry = self._carry[iteration]
+        if pos > 0:
+            kernels.fold_lanes(
+                local,
+                self.op,
+                carry,
+                pos=pos,
+                tuple_size=s,
+                seen=None if pos >= s else self._seen_lanes(),
+            )
+        self._update_carry(iteration, local)
         return local
 
 

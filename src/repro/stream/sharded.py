@@ -24,7 +24,9 @@ not:
 * **A lean integer kernel.**  Fixed-width integer arithmetic is truly
   associative (wraparound included), so shard passes accumulate each
   lane *in place* and fold the running carry in place — none of the
-  prepend copies the bit-exact float path needs.
+  prepend copies the bit-exact float path needs.  The kernel is the
+  shared :class:`repro.kernels.LaneKernel` (born here as a private
+  class, now the layer every engine's host path calls).
 
 Bit-identity: for integer dtypes the output is bit-identical to the
 one-shot host scan for every op / order / tuple size, inclusive and
@@ -52,6 +54,8 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro import kernels
+from repro.kernels import LaneKernel
 from repro.ops import get_op
 from repro.stream.checkpoint import (
     build_shard_manifest,
@@ -137,56 +141,6 @@ def _seen_before(lo: int, tuple_size: int) -> np.ndarray:
 # -- per-shard kernels ---------------------------------------------------
 
 
-class _LaneKernel:
-    """Order-1 per-lane scan continuation without prepend copies.
-
-    Each lane of the chunk is accumulated in place, then the lane's
-    running carry is folded in place — exact for fixed-width integers
-    because their arithmetic is truly associative; for floats this is
-    the sharded (``exact=False``, non-bit-exact) path.  ``prime`` loads
-    an absolute carry so the shard's output is final as written.
-    """
-
-    def __init__(self, op, dtype, tuple_size, lo, prime=None):
-        self.op = op
-        self.s = int(tuple_size)
-        self.pos = int(lo)
-        identity = op.identity(dtype)
-        self.carry = np.full(self.s, identity, dtype=dtype)
-        if prime is not None:
-            self.carry[:] = prime
-            self.active = _seen_before(lo, self.s).copy()
-        else:
-            self.active = np.zeros(self.s, dtype=bool)
-
-    def feed(self, chunk: np.ndarray) -> np.ndarray:
-        if chunk.size == 0:
-            return chunk
-        op, s = self.op, self.s
-        if s == 1:
-            op.accumulate(chunk, out=chunk)
-            if self.active[0]:
-                op.apply_into(self.carry[0], chunk, out=chunk)
-            self.carry[0] = chunk[-1]
-            self.active[0] = True
-        else:
-            for lane in range(s):
-                lane_vals = chunk[slice((lane - self.pos) % s, None, s)]
-                if lane_vals.size == 0:
-                    continue
-                op.accumulate(lane_vals, out=lane_vals)
-                if self.active[lane]:
-                    op.apply_into(self.carry[lane], lane_vals, out=lane_vals)
-                self.carry[lane] = lane_vals[-1]
-                self.active[lane] = True
-        self.pos += len(chunk)
-        return chunk
-
-    @property
-    def delegated_stage_scans(self) -> int:
-        return 0
-
-
 class _SessionKernel:
     """Shard kernel delegating chunk scans to an inner one-shot engine.
 
@@ -227,38 +181,17 @@ class _SessionKernel:
 
 def _fold_chunk(op, chunk, carry, pos, tuple_size, seen) -> None:
     """In-place ``op(carry[lane], x)`` over the chunk's seen lanes."""
-    if tuple_size == 1:
-        if seen[0]:
-            op.apply_into(carry[0], chunk, out=chunk)
-        return
-    for lane in range(tuple_size):
-        if not seen[lane]:
-            continue
-        lane_vals = chunk[slice((lane - pos) % tuple_size, None, tuple_size)]
-        if lane_vals.size:
-            op.apply_into(carry[lane], lane_vals, out=lane_vals)
+    kernels.fold_lanes(chunk, op, carry, pos=pos, tuple_size=tuple_size, seen=seen)
 
 
 def _exclusive_shift(op, chunk, prev, pos, tuple_size) -> np.ndarray:
     """Lane-shift a folded inclusive chunk; ``prev`` carries lane heads
     across chunk boundaries (updated in place)."""
-    if tuple_size == 1:
-        shifted = np.empty_like(chunk)
-        shifted[0] = prev[0]
-        shifted[1:] = chunk[:-1]
-        prev[0] = chunk[-1]
-        return shifted
-    out = np.empty_like(chunk)
-    for lane in range(tuple_size):
-        sl = slice((lane - pos) % tuple_size, None, tuple_size)
-        lane_vals = chunk[sl]
-        if lane_vals.size == 0:
-            continue
-        shifted = np.empty_like(lane_vals)
-        shifted[0] = prev[lane]
-        shifted[1:] = lane_vals[:-1]
-        out[sl] = shifted
-        prev[lane] = lane_vals[-1]
+    perm = kernels.phase_perm(pos, tuple_size)
+    out = kernels.exclusive_shift(chunk, prev[perm])
+    totals = kernels.phase_totals(chunk, tuple_size)
+    if totals.size:
+        prev[perm[: totals.size]] = totals
     return out
 
 
@@ -576,7 +509,10 @@ def _scan_shard(
     if job.engine is not None and dtype.kind in "iu":
         kernel = _SessionKernel(op, dtype, s, lo, prime, job.engine)
     else:
-        kernel = _LaneKernel(op, dtype, s, lo, prime=prime)
+        # The shared in-place kernel (repro.kernels); exact=False is the
+        # sharded contract — bit-exact for integers, carry-fold rounding
+        # for floats (which only get here under ``exact=False``).
+        kernel = LaneKernel(op, dtype, s, start=lo, prime=prime, exact=False)
     seen = _seen_before(lo, s)
     source = np.memmap(job.source_path(pass_index), dtype=dtype, mode="r")
     chunker = _AdaptiveChunker(

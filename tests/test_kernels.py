@@ -1,0 +1,238 @@
+"""The shared kernel layer (`repro.kernels`) against the serial oracle.
+
+The kernel layer is the one code path every engine's host side runs
+through, so its contract is the strongest in the repo: bit identity
+with `repro.reference` across op x dtype x order x tuple_size x
+inclusive — including lengths not divisible by the tuple size, chunks
+shorter than one stride, empty and 1-element inputs — and split-point
+equivalence for the carry-continuation `feed()` API at arbitrary
+(mid-tuple) boundaries, in both the in-place integer mode and the
+bit-exact float mode.
+"""
+
+import numpy as np
+import pytest
+
+from repro import kernels
+from repro.kernels import LaneKernel
+from repro.ops import AssociativeOp, get_op
+from repro.reference.serial import prefix_sum_serial
+
+SIZES = [0, 1, 2, 5, 7, 16, 33, 100]
+TUPLE_SIZES = [1, 2, 3, 5, 8]
+
+
+def _data(rng, n, dtype):
+    dt = np.dtype(dtype)
+    if dt.kind == "f":
+        return rng.standard_normal(n).astype(dt)
+    lo = 0 if dt.kind == "u" else -50
+    return rng.integers(lo, 50, n).astype(dt)
+
+
+def _assert_bitwise(got, want, msg=""):
+    got, want = np.asarray(got), np.asarray(want)
+    assert got.dtype == want.dtype, msg
+    assert got.tobytes() == want.tobytes(), msg
+
+
+# -- the grid: scan_into vs the serial reference -------------------------
+
+
+@pytest.mark.parametrize("opname", ["add", "max", "xor"])
+@pytest.mark.parametrize("dtype", ["int32", "int64", "uint32", "float64"])
+@pytest.mark.parametrize("tuple_size", TUPLE_SIZES)
+def test_scan_into_matches_reference(opname, dtype, tuple_size):
+    op = get_op(opname)
+    if op.integer_only and np.dtype(dtype).kind == "f":
+        pytest.skip("integer-only operator")
+    rng = np.random.default_rng(hash((opname, dtype, tuple_size)) % 2**32)
+    for n in SIZES:
+        values = _data(rng, n, dtype)
+        for order in (1, 2, 3):
+            for inclusive in (True, False):
+                ref = prefix_sum_serial(
+                    values, order=order, tuple_size=tuple_size,
+                    op=op, inclusive=inclusive,
+                )
+                got = kernels.scan_into(
+                    values, np.empty_like(values), op,
+                    order=order, tuple_size=tuple_size, inclusive=inclusive,
+                )
+                _assert_bitwise(
+                    got, ref,
+                    f"n={n} order={order} inclusive={inclusive}",
+                )
+
+
+def test_lane_scan_in_place_aliasing():
+    op = get_op("add")
+    rng = np.random.default_rng(3)
+    for s in TUPLE_SIZES:
+        for n in SIZES:
+            a = _data(rng, n, "int64")
+            want = kernels.lane_scan(a, op, s)
+            got = a.copy()
+            kernels.lane_scan(got, op, s, out=got)
+            _assert_bitwise(got, want)
+
+
+def test_lane_scan_crosses_block_boundaries():
+    # Sizes straddling the cache-block row count exercise the blocked
+    # integer path's carry splice.
+    op = get_op("add")
+    rng = np.random.default_rng(4)
+    for s in (8, 64):
+        rows = kernels.BLOCK_BYTES // (s * 8)
+        for n in (rows * s - 1, rows * s, rows * s + 1, 3 * rows * s + 5):
+            a = _data(rng, n, "int64")
+            ref = prefix_sum_serial(a, tuple_size=s, op=op)
+            _assert_bitwise(kernels.lane_scan(a, op, s), ref, f"s={s} n={n}")
+
+
+# -- feed(): split-point equivalence -------------------------------------
+
+
+@pytest.mark.parametrize("exact", [False, True])
+@pytest.mark.parametrize("tuple_size", [1, 3, 5])
+def test_feed_split_equivalence_int(exact, tuple_size):
+    op = get_op("add")
+    rng = np.random.default_rng(7)
+    n = 13
+    a = _data(rng, n, "int64")
+    one_shot = kernels.lane_scan(a, op, tuple_size)
+    # Every two-cut split, including empty parts and mid-tuple edges.
+    for cut1 in range(n + 1):
+        for cut2 in range(cut1, n + 1):
+            kernel = LaneKernel(op, np.int64, tuple_size, exact=exact)
+            parts = [
+                np.asarray(kernel.feed(part.copy()))
+                for part in (a[:cut1], a[cut1:cut2], a[cut2:])
+            ]
+            _assert_bitwise(
+                np.concatenate(parts), one_shot,
+                f"exact={exact} s={tuple_size} cuts=({cut1},{cut2})",
+            )
+
+
+@pytest.mark.parametrize("tuple_size", [1, 2, 5])
+def test_feed_split_equivalence_float_bit_exact(tuple_size):
+    # The exact mode's whole contract: float rounding (and signed
+    # zeros) reproduced bit for bit at any split point.
+    op = get_op("add")
+    rng = np.random.default_rng(11)
+    n = 23
+    a = rng.standard_normal(n) * 10.0 ** rng.integers(-8, 8, n)
+    a[rng.integers(0, n, 4)] = -0.0
+    one_shot = kernels.lane_scan(a, op, tuple_size)
+    for cut in range(n + 1):
+        kernel = LaneKernel(op, np.float64, tuple_size)  # exact=None -> True
+        assert kernel.exact
+        parts = [np.asarray(kernel.feed(p.copy())) for p in (a[:cut], a[cut:])]
+        _assert_bitwise(np.concatenate(parts), one_shot, f"cut={cut}")
+
+
+def test_feed_primed_continuation():
+    op = get_op("add")
+    rng = np.random.default_rng(13)
+    a = _data(rng, 37, "int64")
+    for s in (1, 4):
+        for lo in (0, 1, 3, 10):
+            reference = LaneKernel(op, np.int64, s, exact=False)
+            reference.feed(a[:lo].copy())
+            primed = LaneKernel(
+                op, np.int64, s, start=lo,
+                prime=reference.carry.copy(), exact=False,
+            )
+            want = reference.feed(a[lo:].copy())
+            got = primed.feed(a[lo:].copy())
+            _assert_bitwise(got, want, f"s={s} lo={lo}")
+            _assert_bitwise(primed.carry, reference.carry)
+
+
+def test_feed_exact_mode_does_not_mutate_input():
+    op = get_op("add")
+    a = np.array([1.5, -2.5, 3.5, 4.5, 5.5])
+    snapshot = a.copy()
+    kernel = LaneKernel(op, np.float64, 2)
+    kernel.feed(a)
+    kernel.feed(a)
+    _assert_bitwise(a, snapshot)
+
+
+# -- the helper kernels --------------------------------------------------
+
+
+def test_phase_totals_and_lane_totals():
+    op = get_op("add")
+    a = np.arange(1, 8, dtype=np.int64)  # n=7
+    # s=3, pos=2: phases 0..2 map to lanes 2,0,1
+    scanned = kernels.lane_scan(a, op, 3)
+    totals = kernels.phase_totals(scanned, 3)
+    assert totals.tolist() == [scanned[6], scanned[4], scanned[5]]
+    lanes = kernels.lane_totals(scanned, op, 3, pos=2)
+    assert lanes.tolist() == [scanned[4], scanned[5], scanned[6]]
+    # Short chunk: only the phases with elements are reported.
+    assert kernels.phase_totals(a[:2], 3).tolist() == [1, 2]
+    short = kernels.lane_totals(a[:2], op, 3, pos=1)
+    assert short.tolist() == [0, 1, 2]  # lane 0 absent -> identity
+    assert kernels.phase_totals(np.array([], dtype=np.int64), 3).size == 0
+
+
+def test_fold_lanes_masked_and_broadcast():
+    op = get_op("add")
+    a = np.ones(10, dtype=np.int64)
+    carry = np.array([10, 20, 30], dtype=np.int64)
+    full = a.copy()
+    kernels.fold_lanes(full, op, carry, pos=1, tuple_size=3)
+    # phase p holds lane (1 + p) % 3
+    assert full.tolist() == [21, 31, 11, 21, 31, 11, 21, 31, 11, 21]
+    masked = a.copy()
+    seen = np.array([True, False, True])
+    kernels.fold_lanes(masked, op, carry, pos=1, tuple_size=3, seen=seen)
+    assert masked.tolist() == [1, 31, 11, 1, 31, 11, 1, 31, 11, 1]
+
+
+def test_exclusive_shift_heads_and_tail():
+    heads = np.array([100, 200], dtype=np.int64)
+    incl = np.arange(1, 6, dtype=np.int64)
+    out = kernels.exclusive_shift(incl, heads)
+    assert out.tolist() == [100, 200, 1, 2, 3]
+    short = kernels.exclusive_shift(incl[:1], heads)
+    assert short.tolist() == [100]
+
+
+# -- satellite regression: non-ufunc accumulate with out= ----------------
+
+
+def _looped_concat_op():
+    return AssociativeOp(
+        "concat-low-bits",
+        fn=lambda a, b: (a * 4 + (b & 3)).astype(a.dtype),
+        identity_fn=lambda dt: 0,
+        commutative=False,
+        integer_only=True,
+    )
+
+
+def test_non_ufunc_accumulate_scans_directly_into_out():
+    op = _looped_concat_op()
+    a = np.array([1, 2, 3, 1, 2], dtype=np.int64)
+    want = op.accumulate(a)
+    out = np.empty_like(a)
+    got = op.accumulate(a, out=out)
+    assert got is out
+    _assert_bitwise(out, want)
+    _assert_bitwise(a, np.array([1, 2, 3, 1, 2], dtype=np.int64))  # untouched
+    aliased = a.copy()
+    op.accumulate(aliased, out=aliased)
+    _assert_bitwise(aliased, want)
+
+
+def test_non_ufunc_op_through_the_kernel_layer():
+    op = _looped_concat_op()
+    rng = np.random.default_rng(17)
+    a = rng.integers(0, 4, 11).astype(np.int64)
+    for s in (1, 2, 3):
+        ref = prefix_sum_serial(a, tuple_size=s, op=op)
+        _assert_bitwise(kernels.lane_scan(a, op, s), ref, f"s={s}")

@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""CI gate: fail when kernel speedups regress vs the committed baseline.
+
+Compares a freshly measured ``BENCH_kernels.json`` (the candidate,
+usually from ``bench_kernels.py --quick --output ...``) against the
+committed baseline.  The compared metric is each row's ``speedup`` —
+legacy-vs-kernel measured *within one run on one machine* — so the
+gate is immune to absolute-throughput differences between the CI
+runner and the machine that produced the baseline; only the *relative*
+advantage of the kernel layer is regressed on.
+
+Rows are matched on (tuple_size, order, dtype, op); candidate rows
+missing from the baseline (or vice versa) are skipped, so ``--quick``
+sweeps gate against the full committed grid.  A candidate row fails
+when its speedup drops more than ``--max-regression`` (default 25%)
+below the baseline row's.
+
+Usage:
+    python tools/bench_gate.py --baseline benchmarks/results/BENCH_kernels.json \
+        --candidate /tmp/BENCH_kernels_ci.json [--max-regression 0.25]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def _row_key(row: dict) -> tuple:
+    return (row["tuple_size"], row["order"], row["dtype"], row["op"])
+
+
+def gate(baseline: dict, candidate: dict, max_regression: float) -> int:
+    base_rows = {_row_key(r): r for r in baseline.get("rows", [])}
+    cand_rows = {_row_key(r): r for r in candidate.get("rows", [])}
+    shared = sorted(set(base_rows) & set(cand_rows))
+    if not shared:
+        print("bench_gate: no comparable rows between baseline and candidate")
+        return 2
+    failures = []
+    print(
+        f"{'tuple_size':>10} {'order':>5} {'dtype':>6} {'op':>4} "
+        f"{'baseline':>9} {'candidate':>9} {'floor':>7}  verdict"
+    )
+    for key in shared:
+        base = base_rows[key]["speedup"]
+        cand = cand_rows[key]["speedup"]
+        floor = base * (1.0 - max_regression)
+        ok = cand >= floor
+        s, q, dtype, op = key
+        print(
+            f"{s:>10} {q:>5} {dtype:>6} {op:>4} "
+            f"{base:>8.2f}x {cand:>8.2f}x {floor:>6.2f}x  "
+            f"{'ok' if ok else 'REGRESSED'}"
+        )
+        if not ok:
+            failures.append(key)
+    skipped = len(cand_rows) - len(shared)
+    if skipped:
+        print(f"({skipped} candidate row(s) not in the baseline: skipped)")
+    if failures:
+        print(
+            f"\nbench_gate: FAIL — {len(failures)} of {len(shared)} rows "
+            f"regressed more than {max_regression:.0%} vs the baseline"
+        )
+        return 1
+    print(
+        f"\nbench_gate: ok — {len(shared)} rows within {max_regression:.0%} "
+        f"of the committed baseline"
+    )
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", type=pathlib.Path, required=True,
+                        help="committed BENCH_kernels.json")
+    parser.add_argument("--candidate", type=pathlib.Path, required=True,
+                        help="freshly measured BENCH_kernels.json")
+    parser.add_argument("--max-regression", type=float, default=0.25,
+                        help="allowed fractional speedup drop (default 0.25)")
+    args = parser.parse_args(argv)
+    baseline = json.loads(args.baseline.read_text())
+    candidate = json.loads(args.candidate.read_text())
+    return gate(baseline, candidate, args.max_regression)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
