@@ -41,18 +41,23 @@ import sys
 import numpy as np
 
 
-def _resolve_cli_engine(name: str, workers: int):
+def _resolve_cli_engine(name: str, workers: int, threads: int = 0):
     """Engine construction shared by ``scan`` and ``stream``.
 
     ``--workers`` applies to *both* multicore engines — ``parallel``
     and the ``parallel_chained`` carry ablation (it used to be silently
-    ignored for the latter).
+    ignored for the latter).  ``--threads`` configures the in-memory
+    slab-parallel engine (``--engine threaded``; 0 = auto).
     """
     if name in ("parallel", "parallel_chained") and workers:
         from repro.parallel import ParallelSamScan
 
         scheme = "chained" if name == "parallel_chained" else "decoupled"
         return ParallelSamScan(num_workers=workers, carry_scheme=scheme)
+    if name == "threaded" and threads:
+        from repro.kernels import ThreadedScan
+
+        return ThreadedScan(threads=threads)
     from repro.api import resolve_engine
 
     return resolve_engine(name)
@@ -65,11 +70,12 @@ def _cmd_scan(args) -> int:
     values = np.fromfile(args.input, dtype=np.dtype(args.dtype))
     op = get_op(args.op)
     inclusive = not args.exclusive
-    engine = _resolve_cli_engine(args.engine, args.workers)
+    engine = _resolve_cli_engine(args.engine, args.workers, args.threads)
     if engine is None:
         out = host_prefix_sum(
             values, order=args.order, tuple_size=args.tuple_size,
             op=op, inclusive=inclusive,
+            threads=args.threads or None,
         )
         used = "host"
     else:
@@ -96,7 +102,7 @@ def _cmd_stream(args) -> int:
 
     if args.shards and args.shards > 1:
         return _cmd_stream_sharded(args)
-    engine = _resolve_cli_engine(args.engine, args.workers)
+    engine = _resolve_cli_engine(args.engine, args.workers, args.threads)
     try:
         result = scan_file(
             args.input,
@@ -111,6 +117,8 @@ def _cmd_stream(args) -> int:
             checkpoint=args.checkpoint,
             checkpoint_every=args.checkpoint_every,
             resume=args.resume,
+            threads=args.threads or None,
+            adaptive_chunks=args.adaptive_chunks,
             fail_after_chunks=args.fail_after_chunks,
         )
     except StreamError as exc:
@@ -145,7 +153,7 @@ def _cmd_stream_sharded(args) -> int:
 
     from repro.stream import StreamError, scan_file_sharded
 
-    engine = _resolve_cli_engine(args.engine, args.workers)
+    engine = _resolve_cli_engine(args.engine, args.workers, args.threads)
     try:
         result = scan_file_sharded(
             args.input,
@@ -161,6 +169,7 @@ def _cmd_stream_sharded(args) -> int:
             chunk_bytes=args.chunk_bytes,
             checkpoint=args.checkpoint,
             resume=args.resume,
+            threads=args.threads or None,
             fail_after_shards=args.fail_after_shards,
         )
     except StreamError as exc:
@@ -316,6 +325,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--workers", type=int, default=0,
                        help="worker processes for the parallel engines "
                             "(0 = cpu count)")
+        p.add_argument("--threads", type=int, default=0,
+                       help="slab threads for the in-memory threaded "
+                            "kernel (engine 'threaded' or chunk scans; "
+                            "0 = auto)")
 
     p = sub.add_parser("scan", help="prefix-scan a raw integer file")
     add_scan_options(p)
@@ -344,6 +357,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="N > 1: run the sharded driver (N contiguous "
                         "shards scanned concurrently and carry-spliced; "
                         "--checkpoint becomes a per-shard manifest)")
+    p.add_argument("--adaptive-chunks", action="store_true",
+                   help="resize chunks from measured per-chunk seconds "
+                        "(single-session driver; sharded jobs adapt by "
+                        "default)")
     p.add_argument("--fail-after-chunks", type=int, default=None,
                    help=argparse.SUPPRESS)  # test hook: simulate a crash
     p.add_argument("--fail-after-shards", type=int, default=None,

@@ -35,6 +35,7 @@ from repro.ops import ADD, get_op
 #: ``engine=`` parameter of every scan-shaped API function).
 ENGINE_NAMES = (
     "host",
+    "threaded",
     "parallel",
     "parallel_chained",
     "sam",
@@ -58,6 +59,10 @@ def resolve_engine(engine):
     name = engine.lower()
     if name == "host":
         return None
+    if name == "threaded":
+        from repro.kernels import ThreadedScan
+
+        return ThreadedScan()
     if name in ("parallel", "parallel_chained"):
         from repro.parallel import ParallelSamScan
 
@@ -172,6 +177,7 @@ def open_session(
     inclusive: bool = True,
     dtype=None,
     engine=None,
+    threads=None,
 ):
     """Open a streaming scan session (chunked input, persistent carry).
 
@@ -179,7 +185,10 @@ def open_session(
     ``session.feed(chunk)`` repeatedly; the concatenated outputs are
     bit-identical to the one-shot scan of the concatenated inputs, for
     arbitrary chunk boundaries.  ``engine`` selects the inner engine
-    the chunks are scanned on (same names/objects as everywhere else).
+    the chunks are scanned on (same names/objects as everywhere else);
+    ``threads`` (an int or ``"auto"``) additionally runs integer
+    host-path chunk scans on the slab-parallel in-memory kernel —
+    results are unchanged.
 
     >>> import numpy as np
     >>> session = open_session(order=2)
@@ -197,6 +206,7 @@ def open_session(
         inclusive=inclusive,
         dtype=dtype,
         engine=engine,
+        threads=threads,
     )
 
 
@@ -217,6 +227,8 @@ def scan_file(
     shards: int = None,
     workers: int = None,
     exact: bool = True,
+    threads=None,
+    adaptive_chunks: bool = None,
 ):
     """Scan a raw binary file out of core (see :mod:`repro.stream`).
 
@@ -235,6 +247,12 @@ def scan_file(
     manifest and resume re-runs only unfinished shards.  Float inputs
     stay on the sequential exact path unless ``exact=False``.  Returns
     a :class:`repro.stream.ShardedResult`.
+
+    ``threads`` opts chunk scans into the slab-parallel in-memory
+    kernel (per session, or per shard task with the combined
+    oversubscription guard — see :mod:`repro.kernels.threaded`);
+    ``adaptive_chunks`` toggles measured-phase-seconds chunk sizing
+    (default: on for sharded jobs, off for single-session jobs).
     """
     from repro import stream
 
@@ -242,6 +260,8 @@ def scan_file(
         kwargs = {}
         if chunk_bytes is not None:
             kwargs["chunk_bytes"] = chunk_bytes
+        if adaptive_chunks is not None:
+            kwargs["adaptive_chunks"] = adaptive_chunks
         return stream.scan_file_sharded(
             input_path,
             output_path,
@@ -256,6 +276,7 @@ def scan_file(
             checkpoint=checkpoint,
             resume=resume,
             exact=exact,
+            threads=threads,
             **kwargs,
         )
 
@@ -264,6 +285,8 @@ def scan_file(
         kwargs["chunk_bytes"] = chunk_bytes
     if checkpoint_every is not None:
         kwargs["checkpoint_every"] = checkpoint_every
+    if adaptive_chunks is not None:
+        kwargs["adaptive_chunks"] = adaptive_chunks
     return stream.scan_file(
         input_path,
         output_path,
@@ -275,5 +298,6 @@ def scan_file(
         engine=engine,
         checkpoint=checkpoint,
         resume=resume,
+        threads=threads,
         **kwargs,
     )

@@ -21,17 +21,37 @@ from repro.kernels.lane import (
     phase_totals,
     scan_into,
 )
+from repro.kernels.threaded import (
+    MIN_SLAB_BYTES,
+    PARALLEL_CUTOVER_BYTES,
+    ThreadedLaneKernel,
+    ThreadedScan,
+    get_pool,
+    resolve_threads,
+    threaded_fold_lanes,
+    threaded_lane_scan,
+    threaded_scan_into,
+)
 
 __all__ = [
     "BLOCK_BYTES",
     "BLOCKED_MIN_STRIDE_BYTES",
+    "MIN_SLAB_BYTES",
+    "PARALLEL_CUTOVER_BYTES",
     "LaneKernel",
+    "ThreadedLaneKernel",
+    "ThreadedScan",
     "exclusive_shift",
     "fold_lanes",
+    "get_pool",
     "lane_scan",
     "lane_scan_exact",
     "lane_totals",
     "phase_perm",
     "phase_totals",
+    "resolve_threads",
     "scan_into",
+    "threaded_fold_lanes",
+    "threaded_lane_scan",
+    "threaded_scan_into",
 ]

@@ -63,13 +63,40 @@ from repro.ops import AssociativeOp, get_op
 #: Row-block byte budget for the cache-blocked wide-stride path.  One
 #: block of ``BLOCK_BYTES // (s * itemsize)`` rows is accumulated while
 #: it is cache-resident, then spliced to the next block with a single
-#: vectorized carry fold.
+#: vectorized carry fold.  This constant is the *fallback*: the actual
+#: budget is measured per dtype at first use by the empirical tuner
+#: (:func:`repro.core.tuning.kernel_tuning`) and can be pinned with
+#: ``REPRO_BLOCK_BYTES``.
 BLOCK_BYTES = 128 << 10
 
 #: Lane strides at least this wide (bytes) take the cache-blocked path.
 #: Below it, the plain single-call accumulate already enjoys cache-line
 #: reuse across columns and the per-block Python overhead would lose.
+#: Fallback like :data:`BLOCK_BYTES`; tuned per dtype, pinned with
+#: ``REPRO_BLOCKED_MIN_STRIDE_BYTES``.
 BLOCKED_MIN_STRIDE_BYTES = 64
+
+#: Memoized per-dtype geometry from the empirical tuner, keyed by
+#: (dtype.kind, itemsize).  Lazily filled: importing the tuner at
+#: module load would cycle (`repro.core` imports this module).
+_GEOMETRY_MEMO: dict = {}
+
+
+def _blocked_geometry(dtype: np.dtype):
+    """``(block_bytes, min_stride_bytes)`` for ``dtype``, tuned."""
+    key = (dtype.kind, dtype.itemsize)
+    geometry = _GEOMETRY_MEMO.get(key)
+    if geometry is None:
+        geometry = (BLOCK_BYTES, BLOCKED_MIN_STRIDE_BYTES)
+        try:
+            from repro.core.tuning import kernel_tuning
+
+            tuned = kernel_tuning(dtype)
+            geometry = (tuned.block_bytes, tuned.min_stride_bytes)
+        except Exception:  # pragma: no cover - tuner must never break scans
+            pass
+        _GEOMETRY_MEMO[key] = geometry
+    return geometry
 
 
 def phase_perm(pos: int, tuple_size: int) -> np.ndarray:
@@ -89,8 +116,47 @@ def _is_blocked_dtype(dtype: np.dtype) -> bool:
 
 
 def _lane_scan_strided(src, op, s, out, carry):
-    """Per-lane strided fallback (non-contiguous buffers, odd layouts)."""
-    for phase in range(min(src.size, s)):
+    """Lane scan over non-contiguous 1-D views.
+
+    Any 1-D view is uniformly strided, so when the operator is a real
+    ufunc the ``(m, s)`` lane-block matrix still exists — not as a
+    reshape (that would copy) but as a strided view with row stride
+    ``s * stride`` and column stride ``stride``.  One
+    ``accumulate(axis=0)`` over that view scans all ``s`` lanes in a
+    single call, exactly like the contiguous fast path; only looped
+    (non-ufunc) operators fall back to the per-lane slice loop.
+    """
+    n = src.size
+    m = n // s
+    if (
+        op.ufunc is not None
+        and m > 0
+        and src.ndim == 1
+        and out.ndim == 1
+    ):
+        from numpy.lib.stride_tricks import as_strided
+
+        if out is not src:
+            # Same copy-then-in-place trick as the contiguous path:
+            # numpy's out-of-place axis-0 accumulate takes the slower
+            # buffered loop, and the strided copy is one vectorized
+            # assignment.
+            out[...] = src
+        (st,) = out.strides
+        out2 = as_strided(out, shape=(m, s), strides=(s * st, st))
+        op.accumulate(out2, axis=0, out=out2)
+        if carry is not None:
+            op.apply_into(carry, out2, out=out2)
+        body = m * s
+        r = n - body
+        if r:
+            # Tail phases continue from the last full row (already
+            # folded); out[body:] still holds the raw source values.
+            op.apply_into(
+                out[body - s : body - s + r], out[body:], out=out[body:]
+            )
+        return out
+    for phase in range(min(n, s)):
         lane_out = out[phase::s]
         op.accumulate(src[phase::s], out=lane_out)
         if carry is not None:
@@ -161,8 +227,9 @@ def lane_scan(
     src2 = src[:body].reshape(m, s)
     out2 = out[:body].reshape(m, s)
     stride_bytes = s * src.dtype.itemsize
-    if _is_blocked_dtype(src.dtype) and stride_bytes >= BLOCKED_MIN_STRIDE_BYTES:
-        rows = max(1, BLOCK_BYTES // stride_bytes)
+    block_bytes, min_stride_bytes = _blocked_geometry(src.dtype)
+    if _is_blocked_dtype(src.dtype) and stride_bytes >= min_stride_bytes:
+        rows = max(1, block_bytes // stride_bytes)
         prev = carry
         for i in range(0, m, rows):
             blk = out2[i : i + rows]
@@ -433,6 +500,25 @@ class LaneKernel:
         """Engine-delegation counter (always 0: this kernel is local)."""
         return 0
 
+    # Overridable scan/fold hooks: the threaded kernel subclasses these
+    # three (slab-parallel versions) while feed()'s carry state machine
+    # stays single-sourced here.
+
+    def _scan(self, chunk, carry_row=None):
+        """In-place lane scan of ``chunk`` with an optional phase-order
+        carry row folded in."""
+        return lane_scan(chunk, self.op, self.s, out=chunk, carry=carry_row)
+
+    def _scan_exact(self, chunk):
+        """Bit-exact prepend-carry continuation scan (fresh output)."""
+        return lane_scan_exact(
+            chunk, self.op, self.s, self.carry, self.active, self.pos
+        )
+
+    def _fold(self, out):
+        """Fold the seen lanes of the running carry into ``out``."""
+        fold_lanes(out, self.op, self.carry, self.pos, self.s, seen=self.active)
+
     def feed(self, chunk: np.ndarray) -> np.ndarray:
         """Scan the next chunk as a continuation; returns the scanned
         values (the mutated ``chunk`` itself in the in-place mode)."""
@@ -440,20 +526,20 @@ class LaneKernel:
         n = chunk.size
         if n == 0:
             return chunk
-        op, s = self.op, self.s
+        s = self.s
         if self.exact:
-            out = lane_scan_exact(chunk, op, s, self.carry, self.active, self.pos)
+            out = self._scan_exact(chunk)
         elif self.active.all():
             row = self.carry[phase_perm(self.pos, s)] if s > 1 else self.carry
-            out = lane_scan(chunk, op, s, out=chunk, carry=row)
+            out = self._scan(chunk, row)
         elif self.active.any():
             # Mixed seen/unseen lanes (only while pos < s): scan, then
             # fold the seen lanes only — unseen lanes must not even see
             # an identity fold in the float mode.
-            out = lane_scan(chunk, op, s, out=chunk)
-            fold_lanes(out, op, self.carry, self.pos, s, seen=self.active)
+            out = self._scan(chunk)
+            self._fold(out)
         else:
-            out = lane_scan(chunk, op, s, out=chunk)
+            out = self._scan(chunk)
         t = phase_totals(out, s)
         if t.size:
             touched = (self.pos + np.arange(t.size)) % s

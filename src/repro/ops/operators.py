@@ -79,6 +79,17 @@ class AssociativeOp:
         """Whether an inverse (e.g. subtraction) is available."""
         return self._invert_fn is not None
 
+    @property
+    def ufunc(self) -> Optional[np.ufunc]:
+        """The backing numpy ufunc, or ``None`` for looped operators.
+
+        Kernel fast paths (the strided 2-D accumulate, the threaded
+        slab scans) are only valid when the operator is a real ufunc
+        whose inner loop releases the GIL; looped operators take the
+        general per-lane fallback instead.
+        """
+        return self._ufunc
+
     def supports_dtype(self, dtype) -> bool:
         """True when the operator is defined for ``dtype``."""
         if self.integer_only:

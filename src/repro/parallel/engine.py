@@ -126,6 +126,12 @@ class ParallelSamScan:
         in-order workers).
     pool:
         A :class:`WorkerPool` to use; ``None`` = the shared pool.
+    worker_threads:
+        Opt-in slab threads *inside* each worker's chunk scans (the
+        :mod:`repro.kernels.threaded` kernel).  Default 1: the process
+        pool already owns the cores, so intra-worker threads only help
+        when workers < cores (e.g. few huge chunks).  Results are
+        bit-identical either way.
     failure_injection:
         Test hook forwarded to workers (see ``worker._maybe_inject``).
     """
@@ -140,6 +146,7 @@ class ParallelSamScan:
         fallback: str = "host",
         buffer_factor: int = 3,
         pool: Optional[WorkerPool] = None,
+        worker_threads: int = 1,
         failure_injection: Optional[dict] = None,
     ):
         if carry_scheme not in CARRY_SCHEMES:
@@ -161,8 +168,11 @@ class ParallelSamScan:
         self.min_parallel_elements = min_parallel_elements
         self.stall_timeout = stall_timeout
         self.fallback = fallback
+        if worker_threads < 1:
+            raise ValueError(f"worker_threads must be >= 1, got {worker_threads}")
         self.buffer_factor = buffer_factor
         self._pool = pool
+        self.worker_threads = int(worker_threads)
         self.failure_injection = failure_injection
 
     # -- public API ------------------------------------------------------
@@ -296,6 +306,7 @@ class ParallelSamScan:
                 "inclusive": inclusive,
                 "carry_scheme": self.carry_scheme,
                 "stall_timeout": self.stall_timeout,
+                "threads": self.worker_threads,
                 "inject": self.failure_injection,
             }
             dispatched = []

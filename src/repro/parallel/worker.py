@@ -77,6 +77,9 @@ def _scan_chunks(worker_id: int, task: dict, layout: ScanLayout, views) -> Worke
     inclusive = task["inclusive"]
     inject = task.get("inject")
     carry_fn = CARRY_SCHEMES[task["carry_scheme"]]
+    # Opt-in slab threads inside this worker's chunk scans (bit-identical
+    # for the integer dtypes this engine handles; see kernels.threaded).
+    threads = int(task.get("threads") or 1)
 
     counters = WorkerCounters(worker_id=worker_id)
     aux = SharedAuxBuffers(
@@ -108,13 +111,26 @@ def _scan_chunks(worker_id: int, task: dict, layout: ScanLayout, views) -> Worke
         data = np.array(views.input[start : start + count], copy=True)
         for iteration in range(order):
             t0 = time.perf_counter()
-            kernels.lane_scan(data, op, tuple_size, out=data)
+            if threads > 1:
+                kernels.threaded_lane_scan(
+                    data, op, tuple_size, out=data, threads=threads
+                )
+            else:
+                kernels.lane_scan(data, op, tuple_size, out=data)
             local_sums = kernels.lane_totals(data, op, tuple_size, pos=start)
             t1 = time.perf_counter()
             carry = carry_fn(aux, op, chunk, iteration, local_sums, acc)
             t2 = time.perf_counter()
             last = iteration == order - 1
-            kernels.fold_lanes(data, op, carry, pos=start, tuple_size=tuple_size)
+            if threads > 1:
+                kernels.threaded_fold_lanes(
+                    data, op, carry, pos=start, tuple_size=tuple_size,
+                    threads=threads,
+                )
+            else:
+                kernels.fold_lanes(
+                    data, op, carry, pos=start, tuple_size=tuple_size
+                )
             if last and not inclusive:
                 heads = carry[kernels.phase_perm(start, tuple_size)]
                 data = kernels.exclusive_shift(data, heads)

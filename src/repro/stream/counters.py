@@ -27,7 +27,9 @@ class StreamCounters:
     on (``"host"`` when no engine was delegated to), and
     ``delegated_stage_scans`` counts how many stage scans actually went
     through it (float inputs always take the exact host path, see
-    :mod:`repro.stream.session`).  A resumed job *restores* the
+    :mod:`repro.stream.session`); ``threaded_scans`` counts stage scans
+    routed through the slab-parallel in-memory kernel
+    (:mod:`repro.kernels.threaded`) when ``threads=`` is requested.  A resumed job *restores* the
     counters persisted in the checkpoint, so totals are cumulative
     across interruptions; ``resumes`` says how often that happened.
 
@@ -48,6 +50,7 @@ class StreamCounters:
     checkpoint_writes: int = 0
     resumes: int = 0
     delegated_stage_scans: int = 0
+    threaded_scans: int = 0
     shards: int = 0
     primed_shards: int = 0
     folded_shards: int = 0

@@ -52,6 +52,38 @@ DEFAULT_CHUNK_BYTES = 16 << 20
 #: write per k chunks bounds re-done work after a crash to k chunks.
 DEFAULT_CHECKPOINT_EVERY = 8
 
+#: Adaptive chunk sizing: grow the chunk while a full
+#: read-fold-scan-write cycle stays under the low-water seconds (the
+#: per-chunk Python overhead is then a measurable fraction), shrink it
+#: past the high-water mark (latency per progress report, and the peak
+#: memory of a chunk, stay bounded).  Born in the sharded driver; now
+#: shared with the single-session :func:`scan_file`.
+ADAPT_LOW_SECONDS = 0.05
+ADAPT_HIGH_SECONDS = 0.5
+ADAPT_MIN_CHUNK_BYTES = 64 << 10
+ADAPT_MAX_CHUNK_BYTES = 256 << 20
+
+
+class _AdaptiveChunker:
+    """Chunk sizing driven by the measured per-chunk phase seconds."""
+
+    def __init__(self, elements, itemsize, enabled, counters):
+        self.enabled = enabled
+        self.counters = counters
+        self.min_elements = max(1, ADAPT_MIN_CHUNK_BYTES // itemsize)
+        self.max_elements = max(elements, ADAPT_MAX_CHUNK_BYTES // itemsize)
+        self.elements = max(1, int(elements))
+
+    def observe(self, seconds: float) -> None:
+        if not self.enabled:
+            return
+        if seconds < ADAPT_LOW_SECONDS and self.elements < self.max_elements:
+            self.elements = min(self.max_elements, self.elements * 2)
+            self.counters.chunk_resizes += 1
+        elif seconds > ADAPT_HIGH_SECONDS and self.elements > self.min_elements:
+            self.elements = max(self.min_elements, self.elements // 2)
+            self.counters.chunk_resizes += 1
+
 
 @dataclass
 class StreamResult:
@@ -82,6 +114,8 @@ def scan_file(
     checkpoint=None,
     checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
     resume: bool = False,
+    adaptive_chunks: bool = False,
+    threads=None,
     fail_after_chunks: Optional[int] = None,
 ) -> StreamResult:
     """Scan a raw binary file into ``output_path``, out of core.
@@ -91,8 +125,14 @@ def scan_file(
     durable progress; ``None`` disables), ``checkpoint_every`` (chunks
     between checkpoints), and ``resume`` (continue from an existing
     checkpoint instead of restarting; with no checkpoint file present
-    the job simply starts fresh).  ``fail_after_chunks`` is a test-only
-    hook that aborts the job after N chunks to exercise resumption.
+    the job simply starts fresh).  ``adaptive_chunks`` enables the
+    sharded driver's measured-phase-seconds chunk sizing (off by
+    default here: a fixed ``chunk_bytes`` keeps checkpoint cadence and
+    chunk counts predictable).  ``threads`` routes per-chunk integer
+    stage scans through the slab-parallel in-memory kernel
+    (``None`` = serial; an int or ``"auto"`` enables it) — results are
+    unchanged either way.  ``fail_after_chunks`` is a test-only hook
+    that aborts the job after N chunks to exercise resumption.
     """
     if chunk_bytes < 1:
         raise ValueError(f"chunk_bytes must be >= 1, got {chunk_bytes}")
@@ -120,6 +160,7 @@ def scan_file(
         inclusive=inclusive,
         dtype=resolved_dtype,
         engine=engine,
+        threads=threads,
     )
 
     start_elements = 0
@@ -154,22 +195,27 @@ def scan_file(
     position = start_elements
     chunks_done = 0
     since_checkpoint = 0
+    chunker = _AdaptiveChunker(chunk_elements, itemsize, adaptive_chunks, counters)
     try:
         pending = None
         if position < total_elements:
             pending = prefetcher.submit(
-                fetch, position, min(position + chunk_elements, total_elements)
+                fetch, position, min(position + chunker.elements, total_elements)
             )
         while position < total_elements:
             chunk, read_seconds = pending.result()
             counters.seconds_read += read_seconds
             next_position = position + len(chunk)
             if next_position < total_elements:
+                # The prefetch of chunk i+1 uses the size decided after
+                # chunk i-1 — adaptive resizing lags one chunk behind
+                # the measurement, which is fine for a damped doubler.
                 pending = prefetcher.submit(
                     fetch,
                     next_position,
-                    min(next_position + chunk_elements, total_elements),
+                    min(next_position + chunker.elements, total_elements),
                 )
+            t_chunk = time.perf_counter()
             scanned = session.feed(chunk)
             t0 = time.perf_counter()
             # Write the array's buffer directly: tobytes() would copy
@@ -179,6 +225,7 @@ def scan_file(
             out_fh.write(memoryview(scanned).cast("B"))
             counters.seconds_write += time.perf_counter() - t0
             counters.bytes_out += scanned.nbytes
+            chunker.observe(read_seconds + time.perf_counter() - t_chunk)
             position = next_position
             chunks_done += 1
             since_checkpoint += 1

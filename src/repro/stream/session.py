@@ -92,6 +92,15 @@ class ScanSession:
         (exact host path), a name accepted by
         :func:`repro.api.resolve_engine`, or a constructed engine
         object.  Only consulted for integer dtypes (see module docs).
+    threads:
+        ``None`` (default) keeps the serial per-chunk kernel.  An int
+        or ``"auto"`` routes integer host-path stage scans through the
+        slab-parallel in-memory kernel
+        (:func:`repro.kernels.threaded_lane_scan`) — bit-identical for
+        integers; float chunks keep the exact serial prepend path
+        regardless.  Not part of :meth:`config`: like the engine, the
+        thread count never changes results, so checkpoints stay
+        portable across it.
     """
 
     def __init__(
@@ -102,6 +111,7 @@ class ScanSession:
         inclusive: bool = True,
         dtype=None,
         engine=None,
+        threads=None,
     ):
         if order < 1:
             raise ValueError(f"order must be >= 1, got {order}")
@@ -119,6 +129,9 @@ class ScanSession:
             if engine is None:  # "host" resolves to the exact path
                 label = "host"
         self._engine = engine
+        # None = serial kernel; "auto"/0/int = threaded slab kernel for
+        # integer host-path chunks (resolved per chunk by the kernel).
+        self.threads = threads
         self.counters = StreamCounters(engine_used=label)
         self.dtype: Optional[np.dtype] = None
         self._carry: Optional[np.ndarray] = None
@@ -255,6 +268,23 @@ class ScanSession:
 
     # -- internals -------------------------------------------------------
 
+    def _lane_scan(self, values, out, carry_row=None) -> np.ndarray:
+        """One lane-scan pass: serial kernel, or slab-parallel when the
+        session was opened with ``threads=``."""
+        if self.threads is None:
+            return kernels.lane_scan(
+                values, self.op, self.tuple_size, out=out, carry=carry_row
+            )
+        self.counters.threaded_scans += 1
+        return kernels.threaded_lane_scan(
+            values,
+            self.op,
+            self.tuple_size,
+            out=out,
+            carry=carry_row,
+            threads=None if self.threads in ("auto", 0) else self.threads,
+        )
+
     def _seen_lanes(self) -> np.ndarray:
         """Which global lanes have received at least one element: lane
         ``l`` first appears at global index ``l``, so exactly the lanes
@@ -307,19 +337,22 @@ class ScanSession:
             # in-place kernel applies: accumulate all lanes in one 2-D
             # call, fold the carry afterwards — no prepend copies (the
             # ROADMAP port of the sharded driver's ``_LaneKernel``).
+            # With threads= requested the same pass runs slab-parallel
+            # (bit-identical: integer regrouping is exact).
+            scan = self._lane_scan
             out = values if own else np.empty_like(values)
             if pos >= s:
                 row = carry[kernels.phase_perm(pos, s)] if s > 1 else carry
-                kernels.lane_scan(values, op, s, out=out, carry=row)
+                scan(values, out, carry_row=row)
             elif pos > 0:
                 # Stream younger than one stride: only lanes < pos
                 # carry state; fold those lanes alone.
-                kernels.lane_scan(values, op, s, out=out)
+                scan(values, out)
                 kernels.fold_lanes(
                     out, op, carry, pos=pos, tuple_size=s, seen=self._seen_lanes()
                 )
             else:
-                kernels.lane_scan(values, op, s, out=out)
+                scan(values, out)
         else:
             # Floats are only pseudo-associative: bit-identity needs
             # the exact prepend continuation (vectorized across lanes).

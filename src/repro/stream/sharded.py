@@ -55,7 +55,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro import kernels
-from repro.kernels import LaneKernel
+from repro.kernels import LaneKernel, ThreadedLaneKernel, resolve_threads
 from repro.ops import get_op
 from repro.stream.checkpoint import (
     build_shard_manifest,
@@ -63,23 +63,24 @@ from repro.stream.checkpoint import (
     write_checkpoint,
 )
 from repro.stream.counters import StreamCounters
-from repro.stream.driver import DEFAULT_CHUNK_BYTES, scan_file
+
+# The adaptive chunker was born here and moved to the single-session
+# driver when it grew adaptive_chunks= too; re-exported for back-compat.
+from repro.stream.driver import (  # noqa: F401 - re-exports
+    ADAPT_HIGH_SECONDS,
+    ADAPT_LOW_SECONDS,
+    ADAPT_MAX_CHUNK_BYTES,
+    ADAPT_MIN_CHUNK_BYTES,
+    DEFAULT_CHUNK_BYTES,
+    _AdaptiveChunker,
+    scan_file,
+)
 from repro.stream.errors import (
     CheckpointMismatchError,
     InjectedFailureError,
     StreamError,
 )
 from repro.stream.session import ScanSession
-
-#: Adaptive chunk sizing: grow the chunk while a full
-#: read-fold-scan-write cycle stays under the low-water seconds (the
-#: per-chunk Python overhead is then a measurable fraction), shrink it
-#: past the high-water mark (latency per progress report, and the peak
-#: memory of a chunk, stay bounded).
-ADAPT_LOW_SECONDS = 0.05
-ADAPT_HIGH_SECONDS = 0.5
-ADAPT_MIN_CHUNK_BYTES = 64 << 10
-ADAPT_MAX_CHUNK_BYTES = 256 << 20
 
 #: Delegated inner engines (e.g. the shared ``repro.parallel`` pool)
 #: are one resource: concurrent shard threads take turns using them.
@@ -195,27 +196,6 @@ def _exclusive_shift(op, chunk, prev, pos, tuple_size) -> np.ndarray:
     return out
 
 
-class _AdaptiveChunker:
-    """Chunk sizing driven by the measured per-chunk phase seconds."""
-
-    def __init__(self, elements, itemsize, enabled, counters):
-        self.enabled = enabled
-        self.counters = counters
-        self.min_elements = max(1, ADAPT_MIN_CHUNK_BYTES // itemsize)
-        self.max_elements = max(elements, ADAPT_MAX_CHUNK_BYTES // itemsize)
-        self.elements = max(1, int(elements))
-
-    def observe(self, seconds: float) -> None:
-        if not self.enabled:
-            return
-        if seconds < ADAPT_LOW_SECONDS and self.elements < self.max_elements:
-            self.elements = min(self.max_elements, self.elements * 2)
-            self.counters.chunk_resizes += 1
-        elif seconds > ADAPT_HIGH_SECONDS and self.elements > self.min_elements:
-            self.elements = max(self.min_elements, self.elements // 2)
-            self.counters.chunk_resizes += 1
-
-
 # -- the splice ----------------------------------------------------------
 
 
@@ -274,7 +254,7 @@ class _ShardedJob:
     def __init__(
         self, *, input_path, output_path, op, dtype, order, tuple_size,
         inclusive, engine, shards, chunk_bytes, adaptive_chunks,
-        checkpoint, workers,
+        checkpoint, workers, shard_threads=1,
     ):
         self.input_path = input_path
         self.output_path = output_path
@@ -290,6 +270,7 @@ class _ShardedJob:
         self.adaptive_chunks = adaptive_chunks
         self.checkpoint = checkpoint
         self.workers = workers
+        self.shard_threads = max(1, int(shard_threads))
         self.itemsize = dtype.itemsize
         self.total_elements = shards[-1][1] if shards else 0
 
@@ -508,6 +489,16 @@ def _scan_shard(
     baked = prime is not None
     if job.engine is not None and dtype.kind in "iu":
         kernel = _SessionKernel(op, dtype, s, lo, prime, job.engine)
+    elif job.shard_threads > 1:
+        # Slab-parallel intra-chunk scans under the shard pool.  The
+        # per-shard thread budget already divides the caller's total by
+        # the worker count (the combined-oversubscription guard), so
+        # shards × threads never exceeds what was asked for.
+        kernel = ThreadedLaneKernel(
+            op, dtype, s, start=lo, prime=prime, exact=False,
+            threads=job.shard_threads,
+        )
+        counters.threaded_scans += 1
     else:
         # The shared in-place kernel (repro.kernels); exact=False is the
         # sharded contract — bit-exact for integers, carry-fold rounding
@@ -629,6 +620,7 @@ def scan_file_sharded(
     checkpoint=None,
     resume: bool = False,
     exact: bool = True,
+    threads=None,
     fail_after_shards: Optional[int] = None,
 ) -> ShardedResult:
     """Scan a raw binary file out of core across ``shards`` partitions.
@@ -638,10 +630,15 @@ def scan_file_sharded(
     ``workers`` (concurrent shard tasks; default ``min(shards, cpus)``),
     ``adaptive_chunks`` (per-shard chunk sizing driven by measured
     per-chunk phase seconds), and ``exact`` (floats take the
-    sequential bit-exact path unless ``exact=False``).  ``checkpoint``
-    names the per-shard manifest; a killed job re-runs only its
-    unfinished shards under ``resume=True``.  ``fail_after_shards`` is
-    a test-only hook aborting the job after N shard completions.
+    sequential bit-exact path unless ``exact=False``).  ``threads``
+    adds slab-parallel intra-chunk scans *inside* each shard task: the
+    total budget (an int, or ``"auto"`` for the CPU count) is divided
+    by the shard worker count so shards × intra-chunk threads never
+    oversubscribes beyond the request; ``None`` keeps shard tasks
+    serial.  ``checkpoint`` names the per-shard manifest; a killed job
+    re-runs only its unfinished shards under ``resume=True``.
+    ``fail_after_shards`` is a test-only hook aborting the job after N
+    shard completions.
     """
     if chunk_bytes < 1:
         raise ValueError(f"chunk_bytes must be >= 1, got {chunk_bytes}")
@@ -676,7 +673,7 @@ def scan_file_sharded(
             input_path, output_path, dtype=resolved_dtype, op=resolved_op,
             order=order, tuple_size=tuple_size, inclusive=inclusive,
             engine=engine, chunk_bytes=chunk_bytes, checkpoint=checkpoint,
-            resume=resume,
+            resume=resume, threads=threads,
         )
         return ShardedResult(
             elements=result.elements,
@@ -698,13 +695,20 @@ def scan_file_sharded(
     plan = plan_shards(total_elements, shards)
     if workers is None:
         workers = min(len(plan), os.cpu_count() or 1)
+    # Combined-oversubscription guard: the caller's thread budget is for
+    # the whole job, so each of the ``workers`` concurrent shard tasks
+    # gets an equal slice of it for its intra-chunk slab threads.
+    shard_threads = 1
+    if threads is not None:
+        budget = resolve_threads(threads)
+        shard_threads = max(1, budget // max(1, workers))
 
     job = _ShardedJob(
         input_path=input_path, output_path=output_path, op=resolved_op,
         dtype=resolved_dtype, order=order, tuple_size=tuple_size,
         inclusive=inclusive, engine=engine, shards=plan,
         chunk_bytes=chunk_bytes, adaptive_chunks=adaptive_chunks,
-        checkpoint=checkpoint, workers=workers,
+        checkpoint=checkpoint, workers=workers, shard_threads=shard_threads,
     )
     job.fail_after_shards = fail_after_shards
 

@@ -236,3 +236,66 @@ def test_non_ufunc_op_through_the_kernel_layer():
     for s in (1, 2, 3):
         ref = prefix_sum_serial(a, tuple_size=s, op=op)
         _assert_bitwise(kernels.lane_scan(a, op, s), ref, f"s={s}")
+
+
+# -- satellite: the strided (non-contiguous view) fast path --------------
+
+
+@pytest.mark.parametrize("opname", ["add", "max", "xor"])
+@pytest.mark.parametrize("tuple_size", [1, 2, 3, 5])
+def test_lane_scan_strided_views_match_reference(opname, tuple_size):
+    """Uniformly-strided 1-D views take the as_strided matrix path."""
+    op = get_op(opname)
+    rng = np.random.default_rng(hash((opname, tuple_size)) % 2**32)
+    base = rng.integers(-50, 50, 4 * 97 + 1).astype(np.int64)
+    views = [
+        base[::2],          # stride 2
+        base[1::3],         # offset + stride 3
+        base[::-1],         # negative stride
+        base[::4][::-1],    # composed
+    ]
+    for view in views:
+        src = view.copy()   # contiguous copy = the oracle input
+        ref = prefix_sum_serial(src, tuple_size=tuple_size, op=op)
+        got = kernels.lane_scan(view, op, tuple_size, out=np.empty_like(src))
+        _assert_bitwise(got, ref, f"stride={view.strides}")
+
+
+def test_lane_scan_strided_in_place_aliasing():
+    """``out is src`` on a strided view scans in place through the base."""
+    op = get_op("add")
+    rng = np.random.default_rng(31)
+    base = rng.integers(-50, 50, 200).astype(np.int64)
+    keep = base.copy()
+    view = base[::2]
+    ref = prefix_sum_serial(view.copy(), tuple_size=3, op=op)
+    kernels.lane_scan(view, op, 3, out=view)
+    _assert_bitwise(view.copy(), ref)
+    _assert_bitwise(base[1::2], keep[1::2])  # untouched interleaved half
+
+
+def test_lane_scan_strided_carry_and_tail():
+    op = get_op("add")
+    rng = np.random.default_rng(37)
+    s = 3
+    base = rng.integers(-50, 50, 2 * (7 * s + 2)).astype(np.int64)
+    view = base[::2]                       # length 7*s + 2: ragged tail
+    carry = rng.integers(-50, 50, s).astype(np.int64)
+    want = view.copy()
+    for phase in range(s):                 # per-lane oracle
+        lane = want[phase::s]
+        op.accumulate(lane, out=lane)
+        lane += carry[phase]
+    got = kernels.lane_scan(view, op, s, out=np.empty(view.shape, view.dtype),
+                            carry=carry)
+    _assert_bitwise(got, want)
+
+
+def test_lane_scan_strided_non_ufunc_falls_back_per_lane():
+    op = _looped_concat_op()
+    rng = np.random.default_rng(41)
+    base = rng.integers(0, 4, 46).astype(np.int64)
+    view = base[::2]
+    ref = prefix_sum_serial(view.copy(), tuple_size=2, op=op)
+    got = kernels.lane_scan(view, op, 2, out=np.empty_like(view.copy()))
+    _assert_bitwise(got, ref)

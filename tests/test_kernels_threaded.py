@@ -1,0 +1,256 @@
+"""The threaded in-memory lane kernel against the serial kernel layer.
+
+The threaded kernel's contract is *bit identity with the serial kernel
+for every dtype at default settings* — integers via the associative
+slab splice, floats via delegation to the exact serial passes — plus
+determinism: the slab partition is a pure function of the requested
+thread count, so results never depend on pool scheduling, core count,
+or oversubscription.  These tests force the parallel path with
+``cutover_bytes=0`` so small grids exercise the splice/fold machinery
+rather than the serial fallback.
+"""
+
+import numpy as np
+import pytest
+
+from repro import kernels
+from repro.kernels import (
+    LaneKernel,
+    ThreadedLaneKernel,
+    ThreadedScan,
+    resolve_threads,
+    threaded_fold_lanes,
+    threaded_lane_scan,
+    threaded_scan_into,
+)
+from repro.kernels.threaded import _slab_bounds
+from repro.ops import get_op
+
+THREADS = [1, 2, 3, 8]
+TUPLE_SIZES = [1, 4, 33]
+
+
+def _data(rng, n, dtype):
+    dt = np.dtype(dtype)
+    if dt.kind == "f":
+        return rng.standard_normal(n).astype(dt)
+    lo = 0 if dt.kind == "u" else -50
+    return rng.integers(lo, 50, n).astype(dt)
+
+
+def _assert_bitwise(got, want, msg=""):
+    got, want = np.asarray(got), np.asarray(want)
+    assert got.dtype == want.dtype, msg
+    assert got.tobytes() == want.tobytes(), msg
+
+
+def _slab_boundary_sizes(s, threads):
+    """Lengths straddling every slab-partition edge case."""
+    m = threads
+    return sorted(
+        {0, 1, s - 1, s, s + 1, s * (m - 1), s * m - 1, s * m, s * m + 1,
+         s * (m + 3) + max(0, s - 2), s * 4 * m + 7}
+    )
+
+
+# -- bit-identity grid ---------------------------------------------------
+
+
+@pytest.mark.parametrize("opname", ["add", "max", "xor"])
+@pytest.mark.parametrize("dtype", ["int32", "int64", "uint64"])
+@pytest.mark.parametrize("tuple_size", TUPLE_SIZES)
+@pytest.mark.parametrize("threads", THREADS)
+def test_threaded_scan_into_bit_identical(opname, dtype, tuple_size, threads):
+    op = get_op(opname)
+    rng = np.random.default_rng(hash((opname, dtype, tuple_size, threads)) % 2**32)
+    for n in _slab_boundary_sizes(tuple_size, threads):
+        values = _data(rng, n, dtype)
+        for order in (1, 2, 3):
+            for inclusive in (True, False):
+                want = kernels.scan_into(
+                    values, np.empty_like(values), op,
+                    order=order, tuple_size=tuple_size, inclusive=inclusive,
+                )
+                got = threaded_scan_into(
+                    values, np.empty_like(values), op,
+                    order=order, tuple_size=tuple_size, inclusive=inclusive,
+                    threads=threads, cutover_bytes=0,
+                )
+                _assert_bitwise(
+                    got, want,
+                    f"n={n} order={order} inclusive={inclusive} "
+                    f"threads={threads}",
+                )
+
+
+@pytest.mark.parametrize("threads", THREADS)
+@pytest.mark.parametrize("tuple_size", [1, 4])
+def test_threaded_float_default_is_exact_serial(threads, tuple_size):
+    """Floats at default settings stay byte-identical — NaN, -0.0 and all."""
+    op = get_op("add")
+    rng = np.random.default_rng(99)
+    values = rng.standard_normal(10 * tuple_size * threads + 3)
+    values[::7] = -0.0
+    values[3::11] = np.nan
+    values[5::13] = np.inf
+    for order in (1, 2, 3):
+        want = kernels.scan_into(
+            values, np.empty_like(values), op, order=order,
+            tuple_size=tuple_size,
+        )
+        got = threaded_scan_into(
+            values, np.empty_like(values), op, order=order,
+            tuple_size=tuple_size, threads=threads, cutover_bytes=0,
+        )
+        _assert_bitwise(got, want, f"order={order} threads={threads}")
+
+
+def test_threaded_float_inexact_is_deterministic():
+    """``exact=False`` regroups float rounding but never randomizes it."""
+    op = get_op("add")
+    rng = np.random.default_rng(5)
+    values = rng.standard_normal(4096)
+    runs = [
+        threaded_scan_into(
+            values, np.empty_like(values), op, threads=4,
+            exact=False, cutover_bytes=0,
+        )
+        for _ in range(3)
+    ]
+    _assert_bitwise(runs[1], runs[0])
+    _assert_bitwise(runs[2], runs[0])
+
+
+def test_oversubscription_determinism():
+    """threads=8 on any machine gives the same bytes as the partition says."""
+    op = get_op("add")
+    rng = np.random.default_rng(11)
+    values = rng.integers(-100, 100, 100_003).astype(np.int64)
+    want = threaded_lane_scan(values, op, 3, threads=8, cutover_bytes=0)
+    for _ in range(3):
+        got = threaded_lane_scan(values, op, 3, threads=8, cutover_bytes=0)
+        _assert_bitwise(got, want)
+
+
+# -- slab partition and thread resolution --------------------------------
+
+
+def test_slab_bounds_partition():
+    for m in (2, 3, 7, 100, 101):
+        for parts in (1, 2, 3, 8, m, m + 5):
+            bounds = _slab_bounds(m, parts)
+            assert bounds[0][0] == 0 and bounds[-1][1] == m
+            for (lo, hi), (lo2, _hi2) in zip(bounds, bounds[1:]):
+                assert hi == lo2 and hi > lo
+            widths = [hi - lo for lo, hi in bounds]
+            assert max(widths) - min(widths) <= 1
+
+
+def test_resolve_threads():
+    assert resolve_threads(3) == 3
+    assert resolve_threads(1) == 1
+    assert resolve_threads(None, n_bytes=0) == 1
+    auto = resolve_threads(None)
+    assert auto >= 1
+    assert resolve_threads("auto") == auto
+    with pytest.raises(ValueError):
+        resolve_threads(-1)
+
+
+# -- carry continuation (the kernel protocol) ----------------------------
+
+
+@pytest.mark.parametrize("threads", THREADS)
+@pytest.mark.parametrize("tuple_size", [1, 4])
+def test_threaded_kernel_feed_matches_serial(threads, tuple_size):
+    op = get_op("add")
+    rng = np.random.default_rng(hash((threads, tuple_size)) % 2**32)
+    values = rng.integers(-50, 50, 20 * tuple_size * threads + 5).astype(np.int64)
+    serial = LaneKernel(op, values.dtype, tuple_size)
+    threaded = ThreadedLaneKernel(
+        op, values.dtype, tuple_size, threads=threads, cutover_bytes=0
+    )
+    splits = [0, 7, tuple_size * threads, len(values) // 2, len(values)]
+    prev = 0
+    for split in splits:
+        chunk = values[prev:split]
+        _assert_bitwise(
+            threaded.feed(chunk.copy()), serial.feed(chunk.copy()),
+            f"split at {split}",
+        )
+        prev = split
+    _assert_bitwise(
+        threaded.feed(values[prev:].copy()), serial.feed(values[prev:].copy())
+    )
+
+
+def test_threaded_fold_lanes_matches_serial():
+    op = get_op("add")
+    rng = np.random.default_rng(2)
+    s = 5
+    carry = rng.integers(-50, 50, s).astype(np.int64)
+    for n in (0, 1, s - 1, s, 4 * s + 3, 1000 * s + 2):
+        for pos in (0, 3):
+            buf = rng.integers(-50, 50, n).astype(np.int64)
+            want = buf.copy()
+            kernels.fold_lanes(want, op, carry, pos=pos, tuple_size=s)
+            got = buf.copy()
+            threaded_fold_lanes(
+                got, op, carry, pos=pos, tuple_size=s, threads=4,
+                cutover_bytes=0,
+            )
+            _assert_bitwise(got, want, f"n={n} pos={pos}")
+
+
+# -- the engine wrapper --------------------------------------------------
+
+
+@pytest.mark.parametrize("threads", [2, 8])
+def test_threaded_engine_contract(threads):
+    rng = np.random.default_rng(21)
+    values = rng.integers(-100, 100, 50_001).astype(np.int64)
+    engine = ThreadedScan(threads=threads, cutover_bytes=0)
+    for order in (1, 2):
+        for inclusive in (True, False):
+            result = engine.run(
+                values, order=order, tuple_size=3, inclusive=inclusive
+            )
+            want = kernels.scan_into(
+                values, np.empty_like(values), get_op("add"),
+                order=order, tuple_size=3, inclusive=inclusive,
+            )
+            _assert_bitwise(result.values, want)
+    assert result.threads == threads
+
+
+def test_threaded_engine_via_api():
+    from repro import api
+
+    rng = np.random.default_rng(23)
+    values = rng.integers(-100, 100, 10_000).astype(np.int32)
+    _assert_bitwise(
+        api.prefix_sum(values, order=2, engine="threaded"),
+        api.prefix_sum(values, order=2),
+    )
+    assert "threaded" in api.ENGINE_NAMES
+
+
+# -- non-ufunc operators stay serial (and correct) -----------------------
+
+
+def test_non_ufunc_op_falls_back_serial():
+    from repro.ops import AssociativeOp
+
+    op = AssociativeOp(
+        name="add2",
+        fn=lambda a, b: a + b,
+        identity_fn=lambda dt: dt.type(0),
+    )
+    assert op.ufunc is None
+    rng = np.random.default_rng(3)
+    values = rng.integers(-50, 50, 977).astype(np.int64)
+    want = kernels.lane_scan(values, op, 3, out=np.empty_like(values))
+    got = threaded_lane_scan(
+        values, op, 3, threads=4, cutover_bytes=0
+    )
+    _assert_bitwise(got, want)

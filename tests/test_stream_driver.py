@@ -345,3 +345,55 @@ class TestResumeAfterKill:
         assert np.array_equal(np.fromfile(out, dtype=np.int64), expected)
         if killed:
             assert not ckpt.exists()
+
+
+class TestThreadedAndAdaptive:
+    """PR satellites: slab-threaded chunk scans and adaptive chunk sizing."""
+
+    def test_threads_bit_identical_and_counted(self, tmp_path, rng):
+        values = make_int_array(rng, 60_000, dtype=np.int64)
+        raw = write_input(tmp_path, values)
+        out = tmp_path / "out.bin"
+        result = scan_file(
+            raw, out, dtype="int64", order=2, tuple_size=3,
+            chunk_bytes=1 << 16, threads=4,
+        )
+        expected = host_prefix_sum(values, order=2, tuple_size=3)
+        assert np.array_equal(np.fromfile(out, dtype=np.int64), expected)
+        assert result.counters.threaded_scans > 0
+
+    def test_adaptive_chunks_off_by_default(self, tmp_path, rng):
+        values = make_int_array(rng, 50_000)
+        raw = write_input(tmp_path, values)
+        out = tmp_path / "out.bin"
+        result = scan_file(raw, out, dtype="int32", chunk_bytes=4096)
+        assert result.counters.chunk_resizes == 0
+        assert result.counters.chunks == 49
+
+    def test_adaptive_chunks_grows_and_stays_correct(self, tmp_path, rng):
+        values = make_int_array(rng, 200_000, dtype=np.int64)
+        raw = write_input(tmp_path, values)
+        out = tmp_path / "out.bin"
+        result = scan_file(
+            raw, out, dtype="int64", order=1, tuple_size=2,
+            chunk_bytes=1 << 12, adaptive_chunks=True,
+        )
+        expected = host_prefix_sum(values, tuple_size=2)
+        assert np.array_equal(np.fromfile(out, dtype=np.int64), expected)
+        # Tiny chunks scan far below the low-water mark, so sizing must
+        # have kicked in (and fewer chunks than the fixed-size job).
+        assert result.counters.chunk_resizes > 0
+        assert result.counters.chunks < 200_000 * 8 // (1 << 12)
+
+    def test_adaptive_chunks_via_cli(self, tmp_path, rng):
+        from repro.__main__ import main
+
+        values = make_int_array(rng, 30_000, dtype=np.int64)
+        raw = write_input(tmp_path, values)
+        out = tmp_path / "out.bin"
+        assert main([
+            "stream", str(raw), str(out), "--dtype", "int64",
+            "--chunk-bytes", "4096", "--adaptive-chunks", "--threads", "2",
+        ]) == 0
+        expected = host_prefix_sum(values)
+        assert np.array_equal(np.fromfile(out, dtype=np.int64), expected)

@@ -376,3 +376,33 @@ class TestShardedResumeAfterKill:
         if killed:
             assert not manifest.exists()
         assert not (tmp_path / "out.bin.scratch").exists()
+
+
+class TestShardThreads:
+    """Slab threads under the shard pool (combined oversubscription guard)."""
+
+    def test_threads_bit_identical_and_counted(self, tmp_path, rng):
+        values = make_int_array(rng, 50_021, dtype=np.int64)
+        raw = write_input(tmp_path, values)
+        out = tmp_path / "out.bin"
+        result = scan_file_sharded(
+            raw, out, dtype="int64", order=2, tuple_size=3,
+            shards=4, workers=2, chunk_bytes=1 << 14, threads=8,
+        )
+        expected = host_prefix_sum(values, order=2, tuple_size=3)
+        assert np.array_equal(np.fromfile(out, dtype=np.int64), expected)
+        # 8-thread budget over 2 workers -> 4 slab threads per shard task.
+        assert result.counters.threaded_scans > 0
+
+    def test_thread_budget_smaller_than_workers_stays_serial(self, tmp_path, rng):
+        values = make_int_array(rng, 10_007)
+        raw = write_input(tmp_path, values)
+        out = tmp_path / "out.bin"
+        result = scan_file_sharded(
+            raw, out, dtype="int32", shards=4, workers=4,
+            chunk_bytes=1 << 14, threads=2,
+        )
+        expected = host_prefix_sum(values)
+        assert np.array_equal(np.fromfile(out, dtype=np.int32), expected)
+        # budget // workers == 0 -> clamped to 1 thread -> serial kernel.
+        assert result.counters.threaded_scans == 0

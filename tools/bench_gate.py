@@ -9,15 +9,22 @@ gate is immune to absolute-throughput differences between the CI
 runner and the machine that produced the baseline; only the *relative*
 advantage of the kernel layer is regressed on.
 
-Rows are matched on (tuple_size, order, dtype, op); candidate rows
-missing from the baseline (or vice versa) are skipped, so ``--quick``
-sweeps gate against the full committed grid.  A candidate row fails
-when its speedup drops more than ``--max-regression`` (default 25%)
-below the baseline row's.
+Rows are matched on (tuple_size, order, dtype, op) — plus ``threads``
+when either side carries it, so threaded sweeps gate per thread count.
+Candidate rows missing from the baseline (or vice versa) are skipped,
+so ``--quick`` sweeps gate against the full committed grid.  A
+candidate row fails when its speedup drops more than
+``--max-regression`` (default 25%) below the baseline row's.
+
+``--baseline``/``--candidate`` are repeatable and are paired in order,
+so one invocation gates several benchmark families at once (e.g. the
+kernel grid and the threaded sweep); the gate fails if any pair fails.
 
 Usage:
     python tools/bench_gate.py --baseline benchmarks/results/BENCH_kernels.json \
-        --candidate /tmp/BENCH_kernels_ci.json [--max-regression 0.25]
+        --candidate /tmp/BENCH_kernels_ci.json [--max-regression 0.25] \
+        [--baseline benchmarks/results/BENCH_threaded.json \
+         --candidate /tmp/BENCH_threaded_ci.json]
 """
 
 from __future__ import annotations
@@ -29,7 +36,10 @@ import sys
 
 
 def _row_key(row: dict) -> tuple:
-    return (row["tuple_size"], row["order"], row["dtype"], row["op"])
+    key = (row["tuple_size"], row["order"], row["dtype"], row["op"])
+    if "threads" in row:
+        key += (row["threads"],)
+    return key
 
 
 def gate(baseline: dict, candidate: dict, max_regression: float) -> int:
@@ -41,7 +51,7 @@ def gate(baseline: dict, candidate: dict, max_regression: float) -> int:
         return 2
     failures = []
     print(
-        f"{'tuple_size':>10} {'order':>5} {'dtype':>6} {'op':>4} "
+        f"{'tuple_size':>10} {'order':>5} {'dtype':>6} {'op':>4} {'thr':>4} "
         f"{'baseline':>9} {'candidate':>9} {'floor':>7}  verdict"
     )
     for key in shared:
@@ -49,9 +59,10 @@ def gate(baseline: dict, candidate: dict, max_regression: float) -> int:
         cand = cand_rows[key]["speedup"]
         floor = base * (1.0 - max_regression)
         ok = cand >= floor
-        s, q, dtype, op = key
+        s, q, dtype, op = key[:4]
+        threads = key[4] if len(key) > 4 else "-"
         print(
-            f"{s:>10} {q:>5} {dtype:>6} {op:>4} "
+            f"{s:>10} {q:>5} {dtype:>6} {op:>4} {threads:>4} "
             f"{base:>8.2f}x {cand:>8.2f}x {floor:>6.2f}x  "
             f"{'ok' if ok else 'REGRESSED'}"
         )
@@ -76,15 +87,30 @@ def gate(baseline: dict, candidate: dict, max_regression: float) -> int:
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", type=pathlib.Path, required=True,
-                        help="committed BENCH_kernels.json")
+                        action="append",
+                        help="committed benchmark JSON (repeatable; paired "
+                             "with --candidate in order)")
     parser.add_argument("--candidate", type=pathlib.Path, required=True,
-                        help="freshly measured BENCH_kernels.json")
+                        action="append",
+                        help="freshly measured benchmark JSON (repeatable)")
     parser.add_argument("--max-regression", type=float, default=0.25,
                         help="allowed fractional speedup drop (default 0.25)")
     args = parser.parse_args(argv)
-    baseline = json.loads(args.baseline.read_text())
-    candidate = json.loads(args.candidate.read_text())
-    return gate(baseline, candidate, args.max_regression)
+    if len(args.baseline) != len(args.candidate):
+        parser.error(
+            f"{len(args.baseline)} --baseline file(s) but "
+            f"{len(args.candidate)} --candidate file(s); they pair in order"
+        )
+    worst = 0
+    for base_path, cand_path in zip(args.baseline, args.candidate):
+        if len(args.baseline) > 1:
+            print(f"== {base_path.name} vs {cand_path.name} ==")
+        baseline = json.loads(base_path.read_text())
+        candidate = json.loads(cand_path.read_text())
+        worst = max(worst, gate(baseline, candidate, args.max_regression))
+        if len(args.baseline) > 1:
+            print()
+    return worst
 
 
 if __name__ == "__main__":

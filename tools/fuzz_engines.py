@@ -34,6 +34,7 @@ from repro.reference import prefix_sum_serial
 ENGINES = (
     "sam", "sam_chained", "lookback", "reduce_scan", "three_phase",
     "streamscan", "parallel", "parallel_chained", "stream", "sharded",
+    "threaded",
 )
 OPERATORS = ("add", "max", "min", "xor", "and", "or")
 DTYPES = (np.int32, np.int64, np.uint32, np.uint64)
@@ -71,6 +72,10 @@ def random_config(rng, engines=ENGINES):
         # both land at awkward places inside tuple strides.
         "shards": int(rng.integers(1, 6)),
         "shard_chunk_bytes": int(rng.choice([64, 256, 1024])),
+        # Only the "threaded" kind reads this: the slab thread count,
+        # deliberately including heavy oversubscription (determinism is
+        # part of the contract, not just agreement).
+        "slab_threads": int(rng.choice([1, 2, 3, 4, 8])),
     }
     return config
 
@@ -175,6 +180,12 @@ def build_engine(config):
         return StreamScan(**kw)
     if kind == "stream":
         return SessionSplitScan(seed=config["split_seed"])
+    if kind == "threaded":
+        from repro.kernels import ThreadedScan
+
+        # cutover_bytes=0 forces the slab-parallel path even at fuzz
+        # sizes; without it every config would take the serial fallback.
+        return ThreadedScan(threads=config["slab_threads"], cutover_bytes=0)
     if kind == "sharded":
         return ShardedFileScan(
             shards=config["shards"],
