@@ -1,0 +1,296 @@
+#!/usr/bin/env python
+"""Benchmark: batched multi-stream dispatch vs per-session feeds.
+
+One JSON (``benchmarks/results/BENCH_serve.json``) with two parts:
+
+* ``rows`` — the gated metric: B concurrent small-chunk integer
+  streams advanced one chunk each, dispatched either sequentially
+  (``session.feed`` per stream) or coalesced
+  (:func:`repro.serve.feed_batch` over one
+  :class:`repro.kernels.BatchedLaneKernel`).  ``speedup`` is
+  unbatched_seconds / batched_seconds measured within one run — the
+  machine-independent ratio.  The headline row is the ISSUE's
+  acceptance shape: 64 concurrent 1 KiB int64 streams, where batching
+  must sustain >= 2x the streams/sec of per-session dispatch.
+* ``socket`` — reported (not gated): end-to-end feeds/sec through the
+  real asyncio server over a unix socket with pipelining clients, once
+  with batching enabled and once forced solo (``batch_max=1``), plus
+  the server's measured batch-occupancy gauge.  Socket numbers include
+  framing and event-loop costs and exist to show the service keeps the
+  kernel-level win, not to regress on.
+
+Every batched configuration is checked bit-identical against
+sequential feeds before the clock starts.
+
+Usage:
+    python benchmarks/bench_serve.py [--quick] [--output PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import platform
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.kernels import BatchedLaneKernel  # noqa: E402
+from repro.ops import get_op  # noqa: E402
+from repro.serve import feed_batch  # noqa: E402
+from repro.stream.session import ScanSession  # noqa: E402
+
+RESULTS = pathlib.Path(__file__).resolve().parent / "results" / "BENCH_serve.json"
+
+CHUNK_BYTES = 1024            # the acceptance shape: 1 KiB chunks
+TARGET_STREAMS = 64           # ... across 64 concurrent streams
+TARGET_SPEEDUP = 2.0
+STREAM_COUNTS = (8, 64, 256)
+ROUNDS = 200
+REPEATS = 3
+
+
+def _sessions(b, op, dtype):
+    return [ScanSession(op=op, dtype=dtype) for _ in range(b)]
+
+
+def _chunks(rng, b, rounds, dtype):
+    per = CHUNK_BYTES // np.dtype(dtype).itemsize
+    return [
+        [rng.integers(-1000, 1000, size=per).astype(dtype) for _ in range(b)]
+        for _ in range(rounds)
+    ]
+
+
+def _verify(op, dtype, rng):
+    rounds = _chunks(rng, 7, 5, dtype)
+    seq = _sessions(7, op, dtype)
+    bat = _sessions(7, op, dtype)
+    kernel = BatchedLaneKernel(get_op(op), np.dtype(dtype), 1)
+    for round_chunks in rounds:
+        want = [s.feed(c.copy()) for s, c in zip(seq, round_chunks)]
+        got = feed_batch(bat, [c.copy() for c in round_chunks], kernel)
+        for a, b in zip(want, got):
+            if a.tobytes() != b.tobytes():
+                raise SystemExit(
+                    f"feed_batch mismatch vs sequential feeds "
+                    f"(op={op} dtype={dtype})"
+                )
+
+
+def _time_dispatch(b, rounds, op, dtype, rng, batched, repeats):
+    best = float("inf")
+    for _ in range(repeats):
+        sessions = _sessions(b, op, dtype)
+        kernel = BatchedLaneKernel(get_op(op), np.dtype(dtype), 1)
+        chunk_rounds = _chunks(rng, b, rounds, dtype)
+        t0 = time.perf_counter()
+        if batched:
+            for round_chunks in chunk_rounds:
+                feed_batch(sessions, round_chunks, kernel)
+        else:
+            for round_chunks in chunk_rounds:
+                for session, chunk in zip(sessions, round_chunks):
+                    session.feed(chunk)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run_dispatch_rows(stream_counts, rounds, repeats, rng):
+    rows = []
+    for op, dtype in (("add", "int64"), ("max", "int64"), ("add", "int32")):
+        _verify(op, dtype, rng)
+        for b in stream_counts:
+            unbatched = _time_dispatch(b, rounds, op, dtype, rng, False, repeats)
+            batched = _time_dispatch(b, rounds, op, dtype, rng, True, repeats)
+            feeds = b * rounds
+            rows.append({
+                "op": op,
+                "dtype": dtype,
+                "tuple_size": 1,
+                "order": 1,
+                "streams": b,
+                "chunk_bytes": CHUNK_BYTES,
+                "rounds": rounds,
+                "unbatched_seconds": unbatched,
+                "batched_seconds": batched,
+                "unbatched_feeds_per_s": feeds / unbatched,
+                "batched_feeds_per_s": feeds / batched,
+                "speedup": unbatched / batched,
+            })
+            print(
+                f"{op:>4} {dtype:>6} B={b:<4} unbatched "
+                f"{feeds / unbatched:9.0f} feeds/s, batched "
+                f"{feeds / batched:9.0f} feeds/s  "
+                f"({rows[-1]['speedup']:.2f}x)"
+            )
+    return rows
+
+
+def run_socket_measurement(n_clients, chunks_per_client, batch_max):
+    """End-to-end feeds/sec through the real server over a unix socket."""
+    import tempfile
+    import threading
+
+    from repro.serve import ScanClient, ScanServer
+
+    with tempfile.TemporaryDirectory() as tmp:
+        sock = os.path.join(tmp, "bench.sock")
+        started = threading.Event()
+        holder = {}
+
+        def run_server():
+            import asyncio
+
+            async def main():
+                server = ScanServer(unix_path=sock, batch_max=batch_max)
+                await server.start()
+                holder["server"] = server
+                holder["loop"] = asyncio.get_running_loop()
+                started.set()
+                await server.serve_forever()
+                await server.stop()
+
+            asyncio.run(main())
+
+        thread = threading.Thread(target=run_server, daemon=True)
+        thread.start()
+        if not started.wait(10):
+            raise SystemExit("bench server never started")
+
+        rng = np.random.default_rng(7)
+        per = CHUNK_BYTES // 8
+        payloads = [rng.integers(-1000, 1000, size=per).astype("int64")
+                    for _ in range(chunks_per_client)]
+        barrier = threading.Barrier(n_clients + 1)
+
+        def client_worker(name):
+            with ScanClient(f"unix:{sock}") as client:
+                client.open(name, op="add", dtype="int64")
+                barrier.wait(timeout=30)
+                client.feed_many(name, payloads, window=8)
+
+        workers = [
+            threading.Thread(target=client_worker, args=(f"w{i}",))
+            for i in range(n_clients)
+        ]
+        for w in workers:
+            w.start()
+        barrier.wait(timeout=30)
+        t0 = time.perf_counter()
+        for w in workers:
+            w.join()
+        elapsed = time.perf_counter() - t0
+
+        server = holder["server"]
+        kernels = list(server._kernels.values())
+        dispatches = sum(k.dispatches for k in kernels)
+        occupancy = (
+            sum(k.streams_fed for k in kernels) / dispatches
+            if dispatches else 0.0
+        )
+        holder["loop"].call_soon_threadsafe(server.request_stop)
+        thread.join(timeout=10)
+        feeds = n_clients * chunks_per_client
+        return {
+            "clients": n_clients,
+            "chunks_per_client": chunks_per_client,
+            "chunk_bytes": CHUNK_BYTES,
+            "batch_max": batch_max,
+            "seconds": elapsed,
+            "feeds_per_s": feeds / elapsed,
+            "batch_occupancy": occupancy,
+        }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller sweep (for CI smoke)")
+    parser.add_argument("--output", type=pathlib.Path, default=RESULTS,
+                        help=f"result JSON path (default {RESULTS})")
+    args = parser.parse_args(argv)
+    rng = np.random.default_rng(42)
+    if args.quick:
+        stream_counts = (TARGET_STREAMS,)
+        rounds, repeats = 50, 2
+        socket_clients, socket_chunks = 8, 60
+    else:
+        stream_counts = STREAM_COUNTS
+        rounds, repeats = ROUNDS, REPEATS
+        socket_clients, socket_chunks = 16, 150
+
+    rows = run_dispatch_rows(stream_counts, rounds, repeats, rng)
+
+    print("\nsocket end-to-end (reported, not gated):")
+    socket_batched = run_socket_measurement(
+        socket_clients, socket_chunks, batch_max=64
+    )
+    print(
+        f"  batched:   {socket_batched['feeds_per_s']:9.0f} feeds/s "
+        f"(occupancy {socket_batched['batch_occupancy']:.2f})"
+    )
+    socket_solo = run_socket_measurement(
+        socket_clients, socket_chunks, batch_max=1
+    )
+    print(f"  batch_max=1: {socket_solo['feeds_per_s']:7.0f} feeds/s")
+
+    headline = [
+        r for r in rows
+        if r["streams"] == TARGET_STREAMS and r["op"] == "add"
+        and r["dtype"] == "int64"
+    ]
+    headline_speedup = headline[0]["speedup"] if headline else None
+    cpu_count = os.cpu_count()
+    payload = {
+        "benchmark": "serve_batched_dispatch",
+        "quick": bool(args.quick),
+        "target": {
+            "speedup": TARGET_SPEEDUP,
+            "streams": TARGET_STREAMS,
+            "chunk_bytes": CHUNK_BYTES,
+            "headline_speedup": headline_speedup,
+            "met": bool(
+                headline_speedup is not None
+                and headline_speedup >= TARGET_SPEEDUP
+            ),
+            "achievable_here": True,
+        },
+        "hardware": {
+            "cpu_count": cpu_count,
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "note": (
+            "speedup = unbatched_seconds / batched_seconds for the "
+            "same feeds measured in the same run (machine-independent "
+            "ratio).  The win is amortized dispatch overhead, not "
+            "parallelism, so it holds on a single-CPU machine — "
+            "achievable_here is always true.  Socket numbers include "
+            "framing + event-loop costs and are reported for context, "
+            "not gated."
+        ),
+        "rows": rows,
+        "socket": {"batched": socket_batched, "solo": socket_solo},
+    }
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+    if headline_speedup is not None:
+        status = "met" if payload["target"]["met"] else "NOT met"
+        print(
+            f"headline: {headline_speedup:.2f}x batched vs unbatched at "
+            f"B={TARGET_STREAMS} x {CHUNK_BYTES}B chunks — "
+            f"target {TARGET_SPEEDUP}x {status}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

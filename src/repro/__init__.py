@@ -40,6 +40,7 @@ For the simulated-GPU engines (SAM, the baselines, traffic counters)::
 
 from repro.api import (
     ENGINE_NAMES,
+    connect,
     delta_decode,
     delta_encode,
     open_session,
@@ -53,6 +54,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ENGINE_NAMES",
+    "connect",
     "delta_decode",
     "delta_encode",
     "open_session",

@@ -23,6 +23,19 @@ Commands
     ``--order`` auto-selected when omitted, ``--tuple-size``).
 ``decompress <in> <out>``
     Invert ``compress`` (the decode *is* the generalized prefix sum).
+``serve``
+    Run the async scan service: named sessions fed by many concurrent
+    clients over TCP (``--host``/``--port``) or a unix socket
+    (``--unix``), coalescing compatible feeds into batched kernel
+    dispatches (``--batch-max``), with per-connection backpressure
+    (``--max-inflight-bytes``) and whole-registry durability
+    (``--checkpoint``, ``--checkpoint-every``, ``--restore``).
+``feed <in> <out>``
+    Stream a raw binary file through a served session
+    (``--connect host:port|unix:PATH``, ``--session NAME``) in
+    ``--chunk-bytes`` chunks, pipelined ``--window`` deep.  Resumes
+    from the server's current offset, so re-running after a server
+    restart completes the output file bit-identically.
 ``figures [fig03 ...]``
     Print the paper's figures as text tables (default: all).
 ``table1``
@@ -206,6 +219,127 @@ def _cmd_stream_sharded(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+    import signal
+    import sys as _sys
+
+    from repro.serve import ScanServer, SessionRegistry
+    from repro.stream.errors import CheckpointError
+
+    registry = SessionRegistry()
+    if args.restore:
+        if not args.checkpoint:
+            print("--restore needs --checkpoint", file=_sys.stderr)
+            return 2
+        try:
+            restored = registry.load(args.checkpoint)
+        except CheckpointError as exc:
+            print(f"restore failed: {exc}", file=_sys.stderr)
+            return 1
+        print(f"repro-serve: restored {restored} sessions from "
+              f"{args.checkpoint}", flush=True)
+    server = ScanServer(
+        registry,
+        host=args.host,
+        port=args.port,
+        unix_path=args.unix,
+        checkpoint=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+        batch_max=args.batch_max,
+        max_inflight_bytes=args.max_inflight_bytes,
+    )
+
+    async def run():
+        await server.start()
+        print(f"repro-serve: listening on {server.address}", flush=True)
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, server.request_stop)
+            except NotImplementedError:
+                pass
+        await server.serve_forever()
+        await server.stop()
+        print("repro-serve: stopped", flush=True)
+
+    asyncio.run(run())
+    return 0
+
+
+def _cmd_feed(args) -> int:
+    import os
+    import sys as _sys
+
+    from repro.serve import ScanClient, ServeError
+
+    dtype = np.dtype(args.dtype)
+    values = np.fromfile(args.input, dtype=dtype)
+    s = args.tuple_size
+    per_chunk = max(1, args.chunk_bytes // dtype.itemsize)
+    per_chunk = max(s, per_chunk - per_chunk % s)
+    try:
+        with ScanClient(args.connect) as client:
+            reply = client.open(
+                args.session,
+                op=args.op,
+                order=args.order,
+                tuple_size=s,
+                inclusive=not args.exclusive,
+                dtype=args.dtype,
+            )
+            start = reply["offset"]
+            if start:
+                print(
+                    f"session {args.session!r} already at element {start:,}; "
+                    f"resuming from there"
+                )
+            if start > len(values):
+                print(
+                    f"server offset {start:,} is past the {len(values):,} "
+                    f"elements in {args.input}", file=_sys.stderr,
+                )
+                return 1
+            todo = values[start:]
+            chunks = [
+                todo[i : i + per_chunk] for i in range(0, len(todo), per_chunk)
+            ]
+            # Write each scanned chunk at its element position the
+            # moment its reply arrives, so everything delivered before
+            # a server crash is already on disk — a rerun then resumes
+            # from the server's restored offset and completes the same
+            # output file a single run would have produced.
+            mode = "r+b" if os.path.exists(args.output) else "w+b"
+            with open(args.output, mode) as fh:
+
+                def write_result(index, out, _fh=fh):
+                    _fh.seek((start + index * per_chunk) * dtype.itemsize)
+                    _fh.write(np.ascontiguousarray(out).tobytes())
+
+                client.feed_many(
+                    args.session, chunks,
+                    window=args.window, on_result=write_result,
+                )
+                fh.flush()
+                os.fsync(fh.fileno())
+    except ServeError as exc:
+        print(f"feed failed: {exc}", file=_sys.stderr)
+        print(
+            "if the server restarted, re-run this command: the feed "
+            "resumes from the server's restored offset",
+            file=_sys.stderr,
+        )
+        return 1
+    kind = "exclusive" if args.exclusive else "inclusive"
+    print(
+        f"{args.input}: fed {len(values) - start:,} x {args.dtype} "
+        f"({kind} {args.op}, order {args.order}, tuple size {s}) through "
+        f"session {args.session!r} at {args.connect} in {len(chunks)} "
+        f"chunks -> {args.output}"
+    )
+    return 0
+
+
 def _cmd_compress(args) -> int:
     from repro.compression import DeltaCodec
 
@@ -366,6 +500,63 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fail-after-shards", type=int, default=None,
                    help=argparse.SUPPRESS)  # test hook: simulate a crash
     p.set_defaults(fn=_cmd_stream)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the async scan service (named sessions, batched feeds)",
+    )
+    from repro.serve.server import (
+        DEFAULT_BATCH_MAX,
+        DEFAULT_CHECKPOINT_EVERY,
+        DEFAULT_MAX_INFLIGHT_BYTES,
+    )
+
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP port (0 = pick a free one, announced on stdout)")
+    p.add_argument("--unix", default=None, metavar="PATH",
+                   help="listen on a unix socket instead of TCP")
+    p.add_argument("--checkpoint", default=None, metavar="PATH",
+                   help="persist the whole session registry here "
+                        "(atomic) every --checkpoint-every feeds")
+    p.add_argument("--checkpoint-every", type=int,
+                   default=DEFAULT_CHECKPOINT_EVERY, metavar="K",
+                   help="feeds between registry checkpoints "
+                        f"(default {DEFAULT_CHECKPOINT_EVERY})")
+    p.add_argument("--restore", action="store_true",
+                   help="restore the registry from --checkpoint before "
+                        "listening (sessions resume bit-identically)")
+    p.add_argument("--batch-max", type=int, default=DEFAULT_BATCH_MAX,
+                   help="max feeds coalesced per dispatcher round "
+                        f"(default {DEFAULT_BATCH_MAX})")
+    p.add_argument("--max-inflight-bytes", type=int,
+                   default=DEFAULT_MAX_INFLIGHT_BYTES,
+                   help="per-connection pending-feed budget before BUSY "
+                        f"replies (default {DEFAULT_MAX_INFLIGHT_BYTES})")
+    p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "feed",
+        help="stream a raw integer file through a served scan session",
+    )
+    p.add_argument("input")
+    p.add_argument("output")
+    p.add_argument("--connect", required=True, metavar="ADDR",
+                   help="server address: host:port or unix:PATH")
+    p.add_argument("--session", required=True, metavar="NAME")
+    p.add_argument("--dtype", default="int32",
+                   choices=["int32", "int64", "uint32", "uint64"])
+    p.add_argument("--op", default="add",
+                   choices=["add", "max", "min", "xor", "and", "or", "mul"])
+    p.add_argument("--order", type=int, default=1)
+    p.add_argument("--tuple-size", type=int, default=1)
+    p.add_argument("--exclusive", action="store_true",
+                   help="exclusive scan (default: inclusive)")
+    p.add_argument("--chunk-bytes", type=int, default=1 << 16,
+                   help="bytes per FEED frame (default 65536)")
+    p.add_argument("--window", type=int, default=8,
+                   help="pipelined FEEDs in flight (default 8)")
+    p.set_defaults(fn=_cmd_feed)
 
     p = sub.add_parser("compress", help="delta-compress a raw integer file")
     p.add_argument("input")

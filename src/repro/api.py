@@ -301,3 +301,21 @@ def scan_file(
         threads=threads,
         **kwargs,
     )
+
+
+def connect(address, **kwargs):
+    """Connect to a running scan server (``python -m repro serve``).
+
+    ``address`` is ``"host:port"``, ``"unix:/path"``, or a unix socket
+    path.  Returns a :class:`repro.serve.ScanClient` — the served
+    counterpart of :func:`open_session`: ``client.open(name, ...)``
+    then ``client.feed(name, chunk)``; concatenated outputs are
+    bit-identical to the one-shot scan, and survive server restarts
+    when the server checkpoints.
+
+    >>> client = connect("127.0.0.1:7777")   # doctest: +SKIP
+    >>> client.open("ticks", op="add", dtype="int64")  # doctest: +SKIP
+    """
+    from repro.serve import ScanClient
+
+    return ScanClient(address, **kwargs)

@@ -8,6 +8,10 @@ lane-block trick, the cache-blocked integer path, and the exact-float
 prepend mode).
 """
 
+from repro.kernels.batched import (
+    BatchedLaneKernel,
+    batchable_op_dtype,
+)
 from repro.kernels.lane import (
     BLOCK_BYTES,
     BLOCKED_MIN_STRIDE_BYTES,
@@ -38,7 +42,9 @@ __all__ = [
     "BLOCKED_MIN_STRIDE_BYTES",
     "MIN_SLAB_BYTES",
     "PARALLEL_CUTOVER_BYTES",
+    "BatchedLaneKernel",
     "LaneKernel",
+    "batchable_op_dtype",
     "ThreadedLaneKernel",
     "ThreadedScan",
     "exclusive_shift",

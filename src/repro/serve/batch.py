@@ -1,0 +1,180 @@
+"""Batched session feeds: B ``ScanSession.feed`` calls, ~order dispatches.
+
+:func:`feed_batch` is the server's throughput core.  Given ``B``
+*distinct*, batch-compatible sessions (same operator, dtype, order and
+tuple size — see :func:`batch_key`) and one pending chunk each, it
+produces outputs **bit-identical** to ``[s.feed(c) for s, c in ...]``
+while issuing only ``order`` kernel dispatches total (one
+:meth:`repro.kernels.BatchedLaneKernel.stage_scan` per scan pass)
+instead of ``B * order``.  For the serving workload — thousands of
+small concurrent streams — this converts per-feed Python dispatch
+overhead into one amortized batch dispatch.
+
+The pass structure mirrors :meth:`repro.stream.ScanSession.feed`
+exactly: ``order`` inclusive continuation passes, each updating that
+pass's carry row, with the exclusive lane-shift (heads = the pre-chunk
+running totals) applied per session on the final pass only.  Empty
+chunks stay scan no-ops but count as feed calls, like ``feed``.
+
+Batch eligibility is the same rule as every other fast path in the
+repo: fixed-width integers under a real-ufunc operator (exact
+regrouping), on the plain host path (no delegated engine, no slab
+threads).  Floats keep their bit-exact per-session prepend path;
+the caller simply feeds those sessions individually.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro import kernels
+from repro.kernels import BatchedLaneKernel, batchable_op_dtype
+from repro.stream.errors import SessionStateError
+from repro.stream.session import ScanSession
+
+
+def batch_key(session: ScanSession):
+    """The session's batch-compatibility key, or ``None`` if the
+    session cannot take the batched path (engine-delegated, threaded,
+    float/unknown dtype, or looped operator).
+
+    Two sessions may share a dispatch iff their keys are equal and not
+    ``None``.  ``inclusive`` is deliberately *not* part of the key: the
+    exclusive lane-shift is a per-session epilogue, so inclusive and
+    exclusive sessions batch together.
+
+    The key is cached on the session once it is known — everything it
+    reads is frozen after the dtype locks — because the server asks for
+    it on every feed and ``dtype.name`` alone costs more than a small
+    chunk's scan.  A ``None`` from a still-unlocked dtype is *not*
+    cached (the key materialises on the first feed).
+    """
+    cached = getattr(session, "_batch_key_cache", False)
+    if cached is not False:
+        return cached
+    if session._engine is not None or session.threads is not None:
+        key = None
+    elif session.dtype is None:
+        return None
+    elif not batchable_op_dtype(session.op, session.dtype):
+        key = None
+    else:
+        key = (
+            session.op.name,
+            session.dtype.name,
+            session.order,
+            session.tuple_size,
+        )
+    session._batch_key_cache = key
+    return key
+
+
+def feed_batch(
+    sessions: Sequence[ScanSession],
+    chunks: Sequence[np.ndarray],
+    kernel: Optional[BatchedLaneKernel] = None,
+) -> List[np.ndarray]:
+    """Feed one chunk to each of ``B`` batch-compatible sessions.
+
+    Equivalent to ``[s.feed(c) for s, c in zip(sessions, chunks)]`` bit
+    for bit — outputs, carry state, offsets — in ``order`` batched
+    kernel dispatches.  ``kernel`` lets the caller reuse a
+    :class:`BatchedLaneKernel` (and its staging buffer / occupancy
+    counters) across batches; it must match the sessions' batch key.
+
+    Raises ``ValueError`` when the sessions do not share a non-``None``
+    batch key or a session appears twice (feeds to the same session
+    must stay ordered — dispatch them in separate batches).
+    """
+    if len(sessions) != len(chunks):
+        raise ValueError(f"{len(sessions)} sessions but {len(chunks)} chunks")
+    if not sessions:
+        return []
+    if len(set(map(id, sessions))) != len(sessions):
+        raise ValueError("a session may appear at most once per batch")
+    keys = {batch_key(s) for s in sessions}
+    if len(keys) != 1 or None in keys:
+        raise ValueError(
+            "sessions are not batch-compatible (need one shared "
+            "op/dtype/order/tuple_size key on the plain host path)"
+        )
+    first = sessions[0]
+    op, s, order, dtype = first.op, first.tuple_size, first.order, first.dtype
+    if kernel is None:
+        kernel = BatchedLaneKernel(op, dtype, s)
+    elif (
+        kernel.op.name != op.name
+        or kernel.dtype != dtype
+        or kernel.s != s
+    ):
+        raise ValueError("kernel does not match the sessions' batch key")
+
+    outs: List[Optional[np.ndarray]] = [None] * len(sessions)
+    live: List[int] = []
+    arrays: List[np.ndarray] = []
+    for i, (session, chunk) in enumerate(zip(sessions, chunks)):
+        array = np.asarray(chunk)
+        if array.ndim != 1:
+            raise ValueError(f"expected a 1-D chunk, got shape {array.shape}")
+        if array.dtype != dtype:
+            # The session's locked dtype already passed check_dtype;
+            # only a mismatching chunk needs the full resolution (for
+            # the error message and widening rules).
+            resolved = op.check_dtype(array.dtype)
+            if resolved != dtype:
+                raise SessionStateError(
+                    f"session is locked to dtype {dtype.name}, "
+                    f"got a {resolved.name} chunk"
+                )
+            array = array.astype(dtype, copy=False)
+        if array.size == 0:
+            session.counters.chunks += 1
+            session.counters.bytes_in += array.nbytes
+            outs[i] = array.copy()
+        else:
+            live.append(i)
+            arrays.append(array)
+    if not live:
+        return outs
+
+    t0 = time.perf_counter()
+    positions = [sessions[i]._offset for i in live]
+    identity = op.identity(dtype)
+    any_exclusive = any(not sessions[i].inclusive for i in live)
+    current = arrays
+    for iteration in range(order):
+        last = iteration == order - 1
+        carries = np.stack([sessions[i]._carry[iteration] for i in live])
+        prev = carries.copy() if (last and any_exclusive) else None
+        scanned = kernel.stage_scan(current, carries, positions)
+        for j, i in enumerate(live):
+            sessions[i]._carry[iteration][:] = carries[j]
+        if last and any_exclusive:
+            # Exclusive = the lane-shifted inclusive continuation; the
+            # shifted-in heads are the lanes' pre-chunk running totals
+            # (identity at the very start of the stream) — the same
+            # epilogue as ScanSession._stage_pass.
+            for j, i in enumerate(live):
+                session = sessions[i]
+                if session.inclusive:
+                    continue
+                perm = kernels.phase_perm(session._offset, s)
+                heads = prev[j][perm]
+                heads[perm >= session._offset] = identity
+                scanned[j] = kernels.exclusive_shift(scanned[j], heads)
+        current = scanned
+    share = (time.perf_counter() - t0) / len(live)
+    for j, i in enumerate(live):
+        session = sessions[i]
+        n = arrays[j].size
+        session._offset += n
+        session.counters.chunks += 1
+        session.counters.elements += n
+        session.counters.bytes_in += arrays[j].nbytes
+        session.counters.seconds_scan += share
+        session.counters.batched_feeds += 1
+        outs[i] = current[j]
+    return outs

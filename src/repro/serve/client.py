@@ -1,0 +1,282 @@
+"""Blocking client for the scan service.
+
+:class:`ScanClient` speaks the framing protocol from
+:mod:`repro.serve.protocol` over TCP (``"host:port"``) or a unix
+socket (``"unix:/path"`` or a bare filesystem path).  One client drives
+one connection; it is not thread-safe — give each thread its own.
+
+The simple calls (:meth:`open`, :meth:`feed`, :meth:`snapshot`, ...)
+are strict request/reply.  :meth:`feed_many` pipelines a window of
+FEED frames before collecting replies — with several clients doing
+this concurrently the server coalesces their feeds into batched kernel
+dispatches, which is where the service's throughput comes from.  BUSY
+backpressure replies are retried transparently (bounded by
+``busy_retries``), and server-side errors re-raise as the typed
+exceptions in :mod:`repro.serve.errors`.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from collections import deque
+from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.serve import protocol
+from repro.serve.errors import (
+    FeedRejectedError,
+    ProtocolError,
+    ServeError,
+    error_from_frame,
+)
+
+
+def parse_address(address: str) -> Tuple[str, object]:
+    """Split an address string into ``("tcp", (host, port))`` or
+    ``("unix", path)``.  ``unix:`` prefixes and bare paths (anything
+    with a ``/``) select unix sockets; ``host:port`` selects TCP."""
+    if address.startswith("unix:"):
+        return "unix", address[len("unix:"):]
+    if "/" in address:
+        return "unix", address
+    host, sep, port = address.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ValueError(
+            f"address {address!r} is neither host:port nor a unix socket path"
+        )
+    return "tcp", (host or "127.0.0.1", int(port))
+
+
+class ScanClient:
+    """One blocking connection to a scan server.
+
+    ``address`` is ``"host:port"``, ``"unix:/path"``, or a socket
+    path.  ``busy_retries``/``busy_backoff`` bound how long
+    :meth:`feed` waits out BUSY backpressure before raising
+    :class:`FeedRejectedError`.  Usable as a context manager.
+    """
+
+    def __init__(
+        self,
+        address: str,
+        *,
+        timeout: Optional[float] = 30.0,
+        busy_retries: int = 64,
+        busy_backoff: float = 0.01,
+        max_frame_bytes: int = protocol.DEFAULT_MAX_FRAME_BYTES,
+    ):
+        self.address = address
+        self.busy_retries = busy_retries
+        self.busy_backoff = busy_backoff
+        self.max_frame_bytes = max_frame_bytes
+        self._next_id = 0
+        self._reply_buffer: dict = {}
+        kind, target = parse_address(address)
+        if kind == "unix":
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        else:
+            self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.settimeout(timeout)
+        try:
+            self._sock.connect(target)
+        except OSError as exc:
+            self._sock.close()
+            raise ServeError(f"cannot connect to {address}: {exc}") from exc
+
+    # -- plumbing ---------------------------------------------------------
+
+    def close(self) -> None:
+        self._sock.close()
+
+    def __enter__(self) -> "ScanClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _send(self, verb: int, header: dict, payload: bytes = b"") -> int:
+        self._next_id += 1
+        header = dict(header)
+        header["id"] = self._next_id
+        try:
+            protocol.send_frame(self._sock, verb, header, payload)
+        except OSError as exc:
+            raise ServeError(f"connection to {self.address} lost: {exc}") from exc
+        return self._next_id
+
+    def _recv(self) -> Tuple[int, dict, bytes]:
+        try:
+            return protocol.recv_frame(self._sock, self.max_frame_bytes)
+        except OSError as exc:
+            raise ServeError(f"connection to {self.address} lost: {exc}") from exc
+
+    def _recv_reply(self, request_id: int) -> Tuple[int, dict, bytes]:
+        """Collect the reply for ``request_id``, buffering any other
+        pipelined replies that arrive first (BUSY frames are written
+        inline by the server's reader while DATA frames come later from
+        its dispatcher, so reply order is not request order)."""
+        while request_id not in self._reply_buffer:
+            verb, header, payload = self._recv()
+            reply_id = header.get("id")
+            if reply_id is None:
+                raise ProtocolError("reply frame carries no request id")
+            self._reply_buffer[reply_id] = (verb, header, payload)
+        verb, header, payload = self._reply_buffer.pop(request_id)
+        if verb == protocol.ERROR:
+            raise error_from_frame(header)
+        return verb, header, payload
+
+    def _request(
+        self, verb: int, header: dict, payload: bytes = b""
+    ) -> Tuple[int, dict, bytes]:
+        return self._recv_reply(self._send(verb, header, payload))
+
+    # -- verbs ------------------------------------------------------------
+
+    def open(
+        self,
+        session: str,
+        *,
+        op: str = "add",
+        order: int = 1,
+        tuple_size: int = 1,
+        inclusive: bool = True,
+        dtype: str = "int64",
+    ) -> dict:
+        """Open (or re-attach to) a named session; returns the reply
+        header with ``created``, ``offset`` and the server's config."""
+        _, header, _ = self._request(
+            protocol.OPEN,
+            {
+                "session": session,
+                "op": op,
+                "order": order,
+                "tuple_size": tuple_size,
+                "inclusive": inclusive,
+                "dtype": dtype,
+            },
+        )
+        return header
+
+    def feed(self, session: str, chunk) -> np.ndarray:
+        """Scan one chunk through the named session; returns the
+        scanned values and retries BUSY backpressure with backoff."""
+        array = np.ascontiguousarray(chunk)
+        payload = array.tobytes()
+        for attempt in range(self.busy_retries + 1):
+            header = {"session": session, "dtype": array.dtype.name}
+            if attempt:
+                header["retry"] = True
+            verb, header, reply_payload = self._recv_reply(
+                self._send(protocol.FEED, header, payload)
+            )
+            if verb == protocol.DATA:
+                return np.frombuffer(reply_payload, dtype=array.dtype)
+            if verb != protocol.BUSY:
+                raise ProtocolError(
+                    f"unexpected {protocol.VERB_NAMES.get(verb, hex(verb))} "
+                    f"reply to FEED"
+                )
+            time.sleep(self.busy_backoff * (attempt + 1))
+        raise FeedRejectedError(
+            f"feed to {session!r} still BUSY after {self.busy_retries} retries"
+        )
+
+    def feed_many(
+        self, session: str, chunks: Iterable, window: int = 8, on_result=None
+    ) -> List[np.ndarray]:
+        """Pipeline up to ``window`` FEEDs before collecting replies.
+
+        Returns the scanned chunks in feed order.  BUSY replies requeue
+        that chunk (order within the session is preserved because the
+        retry happens before any later chunk is sent).
+
+        ``on_result(index, scanned)`` fires as each reply arrives —
+        callers that persist outputs incrementally (the ``repro feed``
+        CLI) use it so progress survives a connection loss: everything
+        delivered before the failure is already on disk, and a rerun
+        resumes from the server's restored offset.
+        """
+        chunks = [np.ascontiguousarray(c) for c in chunks]
+        outs: List[Optional[np.ndarray]] = [None] * len(chunks)
+        pending: "deque[Tuple[int, int]]" = deque()
+        next_to_send = 0
+        busy_attempts = 0
+        retry_next = False
+        while next_to_send < len(chunks) or pending:
+            while next_to_send < len(chunks) and len(pending) < window:
+                header = {
+                    "session": session,
+                    "dtype": chunks[next_to_send].dtype.name,
+                }
+                if retry_next:
+                    header["retry"] = True
+                    retry_next = False
+                request_id = self._send(
+                    protocol.FEED, header, chunks[next_to_send].tobytes()
+                )
+                pending.append((request_id, next_to_send))
+                next_to_send += 1
+            request_id, index = pending.popleft()
+            verb, header, payload = self._recv_reply(request_id)
+            if verb == protocol.BUSY:
+                # Everything after this chunk is still queued behind it
+                # server-side only if it was accepted — but a BUSY chunk
+                # was never enqueued, so to keep order we must drain the
+                # rest of the window and resend from this chunk.
+                busy_attempts += 1
+                if busy_attempts > self.busy_retries:
+                    raise FeedRejectedError(
+                        f"feed to {session!r} still BUSY after "
+                        f"{self.busy_retries} retries"
+                    )
+                for later_id, later_index in pending:
+                    verb2, _, payload2 = self._recv_reply(later_id)
+                    if verb2 == protocol.DATA:
+                        raise ProtocolError(
+                            "server accepted a feed after rejecting an "
+                            "earlier one; session order is broken"
+                        )
+                pending.clear()
+                time.sleep(self.busy_backoff * busy_attempts)
+                next_to_send = index
+                retry_next = True
+                continue
+            if verb != protocol.DATA:
+                raise ProtocolError(
+                    f"unexpected {protocol.VERB_NAMES.get(verb, hex(verb))} "
+                    f"reply to FEED"
+                )
+            busy_attempts = 0
+            outs[index] = np.frombuffer(payload, dtype=chunks[index].dtype)
+            if on_result is not None:
+                on_result(index, outs[index])
+        return outs
+
+    def snapshot(self, session: str) -> dict:
+        """The session's ``state_dict`` + counters, as the server holds
+        them right now (a client-side checkpoint)."""
+        _, header, _ = self._request(protocol.SNAPSHOT, {"session": session})
+        return {"state": header["state"], "counters": header["counters"]}
+
+    def restore(self, session: str, state: dict, counters: Optional[dict] = None) -> int:
+        """Replace (or create) the named session from a snapshot;
+        returns the restored offset."""
+        _, header, _ = self._request(
+            protocol.RESTORE,
+            {"session": session, "state": state, "counters": counters},
+        )
+        return header["offset"]
+
+    def close_session(self, session: str) -> dict:
+        """Close the named session; returns its final counters."""
+        _, header, _ = self._request(protocol.CLOSE, {"session": session})
+        return header["counters"]
+
+    def stats(self) -> dict:
+        """Server stats: per-session configs/offsets/counters, the
+        aggregate counters, and the dispatch gauges."""
+        _, header, _ = self._request(protocol.STATS, {})
+        return header

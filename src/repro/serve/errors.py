@@ -1,0 +1,71 @@
+"""Typed errors for the scan service.
+
+Mirrors :mod:`repro.stream.errors`: callers catch :class:`ServeError`
+for any service failure, or the specific subclasses to react
+differently to protocol problems vs. session lookup vs. backpressure.
+Server-side failures cross the wire as ERROR frames carrying the error
+class name; :func:`error_from_frame` re-raises the matching typed
+exception client-side (including the streaming errors a session can
+raise, e.g. ``CheckpointMismatchError`` from a bad RESTORE).
+"""
+
+from __future__ import annotations
+
+from repro.stream import errors as _stream_errors
+
+
+class ServeError(RuntimeError):
+    """Base class for all scan-service failures."""
+
+
+class ProtocolError(ServeError):
+    """A frame is malformed, oversized, truncated, or out of protocol."""
+
+
+class UnknownSessionError(ServeError):
+    """A verb referenced a session name the registry does not hold."""
+
+
+class SessionExistsError(ServeError):
+    """OPEN named an existing session with a conflicting configuration."""
+
+
+class FeedRejectedError(ServeError):
+    """A feed could not be accepted: a single chunk above the inflight
+    budget, or BUSY backpressure outlasted the client's retry policy.
+    """
+
+
+class ServerClosedError(ServeError):
+    """The connection dropped mid-request (server gone or shutting down)."""
+
+
+#: Error names the client maps back to typed exceptions.  Streaming
+#: errors are included because session verbs surface them verbatim
+#: (a RESTORE with a foreign state raises CheckpointMismatchError).
+ERROR_TYPES = {
+    "ProtocolError": ProtocolError,
+    "UnknownSessionError": UnknownSessionError,
+    "SessionExistsError": SessionExistsError,
+    "FeedRejectedError": FeedRejectedError,
+    "ServeError": ServeError,
+    "StreamError": _stream_errors.StreamError,
+    "SessionStateError": _stream_errors.SessionStateError,
+    "CheckpointError": _stream_errors.CheckpointError,
+    "CheckpointMismatchError": _stream_errors.CheckpointMismatchError,
+}
+
+
+def error_to_header(exc: BaseException) -> dict:
+    """ERROR-frame header for an exception (class name + message)."""
+    return {"error": type(exc).__name__, "message": str(exc)}
+
+
+def error_from_frame(header: dict) -> BaseException:
+    """Rebuild the typed exception an ERROR frame describes."""
+    name = header.get("error", "ServeError")
+    message = header.get("message", "server error")
+    cls = ERROR_TYPES.get(name)
+    if cls is None:
+        return ServeError(f"{name}: {message}")
+    return cls(message)

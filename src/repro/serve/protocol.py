@@ -1,0 +1,185 @@
+"""The scan service's length-prefixed binary framing protocol.
+
+One frame per request and per reply, over TCP or a unix socket::
+
+    +------------+--------+-------------+----------------+-------------+
+    | body_len   | verb   | header_len  | header (JSON)  | payload     |
+    | u32 BE     | u8     | u32 BE      | UTF-8 bytes    | raw bytes   |
+    +------------+--------+-------------+----------------+-------------+
+
+``body_len`` counts everything after itself (verb + header_len +
+header + payload), so a reader needs exactly two reads per frame.  The
+JSON header carries the small structured fields (session name, request
+id, offsets, counters); the payload carries the chunk bytes — raw
+little-endian array data, dtype fixed by the session's configuration —
+so values are never JSON-encoded on the hot path.
+
+Request verbs: OPEN, FEED, SNAPSHOT, RESTORE, CLOSE, STATS.
+Reply verbs: OK (header only), DATA (header + scanned bytes),
+BUSY (backpressure: retry after draining), ERROR (typed, see
+:mod:`repro.serve.errors`).
+
+Every request header carries an ``id`` the reply echoes, so clients
+may pipeline many FEEDs before collecting replies — that is what lets
+the server coalesce concurrent feeds into batched kernel dispatches.
+
+Frames above ``max_frame_bytes`` (default 64 MiB) are rejected before
+allocation; a stream that dies mid-frame raises
+:class:`~repro.serve.errors.ProtocolError` rather than returning a
+torn frame.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Optional, Tuple
+
+from repro.serve.errors import ProtocolError
+
+#: Request verbs.
+OPEN = 0x01
+FEED = 0x02
+SNAPSHOT = 0x03
+RESTORE = 0x04
+CLOSE = 0x05
+STATS = 0x06
+
+#: Reply verbs.
+OK = 0x10
+DATA = 0x11
+ERROR = 0x12
+BUSY = 0x13
+
+VERB_NAMES = {
+    OPEN: "OPEN",
+    FEED: "FEED",
+    SNAPSHOT: "SNAPSHOT",
+    RESTORE: "RESTORE",
+    CLOSE: "CLOSE",
+    STATS: "STATS",
+    OK: "OK",
+    DATA: "DATA",
+    ERROR: "ERROR",
+    BUSY: "BUSY",
+}
+
+#: Frames larger than this are a protocol violation (guards the server
+#: against allocating unbounded buffers for a hostile/buggy peer).
+DEFAULT_MAX_FRAME_BYTES = 64 << 20
+
+_LEN = struct.Struct(">I")
+
+
+def encode_frame(verb: int, header: Optional[dict] = None, payload: bytes = b"") -> bytes:
+    """Serialize one frame (length prefix included)."""
+    blob = json.dumps(header or {}, separators=(",", ":")).encode("utf-8")
+    body_len = 1 + 4 + len(blob) + len(payload)
+    parts = bytearray(_LEN.pack(body_len))
+    parts.append(verb)
+    parts += _LEN.pack(len(blob))
+    parts += blob
+    parts += payload
+    return bytes(parts)
+
+
+def decode_body(body: bytes) -> Tuple[int, dict, bytes]:
+    """Split a frame body into ``(verb, header, payload)``."""
+    if len(body) < 5:
+        raise ProtocolError(f"frame body of {len(body)} bytes is too short")
+    verb = body[0]
+    (header_len,) = _LEN.unpack_from(body, 1)
+    if 5 + header_len > len(body):
+        raise ProtocolError(
+            f"frame claims a {header_len}-byte header but the body has "
+            f"only {len(body) - 5} bytes after the verb"
+        )
+    try:
+        header = json.loads(body[5 : 5 + header_len] or b"{}")
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"frame header is not valid JSON: {exc}") from exc
+    if not isinstance(header, dict):
+        raise ProtocolError("frame header must be a JSON object")
+    return verb, header, bytes(body[5 + header_len :])
+
+
+def _check_body_len(body_len: int, max_frame_bytes: int) -> None:
+    if body_len > max_frame_bytes:
+        raise ProtocolError(
+            f"frame of {body_len} bytes exceeds the {max_frame_bytes}-byte limit"
+        )
+    if body_len < 5:
+        raise ProtocolError(f"frame body of {body_len} bytes is too short")
+
+
+# -- asyncio side (server) ----------------------------------------------
+
+
+async def read_frame(
+    reader, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+) -> Optional[Tuple[int, dict, bytes]]:
+    """Read one frame from an asyncio stream.
+
+    Returns ``None`` on a clean EOF at a frame boundary (the peer hung
+    up); raises :class:`ProtocolError` when the stream dies mid-frame.
+    """
+    import asyncio
+
+    try:
+        prefix = await reader.readexactly(4)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("connection closed inside a frame length") from exc
+    (body_len,) = _LEN.unpack(prefix)
+    _check_body_len(body_len, max_frame_bytes)
+    try:
+        body = await reader.readexactly(body_len)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError(
+            f"connection closed {len(exc.partial)}/{body_len} bytes into a frame"
+        ) from exc
+    return decode_body(body)
+
+
+async def write_frame(
+    writer, verb: int, header: Optional[dict] = None, payload: bytes = b""
+) -> None:
+    """Write one frame to an asyncio stream and drain."""
+    writer.write(encode_frame(verb, header, payload))
+    await writer.drain()
+
+
+# -- blocking side (client) ---------------------------------------------
+
+
+def _recv_exactly(sock: socket.socket, n: int) -> bytes:
+    parts = bytearray()
+    while len(parts) < n:
+        block = sock.recv(n - len(parts))
+        if not block:
+            raise ProtocolError(
+                f"connection closed {len(parts)}/{n} bytes into a frame"
+            )
+        parts += block
+    return bytes(parts)
+
+
+def recv_frame(
+    sock: socket.socket, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+) -> Tuple[int, dict, bytes]:
+    """Read one frame from a blocking socket."""
+    (body_len,) = _LEN.unpack(_recv_exactly(sock, 4))
+    _check_body_len(body_len, max_frame_bytes)
+    return decode_body(_recv_exactly(sock, body_len))
+
+
+def send_frame(
+    sock: socket.socket,
+    verb: int,
+    header: Optional[dict] = None,
+    payload: bytes = b"",
+) -> None:
+    """Write one frame to a blocking socket."""
+    sock.sendall(encode_frame(verb, header, payload))

@@ -29,7 +29,10 @@ class StreamCounters:
     through it (float inputs always take the exact host path, see
     :mod:`repro.stream.session`); ``threaded_scans`` counts stage scans
     routed through the slab-parallel in-memory kernel
-    (:mod:`repro.kernels.threaded`) when ``threads=`` is requested.  A resumed job *restores* the
+    (:mod:`repro.kernels.threaded`) when ``threads=`` is requested, and
+    ``batched_feeds`` counts feed calls serviced by a coalesced
+    multi-stream dispatch (:func:`repro.serve.feed_batch`) instead of a
+    per-session kernel call.  A resumed job *restores* the
     counters persisted in the checkpoint, so totals are cumulative
     across interruptions; ``resumes`` says how often that happened.
 
@@ -51,6 +54,7 @@ class StreamCounters:
     resumes: int = 0
     delegated_stage_scans: int = 0
     threaded_scans: int = 0
+    batched_feeds: int = 0
     shards: int = 0
     primed_shards: int = 0
     folded_shards: int = 0
@@ -76,13 +80,26 @@ class StreamCounters:
             + self.seconds_fold
         )
 
+    def to_dict(self) -> dict:
+        """The stable JSON form: exactly the dataclass fields, nothing
+        derived, so ``from_dict(to_dict(c)) == c`` round-trips byte for
+        byte.  The serve STATS endpoint and the registry checkpoint
+        both persist counters in this form."""
+        return {spec.name: getattr(self, spec.name) for spec in fields(self)}
+
     def as_dict(self) -> dict:
-        data = {spec.name: getattr(self, spec.name) for spec in fields(self)}
+        """:meth:`to_dict` plus the derived ``seconds_total`` aggregate
+        (the benchmark/report form; not round-trippable field-for-field,
+        use :meth:`to_dict` for persistence)."""
+        data = self.to_dict()
         data["seconds_total"] = self.seconds_total
         return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "StreamCounters":
+        """Rebuild counters from :meth:`to_dict` (or :meth:`as_dict`)
+        output; unknown keys — e.g. a newer build's fields, or the
+        derived ``seconds_total`` — are ignored."""
         known = {spec.name for spec in fields(cls)}
         return cls(**{key: value for key, value in data.items() if key in known})
 

@@ -198,6 +198,13 @@ class ScanSession:
                 f"(differs in {', '.join(diffs) or 'structure'}: "
                 f"saved {config!r}, this session {mine!r})"
             )
+        stored_hash = state.get("config_hash")
+        if stored_hash is not None and stored_hash != hash_config(config):
+            raise CheckpointMismatchError(
+                f"session state is internally inconsistent: its config "
+                f"hashes to {hash_config(config)!r} but records "
+                f"{stored_hash!r} (edited or corrupted snapshot)"
+            )
         raw = base64.b64decode(state["carry"])
         expected = self.order * self.tuple_size * self.dtype.itemsize
         if len(raw) != expected:

@@ -1,0 +1,146 @@
+"""BatchedLaneKernel: coalesced multi-stream dispatch, bit-exact.
+
+The batched kernel must be invisible: feeding B streams through one
+``stage_scan``/``feed_many`` dispatch has to leave every output, carry
+and position bit-identical to B independent ``LaneKernel.feed`` calls.
+These tests sweep op/dtype/tuple-size over ragged chunk mixes
+(including empty chunks and freshly-primed kernels) and pin down the
+eligibility rule and the occupancy counters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import make_int_array
+from repro.kernels import BatchedLaneKernel, LaneKernel, batchable_op_dtype
+from repro.ops import get_op
+
+GRID = [
+    ("add", np.int64, 1),
+    ("add", np.int32, 4),
+    ("max", np.int64, 3),
+    ("min", np.int32, 2),
+    ("xor", np.uint64, 2),
+    ("mul", np.int32, 1),
+]
+
+
+def _sequential(op_name, dtype, s, streams):
+    op = get_op(op_name)
+    kernels = [LaneKernel(op, dtype, s) for _ in streams]
+    outs = []
+    for kernel, chunks in zip(kernels, streams):
+        # feed() scans integer chunks in place — copy so the shared
+        # stream arrays survive for the batched run.
+        outs.append([kernel.feed(c.copy()) for c in chunks])
+    return kernels, outs
+
+
+def _batched(op_name, dtype, s, streams):
+    op = get_op(op_name)
+    kernels = [LaneKernel(op, dtype, s) for _ in streams]
+    batched = BatchedLaneKernel(op, dtype, s)
+    outs = [[] for _ in streams]
+    rounds = max(len(chunks) for chunks in streams)
+    for r in range(rounds):
+        live = [i for i, chunks in enumerate(streams) if r < len(chunks)]
+        produced = batched.feed_many(
+            [kernels[i] for i in live], [streams[i][r].copy() for i in live]
+        )
+        for i, out in zip(live, produced):
+            outs[i].append(out)
+    return kernels, outs, batched
+
+
+@pytest.mark.parametrize("op_name,dtype,s", GRID)
+def test_feed_many_matches_sequential_feeds(rng, op_name, dtype, s):
+    lo, hi = (0, 100) if np.dtype(dtype).kind == "u" else (-50, 50)
+    streams = []
+    for i in range(5):
+        lengths = rng.integers(0, 30, size=4) * s
+        streams.append(
+            [make_int_array(rng, n, dtype=dtype, lo=lo, hi=hi) for n in lengths]
+        )
+    seq_kernels, seq_outs = _sequential(op_name, dtype, s, streams)
+    bat_kernels, bat_outs, _ = _batched(op_name, dtype, s, streams)
+    for i in range(len(streams)):
+        assert seq_kernels[i].pos == bat_kernels[i].pos
+        np.testing.assert_array_equal(seq_kernels[i].carry, bat_kernels[i].carry)
+        np.testing.assert_array_equal(seq_kernels[i].active, bat_kernels[i].active)
+        for a, b in zip(seq_outs[i], bat_outs[i]):
+            np.testing.assert_array_equal(a, b)
+            assert a.dtype == b.dtype
+
+
+def test_ragged_batch_with_empty_and_fresh_streams(rng):
+    op = get_op("add")
+    dtype = np.dtype(np.int64)
+    kernels = [LaneKernel(op, dtype, 2) for _ in range(3)]
+    kernels[0].feed(make_int_array(rng, 10, dtype=np.int64))  # mid-stream
+    batched = BatchedLaneKernel(op, dtype, 2)
+    chunks = [
+        make_int_array(rng, 8, dtype=np.int64),
+        np.array([], dtype=np.int64),  # empty: no-op but valid
+        make_int_array(rng, 2, dtype=np.int64),  # fresh stream
+    ]
+    # sequential oracle sharing the same pre-state
+    oracle = [LaneKernel(op, dtype, 2) for _ in range(3)]
+    oracle[0].carry = kernels[0].carry.copy()
+    oracle[0].active = kernels[0].active.copy()
+    oracle[0].pos = kernels[0].pos
+    expected = [k.feed(c.copy()) for k, c in zip(oracle, chunks)]
+
+    produced = batched.feed_many(kernels, chunks)
+    for got, want, k, ok in zip(produced, expected, kernels, oracle):
+        np.testing.assert_array_equal(got, want)
+        np.testing.assert_array_equal(k.carry, ok.carry)
+        assert k.pos == ok.pos
+
+
+def test_occupancy_counters(rng):
+    op = get_op("add")
+    dtype = np.dtype(np.int64)
+    batched = BatchedLaneKernel(op, dtype, 1)
+    kernels = [LaneKernel(op, dtype, 1) for _ in range(4)]
+    batched.feed_many(kernels, [make_int_array(rng, 16, dtype=np.int64)] * 4)
+    batched.feed_many(kernels[:2], [make_int_array(rng, 16, dtype=np.int64)] * 2)
+    assert batched.dispatches == 2
+    assert batched.streams_fed == 6
+    assert batched.occupancy() == pytest.approx(3.0)
+
+
+def test_batchable_op_dtype_gates():
+    assert batchable_op_dtype(get_op("add"), np.dtype(np.int64))
+    assert batchable_op_dtype(get_op("xor"), np.dtype(np.uint32))
+    assert not batchable_op_dtype(get_op("add"), np.dtype(np.float64))
+
+
+def test_feed_many_rejects_mismatched_kernels(rng):
+    op = get_op("add")
+    dtype = np.dtype(np.int64)
+    batched = BatchedLaneKernel(op, dtype, 2)
+    wrong_s = LaneKernel(op, dtype, 3)
+    with pytest.raises(ValueError):
+        batched.feed_many([wrong_s], [make_int_array(rng, 3, dtype=np.int64)])
+    wrong_dtype = LaneKernel(op, np.dtype(np.int32), 2)
+    with pytest.raises(ValueError):
+        batched.feed_many([wrong_dtype], [make_int_array(rng, 2, dtype=np.int32)])
+
+
+def test_staging_buffer_reuse_does_not_leak_state(rng):
+    """A large batch followed by a small one reuses the staging slab;
+    stale identity-padding or carries must not bleed through."""
+    op = get_op("add")
+    dtype = np.dtype(np.int64)
+    batched = BatchedLaneKernel(op, dtype, 1)
+    big = [LaneKernel(op, dtype, 1) for _ in range(6)]
+    batched.feed_many(big, [make_int_array(rng, 64, dtype=np.int64) for _ in big])
+    small = [LaneKernel(op, dtype, 1) for _ in range(2)]
+    chunks = [make_int_array(rng, 5, dtype=np.int64) for _ in small]
+    oracle = [LaneKernel(op, dtype, 1) for _ in small]
+    expected = [k.feed(c.copy()) for k, c in zip(oracle, chunks)]
+    produced = batched.feed_many(small, chunks)
+    for got, want in zip(produced, expected):
+        np.testing.assert_array_equal(got, want)

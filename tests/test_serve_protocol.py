@@ -1,0 +1,122 @@
+"""Frame codec and typed-error round-trips for the scan service."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serve import protocol
+from repro.serve.errors import (
+    ERROR_TYPES,
+    ProtocolError,
+    ServeError,
+    UnknownSessionError,
+    error_from_frame,
+    error_to_header,
+)
+from repro.stream.errors import CheckpointMismatchError
+
+
+def test_frame_round_trip():
+    payload = np.arange(17, dtype=np.int64).tobytes()
+    blob = protocol.encode_frame(
+        protocol.FEED, {"session": "t", "id": 3}, payload
+    )
+    body_len = int.from_bytes(blob[:4], "big")
+    assert body_len == len(blob) - 4
+    verb, header, got = protocol.decode_body(blob[4:])
+    assert verb == protocol.FEED
+    assert header == {"session": "t", "id": 3}
+    assert got == payload
+
+
+def test_frame_empty_header_and_payload():
+    blob = protocol.encode_frame(protocol.STATS)
+    verb, header, payload = protocol.decode_body(blob[4:])
+    assert (verb, header, payload) == (protocol.STATS, {}, b"")
+
+
+def test_decode_rejects_truncated_body():
+    with pytest.raises(ProtocolError):
+        protocol.decode_body(b"\x01")
+
+
+def test_decode_rejects_header_overrun():
+    # claims a 100-byte header but the body is shorter
+    body = bytes([protocol.OPEN]) + (100).to_bytes(4, "big") + b"{}"
+    with pytest.raises(ProtocolError):
+        protocol.decode_body(body)
+
+
+def test_decode_rejects_bad_json_and_non_object():
+    body = bytes([protocol.OPEN]) + (2).to_bytes(4, "big") + b"{!"
+    with pytest.raises(ProtocolError):
+        protocol.decode_body(body)
+    body = bytes([protocol.OPEN]) + (2).to_bytes(4, "big") + b"[]"
+    with pytest.raises(ProtocolError):
+        protocol.decode_body(body)
+
+
+def test_oversized_frame_rejected_before_allocation():
+    import asyncio
+
+    class FakeReader:
+        def __init__(self, blob):
+            self.blob = blob
+            self.pos = 0
+
+        async def readexactly(self, n):
+            if self.pos + n > len(self.blob):
+                raise asyncio.IncompleteReadError(
+                    self.blob[self.pos :], n
+                )
+            out = self.blob[self.pos : self.pos + n]
+            self.pos += n
+            return out
+
+    huge = (1 << 30).to_bytes(4, "big")
+    with pytest.raises(ProtocolError):
+        asyncio.run(protocol.read_frame(FakeReader(huge), max_frame_bytes=1024))
+
+
+def test_read_frame_clean_eof_vs_torn_frame():
+    import asyncio
+
+    class FakeReader:
+        def __init__(self, blob):
+            self.blob = blob
+            self.pos = 0
+
+        async def readexactly(self, n):
+            chunk = self.blob[self.pos : self.pos + n]
+            self.pos += len(chunk)
+            if len(chunk) < n:
+                raise asyncio.IncompleteReadError(chunk, n)
+            return chunk
+
+    assert asyncio.run(protocol.read_frame(FakeReader(b""))) is None
+    torn = protocol.encode_frame(protocol.STATS)[:-1]
+    with pytest.raises(ProtocolError):
+        asyncio.run(protocol.read_frame(FakeReader(torn)))
+
+
+@pytest.mark.parametrize("name,cls", sorted(ERROR_TYPES.items()))
+def test_error_header_round_trip(name, cls):
+    exc = cls("something broke")
+    header = error_to_header(exc)
+    back = error_from_frame(header)
+    assert type(back) is cls
+    assert "something broke" in str(back)
+
+
+def test_unknown_error_name_degrades_to_serve_error():
+    back = error_from_frame({"error": "FutureError", "message": "hi"})
+    assert type(back) is ServeError
+    assert "FutureError" in str(back)
+
+
+def test_stream_errors_cross_the_wire_typed():
+    header = error_to_header(CheckpointMismatchError("bad hash"))
+    assert isinstance(error_from_frame(header), CheckpointMismatchError)
+    header = error_to_header(UnknownSessionError("nope"))
+    assert isinstance(error_from_frame(header), UnknownSessionError)

@@ -250,3 +250,64 @@ class TestSessionState:
         assert data["engine_used"] == "host"
         assert "seconds_total" in data
         assert "chunks=2" in str(c)
+
+
+class TestCountersRoundTrip:
+    def test_to_dict_from_dict_is_exact(self, rng):
+        session = ScanSession(op="add", dtype=np.int64)
+        session.feed(make_int_array(rng, 100, dtype=np.int64))
+        session.feed(make_int_array(rng, 50, dtype=np.int64))
+        c = session.counters
+        back = type(c).from_dict(c.to_dict())
+        assert back == c
+
+    def test_to_dict_is_json_stable(self, rng):
+        import json
+
+        session = ScanSession(op="add", dtype=np.int64)
+        session.feed(make_int_array(rng, 10, dtype=np.int64))
+        c = session.counters
+        restored = type(c).from_dict(json.loads(json.dumps(c.to_dict())))
+        assert restored == c
+
+    def test_from_dict_accepts_as_dict_and_unknown_keys(self):
+        from repro.stream.counters import StreamCounters
+
+        c = StreamCounters(chunks=3, elements=7, batched_feeds=2)
+        assert StreamCounters.from_dict(c.as_dict()) == c
+        data = c.to_dict()
+        data["a_future_field"] = 123
+        assert StreamCounters.from_dict(data) == c
+
+    def test_to_dict_excludes_derived_fields(self):
+        from repro.stream.counters import StreamCounters
+
+        data = StreamCounters().to_dict()
+        assert "seconds_total" not in data
+        assert "batched_feeds" in data
+
+
+class TestStateIntegrity:
+    def test_tampered_config_hash_is_typed_error(self, rng):
+        """A snapshot whose recorded config no longer matches its own
+        hash must raise the typed mismatch error, not be applied (and
+        not a bare ValueError)."""
+        session = ScanSession(op="add", dtype=np.int64, tuple_size=2)
+        session.feed(make_int_array(rng, 20, dtype=np.int64))
+        state = session.state_dict()
+        state["config_hash"] = "0" * len(state["config_hash"])
+        clone = ScanSession(op="add", dtype=np.int64, tuple_size=2)
+        with pytest.raises(CheckpointMismatchError):
+            clone.load_state_dict(state)
+
+    def test_legacy_state_without_hash_still_loads(self, rng):
+        values = make_int_array(rng, 60, dtype=np.int64)
+        session = ScanSession(op="add", dtype=np.int64)
+        session.feed(values[:37].copy())
+        state = session.state_dict()
+        del state["config_hash"]
+        clone = ScanSession(op="add", dtype=np.int64)
+        clone.load_state_dict(state)
+        assert np.array_equal(
+            clone.feed(values[37:].copy()), session.feed(values[37:].copy())
+        )

@@ -16,6 +16,12 @@ so ``--quick`` sweeps gate against the full committed grid.  A
 candidate row fails when its speedup drops more than
 ``--max-regression`` (default 25%) below the baseline row's.
 
+A baseline whose ``target`` block carries ``achievable_here: false``
+(recorded on hardware that could not express the advantage being
+gated, e.g. a threaded sweep measured on a 1-CPU box) is skipped with
+a printed notice instead of compared — its speedups are noise, not a
+floor.  Re-record such baselines on capable hardware to arm the gate.
+
 ``--baseline``/``--candidate`` are repeatable and are paired in order,
 so one invocation gates several benchmark families at once (e.g. the
 kernel grid and the threaded sweep); the gate fails if any pair fails.
@@ -43,6 +49,21 @@ def _row_key(row: dict) -> tuple:
 
 
 def gate(baseline: dict, candidate: dict, max_regression: float) -> int:
+    target = baseline.get("target")
+    if isinstance(target, dict) and target.get("achievable_here") is False:
+        # The committed baseline was recorded on hardware that could not
+        # express the benchmark's advantage (e.g. a threaded sweep
+        # measured on a 1-CPU box): its speedups are noise, and gating a
+        # multi-core CI runner against them would either always pass or
+        # fail spuriously.  Skip the pair until the baseline is
+        # re-recorded on capable hardware.
+        cpus = baseline.get("hardware", {}).get("cpu_count", "?")
+        print(
+            "bench_gate: SKIPPED — baseline marked achievable_here=false "
+            f"(recorded on cpu_count={cpus}); re-record it on capable "
+            "hardware to arm this gate"
+        )
+        return 0
     base_rows = {_row_key(r): r for r in baseline.get("rows", [])}
     cand_rows = {_row_key(r): r for r in candidate.get("rows", [])}
     shared = sorted(set(base_rows) & set(cand_rows))
