@@ -43,6 +43,7 @@ from repro.api import (
     connect,
     delta_decode,
     delta_encode,
+    explain,
     open_session,
     prefix_sum,
     resolve_engine,
@@ -57,6 +58,7 @@ __all__ = [
     "connect",
     "delta_decode",
     "delta_encode",
+    "explain",
     "open_session",
     "prefix_sum",
     "resolve_engine",

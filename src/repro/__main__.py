@@ -4,9 +4,12 @@ Commands
 --------
 ``scan <in> <out>``
     Run a generalized prefix scan over a raw binary file of integers
-    on a selectable engine (``--engine host|parallel|sam|...``,
+    on a selectable engine (``--engine auto|host|parallel|sam|...``,
     ``--op``, ``--order``, ``--tuple-size``, ``--exclusive``,
-    ``--workers``).
+    ``--workers``).  The default engine ``auto`` is the execution
+    planner (:mod:`repro.plan`): it picks the strategy from the data
+    and the machine; ``--explain`` prints its candidate table (sizes,
+    predicted costs, rationale) without running the scan.
 ``stream <in> <out>``
     Scan a file out of core: memory-mapped, chunked through a
     streaming session (``--chunk-bytes``), bit-identical to ``scan``,
@@ -76,13 +79,54 @@ def _resolve_cli_engine(name: str, workers: int, threads: int = 0):
     return resolve_engine(name)
 
 
+def _cmd_explain(args) -> int:
+    """``--explain``: print the planner's candidate table, scan nothing.
+
+    Reads only the input's byte size — never its contents — so it is
+    safe to run against files too large to load.
+    """
+    import os
+
+    from repro.plan import explain_scan
+
+    plan = explain_scan(
+        nbytes=os.path.getsize(args.input),
+        dtype=args.dtype,
+        op=args.op,
+        order=args.order,
+        tuple_size=args.tuple_size,
+        inclusive=not args.exclusive,
+        source=args.explain_source,
+    )
+    print(plan.explain())
+    return 0
+
+
 def _cmd_scan(args) -> int:
     from repro.core.host import host_prefix_sum
     from repro.ops import get_op
 
+    if args.explain:
+        return _cmd_explain(args)
     values = np.fromfile(args.input, dtype=np.dtype(args.dtype))
     op = get_op(args.op)
     inclusive = not args.exclusive
+    if args.engine == "auto" and not args.workers and not args.threads:
+        from repro.plan import PLANNER_COUNTERS, auto_scan
+
+        out = auto_scan(
+            values, op=op, order=args.order, tuple_size=args.tuple_size,
+            inclusive=inclusive,
+        )
+        out.tofile(args.output)
+        kind = "inclusive" if inclusive else "exclusive"
+        print(
+            f"{args.input}: {kind} {args.op} scan of {len(values):,} x "
+            f"{args.dtype} (order {args.order}, tuple size {args.tuple_size}) "
+            f"planned onto {PLANNER_COUNTERS.last_strategy or 'serial'} "
+            f"-> {args.output}"
+        )
+        return 0
     engine = _resolve_cli_engine(args.engine, args.workers, args.threads)
     if engine is None:
         out = host_prefix_sum(
@@ -108,11 +152,70 @@ def _cmd_scan(args) -> int:
     return 0
 
 
+def _cmd_stream_planned(args) -> int:
+    """Flag-less ``stream``: let :mod:`repro.plan` pick the driver."""
+    import sys as _sys
+
+    from repro.api import scan_file
+    from repro.stream import StreamError
+
+    try:
+        result = scan_file(
+            args.input,
+            args.output,
+            dtype=args.dtype,
+            op=args.op,
+            order=args.order,
+            tuple_size=args.tuple_size,
+            inclusive=not args.exclusive,
+            checkpoint=args.checkpoint,
+            checkpoint_every=args.checkpoint_every,
+            resume=args.resume,
+        )
+    except StreamError as exc:
+        print(f"stream failed: {exc}", file=_sys.stderr)
+        if args.checkpoint and not args.resume:
+            print(
+                f"re-run with --resume to continue from {args.checkpoint}",
+                file=_sys.stderr,
+            )
+        return 1
+    c = result.counters
+    kind = "exclusive" if args.exclusive else "inclusive"
+    strategy = c.planner_strategy or "pinned by checkpoint"
+    priced = "calibrated" if c.planner_cache_hits else "modeled"
+    print(
+        f"{args.input}: streamed {kind} {args.op} scan of "
+        f"{result.elements:,} x {result.dtype} (order {args.order}, "
+        f"tuple size {args.tuple_size}) planned onto {strategy} "
+        f"({priced}) -> {args.output}"
+    )
+    print(
+        f"  phases: read {c.seconds_read:.3f}s  scan {c.seconds_scan:.3f}s  "
+        f"write {c.seconds_write:.3f}s  checkpoint {c.seconds_checkpoint:.3f}s  "
+        f"splice {c.seconds_splice:.3f}s  fold {c.seconds_fold:.3f}s"
+    )
+    return 0
+
+
 def _cmd_stream(args) -> int:
     import sys as _sys
 
-    from repro.stream import StreamError, scan_file
+    from repro.stream import DEFAULT_CHUNK_BYTES, StreamError, scan_file
 
+    if args.explain:
+        return _cmd_explain(args)
+    if (
+        args.engine == "auto"
+        and not args.shards
+        and not args.threads
+        and not args.workers
+        and args.chunk_bytes == DEFAULT_CHUNK_BYTES
+        and not args.adaptive_chunks
+        and args.fail_after_chunks is None
+        and args.fail_after_shards is None
+    ):
+        return _cmd_stream_planned(args)
     if args.shards and args.shards > 1:
         return _cmd_stream_sharded(args)
     engine = _resolve_cli_engine(args.engine, args.workers, args.threads)
@@ -453,8 +556,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--tuple-size", type=int, default=1)
         p.add_argument("--exclusive", action="store_true",
                        help="exclusive scan (default: inclusive)")
-        p.add_argument("--engine", default="host", choices=list(ENGINE_NAMES),
-                       help="host (default), parallel (multicore shared "
+        p.add_argument("--engine", default="auto", choices=list(ENGINE_NAMES),
+                       help="auto (default: the planner picks from the "
+                            "data), host, parallel (multicore shared "
                             "memory), or a simulated-GPU engine")
         p.add_argument("--workers", type=int, default=0,
                        help="worker processes for the parallel engines "
@@ -463,10 +567,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="slab threads for the in-memory threaded "
                             "kernel (engine 'threaded' or chunk scans; "
                             "0 = auto)")
+        p.add_argument("--explain", action="store_true",
+                       help="print the planner's candidate table for this "
+                            "input and exit without scanning")
 
     p = sub.add_parser("scan", help="prefix-scan a raw integer file")
     add_scan_options(p)
-    p.set_defaults(fn=_cmd_scan)
+    p.set_defaults(fn=_cmd_scan, explain_source="memory")
 
     p = sub.add_parser(
         "stream",
@@ -499,7 +606,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help=argparse.SUPPRESS)  # test hook: simulate a crash
     p.add_argument("--fail-after-shards", type=int, default=None,
                    help=argparse.SUPPRESS)  # test hook: simulate a crash
-    p.set_defaults(fn=_cmd_stream)
+    p.set_defaults(fn=_cmd_stream, explain_source="file")
 
     p = sub.add_parser(
         "serve",

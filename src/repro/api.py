@@ -17,9 +17,20 @@ accepts input in chunks (engines are wrapped, not added — any engine
 can scan the chunks), and :func:`scan_file` runs a whole
 larger-than-memory file out of core with durable, resumable
 checkpoints.
+
+When the caller pins nothing — ``repro.scan(x)``,
+``repro.prefix_sum(x)``, ``repro.scan_file(in, out)`` with no
+``engine``/``threads``/``shards``/``chunk_bytes`` — the execution
+strategy is chosen by :mod:`repro.plan` from the workload and the
+machine (``engine="auto"`` names the planner explicitly; every other
+explicit flag always wins).  :func:`explain` prints the planner's
+candidate table without running anything.
 """
 
 from __future__ import annotations
+
+import os
+import time
 
 import numpy as np
 
@@ -34,6 +45,7 @@ from repro.ops import ADD, get_op
 #: Engine names accepted by :func:`resolve_engine` (and therefore by the
 #: ``engine=`` parameter of every scan-shaped API function).
 ENGINE_NAMES = (
+    "auto",
     "host",
     "threaded",
     "parallel",
@@ -47,17 +59,30 @@ ENGINE_NAMES = (
 )
 
 
+def _wants_planner(engine) -> bool:
+    """Whether an ``engine=`` value asks for the planner: unset, or the
+    explicit name ``"auto"``."""
+    return engine is None or (
+        isinstance(engine, str) and engine.lower() == "auto"
+    )
+
+
 def resolve_engine(engine):
     """Map an engine name to a constructed engine (lazily imported).
 
     ``None`` and ``"host"`` resolve to ``None`` — the callers' fast
-    host path.  Already-constructed engine objects pass through
-    unchanged, so callers can keep handing in configured instances.
+    host path.  So does ``"auto"``: the planner is consulted by the
+    API entry points that own a whole workload (:func:`scan`,
+    :func:`prefix_sum`, :func:`scan_file`); in engine-object positions
+    that only see one chunk at a time there is nothing to plan over,
+    and the host path is the planner's serial strategy.
+    Already-constructed engine objects pass through unchanged, so
+    callers can keep handing in configured instances.
     """
     if engine is None or not isinstance(engine, str):
         return engine
     name = engine.lower()
-    if name == "host":
+    if name in ("host", "auto"):
         return None
     if name == "threaded":
         from repro.kernels import ThreadedScan
@@ -116,6 +141,12 @@ def prefix_sum(
     >>> prefix_sum(np.array([1, 10, 1, 10], dtype=np.int32), tuple_size=2).tolist()
     [1, 10, 2, 20]
     """
+    if _wants_planner(engine):
+        from repro.plan import auto_scan
+
+        return auto_scan(
+            values, op=ADD, order=order, tuple_size=tuple_size, inclusive=inclusive
+        )
     engine = resolve_engine(engine)
     if engine is not None:
         return engine.run(
@@ -142,6 +173,12 @@ def scan(
     >>> scan(np.array([3, 1, 4, 1, 5], dtype=np.int32), op="max").tolist()
     [3, 3, 4, 4, 5]
     """
+    if _wants_planner(engine):
+        from repro.plan import auto_scan
+
+        return auto_scan(
+            values, op=op, order=1, tuple_size=tuple_size, inclusive=inclusive
+        )
     engine = resolve_engine(engine)
     if engine is not None:
         return engine.run(
@@ -253,8 +290,39 @@ def scan_file(
     oversubscription guard — see :mod:`repro.kernels.threaded`);
     ``adaptive_chunks`` toggles measured-phase-seconds chunk sizing
     (default: on for sharded jobs, off for single-session jobs).
+
+    With *none* of ``engine``/``shards``/``workers``/``chunk_bytes``/
+    ``threads`` pinned (or ``engine="auto"``), the single-session vs
+    sharded choice, the shard/worker counts, and the slab thread count
+    are made by :mod:`repro.plan` from the file size, dtype, and
+    machine; the decision lands in the result's
+    ``counters.planner_*`` fields and the observed throughput is fed
+    back into the planner's calibration store.  A job resumed from an
+    existing checkpoint keeps the driver family the checkpoint was
+    written by, whatever the planner would pick today.
     """
     from repro import stream
+
+    if _wants_planner(engine) and not any(
+        knob is not None
+        for knob in (shards, workers, chunk_bytes, threads)
+    ):
+        return _scan_file_planned(
+            input_path,
+            output_path,
+            dtype=dtype,
+            op=op,
+            order=order,
+            tuple_size=tuple_size,
+            inclusive=inclusive,
+            checkpoint=checkpoint,
+            checkpoint_every=checkpoint_every,
+            resume=resume,
+            exact=exact,
+            adaptive_chunks=adaptive_chunks,
+        )
+    if _wants_planner(engine):
+        engine = None  # pinned knobs win; "auto" degrades to the host path
 
     if shards is not None and shards > 1:
         kwargs = {}
@@ -300,6 +368,169 @@ def scan_file(
         resume=resume,
         threads=threads,
         **kwargs,
+    )
+
+
+def _scan_file_planned(
+    input_path,
+    output_path,
+    *,
+    dtype,
+    op,
+    order,
+    tuple_size,
+    inclusive,
+    checkpoint,
+    checkpoint_every,
+    resume,
+    exact,
+    adaptive_chunks,
+):
+    """Flag-less :func:`scan_file`: plan the driver, dispatch, feed back.
+
+    Resume pinning: a checkpoint written by a previous run fixes the
+    driver *family* (single-session checkpoint vs per-shard manifest),
+    because the planner's answer may legitimately change between runs
+    — feedback arrives, machines differ — while a half-finished job
+    must finish on the structure that started it.
+    """
+    from repro import stream
+    from repro.plan import plan_file_scan
+
+    if resume and checkpoint is not None and os.path.exists(checkpoint):
+        pinned = _pinned_resume_strategy(checkpoint)
+        if pinned is not None:
+            kind, shard_count = pinned
+            if kind == "sharded":
+                return stream.scan_file_sharded(
+                    input_path, output_path, dtype=dtype, op=op, order=order,
+                    tuple_size=tuple_size, inclusive=inclusive,
+                    shards=shard_count, checkpoint=checkpoint, resume=True,
+                    exact=exact,
+                )
+            kwargs = {}
+            if checkpoint_every is not None:
+                kwargs["checkpoint_every"] = checkpoint_every
+            return stream.scan_file(
+                input_path, output_path, dtype=dtype, op=op, order=order,
+                tuple_size=tuple_size, inclusive=inclusive,
+                checkpoint=checkpoint, resume=True, **kwargs,
+            )
+
+    plan = plan_file_scan(
+        input_path,
+        dtype,
+        op=op,
+        order=order,
+        tuple_size=tuple_size,
+        inclusive=inclusive,
+    )
+    chosen = plan.chosen
+    common = dict(
+        dtype=dtype, op=op, order=order, tuple_size=tuple_size,
+        inclusive=inclusive, checkpoint=checkpoint, resume=resume,
+    )
+    t0 = time.perf_counter()
+    if chosen.strategy == "sharded":
+        kwargs = dict(common)
+        if adaptive_chunks is not None:
+            kwargs["adaptive_chunks"] = adaptive_chunks
+        result = stream.scan_file_sharded(
+            input_path, output_path,
+            shards=chosen.params.get("shards"),
+            workers=chosen.params.get("workers"),
+            exact=exact,
+            **kwargs,
+        )
+    else:
+        kwargs = dict(common)
+        if checkpoint_every is not None:
+            kwargs["checkpoint_every"] = checkpoint_every
+        if adaptive_chunks is not None:
+            kwargs["adaptive_chunks"] = adaptive_chunks
+        if chosen.params.get("chunk_bytes"):
+            kwargs["chunk_bytes"] = chosen.params["chunk_bytes"]
+        result = stream.scan_file(
+            input_path, output_path,
+            threads=(
+                chosen.params.get("threads")
+                if chosen.strategy == "stream_threaded"
+                else None
+            ),
+            **kwargs,
+        )
+    observed = plan.observe(time.perf_counter() - t0)
+    counters = result.counters
+    counters.planner_strategy = chosen.label
+    if plan.cache_hit:
+        counters.planner_cache_hits += 1
+    else:
+        counters.planner_cache_misses += 1
+    if observed:
+        counters.planner_feedback_updates += 1
+    return result
+
+
+def _pinned_resume_strategy(checkpoint):
+    """Which driver family an existing checkpoint file belongs to:
+    ``("stream", None)``, ``("sharded", num_shards)``, or ``None`` when
+    the file is unreadable (the drivers then report the real error)."""
+    import json
+
+    from repro.stream.checkpoint import CHECKPOINT_KIND, MANIFEST_KIND
+
+    try:
+        with open(checkpoint, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+        kind = payload.get("kind") if isinstance(payload, dict) else None
+        if kind == MANIFEST_KIND:
+            return ("sharded", max(2, len(payload.get("shards", [])) or 2))
+        if kind == CHECKPOINT_KIND:
+            return ("stream", None)
+    except (OSError, ValueError):
+        pass
+    return None
+
+
+def explain(
+    values=None,
+    *,
+    input_path=None,
+    dtype=None,
+    op="add",
+    order: int = 1,
+    tuple_size: int = 1,
+    inclusive: bool = True,
+):
+    """The planner's candidate table for a workload, without running it.
+
+    Describe the workload by example (``values`` — an array), or by
+    file (``input_path`` + ``dtype``).  Returns the
+    :class:`repro.plan.Plan`; printing it shows every candidate
+    strategy, its predicted cost, whether the prediction came from
+    measured calibration or the analytic model, and why the winner won
+    (the CLI form is ``python -m repro scan --explain``).
+
+    >>> import numpy as np
+    >>> plan = explain(np.ones(4, dtype=np.int64))
+    >>> plan.chosen.strategy
+    'serial'
+    """
+    from repro.plan import explain_scan, plan_file_scan
+
+    if values is not None:
+        return explain_scan(
+            values, op=op, order=order, tuple_size=tuple_size, inclusive=inclusive
+        )
+    if input_path is None:
+        raise ValueError("explain needs either values or input_path (+ dtype)")
+    return plan_file_scan(
+        input_path,
+        dtype if dtype is not None else "int32",
+        op=op,
+        order=order,
+        tuple_size=tuple_size,
+        inclusive=inclusive,
     )
 
 

@@ -59,9 +59,10 @@ def radix_sort_with_indices(keys) -> Tuple[np.ndarray, np.ndarray]:
     work = unsigned.astype(np.uint64)
     for p in range(passes):
         shift = p * DIGIT_BITS
-        digits = ((work >> np.uint64(shift)) & np.uint64(RADIX - 1)).astype(np.int64)
-        if p > 0 and not digits.any():
-            break  # all remaining digits zero: already fully sorted
+        remaining = work >> np.uint64(shift)
+        if p > 0 and not remaining.any():
+            break  # all remaining (not just this pass's) digits zero
+        digits = (remaining & np.uint64(RADIX - 1)).astype(np.int64)
         # Histogram + exclusive prefix sum = bucket base offsets.
         counts = np.bincount(digits, minlength=RADIX).astype(np.int64)
         bases = host_scan(counts, inclusive=False)

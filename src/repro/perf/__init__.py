@@ -30,6 +30,7 @@ from repro.perf.model import (
     ALGORITHMS,
     PerformanceModel,
     UnsupportedProblem,
+    ramp,
 )
 
 __all__ = [
@@ -39,4 +40,5 @@ __all__ = [
     "GpuCalibration",
     "PerformanceModel",
     "UnsupportedProblem",
+    "ramp",
 ]

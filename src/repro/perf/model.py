@@ -67,6 +67,21 @@ def _interp_anchor(anchors: Dict[int, float], x: int, fallback: float) -> float:
     return float(np.interp(x, keys, values))
 
 
+def ramp(n: float, nh: float, p: float = 1.0) -> float:
+    """The occupancy ramp term ``1 + (nh / n)^p``.
+
+    At ``n = nh`` the device runs at half its asymptotic rate; below it
+    fixed costs dominate.  Exposed as a standalone function because the
+    same shape governs the host-side engines — thread-dispatch and
+    shard-splice overheads amortize over problem size exactly like
+    kernel-launch overhead does — and :mod:`repro.plan.cost` reuses it
+    as the small-problem penalty of every parallel strategy.
+    """
+    if n <= 0:
+        return float("inf")
+    return 1.0 + (nh / n) ** p
+
+
 class PerformanceModel:
     """Predict kernel runtime and throughput for the paper's workloads."""
 
@@ -100,7 +115,7 @@ class PerformanceModel:
 
     @staticmethod
     def _ramp(n: int, nh: float, p: float) -> float:
-        return 1.0 + (nh / n) ** p
+        return ramp(n, nh, p)
 
     def time_seconds(
         self,

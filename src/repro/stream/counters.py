@@ -44,6 +44,15 @@ class StreamCounters:
     ``chunk_resizes`` (adaptive chunk-sizing adjustments), and the
     ``seconds_splice`` / ``seconds_fold`` phases.  Per-shard counters
     are combined with :meth:`aggregate`.
+
+    The ``planner_*`` fields make :mod:`repro.plan` decisions auditable
+    wherever counters already flow (benchmarks, the serve STATS verb):
+    ``planner_strategy`` is the chosen candidate's label (e.g.
+    ``"sharded:4"``; empty when the caller pinned the configuration by
+    hand), ``planner_cache_hits`` / ``planner_cache_misses`` say
+    whether the decision was priced from measured calibration or the
+    analytic model alone, and ``planner_feedback_updates`` counts
+    observed runtimes folded back into the calibration store.
     """
 
     chunks: int = 0
@@ -59,7 +68,11 @@ class StreamCounters:
     primed_shards: int = 0
     folded_shards: int = 0
     chunk_resizes: int = 0
+    planner_cache_hits: int = 0
+    planner_cache_misses: int = 0
+    planner_feedback_updates: int = 0
     engine_used: str = "host"
+    planner_strategy: str = ""
     seconds_read: float = 0.0
     seconds_scan: float = 0.0
     seconds_write: float = 0.0
@@ -115,18 +128,25 @@ class StreamCounters:
         """
         total = cls()
         labels = set()
+        strategies = set()
         for part in parts:
             for spec in fields(cls):
                 value = getattr(part, spec.name)
                 if isinstance(value, (int, float)) and not isinstance(value, bool):
                     setattr(total, spec.name, getattr(total, spec.name) + value)
             labels.add(part.engine_used)
+            if part.planner_strategy:
+                strategies.add(part.planner_strategy)
         if engine_used is not None:
             total.engine_used = engine_used
         elif len(labels) == 1:
             total.engine_used = labels.pop()
         elif labels:
             total.engine_used = "mixed"
+        if len(strategies) == 1:
+            total.planner_strategy = strategies.pop()
+        elif strategies:
+            total.planner_strategy = "mixed"
         return total
 
     def __str__(self) -> str:

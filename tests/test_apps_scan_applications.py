@@ -123,6 +123,15 @@ class TestRadixSort:
         sorted_keys, perm = radix_sort_with_indices(keys)
         assert np.array_equal(keys[perm], sorted_keys)
 
+    def test_zero_middle_byte_does_not_end_the_sort_early(self):
+        # Regression: a pass whose digits are all zero must not end the
+        # sort while *higher* bytes still differ (-65281 = 0x...FF00FF
+        # has a zero byte 1, but bytes 2-3 still order the keys).
+        keys = np.array([0, -65281], dtype=np.int32)
+        assert np.array_equal(radix_sort(keys), np.sort(keys))
+        keys = np.array([1 << 24, 255, 0, -(1 << 24)], dtype=np.int32)
+        assert np.array_equal(radix_sort(keys), np.sort(keys))
+
     def test_stability(self):
         # Keys with ties: the permutation must preserve input order.
         keys = np.array([3, 1, 3, 1, 3], dtype=np.int32)

@@ -45,6 +45,13 @@ def _row_key(row: dict) -> tuple:
     key = (row["tuple_size"], row["order"], row["dtype"], row["op"])
     if "threads" in row:
         key += (row["threads"],)
+    # Sweeps that vary problem size or data placement within one file
+    # (e.g. the planner benchmark) carry these on every row; families
+    # that do not are unaffected.
+    if "n" in row:
+        key += (row["n"],)
+    if "source" in row:
+        key += (row["source"],)
     return key
 
 
@@ -76,12 +83,13 @@ def gate(baseline: dict, candidate: dict, max_regression: float) -> int:
         f"{'baseline':>9} {'candidate':>9} {'floor':>7}  verdict"
     )
     for key in shared:
-        base = base_rows[key]["speedup"]
+        row = base_rows[key]
+        base = row["speedup"]
         cand = cand_rows[key]["speedup"]
         floor = base * (1.0 - max_regression)
         ok = cand >= floor
         s, q, dtype, op = key[:4]
-        threads = key[4] if len(key) > 4 else "-"
+        threads = row.get("threads", "-")
         print(
             f"{s:>10} {q:>5} {dtype:>6} {op:>4} {threads:>4} "
             f"{base:>8.2f}x {cand:>8.2f}x {floor:>6.2f}x  "

@@ -34,8 +34,12 @@ from repro.reference import prefix_sum_serial
 ENGINES = (
     "sam", "sam_chained", "lookback", "reduce_scan", "three_phase",
     "streamscan", "parallel", "parallel_chained", "stream", "sharded",
-    "threaded",
+    "threaded", "plan",
 )
+
+#: Strategies the "plan" kind forces through the planner's dispatcher
+#: (None = let the planner choose, which is itself a dispatch arm).
+PLAN_FORCES = (None, "serial", "threaded:2", "threaded:3", "parallel:2")
 OPERATORS = ("add", "max", "min", "xor", "and", "or")
 DTYPES = (np.int32, np.int64, np.uint32, np.uint64)
 POLICIES = ("round_robin", "reversed", "rotating", "random")
@@ -76,6 +80,10 @@ def random_config(rng, engines=ENGINES):
         # deliberately including heavy oversubscription (determinism is
         # part of the contract, not just agreement).
         "slab_threads": int(rng.choice([1, 2, 3, 4, 8])),
+        # Only the "plan" kind reads this: which candidate to force
+        # through the planner's dispatcher (None = the planner's own
+        # pick), so every execute_plan arm gets differential coverage.
+        "plan_force": PLAN_FORCES[int(rng.integers(0, len(PLAN_FORCES)))],
     }
     return config
 
@@ -159,6 +167,31 @@ class ShardedFileScan:
         return result
 
 
+class PlannedScan:
+    """Adapter: routes a scan through the execution planner
+    (:func:`repro.plan.auto_scan`) — flag-less, letting the planner
+    choose, or with a forced candidate label so every dispatch arm
+    (serial kernel, threaded slabs, process pool) is differentially
+    checked against the oracle regardless of what this machine's cost
+    model would pick on its own."""
+
+    def __init__(self, force):
+        self.force = force
+
+    def run(self, values, order=1, tuple_size=1, op="add", inclusive=True):
+        from repro.plan import auto_scan
+
+        class Result:
+            pass
+
+        result = Result()
+        result.values = auto_scan(
+            np.asarray(values), op=op, order=order,
+            tuple_size=tuple_size, inclusive=inclusive, force=self.force,
+        )
+        return result
+
+
 def build_engine(config):
     kw = dict(
         threads_per_block=config["threads_per_block"],
@@ -186,6 +219,8 @@ def build_engine(config):
         # cutover_bytes=0 forces the slab-parallel path even at fuzz
         # sizes; without it every config would take the serial fallback.
         return ThreadedScan(threads=config["slab_threads"], cutover_bytes=0)
+    if kind == "plan":
+        return PlannedScan(force=config["plan_force"])
     if kind == "sharded":
         return ShardedFileScan(
             shards=config["shards"],
