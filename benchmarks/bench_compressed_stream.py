@@ -1,0 +1,198 @@
+#!/usr/bin/env python
+"""Benchmark: scanning a blocked compressed container vs raw bytes.
+
+Streams the same logical values through ``scan_file`` twice — once
+from a raw binary file, once from a blocked ``.samb`` container with
+the decode fused into the chunk loop — across several signal shapes
+(and so compression ratios).  Writes
+``benchmarks/results/BENCH_compressed.json`` with per-row raw and
+compressed wall-clock, the achieved compression ratio, and the fused
+pipeline's own phase counters (decode seconds vs read seconds), so
+the compressed-input trade is measured rather than assumed.
+
+Honesty note: compressed input wins only when the scan is IO-bound —
+the decode must cost less than the disk bytes it saves.  On a runner
+whose working set fits the page cache, "IO" is a memcpy and raw input
+wins; the result file then carries ``target.achievable_here: false``
+so the CI gate treats these rows as informational rather than a
+regression floor.  The per-row ``speedup`` (compressed vs raw
+throughput, within one run on one machine) is still recorded for
+relative tracking.
+
+Usage:
+    python benchmarks/bench_compressed_stream.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import platform
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.compression import BlockedDeltaCodec  # noqa: E402
+from repro.stream import scan_file  # noqa: E402
+
+RESULTS = (
+    pathlib.Path(__file__).resolve().parent / "results" / "BENCH_compressed.json"
+)
+
+N_ELEMENTS = 1 << 22          # 32 MiB of int64
+ORDER = 1
+CHUNK_BYTES = 1 << 22
+BLOCK_ELEMENTS = 1 << 16
+REPEATS = 3
+
+#: Signal shapes spanning the compression-ratio axis: step size of the
+#: random walk controls residual entropy, "noise" is incompressible.
+SIGNALS = (
+    ("walk-tiny", 3),       # ~1-byte varints -> ratio ~8x
+    ("walk-medium", 2000),  # ~2-byte varints -> ratio ~4x
+    ("walk-wide", 10**7),   # ~4-byte varints -> ratio ~2x
+    ("noise", None),        # full-width residuals -> ratio ~1x
+)
+
+
+def _make_values(name: str, step, n: int) -> np.ndarray:
+    rng = np.random.default_rng(42)
+    if step is None:
+        return rng.integers(-(2**62), 2**62, n, dtype=np.int64)
+    return np.cumsum(rng.integers(-step, step + 1, n)).astype(np.int64)
+
+
+def _time(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run_sweep(n, repeats, workdir: pathlib.Path) -> dict:
+    rows = []
+    decode_rate = None
+    read_rate = None
+    for name, step in SIGNALS:
+        values = _make_values(name, step, n)
+        raw = workdir / f"{name}.bin"
+        values.tofile(raw)
+        blob = BlockedDeltaCodec(block_elements=BLOCK_ELEMENTS).compress(values)
+        samb = workdir / f"{name}.samb"
+        samb.write_bytes(blob.data)
+        ratio = values.nbytes / len(blob.data)
+
+        out = workdir / "out.bin"
+        raw_kwargs = dict(dtype="int64", order=ORDER, chunk_bytes=CHUNK_BYTES)
+        scan_file(raw, out, **raw_kwargs)  # warm page cache
+        raw_seconds = _time(lambda: scan_file(raw, out, **raw_kwargs), repeats)
+
+        result = scan_file(samb, out, order=ORDER, chunk_bytes=CHUNK_BYTES)
+        compressed_seconds = _time(
+            lambda: scan_file(samb, out, order=ORDER, chunk_bytes=CHUNK_BYTES),
+            repeats,
+        )
+        c = result.counters
+        if c.seconds_decode > 0:
+            decode_rate = values.nbytes / c.seconds_decode
+        if c.seconds_read > 0:
+            read_rate = values.nbytes / max(c.seconds_read, 1e-9)
+        # No per-row "n": it is constant (top-level) and would keep
+        # --quick candidates from ever matching the committed grid in
+        # the bench gate's row keys.
+        rows.append({
+            "source": name,
+            "order": ORDER,
+            "tuple_size": 1,
+            "dtype": "int64",
+            "op": "add",
+            "compression_ratio": ratio,
+            "raw_seconds": raw_seconds,
+            "compressed_seconds": compressed_seconds,
+            "speedup": raw_seconds / compressed_seconds,
+            "raw_items_per_s": n / raw_seconds,
+            "compressed_items_per_s": n / compressed_seconds,
+            "seconds_decode": c.seconds_decode,
+            "seconds_read": c.seconds_read,
+            "compressed_bytes_in": c.compressed_bytes_in,
+        })
+        print(
+            f"{name:12s} ratio {ratio:5.2f}x  raw {raw_seconds*1e3:8.2f} ms  "
+            f"compressed {compressed_seconds*1e3:8.2f} ms  "
+            f"({rows[-1]['speedup']:.2f}x raw)"
+        )
+
+    # The compressed-input win requires the decode to be cheaper than
+    # the IO it saves.  Compare the run's own measured rates: when raw
+    # bytes arrive faster than blocks decode (page-cached runner, NVMe
+    # faster than one decode core), the advantage is not expressible
+    # here and the committed numbers must not become a CI floor.
+    io_bound = (
+        decode_rate is not None
+        and read_rate is not None
+        and read_rate < decode_rate
+    )
+    best = max(rows, key=lambda r: r["speedup"])
+    achieved = best["speedup"] >= 1.2 and best["compression_ratio"] >= 2.0
+    return {
+        "benchmark": "compressed_stream_vs_raw",
+        "n": n,
+        "order": ORDER,
+        "op": "add",
+        "dtype": "int64",
+        "repeats": repeats,
+        "block_elements": BLOCK_ELEMENTS,
+        "chunk_bytes": CHUNK_BYTES,
+        "hardware": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "target": {
+            "description": (
+                "compressed-input throughput >= 1.2x raw at compression "
+                "ratio >= 2x (holds only on IO-bound runners)"
+            ),
+            "achieved": bool(achieved),
+            "achievable_here": bool(io_bound),
+            "measured_read_bytes_per_s": read_rate,
+            "measured_decode_bytes_per_s": decode_rate,
+        },
+        "note": (
+            "speedup is compressed-input vs raw-input scan_file within "
+            "one run; >1 only when the runner is IO-bound (decode "
+            "cheaper than the disk bytes it saves) — see target"
+        ),
+        "rows": rows,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller sweep (for CI smoke)")
+    parser.add_argument("--output", type=pathlib.Path, default=RESULTS,
+                        help="result JSON path (default: committed location)")
+    args = parser.parse_args(argv)
+    n = N_ELEMENTS // 8 if args.quick else N_ELEMENTS
+    repeats = 2 if args.quick else REPEATS
+
+    with tempfile.TemporaryDirectory(prefix="bench_compressed_") as td:
+        payload = run_sweep(n, repeats, pathlib.Path(td))
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,12 +20,18 @@ Commands
     contiguous shards scanned concurrently and spliced, with a
     per-shard manifest at ``--checkpoint`` so ``--resume`` re-runs
     only unfinished shards (``--workers`` then also caps concurrent
-    shard tasks).
+    shard tasks).  Compressed containers fuse into the pipeline:
+    ``--input-format blocked`` (or auto-sniffing) decodes a ``.samb``
+    container chunk by chunk, and ``--output-format blocked`` re-encodes
+    the scanned stream on the way out.
 ``compress <in> <out>``
     Delta-compress a raw binary file of integers (``--dtype``,
     ``--order`` auto-selected when omitted, ``--tuple-size``).
+    ``--blocked`` streams through the incremental block writer in
+    constant memory and emits a ``.samb`` container.
 ``decompress <in> <out>``
-    Invert ``compress`` (the decode *is* the generalized prefix sum).
+    Invert ``compress`` (the decode *is* the generalized prefix sum);
+    blocked containers are sniffed and decoded block at a time.
 ``serve``
     Run the async scan service: named sessions fed by many concurrent
     clients over TCP (``--host``/``--port``) or a unix socket
@@ -171,6 +177,7 @@ def _cmd_stream_planned(args) -> int:
             checkpoint=args.checkpoint,
             checkpoint_every=args.checkpoint_every,
             resume=args.resume,
+            input_format=args.input_format,
         )
     except StreamError as exc:
         print(f"stream failed: {exc}", file=_sys.stderr)
@@ -195,7 +202,26 @@ def _cmd_stream_planned(args) -> int:
         f"write {c.seconds_write:.3f}s  checkpoint {c.seconds_checkpoint:.3f}s  "
         f"splice {c.seconds_splice:.3f}s  fold {c.seconds_fold:.3f}s"
     )
+    _print_compression(c)
     return 0
+
+
+def _print_compression(c) -> None:
+    """One extra status line when either side of the job was compressed."""
+    if not (c.compressed_bytes_in or c.compressed_bytes_out):
+        return
+    parts = []
+    if c.compressed_bytes_in:
+        parts.append(
+            f"in {c.compressed_bytes_in:,} B "
+            f"({c.compression_ratio_in():.2f}x, decode {c.seconds_decode:.3f}s)"
+        )
+    if c.compressed_bytes_out:
+        parts.append(
+            f"out {c.compressed_bytes_out:,} B "
+            f"({c.compression_ratio_out():.2f}x, encode {c.seconds_encode:.3f}s)"
+        )
+    print(f"  compressed: {'  '.join(parts)}")
 
 
 def _cmd_stream(args) -> int:
@@ -205,6 +231,13 @@ def _cmd_stream(args) -> int:
 
     if args.explain:
         return _cmd_explain(args)
+    if args.output_format == "blocked" and args.shards and args.shards > 1:
+        print(
+            "blocked output is single-session only (the sharded fold "
+            "rewrites output in place); drop --shards or --output-format",
+            file=_sys.stderr,
+        )
+        return 2
     if (
         args.engine == "auto"
         and not args.shards
@@ -214,11 +247,15 @@ def _cmd_stream(args) -> int:
         and not args.adaptive_chunks
         and args.fail_after_chunks is None
         and args.fail_after_shards is None
+        and args.output_format == "raw"
     ):
         return _cmd_stream_planned(args)
     if args.shards and args.shards > 1:
         return _cmd_stream_sharded(args)
     engine = _resolve_cli_engine(args.engine, args.workers, args.threads)
+    out_kwargs = {}
+    if args.output_block_elements is not None:
+        out_kwargs["output_block_elements"] = args.output_block_elements
     try:
         result = scan_file(
             args.input,
@@ -236,6 +273,9 @@ def _cmd_stream(args) -> int:
             threads=args.threads or None,
             adaptive_chunks=args.adaptive_chunks,
             fail_after_chunks=args.fail_after_chunks,
+            input_format=args.input_format,
+            output_format=args.output_format,
+            **out_kwargs,
         )
     except StreamError as exc:
         print(f"stream failed: {exc}", file=_sys.stderr)
@@ -261,6 +301,7 @@ def _cmd_stream(args) -> int:
         f"write {c.seconds_write:.3f}s  checkpoint {c.seconds_checkpoint:.3f}s  "
         f"({c.checkpoint_writes} checkpoint writes)"
     )
+    _print_compression(c)
     return 0
 
 
@@ -286,6 +327,7 @@ def _cmd_stream_sharded(args) -> int:
             checkpoint=args.checkpoint,
             resume=args.resume,
             threads=args.threads or None,
+            input_format=args.input_format,
             fail_after_shards=args.fail_after_shards,
         )
     except StreamError as exc:
@@ -319,6 +361,7 @@ def _cmd_stream_sharded(args) -> int:
         f"write {c.seconds_write:.3f}s  splice {c.seconds_splice:.3f}s  "
         f"fold {c.seconds_fold:.3f}s  checkpoint {c.seconds_checkpoint:.3f}s"
     )
+    _print_compression(c)
     return 0
 
 
@@ -444,11 +487,58 @@ def _cmd_feed(args) -> int:
 
 
 def _cmd_compress(args) -> int:
+    import os
+
+    dtype = np.dtype(args.dtype)
+    order = None if args.order == 0 else args.order
+    if args.blocked:
+        # Streaming path: memory-map the input and feed block-sized
+        # chunks through the incremental writer — peak memory is a few
+        # blocks, whatever the file size.
+        from repro.compression.stream import BlockedStreamWriter
+
+        nbytes = os.path.getsize(args.input)
+        if nbytes % dtype.itemsize:
+            print(
+                f"{args.input} is {nbytes} bytes, not a multiple of "
+                f"{dtype.name}'s {dtype.itemsize}-byte item size",
+                file=sys.stderr,
+            )
+            return 2
+        count = nbytes // dtype.itemsize
+        source = (
+            np.memmap(args.input, dtype=dtype, mode="r")
+            if count
+            else np.zeros(0, dtype=dtype)
+        )
+        with BlockedStreamWriter(
+            args.output, dtype=dtype, total_count=count,
+            tuple_size=args.tuple_size, block_elements=args.block_elements,
+            order=order,
+        ) as writer:
+            step = max(
+                writer.block_elements,
+                ((4 << 20) // dtype.itemsize // writer.block_elements)
+                * writer.block_elements,
+            )
+            pos = 0
+            while pos < count:
+                take = min(step, count - pos)
+                writer.feed(np.array(source[pos : pos + take], copy=True))
+                pos += take
+        out_bytes = os.path.getsize(args.output)
+        print(
+            f"{args.input}: {nbytes:,} bytes -> {out_bytes:,} bytes "
+            f"(ratio {nbytes / max(1, out_bytes):.2f}x, blocked "
+            f"{writer.block_elements} elements/block, "
+            f"tuple size {args.tuple_size})"
+        )
+        return 0
+
     from repro.compression import DeltaCodec
 
-    values = np.fromfile(args.input, dtype=np.dtype(args.dtype))
+    values = np.fromfile(args.input, dtype=dtype)
     codec = DeltaCodec()
-    order = None if args.order == 0 else args.order
     blob = codec.compress(values, order=order, tuple_size=args.tuple_size)
     with open(args.output, "wb") as fh:
         fh.write(blob.data)
@@ -461,6 +551,23 @@ def _cmd_compress(args) -> int:
 
 
 def _cmd_decompress(args) -> int:
+    from repro.compression.stream import BlockedFileReader, is_blocked_file
+
+    if is_blocked_file(args.input):
+        # Blocked containers decode block-at-a-time: peak memory is one
+        # block, whatever the container size.
+        with BlockedFileReader(args.input) as reader, \
+                open(args.output, "wb") as fh:
+            for block in range(reader.num_blocks):
+                values = np.ascontiguousarray(reader.read_block(block))
+                fh.write(memoryview(values).cast("B"))
+            count, dtype, ratio = reader.count, reader.dtype, reader.ratio()
+        print(
+            f"{args.input}: decoded {count:,} x {dtype} "
+            f"(blocked, ratio {ratio:.2f}x) -> {args.output}"
+        )
+        return 0
+
     from repro.compression import DeltaCodec
 
     with open(args.input, "rb") as fh:
@@ -602,6 +709,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="resize chunks from measured per-chunk seconds "
                         "(single-session driver; sharded jobs adapt by "
                         "default)")
+    p.add_argument("--input-format", default="auto",
+                   choices=["auto", "raw", "blocked"],
+                   help="input container: auto (default, sniffs the "
+                        "blocked magic), raw bytes, or a blocked .samb "
+                        "container (dtype/count come from its header)")
+    p.add_argument("--output-format", default="raw",
+                   choices=["raw", "blocked"],
+                   help="write the scanned stream raw (default) or as a "
+                        "blocked .samb container (single-session only)")
+    p.add_argument("--output-block-elements", type=int, default=None,
+                   metavar="N",
+                   help="elements per block of a blocked output container")
     p.add_argument("--fail-after-chunks", type=int, default=None,
                    help=argparse.SUPPRESS)  # test hook: simulate a crash
     p.add_argument("--fail-after-shards", type=int, default=None,
@@ -671,6 +790,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dtype", default="int32", choices=["int32", "int64"])
     p.add_argument("--order", type=int, default=0, help="0 = auto-select")
     p.add_argument("--tuple-size", type=int, default=1)
+    p.add_argument("--blocked", action="store_true",
+                   help="write a blocked .samb container via the "
+                        "streaming writer (constant memory; the output "
+                        "feeds 'stream --input-format blocked' directly)")
+    p.add_argument("--block-elements", type=int, default=65536, metavar="N",
+                   help="elements per block with --blocked (default 65536)")
     p.set_defaults(fn=_cmd_compress)
 
     p = sub.add_parser("decompress", help="invert compress")

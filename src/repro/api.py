@@ -266,8 +266,12 @@ def scan_file(
     exact: bool = True,
     threads=None,
     adaptive_chunks: bool = None,
+    input_format: str = "auto",
+    output_format: str = "raw",
+    output_block_elements: int = None,
+    output_codec_order: int = None,
 ):
-    """Scan a raw binary file out of core (see :mod:`repro.stream`).
+    """Scan a binary file out of core (see :mod:`repro.stream`).
 
     Memory-maps ``input_path``, pipelines double-buffered chunks of
     ``chunk_bytes`` through a session on ``engine``, and writes the
@@ -291,6 +295,15 @@ def scan_file(
     ``adaptive_chunks`` toggles measured-phase-seconds chunk sizing
     (default: on for sharded jobs, off for single-session jobs).
 
+    ``input_format`` / ``output_format`` fuse compression into the
+    pipeline: ``input_format="auto"`` (the default) sniffs blocked
+    ``.samb`` containers — their dtype and count come from the
+    container header — and ``output_format="blocked"`` writes the
+    scanned stream back out compressed (single-session driver only;
+    the sharded fold rewrites output in place, so ``shards > 1`` with
+    blocked output is an error).  ``output_block_elements`` /
+    ``output_codec_order`` tune the written container.
+
     With *none* of ``engine``/``shards``/``workers``/``chunk_bytes``/
     ``threads`` pinned (or ``engine="auto"``), the single-session vs
     sharded choice, the shard/worker counts, and the slab thread count
@@ -303,9 +316,30 @@ def scan_file(
     """
     from repro import stream
 
-    if _wants_planner(engine) and not any(
-        knob is not None
-        for knob in (shards, workers, chunk_bytes, threads)
+    if output_format not in ("raw", "blocked"):
+        raise ValueError(
+            f"output_format must be 'raw' or 'blocked', got {output_format!r}"
+        )
+    if output_format == "blocked" and shards is not None and shards > 1:
+        raise ValueError(
+            "blocked output is a single-session feature: the sharded fold "
+            "rewrites the output in place, which a compressed container "
+            "cannot support (drop shards= or output_format='blocked')"
+        )
+    format_kwargs = {"input_format": input_format}
+    out_kwargs = dict(format_kwargs, output_format=output_format)
+    if output_block_elements is not None:
+        out_kwargs["output_block_elements"] = output_block_elements
+    if output_codec_order is not None:
+        out_kwargs["output_codec_order"] = output_codec_order
+
+    if (
+        _wants_planner(engine)
+        and output_format == "raw"
+        and not any(
+            knob is not None
+            for knob in (shards, workers, chunk_bytes, threads)
+        )
     ):
         return _scan_file_planned(
             input_path,
@@ -320,6 +354,7 @@ def scan_file(
             resume=resume,
             exact=exact,
             adaptive_chunks=adaptive_chunks,
+            input_format=input_format,
         )
     if _wants_planner(engine):
         engine = None  # pinned knobs win; "auto" degrades to the host path
@@ -345,6 +380,7 @@ def scan_file(
             resume=resume,
             exact=exact,
             threads=threads,
+            **format_kwargs,
             **kwargs,
         )
 
@@ -367,6 +403,7 @@ def scan_file(
         checkpoint=checkpoint,
         resume=resume,
         threads=threads,
+        **out_kwargs,
         **kwargs,
     )
 
@@ -385,6 +422,7 @@ def _scan_file_planned(
     resume,
     exact,
     adaptive_chunks,
+    input_format="auto",
 ):
     """Flag-less :func:`scan_file`: plan the driver, dispatch, feed back.
 
@@ -406,7 +444,7 @@ def _scan_file_planned(
                     input_path, output_path, dtype=dtype, op=op, order=order,
                     tuple_size=tuple_size, inclusive=inclusive,
                     shards=shard_count, checkpoint=checkpoint, resume=True,
-                    exact=exact,
+                    exact=exact, input_format=input_format,
                 )
             kwargs = {}
             if checkpoint_every is not None:
@@ -414,7 +452,8 @@ def _scan_file_planned(
             return stream.scan_file(
                 input_path, output_path, dtype=dtype, op=op, order=order,
                 tuple_size=tuple_size, inclusive=inclusive,
-                checkpoint=checkpoint, resume=True, **kwargs,
+                checkpoint=checkpoint, resume=True,
+                input_format=input_format, **kwargs,
             )
 
     plan = plan_file_scan(
@@ -424,11 +463,13 @@ def _scan_file_planned(
         order=order,
         tuple_size=tuple_size,
         inclusive=inclusive,
+        input_format=input_format,
     )
     chosen = plan.chosen
     common = dict(
         dtype=dtype, op=op, order=order, tuple_size=tuple_size,
         inclusive=inclusive, checkpoint=checkpoint, resume=resume,
+        input_format=input_format,
     )
     t0 = time.perf_counter()
     if chosen.strategy == "sharded":

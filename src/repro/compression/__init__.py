@@ -16,6 +16,13 @@ This package provides the full pipeline:
   auto-selection, and a pluggable decode engine so the parallel
   decoder (SAM on the simulator, or the fast host engine) can be
   swapped in for the serial one.
+* :mod:`repro.compression.blocked` — the blocked container (per-block
+  random access; block offsets are an exclusive prefix sum over the
+  index) with CRC-checked integrity.
+* :mod:`repro.compression.stream` — out-of-core access to blocked
+  containers: :class:`BlockedFileReader` (range decode straight off
+  disk) and :class:`BlockedStreamWriter` (incremental, resumable
+  writes), which is what the stream drivers fuse their scans with.
 """
 
 from repro.compression.blocked import BlockedBlob, BlockedDeltaCodec
@@ -24,6 +31,13 @@ from repro.compression.codec import (
     CompressedBlob,
     DeltaCodec,
     choose_model,
+)
+from repro.compression.stream import (
+    BlockedFileReader,
+    BlockedIndex,
+    BlockedStreamWriter,
+    is_blocked_file,
+    read_index,
 )
 from repro.compression.zigzag import (
     varint_decode,
@@ -35,10 +49,15 @@ from repro.compression.zigzag import (
 __all__ = [
     "BlockedBlob",
     "BlockedDeltaCodec",
+    "BlockedFileReader",
+    "BlockedIndex",
+    "BlockedStreamWriter",
     "CodecError",
     "CompressedBlob",
     "DeltaCodec",
     "choose_model",
+    "is_blocked_file",
+    "read_index",
     "varint_decode",
     "varint_encode",
     "zigzag_decode",

@@ -6,11 +6,11 @@ whole residual stream before the prefix sum can run.  Real deployments
 opposite: many independently-decodable blocks so that thousands of
 threads can decompress concurrently and applications can seek.
 
-Layout::
+Layout (version 2)::
 
     header:  magic "SAMB" | version | dtype | tuple_size | block_elements
-             | total count | num_blocks
-    index:   num_blocks x (payload_bytes, order)      -- fixed width
+             | total count | num_blocks | index CRC32 | header CRC32
+    index:   num_blocks x (payload_bytes, order, payload CRC32)
     blocks:  concatenated single-block payloads (zigzag+varint residuals)
 
 Each block's delta model restarts (its first lane values are encoded
@@ -18,14 +18,23 @@ against zero), so any block can be decoded knowing only the header and
 its payload — block byte offsets are, fittingly, an exclusive prefix
 sum over the index's payload sizes.  Per-block orders are auto-selected
 independently, which also adapts to signals whose character changes
-over time.
+over time.  Every container byte is covered by exactly one CRC32
+(header, index, or one block payload), so corruption — down to a single
+flipped bit — raises :class:`CodecError` instead of decoding to wrong
+values.
+
+The module-level ``pack_*`` / ``parse_*`` / ``encode_block`` /
+``decode_block_payload`` helpers are shared with the streaming
+reader/writer (:mod:`repro.compression.stream`), which processes the
+same format without materializing whole containers in memory.
 """
 
 from __future__ import annotations
 
 import struct
+import zlib
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -39,13 +48,150 @@ from repro.compression.zigzag import (
 from repro.core.host import host_delta_encode, host_prefix_sum
 
 MAGIC = b"SAMB"
-VERSION = 1
+#: v2 appends CRC32 checksums: per-payload in the index, plus index and
+#: header checksums in the header.
+VERSION = 2
 
 _DTYPE_CODES = {np.dtype(np.int32): 1, np.dtype(np.int64): 2}
 _CODE_DTYPES = {code: dtype for dtype, code in _DTYPE_CODES.items()}
 
-_HEADER = struct.Struct("<4sBBBxIqI")
-_INDEX_ENTRY = struct.Struct("<IB3x")
+_HEADER = struct.Struct("<4sBBBxIqIII")
+_INDEX_ENTRY = struct.Struct("<IB3xI")
+
+HEADER_BYTES = _HEADER.size
+INDEX_ENTRY_BYTES = _INDEX_ENTRY.size
+
+
+def align_block_elements(block_elements: int, tuple_size: int) -> int:
+    """Block boundaries must be tuple-aligned so every block's lane
+    phase starts at lane 0 and decodes independently."""
+    aligned = block_elements - block_elements % tuple_size
+    return max(tuple_size, aligned)
+
+
+def pack_header(dtype, tuple_size: int, block_elements: int, count: int,
+                num_blocks: int, index_crc: int) -> bytes:
+    """Pack a v2 blocked header, computing the trailing header CRC."""
+    base = _HEADER.pack(
+        MAGIC, VERSION, _DTYPE_CODES[np.dtype(dtype)], tuple_size,
+        block_elements, count, num_blocks, index_crc, 0,
+    )
+    body = base[:-4]
+    return body + struct.pack("<I", zlib.crc32(body))
+
+
+def pack_index_entry(payload_len: int, order: int, payload_crc: int) -> bytes:
+    return _INDEX_ENTRY.pack(payload_len, order, payload_crc)
+
+
+def parse_header_bytes(data: bytes) -> dict:
+    """Validate the fixed-size header; returns its fields as a dict."""
+    if len(data) >= 4 and bytes(data[:4]) != MAGIC:
+        raise CodecError(f"bad magic {bytes(data[:4])!r}")
+    if len(data) < _HEADER.size:
+        raise CodecError("buffer shorter than the container header")
+    (
+        magic, version, dtype_code, tuple_size, block_elements, count,
+        num_blocks, index_crc, header_crc,
+    ) = _HEADER.unpack(data[: _HEADER.size])
+    if magic != MAGIC:
+        raise CodecError(f"bad magic {magic!r}")
+    if version != VERSION:
+        raise CodecError(f"unsupported version {version}")
+    if zlib.crc32(bytes(data[: _HEADER.size - 4])) != header_crc:
+        raise CodecError("header checksum mismatch (corrupt container)")
+    if dtype_code not in _CODE_DTYPES:
+        raise CodecError(f"unknown dtype code {dtype_code}")
+    if tuple_size < 1 or block_elements < 1:
+        raise CodecError("corrupt header fields")
+    if count < 0:
+        raise CodecError(f"negative element count {count}")
+    expected_blocks = -(-count // block_elements) if count else 0
+    if num_blocks != expected_blocks:
+        raise CodecError(
+            f"block count {num_blocks} inconsistent with {count} elements"
+        )
+    return {
+        "dtype": _CODE_DTYPES[dtype_code],
+        "tuple_size": tuple_size,
+        "block_elements": block_elements,
+        "count": count,
+        "num_blocks": num_blocks,
+        "index_crc": index_crc,
+    }
+
+
+def parse_index_bytes(
+    index: bytes, num_blocks: int, index_crc: int
+) -> Tuple[List[int], List[int], List[int]]:
+    """Validate the index region; returns (sizes, orders, payload CRCs)."""
+    if len(index) < _INDEX_ENTRY.size * num_blocks:
+        raise CodecError("truncated block index")
+    index = bytes(index[: _INDEX_ENTRY.size * num_blocks])
+    if zlib.crc32(index) != index_crc:
+        raise CodecError("index checksum mismatch (corrupt container)")
+    sizes, orders, crcs = [], [], []
+    for i in range(num_blocks):
+        size, order, crc = _INDEX_ENTRY.unpack_from(index, i * _INDEX_ENTRY.size)
+        if order < 1:
+            raise CodecError(f"corrupt order in index entry {i}")
+        sizes.append(size)
+        orders.append(order)
+        crcs.append(crc)
+    return sizes, orders, crcs
+
+
+def encode_block(block: np.ndarray, order: Optional[int],
+                 tuple_size: int) -> Tuple[bytes, int]:
+    """Encode one block's payload; ``order=None`` auto-selects.
+
+    Deterministic for a given (block, order, tuple_size), which is what
+    lets an interrupted streaming writer re-encode its tail blocks on
+    resume and land bit-identical.
+    """
+    if order is None:
+        order, _ = choose_model(block, tuple_sizes=(tuple_size,))
+    residuals = host_delta_encode(block, order=order, tuple_size=tuple_size)
+    return varint_encode(zigzag_encode(residuals)), order
+
+
+def decode_block_payload(
+    payload: bytes,
+    *,
+    count: int,
+    dtype,
+    order: int,
+    tuple_size: int,
+    payload_crc: Optional[int] = None,
+    block_index: int = 0,
+    decode_engine=None,
+) -> np.ndarray:
+    """Decode one block payload back to its values, exactly.
+
+    All coder-layer failures surface as :class:`CodecError` (cause
+    chained) so callers can catch one typed error for any malformed
+    container.
+    """
+    dtype = np.dtype(dtype)
+    payload = bytes(payload)
+    if payload_crc is not None and zlib.crc32(payload) != payload_crc:
+        raise CodecError(
+            f"block {block_index} payload checksum mismatch "
+            "(truncated or corrupt payload)"
+        )
+    unsigned = np.uint32 if dtype.itemsize == 4 else np.uint64
+    try:
+        encoded = varint_decode(payload, count, dtype=unsigned)
+    except CodecError:
+        raise
+    except ValueError as exc:
+        raise CodecError(
+            f"corrupt varint payload in block {block_index}: {exc}"
+        ) from exc
+    residuals = zigzag_decode(encoded).astype(dtype)
+    if decode_engine is None:
+        return host_prefix_sum(residuals, order=order, tuple_size=tuple_size)
+    return decode_engine.run(residuals, order=order, tuple_size=tuple_size).values
 
 
 @dataclass
@@ -59,6 +205,7 @@ class BlockedBlob:
     count: int
     payload_sizes: List[int]
     orders: List[int]
+    payload_crcs: List[int] = None
 
     @property
     def num_blocks(self) -> int:
@@ -109,10 +256,7 @@ class BlockedDeltaCodec:
             raise CodecError(f"unsupported dtype {dtype}; int32/int64 only")
         if not 1 <= tuple_size <= 255:
             raise CodecError(f"tuple_size must be in [1, 255], got {tuple_size}")
-        # Align block boundaries to the tuple size so every block's
-        # lane phase starts at lane 0 and decodes independently.
-        block_elements = self.block_elements - self.block_elements % tuple_size
-        block_elements = max(tuple_size, block_elements)
+        block_elements = align_block_elements(self.block_elements, tuple_size)
 
         payloads: List[bytes] = []
         orders: List[int] = []
@@ -120,27 +264,18 @@ class BlockedDeltaCodec:
             block = array[start : start + block_elements]
             if block.size == 0:
                 continue
-            block_order = order
-            if block_order is None:
-                block_order, _ = choose_model(block, tuple_sizes=(tuple_size,))
-            residuals = host_delta_encode(
-                block, order=block_order, tuple_size=tuple_size
-            )
-            payloads.append(varint_encode(zigzag_encode(residuals)))
+            payload, block_order = encode_block(block, order, tuple_size)
+            payloads.append(payload)
             orders.append(block_order)
 
-        header = _HEADER.pack(
-            MAGIC,
-            VERSION,
-            _DTYPE_CODES[dtype],
-            tuple_size,
-            block_elements,
-            len(array),
-            len(payloads),
-        )
+        crcs = [zlib.crc32(payload) for payload in payloads]
         index = b"".join(
-            _INDEX_ENTRY.pack(len(payload), block_order)
-            for payload, block_order in zip(payloads, orders)
+            pack_index_entry(len(payload), block_order, crc)
+            for payload, block_order, crc in zip(payloads, orders, crcs)
+        )
+        header = pack_header(
+            dtype, tuple_size, block_elements, len(array), len(payloads),
+            zlib.crc32(index),
         )
         return BlockedBlob(
             data=header + index + b"".join(payloads),
@@ -150,45 +285,32 @@ class BlockedDeltaCodec:
             count=len(array),
             payload_sizes=[len(p) for p in payloads],
             orders=orders,
+            payload_crcs=crcs,
         )
 
     # -- decompression ---------------------------------------------------
 
     def parse(self, data: bytes) -> BlockedBlob:
         """Validate and parse a container (headers + index, no payload)."""
-        if len(data) < _HEADER.size:
-            raise CodecError("buffer shorter than the container header")
-        magic, version, dtype_code, tuple_size, block_elements, count, num_blocks = (
-            _HEADER.unpack(data[: _HEADER.size])
-        )
-        if magic != MAGIC:
-            raise CodecError(f"bad magic {magic!r}")
-        if version != VERSION:
-            raise CodecError(f"unsupported version {version}")
-        if dtype_code not in _CODE_DTYPES:
-            raise CodecError(f"unknown dtype code {dtype_code}")
-        if tuple_size < 1 or block_elements < 1:
-            raise CodecError("corrupt header fields")
+        fields = parse_header_bytes(data)
+        num_blocks = fields["num_blocks"]
         index_end = _HEADER.size + _INDEX_ENTRY.size * num_blocks
-        if len(data) < index_end:
-            raise CodecError("truncated block index")
-        payload_sizes = []
-        orders = []
-        for i in range(num_blocks):
-            off = _HEADER.size + i * _INDEX_ENTRY.size
-            size, block_order = _INDEX_ENTRY.unpack(data[off : off + _INDEX_ENTRY.size])
-            payload_sizes.append(size)
-            orders.append(block_order)
+        payload_sizes, orders, crcs = parse_index_bytes(
+            data[_HEADER.size : index_end], num_blocks, fields["index_crc"]
+        )
         blob = BlockedBlob(
             data=data,
-            dtype=_CODE_DTYPES[dtype_code],
-            tuple_size=tuple_size,
-            block_elements=block_elements,
-            count=count,
+            dtype=fields["dtype"],
+            tuple_size=fields["tuple_size"],
+            block_elements=fields["block_elements"],
+            count=fields["count"],
             payload_sizes=payload_sizes,
             orders=orders,
+            payload_crcs=crcs,
         )
         if num_blocks and blob.block_offsets()[-1] + payload_sizes[-1] != len(data):
+            raise CodecError("payload length does not match the index")
+        if not num_blocks and len(data) != _HEADER.size:
             raise CodecError("payload length does not match the index")
         return blob
 
@@ -199,16 +321,17 @@ class BlockedDeltaCodec:
         count = min(
             blob.block_elements, blob.count - index * blob.block_elements
         )
-        unsigned = np.uint32 if blob.dtype.itemsize == 4 else np.uint64
-        encoded = varint_decode(payload, count, dtype=unsigned)
-        residuals = zigzag_decode(encoded).astype(blob.dtype)
-        if self.decode_engine is None:
-            return host_prefix_sum(
-                residuals, order=blob.orders[index], tuple_size=blob.tuple_size
-            )
-        return self.decode_engine.run(
-            residuals, order=blob.orders[index], tuple_size=blob.tuple_size
-        ).values
+        crc = blob.payload_crcs[index] if blob.payload_crcs else None
+        return decode_block_payload(
+            payload,
+            count=count,
+            dtype=blob.dtype,
+            order=blob.orders[index],
+            tuple_size=blob.tuple_size,
+            payload_crc=crc,
+            block_index=index,
+            decode_engine=self.decode_engine,
+        )
 
     def decompress_block(self, blob, index: int) -> np.ndarray:
         """Random access: decode one block without touching the others."""

@@ -18,6 +18,7 @@ which the round-trip tests verify.
 from __future__ import annotations
 
 import struct
+import zlib
 from dataclasses import dataclass
 from typing import Iterable, Optional, Tuple
 
@@ -33,17 +34,31 @@ from repro.core.host import host_delta_encode, host_prefix_sum
 
 #: Container magic ("SAM delta"), bumped on format changes.
 MAGIC = b"SAMD"
-VERSION = 1
+#: v2 appends CRC32 checksums (payload, then header) so corruption is
+#: detected instead of silently decoding to wrong values.
+VERSION = 2
 
 _DTYPE_CODES = {np.dtype(np.int32): 1, np.dtype(np.int64): 2}
 _CODE_DTYPES = {code: dtype for dtype, code in _DTYPE_CODES.items()}
 
-#: Header: magic, version, dtype code, order, tuple size, element count.
-_HEADER = struct.Struct("<4sBBBBq")
+#: Header: magic, version, dtype code, order, tuple size, element
+#: count, payload CRC32, header CRC32 (over all preceding bytes).
+_HEADER = struct.Struct("<4sBBBBqII")
 
 
 class CodecError(ValueError):
     """Malformed container or unsupported payload."""
+
+
+def pack_header(dtype, order: int, tuple_size: int, count: int,
+                payload_crc: int) -> bytes:
+    """Pack a v2 container header, computing the trailing header CRC."""
+    base = _HEADER.pack(
+        MAGIC, VERSION, _DTYPE_CODES[np.dtype(dtype)], order, tuple_size,
+        count, payload_crc, 0,
+    )
+    body = base[:-4]
+    return body + struct.pack("<I", zlib.crc32(body))
 
 
 @dataclass
@@ -55,6 +70,7 @@ class CompressedBlob:
     tuple_size: int
     dtype: np.dtype
     count: int
+    payload_crc: int = 0
 
     @property
     def nbytes(self) -> int:
@@ -145,8 +161,9 @@ class DeltaCodec:
 
         residuals = host_delta_encode(array, order=order, tuple_size=tuple_size)
         payload = varint_encode(zigzag_encode(residuals))
-        header = _HEADER.pack(
-            MAGIC, VERSION, _DTYPE_CODES[dtype], order, tuple_size, len(array)
+        payload_crc = zlib.crc32(payload)
+        header = pack_header(
+            dtype, order, tuple_size, len(array), payload_crc
         )
         return CompressedBlob(
             data=header + payload,
@@ -154,19 +171,25 @@ class DeltaCodec:
             tuple_size=tuple_size,
             dtype=dtype,
             count=len(array),
+            payload_crc=payload_crc,
         )
 
     def parse_header(self, data: bytes) -> CompressedBlob:
         """Validate and parse a container header (no payload decode)."""
+        if len(data) >= 4 and data[:4] != MAGIC:
+            raise CodecError(f"bad magic {bytes(data[:4])!r}")
         if len(data) < _HEADER.size:
             raise CodecError("buffer shorter than the container header")
-        magic, version, dtype_code, order, tuple_size, count = _HEADER.unpack(
-            data[: _HEADER.size]
-        )
+        (
+            magic, version, dtype_code, order, tuple_size, count,
+            payload_crc, header_crc,
+        ) = _HEADER.unpack(data[: _HEADER.size])
         if magic != MAGIC:
             raise CodecError(f"bad magic {magic!r}")
         if version != VERSION:
             raise CodecError(f"unsupported version {version}")
+        if zlib.crc32(bytes(data[: _HEADER.size - 4])) != header_crc:
+            raise CodecError("header checksum mismatch (corrupt container)")
         if dtype_code not in _CODE_DTYPES:
             raise CodecError(f"unknown dtype code {dtype_code}")
         if count < 0:
@@ -179,6 +202,7 @@ class DeltaCodec:
             tuple_size=tuple_size,
             dtype=_CODE_DTYPES[dtype_code],
             count=count,
+            payload_crc=payload_crc,
         )
 
     def decompress(self, blob) -> np.ndarray:
@@ -186,9 +210,17 @@ class DeltaCodec:
         data = blob.data if isinstance(blob, CompressedBlob) else bytes(blob)
         parsed = self.parse_header(data)
         unsigned_dtype = np.uint32 if parsed.dtype.itemsize == 4 else np.uint64
-        encoded = varint_decode(
-            data[_HEADER.size :], parsed.count, dtype=unsigned_dtype
-        )
+        payload = data[_HEADER.size :]
+        if zlib.crc32(bytes(payload)) != parsed.payload_crc:
+            raise CodecError(
+                "payload checksum mismatch (truncated or corrupt payload)"
+            )
+        try:
+            encoded = varint_decode(payload, parsed.count, dtype=unsigned_dtype)
+        except CodecError:
+            raise
+        except ValueError as exc:
+            raise CodecError(f"corrupt varint payload: {exc}") from exc
         residuals = zigzag_decode(encoded).astype(parsed.dtype)
         if self.decode_engine is None:
             return host_prefix_sum(

@@ -20,6 +20,13 @@ Robustness contract (tested):
   is silently treated as empty and overwritten on the next
   observation — calibration is an optimization, never a failure mode;
 * an *unwritable* store degrades to per-process memory;
+* *concurrent writers* (several planned processes on one machine)
+  merge instead of clobbering: each persist re-reads the file under an
+  ``fcntl`` file lock and keeps, per bucket, whichever entry has seen
+  more samples — so two processes warming different buckets both land,
+  and the better-warmed EWMA survives a race on the same bucket.  On
+  platforms without ``fcntl`` (or an unlockable directory) this
+  degrades to the plain last-writer-wins write;
 * ``REPRO_TUNE_DISABLE=1`` disables reads and writes entirely — the
   planner then runs on the static heuristics alone.
 
@@ -29,6 +36,7 @@ it to isolate themselves from the developer's real calibration).
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import threading
@@ -65,6 +73,54 @@ def _disabled() -> bool:
     return bool(os.environ.get("REPRO_TUNE_DISABLE"))
 
 
+@contextlib.contextmanager
+def _interprocess_lock(path: str):
+    """Exclusive advisory lock on ``path`` (created if missing).
+
+    Yields ``True`` while the lock is held.  Anywhere the lock cannot
+    be taken — no ``fcntl`` on this platform, unwritable directory —
+    it yields ``False`` and the caller proceeds unlocked (the
+    pre-lock, last-writer-wins behavior).
+    """
+    try:
+        import fcntl
+    except ImportError:  # pragma: no cover - non-POSIX platform
+        yield False
+        return
+    try:
+        fd = os.open(path, os.O_RDWR | os.O_CREAT, 0o644)
+    except OSError:
+        yield False
+        return
+    try:
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+        except OSError:  # pragma: no cover - fs without flock
+            yield False
+            return
+        yield True
+    finally:
+        os.close(fd)  # closing the fd releases the flock
+
+
+def _parse_entries(data) -> Dict[str, dict]:
+    """Validate a loaded store document into an entries dict (empty on
+    any structural problem — corruption is never an error)."""
+    entries: Dict[str, dict] = {}
+    if isinstance(data, dict) and data.get("version") == _STORE_VERSION:
+        raw = data.get("entries")
+        if isinstance(raw, dict):
+            for key, entry in raw.items():
+                try:
+                    entries[str(key)] = {
+                        "bytes_per_second": float(entry["bytes_per_second"]),
+                        "samples": int(entry["samples"]),
+                    }
+                except (KeyError, TypeError, ValueError):
+                    continue  # one bad row never poisons the rest
+    return entries
+
+
 class CalibrationStore:
     """Measured bytes-per-second per (strategy, workload bucket)."""
 
@@ -75,41 +131,55 @@ class CalibrationStore:
 
     # -- persistence ------------------------------------------------------
 
+    def _read_disk(self) -> Dict[str, dict]:
+        """Parse the on-disk table without touching process memory."""
+        try:
+            with open(self.path, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, ValueError):
+            data = None
+        return _parse_entries(data)
+
     def _load(self) -> Dict[str, dict]:
         if self._entries is not None:
             return self._entries
-        entries: Dict[str, dict] = {}
-        if not _disabled():
-            try:
-                with open(self.path, "r", encoding="utf-8") as fh:
-                    data = json.load(fh)
-            except (OSError, ValueError):
-                data = None
-            if isinstance(data, dict) and data.get("version") == _STORE_VERSION:
-                raw = data.get("entries")
-                if isinstance(raw, dict):
-                    for key, entry in raw.items():
-                        try:
-                            entries[str(key)] = {
-                                "bytes_per_second": float(entry["bytes_per_second"]),
-                                "samples": int(entry["samples"]),
-                            }
-                        except (KeyError, TypeError, ValueError):
-                            continue  # one bad row never poisons the rest
+        entries = {} if _disabled() else self._read_disk()
         self._entries = entries
         return entries
 
+    def _merge_from_disk(self) -> None:
+        """Fold concurrent writers' entries into process memory: per
+        bucket, whichever side has seen more samples wins (a tie keeps
+        ours — it includes the observation being persisted)."""
+        mine = self._entries if self._entries is not None else {}
+        for key, theirs in self._read_disk().items():
+            ours = mine.get(key)
+            if ours is None or theirs["samples"] > ours["samples"]:
+                mine[key] = theirs
+        self._entries = mine
+
     def _persist(self) -> None:
-        """Best effort: an unwritable cache degrades to process memory."""
-        payload = {"version": _STORE_VERSION, "entries": self._entries or {}}
+        """Best effort: an unwritable cache degrades to process memory.
+
+        Holds the interprocess lock across re-read + merge + replace,
+        so concurrent planned processes compose their tables instead of
+        the last writer erasing everyone else's warm buckets.
+        """
         try:
             os.makedirs(os.path.dirname(self.path) or ".", exist_ok=True)
-            tmp = f"{self.path}.tmp.{os.getpid()}"
-            with open(tmp, "w", encoding="utf-8") as fh:
-                json.dump(payload, fh, indent=2, sort_keys=True)
-            os.replace(tmp, self.path)
         except OSError:
-            pass
+            return
+        with _interprocess_lock(f"{self.path}.lock") as locked:
+            if locked:
+                self._merge_from_disk()
+            payload = {"version": _STORE_VERSION, "entries": self._entries or {}}
+            try:
+                tmp = f"{self.path}.tmp.{os.getpid()}"
+                with open(tmp, "w", encoding="utf-8") as fh:
+                    json.dump(payload, fh, indent=2, sort_keys=True)
+                os.replace(tmp, self.path)
+            except OSError:
+                pass
 
     # -- the planner-facing API ------------------------------------------
 

@@ -40,6 +40,13 @@ from repro.plan.workload import Machine, Workload
 DEFAULT_MEMORY_BYTES_PER_SECOND = 2e9
 DEFAULT_FILE_BYTES_PER_SECOND = 6e8
 
+#: Varint+zigzag block decode rate, in *logical* bytes per second — a
+#: conservative number for the vectorized decoder.  A compressed
+#: workload's per-byte time is the sum of an IO term scaled by its
+#: compression ratio (only ``compressed_nbytes`` cross the disk) and
+#: this decode term, so better ratios genuinely predict faster scans.
+DEFAULT_DECODE_BYTES_PER_SECOND = 5e8
+
 #: Per-call bookkeeping before any data moves (validation, dispatch).
 T_CALL_SECONDS = 3e-6
 
@@ -105,11 +112,20 @@ def _throughput(
 
 
 def _base_rate(workload: Workload) -> float:
-    base = (
-        DEFAULT_FILE_BYTES_PER_SECOND
-        if workload.source == "file"
-        else DEFAULT_MEMORY_BYTES_PER_SECOND
-    )
+    if workload.source == "compressed-file":
+        # Per logical byte: an IO share shrunk by the compression ratio
+        # plus a decode share.  An incompressible container degrades to
+        # raw-file IO + decode overhead, never better.
+        io_fraction = workload.compressed_nbytes / max(1, workload.nbytes)
+        per_byte = (
+            io_fraction / DEFAULT_FILE_BYTES_PER_SECOND
+            + 1.0 / DEFAULT_DECODE_BYTES_PER_SECOND
+        )
+        base = 1.0 / per_byte
+    elif workload.source == "file":
+        base = DEFAULT_FILE_BYTES_PER_SECOND
+    else:
+        base = DEFAULT_MEMORY_BYTES_PER_SECOND
     # Looped (non-ufunc) operators run Python-rate inner loops.
     return base if workload.vectorized else base / 50.0
 
@@ -155,7 +171,7 @@ def price_serial(
     """The one-dispatch serial lane kernel (or single-session driver)."""
     params = (
         {"chunk_bytes": plan_chunk_bytes(workload.nbytes)}
-        if workload.source == "file"
+        if workload.on_disk
         else {}
     )
     candidate = Candidate(
@@ -165,7 +181,7 @@ def price_serial(
     modeled = per_pass / workload.order
     rate = _throughput(candidate, workload, store, modeled)
     fixed = T_CALL_SECONDS + (
-        T_FILE_SECONDS if workload.source == "file" else 0.0
+        T_FILE_SECONDS if workload.on_disk else 0.0
     )
     candidate.predicted_seconds = fixed + workload.nbytes / rate
     candidate.note = "exact for every dtype/op; no dispatch overhead"
@@ -182,7 +198,7 @@ def price_threaded(
     file job): scan -> splice -> fold on ``threads`` workers."""
     name = "threaded" if workload.source == "memory" else "stream_threaded"
     params = {"threads": threads}
-    if workload.source == "file":
+    if workload.on_disk:
         params["chunk_bytes"] = plan_chunk_bytes(workload.nbytes)
     candidate = Candidate(name, params=params)
     effective = max(1, min(threads, machine.cpu_count))
@@ -194,7 +210,7 @@ def price_threaded(
     rate = _throughput(candidate, workload, store, modeled)
     fixed = (
         T_CALL_SECONDS
-        + (T_FILE_SECONDS if workload.source == "file" else 0.0)
+        + (T_FILE_SECONDS if workload.on_disk else 0.0)
         + 2 * T_DISPATCH_SECONDS * threads * workload.order
     )
     occupancy = ramp(workload.nbytes, machine.parallel_cutover_bytes, 1.0)

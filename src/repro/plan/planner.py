@@ -207,7 +207,11 @@ def _enumerate(
                 )
     else:
         if _parallel_safe(workload):
-            if machine.multicore:
+            if machine.multicore and workload.source != "compressed-file":
+                # Slab threads parallelize the *scan* of raw chunks; a
+                # compressed job's chunk time is dominated by the serial
+                # block decode, which threads do not help — its parallel
+                # candidate is the sharded driver (parallel decodes).
                 candidates.append(
                     price_threaded(
                         workload, machine, store, machine.cpu_count
@@ -243,7 +247,7 @@ def _synthesize(
     count = int(arg) if arg else machine.cpu_count
     if name == "serial" and workload.source == "memory":
         return price_serial(workload, machine, store)
-    if name == "stream" and workload.source == "file":
+    if name == "stream" and workload.on_disk:
         return price_serial(workload, machine, store)
     if not _parallel_safe(workload):
         return None
@@ -253,7 +257,7 @@ def _synthesize(
         return price_parallel(workload, machine, store, count)
     if name == "stream_threaded" and workload.source == "file":
         return price_threaded(workload, machine, store, count)
-    if name == "sharded" and workload.source == "file":
+    if name == "sharded" and workload.on_disk:
         workers = max(1, min(machine.cpu_count, count))
         return price_sharded(workload, machine, store, count, workers)
     return None
@@ -495,18 +499,36 @@ def plan_file_scan(
     order: int = 1,
     tuple_size: int = 1,
     inclusive: bool = True,
+    input_format: str = "auto",
 ) -> Plan:
     """Plan an out-of-core file scan (used by ``repro.scan_file`` when
     the caller pins neither ``shards`` nor ``chunk_bytes`` nor
-    ``threads`` nor ``engine``)."""
-    workload = Workload.from_file(
-        input_path,
-        dtype,
-        op=op,
-        order=order,
-        tuple_size=tuple_size,
-        inclusive=inclusive,
-    )
+    ``threads`` nor ``engine``).  ``input_format="auto"`` sniffs the
+    blocked-container magic; a blocked input is planned as a
+    compressed workload — dtype and logical size from its header, a
+    decode term in the cost model, and no slab-threaded candidate
+    (block decode is the serial bottleneck; sharding is the parallel
+    answer)."""
+    from repro.stream.driver import resolve_input_format
+
+    input_format = resolve_input_format(input_path, input_format)
+    if input_format == "blocked":
+        workload = Workload.from_blocked_file(
+            input_path,
+            op=op,
+            order=order,
+            tuple_size=tuple_size,
+            inclusive=inclusive,
+        )
+    else:
+        workload = Workload.from_file(
+            input_path,
+            dtype,
+            op=op,
+            order=order,
+            tuple_size=tuple_size,
+            inclusive=inclusive,
+        )
     return plan_scan(workload)
 
 

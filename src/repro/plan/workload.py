@@ -35,11 +35,19 @@ from repro.ops import get_op
 #: Workload sources the cost model distinguishes.
 SOURCE_MEMORY = "memory"
 SOURCE_FILE = "file"
+SOURCE_COMPRESSED = "compressed-file"
 
 
 @dataclass(frozen=True)
 class Workload:
-    """One scan job, described by the parameters cost depends on."""
+    """One scan job, described by the parameters cost depends on.
+
+    ``nbytes`` is always the *logical* payload (elements × itemsize);
+    a :data:`SOURCE_COMPRESSED` workload additionally carries
+    ``compressed_nbytes`` — the container bytes that actually cross the
+    disk — so the cost model can price the decode term separately from
+    the (smaller) IO term.
+    """
 
     nbytes: int
     dtype: str
@@ -49,13 +57,14 @@ class Workload:
     inclusive: bool = True
     source: str = SOURCE_MEMORY
     contiguous: bool = True
+    compressed_nbytes: int = 0
 
     def __post_init__(self):
         if self.nbytes < 0:
             raise ValueError(f"nbytes must be >= 0, got {self.nbytes}")
         if self.order < 1 or self.tuple_size < 1:
             raise ValueError("order and tuple_size must be >= 1")
-        if self.source not in (SOURCE_MEMORY, SOURCE_FILE):
+        if self.source not in (SOURCE_MEMORY, SOURCE_FILE, SOURCE_COMPRESSED):
             raise ValueError(f"unknown workload source {self.source!r}")
 
     @classmethod
@@ -104,6 +113,36 @@ class Workload:
             contiguous=True,
         )
 
+    @classmethod
+    def from_blocked_file(
+        cls,
+        path,
+        op="add",
+        order: int = 1,
+        tuple_size: int = 1,
+        inclusive: bool = True,
+    ) -> "Workload":
+        """Describe a scan over a blocked ``.samb`` container.  The
+        container header is authoritative for dtype and element count;
+        ``nbytes`` is the logical payload and ``compressed_nbytes`` the
+        container size on disk."""
+        from repro.compression.stream import read_index
+
+        index = read_index(path)
+        resolved = get_op(op)
+        dtype = resolved.check_dtype(index.dtype)
+        return cls(
+            nbytes=int(index.count) * dtype.itemsize,
+            dtype=dtype.name,
+            op=resolved.name,
+            order=int(order),
+            tuple_size=int(tuple_size),
+            inclusive=bool(inclusive),
+            source=SOURCE_COMPRESSED,
+            contiguous=True,
+            compressed_nbytes=int(index.container_bytes),
+        )
+
     # -- derived ----------------------------------------------------------
 
     @property
@@ -113,6 +152,12 @@ class Workload:
     @property
     def elements(self) -> int:
         return self.nbytes // self.itemsize
+
+    @property
+    def on_disk(self) -> bool:
+        """Whether the payload crosses the filesystem (raw or
+        compressed) — the out-of-core drivers apply either way."""
+        return self.source in (SOURCE_FILE, SOURCE_COMPRESSED)
 
     @property
     def integer(self) -> bool:

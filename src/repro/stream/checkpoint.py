@@ -43,15 +43,28 @@ MANIFEST_KIND = "repro-stream-shard-manifest"
 MANIFEST_VERSION = 1
 
 
-def build_checkpoint(session_state: dict, input_elements: int, counters: dict) -> dict:
-    """Assemble the checkpoint document for one progress point."""
-    return {
+def build_checkpoint(
+    session_state: dict,
+    input_elements: int,
+    counters: dict,
+    io: dict = None,
+) -> dict:
+    """Assemble the checkpoint document for one progress point.
+
+    ``io`` is the optional compressed-streaming record — input/output
+    container formats plus the blocked writer's cursor — absent for
+    raw-byte jobs, so their checkpoints are unchanged from version 1.
+    """
+    payload = {
         "kind": CHECKPOINT_KIND,
         "version": CHECKPOINT_VERSION,
         "input_elements": int(input_elements),
         "session": session_state,
         "counters": counters,
     }
+    if io is not None:
+        payload["io"] = dict(io)
+    return payload
 
 
 def _fsync_directory(path: str) -> None:
@@ -133,14 +146,17 @@ def build_shard_manifest(
     input_elements: int,
     shards: list,
     state: dict,
+    io: dict = None,
 ) -> dict:
     """Assemble the sharded driver's manifest document.
 
     ``state`` is the sharded driver's progress record (current phase,
     per-shard done flags, per-pass aggregates); the manifest wraps it
-    with the identity fields every resume must validate first.
+    with the identity fields every resume must validate first.  ``io``
+    (optional) records the input container format for compressed-input
+    jobs.
     """
-    return {
+    payload = {
         "kind": MANIFEST_KIND,
         "version": MANIFEST_VERSION,
         "input_elements": int(input_elements),
@@ -149,6 +165,9 @@ def build_shard_manifest(
         "shards": [[int(lo), int(hi)] for lo, hi in shards],
         "state": state,
     }
+    if io is not None:
+        payload["io"] = dict(io)
+    return payload
 
 
 def read_shard_manifest(path) -> dict:

@@ -45,6 +45,15 @@ class StreamCounters:
     ``seconds_splice`` / ``seconds_fold`` phases.  Per-shard counters
     are combined with :meth:`aggregate`.
 
+    Compressed streaming adds ``compressed_bytes_in`` /
+    ``compressed_bytes_out`` (container bytes actually moved when the
+    input and/or output is a blocked ``.samb`` container),
+    ``decoded_bytes_in`` (the logical bytes those container bytes
+    decoded into — distinct from ``bytes_in``, which also counts the
+    sharded driver's raw ping-pong re-reads on later passes, see
+    :meth:`compression_ratio_in`), and the ``seconds_decode`` /
+    ``seconds_encode`` phases of the fused decode-scan-encode loop.
+
     The ``planner_*`` fields make :mod:`repro.plan` decisions auditable
     wherever counters already flow (benchmarks, the serve STATS verb):
     ``planner_strategy`` is the chosen candidate's label (e.g.
@@ -59,6 +68,9 @@ class StreamCounters:
     elements: int = 0
     bytes_in: int = 0
     bytes_out: int = 0
+    compressed_bytes_in: int = 0
+    compressed_bytes_out: int = 0
+    decoded_bytes_in: int = 0
     checkpoint_writes: int = 0
     resumes: int = 0
     delegated_stage_scans: int = 0
@@ -74,7 +86,9 @@ class StreamCounters:
     engine_used: str = "host"
     planner_strategy: str = ""
     seconds_read: float = 0.0
+    seconds_decode: float = 0.0
     seconds_scan: float = 0.0
+    seconds_encode: float = 0.0
     seconds_write: float = 0.0
     seconds_checkpoint: float = 0.0
     seconds_splice: float = 0.0
@@ -86,12 +100,33 @@ class StreamCounters:
     def seconds_total(self) -> float:
         return (
             self.seconds_read
+            + self.seconds_decode
             + self.seconds_scan
+            + self.seconds_encode
             + self.seconds_write
             + self.seconds_checkpoint
             + self.seconds_splice
             + self.seconds_fold
         )
+
+    def compression_ratio_in(self) -> float:
+        """Logical decoded bytes per compressed input byte (0 when the
+        input was not compressed).  Uses ``decoded_bytes_in`` so the
+        sharded driver's later raw passes don't inflate the ratio;
+        falls back to ``bytes_in`` for counters restored from an older
+        checkpoint that predates the field."""
+        if not self.compressed_bytes_in:
+            return 0.0
+        return (
+            self.decoded_bytes_in or self.bytes_in
+        ) / self.compressed_bytes_in
+
+    def compression_ratio_out(self) -> float:
+        """Logical output bytes per compressed output byte (0 when the
+        output was not compressed)."""
+        if not self.compressed_bytes_out:
+            return 0.0
+        return self.bytes_out / self.compressed_bytes_out
 
     def to_dict(self) -> dict:
         """The stable JSON form: exactly the dataclass fields, nothing
@@ -156,13 +191,20 @@ class StreamCounters:
             if self.shards
             else ""
         )
+        compressed = ""
+        if self.compressed_bytes_in or self.compressed_bytes_out:
+            compressed = (
+                f"compressed={self.compressed_bytes_in}"
+                f"->{self.compressed_bytes_out}, "
+            )
         return (
             f"StreamCounters(engine={self.engine_used}, "
             f"chunks={self.chunks}, elements={self.elements}, "
-            f"bytes={self.bytes_in}->{self.bytes_out}, {sharded}"
+            f"bytes={self.bytes_in}->{self.bytes_out}, {compressed}{sharded}"
             f"checkpoints={self.checkpoint_writes}, resumes={self.resumes}, "
             f"wall={self.seconds_total:.4f}s "
-            f"[read {self.seconds_read:.4f} scan {self.seconds_scan:.4f} "
+            f"[read {self.seconds_read:.4f} decode {self.seconds_decode:.4f} "
+            f"scan {self.seconds_scan:.4f} encode {self.seconds_encode:.4f} "
             f"write {self.seconds_write:.4f} ckpt {self.seconds_checkpoint:.4f} "
             f"splice {self.seconds_splice:.4f} fold {self.seconds_fold:.4f}])"
         )

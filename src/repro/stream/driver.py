@@ -7,6 +7,20 @@ while the session (and its inner engine — e.g. the ``repro.parallel``
 worker pool, which stays warm across chunks) scans chunk ``i``.  Peak
 resident memory is a few chunks regardless of file size.
 
+Compressed streaming: the input and/or output may be a blocked
+``.samb`` container (:mod:`repro.compression.stream`) instead of raw
+bytes — ``input_format="blocked"`` (or ``"auto"``, which sniffs the
+magic) and ``output_format="blocked"``.  Decode, scan, and encode are
+*fused* per chunk: the prefetch thread decodes container blocks while
+the main thread scans the previous chunk and feeds the scanned values
+straight into the incremental container writer — each block is touched
+once, while hot, and the bytes crossing the disk are the compressed
+ones.  Chunk boundaries are aligned to the least common multiple of
+the input and output block sizes so every checkpoint lands on a block
+boundary; the checkpoint then records the container cursor alongside
+the session state, keeping crash-resume bit-identical in every format
+combination.
+
 Durability: every ``checkpoint_every`` chunks the scanned output is
 fsync'd and the session state is written atomically to the checkpoint
 path (see :mod:`repro.stream.checkpoint`).  A job that dies — power
@@ -21,6 +35,7 @@ a one-shot scan.
 
 from __future__ import annotations
 
+import math
 import os
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -29,6 +44,11 @@ from typing import Optional
 
 import numpy as np
 
+from repro.compression.stream import (
+    BlockedFileReader,
+    BlockedStreamWriter,
+    is_blocked_file,
+)
 from repro.ops import get_op
 from repro.stream.checkpoint import (
     build_checkpoint,
@@ -42,6 +62,9 @@ from repro.stream.errors import (
     StreamError,
 )
 from repro.stream.session import ScanSession
+
+INPUT_FORMATS = ("auto", "raw", "blocked")
+OUTPUT_FORMATS = ("raw", "blocked")
 
 #: Default chunk budget: big enough that numpy's per-chunk vector work
 #: dominates per-chunk overhead, small enough that double-buffering two
@@ -94,10 +117,107 @@ class StreamResult:
     output_path: str
     counters: StreamCounters
     resumed_from: int = 0
+    input_format: str = "raw"
+    output_format: str = "raw"
 
     @property
     def engine_used(self) -> str:
         return self.counters.engine_used
+
+
+def _aligned_take(elements: int, align: int, stride: int) -> int:
+    """Round a chunk size down to the preferred ``stride`` when it
+    fits, else to the required ``align`` (never below one unit)."""
+    if stride <= elements:
+        return elements - elements % stride
+    return max(align, elements - elements % align)
+
+
+def resolve_input_format(input_path, input_format: str) -> str:
+    """``"auto"`` sniffs the blocked-container magic; explicit formats
+    pass through (``"blocked"`` is still validated by the reader)."""
+    if input_format not in INPUT_FORMATS:
+        raise ValueError(
+            f"input_format must be one of {INPUT_FORMATS}, got {input_format!r}"
+        )
+    if input_format == "auto":
+        return "blocked" if is_blocked_file(input_path) else "raw"
+    return input_format
+
+
+class _RawOutput:
+    """Raw-bytes output sink: plain file writes, fsync on sync."""
+
+    def __init__(self, path: str, resume_offset: int, itemsize: int):
+        if resume_offset:
+            self.fh = open(path, "r+b")
+            self.fh.truncate(resume_offset * itemsize)
+            self.fh.seek(resume_offset * itemsize)
+        else:
+            self.fh = open(path, "wb")
+
+    def write(self, scanned: np.ndarray) -> float:
+        # Write the array's buffer directly: tobytes() would copy
+        # every scanned chunk a second time on the hot write path.
+        if not scanned.flags.c_contiguous:  # pragma: no cover - defensive
+            scanned = np.ascontiguousarray(scanned)
+        self.fh.write(memoryview(scanned).cast("B"))
+        return 0.0
+
+    def sync(self):
+        self.fh.flush()
+        os.fsync(self.fh.fileno())
+
+    def io_state(self):
+        return None
+
+    def finish(self):
+        self.sync()
+
+    def close(self):
+        self.fh.close()
+
+
+class _BlockedOutput:
+    """Blocked-container output sink: scanned chunks are encoded into
+    container blocks as they are produced (the encode half of the fused
+    pipeline).  Reports encode seconds and container-byte growth back
+    to the caller's counters via :meth:`write`'s return value."""
+
+    def __init__(self, writer: BlockedStreamWriter, counters: StreamCounters):
+        self.writer = writer
+        self.counters = counters
+        self._bytes_seen = writer.container_bytes
+
+    def _account(self) -> float:
+        grown = self.writer.container_bytes - self._bytes_seen
+        self._bytes_seen = self.writer.container_bytes
+        self.counters.compressed_bytes_out += grown
+        encode = self.writer.encode_seconds
+        self.writer.encode_seconds = 0.0
+        self.counters.seconds_encode += encode
+        return encode
+
+    def write(self, scanned: np.ndarray) -> float:
+        self.writer.feed(scanned)
+        return self._account()
+
+    def sync(self):
+        self.writer.sync()
+
+    def io_state(self):
+        return self.writer.state()
+
+    def finish(self):
+        self.writer.finalize()
+        self._account()
+        # The header+index region reserved ahead of the payloads only
+        # becomes real container bytes when finalize fills it in; count
+        # it exactly once, here (payload growth is counted per write).
+        self.counters.compressed_bytes_out += self.writer.data_offset
+
+    def close(self):
+        self.writer.close()
 
 
 def scan_file(
@@ -116,9 +236,13 @@ def scan_file(
     resume: bool = False,
     adaptive_chunks: bool = False,
     threads=None,
+    input_format: str = "auto",
+    output_format: str = "raw",
+    output_block_elements: Optional[int] = None,
+    output_codec_order: Optional[int] = None,
     fail_after_chunks: Optional[int] = None,
 ) -> StreamResult:
-    """Scan a raw binary file into ``output_path``, out of core.
+    """Scan a binary file into ``output_path``, out of core.
 
     Parameters mirror :func:`repro.api.prefix_sum` plus the streaming
     knobs: ``chunk_bytes`` (per-chunk budget), ``checkpoint`` (path for
@@ -131,27 +255,76 @@ def scan_file(
     chunk counts predictable).  ``threads`` routes per-chunk integer
     stage scans through the slab-parallel in-memory kernel
     (``None`` = serial; an int or ``"auto"`` enables it) — results are
-    unchanged either way.  ``fail_after_chunks`` is a test-only hook
-    that aborts the job after N chunks to exercise resumption.
+    unchanged either way.
+
+    ``input_format`` accepts raw bytes or a blocked ``.samb`` container
+    (``"auto"``, the default, sniffs the magic); a blocked input's
+    dtype and length come from its header, overriding ``dtype``.
+    ``output_format="blocked"`` writes the scanned values as a blocked
+    container (``output_block_elements`` elements per block;
+    ``output_codec_order=None`` auto-selects the delta order per
+    block), fused into the same loop.  ``fail_after_chunks`` is a
+    test-only hook that aborts the job after N chunks to exercise
+    resumption.
     """
     if chunk_bytes < 1:
         raise ValueError(f"chunk_bytes must be >= 1, got {chunk_bytes}")
     if checkpoint_every < 1:
         raise ValueError(f"checkpoint_every must be >= 1, got {checkpoint_every}")
+    if output_format not in OUTPUT_FORMATS:
+        raise ValueError(
+            f"output_format must be one of {OUTPUT_FORMATS}, got {output_format!r}"
+        )
     input_path = os.fspath(input_path)
     output_path = os.fspath(output_path)
+    input_format = resolve_input_format(input_path, input_format)
 
     resolved_op = get_op(op)
-    resolved_dtype = resolved_op.check_dtype(dtype)
-    itemsize = resolved_dtype.itemsize
-    input_bytes = os.path.getsize(input_path)
-    if input_bytes % itemsize:
-        raise ValueError(
-            f"{input_path!r} is {input_bytes} bytes, not a multiple of "
-            f"{resolved_dtype.name}'s {itemsize}-byte item size"
+    reader = None
+    if input_format == "blocked":
+        reader = BlockedFileReader(input_path)
+        # The container header is authoritative for the input's dtype
+        # and element count; ``dtype`` only applies to raw inputs.
+        resolved_dtype = resolved_op.check_dtype(reader.dtype)
+        itemsize = resolved_dtype.itemsize
+        total_elements = reader.count
+        in_block = reader.block_elements
+    else:
+        resolved_dtype = resolved_op.check_dtype(dtype)
+        itemsize = resolved_dtype.itemsize
+        input_bytes = os.path.getsize(input_path)
+        if input_bytes % itemsize:
+            raise ValueError(
+                f"{input_path!r} is {input_bytes} bytes, not a multiple of "
+                f"{resolved_dtype.name}'s {itemsize}-byte item size"
+            )
+        total_elements = input_bytes // itemsize
+        in_block = 1
+
+    out_block = 1
+    codec_tuple = tuple_size if 1 <= tuple_size <= 255 else 1
+    if output_format == "blocked":
+        if resolved_dtype not in (np.dtype(np.int32), np.dtype(np.int64)):
+            raise ValueError(
+                f"blocked output supports int32/int64, not {resolved_dtype}"
+            )
+        from repro.compression.blocked import align_block_elements
+
+        out_block = align_block_elements(
+            int(output_block_elements or 65536), codec_tuple
         )
-    total_elements = input_bytes // itemsize
-    chunk_elements = max(1, int(chunk_bytes) // itemsize)
+
+    # Chunk ends must align to the *output* block size so the writer's
+    # tail buffer is empty whenever a checkpoint lands (the reader can
+    # seek to any element, so input blocks impose no requirement —
+    # aligning to their lcm as well is purely an efficiency preference,
+    # taken only when it fits in the chunk budget, since it stops
+    # adjacent chunks from decoding a shared input block twice).
+    align = out_block
+    stride = math.lcm(in_block, out_block)
+    chunk_elements = _aligned_take(
+        max(1, int(chunk_bytes) // itemsize), align, stride
+    )
 
     session = ScanSession(
         op=resolved_op,
@@ -164,8 +337,13 @@ def scan_file(
     )
 
     start_elements = 0
+    writer_state = None
     if resume and checkpoint is not None and os.path.exists(checkpoint):
-        start_elements = _restore(session, checkpoint, total_elements, output_path)
+        start_elements, writer_state = _restore(
+            session, checkpoint, total_elements, output_path,
+            input_format=input_format, output_format=output_format,
+            align=align, out_block=out_block,
+        )
     elif checkpoint is not None and os.path.exists(checkpoint):
         # Starting fresh: a leftover checkpoint from a previous job must
         # not survive, or a later crash + resume would restore a stale
@@ -173,38 +351,85 @@ def scan_file(
         os.remove(checkpoint)
     counters = session.counters
 
-    if start_elements:
-        out_fh = open(output_path, "r+b")
-        out_fh.truncate(start_elements * itemsize)
-        out_fh.seek(start_elements * itemsize)
+    if output_format == "blocked":
+        if start_elements:
+            writer = BlockedStreamWriter.resume(
+                output_path, dtype=resolved_dtype, total_count=total_elements,
+                state=writer_state, tuple_size=codec_tuple,
+                block_elements=out_block, order=output_codec_order,
+            )
+        else:
+            writer = BlockedStreamWriter(
+                output_path, dtype=resolved_dtype, total_count=total_elements,
+                tuple_size=codec_tuple, block_elements=out_block,
+                order=output_codec_order,
+            )
+        sink = _BlockedOutput(writer, counters)
     else:
-        out_fh = open(output_path, "wb")
+        sink = _RawOutput(output_path, start_elements, itemsize)
 
-    data = (
-        np.memmap(input_path, dtype=resolved_dtype, mode="r")
-        if total_elements
-        else np.empty(0, dtype=resolved_dtype)
-    )
+    data = None
+    if input_format == "raw":
+        data = (
+            np.memmap(input_path, dtype=resolved_dtype, mode="r")
+            if total_elements
+            else np.empty(0, dtype=resolved_dtype)
+        )
+
+    io_record = None
+    if input_format == "blocked" or output_format == "blocked":
+        io_record = {
+            "input_format": input_format,
+            "output_format": output_format,
+        }
+        if input_format == "blocked":
+            io_record["input_block_elements"] = in_block
+        if output_format == "blocked":
+            io_record["output_block_elements"] = out_block
 
     def fetch(lo: int, hi: int):
+        """Read (and, for blocked input, decode — the fused decode half
+        runs in the prefetch thread, overlapping the main thread's
+        scan) one chunk.  Returns timings split so decode seconds and
+        compressed bytes are attributed separately from raw IO."""
         t0 = time.perf_counter()
+        if reader is not None:
+            decode0 = reader.decode_seconds
+            payload0 = reader.payload_bytes_read
+            copied = reader.read_range(lo, hi)
+            elapsed = time.perf_counter() - t0
+            decode = reader.decode_seconds - decode0
+            return (
+                copied,
+                max(0.0, elapsed - decode),
+                decode,
+                reader.payload_bytes_read - payload0,
+            )
         copied = np.array(data[lo:hi], copy=True)
-        return copied, time.perf_counter() - t0
+        return copied, time.perf_counter() - t0, 0.0, 0
 
     prefetcher = ThreadPoolExecutor(max_workers=1)
     position = start_elements
     chunks_done = 0
     since_checkpoint = 0
     chunker = _AdaptiveChunker(chunk_elements, itemsize, adaptive_chunks, counters)
+
+    def take() -> int:
+        return _aligned_take(chunker.elements, align, stride)
+
     try:
         pending = None
         if position < total_elements:
             pending = prefetcher.submit(
-                fetch, position, min(position + chunker.elements, total_elements)
+                fetch, position, min(position + take(), total_elements)
             )
         while position < total_elements:
-            chunk, read_seconds = pending.result()
+            chunk, read_seconds, decode_seconds, payload_bytes = pending.result()
             counters.seconds_read += read_seconds
+            counters.seconds_decode += decode_seconds
+            counters.compressed_bytes_in += payload_bytes
+            if reader is not None:
+                counters.decoded_bytes_in += chunk.nbytes
             next_position = position + len(chunk)
             if next_position < total_elements:
                 # The prefetch of chunk i+1 uses the size decided after
@@ -213,17 +438,13 @@ def scan_file(
                 pending = prefetcher.submit(
                     fetch,
                     next_position,
-                    min(next_position + chunker.elements, total_elements),
+                    min(next_position + take(), total_elements),
                 )
             t_chunk = time.perf_counter()
             scanned = session.feed(chunk)
             t0 = time.perf_counter()
-            # Write the array's buffer directly: tobytes() would copy
-            # every scanned chunk a second time on the hot write path.
-            if not scanned.flags.c_contiguous:  # pragma: no cover - defensive
-                scanned = np.ascontiguousarray(scanned)
-            out_fh.write(memoryview(scanned).cast("B"))
-            counters.seconds_write += time.perf_counter() - t0
+            encode_seconds = sink.write(scanned)
+            counters.seconds_write += time.perf_counter() - t0 - encode_seconds
             counters.bytes_out += scanned.nbytes
             chunker.observe(read_seconds + time.perf_counter() - t_chunk)
             position = next_position
@@ -234,7 +455,7 @@ def scan_file(
                 and since_checkpoint >= checkpoint_every
                 and position < total_elements
             ):
-                _checkpoint(session, checkpoint, total_elements, out_fh)
+                _checkpoint(session, checkpoint, total_elements, sink, io_record)
                 since_checkpoint = 0
             if (
                 fail_after_chunks is not None
@@ -246,12 +467,13 @@ def scan_file(
                     f"(element {position} of {total_elements})"
                 )
         t0 = time.perf_counter()
-        out_fh.flush()
-        os.fsync(out_fh.fileno())
+        sink.finish()
         counters.seconds_write += time.perf_counter() - t0
     finally:
-        out_fh.close()
+        sink.close()
         prefetcher.shutdown(wait=True, cancel_futures=True)
+        if reader is not None:
+            reader.close()
         if isinstance(data, np.memmap):
             del data
 
@@ -263,26 +485,44 @@ def scan_file(
         output_path=output_path,
         counters=counters,
         resumed_from=start_elements,
+        input_format=input_format,
+        output_format=output_format,
     )
 
 
-def _checkpoint(session: ScanSession, path, total_elements: int, out_fh) -> None:
+def _checkpoint(
+    session: ScanSession, path, total_elements: int, sink, io_record
+) -> None:
     """Make all output durable, then atomically persist the state."""
     t0 = time.perf_counter()
-    out_fh.flush()
-    os.fsync(out_fh.fileno())
+    sink.sync()
     session.counters.checkpoint_writes += 1  # count the write being persisted
+    io = None
+    if io_record is not None:
+        io = dict(io_record)
+        writer_state = sink.io_state()
+        if writer_state is not None:
+            io["writer"] = writer_state
     payload = build_checkpoint(
-        session.state_dict(), total_elements, session.counters.as_dict()
+        session.state_dict(), total_elements, session.counters.as_dict(), io=io
     )
     write_checkpoint(path, payload)
     session.counters.seconds_checkpoint += time.perf_counter() - t0
 
 
 def _restore(
-    session: ScanSession, checkpoint, total_elements: int, output_path: str
-) -> int:
-    """Load a checkpoint into ``session``; returns the resume offset."""
+    session: ScanSession,
+    checkpoint,
+    total_elements: int,
+    output_path: str,
+    *,
+    input_format: str = "raw",
+    output_format: str = "raw",
+    align: int = 1,
+    out_block: int = 1,
+):
+    """Load a checkpoint into ``session``; returns the resume offset
+    and the blocked writer's cursor (``None`` for raw output)."""
     payload = read_checkpoint(checkpoint)
     state = payload["session"]
     if state["config_hash"] != session.config_hash():
@@ -297,21 +537,61 @@ def _restore(
             f"{payload['input_elements']} elements; this input has "
             f"{total_elements}"
         )
+    io = payload.get("io") or {}
+    stored_in = io.get("input_format", "raw")
+    stored_out = io.get("output_format", "raw")
+    if stored_in != input_format or stored_out != output_format:
+        raise CheckpointMismatchError(
+            f"checkpoint {checkpoint!r} was taken with formats "
+            f"{stored_in}->{stored_out}; this job runs "
+            f"{input_format}->{output_format}"
+        )
     session.load_state_dict(state)
     restored = StreamCounters.from_dict(payload.get("counters", {}))
     restored.resumes += 1
     restored.engine_used = session.counters.engine_used
     session.counters = restored
     offset = session.offset
+    if offset % align:
+        raise CheckpointMismatchError(
+            f"checkpoint offset {offset} is not aligned to the container "
+            f"block size {align}; the checkpoint belongs to a different "
+            f"container geometry"
+        )
+    writer_state = None
+    if output_format == "blocked":
+        stored_block = io.get("output_block_elements")
+        if stored_block is not None and stored_block != out_block:
+            raise CheckpointMismatchError(
+                f"checkpoint {checkpoint!r} wrote {stored_block}-element "
+                f"output blocks; this job is configured for {out_block}"
+            )
+        writer_state = io.get("writer")
+        if offset and not isinstance(writer_state, dict):
+            raise CheckpointMismatchError(
+                f"checkpoint {checkpoint!r} lacks the blocked writer cursor"
+            )
+        if offset and writer_state.get("blocks_written") != offset // out_block:
+            raise CheckpointMismatchError(
+                f"checkpoint {checkpoint!r} writer cursor "
+                f"({writer_state.get('blocks_written')} blocks) disagrees "
+                f"with the session offset ({offset} elements)"
+            )
+        if not offset:
+            writer_state = None
     if offset and not os.path.exists(output_path):
         raise StreamError(
             f"cannot resume: checkpoint says {offset} elements are done "
             f"but output file {output_path!r} does not exist"
         )
-    if offset and os.path.getsize(output_path) < offset * session.dtype.itemsize:
+    if (
+        offset
+        and output_format == "raw"
+        and os.path.getsize(output_path) < offset * session.dtype.itemsize
+    ):
         raise StreamError(
             f"cannot resume: output file {output_path!r} is shorter than "
             f"the checkpointed offset ({offset} elements); the checkpoint "
             f"and output are out of sync"
         )
-    return offset
+    return offset, writer_state

@@ -66,6 +66,7 @@ from repro.stream.counters import StreamCounters
 
 # The adaptive chunker was born here and moved to the single-session
 # driver when it grew adaptive_chunks= too; re-exported for back-compat.
+from repro.compression.stream import BlockedFileReader, BlockedIndex, read_index
 from repro.stream.driver import (  # noqa: F401 - re-exports
     ADAPT_HIGH_SECONDS,
     ADAPT_LOW_SECONDS,
@@ -73,6 +74,7 @@ from repro.stream.driver import (  # noqa: F401 - re-exports
     ADAPT_MIN_CHUNK_BYTES,
     DEFAULT_CHUNK_BYTES,
     _AdaptiveChunker,
+    resolve_input_format,
     scan_file,
 )
 from repro.stream.errors import (
@@ -100,6 +102,7 @@ class ShardedResult:
     shard_counters: List[StreamCounters] = field(default_factory=list)
     resumed_shards: int = 0
     fallback_reason: Optional[str] = None
+    input_format: str = "raw"
 
     @property
     def engine_used(self) -> str:
@@ -254,10 +257,13 @@ class _ShardedJob:
     def __init__(
         self, *, input_path, output_path, op, dtype, order, tuple_size,
         inclusive, engine, shards, chunk_bytes, adaptive_chunks,
-        checkpoint, workers, shard_threads=1,
+        checkpoint, workers, shard_threads=1, input_format="raw",
+        blocked_index=None,
     ):
         self.input_path = input_path
         self.output_path = output_path
+        self.input_format = input_format
+        self.blocked_index: Optional[BlockedIndex] = blocked_index
         self.scratch_path = f"{output_path}.scratch"
         self.op = op
         self.dtype = dtype
@@ -350,8 +356,12 @@ class _ShardedJob:
         if self.checkpoint is None:
             return
         t0 = time.perf_counter()
+        io = None
+        if self.input_format != "raw":
+            io = {"input_format": self.input_format}
         payload = build_shard_manifest(
-            self.config(), self.total_elements, self.shards, self.state_dict()
+            self.config(), self.total_elements, self.shards, self.state_dict(),
+            io=io,
         )
         write_checkpoint(self.checkpoint, payload)
         self.carried.checkpoint_writes += 1
@@ -375,6 +385,12 @@ class _ShardedJob:
                 f"shard manifest {self.checkpoint!r} was taken against an "
                 f"input of {payload['input_elements']} elements; this input "
                 f"has {self.total_elements}"
+            )
+        saved_format = payload.get("io", {}).get("input_format", "raw")
+        if saved_format != self.input_format:
+            raise CheckpointMismatchError(
+                f"shard manifest {self.checkpoint!r} was taken against a "
+                f"{saved_format!r} input; this job reads {self.input_format!r}"
             )
         # Resume continues the *stored* plan: shard boundaries are part
         # of the on-disk layout, unlike chunk size or engine.
@@ -505,7 +521,15 @@ def _scan_shard(
         # for floats (which only get here under ``exact=False``).
         kernel = LaneKernel(op, dtype, s, start=lo, prime=prime, exact=False)
     seen = _seen_before(lo, s)
-    source = np.memmap(job.source_path(pass_index), dtype=dtype, mode="r")
+    # Pass 1 of a compressed job reads blocks through the shared index
+    # (each task opens its own file handle; the parsed metadata is one
+    # object); later passes ping-pong between raw scratch/output files.
+    reader = None
+    source = None
+    if pass_index == 1 and job.blocked_index is not None:
+        reader = BlockedFileReader(job.input_path, index=job.blocked_index)
+    else:
+        source = np.memmap(job.source_path(pass_index), dtype=dtype, mode="r")
     chunker = _AdaptiveChunker(
         max(1, job.chunk_bytes // job.itemsize), job.itemsize,
         job.adaptive_chunks, counters,
@@ -517,7 +541,10 @@ def _scan_shard(
         while pos < hi:
             chunk_start = time.perf_counter()
             take = min(chunker.elements, hi - pos)
-            chunk = np.array(source[pos : pos + take], copy=True)
+            if reader is not None:
+                chunk = reader.read_range(pos, pos + take)
+            else:
+                chunk = np.array(source[pos : pos + take], copy=True)
             t_read = time.perf_counter()
             counters.seconds_read += t_read - chunk_start
             if fold_carry is not None:
@@ -534,6 +561,8 @@ def _scan_shard(
             counters.chunks += 1
             counters.bytes_in += chunk.nbytes
             counters.bytes_out += chunk.nbytes
+            if reader is not None:
+                counters.decoded_bytes_in += chunk.nbytes
             if pass_index == 1:
                 counters.elements += len(chunk)
             pos += take
@@ -544,6 +573,15 @@ def _scan_shard(
         counters.seconds_write += time.perf_counter() - t0
     finally:
         out_fh.close()
+        if reader is not None:
+            # read_range was timed under seconds_read; reattribute its
+            # decode share so the phases decompose like the fused driver.
+            counters.compressed_bytes_in += reader.payload_bytes_read
+            counters.seconds_decode += reader.decode_seconds
+            counters.seconds_read = max(
+                0.0, counters.seconds_read - reader.decode_seconds
+            )
+            reader.close()
         del source
     counters.shards += 1
     counters.primed_shards += int(baked)
@@ -621,6 +659,7 @@ def scan_file_sharded(
     resume: bool = False,
     exact: bool = True,
     threads=None,
+    input_format: str = "auto",
     fail_after_shards: Optional[int] = None,
 ) -> ShardedResult:
     """Scan a raw binary file out of core across ``shards`` partitions.
@@ -639,6 +678,17 @@ def scan_file_sharded(
     re-runs only its unfinished shards under ``resume=True``.
     ``fail_after_shards`` is a test-only hook aborting the job after N
     shard completions.
+
+    ``input_format`` mirrors :func:`scan_file`: ``"auto"`` (sniff the
+    ``SAMB`` magic), ``"raw"``, or ``"blocked"``.  A blocked input's
+    dtype and element count come from its container header (the
+    ``dtype`` argument is ignored), the shard plan is aligned to the
+    container's block size so no two shards decode the same block, and
+    pass 1 of every shard decodes its block range through one shared
+    index.  Later passes and the fold are raw-byte, unchanged.
+    Compressed *output* is a single-session feature
+    (:func:`scan_file`'s ``output_format``) — sharded folds rewrite
+    the output in place, which a compressed container cannot do.
     """
     if chunk_bytes < 1:
         raise ValueError(f"chunk_bytes must be >= 1, got {chunk_bytes}")
@@ -653,16 +703,26 @@ def scan_file_sharded(
     input_path = os.fspath(input_path)
     output_path = os.fspath(output_path)
 
+    input_format = resolve_input_format(input_path, input_format)
     resolved_op = get_op(op)
-    resolved_dtype = resolved_op.check_dtype(dtype)
-    itemsize = resolved_dtype.itemsize
-    input_bytes = os.path.getsize(input_path)
-    if input_bytes % itemsize:
-        raise ValueError(
-            f"{input_path!r} is {input_bytes} bytes, not a multiple of "
-            f"{resolved_dtype.name}'s {itemsize}-byte item size"
-        )
-    total_elements = input_bytes // itemsize
+    blocked_index = None
+    if input_format == "blocked":
+        # The container header is authoritative for dtype and count;
+        # raw-byte divisibility does not apply to compressed payloads.
+        blocked_index = read_index(input_path)
+        resolved_dtype = resolved_op.check_dtype(blocked_index.dtype)
+        itemsize = resolved_dtype.itemsize
+        total_elements = blocked_index.count
+    else:
+        resolved_dtype = resolved_op.check_dtype(dtype)
+        itemsize = resolved_dtype.itemsize
+        input_bytes = os.path.getsize(input_path)
+        if input_bytes % itemsize:
+            raise ValueError(
+                f"{input_path!r} is {input_bytes} bytes, not a multiple of "
+                f"{resolved_dtype.name}'s {itemsize}-byte item size"
+            )
+        total_elements = input_bytes // itemsize
 
     if resolved_dtype.kind not in "iu" and exact:
         # Floats are only pseudo-associative: splicing carries across
@@ -673,7 +733,7 @@ def scan_file_sharded(
             input_path, output_path, dtype=resolved_dtype, op=resolved_op,
             order=order, tuple_size=tuple_size, inclusive=inclusive,
             engine=engine, chunk_bytes=chunk_bytes, checkpoint=checkpoint,
-            resume=resume, threads=threads,
+            resume=resume, threads=threads, input_format=input_format,
         )
         return ShardedResult(
             elements=result.elements,
@@ -688,11 +748,21 @@ def scan_file_sharded(
                 "float dtype: bit-exactness requires the sequential exact "
                 "path (pass exact=False to shard float inputs)"
             ),
+            input_format=input_format,
         )
 
     if shards is None:
         shards = os.cpu_count() or 1
-    plan = plan_shards(total_elements, shards)
+    if blocked_index is not None and total_elements:
+        # Align shard bounds to container blocks so no two shards decode
+        # the same block: plan over blocks, scale back to elements.
+        be = blocked_index.block_elements
+        plan = [
+            (b_lo * be, min(b_hi * be, total_elements))
+            for b_lo, b_hi in plan_shards(blocked_index.num_blocks, shards)
+        ]
+    else:
+        plan = plan_shards(total_elements, shards)
     if workers is None:
         workers = min(len(plan), os.cpu_count() or 1)
     # Combined-oversubscription guard: the caller's thread budget is for
@@ -709,6 +779,7 @@ def scan_file_sharded(
         inclusive=inclusive, engine=engine, shards=plan,
         chunk_bytes=chunk_bytes, adaptive_chunks=adaptive_chunks,
         checkpoint=checkpoint, workers=workers, shard_threads=shard_threads,
+        input_format=input_format, blocked_index=blocked_index,
     )
     job.fail_after_shards = fail_after_shards
 
@@ -719,6 +790,7 @@ def scan_file_sharded(
         return ShardedResult(
             elements=0, dtype=resolved_dtype.name, output_path=output_path,
             counters=job.counters_so_far(), shards=[], passes=order,
+            input_format=input_format,
         )
 
     resumed = False
@@ -757,6 +829,7 @@ def scan_file_sharded(
         passes=order,
         shard_counters=list(job.shard_counters),
         resumed_shards=job.resumed_shards,
+        input_format=input_format,
     )
 
 

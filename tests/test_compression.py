@@ -105,7 +105,7 @@ class TestModelSelection:
         values = rng.integers(-100, 100, 1000).astype(np.int32)
         cost = residual_cost_bytes(values, 1, 1)
         blob = DeltaCodec().compress(values, order=1)
-        header = 16
+        header = 24  # v2 header: 16-byte v1 layout + payload CRC + pad
         assert blob.nbytes - header == cost
 
     def test_tuple_aware_model_wins_on_interleaved_data(self, rng):

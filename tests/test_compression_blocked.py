@@ -110,7 +110,7 @@ class TestValidation:
             rng.integers(0, 5, 300).astype(np.int32)
         )
         with pytest.raises(CodecError, match="truncated block index"):
-            BlockedDeltaCodec().parse(blob.data[:28])
+            BlockedDeltaCodec().parse(blob.data[:36])
 
     def test_payload_length_mismatch(self, rng):
         blob = BlockedDeltaCodec(block_elements=100).compress(

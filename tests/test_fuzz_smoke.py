@@ -28,7 +28,7 @@ class TestFuzzTool:
         assert config["engine"] in (
             "sam", "sam_chained", "lookback", "reduce_scan",
             "three_phase", "streamscan", "parallel", "parallel_chained",
-            "stream", "sharded", "threaded", "plan",
+            "stream", "sharded", "threaded", "plan", "compressed",
         )
         assert 1 <= config["order"] <= 4
         assert 1 <= config["tuple_size"] <= 8
@@ -42,7 +42,7 @@ class TestFuzzTool:
                 continue
             seen.add(config["engine"])
             build_engine(config)
-        assert len(seen) == 12
+        assert len(seen) == 13
 
     def test_run_one_agrees(self):
         rng = np.random.default_rng(2)

@@ -78,9 +78,15 @@ def gate(baseline: dict, candidate: dict, max_regression: float) -> int:
         print("bench_gate: no comparable rows between baseline and candidate")
         return 2
     failures = []
+    # Compression benchmarks carry the achieved ratio on every row;
+    # print it next to the throughput ratio so a speedup change can be
+    # read against the ratio that produced it (a decode got slower vs
+    # the data simply stopped compressing).
+    with_ratio = any("compression_ratio" in cand_rows[k] for k in shared)
+    ratio_head = f" {'ratio':>7}" if with_ratio else ""
     print(
         f"{'tuple_size':>10} {'order':>5} {'dtype':>6} {'op':>4} {'thr':>4} "
-        f"{'baseline':>9} {'candidate':>9} {'floor':>7}  verdict"
+        f"{'baseline':>9} {'candidate':>9} {'floor':>7}{ratio_head}  verdict"
     )
     for key in shared:
         row = base_rows[key]
@@ -90,9 +96,15 @@ def gate(baseline: dict, candidate: dict, max_regression: float) -> int:
         ok = cand >= floor
         s, q, dtype, op = key[:4]
         threads = row.get("threads", "-")
+        ratio_cell = ""
+        if with_ratio:
+            ratio = cand_rows[key].get("compression_ratio")
+            ratio_cell = (
+                f" {ratio:>6.2f}x" if ratio is not None else f" {'-':>7}"
+            )
         print(
             f"{s:>10} {q:>5} {dtype:>6} {op:>4} {threads:>4} "
-            f"{base:>8.2f}x {cand:>8.2f}x {floor:>6.2f}x  "
+            f"{base:>8.2f}x {cand:>8.2f}x {floor:>6.2f}x{ratio_cell}  "
             f"{'ok' if ok else 'REGRESSED'}"
         )
         if not ok:

@@ -34,7 +34,7 @@ from repro.reference import prefix_sum_serial
 ENGINES = (
     "sam", "sam_chained", "lookback", "reduce_scan", "three_phase",
     "streamscan", "parallel", "parallel_chained", "stream", "sharded",
-    "threaded", "plan",
+    "threaded", "plan", "compressed",
 )
 
 #: Strategies the "plan" kind forces through the planner's dispatcher
@@ -84,6 +84,16 @@ def random_config(rng, engines=ENGINES):
         # through the planner's dispatcher (None = the planner's own
         # pick), so every execute_plan arm gets differential coverage.
         "plan_force": PLAN_FORCES[int(rng.integers(0, len(PLAN_FORCES)))],
+        # Only the "compressed" kind reads these: blocked-container
+        # geometry (tiny blocks so even fuzz-sized inputs span many),
+        # the codec's delta order, whether to scan single-session or
+        # sharded, whether to re-encode the scanned output, and whether
+        # to kill the job mid-way (injected failure) and resume it.
+        "compressed_block_elements": int(rng.choice([16, 64, 256, 1024])),
+        "codec_order": int(rng.integers(1, 4)),
+        "compressed_sharded": bool(rng.integers(0, 2)),
+        "compressed_output_blocked": bool(rng.integers(0, 2)),
+        "compressed_crash": bool(rng.integers(0, 2)),
     }
     return config
 
@@ -167,6 +177,104 @@ class ShardedFileScan:
         return result
 
 
+class CompressedScan:
+    """Adapter: encodes the input into a blocked ``.samb`` container and
+    scans it through the fused decode→scan→encode stream layer —
+    single-session or sharded, optionally killed mid-job by the
+    injected-failure hook and resumed from its checkpoint/manifest —
+    then reads the scanned stream back (decoding it again when the
+    output was itself blocked).  The oracle sees only raw values, so
+    codec round-trip, block-aligned shard planning, carry splice, and
+    resume must compose to bit-identical output.
+    """
+
+    def __init__(self, *, block_elements, codec_order, sharded, shards,
+                 chunk_bytes, output_blocked, crash):
+        self.block_elements = block_elements
+        self.codec_order = codec_order
+        self.sharded = sharded
+        self.shards = shards
+        self.chunk_bytes = chunk_bytes
+        # Blocked output is single-session only (the sharded fold
+        # rewrites the output in place).
+        self.output_blocked = output_blocked and not sharded
+        self.crash = crash
+
+    def run(self, values, order=1, tuple_size=1, op="add", inclusive=True):
+        import os
+        import tempfile
+
+        from repro.compression import BlockedDeltaCodec
+        from repro.compression.stream import BlockedFileReader
+        from repro.stream import (
+            InjectedFailureError,
+            scan_file,
+            scan_file_sharded,
+        )
+
+        values = np.asarray(values)
+        with tempfile.TemporaryDirectory(prefix="fuzz-compressed-") as tmp:
+            input_path = os.path.join(tmp, "in.samb")
+            output_path = os.path.join(
+                tmp, "out.samb" if self.output_blocked else "out.bin"
+            )
+            blob = BlockedDeltaCodec(
+                block_elements=self.block_elements
+            ).compress(values, order=self.codec_order)
+            with open(input_path, "wb") as fh:
+                fh.write(blob.data)
+
+            kwargs = dict(
+                op=op, order=order, tuple_size=tuple_size,
+                inclusive=inclusive, input_format="blocked",
+                checkpoint=os.path.join(tmp, "ckpt.json"),
+            )
+            if self.sharded:
+                attempts = [{"fail_after_shards": 1}] if self.crash else []
+                attempts.append({"resume": True})
+                for extra in attempts:
+                    try:
+                        scan_file_sharded(
+                            input_path, output_path, shards=self.shards,
+                            workers=1, chunk_bytes=self.chunk_bytes,
+                            **kwargs, **extra,
+                        )
+                    except InjectedFailureError:
+                        pass
+            else:
+                if self.output_blocked:
+                    kwargs.update(
+                        output_format="blocked",
+                        output_block_elements=self.block_elements,
+                    )
+                attempts = [{"fail_after_chunks": 1}] if self.crash else []
+                attempts.append({"resume": True})
+                for extra in attempts:
+                    try:
+                        scan_file(
+                            input_path, output_path,
+                            chunk_bytes=self.chunk_bytes,
+                            checkpoint_every=1, **kwargs, **extra,
+                        )
+                    except InjectedFailureError:
+                        pass
+
+            if self.output_blocked:
+                with BlockedFileReader(output_path) as reader:
+                    out = np.array(
+                        reader.read_range(0, reader.count), copy=True
+                    )
+            else:
+                out = np.fromfile(output_path, dtype=values.dtype)
+
+        class Result:
+            pass
+
+        result = Result()
+        result.values = out
+        return result
+
+
 class PlannedScan:
     """Adapter: routes a scan through the execution planner
     (:func:`repro.plan.auto_scan`) — flag-less, letting the planner
@@ -221,6 +329,16 @@ def build_engine(config):
         return ThreadedScan(threads=config["slab_threads"], cutover_bytes=0)
     if kind == "plan":
         return PlannedScan(force=config["plan_force"])
+    if kind == "compressed":
+        return CompressedScan(
+            block_elements=config["compressed_block_elements"],
+            codec_order=config["codec_order"],
+            sharded=config["compressed_sharded"],
+            shards=config["shards"],
+            chunk_bytes=config["shard_chunk_bytes"],
+            output_blocked=config["compressed_output_blocked"],
+            crash=config["compressed_crash"],
+        )
     if kind == "sharded":
         return ShardedFileScan(
             shards=config["shards"],
@@ -241,6 +359,11 @@ def build_engine(config):
 def run_one(config, rng) -> bool:
     """Run one configuration; returns True on agreement."""
     dtype = np.dtype(config["dtype"])
+    # The blocked codec is int32/int64 only; map the unsigned draws to
+    # their signed width instead of discarding the configuration.
+    if config["engine"] == "compressed" and dtype.kind == "u":
+        dtype = np.dtype(np.int32 if dtype.itemsize == 4 else np.int64)
+        config["dtype"] = dtype.type
     if dtype.kind == "u":
         values = rng.integers(0, 2**16, config["n"]).astype(dtype)
     else:
