@@ -63,13 +63,21 @@ import sys
 import numpy as np
 
 
-def _resolve_cli_engine(name: str, workers: int, threads: int = 0):
+def _cli_float_mode(args):
+    """The scan/stream commands' resolved ``--float-mode`` (None when
+    the flag is absent — integer workloads and the exact default)."""
+    return getattr(args, "float_mode", None)
+
+
+def _resolve_cli_engine(name: str, workers: int, threads: int = 0, float_mode=None):
     """Engine construction shared by ``scan`` and ``stream``.
 
     ``--workers`` applies to *both* multicore engines — ``parallel``
     and the ``parallel_chained`` carry ablation (it used to be silently
     ignored for the latter).  ``--threads`` configures the in-memory
     slab-parallel engine (``--engine threaded``; 0 = auto).
+    ``--float-mode`` reaches the engines that implement the contract
+    (see :func:`repro.api.resolve_engine`).
     """
     if name in ("parallel", "parallel_chained") and workers:
         from repro.parallel import ParallelSamScan
@@ -79,10 +87,10 @@ def _resolve_cli_engine(name: str, workers: int, threads: int = 0):
     if name == "threaded" and threads:
         from repro.kernels import ThreadedScan
 
-        return ThreadedScan(threads=threads)
+        return ThreadedScan(threads=threads, float_mode=float_mode)
     from repro.api import resolve_engine
 
-    return resolve_engine(name)
+    return resolve_engine(name, float_mode=float_mode)
 
 
 def _cmd_explain(args) -> int:
@@ -103,6 +111,7 @@ def _cmd_explain(args) -> int:
         tuple_size=args.tuple_size,
         inclusive=not args.exclusive,
         source=args.explain_source,
+        float_mode=_cli_float_mode(args),
     )
     print(plan.explain())
     return 0
@@ -117,12 +126,13 @@ def _cmd_scan(args) -> int:
     values = np.fromfile(args.input, dtype=np.dtype(args.dtype))
     op = get_op(args.op)
     inclusive = not args.exclusive
+    float_mode = _cli_float_mode(args)
     if args.engine == "auto" and not args.workers and not args.threads:
         from repro.plan import PLANNER_COUNTERS, auto_scan
 
         out = auto_scan(
             values, op=op, order=args.order, tuple_size=args.tuple_size,
-            inclusive=inclusive,
+            inclusive=inclusive, float_mode=float_mode,
         )
         out.tofile(args.output)
         kind = "inclusive" if inclusive else "exclusive"
@@ -133,13 +143,22 @@ def _cmd_scan(args) -> int:
             f"-> {args.output}"
         )
         return 0
-    engine = _resolve_cli_engine(args.engine, args.workers, args.threads)
+    engine = _resolve_cli_engine(
+        args.engine, args.workers, args.threads, float_mode=float_mode
+    )
     if engine is None:
-        out = host_prefix_sum(
-            values, order=args.order, tuple_size=args.tuple_size,
-            op=op, inclusive=inclusive,
-            threads=args.threads or None,
-        )
+        if float_mode == "compensated" and values.dtype.kind == "f":
+            from repro.api import _host_compensated
+
+            out = _host_compensated(
+                values, op, args.order, args.tuple_size, inclusive
+            )
+        else:
+            out = host_prefix_sum(
+                values, order=args.order, tuple_size=args.tuple_size,
+                op=op, inclusive=inclusive,
+                threads=args.threads or None,
+            )
         used = "host"
     else:
         result = engine.run(
@@ -178,6 +197,7 @@ def _cmd_stream_planned(args) -> int:
             checkpoint_every=args.checkpoint_every,
             resume=args.resume,
             input_format=args.input_format,
+            float_mode=_cli_float_mode(args),
         )
     except StreamError as exc:
         print(f"stream failed: {exc}", file=_sys.stderr)
@@ -252,7 +272,10 @@ def _cmd_stream(args) -> int:
         return _cmd_stream_planned(args)
     if args.shards and args.shards > 1:
         return _cmd_stream_sharded(args)
-    engine = _resolve_cli_engine(args.engine, args.workers, args.threads)
+    float_mode = _cli_float_mode(args)
+    engine = _resolve_cli_engine(
+        args.engine, args.workers, args.threads, float_mode=float_mode
+    )
     out_kwargs = {}
     if args.output_block_elements is not None:
         out_kwargs["output_block_elements"] = args.output_block_elements
@@ -271,6 +294,7 @@ def _cmd_stream(args) -> int:
             checkpoint_every=args.checkpoint_every,
             resume=args.resume,
             threads=args.threads or None,
+            float_mode=float_mode,
             adaptive_chunks=args.adaptive_chunks,
             fail_after_chunks=args.fail_after_chunks,
             input_format=args.input_format,
@@ -310,7 +334,10 @@ def _cmd_stream_sharded(args) -> int:
 
     from repro.stream import StreamError, scan_file_sharded
 
-    engine = _resolve_cli_engine(args.engine, args.workers, args.threads)
+    float_mode = _cli_float_mode(args)
+    engine = _resolve_cli_engine(
+        args.engine, args.workers, args.threads, float_mode=float_mode
+    )
     try:
         result = scan_file_sharded(
             args.input,
@@ -327,6 +354,7 @@ def _cmd_stream_sharded(args) -> int:
             checkpoint=args.checkpoint,
             resume=args.resume,
             threads=args.threads or None,
+            float_mode=float_mode,
             input_format=args.input_format,
             fail_after_shards=args.fail_after_shards,
         )
@@ -433,6 +461,7 @@ def _cmd_feed(args) -> int:
                 tuple_size=s,
                 inclusive=not args.exclusive,
                 dtype=args.dtype,
+                float_mode=_cli_float_mode(args),
             )
             start = reply["offset"]
             if start:
@@ -656,13 +685,23 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("input")
         p.add_argument("output")
         p.add_argument("--dtype", default="int32",
-                       choices=["int32", "int64", "uint32", "uint64"])
+                       choices=["int32", "int64", "uint32", "uint64",
+                                "float32", "float64"])
         p.add_argument("--op", default="add",
                        choices=["add", "max", "min", "xor", "and", "or", "mul"])
         p.add_argument("--order", type=int, default=1)
         p.add_argument("--tuple-size", type=int, default=1)
         p.add_argument("--exclusive", action="store_true",
                        help="exclusive scan (default: inclusive)")
+        p.add_argument("--float-mode", default=None,
+                       choices=["exact", "compensated", "regrouped"],
+                       help="float contract (float dtypes only): exact "
+                            "(default) reproduces the sequential left fold "
+                            "bit for bit; compensated scans with error-free "
+                            "carries — more accurate AND deterministically "
+                            "parallel across any thread/shard count; "
+                            "regrouped allows carry-fold rounding (the "
+                            "deprecated exact=False API tri-state)")
         p.add_argument("--engine", default="auto", choices=list(ENGINE_NAMES),
                        help="auto (default: the planner picks from the "
                             "data), host, parallel (multicore shared "
@@ -771,13 +810,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="server address: host:port or unix:PATH")
     p.add_argument("--session", required=True, metavar="NAME")
     p.add_argument("--dtype", default="int32",
-                   choices=["int32", "int64", "uint32", "uint64"])
+                   choices=["int32", "int64", "uint32", "uint64",
+                            "float32", "float64"])
     p.add_argument("--op", default="add",
                    choices=["add", "max", "min", "xor", "and", "or", "mul"])
     p.add_argument("--order", type=int, default=1)
     p.add_argument("--tuple-size", type=int, default=1)
     p.add_argument("--exclusive", action="store_true",
                    help="exclusive scan (default: inclusive)")
+    p.add_argument("--float-mode", default=None,
+                   choices=["exact", "compensated", "regrouped"],
+                   help="float contract for the served session "
+                        "(float dtypes only; see 'scan --help')")
     p.add_argument("--chunk-bytes", type=int, default=1 << 16,
                    help="bytes per FEED frame (default 65536)")
     p.add_argument("--window", type=int, default=8,

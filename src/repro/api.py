@@ -67,7 +67,7 @@ def _wants_planner(engine) -> bool:
     )
 
 
-def resolve_engine(engine):
+def resolve_engine(engine, float_mode=None):
     """Map an engine name to a constructed engine (lazily imported).
 
     ``None`` and ``"host"`` resolve to ``None`` — the callers' fast
@@ -78,6 +78,13 @@ def resolve_engine(engine):
     and the host path is the planner's serial strategy.
     Already-constructed engine objects pass through unchanged, so
     callers can keep handing in configured instances.
+
+    ``float_mode`` threads the float contract into the engines that
+    implement it (``"threaded"``; the host path and the planner handle
+    it at their own entry points).  The simulated-GPU engines and the
+    process-pool engine implement only the exact contract, so a
+    non-exact mode on those names is an error rather than a silent
+    downgrade.
     """
     if engine is None or not isinstance(engine, str):
         return engine
@@ -87,7 +94,13 @@ def resolve_engine(engine):
     if name == "threaded":
         from repro.kernels import ThreadedScan
 
-        return ThreadedScan()
+        return ThreadedScan(float_mode=float_mode)
+    if float_mode not in (None, "exact"):
+        raise ValueError(
+            f"engine {engine!r} implements only the exact float contract; "
+            f"float_mode={float_mode!r} needs engine='threaded', the host "
+            f"path, or the planner (engine='auto')"
+        )
     if name in ("parallel", "parallel_chained"):
         from repro.parallel import ParallelSamScan
 
@@ -120,18 +133,46 @@ def resolve_engine(engine):
     )
 
 
+def _host_compensated(values, op, order, tuple_size, inclusive) -> np.ndarray:
+    """The host path's compensated-float branch: the error-free-carry
+    serial scan (:func:`repro.kernels.compensated_scan_into`) — the
+    reference every parallel compensated strategy is bit-identical to."""
+    from repro.kernels import compensated_scan_into
+    from repro.kernels.compensated import check_compensated
+
+    resolved = get_op(op)
+    array = np.ascontiguousarray(values)
+    check_compensated(resolved, array.dtype)
+    return compensated_scan_into(
+        array,
+        np.empty_like(array),
+        resolved,
+        order=order,
+        tuple_size=tuple_size,
+        inclusive=inclusive,
+    )
+
+
 def prefix_sum(
     values,
     order: int = 1,
     tuple_size: int = 1,
     inclusive: bool = True,
     engine=None,
+    float_mode=None,
 ) -> np.ndarray:
     """Generalized prefix sum (order-``q``, tuple-``s``).
 
     ``order=1, tuple_size=1`` is the conventional prefix sum; higher
     orders decode higher-order difference sequences; tuple sizes > 1
     compute ``s`` interleaved independent prefix sums.
+
+    ``float_mode`` picks the float contract for float dtypes:
+    ``"exact"`` (default) reproduces the sequential left fold bit for
+    bit, ``"compensated"`` runs the error-free-carry scan — more
+    accurate than the naive fold and deterministically parallelizable —
+    and ``"regrouped"`` allows carry-fold rounding differences.
+    Integer inputs ignore it.
 
     >>> import numpy as np
     >>> prefix_sum(np.array([1, 1, 1, 1], dtype=np.int32)).tolist()
@@ -145,13 +186,16 @@ def prefix_sum(
         from repro.plan import auto_scan
 
         return auto_scan(
-            values, op=ADD, order=order, tuple_size=tuple_size, inclusive=inclusive
+            values, op=ADD, order=order, tuple_size=tuple_size,
+            inclusive=inclusive, float_mode=float_mode,
         )
-    engine = resolve_engine(engine)
+    engine = resolve_engine(engine, float_mode=float_mode)
     if engine is not None:
         return engine.run(
             values, order=order, tuple_size=tuple_size, op=ADD, inclusive=inclusive
         ).values
+    if float_mode == "compensated" and np.asarray(values).dtype.kind == "f":
+        return _host_compensated(values, ADD, order, tuple_size, inclusive)
     return host_prefix_sum(
         values, order=order, tuple_size=tuple_size, op=ADD, inclusive=inclusive
     )
@@ -163,11 +207,14 @@ def scan(
     tuple_size: int = 1,
     inclusive: bool = True,
     engine=None,
+    float_mode=None,
 ) -> np.ndarray:
     """Generalized prefix scan with an arbitrary associative operator.
 
     ``op`` is a built-in name (``add``, ``max``, ``min``, ``xor``,
     ``and``, ``or``, ``mul``) or a :class:`repro.ops.AssociativeOp`.
+    ``float_mode`` works as in :func:`prefix_sum` (compensated mode
+    supports float ``add`` only).
 
     >>> import numpy as np
     >>> scan(np.array([3, 1, 4, 1, 5], dtype=np.int32), op="max").tolist()
@@ -177,13 +224,16 @@ def scan(
         from repro.plan import auto_scan
 
         return auto_scan(
-            values, op=op, order=1, tuple_size=tuple_size, inclusive=inclusive
+            values, op=op, order=1, tuple_size=tuple_size,
+            inclusive=inclusive, float_mode=float_mode,
         )
-    engine = resolve_engine(engine)
+    engine = resolve_engine(engine, float_mode=float_mode)
     if engine is not None:
         return engine.run(
             values, tuple_size=tuple_size, op=get_op(op), inclusive=inclusive
         ).values
+    if float_mode == "compensated" and np.asarray(values).dtype.kind == "f":
+        return _host_compensated(values, op, 1, tuple_size, inclusive)
     return host_scan(values, op=op, tuple_size=tuple_size, inclusive=inclusive)
 
 
@@ -215,6 +265,7 @@ def open_session(
     dtype=None,
     engine=None,
     threads=None,
+    float_mode=None,
 ):
     """Open a streaming scan session (chunked input, persistent carry).
 
@@ -225,7 +276,9 @@ def open_session(
     the chunks are scanned on (same names/objects as everywhere else);
     ``threads`` (an int or ``"auto"``) additionally runs integer
     host-path chunk scans on the slab-parallel in-memory kernel —
-    results are unchanged.
+    results are unchanged.  ``float_mode`` picks the session's float
+    contract (``"exact"`` default, ``"compensated"``, ``"regrouped"``
+    — see :class:`repro.stream.ScanSession`).
 
     >>> import numpy as np
     >>> session = open_session(order=2)
@@ -244,6 +297,7 @@ def open_session(
         dtype=dtype,
         engine=engine,
         threads=threads,
+        float_mode=float_mode,
     )
 
 
@@ -264,6 +318,7 @@ def scan_file(
     shards: int = None,
     workers: int = None,
     exact: bool = True,
+    float_mode: str = None,
     threads=None,
     adaptive_chunks: bool = None,
     input_format: str = "auto",
@@ -286,8 +341,11 @@ def scan_file(
     into N contiguous shards scanned concurrently by up to ``workers``
     threads, spliced, and folded; ``checkpoint`` then names a per-shard
     manifest and resume re-runs only unfinished shards.  Float inputs
-    stay on the sequential exact path unless ``exact=False``.  Returns
-    a :class:`repro.stream.ShardedResult`.
+    stay on the sequential exact path unless ``float_mode`` says
+    otherwise: ``"compensated"`` shards floats deterministically
+    through error-free carries (bit-identical for any shard count),
+    ``"regrouped"`` (the legacy ``exact=False``) shards with carry-fold
+    rounding.  Returns a :class:`repro.stream.ShardedResult`.
 
     ``threads`` opts chunk scans into the slab-parallel in-memory
     kernel (per session, or per shard task with the combined
@@ -353,6 +411,7 @@ def scan_file(
             checkpoint_every=checkpoint_every,
             resume=resume,
             exact=exact,
+            float_mode=float_mode,
             adaptive_chunks=adaptive_chunks,
             input_format=input_format,
         )
@@ -379,6 +438,7 @@ def scan_file(
             checkpoint=checkpoint,
             resume=resume,
             exact=exact,
+            float_mode=float_mode,
             threads=threads,
             **format_kwargs,
             **kwargs,
@@ -403,6 +463,7 @@ def scan_file(
         checkpoint=checkpoint,
         resume=resume,
         threads=threads,
+        float_mode=float_mode,
         **out_kwargs,
         **kwargs,
     )
@@ -421,7 +482,8 @@ def _scan_file_planned(
     checkpoint_every,
     resume,
     exact,
-    adaptive_chunks,
+    float_mode=None,
+    adaptive_chunks=None,
     input_format="auto",
 ):
     """Flag-less :func:`scan_file`: plan the driver, dispatch, feed back.
@@ -444,7 +506,8 @@ def _scan_file_planned(
                     input_path, output_path, dtype=dtype, op=op, order=order,
                     tuple_size=tuple_size, inclusive=inclusive,
                     shards=shard_count, checkpoint=checkpoint, resume=True,
-                    exact=exact, input_format=input_format,
+                    exact=exact, float_mode=float_mode,
+                    input_format=input_format,
                 )
             kwargs = {}
             if checkpoint_every is not None:
@@ -452,7 +515,7 @@ def _scan_file_planned(
             return stream.scan_file(
                 input_path, output_path, dtype=dtype, op=op, order=order,
                 tuple_size=tuple_size, inclusive=inclusive,
-                checkpoint=checkpoint, resume=True,
+                checkpoint=checkpoint, resume=True, float_mode=float_mode,
                 input_format=input_format, **kwargs,
             )
 
@@ -464,6 +527,7 @@ def _scan_file_planned(
         tuple_size=tuple_size,
         inclusive=inclusive,
         input_format=input_format,
+        float_mode=float_mode,
     )
     chosen = plan.chosen
     common = dict(
@@ -481,6 +545,7 @@ def _scan_file_planned(
             shards=chosen.params.get("shards"),
             workers=chosen.params.get("workers"),
             exact=exact,
+            float_mode=float_mode,
             **kwargs,
         )
     else:
@@ -498,6 +563,7 @@ def _scan_file_planned(
                 if chosen.strategy == "stream_threaded"
                 else None
             ),
+            float_mode=float_mode,
             **kwargs,
         )
     observed = plan.observe(time.perf_counter() - t0)
@@ -542,6 +608,7 @@ def explain(
     order: int = 1,
     tuple_size: int = 1,
     inclusive: bool = True,
+    float_mode=None,
 ):
     """The planner's candidate table for a workload, without running it.
 
@@ -561,7 +628,8 @@ def explain(
 
     if values is not None:
         return explain_scan(
-            values, op=op, order=order, tuple_size=tuple_size, inclusive=inclusive
+            values, op=op, order=order, tuple_size=tuple_size,
+            inclusive=inclusive, float_mode=float_mode,
         )
     if input_path is None:
         raise ValueError("explain needs either values or input_path (+ dtype)")
@@ -572,6 +640,7 @@ def explain(
         order=order,
         tuple_size=tuple_size,
         inclusive=inclusive,
+        float_mode=float_mode,
     )
 
 

@@ -5,12 +5,27 @@ hot path: the fast host functions, the streaming session, the sharded
 out-of-core driver, and the multicore workers.  See
 :mod:`repro.kernels.lane` for the algorithmic notes (the 2-D
 lane-block trick, the cache-blocked integer path, and the exact-float
-prepend mode).
+prepend mode) and :mod:`repro.kernels.compensated` for the
+deterministic parallel float mode built on error-free carries.
 """
 
 from repro.kernels.batched import (
     BatchedLaneKernel,
     batchable_op_dtype,
+)
+from repro.kernels.compensated import (
+    FLOAT_MODES,
+    SEGMENT_ROWS,
+    BatchedCompensatedKernel,
+    CompensatedCollectKernel,
+    CompensatedFoldKernel,
+    chain_segments,
+    compensated_scan_into,
+    compensated_supported,
+    fresh_state,
+    lane_scan_compensated,
+    resolve_float_mode,
+    segment_span,
 )
 from repro.kernels.lane import (
     BLOCK_BYTES,
@@ -40,21 +55,32 @@ from repro.kernels.threaded import (
 __all__ = [
     "BLOCK_BYTES",
     "BLOCKED_MIN_STRIDE_BYTES",
+    "FLOAT_MODES",
     "MIN_SLAB_BYTES",
     "PARALLEL_CUTOVER_BYTES",
+    "SEGMENT_ROWS",
+    "BatchedCompensatedKernel",
     "BatchedLaneKernel",
+    "CompensatedCollectKernel",
+    "CompensatedFoldKernel",
     "LaneKernel",
-    "batchable_op_dtype",
     "ThreadedLaneKernel",
     "ThreadedScan",
+    "batchable_op_dtype",
+    "chain_segments",
+    "compensated_scan_into",
+    "compensated_supported",
     "exclusive_shift",
     "fold_lanes",
+    "fresh_state",
     "get_pool",
     "lane_scan",
+    "lane_scan_compensated",
     "lane_scan_exact",
     "lane_totals",
     "phase_perm",
     "phase_totals",
+    "resolve_float_mode",
     "resolve_threads",
     "scan_into",
     "threaded_fold_lanes",

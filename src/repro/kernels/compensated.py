@@ -1,0 +1,757 @@
+"""Compensated float lane scans: deterministic parallelism for floats.
+
+Every parallel path in this repo — the threaded slab kernel, the
+sharded driver, the batched serve kernel — regroups the scan's
+reduction, which is exact for fixed-width integers and *wrong by one
+rounding per regroup* for floats.  The exact float path therefore had
+to stay sequential (the prepend-carry kernel), locking floats out of
+every speedup since PR 1.
+
+This module unlocks them with error-free transformations
+(:mod:`repro.ops.eft`).  The compensated scan is defined per lane as:
+
+1. **Segments.**  Each lane's element stream is cut into *segments* of
+   :data:`SEGMENT_ROWS` elements.  Segment boundaries are a pure
+   function of the global element index (every ``SEGMENT_ROWS * s``
+   elements) — never of the thread count, shard count, or chunk split,
+   which is what makes the result bit-identical across all of them.
+2. **Local naive scan.**  Within a segment, the lane is scanned by the
+   plain sequential left fold ``L_j = fl(L_{j-1} + x_j)`` (one
+   vectorized ``accumulate`` — exactly the fast integer inner loop).
+3. **Exact error recovery.**  Each step's discarded rounding error is
+   recovered *exactly* with :func:`repro.ops.two_sum_err` (branch-free,
+   vectorized) and accumulated into a running local compensation
+   ``E_j`` (its own naive scan — errors of errors are second order).
+4. **The double-double chain.**  Segment totals ``(T, F) = (L_B, E_B)``
+   feed a sequential double-double carry chain
+   ``(H, G) <- dd_add(H, G, T, F)`` — tiny (one step per segment), so
+   the host replays it identically no matter how segments were
+   distributed over threads or shards.
+5. **Render.**  The emitted value is
+   ``out_j = fl(fl(fl(E_j + G) + H) + L_j)`` — local value plus the
+   compensated carry, small terms first.
+
+The carry state is four floats per lane — ``(H, G)`` plus the
+in-segment partials ``(L, E)`` — all canonically zeroed to ``-0.0``
+(the true float-add identity, see :mod:`repro.ops.eft`), which makes a
+zero carry a bitwise no-op: for inputs shorter than one segment the
+compensated scan *is* the naive scan, ``-0.0`` outputs included.
+
+Accuracy: intra-segment errors are recovered exactly and re-injected
+per element; inter-segment errors live in the double-double chain.
+The worst-case error is a couple of ulps of the running prefix —
+versus the naive serial fold's O(n)-growth — so compensated results
+are *more* accurate than the exact-sequential path's on
+cancellation-heavy inputs, while still being deterministic.
+Non-finite inputs poison the error chain: outputs at and after the
+first ``inf``/``NaN`` are non-finite (in general NaN, because
+``inf - inf`` appears in the recovered error), deterministically.
+
+Only ``add`` compensates — two-sum is an additive identity.  Float
+``max``/``min`` are exactly associative and never needed this; float
+``mul`` keeps the exact sequential path.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.kernels.lane import phase_perm, phase_totals
+from repro.ops import get_op
+from repro.ops.eft import NEG_ZERO, canonicalize_errors, dd_add, two_sum_err
+
+#: Per-lane elements per segment.  A segment of one float64 lane is
+#: 32 KiB — cache-resident for the whole recover/compensate pipeline —
+#: and the double-double chain gets one step per segment.  Fixed (not
+#: tuned): the segment grid is part of the compensated result's
+#: definition, so it must not vary with the machine.
+SEGMENT_ROWS = 4096
+
+#: Row indices of the ``(4, s)`` compensated carry state.
+HI, LO, VPART, EPART = 0, 1, 2, 3
+
+#: The three float handling modes of every scan surface.
+FLOAT_MODES = ("exact", "compensated", "regrouped")
+
+
+def compensated_supported(op, dtype) -> bool:
+    """Whether ``(op, dtype)`` can take the compensated path: float
+    dtype under the real-ufunc ``add`` (two-sum is addition-specific)."""
+    try:
+        op = get_op(op)
+        resolved = np.dtype(dtype)
+    except (TypeError, ValueError):
+        return False
+    return op.name == "add" and op.ufunc is not None and resolved.kind == "f"
+
+
+def check_compensated(op, dtype):
+    """Validate ``(op, dtype)`` for the compensated path (raises
+    ``TypeError``); returns the resolved ``(op, dtype)``."""
+    op = get_op(op)
+    resolved = np.dtype(dtype)
+    if not compensated_supported(op, resolved):
+        raise TypeError(
+            f"compensated float mode requires the ufunc 'add' operator on a "
+            f"float dtype (two-sum recovers *addition* errors); got "
+            f"op={op.name!r}, dtype={resolved.name}"
+        )
+    return op, resolved
+
+
+def resolve_float_mode(dtype, float_mode=None, exact=None, default="exact"):
+    """Resolve the float-mode parameter pair of a scan surface.
+
+    Returns one of :data:`FLOAT_MODES` for float dtypes, ``None`` for
+    integers (integer regrouping is exact; the modes do not apply).
+    ``float_mode`` wins when given; otherwise the legacy ``exact``
+    tri-state maps ``True -> "exact"``, ``False -> "regrouped"``,
+    ``None -> default`` (the surface's historical float behaviour).
+    """
+    if np.dtype(dtype).kind in "iu":
+        return None
+    if float_mode is not None:
+        if float_mode not in FLOAT_MODES:
+            raise ValueError(
+                f"float_mode must be one of {FLOAT_MODES}, got {float_mode!r}"
+            )
+        return float_mode
+    if exact is None:
+        return default
+    return "exact" if exact else "regrouped"
+
+
+def fresh_state(dtype, tuple_size: int) -> np.ndarray:
+    """A new ``(4, s)`` compensated carry state, canonically zeroed."""
+    return np.full((4, int(tuple_size)), NEG_ZERO, dtype=np.dtype(dtype))
+
+
+def segment_span(tuple_size: int) -> int:
+    """Global elements per segment (all ``s`` lanes advance together)."""
+    return SEGMENT_ROWS * int(tuple_size)
+
+
+def cross_segment(state: np.ndarray) -> None:
+    """Fold the finished segment's ``(T, F)`` partials into the
+    double-double chain and reset them (in place)."""
+    hi, lo = dd_add(state[HI], state[LO], state[VPART], state[EPART])
+    state[HI] = hi
+    state[LO] = lo
+    state[VPART] = NEG_ZERO
+    state[EPART] = NEG_ZERO
+
+
+# -- one piece (never crosses a segment boundary) --------------------------
+
+
+def _piece_naive(piece, s, state, pos):
+    """Continue the naive value scan and the error chain over one piece.
+
+    Returns ``(L, E)`` — the naive per-lane continuation and the
+    running local compensation, both fresh buffers aligned with
+    ``piece`` — and updates ``state``'s partial rows in place.  The
+    piece must not cross a segment boundary (the caller splits).
+    """
+    k = piece.size
+    dtype = piece.dtype
+    if s == 1:
+        buf = np.empty(k + 1, dtype)
+        buf[0] = state[VPART, 0]
+        buf[1:] = piece
+        np.add.accumulate(buf, out=buf)
+        L = buf[1:]
+        e = two_sum_err(buf[:k], piece, L)
+        canonicalize_errors(e)
+        ebuf = np.empty(k + 1, dtype)
+        ebuf[0] = state[EPART, 0]
+        ebuf[1:] = e
+        np.add.accumulate(ebuf, out=ebuf)
+        E = ebuf[1:]
+        state[VPART, 0] = L[-1]
+        state[EPART, 0] = E[-1]
+        return L, E
+    perm = phase_perm(pos, s)
+    m, r = divmod(k, s)
+    buf = np.empty(k + s, dtype)
+    buf[:s] = state[VPART][perm]
+    buf[s:] = piece
+    body = (m + 1) * s
+    b2 = buf[:body].reshape(m + 1, s)
+    np.add.accumulate(b2, axis=0, out=b2)
+    if r:
+        np.add(buf[body - s : body - s + r], piece[m * s :], out=buf[body:])
+    L = buf[s:]
+    e = two_sum_err(buf[:k], piece, L)
+    canonicalize_errors(e)
+    ebuf = np.empty(k + s, dtype)
+    ebuf[:s] = state[EPART][perm]
+    ebuf[s:] = e
+    eb2 = ebuf[:body].reshape(m + 1, s)
+    np.add.accumulate(eb2, axis=0, out=eb2)
+    if r:
+        np.add(ebuf[body - s : body - s + r], e[m * s :], out=ebuf[body:])
+    E = ebuf[s:]
+    tL = phase_totals(L, s)
+    tE = phase_totals(E, s)
+    lanes = (pos + np.arange(tL.size)) % s
+    state[VPART][lanes] = tL
+    state[EPART][lanes] = tE
+    return L, E
+
+
+def _dd_render(L, E, hi, lo, out):
+    """``out ~= H + L + E + G`` with one effective rounding.
+
+    ``H`` dominates, so the pair ``(H, L)`` is split exactly with
+    two-sum and the small terms fold into its error before the single
+    final add — folding them into ``H`` first would round them away at
+    the running total's magnitude.  The combined small term is
+    canonicalized (exact zero -> ``-0.0``) so a dormant carry stays a
+    bitwise no-op and ``-0.0`` outputs survive.  ``hi``/``lo``
+    broadcast; ``out`` may alias ``L`` (it is written after every read).
+    """
+    S = hi + L
+    r = two_sum_err(hi, L, S)
+    with np.errstate(invalid="ignore"):  # poisoned chains render as NaN
+        t = r + (E + lo)
+        t[t == 0] = NEG_ZERO
+        return np.add(S, t, out=out)
+
+
+def _render_piece(L, E, state, pos, s, out):
+    """Render one piece with the chain rows in phase order (``out``
+    may alias ``L``)."""
+    k = out.size
+    if s == 1:
+        return _dd_render(L, E, state[HI, 0], state[LO, 0], out)
+    perm = phase_perm(pos, s)
+    hi_row = state[HI][perm]
+    lo_row = state[LO][perm]
+    m, r = divmod(k, s)
+    body = m * s
+    if m:
+        _dd_render(
+            L[:body].reshape(m, s),
+            E[:body].reshape(m, s),
+            hi_row,
+            lo_row,
+            out[:body].reshape(m, s),
+        )
+    if r:
+        _dd_render(L[body:], E[body:], hi_row[:r], lo_row[:r], out[body:])
+    return out
+
+
+def _scan_serial(chunk, s, state, pos, out):
+    """Sequential compensated scan of ``chunk`` into ``out``; advances
+    ``state`` (crossing segments as reached) and returns ``out``."""
+    n = chunk.size
+    span = segment_span(s)
+    i = 0
+    while i < n:
+        seg_end = (pos // span + 1) * span
+        take = min(n - i, seg_end - pos)
+        L, E = _piece_naive(chunk[i : i + take], s, state, pos)
+        _render_piece(L, E, state, pos, s, out[i : i + take])
+        pos += take
+        i += take
+        if pos == seg_end:
+            cross_segment(state)
+    return out
+
+
+# -- whole aligned segments, slab-parallel ---------------------------------
+
+
+def _segment_pass1(src, out, err, s, k0, k1, tv, te):
+    """Per-segment local work (thread-safe: segments are disjoint):
+    naive scan into ``out``, exact error recovery + local compensation
+    into ``err``, totals into ``tv``/``te``."""
+    span = SEGMENT_ROWS * s
+    for k in range(k0, k1):
+        sl = slice(k * span, (k + 1) * span)
+        x = src[sl].reshape(SEGMENT_ROWS, s)
+        L = out[sl].reshape(SEGMENT_ROWS, s)
+        # Copy-then-in-place accumulate (numpy's out-of-place axis-0
+        # accumulate takes the slower buffered loop).
+        L[...] = x
+        np.add.accumulate(L, axis=0, out=L)
+        e = err[sl].reshape(SEGMENT_ROWS, s)
+        e[0] = NEG_ZERO  # first add of a fresh segment is exact
+        e[1:] = two_sum_err(L[:-1], x[1:], L[1:])
+        canonicalize_errors(e[1:])
+        np.add.accumulate(e, axis=0, out=e)
+        tv[k] = L[-1]
+        te[k] = e[-1]
+
+
+def _segment_render(out, err, s, k0, k1, chain_hi, chain_lo):
+    """Per-segment render with the spliced chain (in place over
+    ``out``, consuming ``err``)."""
+    span = SEGMENT_ROWS * s
+    for k in range(k0, k1):
+        sl = slice(k * span, (k + 1) * span)
+        L = out[sl].reshape(SEGMENT_ROWS, s)
+        e = err[sl].reshape(SEGMENT_ROWS, s)
+        _dd_render(L, e, chain_hi[k], chain_lo[k], L)
+
+
+def chain_segments(state_hi, state_lo, tv, te):
+    """Replay the double-double chain over ``K`` segment totals.
+
+    Returns ``(chain_hi, chain_lo, hi, lo)``: the per-segment chain
+    state *at each segment's start* plus the final state.  This is the
+    compensated splice — sequential by definition (``dd_add`` is not
+    associative), but only one step per segment.
+    """
+    K = len(tv)
+    s = state_hi.shape[-1]
+    chain_hi = np.empty((K, s), dtype=state_hi.dtype)
+    chain_lo = np.empty((K, s), dtype=state_hi.dtype)
+    hi = state_hi.copy()
+    lo = state_lo.copy()
+    for k in range(K):
+        chain_hi[k] = hi
+        chain_lo[k] = lo
+        hi, lo = dd_add(hi, lo, tv[k], te[k])
+    return chain_hi, chain_lo, hi, lo
+
+
+def _scan_segments_parallel(src, out, s, state, threads):
+    """Scan ``K`` whole aligned segments slab-parallel.
+
+    Precondition: ``src.size`` is a multiple of the segment span and
+    ``state``'s partial rows are canonical zero (the caller is at a
+    segment boundary).  Segments are self-contained, so only the tiny
+    per-segment chain is sequential; results are bit-identical to the
+    serial path for any ``threads``.
+    """
+    from repro.kernels.threaded import _slab_bounds, get_pool
+
+    span = SEGMENT_ROWS * s
+    K = src.size // span
+    dtype = src.dtype
+    err = np.empty(src.size, dtype)
+    tv = np.empty((K, s), dtype)
+    te = np.empty((K, s), dtype)
+    pool = get_pool(threads)
+    bounds = _slab_bounds(K, threads)
+    for f in [
+        pool.submit(_segment_pass1, src, out, err, s, k0, k1, tv, te)
+        for k0, k1 in bounds
+    ]:
+        f.result()
+    chain_hi, chain_lo, hi, lo = chain_segments(state[HI], state[LO], tv, te)
+    state[HI] = hi
+    state[LO] = lo
+    for f in [
+        pool.submit(_segment_render, out, err, s, k0, k1, chain_hi, chain_lo)
+        for k0, k1 in bounds
+    ]:
+        f.result()
+    return out
+
+
+# -- public kernel entry points --------------------------------------------
+
+
+def lane_scan_compensated(
+    chunk: np.ndarray,
+    op,
+    tuple_size: int,
+    state: np.ndarray,
+    pos: int = 0,
+    *,
+    out: Optional[np.ndarray] = None,
+    threads=None,
+    cutover_bytes: Optional[int] = None,
+) -> np.ndarray:
+    """One compensated continuation pass of ``chunk``; returns a fresh
+    scanned array (``chunk`` is never modified) and advances ``state``
+    (a :func:`fresh_state` array) in place.
+
+    ``pos`` is the global index of ``chunk[0]``; outputs are
+    bit-identical to the one-shot compensated scan for *any* chunk
+    split.  ``threads`` routes whole aligned segments through the
+    shared slab pool (:mod:`repro.kernels.threaded`) — bit-identical
+    for any thread count, because the segment grid is fixed.
+    """
+    op, _ = check_compensated(op, np.asarray(chunk).dtype)
+    chunk = np.asarray(chunk)
+    s = int(tuple_size)
+    n = chunk.size
+    if out is None:
+        out = np.empty_like(chunk)
+    if n == 0:
+        return out
+    pos = int(pos)
+    if threads in (None, 1):
+        return _scan_serial(chunk, s, state, pos, out)
+
+    from repro.kernels.threaded import _tuned_cutover, resolve_threads
+
+    n_bytes = n * chunk.dtype.itemsize
+    resolved = resolve_threads(threads, n_bytes)
+    if cutover_bytes is None:
+        cutover_bytes = _tuned_cutover(chunk.dtype)
+    span = segment_span(s)
+    head = min((span - pos % span) % span, n)
+    K = (n - head) // span
+    if resolved <= 1 or K < 2 or n_bytes < cutover_bytes:
+        return _scan_serial(chunk, s, state, pos, out)
+    if out is chunk:
+        chunk = chunk.copy()  # the parallel path reads src after writing out
+    if head:
+        _scan_serial(chunk[:head], s, state, pos, out[:head])
+        pos += head
+    mid = head + K * span
+    _scan_segments_parallel(chunk[head:mid], out[head:mid], s, state, resolved)
+    pos += K * span
+    if mid < n:
+        _scan_serial(chunk[mid:], s, state, pos, out[mid:])
+    return out
+
+
+def compensated_scan_into(
+    src: np.ndarray,
+    out: np.ndarray,
+    op,
+    order: int = 1,
+    tuple_size: int = 1,
+    inclusive: bool = True,
+    threads=None,
+    cutover_bytes: Optional[int] = None,
+) -> np.ndarray:
+    """Order-``q`` one-shot compensated scan (the compensated sibling
+    of :func:`repro.kernels.scan_into` / ``threaded_scan_into``)."""
+    from repro.kernels.lane import exclusive_shift
+
+    op, _ = check_compensated(op, np.asarray(src).dtype)
+    s = int(tuple_size)
+    current = np.asarray(src)
+    for _ in range(int(order)):
+        if current is out:
+            # Later passes rescan the output; the segment-parallel path
+            # reads the source after writing, so give it its own copy.
+            current = out.copy()
+        state = fresh_state(out.dtype, s)
+        lane_scan_compensated(
+            current, op, s, state, 0,
+            out=out, threads=threads, cutover_bytes=cutover_bytes,
+        )
+        current = out
+    if inclusive:
+        return out
+    heads = np.full(s, op.identity(out.dtype), dtype=out.dtype)
+    return exclusive_shift(out, heads)
+
+
+# -- sharded-driver kernels -------------------------------------------------
+
+
+class CompensatedCollectKernel:
+    """Shard scan-pass kernel: naive continuation plus totals collection.
+
+    The sharded driver cannot render during its scan pass — the render
+    needs the *global* double-double chain, which exists only after
+    every earlier shard reports its segment totals.  So the scan pass
+    writes the naive per-lane continuation ``L`` (bit-identical to the
+    serial naive chain, because shards start on segment boundaries) and
+    collects each finished segment's ``(T, F)`` totals; the splice
+    chains them and the fold pass renders.  ``feed`` returns a fresh
+    buffer per chunk (the raw chunk is re-read by the fold pass, so it
+    is never mutated).
+    """
+
+    def __init__(self, op, dtype, tuple_size: int = 1, start: int = 0):
+        self.op, self.dtype = check_compensated(op, dtype)
+        self.s = int(tuple_size)
+        self.pos = int(start)
+        if self.pos % segment_span(self.s):
+            raise ValueError(
+                f"compensated shards must start on a segment boundary "
+                f"(multiples of {segment_span(self.s)}), got start={start}"
+            )
+        self.state = fresh_state(self.dtype, self.s)
+        self._totals: List[np.ndarray] = []
+
+    @property
+    def delegated_stage_scans(self) -> int:
+        return 0
+
+    def feed(self, chunk: np.ndarray) -> np.ndarray:
+        chunk = np.asarray(chunk)
+        n = chunk.size
+        if n == 0:
+            return chunk
+        out = np.empty_like(chunk)
+        s = self.s
+        span = segment_span(s)
+        pos = self.pos
+        i = 0
+        while i < n:
+            seg_end = (pos // span + 1) * span
+            take = min(n - i, seg_end - pos)
+            L, _ = _piece_naive(chunk[i : i + take], s, self.state, pos)
+            out[i : i + take] = L
+            pos += take
+            i += take
+            if pos == seg_end:
+                self._totals.append(
+                    np.stack([self.state[VPART].copy(), self.state[EPART].copy()])
+                )
+                self.state[VPART] = NEG_ZERO
+                self.state[EPART] = NEG_ZERO
+        self.pos = pos
+        return out
+
+    def segment_totals(self) -> np.ndarray:
+        """The shard's ``(K, 2, s)`` per-segment ``(T, F)`` totals — its
+        aggregate for the compensated splice.  A trailing partial
+        segment (final shard only) contributes its partials."""
+        totals = list(self._totals)
+        if self.pos % segment_span(self.s):
+            totals.append(
+                np.stack([self.state[VPART].copy(), self.state[EPART].copy()])
+            )
+        if not totals:
+            return np.empty((0, 2, self.s), dtype=self.dtype)
+        return np.stack(totals)
+
+
+class CompensatedFoldKernel:
+    """Shard fold-pass kernel: recompute the error chain, render.
+
+    Walks the shard sequentially with the spliced per-segment chain
+    (``chain``: a ``(K, 2, s)`` array of ``(H, G)`` at each of the
+    shard's segment starts).  ``fold(L_chunk, x_chunk)`` re-derives the
+    per-element errors from the naive scan and the raw values (no
+    re-accumulation of ``L`` needed — it is read back from the scan
+    pass's output), rebuilds the local compensation, and renders in
+    place into ``L_chunk``.
+    """
+
+    def __init__(self, dtype, tuple_size: int, start: int, chain: np.ndarray):
+        self.dtype = np.dtype(dtype)
+        self.s = int(tuple_size)
+        self.pos = int(start)
+        if self.pos % segment_span(self.s):
+            raise ValueError(
+                f"compensated shards must start on a segment boundary "
+                f"(multiples of {segment_span(self.s)}), got start={start}"
+            )
+        self.chain = chain
+        self.seg = 0
+        self.state = fresh_state(self.dtype, self.s)
+        if len(chain):
+            self.state[HI] = chain[0, 0]
+            self.state[LO] = chain[0, 1]
+
+    def fold(self, L_chunk: np.ndarray, x_chunk: np.ndarray) -> np.ndarray:
+        """Render ``L_chunk`` in place (returns it)."""
+        n = L_chunk.size
+        if n == 0:
+            return L_chunk
+        s = self.s
+        span = segment_span(s)
+        pos = self.pos
+        state = self.state
+        i = 0
+        while i < n:
+            seg_end = (pos // span + 1) * span
+            take = min(n - i, seg_end - pos)
+            L = L_chunk[i : i + take]
+            x = x_chunk[i : i + take]
+            self._fold_piece(L, x, pos)
+            pos += take
+            i += take
+            if pos == seg_end:
+                self.seg += 1
+                if self.seg < len(self.chain):
+                    state[HI] = self.chain[self.seg, 0]
+                    state[LO] = self.chain[self.seg, 1]
+                state[VPART] = NEG_ZERO
+                state[EPART] = NEG_ZERO
+        self.pos = pos
+        return L_chunk
+
+    def _fold_piece(self, L, x, pos):
+        """One piece: previous-L row from the carried partial, exact
+        error recovery, local compensation continuation, render."""
+        k = L.size
+        s = self.s
+        state = self.state
+        dtype = self.dtype
+        if s == 1:
+            prev = np.empty(k, dtype)
+            prev[0] = state[VPART, 0]
+            prev[1:] = L[:-1]
+            state[VPART, 0] = L[-1]
+            e = two_sum_err(prev, x, L)
+            canonicalize_errors(e)
+            ebuf = np.empty(k + 1, dtype)
+            ebuf[0] = state[EPART, 0]
+            ebuf[1:] = e
+            np.add.accumulate(ebuf, out=ebuf)
+            E = ebuf[1:]
+            state[EPART, 0] = E[-1]
+            _render_piece(L, E, state, pos, 1, L)
+            return
+        perm = phase_perm(pos, s)
+        prev = np.empty(k + s, dtype)
+        prev[:s] = state[VPART][perm]
+        prev[s:] = L
+        tL = phase_totals(L, s)
+        lanes = (pos + np.arange(tL.size)) % s
+        state[VPART][lanes] = tL
+        e = two_sum_err(prev[:k], x, L)
+        canonicalize_errors(e)
+        ebuf = np.empty(k + s, dtype)
+        ebuf[:s] = state[EPART][perm]
+        ebuf[s:] = e
+        m, r = divmod(k, s)
+        body = (m + 1) * s
+        eb2 = ebuf[:body].reshape(m + 1, s)
+        np.add.accumulate(eb2, axis=0, out=eb2)
+        if r:
+            np.add(ebuf[body - s : body - s + r], e[m * s :], out=ebuf[body:])
+        E = ebuf[s:]
+        tE = phase_totals(E, s)
+        state[EPART][lanes] = tE
+        _render_piece(L, E, state, pos, s, L)
+
+
+# -- batched multi-stream compensated dispatch ------------------------------
+
+
+class BatchedCompensatedKernel:
+    """One dispatch servicing ``B`` compensated float scan streams.
+
+    The float sibling of :class:`repro.kernels.BatchedLaneKernel`:
+    ``B`` compatible streams (same float dtype and tuple size, ``add``)
+    are staged into one ``(B, M+1, s)`` buffer — row 0 the per-stream
+    naive partials, the tail padded with ``-0.0``, the *true* float-add
+    identity — so one 3-D ``accumulate`` continues every stream's naive
+    chain, one vectorized ``two_sum_err`` recovers every error, a
+    second 3-D ``accumulate`` continues every compensation chain, and
+    one broadcast renders with the per-stream ``(H, G)``.  Bit-identical
+    to feeding each stream's compensated kernel individually.
+
+    Constraint: a staged chunk must not cross its stream's segment
+    boundary (the chain step is per-stream sequential); the caller
+    checks :meth:`crosses_segment` and feeds those chunks individually.
+    """
+
+    def __init__(self, op, dtype, tuple_size: int = 1):
+        self.op, self.dtype = check_compensated(op, dtype)
+        self.s = int(tuple_size)
+        if self.s < 1:
+            raise ValueError(f"tuple_size must be >= 1, got {tuple_size}")
+        self.dispatches = 0
+        self.streams_fed = 0
+        self._staged: Optional[np.ndarray] = None
+        self._raw: Optional[np.ndarray] = None
+        self._err: Optional[np.ndarray] = None
+
+    def occupancy(self) -> float:
+        return self.streams_fed / self.dispatches if self.dispatches else 0.0
+
+    def crosses_segment(self, position: int, n: int) -> bool:
+        """Whether a chunk of ``n`` elements at stream offset
+        ``position`` would cross a segment boundary."""
+        span = segment_span(self.s)
+        return position // span != (position + n - 1) // span
+
+    def _buffers(self, B: int, rows: int):
+        span = (rows + 1) * self.s
+        need = B * span
+        if self._staged is None or self._staged.size < need:
+            self._staged = np.empty(need, dtype=self.dtype)
+            self._err = np.empty(need, dtype=self.dtype)
+        raw_need = B * rows * self.s
+        if self._raw is None or self._raw.size < raw_need:
+            self._raw = np.empty(raw_need, dtype=self.dtype)
+        return (
+            self._staged[:need].reshape(B, rows + 1, self.s),
+            self._err[:need].reshape(B, rows + 1, self.s),
+            self._raw[:raw_need].reshape(B, rows, self.s),
+        )
+
+    def stage_scan(
+        self,
+        chunks: Sequence[np.ndarray],
+        states: Sequence[np.ndarray],
+        positions: Sequence[int],
+    ) -> List[np.ndarray]:
+        """One batched compensated continuation pass over ``B`` streams.
+
+        ``states`` are the per-stream ``(4, s)`` compensated carries
+        (updated in place); ``positions`` the stream offsets (not
+        advanced).  Returns the ``B`` rendered chunks as fresh arrays.
+        """
+        B = len(chunks)
+        if B == 0:
+            return []
+        s = self.s
+        ns = [int(c.size) for c in chunks]
+        if min(ns) == 0:
+            raise ValueError("batched chunks must be non-empty")
+        for n, position in zip(ns, positions):
+            if self.crosses_segment(int(position), n):
+                raise ValueError(
+                    "a batched compensated chunk must not cross a segment "
+                    "boundary (feed it individually)"
+                )
+        rows = -(-max(ns) // s)  # ceil
+        span = rows * s
+        staged, ebuf, raw = self._buffers(B, rows)
+        pos = np.asarray(positions, dtype=np.int64).reshape(B, 1)
+        perms = (pos + np.arange(s)) % s
+
+        vparts = np.stack([st[VPART] for st in states])
+        eparts = np.stack([st[EPART] for st in states])
+        staged[:, 0, :] = np.take_along_axis(vparts, perms, axis=1)
+        flat = staged.reshape(B, -1)
+        rflat = raw.reshape(B, -1)
+        uniform = all(n == span for n in ns)
+        for i, chunk in enumerate(chunks):
+            flat[i, s : s + ns[i]] = chunk
+            rflat[i, : ns[i]] = chunk
+            if not uniform and ns[i] < span:
+                flat[i, s + ns[i] :] = NEG_ZERO
+                rflat[i, ns[i] :] = NEG_ZERO
+        np.add.accumulate(staged, axis=1, out=staged)
+        prevL = staged[:, :-1, :]
+        L = staged[:, 1:, :]
+
+        e = ebuf[:, 1:, :]
+        e[...] = two_sum_err(prevL, raw, L)
+        canonicalize_errors(e)
+        ebuf[:, 0, :] = np.take_along_axis(eparts, perms, axis=1)
+        np.add.accumulate(ebuf, axis=1, out=ebuf)
+        E = ebuf[:, 1:, :]
+
+        # Partials advance to the final row (identity padding keeps a
+        # lane constant past its last real element) — only the phases
+        # the chunk touched write back.
+        touched = np.arange(s) < np.minimum(np.asarray(ns), s).reshape(B, 1)
+        tv = L[:, -1, :]
+        tE = E[:, -1, :]
+        for i in range(B):
+            lanes = perms[i][touched[i]]
+            states[i][VPART][lanes] = tv[i][touched[i]]
+            states[i][EPART][lanes] = tE[i][touched[i]]
+
+        his = np.stack([st[HI] for st in states])
+        los = np.stack([st[LO] for st in states])
+        hi_rows = np.take_along_axis(his, perms, axis=1)[:, None, :]
+        lo_rows = np.take_along_axis(los, perms, axis=1)[:, None, :]
+        _dd_render(L, E, hi_rows, lo_rows, E)
+
+        out_flat = ebuf.reshape(B, -1)
+        outs = [out_flat[i, s : s + ns[i]].copy() for i in range(B)]
+        self.dispatches += 1
+        self.streams_fed += B
+        return outs

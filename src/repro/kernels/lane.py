@@ -472,6 +472,16 @@ class LaneKernel:
       and a fresh output is returned per feed.
 
     ``exact=None`` picks ``False`` for integers, ``True`` otherwise.
+
+    For float dtypes a third mode exists: ``float_mode="compensated"``
+    (:mod:`repro.kernels.compensated`) carries an error-free
+    ``(value, err)`` state so results are bit-identical for any chunk
+    split *and* any thread/shard count, and more accurate than the
+    naive fold.  ``float_mode`` (``"exact"`` | ``"compensated"`` |
+    ``"regrouped"``) wins over the legacy ``exact`` tri-state when both
+    are given; integers ignore it (integer regrouping is already
+    exact).
+
     ``start`` is the global index of the first element that will be
     fed; ``prime`` preloads an absolute carry row (lane order) so the
     kernel's output is final as written — lanes with no element before
@@ -479,16 +489,44 @@ class LaneKernel:
     consumed ``start`` elements.
     """
 
-    def __init__(self, op, dtype, tuple_size=1, start=0, prime=None, exact=None):
+    def __init__(
+        self, op, dtype, tuple_size=1, start=0, prime=None, exact=None,
+        float_mode=None,
+    ):
+        from repro.kernels.compensated import (
+            check_compensated,
+            fresh_state,
+            resolve_float_mode,
+        )
+
         self.op = get_op(op)
         self.dtype = self.op.check_dtype(dtype)
         self.s = int(tuple_size)
         self.pos = int(start)
         identity = self.op.identity(self.dtype)
         self.carry = np.full(self.s, identity, dtype=self.dtype)
-        if exact is None:
-            exact = self.dtype.kind not in "iu"
-        self.exact = bool(exact)
+        self.float_mode = resolve_float_mode(self.dtype, float_mode, exact)
+        self._comp = None
+        if self.float_mode == "compensated":
+            check_compensated(self.op, self.dtype)
+            if prime is not None:
+                raise ValueError(
+                    "prime is not supported in compensated float mode (an "
+                    "absolute carry has no error decomposition)"
+                )
+            if self.pos != 0:
+                raise ValueError(
+                    "compensated LaneKernel streams must start at 0 (use the "
+                    "sharded driver's collect/fold kernels for offsets)"
+                )
+            self._comp = fresh_state(self.dtype, self.s)
+            self.exact = False
+        elif self.float_mode is not None:
+            self.exact = self.float_mode == "exact"
+        else:
+            if exact is None:
+                exact = self.dtype.kind not in "iu"
+            self.exact = bool(exact)
         if prime is not None:
             self.carry[:] = prime
             self.active = np.arange(self.s) < self.pos
@@ -515,6 +553,13 @@ class LaneKernel:
             chunk, self.op, self.s, self.carry, self.active, self.pos
         )
 
+    def _scan_compensated(self, chunk):
+        """Compensated continuation scan (fresh output); the threaded
+        subclass routes whole segments through the slab pool."""
+        from repro.kernels.compensated import lane_scan_compensated
+
+        return lane_scan_compensated(chunk, self.op, self.s, self._comp, self.pos)
+
     def _fold(self, out):
         """Fold the seen lanes of the running carry into ``out``."""
         fold_lanes(out, self.op, self.carry, self.pos, self.s, seen=self.active)
@@ -527,7 +572,9 @@ class LaneKernel:
         if n == 0:
             return chunk
         s = self.s
-        if self.exact:
+        if self._comp is not None:
+            out = self._scan_compensated(chunk)
+        elif self.exact:
             out = self._scan_exact(chunk)
         elif self.active.all():
             row = self.carry[phase_perm(self.pos, s)] if s > 1 else self.carry

@@ -27,11 +27,15 @@ slabs than cores, or a smaller pool than requested).  For fixed-width
 integers the splice regroups a truly associative reduction and the
 result is **bit-identical** to the serial kernel.  For floats,
 regrouping changes rounding, so float inputs keep bit-exactness by
-default: :class:`ThreadedLaneKernel` with ``exact=True`` (the float
-default) scans through the serial prepend-carry kernel — a slab chain
-would be sequential in the carry anyway, so there is nothing to
-overlap — and ``exact=False`` opts into the fast regrouped fold
-(deterministic, but not bit-identical to serial).
+default: :class:`ThreadedLaneKernel` with ``float_mode="exact"`` (the
+float default) scans through the serial prepend-carry kernel — a slab
+chain would be sequential in the carry anyway, so there is nothing to
+overlap.  ``float_mode="compensated"`` runs the error-free-carry
+segment decomposition of :mod:`repro.kernels.compensated` — fully
+parallel, bit-identical for *any* thread count, and more accurate than
+the naive fold.  ``float_mode="regrouped"`` (legacy ``exact=False``)
+opts into the fast regrouped fold (deterministic for a fixed thread
+count, but not bit-identical to serial).
 
 Cutover
 -------
@@ -52,6 +56,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.kernels.compensated import resolve_float_mode
 from repro.kernels.lane import (
     LaneKernel,
     exclusive_shift,
@@ -295,24 +300,35 @@ def threaded_scan_into(
     threads=None,
     exact: Optional[bool] = None,
     cutover_bytes: Optional[int] = None,
+    float_mode: Optional[str] = None,
 ) -> np.ndarray:
     """Order-``q`` threaded lane scan — ``q`` slab-parallel passes.
 
     The threaded sibling of :func:`repro.kernels.scan_into`: pass 1
     scans ``src`` into ``out``, later passes rescan ``out`` in place,
-    the exclusive shift happens once at the end.  ``exact=None`` keeps
-    the default bit-identity contract: float dtypes run the serial
-    passes (a regrouped splice would change rounding), integers get the
-    full slab parallelism; ``exact=False`` lets floats regroup too.
+    the exclusive shift happens once at the end.  Float handling
+    follows ``float_mode`` (falling back to the legacy ``exact``
+    tri-state): ``"exact"`` (the default) runs the serial passes — a
+    regrouped splice would change rounding; ``"compensated"`` runs the
+    segment-parallel error-free passes (bit-identical for any thread
+    count, more accurate than the naive fold); ``"regrouped"``
+    (``exact=False``) lets floats regroup through the slab splice.
+    Integers always get the full slab parallelism.
     """
     op = get_op(op)
     src = np.asarray(src)
-    if exact is None:
-        exact = src.dtype.kind not in "iu"
-    if exact and src.dtype.kind not in "iu":
+    mode = resolve_float_mode(src.dtype, float_mode, exact)
+    if mode == "exact":
         from repro.kernels.lane import scan_into
 
         return scan_into(src, out, op, order, tuple_size, inclusive)
+    if mode == "compensated":
+        from repro.kernels.compensated import compensated_scan_into
+
+        return compensated_scan_into(
+            src, out, op, order, tuple_size, inclusive,
+            threads=threads, cutover_bytes=cutover_bytes,
+        )
     current = src
     for _ in range(int(order)):
         threaded_lane_scan(
@@ -348,7 +364,10 @@ class ThreadedLaneKernel(LaneKernel):
     Exactness matches the base class: ``exact=None`` picks the in-place
     threaded path for integers (bit-identical — integer regrouping is
     exact) and the bit-exact serial prepend mode for floats.  Float
-    ``exact=False`` opts into the threaded regrouped fold.
+    ``float_mode="compensated"`` runs the segment-parallel error-free
+    path (bit-identical for any thread count);
+    ``float_mode="regrouped"`` / ``exact=False`` opts into the threaded
+    regrouped fold.
     """
 
     def __init__(
@@ -361,9 +380,11 @@ class ThreadedLaneKernel(LaneKernel):
         exact=None,
         threads=None,
         cutover_bytes=None,
+        float_mode=None,
     ):
         super().__init__(
-            op, dtype, tuple_size, start=start, prime=prime, exact=exact
+            op, dtype, tuple_size, start=start, prime=prime, exact=exact,
+            float_mode=float_mode,
         )
         self.threads = None if threads in (None, 0, "auto") else int(threads)
         self.cutover_bytes = cutover_bytes
@@ -383,6 +404,19 @@ class ThreadedLaneKernel(LaneKernel):
     # bit-exactness forbids regrouping the float fold, and a slab chain
     # is sequential in the carry, so threads would add dispatch cost
     # with nothing to overlap.
+
+    def _scan_compensated(self, chunk):
+        from repro.kernels.compensated import lane_scan_compensated
+
+        return lane_scan_compensated(
+            chunk,
+            self.op,
+            self.s,
+            self._comp,
+            self.pos,
+            threads=self.threads or "auto",
+            cutover_bytes=self.cutover_bytes,
+        )
 
     def _fold(self, out):
         threaded_fold_lanes(
@@ -412,12 +446,13 @@ class ThreadedScan:
     Same ``run(values, order=, tuple_size=, op=, inclusive=)`` contract
     as every other engine; bit-identical to the host path for all
     dtypes by default (floats take the exact serial passes unless
-    ``exact=False``).
+    ``float_mode``/``exact`` says otherwise).
     """
 
-    def __init__(self, threads=None, exact=None, cutover_bytes=None):
+    def __init__(self, threads=None, exact=None, cutover_bytes=None, float_mode=None):
         self.threads = threads
         self.exact = exact
+        self.float_mode = float_mode
         self.cutover_bytes = cutover_bytes
 
     def run(
@@ -449,5 +484,6 @@ class ThreadedScan:
             threads=threads,
             exact=self.exact,
             cutover_bytes=self.cutover_bytes,
+            float_mode=self.float_mode,
         )
         return ThreadedResult(out, threads)

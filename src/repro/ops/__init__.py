@@ -28,6 +28,13 @@ from repro.ops.dtypes import (
     is_integer_dtype,
     wraparound,
 )
+from repro.ops.eft import (
+    NEG_ZERO,
+    canonicalize_errors,
+    dd_add,
+    two_sum,
+    two_sum_err,
+)
 from repro.ops.operators import (
     ADD,
     BITAND,
@@ -50,11 +57,16 @@ __all__ = [
     "MAX",
     "MIN",
     "MUL",
+    "NEG_ZERO",
     "SUPPORTED_DTYPE_NAMES",
     "XOR",
     "AssociativeOp",
     "as_dtype",
+    "canonicalize_errors",
+    "dd_add",
     "get_op",
     "is_integer_dtype",
+    "two_sum",
+    "two_sum_err",
     "wraparound",
 ]

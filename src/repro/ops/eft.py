@@ -1,0 +1,104 @@
+"""Error-free transformations (EFTs) for compensated float scans.
+
+Floating-point addition is only pseudo-associative: ``fl(a + b)``
+discards a rounding error, so regrouping a float reduction — the trick
+every parallel path in this repo is built on — changes results.  The
+error it discards is, however, itself a representable float, and
+Knuth's *two-sum* recovers it exactly with six rounded operations:
+
+    s   = fl(a + b)
+    err = (a - (s - (s - a))) + (b - (s - a))     # exact: a + b == s + err
+
+``s + err == a + b`` holds *exactly* (round-to-nearest, any magnitudes,
+denormals included).  Carrying ``(s, err)`` pairs — a double-double
+accumulator — instead of bare floats is what lets the compensated scan
+mode (:mod:`repro.kernels.compensated`) regroup float work across
+slabs, shards, and batches while staying deterministic and *more*
+accurate than the naive serial fold.
+
+Everything here is branch-free and elementwise, so it vectorizes over
+numpy arrays of any shape; all functions preserve the input dtype
+(float32 chains compensate in float32).
+
+The canonical zero
+------------------
+
+``-0.0`` is the true additive identity of IEEE floats under
+round-to-nearest: ``fl(x + (-0.0)) == x`` *bit for bit* for every x,
+including ``-0.0`` itself — whereas ``fl(-0.0 + 0.0) == +0.0``.  The
+compensated carry state therefore uses ``-0.0`` as its canonical zero
+(:data:`NEG_ZERO`), and :func:`dd_add` / :func:`canonicalize_errors`
+re-normalize exact-zero results back to it, which is what makes a
+zero carry fold a bitwise no-op and preserves ``-0.0`` outputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: The canonical zero of compensated carry state: the IEEE additive
+#: identity (``fl(x + -0.0) == x`` exactly, signed zeros included).
+NEG_ZERO = -0.0
+
+
+def two_sum(a, b):
+    """Knuth's branch-free 2Sum: ``(s, err)`` with ``a + b == s + err``.
+
+    Exact for any two floats of the same dtype (no magnitude ordering
+    required, unlike fast-two-sum); elementwise over arrays.
+    """
+    with np.errstate(invalid="ignore"):  # inf - inf poisons to NaN by design
+        s = a + b
+        bv = s - a
+        err = (a - (s - bv)) + (b - bv)
+    return s, err
+
+
+def two_sum_err(a, b, s):
+    """The error term of :func:`two_sum` when ``s = fl(a + b)`` is
+    already known — e.g. recovered from a naive running scan, where
+    ``a`` is the previous partial, ``b`` the new element, and ``s`` the
+    scanned value.  Elementwise; four subtractions and one add.
+    """
+    with np.errstate(invalid="ignore"):  # inf - inf poisons to NaN by design
+        bv = s - a
+        return (a - (s - bv)) + (b - bv)
+
+
+def canonicalize_errors(err: np.ndarray) -> np.ndarray:
+    """Re-normalize exact-zero error terms to the canonical ``-0.0``.
+
+    Error chains must stay bitwise inert while they are zero: a ``+0.0``
+    error folded into a ``-0.0`` running value would flip its sign bit
+    and break the zero-carry-is-identity property.  In place; NaNs (a
+    poisoned chain) compare unequal to zero and pass through.
+    """
+    err[err == 0] = NEG_ZERO
+    return err
+
+
+def dd_add(hi, lo, t, f=None):
+    """Accumulate ``t`` (+ optional error part ``f``) into the
+    double-double ``(hi, lo)``; returns the new ``(hi, lo)``.
+
+    The splice primitive of the compensated scan: ``hi`` carries the
+    running value, ``lo`` the running compensation.  One exact
+    :func:`two_sum` captures the error of the value add; the low parts
+    fold naively (their own rounding is second-order); a final
+    :func:`two_sum` re-normalizes so ``lo`` stays tiny relative to
+    ``hi``.  Exact-zero results re-canonicalize to ``-0.0`` so a zero
+    carry remains a bitwise identity.  Elementwise over arrays.
+    """
+    s1, e1 = two_sum(hi, t)
+    with np.errstate(invalid="ignore"):  # poisoned chains fold to NaN
+        g = (lo + f) + e1 if f is not None else lo + e1
+    hi2, lo2 = two_sum(s1, g)
+    zero = (hi2 == 0) & (lo2 == 0)
+    if zero.any() if isinstance(zero, np.ndarray) else zero:
+        if isinstance(hi2, np.ndarray):
+            hi2[zero] = NEG_ZERO
+            lo2[zero] = NEG_ZERO
+        else:
+            hi2 = np.copysign(hi2 * 0, -1.0)
+            lo2 = hi2
+    return hi2, lo2

@@ -15,9 +15,9 @@ Candidate set
 In memory (``repro.scan(x)`` / ``repro.prefix_sum(x)``):
 
 * ``serial`` — the one-dispatch lane kernel.  Always a candidate, and
-  the *only* candidate for floats, looped operators, non-contiguous
-  buffers, or anything below :data:`TINY_BYTES` (tiny inputs never pay
-  planning overhead, let alone dispatch overhead).
+  the *only* candidate for exact-mode floats, looped operators,
+  non-contiguous buffers, or anything below :data:`TINY_BYTES` (tiny
+  inputs never pay planning overhead, let alone dispatch overhead).
 * ``threaded:T`` — the slab-parallel kernel, for integer ufunc scans
   on a multicore machine, over a small ladder of thread counts.
 * ``parallel:W`` — the shared-memory process pool, only proposed at
@@ -32,10 +32,15 @@ On files (``repro.scan_file``):
   count sized to the machine.
 
 Correctness is a *gate*, not a score: a strategy that cannot
-bit-identically reproduce the serial reference for this workload
-(float regrouping, looped operators under threads) is never proposed,
-so the planner can only affect speed — every plan's output equals
-``repro.reference`` by construction of the candidate set.
+bit-identically reproduce the workload's reference (float regrouping,
+looped operators under threads) is never proposed, so the planner can
+only affect speed.  The reference is mode-relative: under the default
+float contract it is the sequential left fold, which only the serial
+path reproduces, so exact-mode floats plan serial-only; under
+``float_mode="compensated"`` every candidate — serial included — emits
+the error-free-carry result of :mod:`repro.kernels.compensated`, whose
+fixed segment grid makes it bit-identical for any thread or shard
+count, so float ``add`` workloads get the full parallel candidate set.
 
 ``REPRO_PLAN_DISABLE=1`` short-circuits the whole subsystem to the
 serial path (the escape hatch mirroring ``REPRO_TUNE_DISABLE``).
@@ -157,8 +162,23 @@ class Plan:
             f"({w.nbytes:,} bytes, {w.elements:,} elements) on "
             f"{m.cpu_count} core(s); tuning {m.tuning_source}, "
             f"parallel cutover {m.parallel_cutover_bytes:,} bytes",
-            f"  {'':2}{'strategy':<18} {'predicted':>12} {'source':>9}  note",
         ]
+        if np.dtype(w.dtype).kind == "f":
+            if w.compensable:
+                lines.append(
+                    "  float mode: compensated — error-free carries on the "
+                    "fixed segment grid; parallel candidates are "
+                    "bit-identical for any thread/shard count"
+                )
+            else:
+                lines.append(
+                    f"  float mode: {w.float_mode or 'exact'} — sequential "
+                    "reference only (float_mode='compensated' would admit "
+                    "parallel candidates for ufunc add)"
+                )
+        lines.append(
+            f"  {'':2}{'strategy':<18} {'predicted':>12} {'source':>9}  note"
+        )
         for candidate in self.candidates:
             marker = "* " if candidate is self.chosen else "  "
             lines.append(
@@ -186,22 +206,40 @@ def _thread_ladder(cpu_count: int) -> List[int]:
 
 
 def _parallel_safe(workload: Workload) -> bool:
-    """Whether regrouping strategies can reproduce serial bit-for-bit:
-    fixed-width integers under a real ufunc, on a contiguous buffer."""
-    return workload.integer and workload.vectorized and workload.contiguous
+    """Whether regrouping strategies can reproduce the workload's
+    reference bit-for-bit: fixed-width integers under a real ufunc on a
+    contiguous buffer, or a compensable float workload (the caller
+    opted into ``float_mode="compensated"``, where the reference *is*
+    the deterministic compensated result)."""
+    return (
+        workload.integer and workload.vectorized and workload.contiguous
+    ) or workload.compensable
+
+
+def _mark_compensated(workload: Workload, candidate) -> None:
+    """Stamp a parallel candidate with the float mode it must run
+    under (``execute_plan`` and the drivers read it from params)."""
+    if workload.compensable:
+        candidate.params["float_mode"] = "compensated"
+        candidate.note += "; compensated float carries"
 
 
 def _enumerate(
     workload: Workload, machine: Machine, store: Optional[CalibrationStore]
 ) -> List[Candidate]:
     candidates = [price_serial(workload, machine, store)]
+    # Under the compensated contract the *serial* candidate renders the
+    # compensated result too — all candidates agree bit for bit.
+    _mark_compensated(workload, candidates[0])
     if workload.source == "memory":
         if _parallel_safe(workload) and machine.multicore:
             for threads in _thread_ladder(machine.cpu_count):
-                candidates.append(
-                    price_threaded(workload, machine, store, threads)
-                )
-            if workload.nbytes >= PARALLEL_MIN_BYTES:
+                candidate = price_threaded(workload, machine, store, threads)
+                _mark_compensated(workload, candidate)
+                candidates.append(candidate)
+            # The process pool regroups chunk reductions and cannot
+            # replay the compensated chain — integer workloads only.
+            if workload.integer and workload.nbytes >= PARALLEL_MIN_BYTES:
                 candidates.append(
                     price_parallel(workload, machine, store, machine.cpu_count)
                 )
@@ -212,14 +250,21 @@ def _enumerate(
                 # compressed job's chunk time is dominated by the serial
                 # block decode, which threads do not help — its parallel
                 # candidate is the sharded driver (parallel decodes).
-                candidates.append(
-                    price_threaded(
-                        workload, machine, store, machine.cpu_count
-                    )
+                candidate = price_threaded(
+                    workload, machine, store, machine.cpu_count
                 )
+                _mark_compensated(workload, candidate)
+                candidates.append(candidate)
             # With one core, concurrent shard scans cannot overlap —
             # sharding would be the stream driver plus splice overhead.
-            if machine.multicore and workload.nbytes >= 2 * MIN_SHARD_BYTES:
+            # Compensated sharding is order-1 only (pass q >= 2 rescans
+            # rendered output, which has no exact errors to recover).
+            if (
+                machine.multicore
+                and workload.nbytes >= 2 * MIN_SHARD_BYTES
+                and (workload.integer or workload.order == 1)
+                and (workload.integer or workload.source != "compressed-file")
+            ):
                 shards = max(
                     2,
                     min(
@@ -228,9 +273,11 @@ def _enumerate(
                     ),
                 )
                 workers = max(1, min(machine.cpu_count, shards))
-                candidates.append(
-                    price_sharded(workload, machine, store, shards, workers)
+                candidate = price_sharded(
+                    workload, machine, store, shards, workers
                 )
+                _mark_compensated(workload, candidate)
+                candidates.append(candidate)
     return candidates
 
 
@@ -251,16 +298,60 @@ def _synthesize(
         return price_serial(workload, machine, store)
     if not _parallel_safe(workload):
         return None
+    candidate = None
     if name == "threaded" and workload.source == "memory":
-        return price_threaded(workload, machine, store, count)
-    if name == "parallel" and workload.source == "memory":
-        return price_parallel(workload, machine, store, count)
-    if name == "stream_threaded" and workload.source == "file":
-        return price_threaded(workload, machine, store, count)
-    if name == "sharded" and workload.on_disk:
+        candidate = price_threaded(workload, machine, store, count)
+    elif name == "parallel" and workload.source == "memory":
+        if not workload.integer:
+            return None  # the process pool cannot replay the dd chain
+        candidate = price_parallel(workload, machine, store, count)
+    elif name == "stream_threaded" and workload.source == "file":
+        candidate = price_threaded(workload, machine, store, count)
+    elif name == "sharded" and workload.on_disk:
+        if not workload.integer and workload.order > 1:
+            return None  # compensated sharding is order-1 only
         workers = max(1, min(machine.cpu_count, count))
-        return price_sharded(workload, machine, store, count, workers)
-    return None
+        candidate = price_sharded(workload, machine, store, count, workers)
+    if candidate is not None:
+        _mark_compensated(workload, candidate)
+    return candidate
+
+
+def _gate_reason(workload: Workload) -> str:
+    """Why this workload plans serial-only — named precisely, because
+    for floats the answer is an *instruction* (the compensated mode
+    exists), not a fact of nature."""
+    if not workload.contiguous:
+        return (
+            "only correct strategy for this workload "
+            "(non-contiguous buffer: slab/shard bounds need a flat layout)"
+        )
+    if not workload.vectorized:
+        return (
+            "only correct strategy for this workload "
+            "(looped operator: no GIL-releasing inner loop to parallelize)"
+        )
+    if not workload.integer:
+        from repro.kernels import compensated_supported
+
+        if workload.float_mode != "compensated" and compensated_supported(
+            workload.op, workload.dtype
+        ):
+            return (
+                "float dtype under the exact contract: only the sequential "
+                "path reproduces the left fold bit for bit "
+                "(float_mode='compensated' admits deterministic parallel "
+                "candidates)"
+            )
+        return (
+            "only correct strategy for this workload (float regrouping "
+            "rounds differently per split, and this op has no error-free "
+            "transformation)"
+        )
+    return (
+        "only correct strategy for this workload "
+        "(non-integer dtype, looped op, or non-contiguous buffer)"
+    )
 
 
 def _serial_plan(workload: Workload, machine: Machine, reason: str) -> Plan:
@@ -269,6 +360,9 @@ def _serial_plan(workload: Workload, machine: Machine, reason: str) -> Plan:
         predicted_seconds=0.0,
         note=reason,
     )
+    # The float mode is a correctness contract, not a tunable: even the
+    # tiny-input / planner-disabled shortcuts must execute under it.
+    _mark_compensated(workload, candidate)
     return Plan(
         workload=workload,
         machine=machine,
@@ -344,8 +438,7 @@ def plan_scan(
         reason = f"forced by caller (predicted rank {candidates.index(chosen) + 1})"
     elif len(candidates) == 1:
         reason = (
-            "only correct strategy for this workload "
-            "(non-integer dtype, looped op, or non-contiguous buffer)"
+            _gate_reason(workload)
             if not _parallel_safe(workload)
             else "no parallel candidate on this machine/size"
         )
@@ -388,6 +481,7 @@ def execute_plan(plan: Plan, values, *, op=None, forced: bool = False) -> np.nda
     w = plan.workload
     run_op = op if op is not None else w.op
     chosen = plan.chosen
+    float_mode = chosen.params.get("float_mode")
     t0 = time.perf_counter()
     if chosen.strategy == "threaded":
         from repro.kernels import ThreadedScan
@@ -395,6 +489,7 @@ def execute_plan(plan: Plan, values, *, op=None, forced: bool = False) -> np.nda
         engine = ThreadedScan(
             threads=chosen.params.get("threads"),
             cutover_bytes=0 if forced else None,
+            float_mode=float_mode,
         )
         out = engine.run(
             values,
@@ -418,6 +513,20 @@ def execute_plan(plan: Plan, values, *, op=None, forced: bool = False) -> np.nda
             op=run_op,
             inclusive=w.inclusive,
         ).values
+    elif float_mode == "compensated":
+        # Serial under the compensated contract: the one-thread
+        # compensated kernel, so every candidate of this plan agrees.
+        from repro.kernels import compensated_scan_into
+
+        source = np.ascontiguousarray(values)
+        out = compensated_scan_into(
+            source,
+            np.empty_like(source),
+            run_op,
+            order=w.order,
+            tuple_size=w.tuple_size,
+            inclusive=w.inclusive,
+        )
     else:  # serial
         from repro.core.host import host_prefix_sum
 
@@ -439,14 +548,24 @@ def auto_scan(
     tuple_size: int = 1,
     inclusive: bool = True,
     force: Optional[str] = None,
+    float_mode: Optional[str] = None,
 ) -> np.ndarray:
     """Plan and run one in-memory scan — the engine behind
     ``repro.scan(x)`` / ``repro.prefix_sum(x)`` when the caller passes
-    no engine: bit-identical to the serial reference for every
-    workload, as fast as the machine's candidate set allows."""
+    no engine: bit-identical to the workload's (mode-relative)
+    reference for every workload, as fast as the machine's candidate
+    set allows."""
     workload = Workload.from_array(
-        values, op=op, order=order, tuple_size=tuple_size, inclusive=inclusive
+        values, op=op, order=order, tuple_size=tuple_size,
+        inclusive=inclusive, float_mode=float_mode,
     )
+    if float_mode == "compensated" and np.dtype(workload.dtype).kind == "f":
+        # Same contract as the session/sharded surfaces: asking for
+        # compensated carries on an op they cannot recover is an error,
+        # not a silent downgrade to the exact serial plan.
+        from repro.kernels.compensated import check_compensated
+
+        check_compensated(op, workload.dtype)
     plan = plan_scan(workload, force=force)
     return execute_plan(plan, values, op=op, forced=force is not None)
 
@@ -461,6 +580,7 @@ def explain_scan(
     tuple_size: int = 1,
     inclusive: bool = True,
     source: str = "memory",
+    float_mode: Optional[str] = None,
 ) -> Plan:
     """Build (but do not run) the plan for a workload, for inspection.
 
@@ -469,7 +589,8 @@ def explain_scan(
     :class:`Plan` prints as the candidate table (``--explain``)."""
     if values is not None:
         workload = Workload.from_array(
-            values, op=op, order=order, tuple_size=tuple_size, inclusive=inclusive
+            values, op=op, order=order, tuple_size=tuple_size,
+            inclusive=inclusive, float_mode=float_mode,
         )
     else:
         if nbytes is None or dtype is None:
@@ -485,6 +606,7 @@ def explain_scan(
             tuple_size=int(tuple_size),
             inclusive=bool(inclusive),
             source=source,
+            float_mode=float_mode,
         )
     return plan_scan(workload)
 
@@ -500,6 +622,7 @@ def plan_file_scan(
     tuple_size: int = 1,
     inclusive: bool = True,
     input_format: str = "auto",
+    float_mode: Optional[str] = None,
 ) -> Plan:
     """Plan an out-of-core file scan (used by ``repro.scan_file`` when
     the caller pins neither ``shards`` nor ``chunk_bytes`` nor
@@ -508,7 +631,9 @@ def plan_file_scan(
     compressed workload — dtype and logical size from its header, a
     decode term in the cost model, and no slab-threaded candidate
     (block decode is the serial bottleneck; sharding is the parallel
-    answer)."""
+    answer).  ``float_mode`` threads the caller's float contract into
+    the workload; blocked containers carry integer payloads today, so
+    the flag only shapes raw-file plans."""
     from repro.stream.driver import resolve_input_format
 
     input_format = resolve_input_format(input_path, input_format)
@@ -528,11 +653,12 @@ def plan_file_scan(
             order=order,
             tuple_size=tuple_size,
             inclusive=inclusive,
+            float_mode=float_mode,
         )
     return plan_scan(workload)
 
 
-def session_threads(dtype, op="add") -> Optional[str]:
+def session_threads(dtype, op="add", float_mode: Optional[str] = None) -> Optional[str]:
     """Planned ``threads=`` for a streaming/served session whose chunk
     sizes are unknown up front: ``"auto"`` on a multicore machine with
     a parallel-safe configuration (the threaded kernel's own tuned
@@ -548,7 +674,17 @@ def session_threads(dtype, op="add") -> Optional[str]:
         from repro.ops import get_op
 
         resolved = get_op(op)
-        if np.dtype(dtype).kind not in "iu" or resolved.ufunc is None:
+        if np.dtype(dtype).kind in "iu":
+            if resolved.ufunc is None:
+                return None
+        elif float_mode == "compensated":
+            # Compensated float sessions parallelize their segment
+            # pass-1 the same way integer slabs do.
+            from repro.kernels import compensated_supported
+
+            if not compensated_supported(resolved.name, dtype):
+                return None
+        else:
             return None
     except Exception:
         return None

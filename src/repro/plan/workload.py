@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -47,6 +47,15 @@ class Workload:
     ``compressed_nbytes`` — the container bytes that actually cross the
     disk — so the cost model can price the decode term separately from
     the (smaller) IO term.
+
+    ``float_mode`` is the caller's float contract and is part of the
+    workload, not a tunable: under ``"compensated"`` every candidate —
+    serial included — produces the error-free-carry result, so the
+    planner's bit-identity guarantee holds *within* the mode and
+    parallel candidates open up for float ``add``.  ``None`` (and
+    ``"exact"``) keep the historical promise that a float plan equals
+    the sequential left fold bit for bit, which only the serial path
+    can honor.
     """
 
     nbytes: int
@@ -58,6 +67,7 @@ class Workload:
     source: str = SOURCE_MEMORY
     contiguous: bool = True
     compressed_nbytes: int = 0
+    float_mode: Optional[str] = None
 
     def __post_init__(self):
         if self.nbytes < 0:
@@ -66,6 +76,8 @@ class Workload:
             raise ValueError("order and tuple_size must be >= 1")
         if self.source not in (SOURCE_MEMORY, SOURCE_FILE, SOURCE_COMPRESSED):
             raise ValueError(f"unknown workload source {self.source!r}")
+        if self.float_mode not in (None, "exact", "compensated", "regrouped"):
+            raise ValueError(f"unknown float_mode {self.float_mode!r}")
 
     @classmethod
     def from_array(
@@ -75,6 +87,7 @@ class Workload:
         order: int = 1,
         tuple_size: int = 1,
         inclusive: bool = True,
+        float_mode=None,
     ) -> "Workload":
         """Describe an in-memory array scan (the ``repro.scan(x)`` shape)."""
         array = np.asarray(values)
@@ -88,6 +101,7 @@ class Workload:
             inclusive=bool(inclusive),
             source=SOURCE_MEMORY,
             contiguous=bool(array.flags.c_contiguous or array.ndim != 1),
+            float_mode=float_mode,
         )
 
     @classmethod
@@ -99,6 +113,7 @@ class Workload:
         order: int = 1,
         tuple_size: int = 1,
         inclusive: bool = True,
+        float_mode=None,
     ) -> "Workload":
         """Describe an out-of-core file scan (the ``repro.scan_file`` shape)."""
         resolved = get_op(op)
@@ -111,6 +126,7 @@ class Workload:
             inclusive=bool(inclusive),
             source=SOURCE_FILE,
             contiguous=True,
+            float_mode=float_mode,
         )
 
     @classmethod
@@ -168,6 +184,20 @@ class Workload:
         return np.dtype(self.dtype).kind in "iu"
 
     @property
+    def compensable(self) -> bool:
+        """Whether this workload runs under the compensated float
+        contract: the caller asked for ``float_mode="compensated"`` and
+        the kernels support it (float ``add`` with a real ufunc) on a
+        contiguous buffer.  Compensable workloads get parallel
+        candidates — every strategy, serial included, produces the
+        same error-free-carry bits."""
+        if self.float_mode != "compensated" or not self.contiguous:
+            return False
+        from repro.kernels import compensated_supported
+
+        return compensated_supported(self.op, self.dtype)
+
+    @property
     def vectorized(self) -> bool:
         """Whether the operator has a GIL-releasing ufunc inner loop
         (looped operators serialize threads, so slab parallelism cannot
@@ -189,10 +219,13 @@ class Workload:
         """The calibration-store bucket this workload's observations of
         ``strategy`` feed (and read).  Parameters that change the
         bytes-per-second of a strategy are part of the key; ones that do
-        not (inclusive flavor) are left out so buckets warm up faster."""
+        not (inclusive flavor) are left out so buckets warm up faster.
+        The float mode is appended only when set, so integer buckets
+        (and pre-existing float ones) keep their historical keys."""
+        suffix = f"|fm:{self.float_mode}" if self.float_mode else ""
         return (
             f"{strategy}|{self.source}|{self.dtype}|{self.op}"
-            f"|q{self.order}|s{self.tuple_size}|b{self.size_bucket()}"
+            f"|q{self.order}|s{self.tuple_size}|b{self.size_bucket()}{suffix}"
         )
 
 

@@ -19,8 +19,15 @@ chunks stay scan no-ops but count as feed calls, like ``feed``.
 Batch eligibility is the same rule as every other fast path in the
 repo: fixed-width integers under a real-ufunc operator (exact
 regrouping), on the plain host path (no delegated engine, no slab
-threads).  Floats keep their bit-exact per-session prepend path;
-the caller simply feeds those sessions individually.
+threads) — plus, since the compensated float mode landed, float
+``add`` sessions opened with ``float_mode="compensated"``: their
+error-free carry makes the batched regrouping deterministic, so they
+batch through :class:`repro.kernels.BatchedCompensatedKernel` (chunks
+that would cross a segment boundary fall back to an individual feed
+inside :func:`feed_batch` — the boundary advances the per-stream
+double-double chain, which is sequential).  Exact-mode floats keep
+their bit-exact per-session prepend path; the caller simply feeds
+those sessions individually.
 """
 
 from __future__ import annotations
@@ -31,7 +38,11 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro import kernels
-from repro.kernels import BatchedLaneKernel, batchable_op_dtype
+from repro.kernels import (
+    BatchedCompensatedKernel,
+    BatchedLaneKernel,
+    batchable_op_dtype,
+)
 from repro.stream.errors import SessionStateError
 from repro.stream.session import ScanSession
 
@@ -59,6 +70,14 @@ def batch_key(session: ScanSession):
         key = None
     elif session.dtype is None:
         return None
+    elif session.float_mode == "compensated":
+        key = (
+            session.op.name,
+            session.dtype.name,
+            session.order,
+            session.tuple_size,
+            "compensated",
+        )
     elif not batchable_op_dtype(session.op, session.dtype):
         key = None
     else:
@@ -70,6 +89,17 @@ def batch_key(session: ScanSession):
         )
     session._batch_key_cache = key
     return key
+
+
+def batch_kernel_for(session: ScanSession):
+    """A fresh batched kernel matching the session's batch key
+    (:class:`BatchedCompensatedKernel` for compensated float sessions,
+    :class:`BatchedLaneKernel` otherwise)."""
+    if session.float_mode == "compensated":
+        return BatchedCompensatedKernel(
+            session.op, session.dtype, session.tuple_size
+        )
+    return BatchedLaneKernel(session.op, session.dtype, session.tuple_size)
 
 
 def feed_batch(
@@ -103,10 +133,13 @@ def feed_batch(
         )
     first = sessions[0]
     op, s, order, dtype = first.op, first.tuple_size, first.order, first.dtype
+    compensated = first.float_mode == "compensated"
+    kernel_type = BatchedCompensatedKernel if compensated else BatchedLaneKernel
     if kernel is None:
-        kernel = BatchedLaneKernel(op, dtype, s)
+        kernel = kernel_type(op, dtype, s)
     elif (
-        kernel.op.name != op.name
+        not isinstance(kernel, kernel_type)
+        or kernel.op.name != op.name
         or kernel.dtype != dtype
         or kernel.s != s
     ):
@@ -137,6 +170,21 @@ def feed_batch(
         else:
             live.append(i)
             arrays.append(array)
+    if compensated and live:
+        # A chunk that crosses its stream's segment boundary advances
+        # the per-stream double-double chain — a sequential step the
+        # batched kernel cannot stage.  Feed those streams individually
+        # (bit-identical: the session takes the same compensated
+        # kernel); the rest still share the dispatch.
+        kept_live: List[int] = []
+        kept_arrays: List[np.ndarray] = []
+        for j, i in enumerate(live):
+            if kernel.crosses_segment(sessions[i]._offset, arrays[j].size):
+                outs[i] = sessions[i].feed(arrays[j])
+            else:
+                kept_live.append(i)
+                kept_arrays.append(arrays[j])
+        live, arrays = kept_live, kept_arrays
     if not live:
         return outs
 
@@ -147,11 +195,25 @@ def feed_batch(
     current = arrays
     for iteration in range(order):
         last = iteration == order - 1
-        carries = np.stack([sessions[i]._carry[iteration] for i in live])
-        prev = carries.copy() if (last and any_exclusive) else None
-        scanned = kernel.stage_scan(current, carries, positions)
-        for j, i in enumerate(live):
-            sessions[i]._carry[iteration][:] = carries[j]
+        prev = (
+            np.stack([sessions[i]._carry[iteration] for i in live]).copy()
+            if (last and any_exclusive)
+            else None
+        )
+        if compensated:
+            states = [sessions[i]._comp[iteration] for i in live]
+            scanned = kernel.stage_scan(current, states, positions)
+            # The error carry advanced in place; refresh the rendered
+            # running totals (the exclusive heads of later feeds).
+            for j, i in enumerate(live):
+                totals = kernels.phase_totals(scanned[j], s)
+                lanes = (positions[j] + np.arange(totals.size)) % s
+                sessions[i]._carry[iteration][lanes] = totals
+        else:
+            carries = np.stack([sessions[i]._carry[iteration] for i in live])
+            scanned = kernel.stage_scan(current, carries, positions)
+            for j, i in enumerate(live):
+                sessions[i]._carry[iteration][:] = carries[j]
         if last and any_exclusive:
             # Exclusive = the lane-shifted inclusive continuation; the
             # shifted-in heads are the lanes' pre-chunk running totals

@@ -144,20 +144,23 @@ class ScanClient:
         tuple_size: int = 1,
         inclusive: bool = True,
         dtype: str = "int64",
+        float_mode: Optional[str] = None,
     ) -> dict:
         """Open (or re-attach to) a named session; returns the reply
-        header with ``created``, ``offset`` and the server's config."""
-        _, header, _ = self._request(
-            protocol.OPEN,
-            {
-                "session": session,
-                "op": op,
-                "order": order,
-                "tuple_size": tuple_size,
-                "inclusive": inclusive,
-                "dtype": dtype,
-            },
-        )
+        header with ``created``, ``offset`` and the server's config.
+        ``float_mode`` is sent only when set, so old servers keep
+        accepting OPENs from new clients (and vice versa)."""
+        request = {
+            "session": session,
+            "op": op,
+            "order": order,
+            "tuple_size": tuple_size,
+            "inclusive": inclusive,
+            "dtype": dtype,
+        }
+        if float_mode is not None:
+            request["float_mode"] = float_mode
+        _, header, _ = self._request(protocol.OPEN, request)
         return header
 
     def feed(self, session: str, chunk) -> np.ndarray:

@@ -62,6 +62,7 @@ class SessionRegistry:
         inclusive: bool = True,
         dtype="int64",
         threads=None,
+        float_mode=None,
     ) -> Tuple[ScanSession, bool]:
         """Get-or-create the named session; returns ``(session, created)``.
 
@@ -83,6 +84,7 @@ class SessionRegistry:
             inclusive=inclusive,
             dtype=dtype,
             threads=threads,
+            float_mode=float_mode,
         )
         existing = self._sessions.get(name)
         if existing is not None:
@@ -137,6 +139,7 @@ class SessionRegistry:
             inclusive=config.get("inclusive", True),
             dtype=config.get("dtype"),
             threads=threads,
+            float_mode=config.get("float_mode"),
         )
         session.load_state_dict(state)
         if counters:

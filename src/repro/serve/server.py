@@ -37,7 +37,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.serve import protocol
-from repro.serve.batch import batch_key, feed_batch
+from repro.serve.batch import batch_kernel_for, batch_key, feed_batch
 from repro.serve.errors import ProtocolError, error_to_header
 from repro.serve.registry import SessionRegistry
 from repro.stream.errors import SessionStateError
@@ -246,7 +246,9 @@ class ScanServer:
                     from repro.plan import session_threads
 
                     threads = session_threads(
-                        header.get("dtype", "int64"), header.get("op", "add")
+                        header.get("dtype", "int64"),
+                        header.get("op", "add"),
+                        float_mode=header.get("float_mode"),
                     )
                 session, created = self.registry.open(
                     header.get("session"),
@@ -256,6 +258,7 @@ class ScanServer:
                     inclusive=header.get("inclusive", True),
                     dtype=header.get("dtype", "int64"),
                     threads=threads,
+                    float_mode=header.get("float_mode"),
                 )
                 if created and planned_threads and threads is not None:
                     session.counters.planner_strategy = f"session_threads:{threads}"
@@ -433,10 +436,7 @@ class ScanServer:
                 if len(feeds) > 1 and group_key[0] == "batch":
                     kernel = self._kernels.get(group_key)
                     if kernel is None:
-                        first = sessions[0]
-                        kernel = BatchedLaneKernel(
-                            first.op, first.dtype, first.tuple_size
-                        )
+                        kernel = batch_kernel_for(sessions[0])
                         self._kernels[group_key] = kernel
                     outs = feed_batch(sessions, [f.chunk for f in feeds], kernel)
                     self.batch_dispatches += 1

@@ -53,6 +53,10 @@ class StreamCounters:
     sharded driver's raw ping-pong re-reads on later passes, see
     :meth:`compression_ratio_in`), and the ``seconds_decode`` /
     ``seconds_encode`` phases of the fused decode-scan-encode loop.
+    ``overlapped_decodes`` counts chunks whose container decode ran
+    concurrently with the previous chunk's scan (the sharded driver's
+    pass-1 prefetch; its decode seconds overlap the scan wall-clock
+    instead of adding to it).
 
     The ``planner_*`` fields make :mod:`repro.plan` decisions auditable
     wherever counters already flow (benchmarks, the serve STATS verb):
@@ -71,6 +75,7 @@ class StreamCounters:
     compressed_bytes_in: int = 0
     compressed_bytes_out: int = 0
     decoded_bytes_in: int = 0
+    overlapped_decodes: int = 0
     checkpoint_writes: int = 0
     resumes: int = 0
     delegated_stage_scans: int = 0

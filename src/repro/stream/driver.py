@@ -236,6 +236,7 @@ def scan_file(
     resume: bool = False,
     adaptive_chunks: bool = False,
     threads=None,
+    float_mode: Optional[str] = None,
     input_format: str = "auto",
     output_format: str = "raw",
     output_block_elements: Optional[int] = None,
@@ -255,7 +256,10 @@ def scan_file(
     chunk counts predictable).  ``threads`` routes per-chunk integer
     stage scans through the slab-parallel in-memory kernel
     (``None`` = serial; an int or ``"auto"`` enables it) — results are
-    unchanged either way.
+    unchanged either way.  ``float_mode`` picks the session's float
+    handling (``"exact"``, ``"compensated"``, or ``"regrouped"``; see
+    :class:`repro.stream.ScanSession`); ``None`` keeps the default
+    bit-exact sequential float path.
 
     ``input_format`` accepts raw bytes or a blocked ``.samb`` container
     (``"auto"``, the default, sniffs the magic); a blocked input's
@@ -334,6 +338,7 @@ def scan_file(
         dtype=resolved_dtype,
         engine=engine,
         threads=threads,
+        float_mode=float_mode,
     )
 
     start_elements = 0

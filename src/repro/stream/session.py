@@ -44,10 +44,22 @@ Each of the ``order`` scan passes is continued through the shared
   the exact path: float addition is only pseudo-associative, and the
   session's contract is bit-identity with the one-shot host scan.
 
+* **Float modes.**  The default float contract above is
+  ``float_mode="exact"``.  ``float_mode="compensated"`` switches float
+  streams to the error-free-carry kernel
+  (:mod:`repro.kernels.compensated`): still bit-identical across any
+  chunk split, *additionally* bit-identical across thread counts (so
+  ``threads=`` applies to floats too) and batchable by the serve
+  layer, and more accurate than the naive fold — at the cost of not
+  being bit-identical to the exact mode's output.
+  ``float_mode="regrouped"`` opts into the fast in-place integer-style
+  fold (regrouped rounding).
+
 Sessions serialize their entire state (:meth:`state_dict` /
-:meth:`load_state_dict`) with the carry encoded byte-exactly, which is
-what makes the out-of-core driver's checkpoints possible; a
-configuration hash guards against resuming somebody else's state.
+:meth:`load_state_dict`) with the carry encoded byte-exactly — the
+compensated error carry included — which is what makes the out-of-core
+driver's checkpoints possible; a configuration hash guards against
+resuming somebody else's state.
 """
 
 from __future__ import annotations
@@ -97,10 +109,18 @@ class ScanSession:
         or ``"auto"`` routes integer host-path stage scans through the
         slab-parallel in-memory kernel
         (:func:`repro.kernels.threaded_lane_scan`) — bit-identical for
-        integers; float chunks keep the exact serial prepend path
-        regardless.  Not part of :meth:`config`: like the engine, the
-        thread count never changes results, so checkpoints stay
-        portable across it.
+        integers; exact-mode float chunks keep the serial prepend path
+        regardless (compensated-mode chunks *do* thread).  Not part of
+        :meth:`config`: like the engine, the thread count never changes
+        results, so checkpoints stay portable across it.
+    float_mode:
+        Float handling: ``"exact"`` (default — bit-identical to the
+        one-shot serial scan), ``"compensated"`` (error-free carries:
+        bit-identical for any chunk split *and* thread count, more
+        accurate than the naive fold, parallel- and batch-friendly), or
+        ``"regrouped"`` (the fast in-place fold; regroups rounding).
+        Integers ignore it.  Part of :meth:`config` when non-default:
+        the mode changes emitted bits, so checkpoints must not cross it.
     """
 
     def __init__(
@@ -112,15 +132,25 @@ class ScanSession:
         dtype=None,
         engine=None,
         threads=None,
+        float_mode: Optional[str] = None,
     ):
         if order < 1:
             raise ValueError(f"order must be >= 1, got {order}")
         if tuple_size < 1:
             raise ValueError(f"tuple_size must be >= 1, got {tuple_size}")
+        if float_mode is not None and float_mode not in kernels.FLOAT_MODES:
+            raise ValueError(
+                f"float_mode must be one of {kernels.FLOAT_MODES}, "
+                f"got {float_mode!r}"
+            )
         self.op = get_op(op)
         self.order = int(order)
         self.tuple_size = int(tuple_size)
         self.inclusive = bool(inclusive)
+        self._float_mode_param = float_mode
+        # Resolved when the dtype locks (None for integer dtypes).
+        self.float_mode: Optional[str] = None
+        self._comp: Optional[np.ndarray] = None
         label = _engine_label(engine)
         if isinstance(engine, str):
             from repro.api import resolve_engine
@@ -157,14 +187,22 @@ class ScanSession:
     def config(self) -> dict:
         """The session's semantic configuration (engine excluded:
         engines are bit-identical, so a checkpoint taken on one engine
-        may be resumed on another)."""
-        return {
+        may be resumed on another).  ``float_mode`` appears only when
+        non-default — the mode changes emitted bits, but default-mode
+        configs must stay byte-compatible with pre-mode checkpoints."""
+        config = {
             "op": self.op.name,
             "order": self.order,
             "tuple_size": self.tuple_size,
             "inclusive": self.inclusive,
             "dtype": None if self.dtype is None else self.dtype.name,
         }
+        mode = (
+            self.float_mode if self.dtype is not None else self._float_mode_param
+        )
+        if mode in ("compensated", "regrouped"):
+            config["float_mode"] = mode
+        return config
 
     def config_hash(self) -> str:
         return hash_config(self.config())
@@ -176,12 +214,15 @@ class ScanSession:
                 "cannot snapshot a session before its dtype is known "
                 "(pass dtype= at construction or feed a chunk first)"
             )
-        return {
+        state = {
             "offset": int(self._offset),
             "carry": base64.b64encode(self._carry.tobytes()).decode("ascii"),
             "config": self.config(),
             "config_hash": self.config_hash(),
         }
+        if self._comp is not None:
+            state["comp"] = base64.b64encode(self._comp.tobytes()).decode("ascii")
+        return state
 
     def load_state_dict(self, state: dict) -> None:
         """Restore a snapshot taken by a compatibly-configured session."""
@@ -216,6 +257,24 @@ class ScanSession:
             .reshape(self.order, self.tuple_size)
             .copy()
         )
+        if self.float_mode == "compensated":
+            blob = state.get("comp")
+            if blob is None:
+                raise CheckpointMismatchError(
+                    "compensated session state is missing its 'comp' "
+                    "error-carry blob"
+                )
+            raw = base64.b64decode(blob)
+            expected = self.order * 4 * self.tuple_size * self.dtype.itemsize
+            if len(raw) != expected:
+                raise CheckpointMismatchError(
+                    f"comp blob is {len(raw)} bytes, expected {expected}"
+                )
+            self._comp = (
+                np.frombuffer(raw, dtype=self.dtype)
+                .reshape(self.order, 4, self.tuple_size)
+                .copy()
+            )
         self._offset = int(state["offset"])
 
     def _set_dtype(self, dtype) -> None:
@@ -224,6 +283,20 @@ class ScanSession:
         self._carry = np.full(
             (self.order, self.tuple_size), identity, dtype=self.dtype
         )
+        self.float_mode = kernels.resolve_float_mode(
+            self.dtype, self._float_mode_param, None
+        )
+        if self.float_mode == "compensated":
+            from repro.kernels.compensated import check_compensated
+
+            # Raises TypeError for unsupported (op, dtype) pairs.
+            check_compensated(self.op, self.dtype)
+            self._comp = np.stack(
+                [
+                    kernels.fresh_state(self.dtype, self.tuple_size)
+                    for _ in range(self.order)
+                ]
+            )
 
     # -- feeding ---------------------------------------------------------
 
@@ -339,13 +412,14 @@ class ScanSession:
     ) -> np.ndarray:
         op, s, pos = self.op, self.tuple_size, self._offset
         carry = self._carry[iteration]
-        if self.dtype.kind in "iu":
+        if self.dtype.kind in "iu" or self.float_mode == "regrouped":
             # Fixed-width integers are truly associative, so the lean
             # in-place kernel applies: accumulate all lanes in one 2-D
             # call, fold the carry afterwards — no prepend copies (the
             # ROADMAP port of the sharded driver's ``_LaneKernel``).
             # With threads= requested the same pass runs slab-parallel
-            # (bit-identical: integer regrouping is exact).
+            # (bit-identical: integer regrouping is exact).  Regrouped
+            # floats opt into the same fold, regrouped rounding and all.
             scan = self._lane_scan
             out = values if own else np.empty_like(values)
             if pos >= s:
@@ -360,6 +434,17 @@ class ScanSession:
                 )
             else:
                 scan(values, out)
+        elif self.float_mode == "compensated":
+            # Error-free carries: deterministic for any chunk split and
+            # thread count, so — unlike the exact prepend path — the
+            # compensated pass may thread.
+            threads = None
+            if self.threads is not None:
+                threads = "auto" if self.threads in ("auto", 0) else self.threads
+                self.counters.threaded_scans += 1
+            out = kernels.lane_scan_compensated(
+                values, op, s, self._comp[iteration], pos, threads=threads
+            )
         else:
             # Floats are only pseudo-associative: bit-identity needs
             # the exact prepend continuation (vectorized across lanes).

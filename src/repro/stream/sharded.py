@@ -30,9 +30,17 @@ not:
 
 Bit-identity: for integer dtypes the output is bit-identical to the
 one-shot host scan for every op / order / tuple size, inclusive and
-exclusive.  Floats are only pseudo-associative, so by default float
-inputs take the sequential exact path (:func:`scan_file`); pass
-``exact=False`` to shard them anyway and accept carry-fold rounding.
+exclusive.  Floats are only pseudo-associative, so they pick one of
+three ``float_mode`` contracts: ``"exact"`` (the default — fall back
+to the sequential bit-exact session path), ``"regrouped"`` (shard
+anyway and accept carry-fold rounding; the legacy ``exact=False``),
+or ``"compensated"`` — shard on the fixed segment grid of
+:mod:`repro.kernels.compensated`, collect per-segment ``(T, F)``
+totals in the scan pass, replay the global double-double chain as the
+splice, and render in the fold pass.  Compensated results are
+bit-identical for every shard count *and* more accurate than the
+serial naive fold (the per-step rounding errors are recovered exactly
+and re-injected).
 
 Durability: progress is tracked in a **per-shard manifest** (see
 :mod:`repro.stream.checkpoint`).  Passes ping-pong between the output
@@ -231,6 +239,65 @@ def _splice(op, dtype, tuple_size, shards, aggregates, baked) -> np.ndarray:
     return carries
 
 
+def _splice_compensated(job, aggregates) -> list:
+    """Phase 2 in compensated mode: replay the double-double chain.
+
+    Concatenates every shard's ``(K_i, 2, s)`` segment totals in shard
+    order and replays the global ``dd_add`` chain over them — the
+    canonical order, so the result is bit-identical for any shard
+    count.  Returns ``carries[i] = (chain_i, head_i)``: the shard's
+    slice of per-segment ``(H, G)`` chain states (what its fold kernel
+    renders with) and the *rendered* per-lane running totals at its
+    start (the exclusive-shift heads; ``None`` for shard 0).
+    """
+    from repro.kernels.compensated import HI, LO, _dd_render
+
+    s = job.tuple_size
+    dtype = job.dtype
+    span = kernels.segment_span(s)
+    stacks = [np.asarray(agg) for agg in aggregates]
+    totals = (
+        np.concatenate(stacks)
+        if stacks
+        else np.empty((0, 2, s), dtype=dtype)
+    )
+    state = kernels.fresh_state(dtype, s)
+    chain_hi, chain_lo, _, _ = kernels.chain_segments(
+        state[HI], state[LO], totals[:, 0], totals[:, 1]
+    )
+    carries = []
+    head = None  # shard 0 has no seen lanes
+    k = 0
+    for lo, hi in job.shards:
+        segments = -(-(hi - lo) // span)
+        chain = np.stack(
+            [chain_hi[k : k + segments], chain_lo[k : k + segments]], axis=1
+        )
+        carries.append((chain, head))
+        if segments:
+            # The next shard's heads are this shard's rendered last row
+            # per lane: its final segment's totals under that segment's
+            # chain state (shard bounds are segment-aligned, so the
+            # final segment of an interior shard is always complete).
+            last = k + segments - 1
+            head = np.empty(s, dtype=dtype)
+            _dd_render(
+                totals[last, 0], totals[last, 1],
+                chain_hi[last], chain_lo[last], head,
+            )
+        k += segments
+    return carries
+
+
+def _job_splice(job, aggregates, baked):
+    """Dispatch phase 2 on the job's float mode."""
+    if job.float_mode == "compensated":
+        return _splice_compensated(job, aggregates)
+    return _splice(
+        job.op, job.dtype, job.tuple_size, job.shards, aggregates, baked
+    )
+
+
 # -- manifest encoding ---------------------------------------------------
 
 
@@ -258,7 +325,7 @@ class _ShardedJob:
         self, *, input_path, output_path, op, dtype, order, tuple_size,
         inclusive, engine, shards, chunk_bytes, adaptive_chunks,
         checkpoint, workers, shard_threads=1, input_format="raw",
-        blocked_index=None,
+        blocked_index=None, float_mode=None,
     ):
         self.input_path = input_path
         self.output_path = output_path
@@ -277,6 +344,10 @@ class _ShardedJob:
         self.checkpoint = checkpoint
         self.workers = workers
         self.shard_threads = max(1, int(shard_threads))
+        #: ``"compensated"`` routes the scan/splice/fold phases through
+        #: the error-free-carry kernels; ``None`` is the classic
+        #: regrouping driver (integers, and floats under exact=False).
+        self.float_mode = float_mode
         self.itemsize = dtype.itemsize
         self.total_elements = shards[-1][1] if shards else 0
 
@@ -303,13 +374,18 @@ class _ShardedJob:
         return type(self.engine).__name__
 
     def config(self) -> dict:
-        return {
+        config = {
             "op": self.op.name,
             "order": self.order,
             "tuple_size": self.tuple_size,
             "inclusive": self.inclusive,
             "dtype": self.dtype.name,
         }
+        # Only the compensated mode changes the on-disk pass layout, so
+        # only it is stamped — integer manifests keep their old shape.
+        if self.float_mode == "compensated":
+            config["float_mode"] = self.float_mode
+        return config
 
     def needs_scratch(self) -> bool:
         return self.order >= 2
@@ -400,14 +476,14 @@ class _ShardedJob:
         self.done = list(state["done"])
         self.baked = list(state["baked"])
         self.aggregates = [
-            None if row is None else _decode_row(row, self.dtype, self.tuple_size)
-            for row in state["aggregates"]
+            None if row is None else self._decode_aggregate(row, i)
+            for i, row in enumerate(state["aggregates"])
         ]
         self.completed_passes = [
             {
                 "aggregates": [
-                    _decode_row(r, self.dtype, self.tuple_size)
-                    for r in rec["aggregates"]
+                    self._decode_aggregate(r, i)
+                    for i, r in enumerate(rec["aggregates"])
                 ],
                 "baked": list(rec["baked"]),
             }
@@ -418,11 +494,39 @@ class _ShardedJob:
         self.carried.resumes += 1
         self.resumed_shards = sum(bool(flag) for flag in self.done)
 
+    def _decode_aggregate(self, blob: str, shard_index: int) -> np.ndarray:
+        """Decode one manifest aggregate: a ``(tuple_size,)`` carry row
+        classically, a ``(K, 2, tuple_size)`` segment-totals stack in
+        compensated mode (``K`` derives from the stored shard bounds,
+        so :meth:`load_manifest` restores ``self.shards`` first)."""
+        if self.float_mode != "compensated":
+            return _decode_row(blob, self.dtype, self.tuple_size)
+        lo, hi = self.shards[shard_index]
+        span = kernels.segment_span(self.tuple_size)
+        segments = -(-(hi - lo) // span)
+        raw = base64.b64decode(blob)
+        expected = segments * 2 * self.tuple_size * self.itemsize
+        if len(raw) != expected:
+            raise StreamError(
+                f"manifest aggregate for shard {shard_index} is {len(raw)} "
+                f"bytes, expected {expected} ({segments} segment totals)"
+            )
+        return (
+            np.frombuffer(raw, dtype=self.dtype)
+            .reshape(segments, 2, self.tuple_size)
+            .copy()
+        )
+
     # -- progress --------------------------------------------------------
 
     def try_prime(self, shard_index: int) -> Optional[np.ndarray]:
         """Phase-1.5 shortcut: the absolute carry for ``shard_index`` in
         the current pass, if every predecessor already finished it."""
+        if self.float_mode == "compensated":
+            # Priming skips the fold, but the compensated fold is the
+            # *render* — it must run regardless, so a primed scan would
+            # save nothing (the naive pass never folds carries in).
+            return None
         with self.lock:
             if not all(self.done[:shard_index]):
                 return None
@@ -503,7 +607,14 @@ def _scan_shard(
     if isinstance(prime, str) and prime == "auto":
         prime = job.try_prime(shard_index)
     baked = prime is not None
-    if job.engine is not None and dtype.kind in "iu":
+    if job.float_mode == "compensated":
+        # Naive continuation + segment-totals collection; the render
+        # happens in the fold pass once the global chain exists.  The
+        # kernel is serial per shard (the shard plan itself is the
+        # parallelism; whole-segment slab threading belongs to the
+        # in-memory path).
+        kernel = kernels.CompensatedCollectKernel(op, dtype, s, start=lo)
+    elif job.engine is not None and dtype.kind in "iu":
         kernel = _SessionKernel(op, dtype, s, lo, prime, job.engine)
     elif job.shard_threads > 1:
         # Slab-parallel intra-chunk scans under the shard pool.  The
@@ -526,8 +637,18 @@ def _scan_shard(
     # object); later passes ping-pong between raw scratch/output files.
     reader = None
     source = None
+    prefetch = None
     if pass_index == 1 and job.blocked_index is not None:
         reader = BlockedFileReader(job.input_path, index=job.blocked_index)
+        # One-deep decode pipeline: the next chunk's blocks decode on a
+        # side thread while the current chunk scans, so decode work
+        # hides under scan wall-clock.  Depth 1 means read_range calls
+        # never overlap each other (the reader's handle stays
+        # single-threaded); values are unaffected — container inputs
+        # are integers, and integer scans are split-invariant.
+        prefetch = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="shard-decode"
+        )
     else:
         source = np.memmap(job.source_path(pass_index), dtype=dtype, mode="r")
     chunker = _AdaptiveChunker(
@@ -538,15 +659,30 @@ def _scan_shard(
     try:
         out_fh.seek(lo * job.itemsize)
         pos = lo
+        pending = None  # (future, element count) of the prefetched chunk
         while pos < hi:
             chunk_start = time.perf_counter()
-            take = min(chunker.elements, hi - pos)
-            if reader is not None:
-                chunk = reader.read_range(pos, pos + take)
+            if pending is not None:
+                future, take = pending
+                pending = None
+                chunk = future.result()
+                counters.overlapped_decodes += 1
             else:
-                chunk = np.array(source[pos : pos + take], copy=True)
+                take = min(chunker.elements, hi - pos)
+                if reader is not None:
+                    chunk = reader.read_range(pos, pos + take)
+                else:
+                    chunk = np.array(source[pos : pos + take], copy=True)
             t_read = time.perf_counter()
             counters.seconds_read += t_read - chunk_start
+            if prefetch is not None and pos + take < hi:
+                nxt = min(chunker.elements, hi - (pos + take))
+                pending = (
+                    prefetch.submit(
+                        reader.read_range, pos + take, pos + take + nxt
+                    ),
+                    nxt,
+                )
             if fold_carry is not None:
                 _fold_chunk(op, chunk, fold_carry, pos, s, seen)
                 t_fold = time.perf_counter()
@@ -573,9 +709,14 @@ def _scan_shard(
         counters.seconds_write += time.perf_counter() - t0
     finally:
         out_fh.close()
+        if prefetch is not None:
+            prefetch.shutdown(wait=True, cancel_futures=True)
         if reader is not None:
             # read_range was timed under seconds_read; reattribute its
-            # decode share so the phases decompose like the fused driver.
+            # decode share so the phases decompose like the fused
+            # driver.  Prefetched decodes ran off the loop's clock
+            # entirely (their wall-clock hid under the scan), so the
+            # subtraction clamps at zero rather than going negative.
             counters.compressed_bytes_in += reader.payload_bytes_read
             counters.seconds_decode += reader.decode_seconds
             counters.seconds_read = max(
@@ -586,7 +727,10 @@ def _scan_shard(
     counters.shards += 1
     counters.primed_shards += int(baked)
     counters.delegated_stage_scans += kernel.delegated_stage_scans
-    aggregate = np.asarray(kernel.carry).copy()
+    if job.float_mode == "compensated":
+        aggregate = kernel.segment_totals()
+    else:
+        aggregate = np.asarray(kernel.carry).copy()
     if publish:
         with job.lock:
             job.done[shard_index] = True
@@ -598,6 +742,8 @@ def _scan_shard(
 def _fold_shard(job: _ShardedJob, shard_index, carry, do_fold):
     """Phase 3 for one shard: fold the spliced carry into the output
     region in place (and lane-shift it when the scan is exclusive)."""
+    if job.float_mode == "compensated":
+        return _fold_shard_compensated(job, shard_index, carry)
     lo, hi = job.shards[shard_index]
     op, dtype, s = job.op, job.dtype, job.tuple_size
     counters = StreamCounters(engine_used=job._engine_label())
@@ -638,6 +784,61 @@ def _fold_shard(job: _ShardedJob, shard_index, carry, do_fold):
     return counters
 
 
+def _fold_shard_compensated(job: _ShardedJob, shard_index, carry):
+    """Phase 3 in compensated mode: the render pass.
+
+    Re-reads the shard's naive continuation from the output, the raw
+    values from the input, re-derives the exact per-step errors
+    (``two_sum_err`` needs only ``prev + x -> L``, all on disk), and
+    renders in place with the spliced per-segment chain.  Runs for
+    *every* shard — even shard 0's carry-free region needs its local
+    compensation re-injected — which is why compensated shards never
+    bake or prime.
+    """
+    lo, hi = job.shards[shard_index]
+    op, dtype, s = job.op, job.dtype, job.tuple_size
+    chain, head = carry
+    counters = StreamCounters(engine_used=job._engine_label())
+    kernel = kernels.CompensatedFoldKernel(dtype, s, lo, chain)
+    identity = op.identity(dtype)
+    prev = np.full(s, identity, dtype=dtype)
+    if head is not None:
+        prev[:] = head  # segment-aligned bounds: all lanes seen
+    source = np.memmap(job.output_path, dtype=dtype, mode="r")
+    raw = np.memmap(job.input_path, dtype=dtype, mode="r")
+    chunker = _AdaptiveChunker(
+        max(1, job.chunk_bytes // job.itemsize), job.itemsize,
+        job.adaptive_chunks, counters,
+    )
+    out_fh = open(job.output_path, "r+b")
+    try:
+        out_fh.seek(lo * job.itemsize)
+        pos = lo
+        while pos < hi:
+            chunk_start = time.perf_counter()
+            take = min(chunker.elements, hi - pos)
+            chunk = np.array(source[pos : pos + take], copy=True)
+            kernel.fold(chunk, raw[pos : pos + take])
+            if not job.inclusive:
+                chunk = _exclusive_shift(op, chunk, prev, pos, s)
+            out_fh.write(memoryview(chunk).cast("B"))
+            counters.chunks += 1
+            pos += take
+            elapsed = time.perf_counter() - chunk_start
+            counters.seconds_fold += elapsed
+            chunker.observe(elapsed)
+        t0 = time.perf_counter()
+        out_fh.flush()
+        os.fsync(out_fh.fileno())
+        counters.seconds_fold += time.perf_counter() - t0
+    finally:
+        out_fh.close()
+        del source
+        del raw
+    counters.folded_shards += 1
+    return counters
+
+
 # -- public entry point --------------------------------------------------
 
 
@@ -658,6 +859,7 @@ def scan_file_sharded(
     checkpoint=None,
     resume: bool = False,
     exact: bool = True,
+    float_mode: Optional[str] = None,
     threads=None,
     input_format: str = "auto",
     fail_after_shards: Optional[int] = None,
@@ -668,8 +870,16 @@ def scan_file_sharded(
     knobs: ``shards`` (contiguous partitions; default the CPU count),
     ``workers`` (concurrent shard tasks; default ``min(shards, cpus)``),
     ``adaptive_chunks`` (per-shard chunk sizing driven by measured
-    per-chunk phase seconds), and ``exact`` (floats take the
-    sequential bit-exact path unless ``exact=False``).  ``threads``
+    per-chunk phase seconds), and the float-mode pair: ``float_mode``
+    picks ``"exact"`` (sequential bit-exact fallback, the default),
+    ``"compensated"`` (shard floats on the fixed segment grid with
+    error-free carries — bit-identical for any shard count, *more*
+    accurate than the serial fold; ``add``/order-1/raw-input only,
+    anything else falls back sequentially with a ``fallback_reason``),
+    or ``"regrouped"`` (shard anyway, accept carry-fold rounding).
+    The legacy ``exact`` tri-state still works (``True -> "exact"``,
+    ``False -> "regrouped"``) but ``float_mode`` wins when both are
+    given.  ``threads``
     adds slab-parallel intra-chunk scans *inside* each shard task: the
     total budget (an int, or ``"auto"`` for the CPU count) is divided
     by the shard worker count so shards × intra-chunk threads never
@@ -724,16 +934,49 @@ def scan_file_sharded(
             )
         total_elements = input_bytes // itemsize
 
-    if resolved_dtype.kind not in "iu" and exact:
-        # Floats are only pseudo-associative: splicing carries across
-        # shards would round differently from the one-shot scan.  The
-        # sequential session path is bit-exact; exact=False opts into
-        # sharding anyway.
+    mode = kernels.resolve_float_mode(resolved_dtype, float_mode, exact)
+    if mode == "compensated":
+        from repro.kernels.compensated import check_compensated
+
+        check_compensated(resolved_op, resolved_dtype)
+    fallback_reason = None
+    if mode == "exact":
+        # Floats are only pseudo-associative: regrouped carries would
+        # round differently from the one-shot scan.  The sequential
+        # session path is bit-exact; float_mode="regrouped" (or the
+        # legacy exact=False) opts into sharding anyway, and
+        # float_mode="compensated" shards *and* keeps determinism.
+        fallback_reason = (
+            "float dtype: bit-exactness requires the sequential exact "
+            "path (float_mode='compensated' shards floats "
+            "deterministically; 'regrouped' shards with carry-fold "
+            "rounding)"
+        )
+    elif mode == "compensated" and order > 1:
+        # Pass q >= 2 rescans the pass-(q-1) *output*, whose naive form
+        # is not on disk once rendered — the per-element error recovery
+        # has nothing exact to re-derive from.  Sequential compensated
+        # scanning handles any order.
+        fallback_reason = (
+            "compensated float mode shards order-1 scans only; "
+            "higher orders run the sequential compensated session"
+        )
+    elif mode == "compensated" and input_format == "blocked":
+        # Shard bounds would need to align to container blocks *and*
+        # the fixed segment grid at once, and the render pass re-reads
+        # raw input bytes by offset — neither holds for a compressed
+        # container.
+        fallback_reason = (
+            "compensated float mode shards raw inputs only; blocked "
+            "containers run the sequential compensated session"
+        )
+    if fallback_reason is not None:
         result = scan_file(
             input_path, output_path, dtype=resolved_dtype, op=resolved_op,
             order=order, tuple_size=tuple_size, inclusive=inclusive,
             engine=engine, chunk_bytes=chunk_bytes, checkpoint=checkpoint,
             resume=resume, threads=threads, input_format=input_format,
+            float_mode=mode if mode != "regrouped" else None,
         )
         return ShardedResult(
             elements=result.elements,
@@ -744,16 +987,22 @@ def scan_file_sharded(
             passes=order,
             shard_counters=[result.counters],
             resumed_shards=int(bool(result.resumed_from)),
-            fallback_reason=(
-                "float dtype: bit-exactness requires the sequential exact "
-                "path (pass exact=False to shard float inputs)"
-            ),
+            fallback_reason=fallback_reason,
             input_format=input_format,
         )
 
     if shards is None:
         shards = os.cpu_count() or 1
-    if blocked_index is not None and total_elements:
+    if mode == "compensated" and total_elements:
+        # The compensated contract fixes segment boundaries as a pure
+        # function of the global index; shard bounds snap to that grid
+        # so every shard's totals line up with the global chain.
+        span = kernels.segment_span(tuple_size)
+        plan = [
+            (k_lo * span, min(k_hi * span, total_elements))
+            for k_lo, k_hi in plan_shards(-(-total_elements // span), shards)
+        ]
+    elif blocked_index is not None and total_elements:
         # Align shard bounds to container blocks so no two shards decode
         # the same block: plan over blocks, scale back to elements.
         be = blocked_index.block_elements
@@ -780,6 +1029,7 @@ def scan_file_sharded(
         chunk_bytes=chunk_bytes, adaptive_chunks=adaptive_chunks,
         checkpoint=checkpoint, workers=workers, shard_threads=shard_threads,
         input_format=input_format, blocked_index=blocked_index,
+        float_mode=mode if mode == "compensated" else None,
     )
     job.fail_after_shards = fail_after_shards
 
@@ -865,10 +1115,7 @@ def _run(job: _ShardedJob, executor, resumed: bool) -> None:
     for pass_index in range(1, job.order + 1):
         if pass_index < start_pass or resumed_into_fold:
             rec = job.completed_passes[pass_index - 1]
-            carries = _splice(
-                job.op, job.dtype, job.tuple_size,
-                job.shards, rec["aggregates"], rec["baked"],
-            )
+            carries = _job_splice(job, rec["aggregates"], rec["baked"])
             continue
         if not (
             resumed
@@ -882,10 +1129,7 @@ def _run(job: _ShardedJob, executor, resumed: bool) -> None:
         }
         _splice_none_guard(rec["aggregates"])
         t0 = time.perf_counter()
-        carries = _splice(
-            job.op, job.dtype, job.tuple_size,
-            job.shards, rec["aggregates"], rec["baked"],
-        )
+        carries = _job_splice(job, rec["aggregates"], rec["baked"])
         job.carried.seconds_splice += time.perf_counter() - t0
         job.completed_passes.append(rec)
         resumed = False  # later passes always start from a clean phase
@@ -912,10 +1156,7 @@ def _run(job: _ShardedJob, executor, resumed: bool) -> None:
     prev_carries = None
     if job.order >= 2:
         prev_rec = job.completed_passes[job.order - 2]
-        prev_carries = _splice(
-            job.op, job.dtype, job.tuple_size,
-            job.shards, prev_rec["aggregates"], prev_rec["baked"],
-        )
+        prev_carries = _job_splice(job, prev_rec["aggregates"], prev_rec["baked"])
 
     futures = {}
     for i in range(len(job.shards)):

@@ -34,14 +34,21 @@ from repro.reference import prefix_sum_serial
 ENGINES = (
     "sam", "sam_chained", "lookback", "reduce_scan", "three_phase",
     "streamscan", "parallel", "parallel_chained", "stream", "sharded",
-    "threaded", "plan", "compressed",
+    "threaded", "plan", "compressed", "float_eft",
 )
 
 #: Strategies the "plan" kind forces through the planner's dispatcher
 #: (None = let the planner choose, which is itself a dispatch arm).
 PLAN_FORCES = (None, "serial", "threaded:2", "threaded:3", "parallel:2")
+#: Float workloads never get a process-pool candidate (it cannot replay
+#: the double-double chain), so the float plan arms force only these.
+PLAN_FLOAT_FORCES = (None, "serial", "threaded:2", "threaded:3")
 OPERATORS = ("add", "max", "min", "xor", "and", "or")
 DTYPES = (np.int32, np.int64, np.uint32, np.uint64)
+#: The "float_eft" kind's differential matrix: compensated output must
+#: be bit-identical across every cell (and the session-split arm).
+FLOAT_EFT_THREADS = (1, 2, 3, 8)
+FLOAT_EFT_SHARDS = (1, 2, 4)
 POLICIES = ("round_robin", "reversed", "rotating", "random")
 
 
@@ -80,10 +87,22 @@ def random_config(rng, engines=ENGINES):
         # deliberately including heavy oversubscription (determinism is
         # part of the contract, not just agreement).
         "slab_threads": int(rng.choice([1, 2, 3, 4, 8])),
-        # Only the "plan" kind reads this: which candidate to force
+        # Only the "plan" kind reads these: which candidate to force
         # through the planner's dispatcher (None = the planner's own
-        # pick), so every execute_plan arm gets differential coverage.
+        # pick), so every execute_plan arm gets differential coverage;
+        # plan_float flips the workload to a compensated float64 one
+        # (the planner's float arms), with the force drawn from the
+        # float-legal subset.
         "plan_force": PLAN_FORCES[int(rng.integers(0, len(PLAN_FORCES)))],
+        "plan_float": bool(rng.integers(0, 2)),
+        # Only the "float_eft" kind reads these: the float dtype, a
+        # corpus flavor (cancellation-heavy vs wide-magnitude), and a
+        # length drawn past the 4096-row segment span so the
+        # double-double segment chain is exercised, not just one
+        # segment.
+        "float_dtype": (np.float32, np.float64)[int(rng.integers(0, 2))],
+        "float_flavor": str(rng.choice(["cancel", "magnitude", "mixed"])),
+        "float_n": int(rng.integers(0, 3 * 4096 + 777)),
         # Only the "compressed" kind reads these: blocked-container
         # geometry (tiny blocks so even fuzz-sized inputs span many),
         # the codec's delta order, whether to scan single-session or
@@ -281,10 +300,13 @@ class PlannedScan:
     choose, or with a forced candidate label so every dispatch arm
     (serial kernel, threaded slabs, process pool) is differentially
     checked against the oracle regardless of what this machine's cost
-    model would pick on its own."""
+    model would pick on its own.  ``float_mode`` puts the plan under
+    the compensated contract (the float arms; the oracle is then the
+    serial compensated kernel, not the naive serial fold)."""
 
-    def __init__(self, force):
+    def __init__(self, force, float_mode=None):
         self.force = force
+        self.float_mode = float_mode
 
     def run(self, values, order=1, tuple_size=1, op="add", inclusive=True):
         from repro.plan import auto_scan
@@ -296,8 +318,149 @@ class PlannedScan:
         result.values = auto_scan(
             np.asarray(values), op=op, order=order,
             tuple_size=tuple_size, inclusive=inclusive, force=self.force,
+            float_mode=self.float_mode,
         )
         return result
+
+
+def _float_corpus(rng, dtype, flavor, n):
+    """Cancellation-heavy float fuzz input: large terms that cancel
+    (where the naive fold loses whole digits), wide magnitude swings,
+    or a half-and-half splice of both."""
+    dtype = np.dtype(dtype)
+    big = 1e7 if dtype == np.float32 else 1e16
+    if flavor == "cancel":
+        base = np.tile(np.array([big, 1.0, -big, 1.0]), n // 4 + 1)[:n]
+        return (base * rng.choice([1.0, -1.0], n)).astype(dtype)
+    if flavor == "magnitude":
+        mags = rng.integers(-6, 7, n).astype(np.float64)
+        return (rng.normal(0.0, 1.0, n) * 10.0 ** mags).astype(dtype)
+    half = n // 2
+    return np.concatenate([
+        _float_corpus(rng, dtype, "cancel", half),
+        _float_corpus(rng, dtype, "magnitude", n - half),
+    ]).astype(dtype)
+
+
+def _float_oracle_cumsum(values, tuple_size):
+    """Per-lane higher-precision inclusive cumsum: float128/float80
+    (``np.longdouble``) when the platform has one, mpmath otherwise.
+    Returns a float64 ndarray of the correctly-rounded-ish reference
+    (its own rounding is negligible next to the float64 ulp scale)."""
+    n = len(values)
+    rows = n // tuple_size
+    lanes = np.asarray(values, dtype=np.float64)[: rows * tuple_size]
+    lanes = lanes.reshape(rows, tuple_size)
+    if np.dtype(np.longdouble).itemsize > 8:
+        out = np.cumsum(lanes.astype(np.longdouble), axis=0)
+        head = out.astype(np.float64).reshape(-1)
+    else:  # pragma: no cover - platforms whose longdouble is float64
+        import mpmath
+
+        with mpmath.workprec(200):
+            acc = [mpmath.mpf(0)] * tuple_size
+            head = np.empty(rows * tuple_size)
+            for i in range(rows):
+                for lane in range(tuple_size):
+                    acc[lane] += mpmath.mpf(float(lanes[i, lane]))
+                    head[i * tuple_size + lane] = float(acc[lane])
+    tail = np.asarray(values, dtype=np.float64)[rows * tuple_size:]
+    if len(tail):
+        head = np.concatenate([head, np.cumsum(tail)])  # ragged tail: best effort
+    return head
+
+
+def run_float_eft(config, rng) -> bool:
+    """The ``float_eft`` differential arm: one compensated float
+    workload run through every parallel decomposition — slab threads
+    {1, 2, 3, 8}, shards {1, 2, 4}, and a random session split — all of
+    which must agree *bit for bit* with the serial compensated kernel;
+    then (order-1, inclusive, aligned lengths) the compensated result's
+    worst absolute error against a float128/mpmath oracle must not
+    exceed the naive serial fold's."""
+    import os
+    import tempfile
+
+    from repro.kernels import ThreadedScan, compensated_scan_into
+    from repro.ops import get_op
+    from repro.stream import ScanSession, scan_file_sharded
+
+    dtype = np.dtype(config["float_dtype"])
+    s = max(1, config["tuple_size"] % 5)  # tuple lanes 1..4
+    order = 1 + config["order"] % 3       # compensated orders 1..3
+    inclusive = config["inclusive"]
+    n = config["float_n"] * s
+    n -= n % s                             # aligned: lanes stay rectangular
+    values = _float_corpus(rng, dtype, config["float_flavor"], n)
+    op = get_op("add")
+
+    reference = compensated_scan_into(
+        values, np.empty_like(values), op,
+        order=order, tuple_size=s, inclusive=inclusive,
+    )
+    bits = reference.view(np.uint32 if dtype.itemsize == 4 else np.uint64)
+
+    def agrees(out):
+        out = np.asarray(out)
+        return out.dtype == dtype and np.array_equal(
+            bits, out.view(bits.dtype)
+        )
+
+    for threads in FLOAT_EFT_THREADS:
+        engine = ThreadedScan(
+            threads=threads, cutover_bytes=0, float_mode="compensated"
+        )
+        out = engine.run(
+            values, order=order, tuple_size=s, op=op, inclusive=inclusive
+        ).values
+        if not agrees(out):
+            return False
+
+    with tempfile.TemporaryDirectory(prefix="fuzz-float-eft-") as tmp:
+        input_path = os.path.join(tmp, "in.bin")
+        values.tofile(input_path)
+        for shards in FLOAT_EFT_SHARDS:
+            output_path = os.path.join(tmp, f"out-{shards}.bin")
+            scan_file_sharded(
+                input_path, output_path, dtype=dtype, op="add",
+                order=order, tuple_size=s, inclusive=inclusive,
+                shards=shards, workers=2,
+                chunk_bytes=config["shard_chunk_bytes"] * 64,
+                float_mode="compensated",
+            )
+            if not agrees(np.fromfile(output_path, dtype=dtype)):
+                return False
+
+    session = ScanSession(
+        op="add", order=order, tuple_size=s, inclusive=inclusive,
+        float_mode="compensated",
+    )
+    split = np.random.default_rng(config["split_seed"])
+    parts, pos = [], 0
+    while pos < n:
+        step = int(split.integers(1, max(2, n // 3 + 1)))
+        parts.append(session.feed(values[pos : pos + step]))
+        pos += step
+    stitched = np.concatenate(parts) if parts else values[:0]
+    if not agrees(stitched):
+        return False
+
+    if order == 1 and inclusive and n:
+        oracle = _float_oracle_cumsum(values, s)
+        naive = (
+            np.cumsum(values.reshape(-1, s), axis=0)  # the native-width fold
+            .reshape(-1)
+            .astype(np.float64)
+        )
+        comp_err = np.nanmax(np.abs(reference.astype(np.float64) - oracle))
+        naive_err = np.nanmax(np.abs(naive - oracle))
+        # Compensated output is faithfully rounded, so it can trail a
+        # luckily-rounded naive fold by at most one ulp of the largest
+        # prefix; beyond that margin it must win.
+        ulp = np.max(np.abs(oracle)) * np.finfo(dtype).eps if n else 0.0
+        if not (comp_err <= max(naive_err, ulp)):
+            return False
+    return True
 
 
 def build_engine(config):
@@ -356,8 +519,39 @@ def build_engine(config):
     raise ValueError(kind)
 
 
+def run_plan_float(config, rng) -> bool:
+    """The planner's float arms: a compensated float64 workload routed
+    through :func:`repro.plan.auto_scan` — planner's own pick or a
+    forced float-legal candidate — must agree bit for bit with the
+    serial compensated kernel (the mode's reference)."""
+    from repro.kernels import compensated_scan_into
+    from repro.ops import get_op
+
+    s = max(1, config["tuple_size"] % 5)
+    order = 1 + config["order"] % 3
+    n = config["n"] - config["n"] % s
+    values = _float_corpus(rng, np.float64, config["float_flavor"], n)
+    force = config["plan_force"]
+    if force not in PLAN_FLOAT_FORCES:
+        force = None
+    engine = PlannedScan(force=force, float_mode="compensated")
+    out = engine.run(
+        values, order=order, tuple_size=s, op="add",
+        inclusive=config["inclusive"],
+    ).values
+    expected = compensated_scan_into(
+        values, np.empty_like(values), get_op("add"),
+        order=order, tuple_size=s, inclusive=config["inclusive"],
+    )
+    return np.array_equal(out.view(np.uint64), expected.view(np.uint64))
+
+
 def run_one(config, rng) -> bool:
     """Run one configuration; returns True on agreement."""
+    if config["engine"] == "float_eft":
+        return run_float_eft(config, rng)
+    if config["engine"] == "plan" and config["plan_float"]:
+        return run_plan_float(config, rng)
     dtype = np.dtype(config["dtype"])
     # The blocked codec is int32/int64 only; map the unsigned draws to
     # their signed width instead of discarding the configuration.
