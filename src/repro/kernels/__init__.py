@@ -30,9 +30,16 @@ from repro.kernels.compensated import (
 from repro.kernels.lane import (
     BLOCK_BYTES,
     BLOCKED_MIN_STRIDE_BYTES,
+    FUSED_BLOCK_BYTES,
+    FUSED_MIN_TUPLE,
     LaneKernel,
     exclusive_shift,
     fold_lanes,
+    fused_combine,
+    fused_deltas,
+    fused_lane_scan,
+    fused_supported,
+    fused_weights,
     lane_scan,
     lane_scan_exact,
     lane_totals,
@@ -48,6 +55,7 @@ from repro.kernels.threaded import (
     get_pool,
     resolve_threads,
     threaded_fold_lanes,
+    threaded_fused_lane_scan,
     threaded_lane_scan,
     threaded_scan_into,
 )
@@ -56,6 +64,8 @@ __all__ = [
     "BLOCK_BYTES",
     "BLOCKED_MIN_STRIDE_BYTES",
     "FLOAT_MODES",
+    "FUSED_BLOCK_BYTES",
+    "FUSED_MIN_TUPLE",
     "MIN_SLAB_BYTES",
     "PARALLEL_CUTOVER_BYTES",
     "SEGMENT_ROWS",
@@ -73,6 +83,11 @@ __all__ = [
     "exclusive_shift",
     "fold_lanes",
     "fresh_state",
+    "fused_combine",
+    "fused_deltas",
+    "fused_lane_scan",
+    "fused_supported",
+    "fused_weights",
     "get_pool",
     "lane_scan",
     "lane_scan_compensated",
@@ -84,6 +99,7 @@ __all__ = [
     "resolve_threads",
     "scan_into",
     "threaded_fold_lanes",
+    "threaded_fused_lane_scan",
     "threaded_lane_scan",
     "threaded_scan_into",
 ]

@@ -50,7 +50,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.kernels.lane import LaneKernel
+from repro.kernels.lane import LaneKernel, fused_deltas, fused_supported
 from repro.ops import AssociativeOp, get_op
 
 
@@ -186,6 +186,96 @@ class BatchedLaneKernel:
         touched = np.arange(s) < np.minimum(np.asarray(ns), s).reshape(B, 1)
         flat_lanes = (perms + np.arange(B).reshape(B, 1) * s)[touched]
         carries.reshape(-1)[flat_lanes] = finals[touched]
+
+        outs = [
+            flat[i * span : i * span + ns[i]].copy() for i in range(B)
+        ]
+        self.dispatches += 1
+        self.streams_fed += B
+        return outs
+
+    # -- the fused order-q primitive -------------------------------------
+
+    def stage_scan_fused(
+        self,
+        chunks: Sequence[np.ndarray],
+        carries: np.ndarray,
+        positions: Sequence[int],
+        order: int,
+    ) -> List[np.ndarray]:
+        """One batched **fused** order-``q`` continuation pass.
+
+        The order-``q`` analogue of :meth:`stage_scan`: stages the
+        ``B`` chunks once, injects each stream's binomial carry deltas
+        (:func:`repro.kernels.fused_deltas`) into its first ``q``
+        staged rows, runs ``q`` batched ``axis=1`` accumulates, and
+        harvests every order's new running totals at each lane's last
+        *real* row — identity padding keeps lanes constant only through
+        the first accumulate, so for ``q >= 2`` the final staged row is
+        not the totals and the harvest indexes ``(n_i - 1 - c) // s``
+        per column instead.
+
+        ``carries`` is the ``(B, q, s)`` stack of per-stream order-total
+        matrices in **lane order** (row ``j-1`` = ``T_j``), updated in
+        place.  Every chunk must have ``n_i >= q * s`` elements (so the
+        injected delta rows are fully real and every harvest row sits
+        past the delta turbulence); the caller gates on that, on
+        :func:`repro.kernels.fused_supported`, and falls back to ``q``
+        :meth:`stage_scan` passes otherwise.  Bit-identical to the
+        pass-per-order dispatches for every fixed-width integer dtype.
+        """
+        B = len(chunks)
+        if B == 0:
+            return []
+        op, s, q = self.op, self.s, int(order)
+        if carries.shape != (B, q, s):
+            raise ValueError(
+                f"carries must have shape {(B, q, s)}, got {carries.shape}"
+            )
+        if not fused_supported(op, self.dtype, q, s):
+            raise ValueError(
+                f"(op={op.name!r}, dtype={self.dtype.name}, order={q}, "
+                f"s={s}) is outside the fused gate"
+            )
+        ns = [int(c.size) for c in chunks]
+        if min(ns) < q * s:
+            raise ValueError(
+                f"fused batched chunks need >= order * tuple_size = {q * s} "
+                f"elements, got {min(ns)}"
+            )
+        rows = -(-max(ns) // s)
+        span = rows * s
+        identity = op.identity(self.dtype)
+        flat = self._staging(B * span)
+        staged = flat.reshape(B, rows, s)
+        uniform = all(n == span for n in ns)
+        for i, chunk in enumerate(chunks):
+            base = i * span
+            flat[base : base + ns[i]] = chunk
+            if not uniform and ns[i] < span:
+                flat[base + ns[i] : base + span] = identity
+
+        pos = np.asarray(positions, dtype=np.int64).reshape(B, 1)
+        perms = (pos + np.arange(s)) % s  # (B, s): phase p -> global lane
+        # Phase-order carry stacks: fused_deltas is shape-agnostic past
+        # its leading order axis, so one call covers the whole batch.
+        carry_phase = np.take_along_axis(carries, perms[:, None, :], axis=2)
+        with np.errstate(over="ignore"):
+            deltas = fused_deltas(
+                np.ascontiguousarray(carry_phase.transpose(1, 0, 2))
+            )
+            staged[:, :q, :] += deltas.transpose(1, 0, 2)
+            # Last real row of each lane column: every n_i >= q*s, so
+            # all s columns are touched and every index is >= q - 1.
+            harvest = (
+                (np.asarray(ns).reshape(B, 1) - 1 - np.arange(s)) // s
+            )[:, None, :]
+            for j in range(q):
+                op.accumulate(staged, axis=1, out=staged)
+                carry_phase[:, j, :] = np.take_along_axis(
+                    staged, harvest, axis=1
+                )[:, 0, :]
+        np.put_along_axis(carries, perms[:, None, :], carry_phase, axis=2)
 
         outs = [
             flat[i * span : i * span + ns[i]].copy() for i in range(B)

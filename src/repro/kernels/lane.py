@@ -54,6 +54,8 @@ Exactness modes
 
 from __future__ import annotations
 
+import math
+import os
 from typing import Optional
 
 import numpy as np
@@ -76,10 +78,34 @@ BLOCK_BYTES = 128 << 10
 #: ``REPRO_BLOCKED_MIN_STRIDE_BYTES``.
 BLOCKED_MIN_STRIDE_BYTES = 64
 
+#: Tile byte budget for the fused single-pass order-q path.  Fused
+#: tiles are revisited ``q`` times while cache-resident, so the sweet
+#: spot is larger than :data:`BLOCK_BYTES` (fewer per-tile Python
+#: dispatches amortized over ``q`` accumulates; measured best around
+#: 0.5–1 MiB).  Pinned with ``REPRO_FUSED_BLOCK_BYTES``.
+FUSED_BLOCK_BYTES = 1 << 20
+
+#: Minimum tuple size for the fused order-q path to engage.  At
+#: ``s == 1`` the chunk is one contiguous prefetch-friendly stream, the
+#: per-pass accumulate is not strided, and the measured fused path
+#: loses to pass-per-order — same engagement-heuristic role as
+#: :data:`BLOCKED_MIN_STRIDE_BYTES` plays for the blocked order-1 path.
+FUSED_MIN_TUPLE = 2
+
 #: Memoized per-dtype geometry from the empirical tuner, keyed by
 #: (dtype.kind, itemsize).  Lazily filled: importing the tuner at
 #: module load would cycle (`repro.core` imports this module).
 _GEOMETRY_MEMO: dict = {}
+
+
+def _fused_block_bytes() -> int:
+    pinned = os.environ.get("REPRO_FUSED_BLOCK_BYTES")
+    if pinned:
+        try:
+            return max(1, int(pinned))
+        except ValueError:
+            pass
+    return FUSED_BLOCK_BYTES
 
 
 def _blocked_geometry(dtype: np.dtype):
@@ -430,6 +456,187 @@ def exclusive_shift(
     return out
 
 
+def fused_supported(op, dtype, order, tuple_size=None) -> bool:
+    """Whether the fused single-pass order-``q`` path may engage.
+
+    The exactness gate: the binomial carry identity regroups the
+    reduction, which is exact only under truly associative arithmetic —
+    modular ADD over fixed-width integers (wraparound included, signed
+    or unsigned).  Floats and non-ADD operators keep the pass-per-order
+    path, mirroring the compensated-mode gating.  ``tuple_size`` (when
+    given) additionally applies the :data:`FUSED_MIN_TUPLE` engagement
+    heuristic: ``s == 1`` streams are contiguous and gain nothing from
+    fusing.
+    """
+    op = get_op(op)
+    if int(order) < 2 or op.ufunc is not np.add:
+        return False
+    if np.dtype(dtype).kind not in "iu":
+        return False
+    return tuple_size is None or int(tuple_size) >= FUSED_MIN_TUPLE
+
+
+def _binom_wrap(n: int, k: int, dtype: np.dtype):
+    """``C(n, k) mod 2**w`` as a ``dtype`` scalar (``n >= k >= 0``)."""
+    dtype = np.dtype(dtype)
+    bits = dtype.itemsize * 8
+    val = math.comb(n, k) & ((1 << bits) - 1)
+    unsigned = np.dtype(f"u{dtype.itemsize}")
+    return np.array(val, dtype=unsigned).view(dtype)[()]
+
+
+def fused_weights(rows: int, order: int, dtype, d0: int = 0) -> np.ndarray:
+    """Binomial weight columns ``W[d, k] = C(d0 + d + k, k) mod 2**w``.
+
+    Column ``k`` is the order-``k`` carry-application weight at local
+    depth ``d``: a carry ``T_j`` entering a region contributes
+    ``C(d + q - j, q - j) * T_j`` to the order-``q`` value at depth
+    ``d``.  Built by the additive Pascal recurrence
+    ``W[d, k] = W[d-1, k] + W[d, k-1]`` — additions only, so every
+    entry is exact under modular arithmetic for signed and unsigned
+    fixed-width integers alike.
+    """
+    dtype = np.dtype(dtype)
+    q = int(order)
+    W = np.empty((int(rows), q), dtype=dtype)
+    W[:, 0] = 1
+    with np.errstate(over="ignore"):
+        for k in range(1, q):
+            W[0, k] = _binom_wrap(int(d0) + k, k, dtype)
+            if rows > 1:
+                W[1:, k] = W[1:, k - 1]
+                np.add.accumulate(W[:, k], out=W[:, k])
+    return W
+
+
+def fused_deltas(carry: np.ndarray) -> np.ndarray:
+    """Carry-injection rows for the fused tile scan.
+
+    Given the running order totals ``carry[j-1] = T_j`` (shape
+    ``(q, s)``), returns ``q`` rows ``delta_p = sum_{i>p} (-1)^p *
+    C(i-1, p) * T_i`` — the coefficients of ``sum_i T_i (1-z)^(i-1)``.
+    Adding ``delta_p`` to row ``p`` of a tile before its ``q``
+    accumulates makes the order-``q`` output the exact continuation at
+    *every* row, and makes the last row after the ``j``-th accumulate
+    the exact running order-``j`` total once the tile has at least
+    ``q`` rows — no weight fold and no combine in the hot loop.
+    """
+    q = carry.shape[0]
+    dtype = carry.dtype
+    deltas = np.zeros_like(carry)
+    with np.errstate(over="ignore"):
+        for p in range(q):
+            for i in range(p + 1, q + 1):
+                term = carry[i - 1] * _binom_wrap(i - 1, p, dtype)
+                if p % 2:
+                    deltas[p] -= term
+                else:
+                    deltas[p] += term
+    return deltas
+
+
+def fused_combine(
+    prev: np.ndarray, local: np.ndarray, counts
+) -> np.ndarray:
+    """Splice two adjacent regions' order-total matrices.
+
+    ``prev[j-1]`` holds the running order-``j`` totals entering a
+    region; ``local[j-1]`` the region's own totals scanned from zero
+    carry; ``counts`` the per-lane element count in the region (scalar
+    or ``(s,)``).  Returns the absolute totals after the region::
+
+        new_j = local_j + sum_{k=0..j-1} C(counts - 1 + k, k) * prev_{j-k}
+
+    Lanes with ``counts == 0`` pass ``prev`` through unchanged.  This
+    is the host-side splice used across threaded slabs and shard
+    aggregates; all coefficients are exact mod ``2**w``.
+    """
+    q, s = prev.shape
+    dtype = prev.dtype
+    counts = np.broadcast_to(np.asarray(counts, dtype=np.int64), (s,))
+    new = local.copy()
+    with np.errstate(over="ignore"):
+        for cnt in np.unique(counts):
+            mask = counts == cnt
+            if cnt == 0:
+                new[:, mask] = prev[:, mask]
+                continue
+            for j in range(1, q + 1):
+                for k in range(j):
+                    c = _binom_wrap(int(cnt) - 1 + k, k, dtype)
+                    new[j - 1, mask] += c * prev[j - k - 1, mask]
+    return new
+
+
+def fused_lane_scan(
+    buf: np.ndarray,
+    op,
+    tuple_size: int,
+    order: int,
+    carry: np.ndarray,
+    *,
+    rows_per_tile: Optional[int] = None,
+) -> np.ndarray:
+    """Single-pass in-place fused order-``q`` lane scan of ``buf``.
+
+    ``buf`` (1-D, C-contiguous) is read and written exactly once: each
+    cache-resident tile of full lane rows is scanned to all ``q``
+    orders while hot, with the ``(q, s)`` running-total matrix
+    ``carry`` (in **chunk-phase order**; updated in place) advanced
+    across tile boundaries via delta injection (:func:`fused_deltas`).
+    Tiles shorter than ``q`` rows and the ``n % s`` tail instead take
+    the explicit binomial weight fold — both exact.  Only valid inside
+    the :func:`fused_supported` gate; bit-identical to ``q`` separate
+    :func:`lane_scan` passes for every integer dtype, wraparound
+    included.
+    """
+    op = get_op(op)
+    s = int(tuple_size)
+    q = int(order)
+    n = buf.size
+    if n == 0:
+        return buf
+    dtype = buf.dtype
+    if rows_per_tile is None:
+        rows_per_tile = max(q, _fused_block_bytes() // (s * dtype.itemsize))
+    m = n // s
+    body = m * s
+    out2 = buf[:body].reshape(m, s)
+    local = np.empty((q, s), dtype=dtype)
+    with np.errstate(over="ignore"):
+        for i in range(0, m, rows_per_tile):
+            blk = out2[i : i + rows_per_tile]
+            rc = blk.shape[0]
+            if rc >= q:
+                blk[:q] += fused_deltas(carry)
+                for j in range(q):
+                    np.add.accumulate(blk, axis=0, out=blk)
+                    local[j] = blk[-1]
+                carry[...] = local
+            else:
+                # Runt tile (fewer rows than orders): the injected
+                # deltas would not have settled by the last row, so
+                # scan locally and fold the binomial weights instead.
+                for j in range(q):
+                    np.add.accumulate(blk, axis=0, out=blk)
+                    local[j] = blk[-1]
+                W = fused_weights(rc, q, dtype)
+                for k in range(q):
+                    blk += W[:, k : k + 1] * carry[q - 1 - k]
+                carry[...] = fused_combine(carry, local, rc)
+        r = n - body
+        if r:
+            # The tail is a one-row partial tile at depth 0: the
+            # order-q value is x + sum_j T_j, and the touched phases'
+            # new order-j totals are x + (T_1 + ... + T_j).
+            tail = buf[body:]
+            raw = tail.copy()
+            part = np.add.accumulate(carry[:, :r], axis=0)
+            tail[...] = raw + part[q - 1]
+            carry[:, :r] = raw + part
+    return buf
+
+
 def scan_into(
     src: np.ndarray,
     out: np.ndarray,
@@ -440,19 +647,36 @@ def scan_into(
 ) -> np.ndarray:
     """Order-``q`` lane scan of ``src`` using ``out`` as the only buffer.
 
-    Pass 1 scans ``src`` into ``out``; passes 2..q re-scan ``out`` in
-    place (no ping-pong buffer needed — each pass is a left fold).  The
-    exclusive shift, applied on the final pass only, is the one step
-    that cannot alias and allocates the returned array.
+    Inside the :func:`fused_supported` gate (integer ADD, ``q >= 2``,
+    ``s >= 2``) the scan is single-pass over memory: one streaming copy
+    into ``out``, then :func:`fused_lane_scan` visits each cache-sized
+    tile once for all ``q`` orders.  Outside the gate, pass 1 scans
+    ``src`` into ``out`` and passes 2..q re-scan ``out`` in place (no
+    ping-pong buffer needed — each pass is a left fold).  The exclusive
+    shift, applied on the final pass only, is the one step that cannot
+    alias and allocates the returned array.
     """
     op = get_op(op)
-    current = src
-    for _ in range(int(order)):
-        lane_scan(current, op, tuple_size, out=out)
-        current = out
+    q = int(order)
+    s = int(tuple_size)
+    if (
+        q >= 2
+        and fused_supported(op, out.dtype, q, s)
+        and out.ndim == 1
+        and out.flags.c_contiguous
+    ):
+        if out is not src:
+            out[...] = src
+        carry = np.zeros((q, s), dtype=out.dtype)
+        fused_lane_scan(out, op, s, q, carry)
+    else:
+        current = src
+        for _ in range(q):
+            lane_scan(current, op, tuple_size, out=out)
+            current = out
     if inclusive:
         return out
-    heads = np.full(int(tuple_size), op.identity(out.dtype), dtype=out.dtype)
+    heads = np.full(s, op.identity(out.dtype), dtype=out.dtype)
     return exclusive_shift(out, heads)
 
 
@@ -487,11 +711,22 @@ class LaneKernel:
     kernel's output is final as written — lanes with no element before
     ``start`` are marked unseen, exactly like a stream that has
     consumed ``start`` elements.
+
+    ``order >= 2`` turns the kernel into an order-``q`` continuation
+    stream: the carry becomes the ``(q, s)`` running order-total matrix
+    (lane order; ``prime`` must match that shape) and each ``feed``
+    produces final order-``q`` values.  Inside the
+    :func:`fused_supported` gate chunks take the single-pass fused tile
+    path; otherwise (``s == 1``, non-ADD integer ops) each chunk is
+    re-scanned pass-per-order with one carry row per order — both
+    maintain the identical carry matrix, bit for bit.  Higher order
+    requires the integer in-place mode (``exact=False``); float streams
+    keep using :class:`repro.stream.session.ScanSession`.
     """
 
     def __init__(
         self, op, dtype, tuple_size=1, start=0, prime=None, exact=None,
-        float_mode=None,
+        float_mode=None, order=1,
     ):
         from repro.kernels.compensated import (
             check_compensated,
@@ -527,8 +762,25 @@ class LaneKernel:
             if exact is None:
                 exact = self.dtype.kind not in "iu"
             self.exact = bool(exact)
+        self.order = int(order)
+        self._fused = False
+        if self.order > 1:
+            if (
+                self.dtype.kind not in "iu"
+                or self.exact
+                or self._comp is not None
+            ):
+                raise ValueError(
+                    "order-q LaneKernel streams require the integer "
+                    "in-place mode (exact=False); use ScanSession or "
+                    "scan_into for generic order-q scans"
+                )
+            self._fused = fused_supported(self.op, self.dtype, self.order, self.s)
+            self.carry = np.full(
+                (self.order, self.s), identity, dtype=self.dtype
+            )
         if prime is not None:
-            self.carry[:] = prime
+            self.carry[...] = prime
             self.active = np.arange(self.s) < self.pos
         else:
             self.active = np.zeros(self.s, dtype=bool)
@@ -564,6 +816,47 @@ class LaneKernel:
         """Fold the seen lanes of the running carry into ``out``."""
         fold_lanes(out, self.op, self.carry, self.pos, self.s, seen=self.active)
 
+    def _fused_scan(self, chunk, carry):
+        """In-place fused order-q scan with a phase-order ``(q, s)``
+        carry matrix (updated in place); the threaded subclass replaces
+        this with the slab-parallel version."""
+        return fused_lane_scan(chunk, self.op, self.s, self.order, carry)
+
+    def _feed_order(self, chunk: np.ndarray) -> np.ndarray:
+        """Order-q continuation feed: fused single-pass inside the gate,
+        pass-per-order with one carry row per order outside it.  Both
+        advance the identical ``(q, s)`` carry matrix."""
+        n = chunk.size
+        s = self.s
+        if self._fused and chunk.flags.c_contiguous and chunk.ndim == 1:
+            perm = phase_perm(self.pos, s)
+            permuted = np.ascontiguousarray(self.carry[:, perm])
+            self._fused_scan(chunk, permuted)
+            self.carry[:, perm] = permuted
+            out = chunk
+        else:
+            out = chunk
+            full = self.active.all()
+            some = self.active.any()
+            for j in range(self.order):
+                row = self.carry[j]
+                if full:
+                    prow = row[phase_perm(self.pos, s)] if s > 1 else row
+                    out = self._scan(out, prow)
+                else:
+                    out = self._scan(out)
+                    if some:
+                        fold_lanes(
+                            out, self.op, row, self.pos, s, seen=self.active
+                        )
+                t = phase_totals(out, s)
+                if t.size:
+                    row[(self.pos + np.arange(t.size)) % s] = t
+        touched = (self.pos + np.arange(min(n, s))) % s
+        self.active[touched] = True
+        self.pos += n
+        return out
+
     def feed(self, chunk: np.ndarray) -> np.ndarray:
         """Scan the next chunk as a continuation; returns the scanned
         values (the mutated ``chunk`` itself in the in-place mode)."""
@@ -572,6 +865,8 @@ class LaneKernel:
         if n == 0:
             return chunk
         s = self.s
+        if self.order > 1:
+            return self._feed_order(chunk)
         if self._comp is not None:
             out = self._scan_compensated(chunk)
         elif self.exact:

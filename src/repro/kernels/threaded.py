@@ -59,8 +59,13 @@ import numpy as np
 from repro.kernels.compensated import resolve_float_mode
 from repro.kernels.lane import (
     LaneKernel,
+    _fused_block_bytes,
     exclusive_shift,
     fold_lanes,
+    fused_combine,
+    fused_lane_scan,
+    fused_supported,
+    fused_weights,
     lane_scan,
     phase_perm,
 )
@@ -238,6 +243,114 @@ def threaded_lane_scan(
     return out
 
 
+def _fused_fold_rows(out2, lo: int, hi: int, order: int, T, tile_rows: int):
+    """Fold an incoming ``(q, s)`` carry matrix into locally order-q
+    scanned rows ``out2[lo:hi]`` (local depth 0 at row ``lo``): row
+    ``d`` gains ``sum_j C(d + q - j, q - j) * T_j``, applied tile by
+    tile through the binomial weight columns."""
+    q = int(order)
+    dtype = out2.dtype
+    with np.errstate(over="ignore"):
+        for i in range(lo, hi, tile_rows):
+            blk = out2[i : min(i + tile_rows, hi)]
+            W = fused_weights(blk.shape[0], q, dtype, d0=i - lo)
+            for k in range(q):
+                blk += W[:, k : k + 1] * T[q - 1 - k]
+
+
+def threaded_fused_lane_scan(
+    buf: np.ndarray,
+    op: AssociativeOp,
+    tuple_size: int,
+    order: int,
+    carry: np.ndarray,
+    *,
+    threads=None,
+    cutover_bytes: Optional[int] = None,
+) -> np.ndarray:
+    """Slab-parallel fused single-pass order-``q`` scan (in place).
+
+    Same contract as :func:`repro.kernels.lane.fused_lane_scan`
+    (``carry`` is the phase-order ``(q, s)`` running-total matrix,
+    updated in place) with the threaded scan→splice→fold decomposition:
+    every slab fused-scans its rows locally from a zero carry, the host
+    splices the per-slab ``(q, s)`` aggregate matrices with one
+    :func:`fused_combine` chain, and slabs with a non-trivial incoming
+    matrix fold it in parallel via the binomial weight columns.  The
+    slab partition is the same pure function as the order-1 path, and
+    integer regrouping is exact, so results are bit-identical to the
+    serial fused kernel for any thread count.
+    """
+    s = int(tuple_size)
+    q = int(order)
+    n = buf.size
+    if n == 0:
+        return buf
+    n_bytes = n * buf.dtype.itemsize
+    threads = resolve_threads(threads, n_bytes)
+    if cutover_bytes is None:
+        cutover_bytes = _tuned_cutover(buf.dtype)
+    m = n // s
+    if (
+        threads <= 1
+        or m < 2
+        or n_bytes < cutover_bytes
+        or not buf.flags.c_contiguous
+    ):
+        return fused_lane_scan(buf, op, s, q, carry)
+    bounds = _slab_bounds(m, threads)
+    if len(bounds) <= 1:
+        return fused_lane_scan(buf, op, s, q, carry)
+    pool = get_pool(threads)
+    body = m * s
+    out2 = buf[:body].reshape(m, s)
+    dtype = buf.dtype
+    locals_ = [None] * len(bounds)
+
+    def _scan_slab(i, lo, hi):
+        local = np.zeros((q, s), dtype=dtype)
+        fused_lane_scan(buf[lo * s : hi * s], op, s, q, local)
+        locals_[i] = local
+
+    for f in [
+        pool.submit(_scan_slab, i, lo, hi)
+        for i, (lo, hi) in enumerate(bounds)
+    ]:
+        f.result()
+
+    # Host splice: chain the (q, s) slab aggregates; incoming[i] is the
+    # absolute order-total matrix slab i still owes.
+    incoming = []
+    running = carry.copy()
+    for (lo, hi), local in zip(bounds, locals_):
+        incoming.append(running)
+        running = fused_combine(running, local, hi - lo)
+    carry[...] = running
+
+    tile_rows = max(q, _fused_block_bytes() // (s * dtype.itemsize))
+
+    def _fold_slab(lo, hi, T):
+        _fused_fold_rows(out2, lo, hi, q, T, tile_rows)
+
+    for f in [
+        pool.submit(_fold_slab, lo, hi, T)
+        for (lo, hi), T in zip(bounds, incoming)
+        if T.any()
+    ]:
+        f.result()
+
+    r = n - body
+    if r:
+        # Tail: one-row partial tile continuing from the spliced matrix.
+        tail = buf[body:]
+        raw = tail.copy()
+        with np.errstate(over="ignore"):
+            part = np.add.accumulate(carry[:, :r], axis=0)
+            tail[...] = raw + part[q - 1]
+            carry[:, :r] = raw + part
+    return buf
+
+
 def threaded_fold_lanes(
     buf: np.ndarray,
     op: AssociativeOp,
@@ -329,20 +442,36 @@ def threaded_scan_into(
             src, out, op, order, tuple_size, inclusive,
             threads=threads, cutover_bytes=cutover_bytes,
         )
-    current = src
-    for _ in range(int(order)):
-        threaded_lane_scan(
-            current,
-            op,
-            tuple_size,
-            out=out,
-            threads=threads,
-            cutover_bytes=cutover_bytes,
+    q = int(order)
+    s = int(tuple_size)
+    if (
+        q >= 2
+        and fused_supported(op, out.dtype, q, s)
+        and out.ndim == 1
+        and out.flags.c_contiguous
+    ):
+        if out is not src:
+            out[...] = src
+        carry = np.zeros((q, s), dtype=out.dtype)
+        threaded_fused_lane_scan(
+            out, op, s, q, carry,
+            threads=threads, cutover_bytes=cutover_bytes,
         )
-        current = out
+    else:
+        current = src
+        for _ in range(q):
+            threaded_lane_scan(
+                current,
+                op,
+                tuple_size,
+                out=out,
+                threads=threads,
+                cutover_bytes=cutover_bytes,
+            )
+            current = out
     if inclusive:
         return out
-    heads = np.full(int(tuple_size), op.identity(out.dtype), dtype=out.dtype)
+    heads = np.full(s, op.identity(out.dtype), dtype=out.dtype)
     return exclusive_shift(out, heads)
 
 
@@ -381,10 +510,11 @@ class ThreadedLaneKernel(LaneKernel):
         threads=None,
         cutover_bytes=None,
         float_mode=None,
+        order=1,
     ):
         super().__init__(
             op, dtype, tuple_size, start=start, prime=prime, exact=exact,
-            float_mode=float_mode,
+            float_mode=float_mode, order=order,
         )
         self.threads = None if threads in (None, 0, "auto") else int(threads)
         self.cutover_bytes = cutover_bytes
@@ -426,6 +556,17 @@ class ThreadedLaneKernel(LaneKernel):
             self.pos,
             self.s,
             seen=self.active,
+            threads=self.threads,
+            cutover_bytes=self.cutover_bytes,
+        )
+
+    def _fused_scan(self, chunk, carry):
+        return threaded_fused_lane_scan(
+            chunk,
+            self.op,
+            self.s,
+            self.order,
+            carry,
             threads=self.threads,
             cutover_bytes=self.cutover_bytes,
         )

@@ -149,8 +149,9 @@ def _anchored_base(
         anchor = "serial" if workload.source == "memory" else "stream"
         measured = store.throughput(workload.calibration_key(anchor))
         if measured is not None:
-            # price_serial models the anchor as base / order; invert it.
-            base = measured * workload.order
+            # price_serial models the anchor as base / scan_passes
+            # (1 inside the fused order-q gate); invert it.
+            base = measured * workload.scan_passes
     return base
 
 
@@ -178,7 +179,7 @@ def price_serial(
         "serial" if workload.source == "memory" else "stream", params=params
     )
     per_pass = _anchored_base(workload, store)
-    modeled = per_pass / workload.order
+    modeled = per_pass / workload.scan_passes
     rate = _throughput(candidate, workload, store, modeled)
     fixed = T_CALL_SECONDS + (
         T_FILE_SECONDS if workload.on_disk else 0.0
@@ -205,13 +206,13 @@ def price_threaded(
     scale = 1.0 + (effective - 1) * PARALLEL_EFFICIENCY
     fold_traffic = 1.0 + (effective - 1) / effective  # fold re-touches P-1 slabs
     modeled = _anchored_base(workload, store) * scale / (
-        workload.order * fold_traffic
+        workload.scan_passes * fold_traffic
     )
     rate = _throughput(candidate, workload, store, modeled)
     fixed = (
         T_CALL_SECONDS
         + (T_FILE_SECONDS if workload.on_disk else 0.0)
-        + 2 * T_DISPATCH_SECONDS * threads * workload.order
+        + 2 * T_DISPATCH_SECONDS * threads * workload.scan_passes
     )
     occupancy = ramp(workload.nbytes, machine.parallel_cutover_bytes, 1.0)
     candidate.predicted_seconds = fixed + workload.nbytes / rate * occupancy
@@ -229,6 +230,9 @@ def price_parallel(
     candidate = Candidate("parallel", params={"workers": workers})
     effective = max(1, min(workers, machine.cpu_count))
     scale = 1.0 + (effective - 1) * PARALLEL_EFFICIENCY
+    # The process pool keeps the pass-per-order layout (its workers
+    # scan order-1 chunks), so it is priced at the full order even
+    # where the host kernels would fuse.
     modeled = _anchored_base(workload, store) * scale / (
         workload.order * PROCESS_TRAFFIC_FACTOR
     )
@@ -258,10 +262,10 @@ def price_sharded(
     # fold); with more, roughly (P-1)/P of the bytes see a fold pass.
     fold_traffic = 1.0 + (effective - 1) / effective
     modeled = _anchored_base(workload, store) * scale / (
-        workload.order * fold_traffic
+        workload.scan_passes * fold_traffic
     )
     rate = _throughput(candidate, workload, store, modeled)
-    fixed = T_FILE_SECONDS + T_SHARD_SECONDS * shards * workload.order
+    fixed = T_FILE_SECONDS + T_SHARD_SECONDS * shards * workload.scan_passes
     occupancy = ramp(
         workload.nbytes, max(machine.parallel_cutover_bytes, 1), 1.0
     )

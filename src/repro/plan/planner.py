@@ -176,6 +176,20 @@ class Plan:
                     "reference only (float_mode='compensated' would admit "
                     "parallel candidates for ufunc add)"
                 )
+        if w.order > 1:
+            if w.scan_passes == 1:
+                lines.append(
+                    f"  pass structure: fused — one single-pass tile scan "
+                    f"produces all {w.order} orders via binomial carry "
+                    f"splicing, so traffic is priced at 1 pass, not "
+                    f"{w.order}"
+                )
+            else:
+                lines.append(
+                    f"  pass structure: pass-per-order — {w.order} iterated "
+                    f"scan passes (the fused single-pass path needs integer "
+                    f"ADD with tuple_size >= 2)"
+                )
         lines.append(
             f"  {'':2}{'strategy':<18} {'predicted':>12} {'source':>9}  note"
         )

@@ -198,6 +198,31 @@ class Workload:
         return compensated_supported(self.op, self.dtype)
 
     @property
+    def scan_passes(self) -> int:
+        """Memory passes the host kernels make over the payload.
+
+        ``1`` inside the fused order-``q`` gate
+        (:func:`repro.kernels.fused_supported`: integer ADD at
+        ``order >= 2`` with ``tuple_size >= 2`` — the single-pass
+        tile-resident path), ``order`` otherwise (iterated
+        pass-per-order scans, the paper's ``2qn`` traffic).  The cost
+        model divides by this instead of ``order`` wherever a term
+        counts passes, so an order-3 integer scan is priced at its
+        actual single-pass traffic.
+        """
+        if self.order == 1:
+            return 1
+        try:
+            op = get_op(self.op)
+        except (KeyError, TypeError):
+            return self.order
+        from repro.kernels import fused_supported
+
+        if fused_supported(op, self.dtype, self.order, self.tuple_size):
+            return 1
+        return self.order
+
+    @property
     def vectorized(self) -> bool:
         """Whether the operator has a GIL-releasing ufunc inner loop
         (looped operators serialize threads, so slab parallelism cannot

@@ -193,6 +193,47 @@ def feed_batch(
     identity = op.identity(dtype)
     any_exclusive = any(not sessions[i].inclusive for i in live)
     current = arrays
+
+    # Fused order-q batch: ONE staged dispatch produces all q orders
+    # (delta injection + q batched accumulates) when every live chunk
+    # has at least order * s elements — the same single-pass kernel the
+    # sessions' own feeds take, so carries stay bit-identical either
+    # way.  Shorter chunks fall back to the pass-per-order loop below.
+    if (
+        not compensated
+        and order > 1
+        and kernels.fused_supported(op, dtype, order, s)
+        and all(a.size >= order * s for a in arrays)
+    ):
+        prev = (
+            np.stack([sessions[i]._carry[order - 1] for i in live]).copy()
+            if any_exclusive
+            else None
+        )
+        carries = np.stack([sessions[i]._carry for i in live])
+        scanned = kernel.stage_scan_fused(current, carries, positions, order)
+        for j, i in enumerate(live):
+            session = sessions[i]
+            session._carry[...] = carries[j]
+            session.counters.fused_order_scans += 1
+            if not session.inclusive:
+                perm = kernels.phase_perm(session._offset, s)
+                heads = prev[j][perm]
+                heads[perm >= session._offset] = identity
+                scanned[j] = kernels.exclusive_shift(scanned[j], heads)
+        share = (time.perf_counter() - t0) / len(live)
+        for j, i in enumerate(live):
+            session = sessions[i]
+            n = arrays[j].size
+            session._offset += n
+            session.counters.chunks += 1
+            session.counters.elements += n
+            session.counters.bytes_in += arrays[j].nbytes
+            session.counters.seconds_scan += share
+            session.counters.batched_feeds += 1
+            outs[i] = scanned[j]
+        return outs
+
     for iteration in range(order):
         last = iteration == order - 1
         prev = (

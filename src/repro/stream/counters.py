@@ -29,10 +29,13 @@ class StreamCounters:
     through it (float inputs always take the exact host path, see
     :mod:`repro.stream.session`); ``threaded_scans`` counts stage scans
     routed through the slab-parallel in-memory kernel
-    (:mod:`repro.kernels.threaded`) when ``threads=`` is requested, and
+    (:mod:`repro.kernels.threaded`) when ``threads=`` is requested,
     ``batched_feeds`` counts feed calls serviced by a coalesced
     multi-stream dispatch (:func:`repro.serve.feed_batch`) instead of a
-    per-session kernel call.  A resumed job *restores* the
+    per-session kernel call, and ``fused_order_scans`` counts feed
+    calls that took the single-pass fused order-q tile path
+    (:func:`repro.kernels.fused_lane_scan`) instead of pass-per-order
+    stage scans.  A resumed job *restores* the
     counters persisted in the checkpoint, so totals are cumulative
     across interruptions; ``resumes`` says how often that happened.
 
@@ -81,6 +84,7 @@ class StreamCounters:
     delegated_stage_scans: int = 0
     threaded_scans: int = 0
     batched_feeds: int = 0
+    fused_order_scans: int = 0
     shards: int = 0
     primed_shards: int = 0
     folded_shards: int = 0

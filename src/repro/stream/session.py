@@ -328,17 +328,27 @@ class ScanSession:
             return array.copy()
 
         t0 = time.perf_counter()
-        out = array
-        for iteration in range(self.order):
-            last = iteration == self.order - 1
-            out = self._stage_pass(
-                out,
-                iteration,
-                inclusive_output=self.inclusive or not last,
-                # The first pass reads the caller's array (never mutate
-                # it); later passes own their buffer and scan in place.
-                own=iteration > 0,
+        if (
+            self.order > 1
+            and self._engine is None
+            and kernels.fused_supported(
+                self.op, self.dtype, self.order, self.tuple_size
             )
+        ):
+            out = self._feed_fused(array)
+        else:
+            out = array
+            for iteration in range(self.order):
+                last = iteration == self.order - 1
+                out = self._stage_pass(
+                    out,
+                    iteration,
+                    inclusive_output=self.inclusive or not last,
+                    # The first pass reads the caller's array (never
+                    # mutate it); later passes own their buffer and
+                    # scan in place.
+                    own=iteration > 0,
+                )
         self._offset += len(array)
         self.counters.chunks += 1
         self.counters.elements += len(array)
@@ -347,6 +357,41 @@ class ScanSession:
         return out
 
     # -- internals -------------------------------------------------------
+
+    def _feed_fused(self, array: np.ndarray) -> np.ndarray:
+        """Single-pass fused order-q feed (integer ADD, ``s >= 2``).
+
+        The session's ``(order, tuple_size)`` carry *is* the fused
+        carry matrix — row ``j-1`` holds the running order-``j`` lane
+        totals — so one :func:`repro.kernels.fused_lane_scan` call
+        replaces the ``order`` stage passes and advances the identical
+        carry, bit for bit: checkpoints taken on either path resume on
+        the other.
+        """
+        s, q, pos = self.tuple_size, self.order, self._offset
+        prev_last = self._carry[q - 1].copy() if not self.inclusive else None
+        out = array.copy()
+        perm = kernels.phase_perm(pos, s)
+        carry = np.ascontiguousarray(self._carry[:, perm])
+        if self.threads is None:
+            kernels.fused_lane_scan(out, self.op, s, q, carry)
+        else:
+            self.counters.threaded_scans += 1
+            kernels.threaded_fused_lane_scan(
+                out,
+                self.op,
+                s,
+                q,
+                carry,
+                threads=None if self.threads in ("auto", 0) else self.threads,
+            )
+        self._carry[:, perm] = carry
+        self.counters.fused_order_scans += 1
+        if self.inclusive:
+            return out
+        heads = prev_last[perm]
+        heads[perm >= pos] = self.op.identity(self.dtype)
+        return kernels.exclusive_shift(out, heads)
 
     def _lane_scan(self, values, out, carry_row=None) -> np.ndarray:
         """One lane-scan pass: serial kernel, or slab-parallel when the

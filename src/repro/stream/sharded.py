@@ -10,7 +10,15 @@ exclusive scan on the host (phase 2 — the same second-level scan
 LightScan and the SIMD partition scans use), and each shard folds its
 spliced carry into its output region (phase 3).  Higher orders iterate
 the three phases exactly as SAM iterates only the computation stage:
-order ``q`` runs ``q`` scan passes with a splice between passes.
+order ``q`` runs ``q`` scan passes with a splice between passes —
+*except* inside the fused gate (:func:`repro.kernels.fused_supported`:
+integer ADD, ``q >= 2``, ``s >= 2``), where each shard runs the
+single-pass fused tile kernel instead, its aggregate grows to the full
+``(q, s)`` order-total matrix, the splice chains those matrices with
+the binomial identity (:func:`repro.kernels.fused_combine`), and the
+fold applies the spliced matrix with binomial weight columns.  One
+pass over the data instead of ``q``, no scratch file, bit-identical
+output.
 
 Two properties keep the driver fast where plain three-phase scans are
 not:
@@ -289,10 +297,45 @@ def _splice_compensated(job, aggregates) -> list:
     return carries
 
 
+def _splice_fused(dtype, order, tuple_size, shards, aggregates, baked):
+    """Phase 2 in fused mode: chain ``(q, s)`` order-total matrices.
+
+    The exclusive scan over shard aggregates, but each aggregate is the
+    shard's full order-total matrix (scanned locally from zero carry)
+    and the combine is the binomial splice identity
+    (:func:`repro.kernels.fused_combine`) with the shard's *per-lane*
+    element counts — shard bounds are arbitrary, so lanes differ by at
+    most one element.  Baked shards reset the running matrix (their
+    carry is already inside).  Returns ``carries[i]``: the absolute
+    ``(q, s)`` matrix at shard ``i``'s start, lanes in global order.
+    """
+    q, s = order, tuple_size
+    running = np.zeros((q, s), dtype=dtype)
+    carries = np.empty((len(shards), q, s), dtype=dtype)
+    for i, (lo, hi) in enumerate(shards):
+        carries[i] = running
+        counts = _lane_counts(lo, hi, s)
+        if not counts.any():
+            continue
+        agg = aggregates[i]
+        if agg is None:
+            continue
+        if baked[i]:
+            running = np.where(counts > 0, agg, running)
+        else:
+            running = kernels.fused_combine(running, agg, counts)
+    return carries
+
+
 def _job_splice(job, aggregates, baked):
-    """Dispatch phase 2 on the job's float mode."""
+    """Dispatch phase 2 on the job's mode."""
     if job.float_mode == "compensated":
         return _splice_compensated(job, aggregates)
+    if job.fused:
+        return _splice_fused(
+            job.dtype, job.order, job.tuple_size, job.shards, aggregates,
+            baked,
+        )
     return _splice(
         job.op, job.dtype, job.tuple_size, job.shards, aggregates, baked
     )
@@ -325,7 +368,7 @@ class _ShardedJob:
         self, *, input_path, output_path, op, dtype, order, tuple_size,
         inclusive, engine, shards, chunk_bytes, adaptive_chunks,
         checkpoint, workers, shard_threads=1, input_format="raw",
-        blocked_index=None, float_mode=None,
+        blocked_index=None, float_mode=None, fused=False,
     ):
         self.input_path = input_path
         self.output_path = output_path
@@ -348,6 +391,10 @@ class _ShardedJob:
         #: the error-free-carry kernels; ``None`` is the classic
         #: regrouping driver (integers, and floats under exact=False).
         self.float_mode = float_mode
+        #: Fused order-q mode: one scan pass with ``(q, s)`` aggregates
+        #: instead of ``order`` passes with one carry row each.
+        self.fused = bool(fused)
+        self.passes = 1 if self.fused else order
         self.itemsize = dtype.itemsize
         self.total_elements = shards[-1][1] if shards else 0
 
@@ -385,16 +432,21 @@ class _ShardedJob:
         # only it is stamped — integer manifests keep their old shape.
         if self.float_mode == "compensated":
             config["float_mode"] = self.float_mode
+        # Likewise the fused layout: a single pass with (q, s) matrix
+        # aggregates cannot resume a pass-per-order manifest or vice
+        # versa, so fused manifests carry the stamp.
+        if self.fused:
+            config["layout"] = "fused"
         return config
 
     def needs_scratch(self) -> bool:
-        return self.order >= 2
+        return self.passes >= 2
 
     def target_path(self, pass_index: int) -> str:
         # The last pass always lands in the output file (the fold then
         # runs in place there); earlier passes ping-pong so every
         # pass's source file stays intact for crash-redo.
-        if (self.order - pass_index) % 2 == 0:
+        if (self.passes - pass_index) % 2 == 0:
             return self.output_path
         return self.scratch_path
 
@@ -496,9 +548,24 @@ class _ShardedJob:
 
     def _decode_aggregate(self, blob: str, shard_index: int) -> np.ndarray:
         """Decode one manifest aggregate: a ``(tuple_size,)`` carry row
-        classically, a ``(K, 2, tuple_size)`` segment-totals stack in
+        classically, an ``(order, tuple_size)`` order-total matrix in
+        fused mode, a ``(K, 2, tuple_size)`` segment-totals stack in
         compensated mode (``K`` derives from the stored shard bounds,
         so :meth:`load_manifest` restores ``self.shards`` first)."""
+        if self.fused:
+            raw = base64.b64decode(blob)
+            expected = self.order * self.tuple_size * self.itemsize
+            if len(raw) != expected:
+                raise StreamError(
+                    f"manifest aggregate for shard {shard_index} is "
+                    f"{len(raw)} bytes, expected {expected} "
+                    f"(an ({self.order}, {self.tuple_size}) matrix)"
+                )
+            return (
+                np.frombuffer(raw, dtype=self.dtype)
+                .reshape(self.order, self.tuple_size)
+                .copy()
+            )
         if self.float_mode != "compensated":
             return _decode_row(blob, self.dtype, self.tuple_size)
         lo, hi = self.shards[shard_index]
@@ -530,6 +597,18 @@ class _ShardedJob:
         with self.lock:
             if not all(self.done[:shard_index]):
                 return None
+            if self.fused:
+                if shard_index == 0:
+                    return np.zeros(
+                        (self.order, self.tuple_size), dtype=self.dtype
+                    )
+                carries = _splice_fused(
+                    self.dtype, self.order, self.tuple_size,
+                    self.shards[: shard_index + 1],
+                    [self.aggregates[j] for j in range(shard_index)] + [None],
+                    [self.baked[j] for j in range(shard_index)] + [False],
+                )
+                return carries[shard_index]
             if shard_index == 0:
                 identity = self.op.identity(self.dtype)
                 return np.full(self.tuple_size, identity, dtype=self.dtype)
@@ -603,6 +682,9 @@ def _scan_shard(
     """
     lo, hi = job.shards[shard_index]
     op, dtype, s = job.op, job.dtype, job.tuple_size
+    # Fused mode runs its single pass at the full order; classic passes
+    # are each order-1 with the splice iterated between them.
+    kernel_order = job.order if job.fused else 1
     counters = StreamCounters(engine_used=job._engine_label())
     if isinstance(prime, str) and prime == "auto":
         prime = job.try_prime(shard_index)
@@ -623,14 +705,17 @@ def _scan_shard(
         # shards × threads never exceeds what was asked for.
         kernel = ThreadedLaneKernel(
             op, dtype, s, start=lo, prime=prime, exact=False,
-            threads=job.shard_threads,
+            threads=job.shard_threads, order=kernel_order,
         )
         counters.threaded_scans += 1
     else:
         # The shared in-place kernel (repro.kernels); exact=False is the
         # sharded contract — bit-exact for integers, carry-fold rounding
         # for floats (which only get here under ``exact=False``).
-        kernel = LaneKernel(op, dtype, s, start=lo, prime=prime, exact=False)
+        kernel = LaneKernel(
+            op, dtype, s, start=lo, prime=prime, exact=False,
+            order=kernel_order,
+        )
     seen = _seen_before(lo, s)
     # Pass 1 of a compressed job reads blocks through the shared index
     # (each task opens its own file handle; the parsed metadata is one
@@ -727,6 +812,8 @@ def _scan_shard(
     counters.shards += 1
     counters.primed_shards += int(baked)
     counters.delegated_stage_scans += kernel.delegated_stage_scans
+    if job.fused:
+        counters.fused_order_scans += 1
     if job.float_mode == "compensated":
         aggregate = kernel.segment_totals()
     else:
@@ -744,6 +831,8 @@ def _fold_shard(job: _ShardedJob, shard_index, carry, do_fold):
     region in place (and lane-shift it when the scan is exclusive)."""
     if job.float_mode == "compensated":
         return _fold_shard_compensated(job, shard_index, carry)
+    if job.fused:
+        return _fold_shard_fused(job, shard_index, carry, do_fold)
     lo, hi = job.shards[shard_index]
     op, dtype, s = job.op, job.dtype, job.tuple_size
     counters = StreamCounters(engine_used=job._engine_label())
@@ -765,6 +854,82 @@ def _fold_shard(job: _ShardedJob, shard_index, carry, do_fold):
             chunk = np.array(source[pos : pos + take], copy=True)
             if do_fold:
                 _fold_chunk(op, chunk, carry, pos, s, seen)
+            if not job.inclusive:
+                chunk = _exclusive_shift(op, chunk, prev, pos, s)
+            out_fh.write(memoryview(chunk).cast("B"))
+            counters.chunks += 1
+            pos += take
+            elapsed = time.perf_counter() - chunk_start
+            counters.seconds_fold += elapsed
+            chunker.observe(elapsed)
+        t0 = time.perf_counter()
+        out_fh.flush()
+        os.fsync(out_fh.fileno())
+        counters.seconds_fold += time.perf_counter() - t0
+    finally:
+        out_fh.close()
+        del source
+    counters.folded_shards += 1
+    return counters
+
+
+def _fold_shard_fused(job: _ShardedJob, shard_index, carry, do_fold):
+    """Phase 3 in fused mode: apply a ``(q, s)`` carry matrix in place.
+
+    A carry ``T_j`` entering the shard contributes
+    ``C(d + q - j, q - j) * T_j`` to the order-``q`` value at local
+    lane depth ``d`` (:func:`repro.kernels.fused_weights`), so the fold
+    is ``q`` weighted rank-1 updates per chunk instead of one constant
+    fold per pass.  Chunk takes stay multiples of ``s`` relative to the
+    shard start so every reshaped row sits at one uniform depth; the
+    columns are the shard's fixed lane permutation ``phase_perm(lo)``.
+    Exact mod ``2**w`` — the fused gate admits only integer ADD.
+    """
+    lo, hi = job.shards[shard_index]
+    op, dtype, s, q = job.op, job.dtype, job.tuple_size, job.order
+    counters = StreamCounters(engine_used=job._engine_label())
+    seen = _seen_before(lo, s)
+    identity = op.identity(dtype)
+    # Exclusive heads: the order-q running totals (row q-1) at lo.
+    prev = np.where(
+        seen, carry[q - 1], np.full(s, identity, dtype=dtype)
+    ).astype(dtype)
+    local = np.ascontiguousarray(carry[:, kernels.phase_perm(lo, s)])
+    fold_needed = do_fold and bool(local.any())
+    source = np.memmap(job.output_path, dtype=dtype, mode="r")
+    chunker = _AdaptiveChunker(
+        max(1, job.chunk_bytes // job.itemsize), job.itemsize,
+        job.adaptive_chunks, counters,
+    )
+    out_fh = open(job.output_path, "r+b")
+    try:
+        out_fh.seek(lo * job.itemsize)
+        pos = lo
+        while pos < hi:
+            chunk_start = time.perf_counter()
+            take = min(chunker.elements, hi - pos)
+            if pos + take < hi and take % s:
+                # Keep interior takes row-aligned to the shard grid so
+                # depths are uniform per reshaped row (the last take
+                # soaks up the n % s tail).
+                take = take - take % s or min(s, hi - pos)
+            chunk = np.array(source[pos : pos + take], copy=True)
+            if fold_needed:
+                rel = pos - lo
+                m, r = divmod(chunk.size, s)
+                with np.errstate(over="ignore"):
+                    if m:
+                        blk = chunk[: m * s].reshape(m, s)
+                        W = kernels.fused_weights(m, q, dtype, d0=rel // s)
+                        for k in range(q):
+                            blk += W[:, k : k + 1] * local[q - 1 - k]
+                    if r:
+                        Wt = kernels.fused_weights(
+                            1, q, dtype, d0=rel // s + m
+                        )
+                        tail = chunk[m * s :]
+                        for k in range(q):
+                            tail += Wt[0, k] * local[q - 1 - k, :r]
             if not job.inclusive:
                 chunk = _exclusive_shift(op, chunk, prev, pos, s)
             out_fh.write(memoryview(chunk).cast("B"))
@@ -889,6 +1054,14 @@ def scan_file_sharded(
     ``fail_after_shards`` is a test-only hook aborting the job after N
     shard completions.
 
+    Inside the fused gate (integer ADD, ``order >= 2``,
+    ``tuple_size >= 2``, no delegated engine) the job runs a **single**
+    scan pass: each shard's fused tile kernel produces all ``q`` orders
+    in one sweep, aggregates are ``(order, tuple_size)`` matrices
+    spliced with the binomial identity, and the fold applies binomial
+    weight columns — bit-identical to the ``q``-pass layout, with no
+    scratch file and ``ShardedResult.passes == 1``.
+
     ``input_format`` mirrors :func:`scan_file`: ``"auto"`` (sniff the
     ``SAMB`` magic), ``"raw"``, or ``"blocked"``.  A blocked input's
     dtype and element count come from its container header (the
@@ -991,6 +1164,16 @@ def scan_file_sharded(
             input_format=input_format,
         )
 
+    # Single-pass fused order-q mode: integer ADD at order >= 2 with
+    # s >= 2 shards in ONE pass of (q, s) matrix aggregates instead of
+    # q ping-pong passes.  Delegated engines keep the classic layout
+    # (their inner sessions are order-1 continuations).
+    fused = (
+        engine is None
+        and mode is None
+        and kernels.fused_supported(resolved_op, resolved_dtype, order, tuple_size)
+    )
+
     if shards is None:
         shards = os.cpu_count() or 1
     if mode == "compensated" and total_elements:
@@ -1029,7 +1212,7 @@ def scan_file_sharded(
         chunk_bytes=chunk_bytes, adaptive_chunks=adaptive_chunks,
         checkpoint=checkpoint, workers=workers, shard_threads=shard_threads,
         input_format=input_format, blocked_index=blocked_index,
-        float_mode=mode if mode == "compensated" else None,
+        float_mode=mode if mode == "compensated" else None, fused=fused,
     )
     job.fail_after_shards = fail_after_shards
 
@@ -1039,7 +1222,7 @@ def scan_file_sharded(
             os.remove(checkpoint)
         return ShardedResult(
             elements=0, dtype=resolved_dtype.name, output_path=output_path,
-            counters=job.counters_so_far(), shards=[], passes=order,
+            counters=job.counters_so_far(), shards=[], passes=job.passes,
             input_format=input_format,
         )
 
@@ -1076,7 +1259,7 @@ def scan_file_sharded(
         output_path=output_path,
         counters=job.counters_so_far(),
         shards=list(job.shards),
-        passes=order,
+        passes=job.passes,
         shard_counters=list(job.shard_counters),
         resumed_shards=job.resumed_shards,
         input_format=input_format,
@@ -1112,7 +1295,7 @@ def _run(job: _ShardedJob, executor, resumed: bool) -> None:
     resumed_into_fold = resumed and job.phase["kind"] == "fold"
 
     carries = None
-    for pass_index in range(1, job.order + 1):
+    for pass_index in range(1, job.passes + 1):
         if pass_index < start_pass or resumed_into_fold:
             rec = job.completed_passes[pass_index - 1]
             carries = _job_splice(job, rec["aggregates"], rec["baked"])
@@ -1134,7 +1317,7 @@ def _run(job: _ShardedJob, executor, resumed: bool) -> None:
         job.completed_passes.append(rec)
         resumed = False  # later passes always start from a clean phase
 
-    final = job.completed_passes[job.order - 1]
+    final = job.completed_passes[job.passes - 1]
     needs_fold = [
         (not final["baked"][i]) or (not job.inclusive)
         for i in range(len(job.shards))
@@ -1154,8 +1337,8 @@ def _run(job: _ShardedJob, executor, resumed: bool) -> None:
     # region.  The final pass's source file is intact (ping-pong), so
     # re-running the recorded scan reproduces the pre-fold bytes.
     prev_carries = None
-    if job.order >= 2:
-        prev_rec = job.completed_passes[job.order - 2]
+    if job.passes >= 2:
+        prev_rec = job.completed_passes[job.passes - 2]
         prev_carries = _job_splice(job, prev_rec["aggregates"], prev_rec["baked"])
 
     futures = {}
@@ -1182,10 +1365,10 @@ def _fold_only_shard(job, shard_index, carries, final, prev_carries):
 def _rescan_and_fold_shard(job, shard_index, carries, final, prev_carries):
     """Redo a shard's final scan pass (from the intact source), then
     fold — the crash-recovery path for interrupted in-place folds."""
-    fold_carry = _pass_fold_carry(job, job.order, prev_carries, shard_index)
+    fold_carry = _pass_fold_carry(job, job.passes, prev_carries, shard_index)
     prime = carries[shard_index] if final["baked"][shard_index] else None
     _, _, scan_counters = _scan_shard(
-        job, job.order, shard_index, fold_carry, prime, publish=False
+        job, job.passes, shard_index, fold_carry, prime, publish=False
     )
     fold_counters = _fold_shard(
         job, shard_index, carries[shard_index],

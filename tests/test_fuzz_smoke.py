@@ -42,11 +42,12 @@ class TestFuzzTool:
             if config["engine"] in seen:
                 continue
             seen.add(config["engine"])
-            if config["engine"] != "float_eft":
-                # float_eft drives several engines per iteration and is
-                # dispatched before construction in run_one.
+            if config["engine"] not in ("float_eft", "fused_order"):
+                # float_eft and fused_order drive several engines per
+                # iteration and are dispatched before construction in
+                # run_one.
                 build_engine(config)
-        assert len(seen) == 14
+        assert len(seen) == 15
 
     def test_run_one_agrees(self):
         rng = np.random.default_rng(2)

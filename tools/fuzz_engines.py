@@ -34,7 +34,7 @@ from repro.reference import prefix_sum_serial
 ENGINES = (
     "sam", "sam_chained", "lookback", "reduce_scan", "three_phase",
     "streamscan", "parallel", "parallel_chained", "stream", "sharded",
-    "threaded", "plan", "compressed", "float_eft",
+    "threaded", "plan", "compressed", "float_eft", "fused_order",
 )
 
 #: Strategies the "plan" kind forces through the planner's dispatcher
@@ -463,6 +463,126 @@ def run_float_eft(config, rng) -> bool:
     return True
 
 
+def run_fused_order(config, rng) -> bool:
+    """The ``fused_order`` differential arm: one full-range integer ADD
+    workload inside the fused single-pass gate (``q`` in 2..4, ``s`` in
+    2..8) run through every surface that owns a fused tile path —
+    one-shot :func:`repro.kernels.scan_into`, a ``LaneKernel(order=q)``
+    fed at random split points (mid-tile carry-matrix continuation),
+    slab threads, a ``ScanSession`` split feed, the sharded file driver
+    with random shard/worker counts, and the serve layer's
+    ``feed_batch`` over three staggered streams (mixing fused batches
+    with short-chunk fallback rounds).  All must agree *bit for bit*
+    with the pass-per-order serial oracle; values are drawn from the
+    dtype's full range so modular wraparound of the binomial carry
+    splice is exercised, not just small sums."""
+    import os
+    import tempfile
+
+    from repro.kernels import LaneKernel, ThreadedScan, scan_into
+    from repro.ops import get_op
+    from repro.serve.batch import feed_batch
+    from repro.stream import ScanSession, scan_file_sharded
+
+    dtype = np.dtype(config["dtype"])
+    q = 2 + config["order"] % 3           # fused orders 2..4
+    s = 2 + config["tuple_size"] % 7      # fused tuple lanes 2..8
+    inclusive = config["inclusive"]
+    n = config["n"]
+    info = np.iinfo(dtype)
+    values = rng.integers(info.min, info.max, n, dtype=dtype, endpoint=True)
+    op = get_op("add")
+
+    expected = prefix_sum_serial(
+        values, order=q, tuple_size=s, op="add", inclusive=inclusive
+    )
+
+    def agrees(out):
+        out = np.asarray(out)
+        return out.dtype == dtype and np.array_equal(out, expected)
+
+    # One-shot fused tile scan.
+    if not agrees(scan_into(values, np.empty_like(values), op,
+                            order=q, tuple_size=s, inclusive=inclusive)):
+        return False
+
+    # LaneKernel continuation: random split points land mid-tile and
+    # mid-stride, so the (q, s) carry matrix must splice every cut.
+    # The kernel is inclusive-only (exclusive is its callers' epilogue),
+    # so this arm always checks against the inclusive reference.
+    expected_inc = expected if inclusive else prefix_sum_serial(
+        values, order=q, tuple_size=s, op="add", inclusive=True
+    )
+    kernel = LaneKernel("add", dtype, tuple_size=s, order=q)
+    split = np.random.default_rng(config["split_seed"])
+    parts, pos = [], 0
+    while pos < n:
+        step = int(split.integers(1, max(2, n // 3 + 1)))
+        parts.append(np.asarray(kernel.feed(values[pos : pos + step].copy())).copy())
+        pos += step
+    stitched = np.concatenate(parts) if parts else values[:0]
+    if not np.array_equal(stitched, expected_inc):
+        return False
+
+    # Slab threads (cutover forced off so fuzz sizes actually split).
+    engine = ThreadedScan(threads=config["slab_threads"], cutover_bytes=0)
+    out = engine.run(values, order=q, tuple_size=s, op="add",
+                     inclusive=inclusive).values
+    if not agrees(out):
+        return False
+
+    # Session split feed (the serve layer's single-stream path).
+    out = SessionSplitScan(seed=config["split_seed"]).run(
+        values, order=q, tuple_size=s, op="add", inclusive=inclusive
+    ).values
+    if not agrees(out):
+        return False
+
+    # Sharded file driver: single-pass layout, aggregate matrices,
+    # binomial splice, shard fold.
+    with tempfile.TemporaryDirectory(prefix="fuzz-fused-") as tmp:
+        input_path = os.path.join(tmp, "in.bin")
+        output_path = os.path.join(tmp, "out.bin")
+        values.tofile(input_path)
+        scan_file_sharded(
+            input_path, output_path, dtype=dtype, op="add",
+            order=q, tuple_size=s, inclusive=inclusive,
+            shards=config["shards"], workers=min(config["workers"], 3),
+            chunk_bytes=config["shard_chunk_bytes"],
+        )
+        if not agrees(np.fromfile(output_path, dtype=dtype)):
+            return False
+
+    # Batched serve dispatch: three staggered streams over the same
+    # values, each cut independently, so rounds mix fused staging with
+    # the short-chunk pass-per-order fallback mid-stream.
+    B = 3
+    sessions = [
+        ScanSession(op="add", order=q, tuple_size=s, inclusive=inclusive,
+                    dtype=dtype)
+        for _ in range(B)
+    ]
+    feeds = [[] for _ in range(B)]
+    positions = [0] * B
+    while min(positions) < n:
+        chunks = []
+        for i in range(B):
+            if positions[i] >= n:
+                chunks.append(values[:0])
+            else:
+                step = int(split.integers(1, max(2, n // 3 + 1)))
+                chunks.append(values[positions[i] : positions[i] + step])
+        outs = feed_batch(sessions, [c.copy() for c in chunks])
+        for i in range(B):
+            feeds[i].append(outs[i])
+            positions[i] += chunks[i].size
+    for i in range(B):
+        stream = np.concatenate(feeds[i]) if feeds[i] else values[:0]
+        if not agrees(stream):
+            return False
+    return True
+
+
 def build_engine(config):
     kw = dict(
         threads_per_block=config["threads_per_block"],
@@ -550,6 +670,8 @@ def run_one(config, rng) -> bool:
     """Run one configuration; returns True on agreement."""
     if config["engine"] == "float_eft":
         return run_float_eft(config, rng)
+    if config["engine"] == "fused_order":
+        return run_fused_order(config, rng)
     if config["engine"] == "plan" and config["plan_float"]:
         return run_plan_float(config, rng)
     dtype = np.dtype(config["dtype"])
